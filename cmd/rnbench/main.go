@@ -1,0 +1,100 @@
+// Command rnbench regenerates the tables and figures of "Building Scalable
+// NVM-based B+tree with HTM" (ICPP'19) on the simulated-NVM substrate.
+//
+// Usage:
+//
+//	rnbench -exp fig8 -scale 200000 -duration 300ms
+//	rnbench -exp all -scale 1000000 -out results.txt
+//
+// Experiments: table1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"rntree/internal/bench"
+	"rntree/internal/pmem"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id ("+strings.Join(bench.ExperimentIDs(), ", ")+" or all)")
+		scale    = flag.Uint64("scale", 200_000, "warm-up records (paper: 16M)")
+		duration = flag.Duration("duration", 300*time.Millisecond, "measurement window per data point")
+		threads  = flag.String("threads", "1,2,4,8,16,24", "thread sweep for scalability experiments")
+		flushNS  = flag.Int("flush-ns", 25, "simulated CLWB+drain latency per cache line (0 disables)")
+		fenceNS  = flag.Int("fence-ns", 500, "simulated fence latency (0 disables)")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		out      = flag.String("out", "", "also write results to this file")
+		format   = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+
+	var th []int
+	for _, s := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "rnbench: bad -threads entry %q\n", s)
+			os.Exit(2)
+		}
+		th = append(th, n)
+	}
+	cfg := bench.Config{
+		Scale:    *scale,
+		Duration: *duration,
+		Threads:  th,
+		Latency: pmem.LatencyModel{
+			FlushPerLine: time.Duration(*flushNS) * time.Nanosecond,
+			Fence:        time.Duration(*fenceNS) * time.Nanosecond,
+		},
+		Seed: *seed,
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rnbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	fmt.Fprintf(w, "rnbench: scale=%d duration=%v threads=%v flush=%dns fence=%dns GOMAXPROCS=%d\n\n",
+		cfg.Scale, cfg.Duration, cfg.Threads, *flushNS, *fenceNS, runtime.GOMAXPROCS(0))
+
+	run := func(id string) {
+		f, ok := bench.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rnbench: unknown experiment %q (have: %s)\n", id, strings.Join(bench.ExperimentIDs(), ", "))
+			os.Exit(2)
+		}
+		t0 := time.Now()
+		for _, r := range f(cfg) {
+			if *format == "csv" {
+				fmt.Fprintln(w, r.CSV())
+			} else {
+				fmt.Fprintln(w, r.String())
+			}
+		}
+		fmt.Fprintf(w, "(%s took %v)\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, id := range bench.ExperimentIDs() {
+			run(id)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		run(strings.TrimSpace(id))
+	}
+}

@@ -1,0 +1,152 @@
+// Command rnkv is a small interactive durable key-value shell on top of
+// RNTree, demonstrating the library's durability story end to end: mutate
+// the tree, pull the power plug (crash), recover, and check what survived.
+//
+// Commands:
+//
+//	put <key> <value>     insert or update
+//	get <key>             lookup
+//	del <key>             remove
+//	scan <start> <n>      range query
+//	stats                 persistence / HTM counters and tree shape
+//	crash [evictProb]     simulated power loss + crash recovery
+//	checkpoint            clean shutdown + fast reconstruction
+//	quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"rntree"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "rnkv: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run drives the shell over the given streams; split out for testing.
+func run(in io.Reader, out io.Writer) error {
+	opts := rntree.Options{DualSlotArray: true}
+	t, err := rntree.New(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "rnkv: RNTree-backed KV shell (type 'help')")
+	sc := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "> ")
+		if !sc.Scan() {
+			return nil
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "put":
+			k, v, ok := twoInts(fields)
+			if !ok {
+				fmt.Fprintln(out, "usage: put <key> <value>")
+				continue
+			}
+			if err := t.Upsert(k, v); err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprintln(out, "ok")
+		case "get":
+			k, ok := oneInt(fields)
+			if !ok {
+				fmt.Fprintln(out, "usage: get <key>")
+				continue
+			}
+			if v, found := t.Find(k); found {
+				fmt.Fprintln(out, v)
+			} else {
+				fmt.Fprintln(out, "(not found)")
+			}
+		case "del":
+			k, ok := oneInt(fields)
+			if !ok {
+				fmt.Fprintln(out, "usage: del <key>")
+				continue
+			}
+			if err := t.Remove(k); err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprintln(out, "ok")
+		case "scan":
+			k, n, ok := twoInts(fields)
+			if !ok {
+				fmt.Fprintln(out, "usage: scan <start> <n>")
+				continue
+			}
+			t.Scan(k, int(n), func(key, val uint64) bool {
+				fmt.Fprintf(out, "  %d = %d\n", key, val)
+				return true
+			})
+		case "stats":
+			s := t.Stats()
+			fmt.Fprintf(out, "persists=%d linesFlushed=%d words=%d leaves=%d depth=%d\n",
+				s.Persists, s.LinesFlushed, s.WordsWritten, s.Leaves, s.Depth)
+			fmt.Fprintf(out, "htm: commits=%d conflicts=%d capacity=%d persistAborts=%d fallbacks=%d\n",
+				s.HTM.Commits, s.HTM.ConflictAborts, s.HTM.CapacityAborts, s.HTM.PersistAborts, s.HTM.Fallbacks)
+		case "crash":
+			p := 0.5
+			if len(fields) > 1 {
+				if f, err := strconv.ParseFloat(fields[1], 64); err == nil {
+					p = f
+				}
+			}
+			snap := t.Crash(p, 1)
+			nt, err := rntree.Recover(snap, opts)
+			if err != nil {
+				fmt.Fprintln(out, "recovery failed:", err)
+				continue
+			}
+			t = nt
+			fmt.Fprintf(out, "power lost (evictProb=%.2f); crash-recovered: %d records survived\n", p, t.Len())
+		case "checkpoint":
+			snap := t.Checkpoint()
+			nt, err := rntree.Recover(snap, opts)
+			if err != nil {
+				fmt.Fprintln(out, "recovery failed:", err)
+				continue
+			}
+			t = nt
+			fmt.Fprintf(out, "clean shutdown + reconstruction: %d records\n", t.Len())
+		case "help":
+			fmt.Fprintln(out, "commands: put get del scan stats crash checkpoint quit")
+		case "quit", "exit":
+			return nil
+		default:
+			fmt.Fprintln(out, "unknown command (try 'help')")
+		}
+	}
+}
+
+func oneInt(f []string) (uint64, bool) {
+	if len(f) != 2 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(f[1], 10, 63)
+	return v, err == nil
+}
+
+func twoInts(f []string) (uint64, uint64, bool) {
+	if len(f) != 3 {
+		return 0, 0, false
+	}
+	a, err1 := strconv.ParseUint(f[1], 10, 63)
+	b, err2 := strconv.ParseUint(f[2], 10, 63)
+	return a, b, err1 == nil && err2 == nil
+}

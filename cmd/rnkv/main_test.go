@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runScript(t *testing.T, script string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestShellPutGetDelScan(t *testing.T) {
+	out := runScript(t, `
+put 1 100
+put 2 200
+put 3 300
+get 2
+del 2
+get 2
+scan 0 10
+quit
+`)
+	for _, want := range []string{"ok", "200", "(not found)", "1 = 100", "3 = 300"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "2 = 200") {
+		t.Fatalf("deleted key still scanned:\n%s", out)
+	}
+}
+
+func TestShellCrashRecover(t *testing.T) {
+	out := runScript(t, `
+put 7 70
+put 8 80
+crash 0.5
+get 7
+get 8
+quit
+`)
+	if !strings.Contains(out, "crash-recovered: 2 records survived") {
+		t.Fatalf("crash recovery summary missing:\n%s", out)
+	}
+	if !strings.Contains(out, "70") || !strings.Contains(out, "80") {
+		t.Fatalf("values lost across crash:\n%s", out)
+	}
+}
+
+func TestShellCheckpoint(t *testing.T) {
+	out := runScript(t, `
+put 1 1
+checkpoint
+get 1
+quit
+`)
+	if !strings.Contains(out, "reconstruction: 1 records") {
+		t.Fatalf("checkpoint summary missing:\n%s", out)
+	}
+}
+
+func TestShellStatsAndErrors(t *testing.T) {
+	out := runScript(t, `
+put 1 1
+stats
+del 99
+put
+bogus
+help
+quit
+`)
+	for _, want := range []string{"persists=", "htm: commits=", "error:", "usage: put", "unknown command", "commands:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Rangescan demonstrates the sorted-leaf advantage (Figure 6): RNTree scans
+// leaves directly through the slot array, while NV-Tree and FPTree keep
+// unsorted leaves and must sort every leaf a range query touches. The
+// example loads the same data into all three and compares scan throughput
+// across scan lengths.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"rntree"
+	"rntree/internal/ycsb"
+)
+
+func main() {
+	scale := flag.Uint64("scale", 100_000, "records to preload")
+	dur := flag.Duration("duration", 200*time.Millisecond, "window per point")
+	flag.Parse()
+
+	opts := rntree.Options{ArenaSize: 256 << 20}
+	trees := []struct {
+		name string
+		ix   rntree.Index
+	}{}
+
+	rn, err := rntree.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trees = append(trees, struct {
+		name string
+		ix   rntree.Index
+	}{"rntree", rn})
+	for _, k := range []rntree.Kind{rntree.KindNVTree, rntree.KindFPTree} {
+		ix, err := rntree.NewBaseline(k, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trees = append(trees, struct {
+			name string
+			ix   rntree.Index
+		}{string(k), ix})
+	}
+
+	fmt.Printf("loading %d records into each tree...\n", *scale)
+	for _, tr := range trees {
+		for i := uint64(0); i < *scale; i++ {
+			if err := tr.ix.Upsert(ycsb.KeyAt(i), i); err != nil {
+				log.Fatalf("%s: %v", tr.name, err)
+			}
+		}
+	}
+
+	lengths := []int{10, 100, 1000}
+	fmt.Printf("%-8s", "tree")
+	for _, l := range lengths {
+		fmt.Printf(" %10s", fmt.Sprintf("scan%d", l))
+	}
+	fmt.Println("   (scans/sec; higher is better)")
+	base := make([]float64, len(lengths))
+	for ti, tr := range trees {
+		fmt.Printf("%-8s", tr.name)
+		rng := rand.New(rand.NewSource(1))
+		for li, l := range lengths {
+			t0 := time.Now()
+			deadline := t0.Add(*dur)
+			ops := 0
+			for !time.Now().After(deadline) {
+				start := ycsb.KeyAt(uint64(rng.Int63n(int64(*scale))))
+				tr.ix.Scan(start, l, func(_, _ uint64) bool { return true })
+				ops++
+			}
+			rate := float64(ops) / time.Since(t0).Seconds()
+			if ti == 0 {
+				base[li] = rate
+				fmt.Printf(" %10.0f", rate)
+			} else {
+				fmt.Printf(" %6.0f(%3.1fx)", rate, base[li]/rate)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\npaper: RNTree ≈4.2x NV-Tree/FPTree on range queries (sorting per leaf dominates)")
+}

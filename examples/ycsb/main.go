@@ -1,0 +1,56 @@
+// YCSB example: drive the paper's headline concurrent workload (YCSB-A,
+// 50% reads / 50% updates, Zipfian-skewed keys) against RNTree, RNTree+DS
+// and FPTree and print a small scalability table — a miniature of
+// Figure 8(b). Single-threaded baselines are shown at one thread for
+// context.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"rntree/internal/bench"
+	"rntree/internal/pmem"
+	"rntree/internal/ycsb"
+)
+
+func main() {
+	scale := flag.Uint64("scale", 100_000, "records to preload")
+	dur := flag.Duration("duration", 200*time.Millisecond, "measurement window")
+	zipf := flag.Float64("zipf", 0.8, "Zipfian coefficient (0 = uniform)")
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:    *scale,
+		Duration: *dur,
+		Latency:  pmem.DefaultLatency,
+		Seed:     1,
+	}
+
+	var chooser ycsb.Chooser = ycsb.Uniform{N: *scale}
+	if *zipf > 0 {
+		chooser = ycsb.NewZipfian(*scale, *zipf)
+	}
+	w := ycsb.Workload{Mix: ycsb.A, Chooser: chooser}
+
+	fmt.Printf("YCSB-A, %d records, zipf=%.2f, window=%v\n", *scale, *zipf, *dur)
+	fmt.Printf("%-10s %8s %8s %8s %8s\n", "tree", "1 thr", "2 thr", "4 thr", "8 thr")
+	for _, kind := range []bench.TreeKind{bench.KindFPTree, bench.KindRNTree, bench.KindRNTreeDS} {
+		ix, _, err := bench.NewTree(kind, cfg, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bench.Warm(ix, kind, *scale); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s", kind)
+		for _, th := range []int{1, 2, 4, 8} {
+			m := bench.RunThroughput(ix, w, th, *dur, 1, *scale)
+			fmt.Printf(" %7.3fM", m)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(see cmd/rnbench -exp fig8 for the full figure)")
+}

@@ -1,0 +1,3 @@
+module rntree
+
+go 1.22

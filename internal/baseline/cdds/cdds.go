@@ -1,0 +1,309 @@
+// Package cdds implements a CDDS B-Tree baseline [Venkataraman et al.,
+// FAST'11] for the Table 1 comparison: a multi-version tree whose leaf
+// entries carry [start, end) version tags. Updates never overwrite in
+// place — a new version is created and the old one is end-tagged — which
+// gives recoverability without logs, but the sorted, direct (slot-array-free)
+// leaf layout means every insert shifts on average half the node and
+// persists everything it moved: the per-modify persistent-instruction count
+// grows with the leaf size ("Writes = L*" in Table 1), the write
+// amplification RNTree's indirection avoids.
+//
+// CDDS B-Tree is single-threaded (Table 1).
+package cdds
+
+import (
+	"rntree/internal/inner"
+	"rntree/internal/pmem"
+	"rntree/internal/tree"
+)
+
+// Leaf layout (cache-line rows):
+//
+//	line 0  header : next (8B) | count (8B) | commitVersion (8B)
+//	line 1+ entries: 32-byte [key, value, start, end), sorted by key
+//
+// An entry is live when start <= commit and (end == 0 or end > commit).
+const (
+	hdrNextOff  = 0
+	hdrCountOff = 8
+	hdrVerOff   = 16
+
+	entOff    = pmem.LineSize
+	entrySize = 32
+)
+
+// DefaultLeafCapacity is sized so a leaf matches the other trees' footprint.
+const DefaultLeafCapacity = 32
+
+// Options configure a CDDS tree.
+type Options struct {
+	// LeafCapacity is the number of version entries per leaf (default 32).
+	LeafCapacity int
+}
+
+type leafMeta struct {
+	off  uint64
+	n    int
+	next *leafMeta
+	id   uint64
+}
+
+// Tree is a CDDS B-Tree instance.
+type Tree struct {
+	arena *pmem.Arena
+	ix    *inner.Index
+	metas []*leafMeta
+	head  *leafMeta
+
+	version  uint64 // global commit version (mirrored per leaf on write)
+	capacity int
+	lsize    uint64
+}
+
+var _ tree.Index = (*Tree)(nil)
+
+// New formats an empty CDDS tree in the arena.
+func New(arena *pmem.Arena, opts Options) (*Tree, error) {
+	if opts.LeafCapacity == 0 {
+		opts.LeafCapacity = DefaultLeafCapacity
+	}
+	t := &Tree{
+		arena:    arena,
+		version:  1,
+		capacity: opts.LeafCapacity,
+		lsize:    entOff + uint64(opts.LeafCapacity)*entrySize,
+	}
+	off, err := arena.Alloc(t.lsize)
+	if err != nil {
+		return nil, tree.ErrFull
+	}
+	arena.Zero(off, t.lsize)
+	arena.Persist(off, t.lsize)
+	m := &leafMeta{off: off}
+	t.addMeta(m)
+	t.head = m
+	t.ix = inner.New(m.id)
+	return t, nil
+}
+
+// Arena returns the backing arena for statistics.
+func (t *Tree) Arena() *pmem.Arena { return t.arena }
+
+// LeafCount returns the number of leaves.
+func (t *Tree) LeafCount() int { return len(t.metas) }
+
+func (t *Tree) addMeta(m *leafMeta) {
+	m.id = uint64(len(t.metas))
+	t.metas = append(t.metas, m)
+}
+
+func (t *Tree) leafFor(key uint64) *leafMeta { return t.metas[t.ix.Seek(key)] }
+
+func (t *Tree) entryOff(m *leafMeta, i int) uint64 {
+	return m.off + entOff + uint64(i)*entrySize
+}
+
+type entry struct {
+	key, val, start, end uint64
+}
+
+func (t *Tree) readEntry(m *leafMeta, i int) entry {
+	off := t.entryOff(m, i)
+	return entry{
+		key:   t.arena.Read8(off),
+		val:   t.arena.Read8(off + 8),
+		start: t.arena.Read8(off + 16),
+		end:   t.arena.Read8(off + 24),
+	}
+}
+
+func (t *Tree) writeEntry(m *leafMeta, i int, e entry) {
+	off := t.entryOff(m, i)
+	t.arena.Write8(off, e.key)
+	t.arena.Write8(off+8, e.val)
+	t.arena.Write8(off+16, e.start)
+	t.arena.Write8(off+24, e.end)
+}
+
+func (e entry) live() bool { return e.end == 0 }
+
+// findLive locates the live entry for key, if any, and the insertion rank.
+func (t *Tree) findLive(m *leafMeta, key uint64) (pos int, found int) {
+	lo, hi := 0, m.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.arena.Read8(t.entryOff(m, mid)) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	found = -1
+	for i := lo; i < m.n; i++ {
+		e := t.readEntry(m, i)
+		if e.key != key {
+			break
+		}
+		if e.live() {
+			found = i
+		}
+	}
+	return lo, found
+}
+
+// shiftRight moves entries [pos, n) one slot right, persisting every line it
+// dirties — the write amplification of direct sorted nodes (§3.2: "one
+// modification of the data structure needs multiple writes").
+func (t *Tree) shiftRight(m *leafMeta, pos int) {
+	for i := m.n; i > pos; i-- {
+		t.writeEntry(m, i, t.readEntry(m, i-1))
+		t.arena.Persist(t.entryOff(m, i), entrySize)
+	}
+}
+
+// commit bumps and persists the leaf's commit version — the atomic step
+// that makes the new version entries visible after a crash.
+func (t *Tree) commit(m *leafMeta) {
+	t.version++
+	t.arena.Write8(m.off+hdrVerOff, t.version)
+	t.arena.Write8(m.off+hdrCountOff, uint64(m.n))
+	t.arena.Persist(m.off, pmem.LineSize)
+}
+
+func (t *Tree) modify(key, value uint64, mustExist, mayExist bool) error {
+	for {
+		m := t.leafFor(key)
+		pos, found := t.findLive(m, key)
+		if found >= 0 && !mayExist {
+			return tree.ErrKeyExists
+		}
+		if found < 0 && mustExist {
+			return tree.ErrKeyNotFound
+		}
+		if m.n >= t.capacity {
+			if err := t.split(m); err != nil {
+				return err
+			}
+			continue
+		}
+		if found >= 0 {
+			// End-tag the old version in place.
+			t.arena.Write8(t.entryOff(m, found)+24, t.version+1)
+			t.arena.Persist(t.entryOff(m, found), entrySize)
+		}
+		t.shiftRight(m, pos)
+		t.writeEntry(m, pos, entry{key: key, val: value, start: t.version + 1})
+		t.arena.Persist(t.entryOff(m, pos), entrySize)
+		m.n++
+		t.commit(m)
+		return nil
+	}
+}
+
+// Insert adds a key (conditional).
+func (t *Tree) Insert(key, value uint64) error { return t.modify(key, value, false, false) }
+
+// Update creates a new version of an existing key (conditional).
+func (t *Tree) Update(key, value uint64) error { return t.modify(key, value, true, true) }
+
+// Upsert writes the key unconditionally.
+func (t *Tree) Upsert(key, value uint64) error { return t.modify(key, value, false, true) }
+
+// Remove end-tags the live version of key.
+func (t *Tree) Remove(key uint64) error {
+	m := t.leafFor(key)
+	_, found := t.findLive(m, key)
+	if found < 0 {
+		return tree.ErrKeyNotFound
+	}
+	t.arena.Write8(t.entryOff(m, found)+24, t.version+1)
+	t.arena.Persist(t.entryOff(m, found), entrySize)
+	t.commit(m)
+	return nil
+}
+
+// Find binary-searches the sorted (multi-version) entries.
+func (t *Tree) Find(key uint64) (uint64, bool) {
+	m := t.leafFor(key)
+	_, found := t.findLive(m, key)
+	if found < 0 {
+		return 0, false
+	}
+	return t.readEntry(m, found).val, true
+}
+
+// Scan walks the sorted leaves, emitting live versions only.
+func (t *Tree) Scan(start uint64, max int, fn func(key, value uint64) bool) int {
+	count := 0
+	for m := t.leafFor(start); m != nil; m = m.next {
+		for i := 0; i < m.n; i++ {
+			e := t.readEntry(m, i)
+			if !e.live() || e.key < start {
+				continue
+			}
+			if max > 0 && count >= max {
+				return count
+			}
+			count++
+			if !fn(e.key, e.val) {
+				return count
+			}
+		}
+	}
+	return count
+}
+
+// split garbage-collects dead versions and divides the leaf if the live set
+// is still large (CDDS's version consolidation).
+func (t *Tree) split(m *leafMeta) error {
+	live := make([]entry, 0, m.n)
+	for i := 0; i < m.n; i++ {
+		if e := t.readEntry(m, i); e.live() {
+			live = append(live, e)
+		}
+	}
+	if len(live) < t.capacity/2 {
+		t.writeLeaf(m.off, live, t.arena.Read8(m.off+hdrNextOff))
+		t.arena.Persist(m.off, t.lsize)
+		m.n = len(live)
+		return nil
+	}
+	half := len(live) / 2
+	splitKey := live[half].key
+	newOff, err := t.arena.Alloc(t.lsize)
+	if err != nil {
+		return tree.ErrFull
+	}
+	t.writeLeaf(newOff, live[half:], t.arena.Read8(m.off+hdrNextOff))
+	t.arena.Persist(newOff, t.lsize)
+	t.writeLeaf(m.off, live[:half], newOff)
+	t.arena.Persist(m.off, t.lsize)
+
+	nm := &leafMeta{off: newOff, n: len(live) - half, next: m.next}
+	t.addMeta(nm)
+	m.n = half
+	m.next = nm
+	t.ix.Insert(splitKey, nm.id)
+	return nil
+}
+
+func (t *Tree) writeLeaf(off uint64, live []entry, next uint64) {
+	t.arena.Zero(off, t.lsize)
+	t.arena.Write8(off+hdrNextOff, next)
+	t.arena.Write8(off+hdrCountOff, uint64(len(live)))
+	t.arena.Write8(off+hdrVerOff, t.version)
+	for i, e := range live {
+		eoff := off + entOff + uint64(i)*entrySize
+		t.arena.Write8(eoff, e.key)
+		t.arena.Write8(eoff+8, e.val)
+		t.arena.Write8(eoff+16, e.start)
+		t.arena.Write8(eoff+24, e.end)
+	}
+}
+
+// Len counts live records.
+func (t *Tree) Len() int {
+	n := 0
+	t.Scan(0, 0, func(_, _ uint64) bool { n++; return true })
+	return n
+}

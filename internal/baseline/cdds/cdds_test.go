@@ -1,0 +1,100 @@
+package cdds
+
+import (
+	"testing"
+
+	"rntree/internal/pmem"
+	"rntree/internal/tree"
+	"rntree/internal/tree/treetest"
+)
+
+func newTest(t testing.TB) *Tree {
+	t.Helper()
+	a := pmem.New(pmem.Config{Size: 64 << 20})
+	tr, err := New(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestConformance(t *testing.T) {
+	treetest.RunConformance(t, "cdds", func(t *testing.T) tree.Index {
+		return newTest(t)
+	})
+}
+
+func TestWriteAmplificationGrowsWithOccupancy(t *testing.T) {
+	// Table 1: CDDS needs O(L) persistent instructions per modify because
+	// inserting into the sorted node shifts (and persists) the tail.
+	tr := newTest(t)
+	a := tr.Arena()
+	// Fill one leaf with descending keys so each insert shifts everything.
+	a.ResetStats()
+	if err := tr.Insert(1000, 0); err != nil {
+		t.Fatal(err)
+	}
+	first := a.Stats().Persists
+	for i := uint64(999); i > 980; i-- {
+		if err := tr.Insert(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.ResetStats()
+	if err := tr.Insert(900, 0); err != nil { // shifts ~20 entries
+		t.Fatal(err)
+	}
+	shifted := a.Stats().Persists
+	if shifted < first+10 {
+		t.Fatalf("expected O(L) persists for a head insert: first=%d, shifted=%d", first, shifted)
+	}
+}
+
+func TestMultiVersionUpdateKeepsSingleLiveVersion(t *testing.T) {
+	tr := newTest(t)
+	if err := tr.Insert(7, 1); err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(2); v <= 20; v++ {
+		if err := tr.Update(7, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, ok := tr.Find(7); !ok || v != 20 {
+		t.Fatalf("Find(7) = %d,%v", v, ok)
+	}
+	n := 0
+	tr.Scan(0, 0, func(k, _ uint64) bool {
+		if k == 7 {
+			n++
+		}
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("key 7 visible %d times", n)
+	}
+}
+
+func TestVersionGarbageCollection(t *testing.T) {
+	tr := newTest(t)
+	// Update churn fills leaves with dead versions; consolidation must
+	// reclaim them rather than splitting forever.
+	for k := uint64(0); k < 8; k++ {
+		if err := tr.Insert(k, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := uint64(1); round <= 300; round++ {
+		for k := uint64(0); k < 8; k++ {
+			if err := tr.Update(k, round); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if tr.LeafCount() > 4 {
+		t.Fatalf("dead versions not collected: %d leaves", tr.LeafCount())
+	}
+	if got := tr.Len(); got != 8 {
+		t.Fatalf("Len = %d", got)
+	}
+}

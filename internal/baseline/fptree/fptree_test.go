@@ -1,0 +1,237 @@
+package fptree
+
+import (
+	"sync"
+	"testing"
+
+	"rntree/internal/pmem"
+	"rntree/internal/tree"
+	"rntree/internal/tree/treetest"
+)
+
+func newTest(t testing.TB, opts Options) *Tree {
+	t.Helper()
+	a := pmem.New(pmem.Config{Size: 64 << 20})
+	tr, err := New(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestConformance(t *testing.T) {
+	treetest.RunConformance(t, "fptree", func(t *testing.T) tree.Index {
+		return newTest(t, Options{})
+	})
+}
+
+func TestPersistCounts(t *testing.T) {
+	// Table 1: FPTree needs 3 persistent instructions per insert/update
+	// (entry, fingerprint, bitmap) and 1 per remove (bitmap only, §6.2.3).
+	tr := newTest(t, Options{})
+	for i := uint64(0); i < 20; i++ {
+		if err := tr.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := tr.Arena()
+	a.ResetStats()
+	const k = 20
+	for i := uint64(100); i < 100+k; i++ {
+		if err := tr.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Stats().Persists; got != 3*k {
+		t.Fatalf("insert persists = %d, want %d", got, 3*k)
+	}
+	a.ResetStats()
+	for i := uint64(0); i < k; i++ {
+		if err := tr.Update(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Stats().Persists; got != 3*k {
+		t.Fatalf("update persists = %d, want %d", got, 3*k)
+	}
+	a.ResetStats()
+	for i := uint64(0); i < k; i++ {
+		if err := tr.Remove(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Stats().Persists; got != k {
+		t.Fatalf("remove persists = %d, want %d", got, k)
+	}
+}
+
+func TestFingerprintDistribution(t *testing.T) {
+	var buckets [256]int
+	for k := uint64(0); k < 64_000; k++ {
+		buckets[Fingerprint(k)]++
+	}
+	for b, n := range buckets {
+		if n == 0 {
+			t.Fatalf("fingerprint bucket %d empty", b)
+		}
+		if n > 64000/256*4 {
+			t.Fatalf("fingerprint bucket %d overloaded: %d", b, n)
+		}
+	}
+}
+
+func TestFingerprintCollisionCorrectness(t *testing.T) {
+	// Keys with identical fingerprints must still be distinguished by the
+	// full key comparison.
+	tr := newTest(t, Options{})
+	base := uint64(12345)
+	var same []uint64
+	fp := Fingerprint(base)
+	for k := base; len(same) < 5; k++ {
+		if Fingerprint(k) == fp {
+			same = append(same, k)
+		}
+	}
+	for i, k := range same {
+		if err := tr.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range same {
+		if v, ok := tr.Find(k); !ok || v != uint64(i) {
+			t.Fatalf("collision key %d: (%d,%v)", k, v, ok)
+		}
+	}
+}
+
+func TestUpdateRetiresOldSlotAtomically(t *testing.T) {
+	tr := newTest(t, Options{})
+	if err := tr.Insert(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for round := uint64(2); round < 200; round++ {
+		if err := tr.Update(1, round); err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := tr.Find(1); v != round {
+			t.Fatalf("round %d: %d", round, v)
+		}
+	}
+	// No duplicate keys may coexist (bitmap flip is atomic).
+	n := 0
+	tr.Scan(0, 0, func(k, _ uint64) bool {
+		if k == 1 {
+			n++
+		}
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("key 1 appears %d times", n)
+	}
+}
+
+func TestConcurrentDisjointWriters(t *testing.T) {
+	tr := newTest(t, Options{})
+	var wg sync.WaitGroup
+	const workers = 8
+	const per = 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * 1_000_000
+			for i := uint64(0); i < per; i++ {
+				if err := tr.Insert(base+i, base+i); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := tr.Len(); got != workers*per {
+		t.Fatalf("Len = %d, want %d", got, workers*per)
+	}
+}
+
+func TestConcurrentReadersDuringWrites(t *testing.T) {
+	tr := newTest(t, Options{})
+	const keys = 256
+	for k := uint64(0); k < keys; k++ {
+		if err := tr.Insert(k, k<<32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); i <= 20000; i++ {
+			k := i % keys
+			if err := tr.Update(k, k<<32|i); err != nil {
+				t.Errorf("update: %v", err)
+				return
+			}
+		}
+		close(stop)
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(i) % keys
+				v, ok := tr.Find(k)
+				if !ok {
+					t.Errorf("key %d vanished", k)
+					return
+				}
+				if v>>32 != k {
+					t.Errorf("key %d torn value %#x", k, v)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestConcurrentUniqueInsert(t *testing.T) {
+	tr := newTest(t, Options{})
+	const keys = 1000
+	var wg sync.WaitGroup
+	wins := make([]int32, keys)
+	var mu sync.Mutex
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				err := tr.Insert(uint64(k), uint64(w))
+				if err == nil {
+					mu.Lock()
+					wins[k]++
+					mu.Unlock()
+				} else if err != tree.ErrKeyExists {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for k, n := range wins {
+		if n != 1 {
+			t.Fatalf("key %d won %d times", k, n)
+		}
+	}
+}

@@ -1,0 +1,395 @@
+// Package wbtree re-implements wB+Tree [Chen & Jin, VLDB'15] as the paper's
+// evaluation does (§6): leaf entries are kept sorted through an indirection
+// slot array, like RNTree, but without HTM the slot array exceeds the 8-byte
+// atomic-write size, so every modify operation brackets the slot-array
+// rewrite with a persisted valid bit — four persistent instructions per
+// insert/update instead of RNTree's two (§3.2).
+//
+// The package also provides the wB+Tree-SO variant ("slot-only", §6): the
+// whole slot array fits one atomic 8-byte word, removing the valid-bit
+// persists (two persistent instructions, like RNTree) but capping leaves at
+// seven entries, which deepens the tree and multiplies splits.
+//
+// wB+Tree is single-threaded (Table 1).
+package wbtree
+
+import (
+	"rntree/internal/inner"
+	"rntree/internal/pmem"
+	"rntree/internal/tree"
+)
+
+// Leaf layout (cache-line rows):
+//
+// Full variant:
+//
+//	line 0  header : next (8B) | valid (8B)
+//	line 1  slot   : 64-byte slot array — slot[0]=count, slot[1..]=order
+//	line 2+ KVs    : 16-byte entries, capacity 64 (63 active)
+//
+// Slot-only variant:
+//
+//	line 0  header : next (8B) | slotword (8B: count + 7 indices)
+//	line 1+ KVs    : 16-byte entries, capacity 7
+const (
+	hdrNextOff  = 0
+	hdrValidOff = 8  // full variant: the valid bit
+	hdrSlotOff  = 16 // slot-only variant: the 8-byte slot array
+
+	slotLineOff = pmem.LineSize
+
+	kvEntrySize = 16
+
+	// SOCapacity is the slot-only leaf capacity: one count byte plus seven
+	// index bytes in one atomic word ("it can only store 7 KV entries in
+	// each leaf node", §6).
+	SOCapacity = 7
+	// DefaultLeafCapacity matches the paper's 64-entry leaves for the full
+	// variant.
+	DefaultLeafCapacity = 64
+)
+
+// Options configure a wB+Tree.
+type Options struct {
+	// SlotOnly selects the wB+Tree-SO variant.
+	SlotOnly bool
+	// LeafCapacity for the full variant (default 64); ignored for SlotOnly.
+	LeafCapacity int
+}
+
+type leafMeta struct {
+	off   uint64
+	nlogs int     // allocation cursor
+	free  []uint8 // recycled log slots (from updates/removes)
+	next  *leafMeta
+	id    uint64
+}
+
+// Tree is a wB+Tree (or wB+Tree-SO) instance.
+type Tree struct {
+	arena *pmem.Arena
+	ix    *inner.Index
+	metas []*leafMeta
+	head  *leafMeta
+
+	capacity  int
+	maxActive int // full variant: capacity-1 (count byte steals a slot); SO: 7
+	slotOnly  bool
+	kvOff     uint64
+	lsize     uint64
+}
+
+var _ tree.Index = (*Tree)(nil)
+
+// New formats an empty wB+Tree in the arena.
+func New(arena *pmem.Arena, opts Options) (*Tree, error) {
+	t := &Tree{arena: arena, slotOnly: opts.SlotOnly}
+	if opts.SlotOnly {
+		t.capacity = SOCapacity
+		t.maxActive = SOCapacity
+		t.kvOff = pmem.LineSize // header line only
+	} else {
+		t.capacity = opts.LeafCapacity
+		if t.capacity == 0 {
+			t.capacity = DefaultLeafCapacity
+		}
+		if t.capacity > 64 {
+			t.capacity = 64
+		}
+		t.maxActive = t.capacity - 1
+		t.kvOff = 2 * pmem.LineSize // header + slot line
+	}
+	t.lsize = t.kvOff + uint64(t.capacity)*kvEntrySize
+	off, err := arena.Alloc(t.lsize)
+	if err != nil {
+		return nil, tree.ErrFull
+	}
+	arena.Zero(off, t.lsize)
+	if !t.slotOnly {
+		arena.Write8(off+hdrValidOff, 1)
+	}
+	arena.Persist(off, t.lsize)
+	m := &leafMeta{off: off}
+	t.addMeta(m)
+	t.head = m
+	t.ix = inner.New(m.id)
+	return t, nil
+}
+
+// Arena returns the backing arena for statistics.
+func (t *Tree) Arena() *pmem.Arena { return t.arena }
+
+// LeafCount returns the number of leaves.
+func (t *Tree) LeafCount() int { return len(t.metas) }
+
+// SlotOnly reports whether this is the SO variant.
+func (t *Tree) SlotOnly() bool { return t.slotOnly }
+
+func (t *Tree) addMeta(m *leafMeta) {
+	m.id = uint64(len(t.metas))
+	t.metas = append(t.metas, m)
+}
+
+func (t *Tree) leafFor(key uint64) *leafMeta { return t.metas[t.ix.Seek(key)] }
+
+func (t *Tree) entryOff(m *leafMeta, i int) uint64 {
+	return m.off + t.kvOff + uint64(i)*kvEntrySize
+}
+
+// slotBuf holds a decoded slot array without heap allocation:
+// sl[0] = count, sl[1..count] = log indices in key order.
+type slotBuf [65]uint8
+
+// readSlot decodes the slot array into the caller's buffer and returns the
+// usable prefix.
+func (t *Tree) readSlot(m *leafMeta, buf *slotBuf) []uint8 {
+	sl := buf[:t.capacity+1]
+	if t.slotOnly {
+		w := t.arena.Read8(m.off + hdrSlotOff)
+		for i := 0; i < 8 && i < len(sl); i++ {
+			sl[i] = uint8(w >> (8 * i))
+		}
+		return sl
+	}
+	var line [pmem.LineSize]byte
+	t.arena.ReadLine(m.off+slotLineOff, &line)
+	copy(sl, line[:])
+	return sl
+}
+
+// writeSlot rewrites the slot array with the persistence protocol of §3.2:
+// the full variant needs valid=0 / rewrite / valid=1 (three persists, after
+// the entry write's one); the slot-only variant is a single atomic word.
+func (t *Tree) writeSlot(m *leafMeta, sl []uint8) {
+	if t.slotOnly {
+		var w uint64
+		for i := 0; i < 8 && i < len(sl); i++ {
+			w |= uint64(sl[i]) << (8 * i)
+		}
+		t.arena.Write8(m.off+hdrSlotOff, w)
+		t.arena.Persist(m.off+hdrSlotOff, 8)
+		return
+	}
+	t.arena.Write8(m.off+hdrValidOff, 0)
+	t.arena.Persist(m.off+hdrValidOff, 8)
+	var line [pmem.LineSize]byte
+	copy(line[:], sl)
+	t.arena.WriteLine(m.off+slotLineOff, &line)
+	t.arena.Persist(m.off+slotLineOff, pmem.LineSize)
+	t.arena.Write8(m.off+hdrValidOff, 1)
+	t.arena.Persist(m.off+hdrValidOff, 8)
+}
+
+// search binary-searches the slot array.
+func (t *Tree) search(m *leafMeta, sl []uint8, key uint64) (int, bool) {
+	n := int(sl[0])
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.arena.Read8(t.entryOff(m, int(sl[1+mid]))) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	ok := lo < n && t.arena.Read8(t.entryOff(m, int(sl[1+lo]))) == key
+	return lo, ok
+}
+
+// allocLog returns a free log slot, preferring recycled ones.
+func (t *Tree) allocLog(m *leafMeta) (int, bool) {
+	if n := len(m.free); n > 0 {
+		e := m.free[n-1]
+		m.free = m.free[:n-1]
+		return int(e), true
+	}
+	if m.nlogs < t.capacity {
+		m.nlogs++
+		return m.nlogs - 1, true
+	}
+	return 0, false
+}
+
+func (t *Tree) modify(key, value uint64, mustExist, mayExist bool) error {
+	for {
+		m := t.leafFor(key)
+		var buf slotBuf
+		sl := t.readSlot(m, &buf)
+		pos, exists := t.search(m, sl, key)
+		if exists && !mayExist {
+			return tree.ErrKeyExists
+		}
+		if !exists && mustExist {
+			return tree.ErrKeyNotFound
+		}
+		if !exists && int(sl[0]) >= t.maxActive {
+			if err := t.split(m); err != nil {
+				return err
+			}
+			continue
+		}
+		e, ok := t.allocLog(m)
+		if !ok {
+			if err := t.split(m); err != nil {
+				return err
+			}
+			continue
+		}
+		off := t.entryOff(m, e)
+		t.arena.Write8(off, key)
+		t.arena.Write8(off+8, value)
+		t.arena.Persist(off, kvEntrySize) // persist the entry
+		if exists {
+			old := sl[1+pos]
+			sl[1+pos] = uint8(e)
+			t.writeSlot(m, sl)
+			m.free = append(m.free, old)
+		} else {
+			n := int(sl[0])
+			copy(sl[2+pos:2+n], sl[1+pos:1+n])
+			sl[1+pos] = uint8(e)
+			sl[0] = uint8(n + 1)
+			t.writeSlot(m, sl)
+		}
+		return nil
+	}
+}
+
+// Insert adds a key (conditional).
+func (t *Tree) Insert(key, value uint64) error { return t.modify(key, value, false, false) }
+
+// Update rewrites an existing key (conditional).
+func (t *Tree) Update(key, value uint64) error { return t.modify(key, value, true, true) }
+
+// Upsert writes the key unconditionally.
+func (t *Tree) Upsert(key, value uint64) error { return t.modify(key, value, false, true) }
+
+// Remove deletes a key by rewriting the slot array (no entry write).
+func (t *Tree) Remove(key uint64) error {
+	m := t.leafFor(key)
+	var buf slotBuf
+	sl := t.readSlot(m, &buf)
+	pos, exists := t.search(m, sl, key)
+	if !exists {
+		return tree.ErrKeyNotFound
+	}
+	old := sl[1+pos]
+	n := int(sl[0])
+	copy(sl[1+pos:1+n-1], sl[2+pos:1+n])
+	sl[0] = uint8(n - 1)
+	t.writeSlot(m, sl)
+	m.free = append(m.free, old)
+	return nil
+}
+
+// Find binary-searches the sorted slot array — the read-side payoff that
+// lets wB+Tree match RNTree's find throughput (§6.2.1).
+func (t *Tree) Find(key uint64) (uint64, bool) {
+	m := t.leafFor(key)
+	var buf slotBuf
+	sl := t.readSlot(m, &buf)
+	pos, ok := t.search(m, sl, key)
+	if !ok {
+		return 0, false
+	}
+	return t.arena.Read8(t.entryOff(m, int(sl[1+pos])) + 8), true
+}
+
+// Scan walks the sorted leaves via the slot arrays; no sorting needed.
+func (t *Tree) Scan(start uint64, max int, fn func(key, value uint64) bool) int {
+	count := 0
+	var buf slotBuf
+	for m := t.leafFor(start); m != nil; m = m.next {
+		sl := t.readSlot(m, &buf)
+		n := int(sl[0])
+		for i := 0; i < n; i++ {
+			off := t.entryOff(m, int(sl[1+i]))
+			k := t.arena.Read8(off)
+			if k < start {
+				continue
+			}
+			if max > 0 && count >= max {
+				return count
+			}
+			count++
+			if !fn(k, t.arena.Read8(off+8)) {
+				return count
+			}
+		}
+	}
+	return count
+}
+
+// split divides a full leaf. Crash consistency of baseline splits is out of
+// scope (the paper benchmarks recovery only for RNTree).
+func (t *Tree) split(m *leafMeta) error {
+	var buf slotBuf
+	sl := t.readSlot(m, &buf)
+	n := int(sl[0])
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		off := t.entryOff(m, int(sl[1+i]))
+		keys[i] = t.arena.Read8(off)
+		vals[i] = t.arena.Read8(off + 8)
+	}
+	if n < t.capacity/2 {
+		// Mostly recycled slots: compact in place.
+		t.writeLeaf(m.off, keys, vals, t.arena.Read8(m.off+hdrNextOff))
+		t.arena.Persist(m.off, t.lsize)
+		m.nlogs = n
+		m.free = m.free[:0]
+		return nil
+	}
+	half := n / 2
+	splitKey := keys[half]
+	newOff, err := t.arena.Alloc(t.lsize)
+	if err != nil {
+		return tree.ErrFull
+	}
+	t.writeLeaf(newOff, keys[half:], vals[half:], t.arena.Read8(m.off+hdrNextOff))
+	t.arena.Persist(newOff, t.lsize)
+	t.writeLeaf(m.off, keys[:half], vals[:half], newOff)
+	t.arena.Persist(m.off, t.lsize)
+
+	nm := &leafMeta{off: newOff, nlogs: n - half, next: m.next}
+	t.addMeta(nm)
+	m.nlogs = half
+	m.free = m.free[:0]
+	m.next = nm
+	t.ix.Insert(splitKey, nm.id)
+	return nil
+}
+
+// writeLeaf lays out a compacted leaf with an identity slot array.
+func (t *Tree) writeLeaf(off uint64, keys, vals []uint64, next uint64) {
+	t.arena.Zero(off, t.lsize)
+	t.arena.Write8(off+hdrNextOff, next)
+	sl := make([]uint8, t.capacity+1)
+	sl[0] = uint8(len(keys))
+	for i := range keys {
+		sl[1+i] = uint8(i)
+		eoff := off + t.kvOff + uint64(i)*kvEntrySize
+		t.arena.Write8(eoff, keys[i])
+		t.arena.Write8(eoff+8, vals[i])
+	}
+	if t.slotOnly {
+		var w uint64
+		for i := 0; i < 8 && i < len(sl); i++ {
+			w |= uint64(sl[i]) << (8 * i)
+		}
+		t.arena.Write8(off+hdrSlotOff, w)
+	} else {
+		var line [pmem.LineSize]byte
+		copy(line[:], sl)
+		t.arena.WriteLine(off+slotLineOff, &line)
+		t.arena.Write8(off+hdrValidOff, 1)
+	}
+}
+
+// Len counts records.
+func (t *Tree) Len() int {
+	n := 0
+	t.Scan(0, 0, func(_, _ uint64) bool { n++; return true })
+	return n
+}

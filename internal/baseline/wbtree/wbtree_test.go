@@ -1,0 +1,160 @@
+package wbtree
+
+import (
+	"testing"
+
+	"rntree/internal/pmem"
+	"rntree/internal/tree"
+	"rntree/internal/tree/treetest"
+)
+
+func newTest(t testing.TB, opts Options) *Tree {
+	t.Helper()
+	a := pmem.New(pmem.Config{Size: 64 << 20})
+	tr, err := New(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestConformanceFull(t *testing.T) {
+	treetest.RunConformance(t, "wbtree", func(t *testing.T) tree.Index {
+		return newTest(t, Options{})
+	})
+}
+
+func TestConformanceSlotOnly(t *testing.T) {
+	treetest.RunConformance(t, "wbtree-so", func(t *testing.T) tree.Index {
+		return newTest(t, Options{SlotOnly: true})
+	})
+}
+
+func TestPersistCountsFull(t *testing.T) {
+	// Table 1 / §3.2: wB+Tree needs 4 persistent instructions per
+	// insert/update (entry, valid=0, slot array, valid=1) and 3 per remove.
+	tr := newTest(t, Options{})
+	for i := uint64(0); i < 20; i++ {
+		if err := tr.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := tr.Arena()
+	a.ResetStats()
+	const k = 20
+	for i := uint64(100); i < 100+k; i++ {
+		if err := tr.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Stats().Persists; got != 4*k {
+		t.Fatalf("insert persists = %d, want %d", got, 4*k)
+	}
+	a.ResetStats()
+	for i := uint64(0); i < k; i++ {
+		if err := tr.Update(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Stats().Persists; got != 4*k {
+		t.Fatalf("update persists = %d, want %d", got, 4*k)
+	}
+	a.ResetStats()
+	for i := uint64(0); i < k; i++ {
+		if err := tr.Remove(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Stats().Persists; got != 3*k {
+		t.Fatalf("remove persists = %d, want %d", got, 3*k)
+	}
+}
+
+func TestPersistCountsSlotOnly(t *testing.T) {
+	// §6: the SO variant's slot array fits the atomic-write size, so two
+	// persistent instructions suffice (entry + slot word); removes need one.
+	tr := newTest(t, Options{SlotOnly: true})
+	if err := tr.Insert(1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	a := tr.Arena()
+	a.ResetStats()
+	const k = 3 // stay below the 7-entry capacity
+	for i := uint64(0); i < k; i++ {
+		if err := tr.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Stats().Persists; got != 2*k {
+		t.Fatalf("insert persists = %d, want %d", got, 2*k)
+	}
+	a.ResetStats()
+	for i := uint64(0); i < k; i++ {
+		if err := tr.Remove(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Stats().Persists; got != k {
+		t.Fatalf("remove persists = %d, want %d", got, k)
+	}
+}
+
+func TestSlotOnlyCapacity(t *testing.T) {
+	tr := newTest(t, Options{SlotOnly: true})
+	for i := uint64(0); i < 100; i++ {
+		if err := tr.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 100 keys / 7-entry leaves: many more leaves (and deeper trees) than
+	// the full variant — the §6.2 trade-off.
+	if tr.LeafCount() < 100/SOCapacity {
+		t.Fatalf("only %d leaves for 100 keys at capacity 7", tr.LeafCount())
+	}
+	for i := uint64(0); i < 100; i++ {
+		if v, ok := tr.Find(i); !ok || v != i {
+			t.Fatalf("Find(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestSlotReuseAfterRemove(t *testing.T) {
+	tr := newTest(t, Options{})
+	for i := uint64(0); i < 30; i++ {
+		if err := tr.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leaves := tr.LeafCount()
+	// Churn within one leaf: removes recycle log slots, so the leaf must
+	// not split.
+	for round := 0; round < 100; round++ {
+		if err := tr.Remove(5); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Insert(5, uint64(round)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.LeafCount() != leaves {
+		t.Fatalf("churn split leaves: %d -> %d", leaves, tr.LeafCount())
+	}
+	if v, _ := tr.Find(5); v != 99 {
+		t.Fatalf("Find(5) = %d", v)
+	}
+}
+
+func TestValidBitProtocolOrder(t *testing.T) {
+	// The valid bit must be 1 after every completed operation.
+	tr := newTest(t, Options{})
+	for i := uint64(0); i < 200; i++ {
+		if err := tr.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range tr.metas {
+			if tr.arena.Read8(m.off+hdrValidOff) != 1 {
+				t.Fatalf("leaf %#x left with valid=0", m.off)
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rntree/internal/pmem"
+	"rntree/internal/ycsb"
+)
+
+// quickCfg keeps harness smoke tests fast: tiny scale, short windows, and a
+// cheap latency model.
+func quickCfg() Config {
+	return Config{
+		Scale:    4000,
+		Duration: 20 * time.Millisecond,
+		Threads:  []int{1, 2},
+		Latency:  pmem.LatencyModel{FlushPerLine: 50 * time.Nanosecond, Fence: 20 * time.Nanosecond},
+		Seed:     1,
+	}
+}
+
+func TestNewTreeAllKinds(t *testing.T) {
+	for _, k := range AllKinds {
+		ix, a, err := NewTree(k, quickCfg(), 1000)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if a == nil {
+			t.Fatalf("%s: nil arena", k)
+		}
+		if err := Warm(ix, k, 1000); err != nil {
+			t.Fatalf("%s warm: %v", k, err)
+		}
+		for i := uint64(0); i < 1000; i++ {
+			if v, ok := ix.Find(ycsb.KeyAt(i)); !ok || v != i {
+				t.Fatalf("%s: warm key %d = (%d,%v)", k, i, v, ok)
+			}
+		}
+	}
+}
+
+func TestRunThroughputCounts(t *testing.T) {
+	c := quickCfg()
+	ix, _, err := NewTree(KindRNTreeDS, c, c.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Warm(ix, KindRNTreeDS, c.Scale); err != nil {
+		t.Fatal(err)
+	}
+	m := runThroughput(ix, ycsb.Workload{Mix: ycsb.A, Chooser: ycsb.Uniform{N: c.Scale}}, 2, c.Duration, 1, c.Scale)
+	if m <= 0 {
+		t.Fatalf("throughput %f", m)
+	}
+}
+
+func TestResultFormatting(t *testing.T) {
+	r := Result{
+		ID:     "x",
+		Title:  "t",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"n"},
+	}
+	s := r.String()
+	for _, want := range []string{"== x: t ==", "a", "bb", "333", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("formatted result missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	for _, id := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} {
+		if Registry[id] == nil {
+			t.Fatalf("experiment %s missing from registry", id)
+		}
+	}
+}
+
+// Smoke-run each experiment at tiny scale so regressions in the harness are
+// caught by go test (the real runs go through cmd/rnbench).
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	c := quickCfg()
+	for _, id := range ExperimentIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			results := Registry[id](c)
+			if len(results) == 0 {
+				t.Fatal("no results")
+			}
+			for _, r := range results {
+				if len(r.Rows) == 0 || len(r.Header) == 0 {
+					t.Fatalf("%s: empty result", r.ID)
+				}
+				for _, row := range r.Rows {
+					if len(row) != len(r.Header) {
+						t.Fatalf("%s: row width %d != header %d", r.ID, len(row), len(r.Header))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestResultCSV(t *testing.T) {
+	r := Result{ID: "x", Title: "t", Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}
+	csv := r.CSV()
+	for _, want := range []string{"# x: t", "a,b", "1,2"} {
+		if !strings.Contains(csv, want) {
+			t.Fatalf("csv missing %q:\n%s", want, csv)
+		}
+	}
+}

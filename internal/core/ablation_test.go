@@ -1,0 +1,133 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"rntree/internal/htm"
+	"rntree/internal/tree"
+)
+
+// The ablation knobs change performance shape, never semantics: both must
+// pass the same correctness checks as the default configuration.
+
+func TestFlushInCSVariantCorrect(t *testing.T) {
+	tr := newTree(t, Options{FlushInCS: true}, 32)
+	model := map[uint64]uint64{}
+	for i := uint64(0); i < 5000; i++ {
+		k := i * 3 % 997
+		if _, ok := model[k]; ok {
+			if err := tr.Update(k, i); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := tr.Insert(k, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		model[k] = i
+	}
+	for k, v := range model {
+		if got, ok := tr.Find(k); !ok || got != v {
+			t.Fatalf("Find(%d) = (%d,%v) want %d", k, got, ok, v)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Persist count per op is unchanged — only placement moves.
+	a := tr.Arena()
+	a.ResetStats()
+	if err := tr.Insert(1_000_000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Stats().Persists; got != 2 {
+		t.Fatalf("FlushInCS insert persists = %d, want 2", got)
+	}
+}
+
+func TestFlushInCSCrashConsistent(t *testing.T) {
+	for trial := int64(700); trial < 712; trial++ {
+		crashFuzz(t, Options{FlushInCS: true}, trial, 0.4)
+	}
+}
+
+func TestForceFallbackVariantCorrect(t *testing.T) {
+	tr := newTree(t, Options{DualSlot: true, HTM: htm.Config{ForceFallback: true}}, 32)
+	const workers = 4
+	const per = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * 1_000_000
+			for i := uint64(0); i < per; i++ {
+				if err := tr.Insert(base+i, i); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Len(); got != workers*per {
+		t.Fatalf("Len = %d", got)
+	}
+	s := tr.HTMStats()
+	if s.Fallbacks == 0 {
+		t.Fatal("ForceFallback never used the fallback path")
+	}
+}
+
+func TestForceFallbackCrashConsistent(t *testing.T) {
+	for trial := int64(800); trial < 810; trial++ {
+		crashFuzz(t, Options{HTM: htm.Config{ForceFallback: true}}, trial, 0.4)
+	}
+}
+
+func TestAblationVariantsAgreeWithDefault(t *testing.T) {
+	// Same op sequence on four configurations must end in identical state.
+	configs := []Options{
+		{},
+		{DualSlot: true},
+		{FlushInCS: true},
+		{HTM: htm.Config{ForceFallback: true}},
+	}
+	var contents []map[uint64]uint64
+	for _, opts := range configs {
+		tr := newTree(t, opts, 32)
+		for i := uint64(0); i < 4000; i++ {
+			k := (i * 2654435761) % 1500
+			switch i % 4 {
+			case 0, 1:
+				_ = tr.Upsert(k, i)
+			case 2:
+				_ = tr.Remove(k)
+			case 3:
+				_ = tr.Update(k, i+1)
+			}
+		}
+		m := map[uint64]uint64{}
+		tr.Scan(0, 0, func(k, v uint64) bool { m[k] = v; return true })
+		contents = append(contents, m)
+	}
+	for i := 1; i < len(contents); i++ {
+		if len(contents[i]) != len(contents[0]) {
+			t.Fatalf("config %d: %d keys vs %d", i, len(contents[i]), len(contents[0]))
+		}
+		for k, v := range contents[0] {
+			if contents[i][k] != v {
+				t.Fatalf("config %d: key %d = %d, want %d", i, k, contents[i][k], v)
+			}
+		}
+	}
+}
+
+var _ tree.Index = (*Tree)(nil)

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rntree/internal/tree"
+)
+
+func TestConcurrentDisjointInserts(t *testing.T) {
+	bothVariants(t, func(t *testing.T, opts Options) {
+		tr := newTree(t, opts, 64)
+		const workers = 8
+		const per = 4000
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				base := uint64(w) * 1_000_000
+				for i := uint64(0); i < per; i++ {
+					if err := tr.Insert(base+i, base+i*2); err != nil {
+						t.Errorf("worker %d insert %d: %v", w, i, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < workers; w++ {
+			base := uint64(w) * 1_000_000
+			for i := uint64(0); i < per; i++ {
+				if v, ok := tr.Find(base + i); !ok || v != base+i*2 {
+					t.Fatalf("worker %d key %d: (%d,%v)", w, i, v, ok)
+				}
+			}
+		}
+		if got := tr.Len(); got != workers*per {
+			t.Fatalf("Len = %d, want %d", got, workers*per)
+		}
+	})
+}
+
+func TestConcurrentInterleavedInserts(t *testing.T) {
+	// Workers insert interleaved keys (stride = workers) so they constantly
+	// collide on the same leaves.
+	bothVariants(t, func(t *testing.T, opts Options) {
+		tr := newTree(t, opts, 64)
+		const workers = 8
+		const per = 3000
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := uint64(0); i < per; i++ {
+					key := i*workers + uint64(w)
+					if err := tr.Insert(key, key+1); err != nil {
+						t.Errorf("insert %d: %v", key, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		prev := uint64(0)
+		tr.Scan(0, 0, func(k, v uint64) bool {
+			if n > 0 && k != prev+1 {
+				t.Fatalf("gap in scan: %d after %d", k, prev)
+			}
+			if v != k+1 {
+				t.Fatalf("key %d has value %d", k, v)
+			}
+			prev = k
+			n++
+			return true
+		})
+		if n != workers*per {
+			t.Fatalf("scan found %d, want %d", n, workers*per)
+		}
+	})
+}
+
+func TestConcurrentUniqueInsertWins(t *testing.T) {
+	// All workers race to insert the same keys; exactly one Insert per key
+	// may succeed (linearizable conditional write).
+	bothVariants(t, func(t *testing.T, opts Options) {
+		tr := newTree(t, opts, 16)
+		const workers = 8
+		const keys = 2000
+		var succ [keys]atomic.Int32
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for k := 0; k < keys; k++ {
+					err := tr.Insert(uint64(k), uint64(w))
+					switch err {
+					case nil:
+						succ[k].Add(1)
+					case tree.ErrKeyExists:
+					default:
+						t.Errorf("insert %d: %v", k, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		for k := 0; k < keys; k++ {
+			if n := succ[k].Load(); n != 1 {
+				t.Fatalf("key %d inserted successfully %d times", k, n)
+			}
+			if _, ok := tr.Find(uint64(k)); !ok {
+				t.Fatalf("key %d missing", k)
+			}
+		}
+	})
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	// Writers continuously update a key set with values from a known
+	// domain; readers must only ever observe values from that domain and
+	// present keys.
+	bothVariants(t, func(t *testing.T, opts Options) {
+		tr := newTree(t, opts, 64)
+		const keys = 512
+		for k := uint64(0); k < keys; k++ {
+			if err := tr.Insert(k, k<<32); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stop := make(chan struct{})
+		var writers, wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			writers.Add(1)
+			go func(seed int64) {
+				defer writers.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := uint64(1); ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					k := rng.Uint64() % keys
+					if err := tr.Update(k, k<<32|i); err != nil {
+						t.Errorf("update %d: %v", k, err)
+						return
+					}
+				}
+			}(int64(w))
+		}
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 20_000; i++ {
+					k := rng.Uint64() % keys
+					v, ok := tr.Find(k)
+					if !ok {
+						t.Errorf("key %d disappeared", k)
+						return
+					}
+					if v>>32 != k {
+						t.Errorf("key %d read torn value %#x", k, v)
+						return
+					}
+				}
+			}(int64(100 + r))
+		}
+		// Scanners in parallel as well.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				prev := -1
+				tr.Scan(0, 0, func(k, v uint64) bool {
+					if int(k) <= prev {
+						t.Errorf("scan out of order: %d after %d", k, prev)
+						return false
+					}
+					if v>>32 != k {
+						t.Errorf("scan: key %d torn value %#x", k, v)
+						return false
+					}
+					prev = int(k)
+					return true
+				})
+			}
+		}()
+		wg.Wait()
+		close(stop)
+		writers.Wait()
+		if t.Failed() {
+			return
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestConcurrentMixedOpsNoCorruption(t *testing.T) {
+	bothVariants(t, func(t *testing.T, opts Options) {
+		tr := newTree(t, opts, 64)
+		const workers = 6
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for i := 0; i < 5000; i++ {
+					k := rng.Uint64() % 4000
+					switch rng.Intn(4) {
+					case 0:
+						_ = tr.Insert(k, k*10)
+					case 1:
+						_ = tr.Update(k, k*10+1)
+					case 2:
+						_ = tr.Remove(k)
+					case 3:
+						if v, ok := tr.Find(k); ok && v/10 != k {
+							t.Errorf("key %d has foreign value %d", k, v)
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		// Every surviving value must belong to its key.
+		tr.Scan(0, 0, func(k, v uint64) bool {
+			if v/10 != k {
+				t.Fatalf("key %d has foreign value %d", k, v)
+			}
+			return true
+		})
+	})
+}
+
+func TestConcurrentMonotonicReads(t *testing.T) {
+	// A single writer bumps one key's value monotonically; each reader's
+	// observed sequence must be non-decreasing (no time travel). This is the
+	// linearizability argument of §5.3.2 in executable form.
+	bothVariants(t, func(t *testing.T, opts Options) {
+		tr := newTree(t, opts, 16)
+		// Surround the hot key so its leaf also sees inserts/splits.
+		for k := uint64(0); k < 200; k++ {
+			if err := tr.Insert(k*2, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		const hot = uint64(199)
+		if err := tr.Insert(hot, 0); err != nil {
+			t.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(1); i <= 30_000; i++ {
+				if err := tr.Update(hot, i); err != nil {
+					t.Errorf("update: %v", err)
+					return
+				}
+			}
+			close(stop)
+		}()
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				last := uint64(0)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					v, ok := tr.Find(hot)
+					if !ok {
+						t.Error("hot key vanished")
+						return
+					}
+					if v < last {
+						t.Errorf("non-monotonic read: %d after %d", v, last)
+						return
+					}
+					last = v
+				}
+			}()
+		}
+		wg.Wait()
+	})
+}

@@ -1,0 +1,17 @@
+package core
+
+import (
+	"testing"
+
+	"rntree/internal/tree"
+	"rntree/internal/tree/treetest"
+)
+
+func TestConformance(t *testing.T) {
+	treetest.RunConformance(t, "rntree", func(t *testing.T) tree.Index {
+		return newTree(t, Options{}, 64)
+	})
+	treetest.RunConformance(t, "rntree+ds", func(t *testing.T) tree.Index {
+		return newTree(t, Options{DualSlot: true}, 64)
+	})
+}

@@ -1,0 +1,65 @@
+package core
+
+import "rntree/internal/tree"
+
+// iteratorBatch bounds how many records an Iterator pulls per refill; one
+// leaf's worth keeps the snapshot window short.
+const iteratorBatch = DefaultLeafCapacity
+
+// Iterator walks the tree in ascending key order. It is a convenience
+// wrapper over Scan that pulls records in small validated batches, so it
+// observes each leaf atomically but tolerates concurrent writers between
+// batches (the same semantics a sequence of range queries would have).
+// An Iterator must only be used by one goroutine.
+type Iterator struct {
+	t      *Tree
+	resume uint64
+	buf    []tree.KV
+	pos    int
+	done   bool
+}
+
+// NewIterator positions an iterator at the first key >= start.
+func (t *Tree) NewIterator(start uint64) *Iterator {
+	return &Iterator{t: t, resume: start, buf: make([]tree.KV, 0, iteratorBatch)}
+}
+
+// Next returns the next record in key order and false when exhausted.
+func (it *Iterator) Next() (tree.KV, bool) {
+	if it.pos >= len(it.buf) {
+		if it.done || !it.refill() {
+			return tree.KV{}, false
+		}
+	}
+	kv := it.buf[it.pos]
+	it.pos++
+	return kv, true
+}
+
+func (it *Iterator) refill() bool {
+	it.buf = it.buf[:0]
+	it.pos = 0
+	it.t.Scan(it.resume, iteratorBatch, func(k, v uint64) bool {
+		it.buf = append(it.buf, tree.KV{Key: k, Value: v})
+		return true
+	})
+	if len(it.buf) == 0 {
+		it.done = true
+		return false
+	}
+	last := it.buf[len(it.buf)-1].Key
+	if last == noHighKey {
+		it.done = true
+	} else {
+		it.resume = last + 1
+	}
+	return true
+}
+
+// Seek repositions the iterator at the first key >= key.
+func (it *Iterator) Seek(key uint64) {
+	it.resume = key
+	it.buf = it.buf[:0]
+	it.pos = 0
+	it.done = false
+}

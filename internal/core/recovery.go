@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"rntree/internal/htm"
+	"rntree/internal/inner"
+	"rntree/internal/pmem"
+	"rntree/internal/tree"
+)
+
+// Close performs a clean shutdown: it persists the transient per-leaf
+// bookkeeping (nlogs, plogs, min key) into the leaf headers along with the
+// transient slot arrays, and arms the clean-shutdown flag. A tree closed
+// this way can be reopened with the cheap Reconstruct path; a tree that
+// crashed needs CrashRecover (§5.4 and Figure 7 distinguish the two).
+// The tree must be quiescent (no concurrent operations).
+func (t *Tree) Close() {
+	for m := t.head; m != nil; m = m.next.Load() {
+		var line [pmem.LineSize]byte
+		t.arena.ReadLine(m.off+pslotOff, &line)
+		s := decodeSlot(&line, t.capacity)
+		minKey := uint64(0)
+		if s.n > 0 {
+			minKey = t.arena.Read8(kvEntryOff(m.off, int(s.idx[0])))
+		}
+		t.arena.Write8(m.off+hdrNlogsOff, uint64(m.nlogs.Load()))
+		t.arena.Write8(m.off+hdrPlogsOff, uint64(m.plogs))
+		t.arena.Write8(m.off+hdrMinOff, minKey)
+		t.arena.Persist(m.off, pmem.LineSize)
+		// The transient slot array is normally never flushed; make it valid
+		// for the fast reopen path.
+		t.arena.WriteLine(m.off+tslotOff, &line)
+		t.arena.Persist(m.off+tslotOff, pmem.LineSize)
+	}
+	t.arena.Write8(rootCleanOff, 1)
+	t.arena.Persist(rootCleanOff, 8)
+}
+
+// WasCleanShutdown reports whether the arena holds a cleanly closed tree.
+func WasCleanShutdown(a *pmem.Arena) bool {
+	return a.Read8(rootMagicOff) == rootMagic && a.Read8(rootCleanOff) != 0
+}
+
+// Open reopens a tree from an arena, choosing Reconstruct after a clean
+// shutdown and CrashRecover otherwise.
+func Open(a *pmem.Arena, opts Options) (*Tree, error) {
+	if WasCleanShutdown(a) {
+		return Reconstruct(a, opts)
+	}
+	return CrashRecover(a, opts)
+}
+
+// Reconstruct is the fast reopen path after a clean shutdown: it walks the
+// persistent leaf chain, trusts the per-leaf bookkeeping persisted by Close,
+// and rebuilds the volatile internal nodes (§5.4 "reconstruction").
+func Reconstruct(a *pmem.Arena, opts Options) (*Tree, error) {
+	t, err := openCommon(a, opts)
+	if err != nil {
+		return nil, err
+	}
+	if a.Read8(rootCleanOff) == 0 {
+		return nil, fmt.Errorf("core: arena was not cleanly closed; use CrashRecover")
+	}
+	t.useHeaderMin = true // Close persisted each leaf's min key for us
+	maxOff := t.walkChain(func(m *leafMeta, s *slotArray) {
+		m.nlogs.Store(uint32(a.Read8(m.off + hdrNlogsOff)))
+		m.plogs = uint32(a.Read8(m.off + hdrPlogsOff))
+	})
+	t.finishOpen(maxOff)
+	// Disarm the clean flag: from now on only a new Close certifies the
+	// arena clean again.
+	a.Write8(rootCleanOff, 0)
+	a.Persist(rootCleanOff, 8)
+	return t, nil
+}
+
+// CrashRecover reopens a tree after a crash: it replays the undo-log chain
+// to roll back interrupted splits, then walks the leaf chain recomputing the
+// transient bookkeeping from the persistent slot arrays and logs — the
+// paper's "crash recovery", measurably slower than reconstruction
+// (Figure 7).
+func CrashRecover(a *pmem.Arena, opts Options) (*Tree, error) {
+	t, err := openCommon(a, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Roll back interrupted splits.
+	for uoff := a.Read8(rootUndoOff); uoff != pmem.NullOff; uoff = a.Read8(uoff + undoNextOff) {
+		leafOff := a.Read8(uoff + undoStatusOff)
+		if leafOff != 0 {
+			img := make([]byte, t.lsize)
+			a.ReadRange(uoff+undoImageOff, t.lsize, img)
+			a.WriteRange(leafOff, img)
+			a.Persist(leafOff, t.lsize)
+			a.Write8(uoff+undoStatusOff, 0)
+			a.Persist(uoff+undoStatusOff, 8)
+		}
+	}
+	maxOff := t.walkChain(func(m *leafMeta, s *slotArray) {
+		// Recompute nlogs: "scan the slot array to find the max index of
+		// log entries" (§6.2.6). Orphaned allocations past the last
+		// referenced slot are discarded.
+		nlogs := uint32(0)
+		for i := 0; i < s.n; i++ {
+			if uint32(s.idx[i])+1 > nlogs {
+				nlogs = uint32(s.idx[i]) + 1
+			}
+		}
+		m.nlogs.Store(nlogs)
+		m.plogs = nlogs
+		// Rebuild the transient slot array from the persistent one.
+		var line [pmem.LineSize]byte
+		a.ReadLine(m.off+pslotOff, &line)
+		a.WriteLine(m.off+tslotOff, &line)
+	})
+	t.finishOpen(maxOff)
+	return t, nil
+}
+
+// openCommon validates the root line and prepares an empty in-memory shell.
+func openCommon(a *pmem.Arena, opts Options) (*Tree, error) {
+	if a.Read8(rootMagicOff) != rootMagic {
+		return nil, fmt.Errorf("core: arena does not contain an RNTree (bad magic)")
+	}
+	opts.LeafCapacity = int(a.Read8(rootCapOff))
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		arena:    a,
+		region:   htm.NewRegion(a, opts.HTM),
+		metas:    newMetaTable(),
+		capacity: opts.LeafCapacity,
+		lsize:    leafSize(opts.LeafCapacity),
+		dual:     opts.DualSlot,
+	}
+	t.undo = newUndoPool(t.lsize)
+	return t, nil
+}
+
+// walkChain scans the persistent leaf chain, creating leafMetas, wiring the
+// DRAM next pointers and key bounds, and collecting the index pairs. The
+// per-leaf callback fills in tree-state-specific bookkeeping. It returns the
+// highest arena offset referenced (for the allocator high-water mark).
+func (t *Tree) walkChain(fill func(m *leafMeta, s *slotArray)) uint64 {
+	a := t.arena
+	headOff := a.Read8(rootHeadOff)
+	maxOff := headOff + t.lsize
+	var pairs []inner.Pair
+	var prev *leafMeta
+	var prevIndexed *leafMeta
+	for off := headOff; off != pmem.NullOff; off = a.Read8(off + hdrNextOff) {
+		m := newLeafMeta(off, 0)
+		t.metas.add(m)
+		if t.head == nil {
+			t.head = m
+		}
+		if prev != nil {
+			prev.next.Store(m)
+		}
+		var line [pmem.LineSize]byte
+		a.ReadLine(off+pslotOff, &line)
+		s := decodeSlot(&line, t.capacity)
+		fill(m, &s)
+		if s.n > 0 {
+			// Reconstruction trusts the min key Close persisted in the
+			// header (§5.4: "retrieves the greatest key in each leaf");
+			// crash recovery re-derives it from the slot array and logs.
+			var minKey uint64
+			if t.useHeaderMin {
+				minKey = a.Read8(off + hdrMinOff)
+			} else {
+				minKey = a.Read8(kvEntryOff(off, int(s.idx[0])))
+			}
+			pairs = append(pairs, inner.Pair{Sep: minKey, Leaf: m.id})
+			// The previous indexed leaf's range ends where this one begins.
+			if prevIndexed != nil {
+				prevIndexed.high.Store(minKey)
+			}
+			// Empty leaves between prevIndexed and m are unreachable from
+			// the index; bound them identically so scans stay consistent.
+			for e := prevIndexed; e != nil && e != m; e = e.next.Load() {
+				if e != prevIndexed {
+					e.high.Store(minKey)
+				}
+			}
+			prevIndexed = m
+		}
+		if off+t.lsize > maxOff {
+			maxOff = off + t.lsize
+		}
+		prev = m
+	}
+	if len(pairs) == 0 {
+		// Fully empty tree: index the head leaf.
+		pairs = append(pairs, inner.Pair{Sep: 0, Leaf: t.head.id})
+	}
+	t.ix = inner.NewFromSorted(pairs)
+	return maxOff
+}
+
+// finishOpen rebuilds the allocator state: the high-water mark covers every
+// leaf and undo slot, and idle undo slots return to the pool.
+func (t *Tree) finishOpen(maxOff uint64) {
+	a := t.arena
+	for uoff := a.Read8(rootUndoOff); uoff != pmem.NullOff; uoff = a.Read8(uoff + undoNextOff) {
+		if uoff+t.undo.slotSize > maxOff {
+			maxOff = uoff + t.undo.slotSize
+		}
+		t.undo.free = append(t.undo.free, uoff)
+	}
+	a.SetBump(maxOff)
+}
+
+var _ tree.Index = (*Tree)(nil)

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rntree/internal/pmem"
+)
+
+func TestCleanShutdownReconstruct(t *testing.T) {
+	bothVariants(t, func(t *testing.T, opts Options) {
+		a := pmem.New(pmem.Config{Size: 32 << 20})
+		tr, err := New(a, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[uint64]uint64{}
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 8000; i++ {
+			k := rng.Uint64() % 100_000
+			if _, ok := want[k]; ok {
+				continue
+			}
+			want[k] = k + 1
+			if err := tr.Insert(k, k+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr.Close()
+		if !WasCleanShutdown(a) {
+			t.Fatal("clean flag not set")
+		}
+		// Reboot: only the NVM image survives.
+		a2 := pmem.Recover(a.CrashImage(nil, 0), pmem.Config{})
+		tr2, err := Reconstruct(a2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr2.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if got := tr2.Len(); got != len(want) {
+			t.Fatalf("recovered %d records, want %d", got, len(want))
+		}
+		for k, v := range want {
+			if got, ok := tr2.Find(k); !ok || got != v {
+				t.Fatalf("recovered Find(%d) = (%d,%v), want %d", k, got, ok, v)
+			}
+		}
+		// The clean flag must be disarmed after reopening.
+		if WasCleanShutdown(a2) {
+			t.Fatal("clean flag survived reopen")
+		}
+		// The reopened tree must be fully writable (allocator rebuilt).
+		for i := uint64(0); i < 3000; i++ {
+			if err := tr2.Upsert(200_000+i, i); err != nil {
+				t.Fatalf("post-recovery insert: %v", err)
+			}
+		}
+		if err := tr2.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestReconstructRefusesDirtyArena(t *testing.T) {
+	a := pmem.New(pmem.Config{Size: 16 << 20})
+	tr, err := New(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tr.Insert(1, 1)
+	// No Close: simulate crash.
+	a2 := pmem.Recover(a.CrashImage(nil, 0), pmem.Config{})
+	if _, err := Reconstruct(a2, Options{}); err == nil {
+		t.Fatal("Reconstruct accepted a crashed arena")
+	}
+}
+
+func TestOpenDispatches(t *testing.T) {
+	a := pmem.New(pmem.Config{Size: 16 << 20})
+	tr, _ := New(a, Options{})
+	for i := uint64(0); i < 100; i++ {
+		_ = tr.Insert(i, i)
+	}
+	tr.Close()
+	a2 := pmem.Recover(a.CrashImage(nil, 0), pmem.Config{})
+	tr2, err := Open(a2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != 100 {
+		t.Fatalf("Len = %d", tr2.Len())
+	}
+	// Crash this one (no Close) and reopen via Open -> CrashRecover.
+	for i := uint64(100); i < 200; i++ {
+		_ = tr2.Insert(i, i)
+	}
+	a3 := pmem.Recover(a2.CrashImage(nil, 0), pmem.Config{})
+	tr3, err := Open(a3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr3.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr3.Len() != 200 {
+		t.Fatalf("after crash recovery Len = %d, want 200", tr3.Len())
+	}
+}
+
+func TestCrashRecoverAfterQuiescentCrash(t *testing.T) {
+	bothVariants(t, func(t *testing.T, opts Options) {
+		a := pmem.New(pmem.Config{Size: 32 << 20})
+		tr, err := New(a, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[uint64]uint64{}
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 6000; i++ {
+			k := rng.Uint64() % 50_000
+			v := rng.Uint64()
+			switch rng.Intn(3) {
+			case 0, 1:
+				if err := tr.Upsert(k, v); err != nil {
+					t.Fatal(err)
+				}
+				want[k] = v
+			case 2:
+				if _, ok := want[k]; ok {
+					if err := tr.Remove(k); err != nil {
+						t.Fatal(err)
+					}
+					delete(want, k)
+				}
+			}
+		}
+		// Crash without Close, between operations: every completed op is
+		// durable (its commit point persisted), so recovery must yield
+		// exactly the model.
+		a2 := pmem.Recover(a.CrashImage(nil, 0), pmem.Config{})
+		tr2, err := CrashRecover(a2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr2.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if got := tr2.Len(); got != len(want) {
+			t.Fatalf("recovered %d records, want %d", got, len(want))
+		}
+		for k, v := range want {
+			if got, ok := tr2.Find(k); !ok || got != v {
+				t.Fatalf("Find(%d) = (%d,%v), want %d", k, got, ok, v)
+			}
+		}
+		// Writable after crash recovery.
+		for i := uint64(0); i < 2000; i++ {
+			if err := tr2.Upsert(1_000_000+i, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tr2.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestRecoverEmptyTree(t *testing.T) {
+	a := pmem.New(pmem.Config{Size: 4 << 20})
+	tr, _ := New(a, Options{})
+	tr.Close()
+	a2 := pmem.Recover(a.CrashImage(nil, 0), pmem.Config{})
+	tr2, err := Open(a2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != 0 {
+		t.Fatal("empty tree recovered non-empty")
+	}
+	if err := tr2.Insert(1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverRejectsForeignArena(t *testing.T) {
+	a := pmem.New(pmem.Config{Size: 1 << 20})
+	if _, err := Open(a, Options{}); err == nil {
+		t.Fatal("opened an unformatted arena")
+	}
+}
+
+func TestRecoveryPreservesLeafCapacity(t *testing.T) {
+	a := pmem.New(pmem.Config{Size: 16 << 20})
+	tr, err := New(a, Options{LeafCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 500; i++ {
+		_ = tr.Insert(i, i)
+	}
+	tr.Close()
+	a2 := pmem.Recover(a.CrashImage(nil, 0), pmem.Config{})
+	// Pass a different capacity: the persisted one must win.
+	tr2, err := Open(a2, Options{LeafCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.capacity != 16 {
+		t.Fatalf("capacity = %d, want persisted 16", tr2.capacity)
+	}
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

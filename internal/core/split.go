@@ -1,0 +1,239 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"rntree/internal/pmem"
+	"rntree/internal/sync2"
+	"rntree/internal/tree"
+)
+
+// Undo-slot layout (the paper's "pre-defined thread-local storage" for
+// whole-leaf undo logs during splits, Algorithm 3):
+//
+//	word 0: status — the offset of the leaf being split, or 0 when idle
+//	word 1: next undo slot in the persistent chain (rooted at rootUndoOff)
+//	+64   : the leaf image
+//
+// Crash recovery walks the chain and restores any leaf whose slot is still
+// armed, undoing a partial split. Undoing a *completed* split is also safe:
+// the restored pre-split image contains every entry, and the new right-hand
+// leaf simply becomes unreferenced garbage.
+const (
+	undoStatusOff = 0
+	undoNextOff   = 8
+	undoImageOff  = pmem.LineSize
+)
+
+// undoPool hands out undo slots to concurrent splitters, growing the
+// persistent chain on demand and recycling released slots in DRAM.
+type undoPool struct {
+	mu       sync2.SpinLock
+	free     []uint64
+	slotSize uint64
+}
+
+func newUndoPool(leafSz uint64) *undoPool {
+	return &undoPool{slotSize: undoImageOff + leafSz}
+}
+
+// acquire returns an idle undo slot, allocating and chaining a new one if
+// necessary.
+func (p *undoPool) acquire(a *pmem.Arena) (uint64, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		off := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return off, nil
+	}
+	off, err := a.Alloc(p.slotSize)
+	if err != nil {
+		p.mu.Unlock()
+		return 0, tree.ErrFull
+	}
+	// Link into the persistent chain: slot.next first, then the root head —
+	// each persisted before the next write depends on it.
+	a.Write8(off+undoStatusOff, 0)
+	a.Write8(off+undoNextOff, a.Read8(rootUndoOff))
+	a.Persist(off, pmem.LineSize)
+	a.Write8(rootUndoOff, off)
+	a.Persist(rootUndoOff, 8)
+	p.mu.Unlock()
+	return off, nil
+}
+
+// release disarms and recycles a slot.
+func (p *undoPool) release(a *pmem.Arena, off uint64) {
+	a.Write8(off+undoStatusOff, 0)
+	a.Persist(off+undoStatusOff, 8)
+	p.mu.Lock()
+	p.free = append(p.free, off)
+	p.mu.Unlock()
+}
+
+// forceSplit handles the corner where the log area is exhausted by orphaned
+// allocations before plogs reaches the split threshold: it splits (or
+// compacts) the leaf so the retrying operation can make progress.
+func (t *Tree) forceSplit(m *leafMeta) error {
+	m.vl.Lock()
+	defer m.vl.Unlock()
+	if int(m.nlogs.Load()) >= t.capacity {
+		return t.splitLocked(m)
+	}
+	return nil
+}
+
+// splitLocked implements Algorithm 3 plus the special-purpose split of
+// §5.2.3. The caller holds the leaf lock. If at least half the capacity is
+// active, the leaf splits in two; otherwise it is compacted in place,
+// reclaiming the log entries orphaned by updates and removes.
+func (t *Tree) splitLocked(m *leafMeta) error {
+	m.vl.SetSplit()
+	// Wait for in-flight unlocked writers: their log bytes must land before
+	// we rewrite the log area. They unpin without taking locks, so this
+	// cannot deadlock.
+	for i := 0; m.pins.Load() != 0; i++ {
+		runtime.Gosched()
+	}
+	var line [pmem.LineSize]byte
+	t.arena.ReadLine(m.off+pslotOff, &line)
+	s := decodeSlot(&line, t.capacity)
+
+	// Gather the active records in key order before rewriting anything.
+	sb := splitBufs.Get().(*splitScratch)
+	defer splitBufs.Put(sb)
+	keys := sb.keys[:s.n]
+	vals := sb.vals[:s.n]
+	for i := 0; i < s.n; i++ {
+		off := kvEntryOff(m.off, int(s.idx[i]))
+		keys[i] = t.arena.Read8(off)
+		vals[i] = t.arena.Read8(off + 8)
+	}
+
+	// Whole-leaf undo log (Algorithm 3 line 2): image first, then the
+	// status word that arms it.
+	uoff, err := t.undo.acquire(t.arena)
+	if err != nil {
+		m.vl.UnsetSplit()
+		return err
+	}
+	img := sb.image(t.lsize)
+	t.arena.ReadRange(m.off, t.lsize, img)
+	t.arena.WriteRange(uoff+undoImageOff, img)
+	t.arena.Persist(uoff+undoImageOff, t.lsize)
+	t.arena.Write8(uoff+undoStatusOff, m.off)
+	t.arena.Persist(uoff+undoStatusOff, 8)
+	if s.n >= t.capacity/2 {
+		err = t.splitInTwo(m, keys, vals)
+	} else {
+		t.compactInPlace(m, keys, vals)
+	}
+	t.undo.release(t.arena, uoff)
+	m.vl.UnsetSplit() // version++ : readers and waiting writers revalidate
+	return err
+}
+
+// splitInTwo keeps the lower half in the (rewritten) old leaf and moves the
+// upper half into a freshly allocated right-hand leaf, linked after it.
+func (t *Tree) splitInTwo(m *leafMeta, keys, vals []uint64) error {
+	n := len(keys)
+	half := n / 2
+	splitKey := keys[half]
+
+	newOff, err := t.arena.Alloc(t.lsize)
+	if err != nil {
+		return tree.ErrFull
+	}
+	// Right leaf: entries half..n-1 compacted to logs 0..n-half-1.
+	oldNext := t.arena.Read8(m.off + hdrNextOff)
+	t.writeLeafImage(newOff, keys[half:], vals[half:], oldNext)
+	t.arena.Persist(newOff, t.lsize)
+	// Old leaf rewritten in place: lower half compacted, chained to the new
+	// leaf. Safe: pins are drained and the pre-split image is undo-logged.
+	t.writeLeafImage(m.off, keys[:half], vals[:half], newOff)
+	t.arena.Persist(m.off, t.lsize)
+
+	nm := newLeafMeta(newOff, 0)
+	nm.nlogs.Store(uint32(n - half))
+	nm.plogs = uint32(n - half)
+	nm.high.Store(m.high.Load())
+	nm.next.Store(m.next.Load())
+	newID := t.metas.add(nm)
+
+	m.nlogs.Store(uint32(half))
+	m.plogs = uint32(half)
+	m.high.Store(splitKey)
+	m.next.Store(nm)
+
+	// htmTreeUpdate (Table 2): register the new leaf under its separator.
+	// Done before UnsetSplit so retrying operations find the updated index.
+	t.ix.Insert(splitKey, newID)
+	return nil
+}
+
+// compactInPlace is the special-purpose split: the active entries are fewer
+// than half the capacity, so the leaf is rewritten compactly, reclaiming
+// obsolete log entries without allocating a new node.
+func (t *Tree) compactInPlace(m *leafMeta, keys, vals []uint64) {
+	next := t.arena.Read8(m.off + hdrNextOff)
+	t.writeLeafImage(m.off, keys, vals, next)
+	t.arena.Persist(m.off, t.lsize)
+	m.nlogs.Store(uint32(len(keys)))
+	m.plogs = uint32(len(keys))
+}
+
+// splitScratch holds reusable buffers for split/compaction so the split
+// path does not allocate.
+type splitScratch struct {
+	keys, vals [MaxLeafCapacity]uint64
+	img        []byte
+}
+
+func (sb *splitScratch) image(n uint64) []byte {
+	if uint64(cap(sb.img)) < n {
+		sb.img = make([]byte, n)
+	}
+	return sb.img[:n]
+}
+
+var splitBufs = sync.Pool{New: func() any { return new(splitScratch) }}
+
+// writeLeafImage lays out a fully compacted leaf: logs 0..n-1 hold the
+// records in key order, both slot arrays are the identity permutation, and
+// the header carries the next pointer. The image is assembled in a scratch
+// buffer and stored with one ranged write. The caller persists the range.
+func (t *Tree) writeLeafImage(off uint64, keys, vals []uint64, next uint64) {
+	sb := splitBufs.Get().(*splitScratch)
+	img := sb.image(t.lsize)
+	for i := range img {
+		img[i] = 0
+	}
+	putW(img[hdrNextOff:], next)
+	var s slotArray
+	s.n = len(keys)
+	for i := range keys {
+		s.idx[i] = uint8(i)
+		putW(img[kvOff+i*kvEntrySize:], keys[i])
+		putW(img[kvOff+i*kvEntrySize+8:], vals[i])
+	}
+	var line [pmem.LineSize]byte
+	s.encode(&line)
+	copy(img[pslotOff:], line[:])
+	copy(img[tslotOff:], line[:])
+	t.arena.WriteRange(off, img)
+	splitBufs.Put(sb)
+}
+
+func putW(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

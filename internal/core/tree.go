@@ -1,0 +1,470 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"rntree/internal/htm"
+	"rntree/internal/inner"
+	"rntree/internal/pmem"
+	"rntree/internal/sync2"
+	"rntree/internal/tree"
+)
+
+// rootMagic marks an arena formatted by this package (root line word 2).
+const rootMagic = 0x524e_5452_4545_0001 // "RNTREE" v1
+
+// Root line layout (arena offset 0, the paper's "well-known static address
+// for starting the recovery", §5.4).
+const (
+	rootHeadOff  = 0  // offset of the left-most leaf
+	rootUndoOff  = 8  // head of the persistent undo-slot chain
+	rootMagicOff = 16 // format magic
+	rootCapOff   = 24 // leaf capacity
+	rootCleanOff = 32 // non-zero after a clean shutdown (Close)
+)
+
+// Options configure an RNTree.
+type Options struct {
+	// DualSlot enables the dual slot array design (§4.3): readers use a
+	// transient copy of the slot array that is only updated after the
+	// persistent copy is flushed, so finds proceed without blocking on
+	// writers. This is the paper's RNTree+DS variant.
+	DualSlot bool
+	// LeafCapacity is the number of log entries per leaf (default 64, the
+	// paper's best-performing size; at most capacity-1 entries are active).
+	LeafCapacity int
+	// HTM tunes the emulated hardware transactional memory. Setting
+	// HTM.ForceFallback yields the no-HTM ablation (every slot-array update
+	// serializes on one global lock).
+	HTM htm.Config
+	// FlushInCS moves the log-entry flush inside the leaf critical section,
+	// reverting the overlapping design of §4.2 to the decoupled design the
+	// paper criticises (all four steps under the lock, as FPTree does).
+	// Ablation only.
+	FlushInCS bool
+}
+
+func (o *Options) normalize() error {
+	if o.LeafCapacity == 0 {
+		o.LeafCapacity = DefaultLeafCapacity
+	}
+	if o.LeafCapacity < 4 || o.LeafCapacity > MaxLeafCapacity {
+		return fmt.Errorf("core: leaf capacity %d outside [4,%d]", o.LeafCapacity, MaxLeafCapacity)
+	}
+	return nil
+}
+
+// Tree is an RNTree: leaf nodes live in (simulated) NVM, internal nodes in
+// DRAM, and every modify operation needs exactly two persistent instructions
+// while keeping leaf entries sorted (§4.1).
+type Tree struct {
+	arena  *pmem.Arena
+	region *htm.Region
+	ix     *inner.Index
+	metas  *metaTable
+	head   *leafMeta
+	undo   *undoPool
+
+	capacity int
+	lsize    uint64
+	dual     bool
+	flushCS  bool
+	// useHeaderMin lets reconstruction take leaf separators from the
+	// clean-shutdown header instead of dereferencing slot arrays and logs.
+	useHeaderMin bool
+
+	// readRetries counts wasted read attempts (leaf locked or version
+	// changed mid-read) — the reader/writer contention metric of §6.3.
+	readRetries atomic.Uint64
+}
+
+var _ tree.Index = (*Tree)(nil)
+
+// New formats the arena with an empty RNTree.
+func New(arena *pmem.Arena, opts Options) (*Tree, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		arena:    arena,
+		region:   htm.NewRegion(arena, opts.HTM),
+		metas:    newMetaTable(),
+		capacity: opts.LeafCapacity,
+		lsize:    leafSize(opts.LeafCapacity),
+		dual:     opts.DualSlot,
+		flushCS:  opts.FlushInCS,
+	}
+	t.undo = newUndoPool(t.lsize)
+	headOff, err := arena.Alloc(t.lsize)
+	if err != nil {
+		return nil, tree.ErrFull
+	}
+	arena.Zero(headOff, t.lsize)
+	arena.Persist(headOff, t.lsize)
+	arena.Write8(rootHeadOff, headOff)
+	arena.Write8(rootUndoOff, pmem.NullOff)
+	arena.Write8(rootMagicOff, rootMagic)
+	arena.Write8(rootCapOff, uint64(opts.LeafCapacity))
+	arena.Write8(rootCleanOff, 0)
+	arena.Persist(0, pmem.RootSize)
+	m := newLeafMeta(headOff, 0)
+	t.metas.add(m)
+	t.head = m
+	t.ix = inner.New(m.id)
+	return t, nil
+}
+
+// Arena returns the backing persistent arena (for statistics and crash
+// simulation in tests and benchmarks).
+func (t *Tree) Arena() *pmem.Arena { return t.arena }
+
+// HTMStats returns the emulated-HTM outcome counters.
+func (t *Tree) HTMStats() htm.Stats { return t.region.Stats() }
+
+// DualSlot reports whether the dual-slot-array design is enabled.
+func (t *Tree) DualSlot() bool { return t.dual }
+
+// LeafCount returns the current number of leaf nodes.
+func (t *Tree) LeafCount() int { return t.metas.len() }
+
+// Depth returns the height of the volatile internal-node index.
+func (t *Tree) Depth() int { return t.ix.Depth() }
+
+// ReadRetries reports how many read attempts were wasted on retries
+// (blocked by a writer's critical section or invalidated by a concurrent
+// split). The dual slot array exists to drive this toward zero (§4.3).
+func (t *Tree) ReadRetries() uint64 { return t.readRetries.Load() }
+
+func (t *Tree) leafFor(key uint64) *leafMeta {
+	return t.metas.get(t.ix.Seek(key))
+}
+
+// allocEntry implements Algorithm 2: lock-free log-entry allocation with a
+// CAS on nlogs. It fails when the leaf's log area is exhausted or the leaf
+// is being split.
+func (t *Tree) allocEntry(m *leafMeta) (int, bool) {
+	for {
+		if m.vl.IsSplitting() {
+			return 0, false
+		}
+		n := m.nlogs.Load()
+		if int(n) >= t.capacity {
+			return 0, false
+		}
+		if m.nlogs.CompareAndSwap(n, n+1) {
+			return int(n), true
+		}
+	}
+}
+
+// searchLeaf binary-searches the sorted slot array for key, returning the
+// rank position and whether the key is present.
+func (t *Tree) searchLeaf(m *leafMeta, s *slotArray, key uint64) (int, bool) {
+	lo, hi := 0, s.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.arena.Read8(kvEntryOff(m.off, int(s.idx[mid]))) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	ok := lo < s.n && t.arena.Read8(kvEntryOff(m.off, int(s.idx[lo]))) == key
+	return lo, ok
+}
+
+// htmLeafUpdate atomically publishes a new slot-array line — the paper's
+// "atomic turning point" (Algorithm 1 line 10): because the whole cache line
+// is written inside a transaction and flushed afterwards, the persistent
+// slot array is always entirely old or entirely new.
+func (t *Tree) htmLeafUpdate(m *leafMeta, s *slotArray) {
+	var line [pmem.LineSize]byte
+	s.encode(&line)
+	_ = t.region.Run(func(tx *htm.Tx) {
+		tx.StoreLine(m.off+pslotOff, &line)
+	})
+}
+
+// htmLeafCopySlot copies the persistent slot array into the transient one
+// (Algorithm 1 line 12) so readers switch to the new state only after it has
+// been flushed — the dual slot array rule that prevents the
+// read-uncommitted anomaly (§4.3).
+func (t *Tree) htmLeafCopySlot(m *leafMeta) {
+	_ = t.region.Run(func(tx *htm.Tx) {
+		var line [pmem.LineSize]byte
+		tx.LoadLine(m.off+pslotOff, &line)
+		tx.StoreLine(m.off+tslotOff, &line)
+	})
+}
+
+// htmLeafSnapshot takes an atomic snapshot of a slot-array line (the paper's
+// htmLeafSnapshot, Table 2). Binary search happens outside the transaction
+// to keep the read set small (§5.2.2).
+func (t *Tree) htmLeafSnapshot(m *leafMeta, slotOff uint64) slotArray {
+	var line [pmem.LineSize]byte
+	_ = t.region.Run(func(tx *htm.Tx) {
+		tx.LoadLine(m.off+slotOff, &line)
+	})
+	return decodeSlot(&line, t.capacity)
+}
+
+const (
+	modeInsert = iota
+	modeUpdate
+	modeUpsert
+)
+
+// Insert implements Algorithm 1 (conditional: fails if key exists).
+func (t *Tree) Insert(key, value uint64) error { return t.modify(key, value, modeInsert) }
+
+// Update rewrites the value of an existing key (conditional). Like insert it
+// appends a fresh log entry and repoints the slot array; the obsolete entry
+// is reclaimed at the next split (§5.2.3).
+func (t *Tree) Update(key, value uint64) error { return t.modify(key, value, modeUpdate) }
+
+// Upsert writes the key unconditionally.
+func (t *Tree) Upsert(key, value uint64) error { return t.modify(key, value, modeUpsert) }
+
+func (t *Tree) modify(key, value uint64, mode int) error {
+	for attempt := 0; ; attempt++ {
+		m := t.leafFor(key)
+		v := m.vl.StableVersion()
+		if key >= m.high.Load() {
+			continue // leaf split since the index was read; re-traverse
+		}
+		// --- Unlocked window: allocate, write, flush (§4.2 steps 1-3).
+		// The pin keeps a concurrent split from compacting the log area
+		// while our bytes are in flight.
+		m.pins.Add(1)
+		if m.vl.IsSplitting() {
+			m.pins.Add(-1)
+			continue
+		}
+		entry, ok := t.allocEntry(m)
+		if !ok {
+			m.pins.Add(-1)
+			if err := t.forceSplit(m); err != nil {
+				return err
+			}
+			continue
+		}
+		eoff := kvEntryOff(m.off, entry)
+		t.arena.Write8(eoff, key)
+		t.arena.Write8(eoff+8, value)
+		if !t.flushCS {
+			t.arena.Persist(eoff, kvEntrySize) // persistent instruction 1 of 2
+		}
+		m.pins.Add(-1)
+		// --- Critical section: metadata update (§4.2 step 4).
+		m.vl.Lock()
+		if t.flushCS {
+			// Decoupled-design ablation: the slow flush occupies the lock.
+			t.arena.Persist(eoff, kvEntrySize)
+		}
+		if m.vl.Version() != v || key >= m.high.Load() {
+			// A split intervened while we were flushing; our log entry is
+			// orphaned (never referenced) and will be discarded by the next
+			// compaction. Retry from the root (Algorithm 1 line 5).
+			m.vl.Unlock()
+			continue
+		}
+		var line [pmem.LineSize]byte
+		t.arena.ReadLine(m.off+pslotOff, &line)
+		s := decodeSlot(&line, t.capacity)
+		pos, exists := t.searchLeaf(m, &s, key)
+		switch mode {
+		case modeInsert:
+			if exists {
+				m.vl.Unlock()
+				return tree.ErrKeyExists
+			}
+		case modeUpdate:
+			if !exists {
+				m.vl.Unlock()
+				return tree.ErrKeyNotFound
+			}
+		}
+		var ns slotArray
+		if exists {
+			ns = s.replaceAt(pos, uint8(entry))
+		} else {
+			ns = s.insertAt(pos, uint8(entry))
+		}
+		t.htmLeafUpdate(m, &ns)
+		t.arena.Persist(m.off+pslotOff, pmem.LineSize) // persistent instruction 2 of 2 — commit point
+		if t.dual {
+			t.htmLeafCopySlot(m)
+		}
+		m.plogs++
+		var splitErr error
+		if int(m.plogs) >= t.capacity-1 {
+			splitErr = t.splitLocked(m)
+		}
+		m.vl.Unlock()
+		return splitErr
+	}
+}
+
+// Remove deletes key by rewriting the slot array only — a single persistent
+// instruction; the log entry itself is reclaimed at the next split (§5.2.3).
+func (t *Tree) Remove(key uint64) error {
+	for {
+		m := t.leafFor(key)
+		v := m.vl.StableVersion()
+		if key >= m.high.Load() {
+			continue
+		}
+		m.vl.Lock()
+		if m.vl.Version() != v || key >= m.high.Load() {
+			m.vl.Unlock()
+			continue
+		}
+		var line [pmem.LineSize]byte
+		t.arena.ReadLine(m.off+pslotOff, &line)
+		s := decodeSlot(&line, t.capacity)
+		pos, exists := t.searchLeaf(m, &s, key)
+		if !exists {
+			m.vl.Unlock()
+			return tree.ErrKeyNotFound
+		}
+		ns := s.removeAt(pos)
+		t.htmLeafUpdate(m, &ns)
+		t.arena.Persist(m.off+pslotOff, pmem.LineSize) // the only persistent instruction
+		if t.dual {
+			t.htmLeafCopySlot(m)
+		}
+		m.vl.Unlock()
+		return nil
+	}
+}
+
+// Find implements Algorithm 4. With the dual slot array enabled it never
+// blocks on concurrent writers: it snapshots the transient slot array and
+// validates the leaf version (which only changes on splits). Without it,
+// readers must wait out the writer's critical section, the contention the
+// +DS design removes.
+func (t *Tree) Find(key uint64) (uint64, bool) {
+	for {
+		m := t.leafFor(key)
+		if t.dual {
+			v := m.vl.StableVersion()
+			if key >= m.high.Load() {
+				continue
+			}
+			s := t.htmLeafSnapshot(m, tslotOff)
+			pos, ok := t.searchLeaf(m, &s, key)
+			var val uint64
+			if ok {
+				val = t.arena.Read8(kvEntryOff(m.off, int(s.idx[pos])) + 8)
+			}
+			if m.vl.StableVersion() != v {
+				t.readRetries.Add(1)
+				continue
+			}
+			return val, ok
+		}
+		w0 := m.vl.Raw()
+		if w0&(sync2.LockBit|sync2.SplitBit) != 0 {
+			t.readRetries.Add(1)
+			runtime.Gosched()
+			continue
+		}
+		if key >= m.high.Load() {
+			continue
+		}
+		s := t.htmLeafSnapshot(m, pslotOff)
+		pos, ok := t.searchLeaf(m, &s, key)
+		var val uint64
+		if ok {
+			val = t.arena.Read8(kvEntryOff(m.off, int(s.idx[pos])) + 8)
+		}
+		// Validating an unchanged, unlocked word means the writer (if any)
+		// finished its critical section, which includes flushing the slot
+		// array — so whatever we read is durable.
+		if m.vl.Raw() != w0 {
+			t.readRetries.Add(1)
+			continue
+		}
+		return val, ok
+	}
+}
+
+// Scan implements the range query of §5.2.4: locate the first leaf, then
+// follow next pointers, applying fn to each entry in key order. Thanks to
+// sorted leaves no per-leaf sorting is needed (unlike NV-Tree/FPTree).
+func (t *Tree) Scan(start uint64, max int, fn func(key, value uint64) bool) int {
+	count := 0
+	resume := start
+	var m *leafMeta
+	buf := make([]tree.KV, 0, t.capacity)
+	for {
+		if m == nil {
+			m = t.leafFor(resume)
+		}
+		var v, w0 uint64
+		if t.dual {
+			v = m.vl.StableVersion()
+		} else {
+			w0 = m.vl.Raw()
+			if w0&(sync2.LockBit|sync2.SplitBit) != 0 {
+				runtime.Gosched()
+				continue
+			}
+		}
+		if resume >= m.high.Load() {
+			m = nil // stale leaf; re-traverse
+			continue
+		}
+		var s slotArray
+		if t.dual {
+			s = t.htmLeafSnapshot(m, tslotOff)
+		} else {
+			s = t.htmLeafSnapshot(m, pslotOff)
+		}
+		buf = buf[:0]
+		for i := 0; i < s.n; i++ {
+			off := kvEntryOff(m.off, int(s.idx[i]))
+			k := t.arena.Read8(off)
+			if k < resume {
+				continue
+			}
+			buf = append(buf, tree.KV{Key: k, Value: t.arena.Read8(off + 8)})
+		}
+		nxt := m.next.Load()
+		if t.dual {
+			if m.vl.StableVersion() != v {
+				m = nil
+				continue
+			}
+		} else if m.vl.Raw() != w0 {
+			m = nil
+			continue
+		}
+		for _, kv := range buf {
+			if max > 0 && count >= max {
+				return count
+			}
+			count++
+			if !fn(kv.Key, kv.Value) {
+				return count
+			}
+			if kv.Key == noHighKey {
+				return count
+			}
+			resume = kv.Key + 1
+		}
+		if nxt == nil {
+			return count
+		}
+		m = nxt
+	}
+}
+
+// Len counts the records currently in the tree (a full scan; O(n)).
+func (t *Tree) Len() int {
+	n := 0
+	t.Scan(0, 0, func(_, _ uint64) bool { n++; return true })
+	return n
+}

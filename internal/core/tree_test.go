@@ -1,0 +1,454 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rntree/internal/pmem"
+	"rntree/internal/tree"
+)
+
+func newTree(t testing.TB, opts Options, arenaMB int) *Tree {
+	t.Helper()
+	if arenaMB == 0 {
+		arenaMB = 16
+	}
+	a := pmem.New(pmem.Config{Size: uint64(arenaMB) << 20})
+	tr, err := New(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func bothVariants(t *testing.T, fn func(t *testing.T, opts Options)) {
+	t.Run("base", func(t *testing.T) { fn(t, Options{}) })
+	t.Run("dualslot", func(t *testing.T) { fn(t, Options{DualSlot: true}) })
+}
+
+func TestEmptyTree(t *testing.T) {
+	bothVariants(t, func(t *testing.T, opts Options) {
+		tr := newTree(t, opts, 0)
+		if _, ok := tr.Find(42); ok {
+			t.Fatal("found key in empty tree")
+		}
+		if n := tr.Scan(0, 0, func(_, _ uint64) bool { return true }); n != 0 {
+			t.Fatalf("scan of empty tree visited %d", n)
+		}
+		if err := tr.Remove(42); err != tree.ErrKeyNotFound {
+			t.Fatalf("remove on empty: %v", err)
+		}
+		if err := tr.Update(42, 1); err != tree.ErrKeyNotFound {
+			t.Fatalf("update on empty: %v", err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestInsertFind(t *testing.T) {
+	bothVariants(t, func(t *testing.T, opts Options) {
+		tr := newTree(t, opts, 0)
+		for i := uint64(1); i <= 100; i++ {
+			if err := tr.Insert(i*7, i); err != nil {
+				t.Fatalf("insert %d: %v", i, err)
+			}
+		}
+		for i := uint64(1); i <= 100; i++ {
+			v, ok := tr.Find(i * 7)
+			if !ok || v != i {
+				t.Fatalf("Find(%d) = %d,%v", i*7, v, ok)
+			}
+		}
+		if _, ok := tr.Find(3); ok {
+			t.Fatal("found absent key")
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestConditionalWriteSemantics(t *testing.T) {
+	bothVariants(t, func(t *testing.T, opts Options) {
+		tr := newTree(t, opts, 0)
+		if err := tr.Insert(10, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Insert(10, 2); err != tree.ErrKeyExists {
+			t.Fatalf("duplicate insert: %v", err)
+		}
+		if v, _ := tr.Find(10); v != 1 {
+			t.Fatalf("failed insert overwrote value: %d", v)
+		}
+		if err := tr.Update(10, 5); err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := tr.Find(10); v != 5 {
+			t.Fatalf("update not visible: %d", v)
+		}
+		if err := tr.Update(11, 1); err != tree.ErrKeyNotFound {
+			t.Fatalf("update of absent key: %v", err)
+		}
+		if err := tr.Upsert(11, 7); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Upsert(11, 8); err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := tr.Find(11); v != 8 {
+			t.Fatalf("upsert not visible: %d", v)
+		}
+		if err := tr.Remove(10); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := tr.Find(10); ok {
+			t.Fatal("removed key still found")
+		}
+		if err := tr.Remove(10); err != tree.ErrKeyNotFound {
+			t.Fatalf("double remove: %v", err)
+		}
+	})
+}
+
+func TestSplits(t *testing.T) {
+	bothVariants(t, func(t *testing.T, opts Options) {
+		tr := newTree(t, opts, 0)
+		const n = 10_000
+		for i := uint64(0); i < n; i++ {
+			if err := tr.Insert(i, i*2); err != nil {
+				t.Fatalf("insert %d: %v", i, err)
+			}
+		}
+		if tr.LeafCount() < int(n)/DefaultLeafCapacity {
+			t.Fatalf("only %d leaves after %d sequential inserts", tr.LeafCount(), n)
+		}
+		for i := uint64(0); i < n; i++ {
+			if v, ok := tr.Find(i); !ok || v != i*2 {
+				t.Fatalf("Find(%d) = %d,%v", i, v, ok)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.Len(); got != n {
+			t.Fatalf("Len = %d, want %d", got, n)
+		}
+	})
+}
+
+func TestSmallLeafCapacity(t *testing.T) {
+	tr := newTree(t, Options{LeafCapacity: 8}, 0)
+	for i := uint64(0); i < 2000; i++ {
+		if err := tr.Insert(i*3, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 2000; i++ {
+		if v, ok := tr.Find(i * 3); !ok || v != i {
+			t.Fatalf("Find(%d) = %d,%v", i*3, v, ok)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomOpsMatchModel(t *testing.T) {
+	bothVariants(t, func(t *testing.T, opts Options) {
+		tr := newTree(t, opts, 32)
+		model := make(map[uint64]uint64)
+		rng := rand.New(rand.NewSource(42))
+		const ops = 30_000
+		for i := 0; i < ops; i++ {
+			key := rng.Uint64() % 5000
+			val := rng.Uint64()
+			switch rng.Intn(5) {
+			case 0, 1: // insert
+				err := tr.Insert(key, val)
+				if _, exists := model[key]; exists {
+					if err != tree.ErrKeyExists {
+						t.Fatalf("op %d: insert existing %d: %v", i, key, err)
+					}
+				} else {
+					if err != nil {
+						t.Fatalf("op %d: insert %d: %v", i, key, err)
+					}
+					model[key] = val
+				}
+			case 2: // update
+				err := tr.Update(key, val)
+				if _, exists := model[key]; exists {
+					if err != nil {
+						t.Fatalf("op %d: update %d: %v", i, key, err)
+					}
+					model[key] = val
+				} else if err != tree.ErrKeyNotFound {
+					t.Fatalf("op %d: update absent %d: %v", i, key, err)
+				}
+			case 3: // remove
+				err := tr.Remove(key)
+				if _, exists := model[key]; exists {
+					if err != nil {
+						t.Fatalf("op %d: remove %d: %v", i, key, err)
+					}
+					delete(model, key)
+				} else if err != tree.ErrKeyNotFound {
+					t.Fatalf("op %d: remove absent %d: %v", i, key, err)
+				}
+			case 4: // find
+				v, ok := tr.Find(key)
+				mv, mok := model[key]
+				if ok != mok || (ok && v != mv) {
+					t.Fatalf("op %d: find %d = (%d,%v), model (%d,%v)", i, key, v, ok, mv, mok)
+				}
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.Len(); got != len(model) {
+			t.Fatalf("Len = %d, model %d", got, len(model))
+		}
+		for k, v := range model {
+			if got, ok := tr.Find(k); !ok || got != v {
+				t.Fatalf("final: Find(%d) = %d,%v want %d", k, got, ok, v)
+			}
+		}
+	})
+}
+
+func TestScanOrderedAndComplete(t *testing.T) {
+	bothVariants(t, func(t *testing.T, opts Options) {
+		tr := newTree(t, opts, 0)
+		rng := rand.New(rand.NewSource(3))
+		keys := map[uint64]uint64{}
+		for len(keys) < 5000 {
+			k := rng.Uint64() % 1_000_000
+			if _, ok := keys[k]; ok {
+				continue
+			}
+			keys[k] = k * 3
+			if err := tr.Insert(k, k*3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got []uint64
+		prev := uint64(0)
+		first := true
+		n := tr.Scan(0, 0, func(k, v uint64) bool {
+			if !first && k <= prev {
+				t.Fatalf("scan out of order: %d after %d", k, prev)
+			}
+			if want := keys[k]; v != want {
+				t.Fatalf("scan value for %d: %d want %d", k, v, want)
+			}
+			prev, first = k, false
+			got = append(got, k)
+			return true
+		})
+		if n != len(keys) || len(got) != len(keys) {
+			t.Fatalf("scan visited %d, want %d", n, len(keys))
+		}
+	})
+}
+
+func TestScanRangeAndLimit(t *testing.T) {
+	tr := newTree(t, Options{DualSlot: true}, 0)
+	for i := uint64(0); i < 1000; i++ {
+		if err := tr.Insert(i*10, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Start mid-range, not on an exact key.
+	var first uint64
+	n := tr.Scan(4995, 5, func(k, v uint64) bool {
+		if first == 0 {
+			first = k
+		}
+		return true
+	})
+	if n != 5 || first != 5000 {
+		t.Fatalf("scan(4995,5): n=%d first=%d", n, first)
+	}
+	// Early stop by fn.
+	n = tr.Scan(0, 0, func(k, v uint64) bool { return k < 100 })
+	if n != 11 {
+		t.Fatalf("early-stop scan visited %d", n)
+	}
+}
+
+func TestPersistInstructionCounts(t *testing.T) {
+	// Table 1: RNTree needs 2 persistent instructions per insert/update and
+	// 1 per remove (away from the split threshold). Fresh tree per section
+	// so no op crosses the leaf's split trigger.
+	const k = 20
+	setup := func() *Tree {
+		tr := newTree(t, Options{}, 0)
+		for i := uint64(0); i < k; i++ {
+			if err := tr.Insert(i, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr.Arena().ResetStats()
+		return tr
+	}
+
+	tr := setup()
+	for i := uint64(100); i < 100+k; i++ {
+		if err := tr.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.Arena().Stats().Persists; got != 2*k {
+		t.Fatalf("insert persists = %d, want %d", got, 2*k)
+	}
+
+	tr = setup()
+	for i := uint64(0); i < k; i++ {
+		if err := tr.Update(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.Arena().Stats().Persists; got != 2*k {
+		t.Fatalf("update persists = %d, want %d", got, 2*k)
+	}
+
+	tr = setup()
+	for i := uint64(0); i < k; i++ {
+		if err := tr.Remove(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.Arena().Stats().Persists; got != k {
+		t.Fatalf("remove persists = %d, want %d", got, k)
+	}
+
+	// Finds never persist.
+	tr = setup()
+	for i := uint64(0); i < k; i++ {
+		tr.Find(i)
+	}
+	if got := tr.Arena().Stats().Persists; got != 0 {
+		t.Fatalf("find persists = %d, want 0", got)
+	}
+}
+
+func TestUpdateReclaimsViaCompaction(t *testing.T) {
+	// Hammering updates on one leaf exhausts its log area; the special
+	// split must compact in place and keep going (§5.2.3).
+	tr := newTree(t, Options{}, 0)
+	for i := uint64(0); i < 10; i++ {
+		if err := tr.Insert(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leaves := tr.LeafCount()
+	for round := uint64(1); round <= 200; round++ {
+		for i := uint64(0); i < 10; i++ {
+			if err := tr.Update(i, round); err != nil {
+				t.Fatalf("round %d key %d: %v", round, i, err)
+			}
+		}
+	}
+	if tr.LeafCount() != leaves {
+		t.Fatalf("updates alone changed leaf count %d -> %d", leaves, tr.LeafCount())
+	}
+	for i := uint64(0); i < 10; i++ {
+		if v, _ := tr.Find(i); v != 200 {
+			t.Fatalf("key %d = %d after update storm", i, v)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveThenReinsert(t *testing.T) {
+	tr := newTree(t, Options{DualSlot: true}, 0)
+	for i := uint64(0); i < 500; i++ {
+		if err := tr.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 500; i += 2 {
+		if err := tr.Remove(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 500; i += 2 {
+		if err := tr.Insert(i, i+1000); err != nil {
+			t.Fatalf("reinsert %d: %v", i, err)
+		}
+	}
+	for i := uint64(0); i < 500; i++ {
+		want := i
+		if i%2 == 0 {
+			want = i + 1000
+		}
+		if v, ok := tr.Find(i); !ok || v != want {
+			t.Fatalf("Find(%d) = %d,%v want %d", i, v, ok, want)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveAllLeavesEmptyTreeUsable(t *testing.T) {
+	tr := newTree(t, Options{}, 0)
+	for i := uint64(0); i < 300; i++ {
+		if err := tr.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 300; i++ {
+		if err := tr.Remove(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := tr.Len(); n != 0 {
+		t.Fatalf("Len = %d after removing all", n)
+	}
+	if err := tr.Insert(7, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tr.Find(7); !ok || v != 7 {
+		t.Fatal("tree unusable after full drain")
+	}
+}
+
+func TestMaxKeyBoundary(t *testing.T) {
+	tr := newTree(t, Options{DualSlot: true}, 0)
+	maxKey := uint64(1<<63 - 1) // keys must stay below the noHighKey sentinel
+	if err := tr.Insert(maxKey, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tr.Find(maxKey); !ok || v != 1 {
+		t.Fatal("max key lost")
+	}
+	if v, ok := tr.Find(0); !ok || v != 2 {
+		t.Fatal("zero key lost")
+	}
+	n := tr.Scan(0, 0, func(_, _ uint64) bool { return true })
+	if n != 2 {
+		t.Fatalf("scan visited %d", n)
+	}
+}
+
+func TestHTMStatsAccumulate(t *testing.T) {
+	tr := newTree(t, Options{DualSlot: true}, 0)
+	for i := uint64(0); i < 100; i++ {
+		if err := tr.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := tr.HTMStats()
+	if s.Commits == 0 {
+		t.Fatal("no HTM commits recorded")
+	}
+}

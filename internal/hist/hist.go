@@ -1,0 +1,112 @@
+// Package hist provides a lock-free log-bucketed latency histogram for the
+// latency experiments (Figure 9): concurrent workers record durations with a
+// single atomic add; percentiles and means are computed from a snapshot.
+package hist
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// subBits linear sub-buckets per power-of-two bucket keep relative
+	// error under ~6%.
+	subBits    = 4
+	subBuckets = 1 << subBits
+	nBuckets   = 64 * subBuckets
+)
+
+// Histogram records durations in nanoseconds. The zero value is ready to
+// use and safe for concurrent Record calls.
+type Histogram struct {
+	counts [nBuckets]atomic.Uint64
+	sum    atomic.Uint64
+	n      atomic.Uint64
+}
+
+func bucketOf(ns uint64) int {
+	if ns < subBuckets {
+		return int(ns)
+	}
+	exp := bits.Len64(ns) - 1 - subBits
+	sub := (ns >> uint(exp)) & (subBuckets - 1)
+	return (exp+1)<<subBits + int(sub)
+}
+
+func bucketLow(b int) uint64 {
+	exp := b >> subBits
+	sub := uint64(b & (subBuckets - 1))
+	if exp == 0 {
+		return sub
+	}
+	return (subBuckets + sub) << uint(exp-1)
+}
+
+// Record adds one duration observation.
+func (h *Histogram) Record(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	h.counts[bucketOf(ns)].Add(1)
+	h.sum.Add(ns)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Mean returns the average observed duration.
+func (h *Histogram) Mean() time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Percentile returns the approximate p-th percentile (0 < p <= 100).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	target := uint64(p / 100 * float64(n))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b := 0; b < nBuckets; b++ {
+		cum += h.counts[b].Load()
+		if cum >= target {
+			return time.Duration(bucketLow(b))
+		}
+	}
+	return time.Duration(bucketLow(nBuckets - 1))
+}
+
+// Merge adds the counts of other into h. Not atomic with respect to
+// concurrent Record calls on other.
+func (h *Histogram) Merge(other *Histogram) {
+	for b := 0; b < nBuckets; b++ {
+		if c := other.counts[b].Load(); c != 0 {
+			h.counts[b].Add(c)
+		}
+	}
+	h.sum.Add(other.sum.Load())
+	h.n.Add(other.n.Load())
+}
+
+// Reset zeroes the histogram. Not safe concurrently with Record.
+func (h *Histogram) Reset() {
+	for b := 0; b < nBuckets; b++ {
+		h.counts[b].Store(0)
+	}
+	h.sum.Store(0)
+	h.n.Store(0)
+}
+
+// String summarises the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v p999=%v",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(99), h.Percentile(99.9))
+}

@@ -1,0 +1,95 @@
+package hist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	for _, ns := range []uint64{0, 1, 15, 16, 17, 100, 999, 1 << 20, 1<<40 + 12345} {
+		b := bucketOf(ns)
+		lo := bucketLow(b)
+		hi := bucketLow(b + 1)
+		if ns < lo || (ns >= hi && hi > lo) {
+			t.Fatalf("ns=%d bucket=%d range=[%d,%d)", ns, b, lo, hi)
+		}
+	}
+}
+
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for ns := uint64(0); ns < 1<<22; ns += 97 {
+		b := bucketOf(ns)
+		if b < prev {
+			t.Fatalf("bucket not monotone at %d", ns)
+		}
+		prev = b
+	}
+}
+
+func TestMeanAndCount(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	mean := h.Mean()
+	if mean < 49*time.Microsecond || mean > 52*time.Microsecond {
+		t.Fatalf("mean %v", mean)
+	}
+}
+
+func TestPercentileApprox(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100_000; i++ {
+		h.Record(time.Duration(rng.Intn(1_000_000)) * time.Nanosecond)
+	}
+	p50 := h.Percentile(50).Nanoseconds()
+	if p50 < 400_000 || p50 > 600_000 {
+		t.Fatalf("p50 = %d", p50)
+	}
+	p99 := h.Percentile(99).Nanoseconds()
+	if p99 < 900_000 {
+		t.Fatalf("p99 = %d", p99)
+	}
+	if h.Percentile(99) < h.Percentile(50) {
+		t.Fatal("percentiles not monotone")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				h.Record(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 80_000 {
+		t.Fatalf("count %d", h.Count())
+	}
+}
+
+func TestMergeAndReset(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Millisecond)
+	b.Record(2 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Mean() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

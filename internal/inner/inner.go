@@ -1,0 +1,349 @@
+// Package inner implements the volatile internal-node index shared by every
+// tree in this repository. As in the paper's evaluation, "the structures for
+// all the internal nodes are the same in all implementations; the only
+// difference is the design of the leaf node" — so RNTree and all baselines
+// build on this package and differ only in their persistent leaves.
+//
+// The paper wraps internal-node traversal and updates in HTM functions
+// (htmTreeTraverse, htmTreeUpdate), whose effect is that every traversal
+// observes an atomic snapshot of the internal nodes and structural updates
+// are serialized. We obtain the identical guarantee with a copy-on-write
+// B+tree: nodes are immutable, the root pointer is swapped atomically, and
+// mutations (rare — only leaf splits) rebuild the root-to-leaf path under a
+// mutex. Traversals are therefore lock-free and always see one consistent
+// version of the index, and internal nodes are volatile (rebuilt on
+// recovery) in both designs. See DESIGN.md §2 for the substitution note.
+package inner
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Fanout is the maximum number of children per internal node and entries per
+// bottom node.
+const Fanout = 32
+
+// node is an immutable index node. Exactly one of kids/vals is non-nil:
+// internal nodes carry pivots+kids, bottom nodes carry seps+vals.
+//
+// Internal: kids[i] covers keys in [pivots[i-1], pivots[i]) with virtual
+// pivots[-1] = 0 and pivots[len-1] = +inf; len(pivots) == len(kids)-1.
+//
+// Bottom: vals[i] (a leaf handle) covers [seps[i], seps[i+1]) with virtual
+// seps[len] = +inf; len(seps) == len(vals) and seps[0] of the leftmost
+// bottom node is 0.
+type node struct {
+	pivots []uint64
+	kids   []*node
+
+	seps []uint64
+	vals []uint64
+}
+
+func (n *node) isBottom() bool { return n.kids == nil }
+
+// Index is a concurrent copy-on-write B+tree mapping separator keys to
+// opaque leaf handles (arena offsets). Seek is lock-free; mutators are
+// serialized internally.
+type Index struct {
+	root atomic.Pointer[node]
+	mu   sync.Mutex
+	size atomic.Int64
+}
+
+// New creates an index with a single initial leaf covering the whole key
+// space (separator 0).
+func New(initialLeaf uint64) *Index {
+	ix := &Index{}
+	ix.root.Store(&node{seps: []uint64{0}, vals: []uint64{initialLeaf}})
+	ix.size.Store(1)
+	return ix
+}
+
+// NewFromSorted bulk-builds an index from (separator, leaf) pairs sorted by
+// separator; pairs[0].Sep is forced to 0 so the leftmost leaf covers the low
+// end of the key space. Used by recovery (Section 5.4).
+func NewFromSorted(pairs []Pair) *Index {
+	if len(pairs) == 0 {
+		panic("inner: NewFromSorted requires at least one leaf")
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Sep <= pairs[i-1].Sep {
+			panic(fmt.Sprintf("inner: separators not strictly sorted at %d", i))
+		}
+	}
+	ix := &Index{}
+	level := make([]*node, 0, (len(pairs)+Fanout-1)/Fanout)
+	mins := make([]uint64, 0, cap(level))
+	for i := 0; i < len(pairs); i += Fanout {
+		end := i + Fanout
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		n := &node{seps: make([]uint64, 0, end-i), vals: make([]uint64, 0, end-i)}
+		for _, p := range pairs[i:end] {
+			n.seps = append(n.seps, p.Sep)
+			n.vals = append(n.vals, p.Leaf)
+		}
+		level = append(level, n)
+		mins = append(mins, n.seps[0])
+	}
+	level[0].seps[0] = 0
+	for len(level) > 1 {
+		next := make([]*node, 0, (len(level)+Fanout-1)/Fanout)
+		nextMins := make([]uint64, 0, cap(next))
+		for i := 0; i < len(level); i += Fanout {
+			end := i + Fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			n := &node{kids: append([]*node(nil), level[i:end]...)}
+			n.pivots = append([]uint64(nil), mins[i+1:end]...)
+			next = append(next, n)
+			nextMins = append(nextMins, mins[i])
+		}
+		level, mins = next, nextMins
+	}
+	ix.root.Store(level[0])
+	ix.size.Store(int64(len(pairs)))
+	return ix
+}
+
+// Pair is a (separator key, leaf handle) entry for bulk building.
+type Pair struct {
+	Sep  uint64
+	Leaf uint64
+}
+
+// Len returns the number of leaves indexed.
+func (ix *Index) Len() int { return int(ix.size.Load()) }
+
+// Depth returns the current height of the index (1 = a single bottom node).
+func (ix *Index) Depth() int {
+	d := 1
+	for n := ix.root.Load(); !n.isBottom(); n = n.kids[0] {
+		d++
+	}
+	return d
+}
+
+// Seek returns the leaf handle whose range covers key. Lock-free; the result
+// reflects some recent consistent version of the index, exactly like an
+// HTM-wrapped traversal.
+func (ix *Index) Seek(key uint64) uint64 {
+	n := ix.root.Load()
+	for !n.isBottom() {
+		n = n.kids[childIdx(n.pivots, key)]
+	}
+	return n.vals[bottomIdx(n.seps, key)]
+}
+
+// SeekLow returns the leftmost leaf handle (for full scans from the start).
+func (ix *Index) SeekLow() uint64 {
+	n := ix.root.Load()
+	for !n.isBottom() {
+		n = n.kids[0]
+	}
+	return n.vals[0]
+}
+
+// childIdx returns the child covering key: the number of pivots <= key.
+func childIdx(pivots []uint64, key uint64) int {
+	return sort.Search(len(pivots), func(i int) bool { return pivots[i] > key })
+}
+
+// bottomIdx returns the entry covering key: the last sep <= key.
+func bottomIdx(seps []uint64, key uint64) int {
+	i := sort.Search(len(seps), func(i int) bool { return seps[i] > key })
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// Insert adds a new (separator, leaf) entry — the paper's htmTreeUpdate:
+// after a leaf split, the new right-hand leaf is registered under its
+// separator key. Panics if the separator already exists.
+func (ix *Index) Insert(sep uint64, leaf uint64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	root := ix.root.Load()
+	left, right, rightMin := insertRec(root, sep, leaf)
+	if right != nil {
+		left = &node{pivots: []uint64{rightMin}, kids: []*node{left, right}}
+	}
+	ix.root.Store(left)
+	ix.size.Add(1)
+}
+
+// insertRec copies the path to the bottom node covering sep, inserts, and
+// splits copied nodes that overflow. Returns the (possibly split) copies.
+func insertRec(n *node, sep uint64, leaf uint64) (left, right *node, rightMin uint64) {
+	if n.isBottom() {
+		i := sort.Search(len(n.seps), func(i int) bool { return n.seps[i] >= sep })
+		if i < len(n.seps) && n.seps[i] == sep {
+			panic(fmt.Sprintf("inner: duplicate separator %d", sep))
+		}
+		nn := &node{
+			seps: make([]uint64, 0, len(n.seps)+1),
+			vals: make([]uint64, 0, len(n.vals)+1),
+		}
+		nn.seps = append(append(append(nn.seps, n.seps[:i]...), sep), n.seps[i:]...)
+		nn.vals = append(append(append(nn.vals, n.vals[:i]...), leaf), n.vals[i:]...)
+		if len(nn.vals) <= Fanout {
+			return nn, nil, 0
+		}
+		mid := len(nn.vals) / 2
+		r := &node{seps: append([]uint64(nil), nn.seps[mid:]...), vals: append([]uint64(nil), nn.vals[mid:]...)}
+		l := &node{seps: nn.seps[:mid:mid], vals: nn.vals[:mid:mid]}
+		return l, r, r.seps[0]
+	}
+	ci := childIdx(n.pivots, sep)
+	cl, cr, crMin := insertRec(n.kids[ci], sep, leaf)
+	nn := &node{
+		pivots: make([]uint64, 0, len(n.pivots)+1),
+		kids:   make([]*node, 0, len(n.kids)+1),
+	}
+	nn.pivots = append(nn.pivots, n.pivots...)
+	nn.kids = append(nn.kids, n.kids...)
+	nn.kids[ci] = cl
+	if cr != nil {
+		nn.pivots = append(nn.pivots, 0)
+		copy(nn.pivots[ci+1:], nn.pivots[ci:])
+		nn.pivots[ci] = crMin
+		nn.kids = append(nn.kids, nil)
+		copy(nn.kids[ci+2:], nn.kids[ci+1:])
+		nn.kids[ci+1] = cr
+	}
+	if len(nn.kids) <= Fanout {
+		return nn, nil, 0
+	}
+	mid := len(nn.kids) / 2
+	rMin := nn.pivots[mid-1]
+	r := &node{
+		pivots: append([]uint64(nil), nn.pivots[mid:]...),
+		kids:   append([]*node(nil), nn.kids[mid:]...),
+	}
+	l := &node{pivots: nn.pivots[: mid-1 : mid-1], kids: nn.kids[:mid:mid]}
+	return l, r, rMin
+}
+
+// Replace swaps the leaf handle stored for the entry covering key from old
+// to new — used by the special-purpose split that compacts a leaf full of
+// obsolete entries (Section 5.2.3). Returns false (and changes nothing) if
+// the covering entry does not currently hold old.
+func (ix *Index) Replace(key uint64, old, new uint64) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	root := ix.root.Load()
+	nn, ok := replaceRec(root, key, old, new)
+	if !ok {
+		return false
+	}
+	ix.root.Store(nn)
+	return true
+}
+
+func replaceRec(n *node, key uint64, old, new uint64) (*node, bool) {
+	if n.isBottom() {
+		i := bottomIdx(n.seps, key)
+		if n.vals[i] != old {
+			return nil, false
+		}
+		nn := &node{seps: n.seps, vals: append([]uint64(nil), n.vals...)}
+		nn.vals[i] = new
+		return nn, true
+	}
+	ci := childIdx(n.pivots, key)
+	ck, ok := replaceRec(n.kids[ci], key, old, new)
+	if !ok {
+		return nil, false
+	}
+	nn := &node{pivots: n.pivots, kids: append([]*node(nil), n.kids...)}
+	nn.kids[ci] = ck
+	return nn, true
+}
+
+// Leaves returns all (separator, leaf) pairs in separator order. Intended
+// for tests and diagnostics.
+func (ix *Index) Leaves() []Pair {
+	var out []Pair
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.isBottom() {
+			for i := range n.vals {
+				out = append(out, Pair{Sep: n.seps[i], Leaf: n.vals[i]})
+			}
+			return
+		}
+		for _, k := range n.kids {
+			walk(k)
+		}
+	}
+	walk(ix.root.Load())
+	return out
+}
+
+// Validate checks the structural invariants of the current version; it
+// returns an error describing the first violation found, or nil.
+func (ix *Index) Validate() error {
+	root := ix.root.Load()
+	var prevSep uint64
+	first := true
+	count := 0
+	var walk func(n *node, lo uint64, hasHi bool, hi uint64, depth int) (int, error)
+	walk = func(n *node, lo uint64, hasHi bool, hi uint64, depth int) (int, error) {
+		if n.isBottom() {
+			if len(n.seps) != len(n.vals) || len(n.vals) == 0 {
+				return 0, fmt.Errorf("bottom node with %d seps / %d vals", len(n.seps), len(n.vals))
+			}
+			for i, s := range n.seps {
+				if !first && s <= prevSep {
+					return 0, fmt.Errorf("separators not strictly increasing at %d", s)
+				}
+				if s < lo || (hasHi && s >= hi) {
+					return 0, fmt.Errorf("separator %d outside node range [%d,%d)", s, lo, hi)
+				}
+				prevSep = s
+				first = false
+				count++
+				_ = i
+			}
+			return 1, nil
+		}
+		if len(n.pivots) != len(n.kids)-1 || len(n.kids) < 2 {
+			return 0, fmt.Errorf("internal node with %d pivots / %d kids", len(n.pivots), len(n.kids))
+		}
+		depths := -1
+		for i, k := range n.kids {
+			clo := lo
+			if i > 0 {
+				clo = n.pivots[i-1]
+			}
+			chasHi, chi := hasHi, hi
+			if i < len(n.pivots) {
+				chasHi, chi = true, n.pivots[i]
+			}
+			d, err := walk(k, clo, chasHi, chi, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			if depths == -1 {
+				depths = d
+			} else if depths != d {
+				return 0, fmt.Errorf("uneven depth under internal node")
+			}
+		}
+		return depths + 1, nil
+	}
+	if _, err := walk(root, 0, false, 0, 0); err != nil {
+		return err
+	}
+	if count != ix.Len() {
+		return fmt.Errorf("size %d != counted %d", ix.Len(), count)
+	}
+	return nil
+}

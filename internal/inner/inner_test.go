@@ -1,0 +1,259 @@
+package inner
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// model is a reference implementation: a sorted slice of pairs.
+type model struct {
+	pairs []Pair
+}
+
+func newModel(leaf uint64) *model { return &model{pairs: []Pair{{Sep: 0, Leaf: leaf}}} }
+
+func (m *model) seek(key uint64) uint64 {
+	i := sort.Search(len(m.pairs), func(i int) bool { return m.pairs[i].Sep > key })
+	return m.pairs[i-1].Leaf
+}
+
+func (m *model) insert(sep, leaf uint64) {
+	i := sort.Search(len(m.pairs), func(i int) bool { return m.pairs[i].Sep >= sep })
+	m.pairs = append(m.pairs, Pair{})
+	copy(m.pairs[i+1:], m.pairs[i:])
+	m.pairs[i] = Pair{Sep: sep, Leaf: leaf}
+}
+
+func TestSingleLeafSeeks(t *testing.T) {
+	ix := New(111)
+	for _, k := range []uint64{0, 1, 1 << 40, ^uint64(0)} {
+		if got := ix.Seek(k); got != 111 {
+			t.Fatalf("Seek(%d) = %d", k, got)
+		}
+	}
+	if ix.Len() != 1 || ix.Depth() != 1 {
+		t.Fatalf("len=%d depth=%d", ix.Len(), ix.Depth())
+	}
+}
+
+func TestInsertAndSeekBoundaries(t *testing.T) {
+	ix := New(1)
+	ix.Insert(100, 2)
+	ix.Insert(200, 3)
+	cases := []struct {
+		key  uint64
+		want uint64
+	}{
+		{0, 1}, {99, 1}, {100, 2}, {150, 2}, {199, 2}, {200, 3}, {1 << 50, 3},
+	}
+	for _, c := range cases {
+		if got := ix.Seek(c.key); got != c.want {
+			t.Fatalf("Seek(%d) = %d, want %d", c.key, got, c.want)
+		}
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateSeparatorPanics(t *testing.T) {
+	ix := New(1)
+	ix.Insert(10, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ix.Insert(10, 3)
+}
+
+func TestManyInsertsMatchModel(t *testing.T) {
+	ix := New(1)
+	m := newModel(1)
+	rng := rand.New(rand.NewSource(7))
+	used := map[uint64]bool{0: true}
+	for i := 0; i < 5000; i++ {
+		sep := rng.Uint64()%1_000_000 + 1
+		if used[sep] {
+			continue
+		}
+		used[sep] = true
+		leaf := uint64(i + 2)
+		ix.Insert(sep, leaf)
+		m.insert(sep, leaf)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != len(m.pairs) {
+		t.Fatalf("len %d != model %d", ix.Len(), len(m.pairs))
+	}
+	for i := 0; i < 20000; i++ {
+		k := rng.Uint64() % 1_100_000
+		if got, want := ix.Seek(k), m.seek(k); got != want {
+			t.Fatalf("Seek(%d) = %d, want %d", k, got, want)
+		}
+	}
+	if d := ix.Depth(); d < 2 {
+		t.Fatalf("depth %d suspiciously small for %d leaves", d, ix.Len())
+	}
+}
+
+func TestLeavesEnumeration(t *testing.T) {
+	ix := New(1)
+	ix.Insert(50, 2)
+	ix.Insert(25, 3)
+	got := ix.Leaves()
+	want := []Pair{{0, 1}, {25, 3}, {50, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReplace(t *testing.T) {
+	ix := New(1)
+	ix.Insert(100, 2)
+	if !ix.Replace(150, 2, 9) {
+		t.Fatal("Replace failed")
+	}
+	if ix.Seek(150) != 9 {
+		t.Fatal("Replace not visible")
+	}
+	if ix.Replace(150, 2, 10) {
+		t.Fatal("Replace with wrong old value succeeded")
+	}
+	if ix.Seek(0) != 1 {
+		t.Fatal("Replace disturbed other entries")
+	}
+}
+
+func TestNewFromSorted(t *testing.T) {
+	var pairs []Pair
+	for i := 0; i < 2000; i++ {
+		pairs = append(pairs, Pair{Sep: uint64(i) * 10, Leaf: uint64(i + 1)})
+	}
+	pairs[0].Sep = 3 // must be forced to 0
+	ix := NewFromSorted(pairs)
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 2000 {
+		t.Fatalf("len %d", ix.Len())
+	}
+	if ix.Seek(1) != 1 {
+		t.Fatal("leftmost leaf does not cover low keys")
+	}
+	for i := 1; i < 2000; i++ {
+		if got := ix.Seek(uint64(i)*10 + 5); got != uint64(i+1) {
+			t.Fatalf("Seek(%d) = %d", i*10+5, got)
+		}
+	}
+	if ix.SeekLow() != 1 {
+		t.Fatal("SeekLow wrong")
+	}
+}
+
+func TestNewFromSortedSingle(t *testing.T) {
+	ix := NewFromSorted([]Pair{{Sep: 42, Leaf: 7}})
+	if ix.Seek(0) != 7 || ix.Seek(100) != 7 {
+		t.Fatal("single-pair bulk build broken")
+	}
+}
+
+func TestNewFromSortedUnsortedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFromSorted([]Pair{{0, 1}, {5, 2}, {5, 3}})
+}
+
+func TestConcurrentSeekDuringInserts(t *testing.T) {
+	ix := New(1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Writer splits leaves continuously.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for sep := uint64(1); sep <= 3000; sep++ {
+			ix.Insert(sep*2, sep+1)
+		}
+		close(stop)
+	}()
+	// Readers must always observe a consistent snapshot: the leaf returned
+	// for key k covers k in the version they saw.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Uint64() % 7000
+				leaf := ix.Seek(k)
+				if leaf == 0 {
+					t.Error("Seek returned zero handle")
+					return
+				}
+				// The handle for key k is either 1 (initial leaf) or
+				// sep/2+1 for some sep*2 <= k; bound-check the mapping.
+				if leaf != 1 {
+					sep := (leaf - 1) * 2
+					if sep > k {
+						t.Errorf("Seek(%d) returned leaf with separator %d > key", k, sep)
+						return
+					}
+				}
+			}
+		}(int64(r))
+	}
+	wg.Wait()
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any set of distinct separators inserted in any order yields an
+// index whose Seek agrees with the sorted-slice model everywhere.
+func TestQuickSeekMatchesModel(t *testing.T) {
+	f := func(raw []uint32, probes []uint32) bool {
+		ix := New(1)
+		m := newModel(1)
+		seen := map[uint64]bool{0: true}
+		for i, r := range raw {
+			sep := uint64(r)
+			if seen[sep] {
+				continue
+			}
+			seen[sep] = true
+			ix.Insert(sep, uint64(i+2))
+			m.insert(sep, uint64(i+2))
+		}
+		if err := ix.Validate(); err != nil {
+			return false
+		}
+		for _, p := range probes {
+			if ix.Seek(uint64(p)) != m.seek(uint64(p)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,549 @@
+// Package pmem simulates byte-addressable non-volatile memory (NVM) with an
+// explicit CPU-cache/NVM split, as assumed by the SNIA NVM.PM.FILE model the
+// paper follows.
+//
+// The simulator keeps two images of the arena:
+//
+//   - the cache image: what load/store instructions observe, and
+//   - the nvm image: what survives a crash.
+//
+// Ordinary writes mutate only the cache image. Persist — the paper's
+// "persistent instruction", a CLWB-per-line followed by a fence — copies the
+// touched cache lines into the nvm image, increments the persist counters and
+// optionally busy-waits a configurable latency so that persistent
+// instructions consume CPU cycles exactly where they would on real hardware
+// (inside or outside critical sections).
+//
+// A crash is modelled by CrashImage: it returns the nvm image, optionally
+// merged with a random subset of dirty-but-unflushed cache lines to model
+// uncontrolled cache eviction. Recover builds a fresh arena whose both images
+// equal a crash image, as after a reboot.
+//
+// All word accesses use sync/atomic so concurrent tree code is data-race
+// free by construction; the synchronization *semantics* (who may see what)
+// are enforced by the data structures built on top, not by this package.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// LineSize is the simulated cache-line size in bytes: the atomic-write
+	// granularity HTM transactions raise stores to (Section 2.2 of the paper).
+	LineSize = 64
+	// WordSize is the atomic-write size of an ordinary store (Section 2.1).
+	WordSize = 8
+	// WordsPerLine is the number of 8-byte words in a cache line.
+	WordsPerLine = LineSize / WordSize
+	// RootSize is the number of bytes reserved at offset 0 for well-known
+	// static data (e.g. the pointer to the left-most leaf node used to start
+	// recovery, Section 5.4).
+	RootSize = LineSize
+)
+
+// NullOff is the reserved "nil pointer" offset. Offset 0 is always the root
+// line, so 0 can double as the null reference for persistent pointers.
+const NullOff uint64 = 0
+
+// LatencyModel configures the simulated cost of persistent instructions.
+// Zero values disable the corresponding busy-wait (useful in unit tests).
+//
+// The model follows measured NVDIMM/Optane behaviour (the paper's ref [1],
+// Izraelevitz et al.): CLWBs to distinct lines issue back to back and drain
+// concurrently, so a persistent instruction costs one fence-dominated
+// constant (the write-queue drain) plus a small per-line bandwidth term —
+// NOT a full media write per line.
+type LatencyModel struct {
+	// FlushPerLine is the bandwidth term charged per cache line flushed by
+	// one Persist (tens of nanoseconds).
+	FlushPerLine time.Duration
+	// Fence is charged once per Persist (and per explicit Fence call): the
+	// CLWB round trip plus the ordering fence that waits for the write
+	// queue to drain (a few hundred nanoseconds on NVDIMM).
+	Fence time.Duration
+}
+
+// DefaultLatency models the paper's NVDIMM-N testbed closely enough to
+// reproduce the relative weight of persistent instructions: each persist is
+// fence-dominated at a few hundred nanoseconds — one to two orders of
+// magnitude more than the instructions around it — and wide flushes add a
+// small per-line cost.
+var DefaultLatency = ProfileNVDIMM
+
+// Named latency profiles for the main classes of persistent memory. They
+// matter because the trees differ chiefly in persist counts: the pricier a
+// persist, the larger RNTree's two-persist advantage; under eADR (flushes
+// effectively free) the designs converge. BenchmarkAblationLatencyProfile
+// sweeps them.
+var (
+	// ProfileNVDIMM models battery-backed DRAM NVDIMM-N (the paper's
+	// testbed): fence-dominated at a few hundred nanoseconds.
+	ProfileNVDIMM = LatencyModel{FlushPerLine: 25 * time.Nanosecond, Fence: 500 * time.Nanosecond}
+	// ProfileOptane models Intel Optane DCPMM per the paper's ref [1]:
+	// slower media, costlier drains.
+	ProfileOptane = LatencyModel{FlushPerLine: 60 * time.Nanosecond, Fence: 900 * time.Nanosecond}
+	// ProfileEADR models platforms whose ADR domain covers the caches:
+	// flushes become ordering-only and nearly free.
+	ProfileEADR = LatencyModel{FlushPerLine: 0, Fence: 30 * time.Nanosecond}
+)
+
+// Stats counts persistence traffic. All fields are updated atomically; read
+// them via Arena.Stats which returns a consistent-enough snapshot.
+type Stats struct {
+	// Persists is the number of persistent instructions (flush+fence
+	// compounds) executed — the paper's primary cost metric (Table 1).
+	Persists uint64
+	// LinesFlushed is the total number of cache lines written back to NVM.
+	LinesFlushed uint64
+	// Fences is the number of ordering fences (one per Persist plus explicit
+	// Fence calls).
+	Fences uint64
+	// WordsWritten counts 8-byte store instructions into the arena,
+	// exposing write amplification.
+	WordsWritten uint64
+	// Allocs and Frees count allocator operations.
+	Allocs uint64
+	Frees  uint64
+}
+
+// Hooks are test/fuzzing callbacks fired around every Persist. They run on
+// the persisting goroutine. BeforePersist fires before any line is copied to
+// the nvm image, AfterPersist after the fence completes. Either may be nil.
+type Hooks struct {
+	BeforePersist func(off, size uint64)
+	AfterPersist  func(off, size uint64)
+}
+
+// Config configures a new Arena.
+type Config struct {
+	// Size is the arena capacity in bytes; rounded up to a whole line.
+	// The first RootSize bytes are reserved for root metadata.
+	Size uint64
+	// Latency is the persistent-instruction cost model.
+	Latency LatencyModel
+}
+
+// Arena is a simulated NVM device mapped into the process, addressed by byte
+// offsets. Offsets must be 8-byte aligned for word accesses; Persist and the
+// line helpers operate at 64-byte granularity.
+type Arena struct {
+	cache []uint64 // CPU-visible image
+	nvm   []uint64 // crash-durable image
+	dirty []uint64 // bitmap, one bit per line: cache line differs from nvm
+
+	lat   LatencyModel
+	hooks atomic.Pointer[Hooks]
+
+	stats struct {
+		persists     atomic.Uint64
+		linesFlushed atomic.Uint64
+		fences       atomic.Uint64
+		wordsWritten atomic.Uint64
+		allocs       atomic.Uint64
+		frees        atomic.Uint64
+	}
+
+	allocMu sync.Mutex
+	bump    uint64              // next unallocated byte offset
+	freed   map[uint64][]uint64 // size class (bytes) -> free offsets
+}
+
+// New creates an arena of cfg.Size bytes (at least two lines) with both
+// images zeroed and the allocator positioned just past the root line.
+func New(cfg Config) *Arena {
+	size := cfg.Size
+	if size < 2*LineSize {
+		size = 2 * LineSize
+	}
+	size = (size + LineSize - 1) &^ uint64(LineSize-1)
+	words := size / WordSize
+	a := &Arena{
+		cache: make([]uint64, words),
+		nvm:   make([]uint64, words),
+		dirty: make([]uint64, (size/LineSize+63)/64),
+		lat:   cfg.Latency,
+		bump:  RootSize,
+		freed: make(map[uint64][]uint64),
+	}
+	return a
+}
+
+// Size returns the arena capacity in bytes.
+func (a *Arena) Size() uint64 { return uint64(len(a.cache)) * WordSize }
+
+// Latency returns the arena's persistence cost model.
+func (a *Arena) Latency() LatencyModel { return a.lat }
+
+// SetLatency replaces the persistence cost model. Not safe to call
+// concurrently with Persist.
+func (a *Arena) SetLatency(m LatencyModel) { a.lat = m }
+
+// SetHooks installs persist callbacks (nil clears them).
+func (a *Arena) SetHooks(h *Hooks) { a.hooks.Store(h) }
+
+// Stats returns a snapshot of the persistence counters.
+func (a *Arena) Stats() Stats {
+	return Stats{
+		Persists:     a.stats.persists.Load(),
+		LinesFlushed: a.stats.linesFlushed.Load(),
+		Fences:       a.stats.fences.Load(),
+		WordsWritten: a.stats.wordsWritten.Load(),
+		Allocs:       a.stats.allocs.Load(),
+		Frees:        a.stats.frees.Load(),
+	}
+}
+
+// ResetStats zeroes all persistence counters.
+func (a *Arena) ResetStats() {
+	a.stats.persists.Store(0)
+	a.stats.linesFlushed.Store(0)
+	a.stats.fences.Store(0)
+	a.stats.wordsWritten.Store(0)
+	a.stats.allocs.Store(0)
+	a.stats.frees.Store(0)
+}
+
+func (a *Arena) wordIndex(off uint64) uint64 {
+	if off%WordSize != 0 {
+		panic(fmt.Sprintf("pmem: misaligned word access at offset %d", off))
+	}
+	i := off / WordSize
+	if i >= uint64(len(a.cache)) {
+		panic(fmt.Sprintf("pmem: offset %d out of range (size %d)", off, a.Size()))
+	}
+	return i
+}
+
+func (a *Arena) markDirty(line uint64) {
+	w, b := line/64, line%64
+	for {
+		old := atomic.LoadUint64(&a.dirty[w])
+		if old&(1<<b) != 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(&a.dirty[w], old, old|(1<<b)) {
+			return
+		}
+	}
+}
+
+func (a *Arena) clearDirty(line uint64) {
+	w, b := line/64, line%64
+	for {
+		old := atomic.LoadUint64(&a.dirty[w])
+		if old&(1<<b) == 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(&a.dirty[w], old, old&^(1<<b)) {
+			return
+		}
+	}
+}
+
+func (a *Arena) isDirty(line uint64) bool {
+	return atomic.LoadUint64(&a.dirty[line/64])&(1<<(line%64)) != 0
+}
+
+// Read8 returns the 8-byte word at the (aligned) byte offset from the cache
+// image — an ordinary load instruction.
+func (a *Arena) Read8(off uint64) uint64 {
+	return atomic.LoadUint64(&a.cache[a.wordIndex(off)])
+}
+
+// Write8 stores an 8-byte word at the (aligned) byte offset into the cache
+// image — an ordinary store instruction. The data is NOT durable until the
+// covering line is persisted (or happens to be evicted before a crash).
+func (a *Arena) Write8(off uint64, v uint64) {
+	i := a.wordIndex(off)
+	atomic.StoreUint64(&a.cache[i], v)
+	a.stats.wordsWritten.Add(1)
+	a.markDirty(off / LineSize)
+}
+
+// ReadLine copies the 64-byte cache line containing off into dst.
+func (a *Arena) ReadLine(off uint64, dst *[LineSize]byte) {
+	base := a.wordIndex(off &^ uint64(LineSize-1))
+	for w := 0; w < WordsPerLine; w++ {
+		v := atomic.LoadUint64(&a.cache[base+uint64(w)])
+		putWord(dst[w*WordSize:], v)
+	}
+}
+
+// WriteLine stores all 64 bytes of src into the cache line containing off.
+func (a *Arena) WriteLine(off uint64, src *[LineSize]byte) {
+	lineOff := off &^ uint64(LineSize-1)
+	base := a.wordIndex(lineOff)
+	for w := 0; w < WordsPerLine; w++ {
+		atomic.StoreUint64(&a.cache[base+uint64(w)], getWord(src[w*WordSize:]))
+	}
+	a.stats.wordsWritten.Add(WordsPerLine)
+	a.markDirty(lineOff / LineSize)
+}
+
+// WriteLineWords stores the eight words of the line containing off at once
+// (the bulk path for transactional commits).
+func (a *Arena) WriteLineWords(off uint64, w *[WordsPerLine]uint64) {
+	lineOff := off &^ uint64(LineSize-1)
+	base := a.wordIndex(lineOff)
+	for i := uint64(0); i < WordsPerLine; i++ {
+		atomic.StoreUint64(&a.cache[base+i], w[i])
+	}
+	a.stats.wordsWritten.Add(WordsPerLine)
+	a.markDirty(lineOff / LineSize)
+}
+
+// ReadRange copies size bytes starting at the aligned byte offset into dst.
+// off and size must be multiples of 8.
+func (a *Arena) ReadRange(off, size uint64, dst []byte) {
+	if size%WordSize != 0 {
+		panic("pmem: ReadRange size must be word-aligned")
+	}
+	base := a.wordIndex(off)
+	for w := uint64(0); w < size/WordSize; w++ {
+		putWord(dst[w*WordSize:], atomic.LoadUint64(&a.cache[base+w]))
+	}
+}
+
+// WriteRange stores len(src) bytes (a multiple of 8) at the aligned offset.
+func (a *Arena) WriteRange(off uint64, src []byte) {
+	if len(src)%WordSize != 0 {
+		panic("pmem: WriteRange size must be word-aligned")
+	}
+	base := a.wordIndex(off)
+	n := uint64(len(src) / WordSize)
+	for w := uint64(0); w < n; w++ {
+		atomic.StoreUint64(&a.cache[base+w], getWord(src[w*WordSize:]))
+	}
+	a.stats.wordsWritten.Add(n)
+	first := off / LineSize
+	last := (off + uint64(len(src)) - 1) / LineSize
+	for l := first; l <= last; l++ {
+		a.markDirty(l)
+	}
+}
+
+// Persist executes one persistent instruction covering [off, off+size): it
+// flushes every cache line in the range to the nvm image and then fences.
+// This is the expensive primitive the paper's designs minimise; its cost
+// (latency busy-wait) is charged to the calling goroutine.
+func (a *Arena) Persist(off, size uint64) {
+	if h := a.hooks.Load(); h != nil && h.BeforePersist != nil {
+		h.BeforePersist(off, size)
+	}
+	if size == 0 {
+		size = 1
+	}
+	first := off / LineSize
+	last := (off + size - 1) / LineSize
+	lines := last - first + 1
+	for l := first; l <= last; l++ {
+		a.flushLine(l)
+	}
+	a.stats.persists.Add(1)
+	a.stats.linesFlushed.Add(lines)
+	a.stats.fences.Add(1)
+	spin(time.Duration(lines)*a.lat.FlushPerLine + a.lat.Fence)
+	if h := a.hooks.Load(); h != nil && h.AfterPersist != nil {
+		h.AfterPersist(off, size)
+	}
+}
+
+// Fence executes a standalone ordering fence (no flush).
+func (a *Arena) Fence() {
+	a.stats.fences.Add(1)
+	spin(a.lat.Fence)
+}
+
+// flushLine copies one line from the cache image to the nvm image. The nvm
+// stores are atomic because independent writers may flush log entries that
+// share a cache line concurrently ("multiple threads can flush logs in
+// parallel", §4.2); each writer loads its own words after writing them, so
+// the line converges correctly. The nvm image is only *read* from crash
+// images taken at persist boundaries or from quiesced arenas.
+func (a *Arena) flushLine(line uint64) {
+	base := line * WordsPerLine
+	if base >= uint64(len(a.cache)) {
+		panic(fmt.Sprintf("pmem: persist beyond arena (line %d)", line))
+	}
+	for w := uint64(0); w < WordsPerLine; w++ {
+		atomic.StoreUint64(&a.nvm[base+w], atomic.LoadUint64(&a.cache[base+w]))
+	}
+	a.clearDirty(line)
+}
+
+// EvictLine models an uncontrolled cache eviction of the line containing
+// off: the cache line reaches NVM without any ordering guarantee. Exposed so
+// tests can force the adversarial schedules that persist ordering defends
+// against.
+func (a *Arena) EvictLine(off uint64) {
+	a.flushLine(off / LineSize)
+}
+
+// DirtyLines returns the offsets (line-aligned) of all lines whose cache and
+// nvm images differ, per the dirty bitmap.
+func (a *Arena) DirtyLines() []uint64 {
+	var out []uint64
+	nLines := a.Size() / LineSize
+	for l := uint64(0); l < nLines; l++ {
+		if a.isDirty(l) {
+			out = append(out, l*LineSize)
+		}
+	}
+	return out
+}
+
+// CrashImage captures what the NVM would contain if the machine lost power
+// now. Every persisted line is included; every dirty line is additionally
+// included with probability evictProb (rng may be nil when evictProb is 0),
+// modelling cache lines the hardware happened to evict before the crash.
+//
+// Callers must ensure no concurrent Persist is mid-flight on the lines they
+// care about (the crash fuzzer snapshots from persist hooks, which run on
+// the persisting goroutine, or after quiescing writers).
+func (a *Arena) CrashImage(rng *rand.Rand, evictProb float64) []uint64 {
+	img := make([]uint64, len(a.nvm))
+	copy(img, a.nvm)
+	if evictProb > 0 {
+		nLines := a.Size() / LineSize
+		for l := uint64(0); l < nLines; l++ {
+			if a.isDirty(l) && rng.Float64() < evictProb {
+				base := l * WordsPerLine
+				for w := uint64(0); w < WordsPerLine; w++ {
+					img[base+w] = atomic.LoadUint64(&a.cache[base+w])
+				}
+			}
+		}
+	}
+	return img
+}
+
+// Recover constructs a rebooted arena from a crash image: both the cache and
+// nvm images equal the captured state, all lines clean, the allocator reset.
+// The caller (tree recovery) must re-establish allocator state with SetBump
+// or MarkAllocated after walking its persistent structures.
+func Recover(img []uint64, cfg Config) *Arena {
+	a := New(Config{Size: uint64(len(img)) * WordSize, Latency: cfg.Latency})
+	if len(a.cache) != len(img) {
+		panic("pmem: recover image size mismatch")
+	}
+	copy(a.cache, img)
+	copy(a.nvm, img)
+	return a
+}
+
+// ErrOutOfMemory is returned by Alloc when the arena is exhausted.
+var ErrOutOfMemory = errors.New("pmem: arena out of memory")
+
+// Alloc reserves size bytes (rounded up to whole lines) of arena space and
+// returns its byte offset. Allocation metadata is volatile, as in the paper;
+// recovery re-derives it from the persistent structures.
+func (a *Arena) Alloc(size uint64) (uint64, error) {
+	size = (size + LineSize - 1) &^ uint64(LineSize-1)
+	a.allocMu.Lock()
+	defer a.allocMu.Unlock()
+	if lst := a.freed[size]; len(lst) > 0 {
+		off := lst[len(lst)-1]
+		a.freed[size] = lst[:len(lst)-1]
+		a.stats.allocs.Add(1)
+		return off, nil
+	}
+	if a.bump+size > a.Size() {
+		return 0, ErrOutOfMemory
+	}
+	off := a.bump
+	a.bump += size
+	a.stats.allocs.Add(1)
+	return off, nil
+}
+
+// Free returns a block to the allocator's (volatile) free list.
+func (a *Arena) Free(off, size uint64) {
+	size = (size + LineSize - 1) &^ uint64(LineSize-1)
+	a.allocMu.Lock()
+	a.freed[size] = append(a.freed[size], off)
+	a.allocMu.Unlock()
+	a.stats.frees.Add(1)
+}
+
+// Bump returns the allocator high-water mark (volatile).
+func (a *Arena) Bump() uint64 {
+	a.allocMu.Lock()
+	defer a.allocMu.Unlock()
+	return a.bump
+}
+
+// SetBump positions the allocator high-water mark; used by recovery after it
+// has determined the highest offset in use. Blocks below the mark that are
+// not referenced by persistent structures are leaked, exactly as on real
+// NVM allocators without persistent metadata.
+func (a *Arena) SetBump(off uint64) {
+	if off < RootSize {
+		off = RootSize
+	}
+	off = (off + LineSize - 1) &^ uint64(LineSize-1)
+	a.allocMu.Lock()
+	a.bump = off
+	a.freed = make(map[uint64][]uint64)
+	a.allocMu.Unlock()
+}
+
+// Zero fills [off, off+size) with zero words (size multiple of 8).
+func (a *Arena) Zero(off, size uint64) {
+	base := a.wordIndex(off)
+	for w := uint64(0); w < size/WordSize; w++ {
+		atomic.StoreUint64(&a.cache[base+w], 0)
+	}
+	a.stats.wordsWritten.Add(size / WordSize)
+	for l := off / LineSize; l <= (off+size-1)/LineSize; l++ {
+		a.markDirty(l)
+	}
+}
+
+// NVMRead8 reads a word from the nvm image (what a crash would preserve).
+// Intended for tests and recovery verification on quiesced arenas.
+func (a *Arena) NVMRead8(off uint64) uint64 {
+	return a.nvm[a.wordIndex(off)]
+}
+
+func putWord(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func getWord(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// spin stalls the calling goroutine for roughly d of wall-clock time,
+// yielding the processor while it waits. This mirrors real hardware: a
+// draining CLWB/SFENCE stalls only its own core while other cores keep
+// working — so even on hosts with fewer cores than benchmark threads,
+// persist stalls overlap with other workers' compute instead of freezing
+// them. Critically, a stall taken while holding a lock still blocks every
+// waiter for the full duration, which is exactly the contention effect the
+// paper measures (§3.4).
+func spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t0 := time.Now()
+	for time.Since(t0) < d {
+		runtime.Gosched()
+	}
+}

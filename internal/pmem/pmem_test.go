@@ -1,0 +1,382 @@
+package pmem
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTest(t *testing.T, size uint64) *Arena {
+	t.Helper()
+	return New(Config{Size: size})
+}
+
+func TestNewRoundsUpAndReservesRoot(t *testing.T) {
+	a := New(Config{Size: 100})
+	if a.Size()%LineSize != 0 {
+		t.Fatalf("size %d not line aligned", a.Size())
+	}
+	off, err := a.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < RootSize {
+		t.Fatalf("alloc %d overlaps root line", off)
+	}
+}
+
+func TestWriteReadWord(t *testing.T) {
+	a := newTest(t, 4096)
+	a.Write8(128, 0xdeadbeefcafe)
+	if got := a.Read8(128); got != 0xdeadbeefcafe {
+		t.Fatalf("Read8 = %#x", got)
+	}
+	// Unpersisted data must not be in the NVM image.
+	if got := a.NVMRead8(128); got != 0 {
+		t.Fatalf("NVM image has unpersisted data: %#x", got)
+	}
+}
+
+func TestMisalignedAccessPanics(t *testing.T) {
+	a := newTest(t, 4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on misaligned access")
+		}
+	}()
+	a.Write8(129, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	a := newTest(t, 4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range access")
+		}
+	}()
+	a.Read8(1 << 30)
+}
+
+func TestPersistMakesDurable(t *testing.T) {
+	a := newTest(t, 4096)
+	a.Write8(256, 42)
+	a.Write8(264, 43)
+	a.Persist(256, 16)
+	if a.NVMRead8(256) != 42 || a.NVMRead8(264) != 43 {
+		t.Fatal("persist did not reach NVM image")
+	}
+	s := a.Stats()
+	if s.Persists != 1 {
+		t.Fatalf("Persists = %d, want 1", s.Persists)
+	}
+	if s.LinesFlushed != 1 {
+		t.Fatalf("LinesFlushed = %d, want 1", s.LinesFlushed)
+	}
+	if s.Fences != 1 {
+		t.Fatalf("Fences = %d, want 1", s.Fences)
+	}
+}
+
+func TestPersistSpanningLines(t *testing.T) {
+	a := newTest(t, 4096)
+	// Range crossing a line boundary flushes two lines but is one persist.
+	a.Write8(120, 7)
+	a.Write8(128, 8)
+	a.Persist(120, 16)
+	s := a.Stats()
+	if s.Persists != 1 || s.LinesFlushed != 2 {
+		t.Fatalf("persists=%d lines=%d, want 1/2", s.Persists, s.LinesFlushed)
+	}
+}
+
+func TestLineRoundTrip(t *testing.T) {
+	a := newTest(t, 4096)
+	var src, dst [LineSize]byte
+	for i := range src {
+		src[i] = byte(i * 3)
+	}
+	a.WriteLine(512, &src)
+	a.ReadLine(512+8, &dst) // any offset within the line reads the whole line
+	if src != dst {
+		t.Fatalf("line mismatch: %v != %v", src, dst)
+	}
+}
+
+func TestRangeRoundTrip(t *testing.T) {
+	a := newTest(t, 4096)
+	src := make([]byte, 160)
+	for i := range src {
+		src[i] = byte(255 - i)
+	}
+	a.WriteRange(192, src)
+	dst := make([]byte, 160)
+	a.ReadRange(192, 160, dst)
+	for i := range src {
+		if src[i] != dst[i] {
+			t.Fatalf("byte %d: %d != %d", i, src[i], dst[i])
+		}
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	a := newTest(t, 4096)
+	a.Write8(1024, 5)
+	found := false
+	for _, off := range a.DirtyLines() {
+		if off == 1024 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("written line not reported dirty")
+	}
+	a.Persist(1024, 8)
+	for _, off := range a.DirtyLines() {
+		if off == 1024 {
+			t.Fatal("persisted line still dirty")
+		}
+	}
+}
+
+func TestEvictLine(t *testing.T) {
+	a := newTest(t, 4096)
+	a.Write8(2048, 99)
+	a.EvictLine(2048)
+	if a.NVMRead8(2048) != 99 {
+		t.Fatal("evicted line not in NVM image")
+	}
+	if a.Stats().Persists != 0 {
+		t.Fatal("eviction must not count as a persistent instruction")
+	}
+}
+
+func TestCrashImageExcludesUnflushed(t *testing.T) {
+	a := newTest(t, 4096)
+	a.Write8(256, 1)
+	a.Persist(256, 8)
+	a.Write8(320, 2) // dirty, never persisted
+	img := a.CrashImage(nil, 0)
+	r := Recover(img, Config{})
+	if r.Read8(256) != 1 {
+		t.Fatal("persisted word lost in crash")
+	}
+	if r.Read8(320) != 0 {
+		t.Fatal("unpersisted word survived crash with evictProb=0")
+	}
+}
+
+func TestCrashImageEviction(t *testing.T) {
+	a := newTest(t, 1<<16)
+	for i := 0; i < 100; i++ {
+		a.Write8(uint64(RootSize+i*LineSize), uint64(i+1))
+	}
+	rng := rand.New(rand.NewSource(1))
+	img := a.CrashImage(rng, 0.5)
+	r := Recover(img, Config{})
+	survived := 0
+	for i := 0; i < 100; i++ {
+		if r.Read8(uint64(RootSize+i*LineSize)) != 0 {
+			survived++
+		}
+	}
+	if survived == 0 || survived == 100 {
+		t.Fatalf("eviction should include a strict subset, got %d/100", survived)
+	}
+}
+
+func TestRecoverImagesEqual(t *testing.T) {
+	a := newTest(t, 4096)
+	a.Write8(256, 7)
+	a.Persist(256, 8)
+	r := Recover(a.CrashImage(nil, 0), Config{})
+	// After reboot cache and nvm agree; nothing dirty.
+	if len(r.DirtyLines()) != 0 {
+		t.Fatal("recovered arena has dirty lines")
+	}
+	if r.Read8(256) != 7 || r.NVMRead8(256) != 7 {
+		t.Fatal("recovered images disagree")
+	}
+}
+
+func TestAllocFreeReuse(t *testing.T) {
+	a := newTest(t, 1<<16)
+	o1, err := a.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, _ := a.Alloc(128)
+	if o2 == o1 {
+		t.Fatal("distinct allocations alias")
+	}
+	if o1%LineSize != 0 || o2%LineSize != 0 {
+		t.Fatal("allocations not line aligned")
+	}
+	a.Free(o1, 128)
+	o3, _ := a.Alloc(128)
+	if o3 != o1 {
+		t.Fatalf("free list not reused: got %d want %d", o3, o1)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	a := New(Config{Size: 4 * LineSize})
+	var err error
+	for i := 0; i < 10; i++ {
+		_, err = a.Alloc(LineSize)
+		if err != nil {
+			break
+		}
+	}
+	if err != ErrOutOfMemory {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestSetBumpResets(t *testing.T) {
+	a := newTest(t, 1<<16)
+	o, _ := a.Alloc(64)
+	a.Free(o, 64)
+	a.SetBump(o + 640)
+	o2, _ := a.Alloc(64)
+	if o2 < o+640 {
+		t.Fatalf("SetBump did not clear free list / move bump: got %d", o2)
+	}
+}
+
+func TestHooksFire(t *testing.T) {
+	a := newTest(t, 4096)
+	var before, after int
+	a.SetHooks(&Hooks{
+		BeforePersist: func(off, size uint64) { before++ },
+		AfterPersist:  func(off, size uint64) { after++ },
+	})
+	a.Write8(256, 1)
+	a.Persist(256, 8)
+	if before != 1 || after != 1 {
+		t.Fatalf("hooks fired %d/%d times", before, after)
+	}
+	a.SetHooks(nil)
+	a.Persist(256, 8)
+	if before != 1 || after != 1 {
+		t.Fatal("cleared hooks still fired")
+	}
+}
+
+func TestBeforeHookSeesPreFlushState(t *testing.T) {
+	a := newTest(t, 4096)
+	var seen uint64 = 1
+	a.SetHooks(&Hooks{BeforePersist: func(off, size uint64) {
+		seen = a.NVMRead8(256)
+	}})
+	a.Write8(256, 9)
+	a.Persist(256, 8)
+	if seen != 0 {
+		t.Fatalf("BeforePersist ran after flush (saw %d)", seen)
+	}
+}
+
+func TestLatencyCharged(t *testing.T) {
+	a := New(Config{Size: 4096, Latency: LatencyModel{FlushPerLine: 200 * time.Microsecond, Fence: 100 * time.Microsecond}})
+	a.Write8(256, 1)
+	t0 := time.Now()
+	a.Persist(256, 8)
+	if el := time.Since(t0); el < 250*time.Microsecond {
+		t.Fatalf("persist returned too fast: %v", el)
+	}
+}
+
+func TestZero(t *testing.T) {
+	a := newTest(t, 4096)
+	a.Write8(512, 11)
+	a.Write8(520, 12)
+	a.Zero(512, 64)
+	if a.Read8(512) != 0 || a.Read8(520) != 0 {
+		t.Fatal("Zero did not clear")
+	}
+}
+
+func TestConcurrentDisjointWrites(t *testing.T) {
+	a := newTest(t, 1<<20)
+	const workers = 8
+	const per = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(RootSize) + uint64(w)*per*8
+			for i := uint64(0); i < per; i++ {
+				a.Write8(base+i*8, uint64(w)<<32|i)
+				a.Persist(base+i*8, 8)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		base := uint64(RootSize) + uint64(w)*per*8
+		for i := uint64(0); i < per; i++ {
+			if got := a.NVMRead8(base + i*8); got != uint64(w)<<32|i {
+				t.Fatalf("worker %d word %d = %#x", w, i, got)
+			}
+		}
+	}
+	if s := a.Stats(); s.Persists != workers*per {
+		t.Fatalf("Persists = %d, want %d", s.Persists, workers*per)
+	}
+}
+
+// Property: a persisted word always equals what was last written before the
+// persist, regardless of the write pattern.
+func TestQuickPersistDurability(t *testing.T) {
+	a := newTest(t, 1<<16)
+	f := func(slot uint8, v uint64) bool {
+		off := uint64(RootSize) + uint64(slot)*8
+		a.Write8(off, v)
+		a.Persist(off, 8)
+		img := a.CrashImage(nil, 0)
+		r := Recover(img, Config{})
+		return r.Read8(off) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: words written but not persisted never appear in a no-eviction
+// crash image unless they share a line with a persisted word.
+func TestQuickUnpersistedIsolation(t *testing.T) {
+	f := func(vals [8]uint64) bool {
+		a := New(Config{Size: 1 << 12})
+		// Line A persisted, line B not.
+		for i, v := range vals {
+			a.Write8(uint64(RootSize+i*8), v|1)          // line A
+			a.Write8(uint64(RootSize+LineSize+i*8), v|1) // line B
+		}
+		a.Persist(RootSize, LineSize)
+		r := Recover(a.CrashImage(nil, 0), Config{})
+		for i, v := range vals {
+			if r.Read8(uint64(RootSize+i*8)) != v|1 {
+				return false
+			}
+			if r.Read8(uint64(RootSize+LineSize+i*8)) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	a := newTest(t, 4096)
+	a.Write8(256, 1)
+	a.Persist(256, 8)
+	a.ResetStats()
+	if s := a.Stats(); s.Persists != 0 || s.WordsWritten != 0 {
+		t.Fatalf("stats not reset: %+v", s)
+	}
+}

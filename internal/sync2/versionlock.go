@@ -1,0 +1,155 @@
+// Package sync2 provides the synchronization building blocks of Section 5.1
+// of the paper: a Masstree-style combined version/lock word (Figure 2) and a
+// simple spin lock. A single integer carries a lock bit used by modify
+// operations, a splitting bit set while a leaf node is being split, and a
+// version number that is incremented when a split finishes — so readers only
+// retry when the leaf they examined was structurally changed.
+package sync2
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+const (
+	// LockBit is set while a writer holds the leaf lock.
+	LockBit uint64 = 1 << 63
+	// SplitBit is set while the leaf is being split.
+	SplitBit uint64 = 1 << 62
+	// VersionMask extracts the version number.
+	VersionMask uint64 = SplitBit - 1
+)
+
+// VersionLock is the combined version/lock/splitting word of Figure 2.
+// The zero value is unlocked, not splitting, version 0.
+type VersionLock struct {
+	w atomic.Uint64
+}
+
+// Raw returns the current raw word (version + flag bits).
+func (v *VersionLock) Raw() uint64 { return v.w.Load() }
+
+// Version returns the current version number, ignoring flag bits.
+func (v *VersionLock) Version() uint64 { return v.w.Load() & VersionMask }
+
+// IsLocked reports whether the lock bit is set.
+func (v *VersionLock) IsLocked() bool { return v.w.Load()&LockBit != 0 }
+
+// IsSplitting reports whether the splitting bit is set.
+func (v *VersionLock) IsSplitting() bool { return v.w.Load()&SplitBit != 0 }
+
+// TryLock attempts to set the lock bit with a single CAS.
+func (v *VersionLock) TryLock() bool {
+	old := v.w.Load()
+	if old&LockBit != 0 {
+		return false
+	}
+	return v.w.CompareAndSwap(old, old|LockBit)
+}
+
+// Lock spins until the lock bit is acquired (the paper's lock helper, a CAS
+// loop on the lock bit).
+func (v *VersionLock) Lock() {
+	for i := 0; ; i++ {
+		if v.TryLock() {
+			return
+		}
+		backoff(i)
+	}
+}
+
+// Unlock clears the lock bit. The caller must hold the lock.
+func (v *VersionLock) Unlock() {
+	for {
+		old := v.w.Load()
+		if old&LockBit == 0 {
+			panic("sync2: unlock of unlocked VersionLock")
+		}
+		if v.w.CompareAndSwap(old, old&^LockBit) {
+			return
+		}
+	}
+}
+
+// SetSplit sets the splitting bit. The caller must hold the lock.
+func (v *VersionLock) SetSplit() {
+	for {
+		old := v.w.Load()
+		if v.w.CompareAndSwap(old, old|SplitBit) {
+			return
+		}
+	}
+}
+
+// UnsetSplit clears the splitting bit and increments the version number,
+// signalling readers that the leaf's structure changed (Section 5.1: "The
+// version number is increased when the splitting is finished").
+func (v *VersionLock) UnsetSplit() {
+	for {
+		old := v.w.Load()
+		if old&SplitBit == 0 {
+			panic("sync2: UnsetSplit without SetSplit")
+		}
+		next := (old &^ SplitBit) + 1
+		if next&VersionMask == 0 { // version wrapped into flag bits
+			next = old &^ (SplitBit | VersionMask)
+		}
+		if v.w.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// StableVersion spins until the splitting bit is clear and returns the
+// version number observed at that moment (the paper's stableVersion helper).
+// Readers call it before and after their computation; a changed version
+// means a split intervened and the read must retry.
+func (v *VersionLock) StableVersion() uint64 {
+	for i := 0; ; i++ {
+		w := v.w.Load()
+		if w&SplitBit == 0 {
+			return w & VersionMask
+		}
+		backoff(i)
+	}
+}
+
+// SpinLock is a minimal test-and-set spin lock for short critical sections.
+// The zero value is unlocked.
+type SpinLock struct {
+	v atomic.Uint32
+}
+
+// TryLock attempts to acquire the lock without blocking.
+func (s *SpinLock) TryLock() bool { return s.v.CompareAndSwap(0, 1) }
+
+// Lock spins (with progressive backoff) until acquired.
+func (s *SpinLock) Lock() {
+	for i := 0; ; i++ {
+		if s.TryLock() {
+			return
+		}
+		backoff(i)
+	}
+}
+
+// Unlock releases the lock.
+func (s *SpinLock) Unlock() {
+	if !s.v.CompareAndSwap(1, 0) {
+		panic("sync2: unlock of unlocked SpinLock")
+	}
+}
+
+// IsLocked reports whether the lock is currently held.
+func (s *SpinLock) IsLocked() bool { return s.v.Load() != 0 }
+
+// backoff yields progressively: a few busy spins, then scheduler yields.
+func backoff(i int) {
+	if i < 8 {
+		for j := 0; j < 1<<uint(i); j++ {
+			_ = j
+		}
+		return
+	}
+	runtime.Gosched()
+}

@@ -1,0 +1,46 @@
+// Package tree defines the common interface implemented by RNTree and every
+// baseline tree (NV-Tree, wB+Tree, wB+Tree-SO, FPTree, CDDS), along with the
+// shared error values for conditional writes (Section 3.3 of the paper).
+package tree
+
+import "errors"
+
+// Conditional-write errors (Section 3.3): an insert succeeds only if no
+// record with the same key exists; update and remove succeed only if one
+// does.
+var (
+	// ErrKeyExists is returned by Insert when the key is already present.
+	ErrKeyExists = errors.New("tree: key already exists")
+	// ErrKeyNotFound is returned by Update and Remove when the key is absent.
+	ErrKeyNotFound = errors.New("tree: key not found")
+	// ErrFull is returned when the arena backing the tree is exhausted.
+	ErrFull = errors.New("tree: persistent arena full")
+)
+
+// KV is one key-value record.
+type KV struct {
+	Key   uint64
+	Value uint64
+}
+
+// Index is the operation set every tree in this repository supports: the
+// paper's find and range query (read-only) plus insert, update and remove
+// (modify operations).
+type Index interface {
+	// Insert adds key with value; it fails with ErrKeyExists if the key is
+	// present (conditional write).
+	Insert(key, value uint64) error
+	// Update overwrites the value of an existing key; it fails with
+	// ErrKeyNotFound if the key is absent (conditional write).
+	Update(key, value uint64) error
+	// Upsert writes key unconditionally (insert-or-update).
+	Upsert(key, value uint64) error
+	// Find returns the value stored under key.
+	Find(key uint64) (uint64, bool)
+	// Remove deletes key; it fails with ErrKeyNotFound if absent.
+	Remove(key uint64) error
+	// Scan visits records with key >= start in ascending key order until fn
+	// returns false or max records were visited (max <= 0 means unlimited).
+	// It returns the number of records visited.
+	Scan(start uint64, max int, fn func(key, value uint64) bool) int
+}

@@ -1,0 +1,143 @@
+package treetest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rntree/internal/baseline/cdds"
+	"rntree/internal/baseline/fptree"
+	"rntree/internal/baseline/nvtree"
+	"rntree/internal/baseline/wbtree"
+	"rntree/internal/core"
+	"rntree/internal/pmem"
+	"rntree/internal/tree"
+)
+
+// mkAll builds one instance of every tree implementation in the repository.
+func mkAll(t testing.TB) map[string]tree.Index {
+	t.Helper()
+	arena := func() *pmem.Arena { return pmem.New(pmem.Config{Size: 64 << 20}) }
+	out := map[string]tree.Index{}
+	add := func(name string, ix tree.Index, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = ix
+	}
+	rn, err := core.New(arena(), core.Options{})
+	add("rntree", rn, err)
+	ds, err := core.New(arena(), core.Options{DualSlot: true})
+	add("rntree+ds", ds, err)
+	nv, err := nvtree.New(arena(), nvtree.Options{Conditional: true})
+	add("nvtree", nv, err)
+	wb, err := wbtree.New(arena(), wbtree.Options{})
+	add("wbtree", wb, err)
+	so, err := wbtree.New(arena(), wbtree.Options{SlotOnly: true})
+	add("wbtree-so", so, err)
+	fp, err := fptree.New(arena(), fptree.Options{})
+	add("fptree", fp, err)
+	cd, err := cdds.New(arena(), cdds.Options{})
+	add("cdds", cd, err)
+	return out
+}
+
+// TestDifferentialAllTrees feeds the same randomized operation sequence to
+// every tree implementation and requires byte-identical observable
+// behaviour: same per-op results (including conditional-write errors), same
+// final contents, same scan order. Any divergence pinpoints a semantic bug
+// in one leaf design.
+func TestDifferentialAllTrees(t *testing.T) {
+	trees := mkAll(t)
+	rng := rand.New(rand.NewSource(99))
+	type result struct {
+		err   bool
+		val   uint64
+		found bool
+	}
+	for i := 0; i < 15_000; i++ {
+		k := rng.Uint64() % 2000
+		v := rng.Uint64() >> 1
+		op := rng.Intn(5)
+		var ref *result
+		for name, ix := range trees {
+			var r result
+			switch op {
+			case 0:
+				r.err = ix.Insert(k, v) != nil
+			case 1:
+				r.err = ix.Update(k, v) != nil
+			case 2:
+				r.err = ix.Upsert(k, v) != nil
+			case 3:
+				r.err = ix.Remove(k) != nil
+			case 4:
+				r.val, r.found = ix.Find(k)
+			}
+			if ref == nil {
+				ref = &r
+			} else if *ref != r {
+				t.Fatalf("op %d (kind %d, key %d): %s diverged: %+v vs %+v",
+					i, op, k, name, r, *ref)
+			}
+		}
+	}
+	// Final contents must agree exactly, in scan order.
+	var refDump []tree.KV
+	refName := ""
+	for name, ix := range trees {
+		var dump []tree.KV
+		ix.Scan(0, 0, func(k, v uint64) bool {
+			dump = append(dump, tree.KV{Key: k, Value: v})
+			return true
+		})
+		if refDump == nil {
+			refDump, refName = dump, name
+			continue
+		}
+		if len(dump) != len(refDump) {
+			t.Fatalf("%s has %d records, %s has %d", name, len(dump), refName, len(refDump))
+		}
+		for i := range dump {
+			if dump[i] != refDump[i] {
+				t.Fatalf("%s[%d] = %+v, %s[%d] = %+v", name, i, dump[i], refName, i, refDump[i])
+			}
+		}
+	}
+}
+
+// Property: short random op sequences leave all trees in agreement.
+func TestQuickDifferentialShortSequences(t *testing.T) {
+	f := func(ops []uint16) bool {
+		trees := mkAll(t)
+		for _, raw := range ops {
+			k := uint64(raw % 50)
+			v := uint64(raw)
+			kind := int(raw>>8) % 4
+			var ref *bool
+			for _, ix := range trees {
+				var e bool
+				switch kind {
+				case 0:
+					e = ix.Insert(k, v) != nil
+				case 1:
+					e = ix.Update(k, v) != nil
+				case 2:
+					e = ix.Remove(k) != nil
+				case 3:
+					_, found := ix.Find(k)
+					e = !found
+				}
+				if ref == nil {
+					ref = &e
+				} else if *ref != e {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

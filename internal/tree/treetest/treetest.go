@@ -1,0 +1,221 @@
+// Package treetest provides a conformance suite run against every tree
+// implementation in this repository.
+package treetest
+
+import (
+	"rntree/internal/tree"
+
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// RunConformance exercises an Index implementation against a reference
+// model: conditional-write semantics, ordered scans, split pressure, and a
+// long randomized op sequence. Every tree in this repository (RNTree and all
+// baselines) must pass it with identical observable behaviour.
+func RunConformance(t *testing.T, name string, mk func(t *testing.T) tree.Index) {
+	t.Run(name+"/Conditional", func(t *testing.T) { confConditional(t, mk(t)) })
+	t.Run(name+"/SequentialSplits", func(t *testing.T) { confSequential(t, mk(t)) })
+	t.Run(name+"/ReverseInserts", func(t *testing.T) { confReverse(t, mk(t)) })
+	t.Run(name+"/RandomOps", func(t *testing.T) { confRandom(t, mk(t)) })
+	t.Run(name+"/Scans", func(t *testing.T) { confScan(t, mk(t)) })
+	t.Run(name+"/UpdateHeavy", func(t *testing.T) { confUpdateHeavy(t, mk(t)) })
+}
+
+func confConditional(t *testing.T, ix tree.Index) {
+	if err := ix.Insert(5, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(5, 51); err != tree.ErrKeyExists {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	if v, ok := ix.Find(5); !ok || v != 50 {
+		t.Fatalf("Find(5) = %d,%v", v, ok)
+	}
+	if err := ix.Update(6, 1); err != tree.ErrKeyNotFound {
+		t.Fatalf("update absent: %v", err)
+	}
+	if err := ix.Update(5, 55); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ix.Find(5); v != 55 {
+		t.Fatalf("update invisible: %d", v)
+	}
+	if err := ix.Remove(7); err != tree.ErrKeyNotFound {
+		t.Fatalf("remove absent: %v", err)
+	}
+	if err := ix.Remove(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Find(5); ok {
+		t.Fatal("removed key found")
+	}
+	if err := ix.Upsert(8, 80); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Upsert(8, 81); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ix.Find(8); v != 81 {
+		t.Fatalf("upsert: %d", v)
+	}
+}
+
+func confSequential(t *testing.T, ix tree.Index) {
+	const n = 5000
+	for i := uint64(0); i < n; i++ {
+		if err := ix.Insert(i, i+1); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := ix.Find(i); !ok || v != i+1 {
+			t.Fatalf("Find(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func confReverse(t *testing.T, ix tree.Index) {
+	const n = 3000
+	for i := n; i > 0; i-- {
+		if err := ix.Insert(uint64(i)*2, uint64(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		if v, ok := ix.Find(uint64(i) * 2); !ok || v != uint64(i) {
+			t.Fatalf("Find(%d) = %d,%v", i*2, v, ok)
+		}
+	}
+	if _, ok := ix.Find(1); ok {
+		t.Fatal("found odd key")
+	}
+}
+
+func confRandom(t *testing.T, ix tree.Index) {
+	rng := rand.New(rand.NewSource(11))
+	model := map[uint64]uint64{}
+	for i := 0; i < 20000; i++ {
+		k := rng.Uint64() % 3000
+		v := rng.Uint64() >> 1
+		switch rng.Intn(5) {
+		case 0, 1:
+			err := ix.Insert(k, v)
+			if _, ok := model[k]; ok {
+				if err != tree.ErrKeyExists {
+					t.Fatalf("op %d insert dup %d: %v", i, k, err)
+				}
+			} else if err != nil {
+				t.Fatalf("op %d insert %d: %v", i, k, err)
+			} else {
+				model[k] = v
+			}
+		case 2:
+			err := ix.Update(k, v)
+			if _, ok := model[k]; ok {
+				if err != nil {
+					t.Fatalf("op %d update %d: %v", i, k, err)
+				}
+				model[k] = v
+			} else if err != tree.ErrKeyNotFound {
+				t.Fatalf("op %d update absent %d: %v", i, k, err)
+			}
+		case 3:
+			err := ix.Remove(k)
+			if _, ok := model[k]; ok {
+				if err != nil {
+					t.Fatalf("op %d remove %d: %v", i, k, err)
+				}
+				delete(model, k)
+			} else if err != tree.ErrKeyNotFound {
+				t.Fatalf("op %d remove absent %d: %v", i, k, err)
+			}
+		case 4:
+			v, ok := ix.Find(k)
+			mv, mok := model[k]
+			if ok != mok || (ok && v != mv) {
+				t.Fatalf("op %d find %d = (%d,%v) want (%d,%v)", i, k, v, ok, mv, mok)
+			}
+		}
+	}
+	got := map[uint64]uint64{}
+	ix.Scan(0, 0, func(k, v uint64) bool { got[k] = v; return true })
+	if len(got) != len(model) {
+		t.Fatalf("final scan: %d records, model %d", len(got), len(model))
+	}
+	for k, v := range model {
+		if gv, ok := got[k]; !ok || gv != v {
+			t.Fatalf("final scan: key %d = (%d,%v), want %d", k, gv, ok, v)
+		}
+	}
+}
+
+func confScan(t *testing.T, ix tree.Index) {
+	rng := rand.New(rand.NewSource(21))
+	var keys []uint64
+	seen := map[uint64]bool{}
+	for len(keys) < 4000 {
+		k := rng.Uint64() % 1_000_000
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, k)
+		if err := ix.Insert(k, k^0xffff); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	// Full ordered scan.
+	i := 0
+	n := ix.Scan(0, 0, func(k, v uint64) bool {
+		if k != keys[i] || v != k^0xffff {
+			t.Fatalf("scan pos %d: got (%d,%d) want key %d", i, k, v, keys[i])
+		}
+		i++
+		return true
+	})
+	if n != len(keys) {
+		t.Fatalf("scan visited %d, want %d", n, len(keys))
+	}
+	// Bounded scan from an arbitrary start.
+	start := keys[1000] + 1
+	wantIdx := sort.Search(len(keys), func(i int) bool { return keys[i] >= start })
+	j := 0
+	ix.Scan(start, 100, func(k, v uint64) bool {
+		if k != keys[wantIdx+j] {
+			t.Fatalf("bounded scan pos %d: got %d want %d", j, k, keys[wantIdx+j])
+		}
+		j++
+		return true
+	})
+	if j != 100 {
+		t.Fatalf("bounded scan visited %d", j)
+	}
+	// Scan past the end.
+	if n := ix.Scan(1<<62, 0, func(_, _ uint64) bool { return true }); n != 0 {
+		t.Fatalf("scan past end visited %d", n)
+	}
+}
+
+func confUpdateHeavy(t *testing.T, ix tree.Index) {
+	const keys = 64
+	for k := uint64(0); k < keys; k++ {
+		if err := ix.Insert(k, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := uint64(1); round <= 100; round++ {
+		for k := uint64(0); k < keys; k++ {
+			if err := ix.Update(k, round*1000+k); err != nil {
+				t.Fatalf("round %d update %d: %v", round, k, err)
+			}
+		}
+	}
+	for k := uint64(0); k < keys; k++ {
+		if v, ok := ix.Find(k); !ok || v != 100*1000+k {
+			t.Fatalf("Find(%d) = %d,%v", k, v, ok)
+		}
+	}
+}

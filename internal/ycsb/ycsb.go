@@ -1,0 +1,182 @@
+// Package ycsb generates the workloads of the paper's evaluation (§6):
+// YCSB-style operation mixes over uniform or Zipfian key-popularity
+// distributions [Cooper et al., SoCC'10]. Following §6.3.1, keys are hashed
+// ("scrambled") so that the hottest ranks land in different leaf nodes.
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+)
+
+// OpKind is one benchmark operation type.
+type OpKind int
+
+const (
+	OpRead OpKind = iota
+	OpUpdate
+	OpInsert
+	OpRemove
+	OpScan
+)
+
+// String names the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "insert"
+	case OpRemove:
+		return "remove"
+	case OpScan:
+		return "scan"
+	}
+	return "?"
+}
+
+// Mix is an operation mix in percent; entries must sum to 100.
+type Mix struct {
+	Read, Update, Insert, Remove, Scan int
+}
+
+// The paper's workloads.
+var (
+	// A is YCSB-A: 50% reads, 50% updates (the default concurrent
+	// benchmark, §6.3).
+	A = Mix{Read: 50, Update: 50}
+	// B is YCSB-B: 95% reads, 5% updates.
+	B = Mix{Read: 95, Update: 5}
+	// C is YCSB-C: read only.
+	C = Mix{Read: 100}
+	// ReadIntensive is the 90% read / 10% update mix of Figure 8(c).
+	ReadIntensive = Mix{Read: 90, Update: 10}
+	// MixedQuarter gives each single-key operation the same proportion, as
+	// in the mixed benchmark of §6.2.4.
+	MixedQuarter = Mix{Read: 25, Update: 25, Insert: 25, Remove: 25}
+)
+
+// Next draws an operation kind.
+func (m Mix) Next(r *rand.Rand) OpKind {
+	p := r.Intn(100)
+	if p < m.Read {
+		return OpRead
+	}
+	p -= m.Read
+	if p < m.Update {
+		return OpUpdate
+	}
+	p -= m.Update
+	if p < m.Insert {
+		return OpInsert
+	}
+	p -= m.Insert
+	if p < m.Remove {
+		return OpRemove
+	}
+	return OpScan
+}
+
+// Scramble is a 64-bit mixing bijection (splitmix64 finalizer) used to hash
+// ranks into keys. The result is truncated to 63 bits so keys stay clear of
+// the trees' sentinel bound.
+func Scramble(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x & (1<<63 - 1)
+}
+
+// KeyAt returns the key for load-phase record i.
+func KeyAt(i uint64) uint64 { return Scramble(i) }
+
+// Chooser picks request keys.
+type Chooser interface {
+	// Next returns the key for the next request.
+	Next(r *rand.Rand) uint64
+}
+
+// Uniform picks ranks uniformly from [0, N).
+type Uniform struct {
+	N uint64
+}
+
+// Next implements Chooser.
+func (u Uniform) Next(r *rand.Rand) uint64 {
+	return Scramble(uint64(r.Int63n(int64(u.N))))
+}
+
+// Zipfian is the YCSB Zipfian generator [Gray et al.]: rank popularity
+// follows a Zipf distribution with parameter theta; ranks are scrambled into
+// keys (§6.3.1: "We hash keys to distribute hottest keys to different leaf
+// nodes").
+type Zipfian struct {
+	n                        uint64
+	theta                    float64
+	alpha, zetan, eta, zeta2 float64
+}
+
+// NewZipfian prepares a Zipfian chooser over n ranks with coefficient theta
+// (the paper uses 0.5-0.99; 0.8 is the default skew). Preparation is O(n).
+func NewZipfian(n uint64, theta float64) *Zipfian {
+	z := &Zipfian{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// NextRank draws a rank in [0, N): rank 0 is the hottest.
+func (z *Zipfian) NextRank(r *rand.Rand) uint64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Next implements Chooser.
+func (z *Zipfian) Next(r *rand.Rand) uint64 {
+	rank := z.NextRank(r)
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	return Scramble(rank)
+}
+
+// Workload bundles a mix and a key chooser into per-thread request streams.
+type Workload struct {
+	Mix     Mix
+	Chooser Chooser
+}
+
+// Request is one generated operation.
+type Request struct {
+	Op  OpKind
+	Key uint64
+}
+
+// Stream returns a deterministic per-thread request generator.
+func (w Workload) Stream(seed int64) func() Request {
+	r := rand.New(rand.NewSource(seed))
+	return func() Request {
+		return Request{Op: w.Mix.Next(r), Key: w.Chooser.Next(r)}
+	}
+}

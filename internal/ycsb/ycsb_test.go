@@ -1,0 +1,147 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixProportions(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	counts := map[OpKind]int{}
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		counts[A.Next(r)]++
+	}
+	if counts[OpInsert] != 0 || counts[OpScan] != 0 || counts[OpRemove] != 0 {
+		t.Fatalf("YCSB-A emitted foreign ops: %v", counts)
+	}
+	ratio := float64(counts[OpRead]) / n
+	if ratio < 0.48 || ratio > 0.52 {
+		t.Fatalf("YCSB-A read ratio %.3f", ratio)
+	}
+	counts = map[OpKind]int{}
+	for i := 0; i < n; i++ {
+		counts[ReadIntensive.Next(r)]++
+	}
+	ratio = float64(counts[OpRead]) / n
+	if ratio < 0.88 || ratio > 0.92 {
+		t.Fatalf("read-intensive read ratio %.3f", ratio)
+	}
+	counts = map[OpKind]int{}
+	for i := 0; i < n; i++ {
+		counts[MixedQuarter.Next(r)]++
+	}
+	for _, k := range []OpKind{OpRead, OpUpdate, OpInsert, OpRemove} {
+		ratio = float64(counts[k]) / n
+		if ratio < 0.23 || ratio > 0.27 {
+			t.Fatalf("mixed %v ratio %.3f", k, ratio)
+		}
+	}
+}
+
+func TestScrambleInjective(t *testing.T) {
+	seen := make(map[uint64]uint64, 200_000)
+	for i := uint64(0); i < 200_000; i++ {
+		k := Scramble(i)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("collision: Scramble(%d) == Scramble(%d)", i, prev)
+		}
+		seen[k] = i
+		if k >= 1<<63 {
+			t.Fatalf("key %d exceeds 63 bits", k)
+		}
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	u := Uniform{N: 1000}
+	r := rand.New(rand.NewSource(2))
+	hit := map[uint64]bool{}
+	for i := 0; i < 100_000; i++ {
+		hit[u.Next(r)] = true
+	}
+	if len(hit) < 990 {
+		t.Fatalf("uniform chooser covered only %d/1000 keys", len(hit))
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(100_000, 0.8)
+	r := rand.New(rand.NewSource(3))
+	counts := map[uint64]int{}
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		counts[z.NextRank(r)]++
+	}
+	// Rank 0 must be by far the hottest; a handful of ranks dominate.
+	if counts[0] < n/100 {
+		t.Fatalf("rank 0 drawn only %d times", counts[0])
+	}
+	top10 := 0
+	for rank := uint64(0); rank < 10; rank++ {
+		top10 += counts[rank]
+	}
+	// Theory: sum(1/i^0.8, i=1..10)/zeta(100k, 0.8) ≈ 3.56/50 ≈ 7.1%.
+	if float64(top10)/n < 0.06 {
+		t.Fatalf("top-10 ranks only %.3f of draws", float64(top10)/n)
+	}
+}
+
+func TestZipfianSkewOrdering(t *testing.T) {
+	// Higher theta must concentrate more mass on the hottest rank.
+	r := rand.New(rand.NewSource(4))
+	mass := func(theta float64) float64 {
+		z := NewZipfian(50_000, theta)
+		hot := 0
+		const n = 100_000
+		for i := 0; i < n; i++ {
+			if z.NextRank(r) == 0 {
+				hot++
+			}
+		}
+		return float64(hot) / n
+	}
+	m5, m8, m99 := mass(0.5), mass(0.8), mass(0.99)
+	if !(m5 < m8 && m8 < m99) {
+		t.Fatalf("hot mass not monotone in theta: %.4f %.4f %.4f", m5, m8, m99)
+	}
+}
+
+func TestZipfianRanksInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		z := NewZipfian(1000, 0.8)
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 1000; i++ {
+			if z.NextRank(r) >= 1001 { // YCSB generator may emit n on rounding edge; Next clamps
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	w := Workload{Mix: A, Chooser: Uniform{N: 1000}}
+	s1 := w.Stream(7)
+	s2 := w.Stream(7)
+	for i := 0; i < 1000; i++ {
+		a, b := s1(), s2()
+		if a != b {
+			t.Fatalf("streams diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+	s3 := w.Stream(8)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if s1() == s3() {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("different seeds produce near-identical streams (%d/1000)", same)
+	}
+}

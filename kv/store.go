@@ -1,0 +1,454 @@
+// Package kv is a durable key-value store for byte-string keys and values
+// built on RNTree — the downstream use case the paper motivates in §3.3
+// (primary-key stores with unique-constraint semantics, à la Redis or a
+// PostgreSQL index).
+//
+// Values live in a log-structured region of the same simulated NVM arena as
+// the tree: a Put appends an immutable record (header, key, value) to the
+// current log chunk, persists it, and then updates the RNTree index from
+// the key's 63-bit hash to the record's offset — so the record is durable
+// before it becomes reachable, and the tree's slot-array flush is the
+// commit point, giving Put/Delete the same durable-linearizability story as
+// the tree itself. Hash collisions are handled with per-hash record chains
+// that store full keys.
+//
+// Space from overwritten and deleted records is reclaimed by Compact, which
+// rewrites live records into fresh chunks (Bitcask-style) and retires the
+// old ones.
+package kv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"rntree/internal/core"
+	"rntree/internal/pmem"
+)
+
+// Store errors.
+var (
+	// ErrNotFound is returned by Get and Delete for absent keys.
+	ErrNotFound = errors.New("kv: key not found")
+	// ErrTooLarge is returned when a record exceeds the chunk size.
+	ErrTooLarge = errors.New("kv: record larger than log chunk")
+	// ErrEmptyKey is returned for zero-length keys.
+	ErrEmptyKey = errors.New("kv: empty key")
+)
+
+const (
+	// rootStoreOff is the word of the arena root line (reserved by the
+	// tree for layers above it) holding the store superblock offset.
+	rootStoreOff = 40
+
+	storeMagic = 0x524e_4b56_0001 // "RNKV" v1
+
+	// superblock layout (one line)
+	sbMagicOff = 0
+	sbChunkOff = 8 // head of the chunk chain
+
+	// chunk header (one line); records start at chunkHdrSize
+	chunkNextOff = 0
+	chunkHdrSize = pmem.LineSize
+
+	// DefaultChunkSize is the log chunk size.
+	DefaultChunkSize = 1 << 20
+
+	// record header word: kind | keyLen<<8 | valLen<<32 ; second word: next
+	// record in the hash chain (0 = end).
+	recHdrSize = 16
+	recPut     = 1
+	recDelete  = 2
+)
+
+// Options configure a Store.
+type Options struct {
+	// ArenaSize is the simulated NVM capacity (default 512 MiB).
+	ArenaSize uint64
+	// ChunkSize is the value-log chunk size (default 1 MiB).
+	ChunkSize uint64
+	// DualSlotArray enables the RNTree+DS index variant (recommended for
+	// read-heavy stores).
+	DualSlotArray bool
+	// FlushLatency/FenceLatency set the simulated persist cost.
+	FlushLatency pmem.LatencyModel
+}
+
+func (o *Options) normalize() {
+	if o.ArenaSize == 0 {
+		o.ArenaSize = 512 << 20
+	}
+	if o.ChunkSize == 0 {
+		o.ChunkSize = DefaultChunkSize
+	}
+	o.ChunkSize = (o.ChunkSize + pmem.LineSize - 1) &^ uint64(pmem.LineSize-1)
+}
+
+// Store is a durable key-value store. Reads may run concurrently with one
+// writer; writes are serialized internally.
+type Store struct {
+	arena *pmem.Arena
+	tree  *core.Tree
+
+	mu      sync.Mutex // guards the log head and all mutations
+	sbOff   uint64
+	chunk   uint64 // current chunk base
+	used    uint64 // bytes used in the current chunk (volatile)
+	chunkSz uint64
+
+	liveRecords int // records reachable via the index (approximate live set)
+	deadRecords int // overwritten/tombstone records awaiting Compact
+}
+
+// New creates an empty store on a fresh arena.
+func New(opts Options) (*Store, error) {
+	opts.normalize()
+	arena := pmem.New(pmem.Config{Size: opts.ArenaSize, Latency: opts.FlushLatency})
+	t, err := core.New(arena, core.Options{DualSlot: opts.DualSlotArray})
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{arena: arena, tree: t, chunkSz: opts.ChunkSize}
+	sb, err := arena.Alloc(pmem.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	arena.Write8(sb+sbMagicOff, storeMagic)
+	arena.Write8(sb+sbChunkOff, pmem.NullOff)
+	arena.Persist(sb, pmem.LineSize)
+	arena.Write8(rootStoreOff, sb)
+	arena.Persist(rootStoreOff, 8)
+	s.sbOff = sb
+	if err := s.newChunk(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Snapshot captures the durable state (see rntree.Tree.Crash); the store
+// must be quiescent.
+func (s *Store) Snapshot() []uint64 {
+	return s.arena.CrashImage(nil, 0)
+}
+
+// Open recovers a store from a snapshot: the tree index is rebuilt via
+// crash recovery, the chunk chain is re-registered with the allocator, and
+// appends continue in a fresh chunk (the tail of the pre-crash chunk is
+// sacrificed, as in any bump-allocated log).
+func Open(img []uint64, opts Options) (*Store, error) {
+	opts.normalize()
+	arena := pmem.Recover(img, pmem.Config{Latency: opts.FlushLatency})
+	t, err := core.Open(arena, core.Options{DualSlot: opts.DualSlotArray})
+	if err != nil {
+		return nil, err
+	}
+	sb := arena.Read8(rootStoreOff)
+	if sb == 0 || arena.Read8(sb+sbMagicOff) != storeMagic {
+		return nil, fmt.Errorf("kv: arena does not contain a store superblock")
+	}
+	s := &Store{arena: arena, tree: t, sbOff: sb, chunkSz: opts.ChunkSize}
+	// The tree's recovery reset the allocator to cover only tree state;
+	// extend it past every log chunk.
+	maxOff := arena.Bump()
+	if sb+pmem.LineSize > maxOff {
+		maxOff = sb + pmem.LineSize
+	}
+	for c := arena.Read8(sb + sbChunkOff); c != pmem.NullOff; c = arena.Read8(c + chunkNextOff) {
+		if c+s.chunkSz > maxOff {
+			maxOff = c + s.chunkSz
+		}
+	}
+	arena.SetBump(maxOff)
+	if err := s.newChunk(); err != nil {
+		return nil, err
+	}
+	s.liveRecords = s.Len() // exact: walks chains, skipping tombstones
+	return s, nil
+}
+
+// newChunk links a fresh log chunk at the head of the persistent chain.
+// Caller holds mu (or is the constructor).
+func (s *Store) newChunk() error {
+	off, err := s.arena.Alloc(s.chunkSz)
+	if err != nil {
+		return err
+	}
+	s.arena.Write8(off+chunkNextOff, s.arena.Read8(s.sbOff+sbChunkOff))
+	s.arena.Persist(off+chunkNextOff, 8)
+	s.arena.Write8(s.sbOff+sbChunkOff, off)
+	s.arena.Persist(s.sbOff+sbChunkOff, 8)
+	s.chunk = off
+	s.used = chunkHdrSize
+	return nil
+}
+
+// Hash maps a key to its 63-bit index key (FNV-1a folded to 63 bits).
+func Hash(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h & (1<<63 - 1)
+}
+
+func recSize(keyLen, valLen int) uint64 {
+	return uint64(recHdrSize) + (uint64(keyLen)+7)&^7 + (uint64(valLen)+7)&^7
+}
+
+// appendRecord writes one immutable record to the log and persists it.
+// Caller holds mu. Returns the record offset.
+func (s *Store) appendRecord(kind int, key, val []byte, next uint64) (uint64, error) {
+	size := recSize(len(key), len(val))
+	if size > s.chunkSz-chunkHdrSize {
+		return 0, ErrTooLarge
+	}
+	if s.used+size > s.chunkSz {
+		if err := s.newChunk(); err != nil {
+			return 0, err
+		}
+	}
+	off := s.chunk + s.used
+	s.used += size
+	hdr := uint64(kind) | uint64(len(key))<<8 | uint64(len(val))<<32
+	s.arena.Write8(off, hdr)
+	s.arena.Write8(off+8, next)
+	writePadded(s.arena, off+recHdrSize, key)
+	writePadded(s.arena, off+recHdrSize+(uint64(len(key))+7)&^7, val)
+	s.arena.Persist(off, size)
+	return off, nil
+}
+
+func writePadded(a *pmem.Arena, off uint64, b []byte) {
+	n := (len(b) + 7) &^ 7
+	if n == 0 {
+		return
+	}
+	buf := make([]byte, n)
+	copy(buf, b)
+	a.WriteRange(off, buf)
+}
+
+// readRecord decodes the record at off.
+func (s *Store) readRecord(off uint64) (kind int, key, val []byte, next uint64) {
+	hdr := s.arena.Read8(off)
+	kind = int(hdr & 0xff)
+	keyLen := int(hdr >> 8 & 0xffffff)
+	valLen := int(hdr >> 32)
+	next = s.arena.Read8(off + 8)
+	kp := (uint64(keyLen) + 7) &^ 7
+	kb := make([]byte, kp)
+	s.arena.ReadRange(off+recHdrSize, kp, kb)
+	key = kb[:keyLen]
+	vp := (uint64(valLen) + 7) &^ 7
+	if vp > 0 {
+		vb := make([]byte, vp)
+		s.arena.ReadRange(off+recHdrSize+kp, vp, vb)
+		val = vb[:valLen]
+	}
+	return kind, key, val, next
+}
+
+// lookup walks the hash chain for key. Returns the newest matching record.
+func (s *Store) lookup(key []byte) (kind int, val []byte, ok bool) {
+	h := Hash(key)
+	off, found := s.tree.Find(h)
+	if !found {
+		return 0, nil, false
+	}
+	for off != 0 {
+		k, rkey, rval, next := s.readRecord(off)
+		if bytes.Equal(rkey, key) {
+			return k, rval, true
+		}
+		off = next
+	}
+	return 0, nil, false
+}
+
+// Put stores key → value (insert or overwrite).
+func (s *Store) Put(key, value []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := Hash(key)
+	oldHead, existed := s.tree.Find(h)
+	next := uint64(0)
+	if existed {
+		next = oldHead
+	}
+	off, err := s.appendRecord(recPut, key, value, next)
+	if err != nil {
+		return err
+	}
+	if err := s.tree.Upsert(h, off); err != nil {
+		return err
+	}
+	if existed {
+		s.deadRecords++ // the shadowed head (same key or longer chain walk)
+	} else {
+		s.liveRecords++
+	}
+	return nil
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key []byte) ([]byte, error) {
+	kind, val, ok := s.lookup(key)
+	if !ok || kind == recDelete {
+		return nil, ErrNotFound
+	}
+	return val, nil
+}
+
+// Has reports whether key is present.
+func (s *Store) Has(key []byte) bool {
+	kind, _, ok := s.lookup(key)
+	return ok && kind != recDelete
+}
+
+// Delete removes key (tombstone append; reclaimed by Compact).
+func (s *Store) Delete(key []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kind, _, ok := s.lookup(key)
+	if !ok || kind == recDelete {
+		return ErrNotFound
+	}
+	h := Hash(key)
+	oldHead, _ := s.tree.Find(h)
+	off, err := s.appendRecord(recDelete, key, nil, oldHead)
+	if err != nil {
+		return err
+	}
+	if err := s.tree.Upsert(h, off); err != nil {
+		return err
+	}
+	s.liveRecords--
+	s.deadRecords += 2 // the tombstone and the record it shadows
+	return nil
+}
+
+// Range calls fn for every live key/value pair (hash order — unordered
+// with respect to the original keys). fn must not mutate the store.
+func (s *Store) Range(fn func(key, value []byte) bool) {
+	s.tree.Scan(0, 0, func(_, off uint64) bool {
+		// Walk the chain newest-first, reporting the first (newest) record
+		// per distinct key.
+		seen := map[string]bool{}
+		for off != 0 {
+			kind, key, val, next := s.readRecord(off)
+			if !seen[string(key)] {
+				seen[string(key)] = true
+				if kind == recPut {
+					if !fn(key, val) {
+						return false
+					}
+				}
+			}
+			off = next
+		}
+		return true
+	})
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	n := 0
+	s.Range(func(_, _ []byte) bool { n++; return true })
+	return n
+}
+
+// Compact rewrites every live record into fresh chunks and frees the old
+// ones, reclaiming space from overwritten values and tombstones.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Snapshot the old chain, then start a new one.
+	oldHead := s.arena.Read8(s.sbOff + sbChunkOff)
+	s.arena.Write8(s.sbOff+sbChunkOff, pmem.NullOff)
+	s.arena.Persist(s.sbOff+sbChunkOff, 8)
+	if err := s.newChunk(); err != nil {
+		return err
+	}
+	// Re-append the newest live record of every hash chain and repoint the
+	// index. Records for distinct keys colliding on one hash are preserved.
+	type rec struct{ key, val []byte }
+	var fail error
+	s.tree.Scan(0, 0, func(hash, off uint64) bool {
+		var live []rec
+		seen := map[string]bool{}
+		for off != 0 {
+			kind, key, val, next := s.readRecord(off)
+			if !seen[string(key)] {
+				seen[string(key)] = true
+				if kind == recPut {
+					live = append(live, rec{key, val})
+				}
+			}
+			off = next
+		}
+		if len(live) == 0 {
+			if err := s.tree.Remove(hash); err != nil {
+				fail = err
+				return false
+			}
+			return true
+		}
+		next := uint64(0)
+		for i := len(live) - 1; i >= 0; i-- {
+			noff, err := s.appendRecord(recPut, live[i].key, live[i].val, next)
+			if err != nil {
+				fail = err
+				return false
+			}
+			next = noff
+		}
+		if err := s.tree.Upsert(hash, next); err != nil {
+			fail = err
+			return false
+		}
+		return true
+	})
+	if fail != nil {
+		return fail
+	}
+	// Free the old chunks (volatile free list; the persistent chain head
+	// already excludes them).
+	for c := oldHead; c != pmem.NullOff; {
+		nxt := s.arena.Read8(c + chunkNextOff)
+		s.arena.Free(c, s.chunkSz)
+		c = nxt
+	}
+	s.deadRecords = 0
+	s.liveRecords = s.Len()
+	return nil
+}
+
+// Stats summarises the store.
+type Stats struct {
+	LiveKeys    int
+	DeadRecords int
+	Persists    uint64
+	TreeLeaves  int
+}
+
+// Stats returns store counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		LiveKeys:    s.liveRecords,
+		DeadRecords: s.deadRecords,
+		Persists:    s.arena.Stats().Persists,
+		TreeLeaves:  s.tree.LeafCount(),
+	}
+}

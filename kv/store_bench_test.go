@@ -1,0 +1,62 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+
+	"rntree/internal/pmem"
+)
+
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	s, err := New(Options{ArenaSize: 512 << 20, FlushLatency: pmem.DefaultLatency})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := benchStore(b)
+	val := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%09d", i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := benchStore(b)
+	const n = 100_000
+	keys := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = []byte(fmt.Sprintf("key-%09d", i))
+		if err := s.Put(keys[i], []byte("value")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(keys[i%n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverwrite(b *testing.B) {
+	s := benchStore(b)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%04d", i%n)), []byte("vv")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func newStore(t testing.TB) *Store {
+	t.Helper()
+	s, err := New(Options{ArenaSize: 128 << 20, ChunkSize: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put([]byte("hello"), []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get([]byte("hello"))
+	if err != nil || string(v) != "world" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if _, err := s.Get([]byte("absent")); err != ErrNotFound {
+		t.Fatalf("absent Get: %v", err)
+	}
+	if err := s.Put([]byte("hello"), []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get([]byte("hello")); string(v) != "again" {
+		t.Fatalf("overwrite invisible: %q", v)
+	}
+	if err := s.Delete([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get([]byte("hello")); err != ErrNotFound {
+		t.Fatalf("deleted Get: %v", err)
+	}
+	if err := s.Delete([]byte("hello")); err != ErrNotFound {
+		t.Fatalf("double delete: %v", err)
+	}
+	// Re-insert after delete.
+	if err := s.Put([]byte("hello"), []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get([]byte("hello")); string(v) != "back" {
+		t.Fatalf("reinsert: %q", v)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put(nil, []byte("x")); err != ErrEmptyKey {
+		t.Fatal(err)
+	}
+	if err := s.Delete(nil); err != ErrEmptyKey {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyValueAllowed(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put([]byte("k"), nil); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get([]byte("k"))
+	if err != nil || len(v) != 0 {
+		t.Fatalf("empty value: %q %v", v, err)
+	}
+	if !s.Has([]byte("k")) {
+		t.Fatal("Has false for empty-value key")
+	}
+}
+
+func TestLargeValuesAcrossChunks(t *testing.T) {
+	s := newStore(t)
+	rng := rand.New(rand.NewSource(1))
+	vals := map[string][]byte{}
+	for i := 0; i < 50; i++ {
+		key := []byte(fmt.Sprintf("key-%04d", i))
+		val := make([]byte, 1000+rng.Intn(20000))
+		rng.Read(val)
+		vals[string(key)] = val
+		if err := s.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k, want := range vals {
+		got, err := s.Get([]byte(k))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("key %s: %d bytes vs %d, err %v", k, len(got), len(want), err)
+		}
+	}
+}
+
+func TestTooLargeRejected(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put([]byte("k"), make([]byte, 1<<16)); err != ErrTooLarge {
+		t.Fatalf("oversized value: %v", err)
+	}
+}
+
+func TestManyKeysAndRange(t *testing.T) {
+	s := newStore(t)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("user:%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Len(); got != n {
+		t.Fatalf("Len = %d", got)
+	}
+	seen := map[string]bool{}
+	s.Range(func(k, v []byte) bool {
+		if seen[string(k)] {
+			t.Fatalf("Range emitted %q twice", k)
+		}
+		seen[string(k)] = true
+		return true
+	})
+	if len(seen) != n {
+		t.Fatalf("Range saw %d keys", len(seen))
+	}
+}
+
+func TestCrashRecoveryDurability(t *testing.T) {
+	s := newStore(t)
+	want := map[string]string{}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("k%d", rng.Intn(1000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := fmt.Sprintf("v%d", i)
+			if err := s.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			want[k] = v
+		case 2:
+			if _, ok := want[k]; ok {
+				if err := s.Delete([]byte(k)); err != nil {
+					t.Fatal(err)
+				}
+				delete(want, k)
+			}
+		}
+	}
+	img := s.Snapshot()
+	s2, err := Open(img, Options{ArenaSize: 128 << 20, ChunkSize: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Len(); got != len(want) {
+		t.Fatalf("recovered %d keys, want %d", got, len(want))
+	}
+	for k, v := range want {
+		got, err := s2.Get([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("recovered %q = %q,%v want %q", k, got, err, v)
+		}
+	}
+	// Recovered store must accept writes without corrupting old data.
+	if err := s2.Put([]byte("post-crash"), []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s2.Get([]byte("post-crash")); string(v) != "yes" {
+		t.Fatal("post-recovery write lost")
+	}
+}
+
+func TestCompactReclaimsAndPreserves(t *testing.T) {
+	s := newStore(t)
+	// Heavy overwrite churn.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 100; i++ {
+			if err := s.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("r%d", round))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if err := s.Delete([]byte(fmt.Sprintf("k%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Len(); got != 50 {
+		t.Fatalf("post-compact Len = %d", got)
+	}
+	for i := 50; i < 100; i++ {
+		v, err := s.Get([]byte(fmt.Sprintf("k%d", i)))
+		if err != nil || string(v) != "r49" {
+			t.Fatalf("post-compact k%d = %q,%v", i, v, err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := s.Get([]byte(fmt.Sprintf("k%d", i))); err != ErrNotFound {
+			t.Fatalf("deleted key resurrected by compact: k%d", i)
+		}
+	}
+	// Compacted store survives a crash.
+	s2, err := Open(s.Snapshot(), Options{ChunkSize: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 50 {
+		t.Fatalf("recovered post-compact Len = %d", s2.Len())
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	if Hash([]byte("abc")) != Hash([]byte("abc")) {
+		t.Fatal("hash unstable")
+	}
+	if Hash([]byte("abc")) == Hash([]byte("abd")) {
+		t.Fatal("suspicious collision")
+	}
+	if Hash([]byte("x"))>>63 != 0 {
+		t.Fatal("hash uses bit 63")
+	}
+}
+
+func TestBinaryKeysAndValues(t *testing.T) {
+	s := newStore(t)
+	key := []byte{0, 1, 2, 255, 254, 0}
+	val := []byte{0, 0, 0, 7}
+	if err := s.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(key)
+	if err != nil || !bytes.Equal(got, val) {
+		t.Fatalf("binary roundtrip: %v %v", got, err)
+	}
+}
+
+func TestConcurrentReadsDuringWrites(t *testing.T) {
+	s := newStore(t)
+	for i := 0; i < 200; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for round := 1; round <= 100; round++ {
+			for i := 0; i < 200; i++ {
+				if err := s.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", round))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		for i := 0; i < 200; i += 17 {
+			v, err := s.Get([]byte(fmt.Sprintf("k%d", i)))
+			if err != nil {
+				t.Fatalf("key vanished during writes: %v", err)
+			}
+			if len(v) < 2 || v[0] != 'v' {
+				t.Fatalf("torn value: %q", v)
+			}
+		}
+	}
+}
+
+func TestStatsLiveKeysExactAfterOpenAndCompact(t *testing.T) {
+	s := newStore(t)
+	for i := 0; i < 100; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if err := s.Delete([]byte(fmt.Sprintf("k%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(s.Snapshot(), Options{ChunkSize: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats().LiveKeys; got != 60 {
+		t.Fatalf("LiveKeys after open = %d, want 60", got)
+	}
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats().LiveKeys; got != 60 {
+		t.Fatalf("LiveKeys after compact = %d, want 60", got)
+	}
+	if got := s2.Len(); got != 60 {
+		t.Fatalf("Len after compact = %d", got)
+	}
+}

@@ -1,0 +1,230 @@
+// Package rntree is a Go reproduction of "Building Scalable NVM-based
+// B+tree with HTM" (Liu, Xing, Chen, Wu — ICPP 2019): RNTree, a durable
+// B+tree for byte-addressable non-volatile memory that uses hardware
+// transactional memory to keep leaf entries sorted with only two persistent
+// instructions per modify operation, and that overlaps persistency with
+// concurrency so cache-line flushes never run inside critical sections.
+//
+// Since neither NVM nor Intel RTM is reachable from pure Go, the library
+// runs on faithful simulators: internal/pmem models the CPU-cache/NVM split
+// (explicit persist instructions, crash images with random eviction,
+// tunable flush latency) and internal/htm emulates RTM (buffered
+// transactional stores, capacity and flush-inside-transaction aborts, a
+// fallback lock). See DESIGN.md for the substitution argument and
+// EXPERIMENTS.md for paper-vs-measured results.
+//
+// Quick start:
+//
+//	t, err := rntree.New(rntree.Options{DualSlotArray: true})
+//	if err != nil { ... }
+//	t.Insert(42, 1)
+//	v, ok := t.Find(42)
+//	snap := t.Crash(0.5, 1)                  // simulated power loss
+//	t2, err := rntree.Recover(snap, rntree.Options{})
+//
+// The package also exposes the re-implemented baselines of the paper's
+// evaluation (NV-Tree, wB+Tree, wB+Tree-SO, FPTree, CDDS) through
+// NewBaseline, all sharing the Index interface.
+package rntree
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rntree/internal/baseline/cdds"
+	"rntree/internal/baseline/fptree"
+	"rntree/internal/baseline/nvtree"
+	"rntree/internal/baseline/wbtree"
+	"rntree/internal/core"
+	"rntree/internal/htm"
+	"rntree/internal/pmem"
+	"rntree/internal/tree"
+)
+
+// Index is the common operation set of RNTree and every baseline tree:
+// conditional Insert/Update/Remove, unconditional Upsert, Find, and ordered
+// Scan.
+type Index = tree.Index
+
+// KV is one key-value record.
+type KV = tree.KV
+
+// Errors returned by conditional writes (Section 3.3 of the paper).
+var (
+	ErrKeyExists   = tree.ErrKeyExists
+	ErrKeyNotFound = tree.ErrKeyNotFound
+	ErrFull        = tree.ErrFull
+)
+
+// Options configure a Tree.
+type Options struct {
+	// ArenaSize is the simulated NVM capacity in bytes (default 256 MiB).
+	ArenaSize uint64
+	// DualSlotArray enables the paper's RNTree+DS variant (§4.3): reads
+	// never block on concurrent writers.
+	DualSlotArray bool
+	// LeafCapacity is the log entries per leaf (default 64, the paper's
+	// best size).
+	LeafCapacity int
+	// FlushLatency and FenceLatency set the simulated cost of persistent
+	// instructions (per flushed line / per fence). Zero disables the
+	// busy-wait; use pmem-realistic values (≈250ns/100ns) for benchmarks.
+	FlushLatency time.Duration
+	FenceLatency time.Duration
+}
+
+func (o Options) arena() *pmem.Arena {
+	size := o.ArenaSize
+	if size == 0 {
+		size = 256 << 20
+	}
+	return pmem.New(pmem.Config{
+		Size:    size,
+		Latency: pmem.LatencyModel{FlushPerLine: o.FlushLatency, Fence: o.FenceLatency},
+	})
+}
+
+// Tree is an RNTree over a simulated NVM arena. All methods are safe for
+// concurrent use.
+type Tree struct {
+	*core.Tree
+	arena *pmem.Arena
+}
+
+// New creates an empty RNTree in a fresh arena.
+func New(opts Options) (*Tree, error) {
+	a := opts.arena()
+	t, err := core.New(a, core.Options{
+		DualSlot:     opts.DualSlotArray,
+		LeafCapacity: opts.LeafCapacity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{Tree: t, arena: a}, nil
+}
+
+// Stats aggregates persistence and HTM counters plus tree shape.
+type Stats struct {
+	// Persists is the number of persistent instructions executed.
+	Persists uint64
+	// LinesFlushed is the number of cache lines written back to NVM.
+	LinesFlushed uint64
+	// WordsWritten counts 8-byte stores into the arena.
+	WordsWritten uint64
+	// HTM reports transaction outcomes of the emulated RTM.
+	HTM htm.Stats
+	// Leaves and Depth describe the tree shape.
+	Leaves int
+	Depth  int
+}
+
+// Stats returns a snapshot of the tree's counters.
+func (t *Tree) Stats() Stats {
+	s := t.arena.Stats()
+	return Stats{
+		Persists:     s.Persists,
+		LinesFlushed: s.LinesFlushed,
+		WordsWritten: s.WordsWritten,
+		HTM:          t.HTMStats(),
+		Leaves:       t.LeafCount(),
+		Depth:        t.Tree.Depth(),
+	}
+}
+
+// ResetStats zeroes the persistence counters (HTM counters included).
+func (t *Tree) ResetStats() { t.arena.ResetStats() }
+
+// Snapshot is the durable state of a tree at a crash or shutdown: exactly
+// what the simulated NVM would contain after power loss.
+type Snapshot struct {
+	img []uint64
+}
+
+// Crash simulates power loss: the returned snapshot contains everything
+// persisted so far, plus each dirty-but-unflushed cache line with
+// probability evictProb (hardware may evict any line at any time). The tree
+// remains usable, but the snapshot is fixed.
+func (t *Tree) Crash(evictProb float64, seed int64) Snapshot {
+	var rng *rand.Rand
+	if evictProb > 0 {
+		rng = rand.New(rand.NewSource(seed))
+	}
+	return Snapshot{img: t.arena.CrashImage(rng, evictProb)}
+}
+
+// Checkpoint performs a clean shutdown (Close) and returns the durable
+// state; reopening a checkpoint uses the fast reconstruction path.
+func (t *Tree) Checkpoint() Snapshot {
+	t.Close()
+	return Snapshot{img: t.arena.CrashImage(nil, 0)}
+}
+
+// Recover reopens a tree from a snapshot, choosing the fast reconstruction
+// path after a clean Checkpoint and full crash recovery otherwise (§5.4).
+// DualSlotArray and latency options apply to the reopened tree; LeafCapacity
+// is read from the snapshot.
+func Recover(s Snapshot, opts Options) (*Tree, error) {
+	a := pmem.Recover(s.img, pmem.Config{
+		Latency: pmem.LatencyModel{FlushPerLine: opts.FlushLatency, Fence: opts.FenceLatency},
+	})
+	t, err := core.Open(a, core.Options{DualSlot: opts.DualSlotArray})
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{Tree: t, arena: a}, nil
+}
+
+// Iterator walks a Tree in ascending key order; see Tree.NewIterator.
+type Iterator = core.Iterator
+
+// BulkLoad builds a tree directly from records sorted by strictly
+// increasing key, using one persistent instruction per leaf instead of two
+// per record — the fast path for initial loads and migrations.
+func BulkLoad(opts Options, records []KV) (*Tree, error) {
+	a := opts.arena()
+	t, err := core.BulkLoad(a, core.Options{
+		DualSlot:     opts.DualSlotArray,
+		LeafCapacity: opts.LeafCapacity,
+	}, records)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{Tree: t, arena: a}, nil
+}
+
+// Kind names a baseline tree implementation from the paper's evaluation.
+type Kind string
+
+// Baseline kinds.
+const (
+	KindNVTree     Kind = "nvtree"      // append-only unsorted leaves, 2 persists
+	KindNVTreeCond Kind = "nvtree-cond" // NV-Tree with conditional writes (Fig. 5)
+	KindWBTree     Kind = "wbtree"      // slot array + valid bit, 4 persists
+	KindWBTreeSO   Kind = "wbtree-so"   // 8-byte slot array, 7-entry leaves
+	KindFPTree     Kind = "fptree"      // fingerprints + coarse leaf locking
+	KindCDDS       Kind = "cdds"        // multi-version sorted nodes (Table 1)
+)
+
+// NewBaseline creates one of the re-implemented comparison trees on a fresh
+// arena. NV-Tree, wB+Tree(-SO) and CDDS are single-threaded, as in the
+// paper (Table 1); FPTree is concurrent.
+func NewBaseline(k Kind, opts Options) (Index, error) {
+	a := opts.arena()
+	switch k {
+	case KindNVTree:
+		return nvtree.New(a, nvtree.Options{LeafCapacity: opts.LeafCapacity})
+	case KindNVTreeCond:
+		return nvtree.New(a, nvtree.Options{LeafCapacity: opts.LeafCapacity, Conditional: true})
+	case KindWBTree:
+		return wbtree.New(a, wbtree.Options{LeafCapacity: opts.LeafCapacity})
+	case KindWBTreeSO:
+		return wbtree.New(a, wbtree.Options{SlotOnly: true})
+	case KindFPTree:
+		return fptree.New(a, fptree.Options{LeafCapacity: opts.LeafCapacity})
+	case KindCDDS:
+		return cdds.New(a, cdds.Options{})
+	}
+	return nil, fmt.Errorf("rntree: unknown baseline kind %q", k)
+}

@@ -1,0 +1,121 @@
+package rntree
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPublicAPICRUD(t *testing.T) {
+	tr, err := New(Options{DualSlotArray: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if err := tr.Insert(i, i*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Insert(5, 1); err != ErrKeyExists {
+		t.Fatalf("dup insert: %v", err)
+	}
+	if v, ok := tr.Find(500); !ok || v != 1500 {
+		t.Fatalf("Find(500) = %d,%v", v, ok)
+	}
+	if err := tr.Update(500, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Remove(501); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	tr.Scan(0, 0, func(_, _ uint64) bool { got++; return true })
+	if got != 999 {
+		t.Fatalf("scan visited %d", got)
+	}
+	s := tr.Stats()
+	if s.Persists == 0 || s.Leaves == 0 || s.HTM.Commits == 0 {
+		t.Fatalf("stats look empty: %+v", s)
+	}
+}
+
+func TestCrashRecoverPublic(t *testing.T) {
+	tr, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5000; i++ {
+		if err := tr.Insert(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := tr.Crash(0.3, 99)
+	tr2, err := Recover(snap, Options{DualSlotArray: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr2.DualSlot() {
+		t.Fatal("recovered tree lost DualSlotArray option")
+	}
+	for i := uint64(0); i < 5000; i++ {
+		if v, ok := tr2.Find(i); !ok || v != i+1 {
+			t.Fatalf("recovered Find(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestCheckpointPublic(t *testing.T) {
+	tr, err := New(Options{LeafCapacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 2000; i++ {
+		if err := tr.Insert(i*2, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := tr.Checkpoint()
+	tr2, err := Recover(snap, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tr2.Find(1998); !ok || v != 999 {
+		t.Fatalf("Find = %d,%v", v, ok)
+	}
+	// LeafCapacity must come from the snapshot.
+	if err := tr2.Insert(1_000_001, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselinesConstructible(t *testing.T) {
+	for _, k := range []Kind{KindNVTree, KindNVTreeCond, KindWBTree, KindWBTreeSO, KindFPTree, KindCDDS} {
+		ix, err := NewBaseline(k, Options{ArenaSize: 16 << 20})
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if err := ix.Insert(1, 2); err != nil {
+			t.Fatalf("%s insert: %v", k, err)
+		}
+		if v, ok := ix.Find(1); !ok || v != 2 {
+			t.Fatalf("%s find: %d,%v", k, v, ok)
+		}
+	}
+	if _, err := NewBaseline("bogus", Options{}); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+}
+
+func TestLatencyOptionsApplied(t *testing.T) {
+	tr, err := New(Options{FlushLatency: 200 * time.Microsecond, FenceLatency: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	if err := tr.Insert(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Two persistent instructions at >=300us each.
+	if el := time.Since(t0); el < 500*time.Microsecond {
+		t.Fatalf("latency model not applied: insert took %v", el)
+	}
+}
