@@ -1,0 +1,23 @@
+# Tier-1 verification and the race gate for the concurrent kv/tree paths.
+GO ?= go
+
+.PHONY: check build vet test race bench-kv
+
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The kv store's Stats/Put/Delete/Compact paths and the tree's HTM slot
+# updates are exercised concurrently; keep them race-clean.
+race:
+	$(GO) test -race ./kv/... ./internal/core/...
+
+bench-kv:
+	$(GO) run ./cmd/rnbench -exp kvscale

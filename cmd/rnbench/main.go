@@ -6,7 +6,9 @@
 //	rnbench -exp fig8 -scale 200000 -duration 300ms
 //	rnbench -exp all -scale 1000000 -out results.txt
 //
-// Experiments: table1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, all.
+// Experiments: table1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, kvscale
+// (beyond the paper: kv-layer Put thread sweep, sharded vs single value
+// log), all.
 package main
 
 import (

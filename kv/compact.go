@@ -1,0 +1,119 @@
+package kv
+
+import "rntree/internal/pmem"
+
+// liveRec is one record Compact or migration carries over.
+type liveRec struct{ key, val []byte }
+
+// collectLive walks a hash chain newest-first and returns the newest
+// record of every distinct live key, preserving chain order (newest
+// first). Tombstoned keys are dropped.
+func (s *Store) collectLive(off uint64) []liveRec {
+	var live []liveRec
+	seen := map[string]bool{}
+	for off != 0 {
+		kind, key, val, next := s.readRecord(off)
+		if !seen[string(key)] {
+			seen[string(key)] = true
+			if kind == recPut {
+				live = append(live, liveRec{key, val})
+			}
+		}
+		off = next
+	}
+	return live
+}
+
+// rewriteChain re-appends live records (given newest-first) into sh's log,
+// preserving their order, and repoints the index. Caller holds sh.mu (or
+// the store is not yet published).
+func (s *Store) rewriteChain(sh *shard, hash uint64, live []liveRec) error {
+	next := uint64(0)
+	for i := len(live) - 1; i >= 0; i-- {
+		off, err := s.appendRecord(sh, recPut, live[i].key, live[i].val, next)
+		if err != nil {
+			return err
+		}
+		next = off
+	}
+	return s.tree.Upsert(hash, next)
+}
+
+// Compact rewrites every live record into fresh chunks and retires the old
+// ones, reclaiming space from overwritten values and tombstones. It works
+// one shard at a time, holding only that shard's lock — writers on the
+// other shards (and all readers) keep running, so compaction no longer
+// stops the world.
+func (s *Store) Compact() error {
+	for i := range s.shards {
+		if err := s.compactShard(&s.shards[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compactShard rewrites the live records of every hash belonging to sh
+// into fresh chunks, then cuts the old chunks out of the chain.
+//
+// Crash safety: the fresh chunks are stacked on top of the old chain, so
+// at every instant the whole chain — old records still referenced by
+// not-yet-rewritten hashes included — is reachable from the shard table
+// and therefore allocator-protected across a crash. Only after every hash
+// is repointed is the chain cut (one persisted pointer write).
+//
+// Reader safety: lock-free readers may still be walking the old records,
+// so the cut chunks are only retired here; the actual free happens at the
+// start of the next compaction of this shard, a full cycle later.
+func (s *Store) compactShard(sh *shard) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, c := range sh.retired {
+		s.arena.Free(c, s.chunkSz)
+	}
+	sh.retired = nil
+
+	oldHead := s.arena.Read8(sh.tabOff)
+	if err := s.newShardChunk(sh); err != nil {
+		return err
+	}
+	cut := sh.chunk // its next pointer is oldHead until the cut below
+
+	live := int64(0)
+	var fail error
+	s.tree.Scan(0, 0, func(hash, off uint64) bool {
+		if s.shardFor(hash) != sh {
+			return true
+		}
+		recs := s.collectLive(off)
+		if len(recs) == 0 {
+			if err := s.tree.Remove(hash); err != nil {
+				fail = err
+				return false
+			}
+			return true
+		}
+		if err := s.rewriteChain(sh, hash, recs); err != nil {
+			fail = err
+			return false
+		}
+		live += int64(len(recs))
+		return true
+	})
+	if fail != nil {
+		return fail
+	}
+
+	if oldHead != pmem.NullOff {
+		s.arena.Write8(cut+chunkNextOff, pmem.NullOff)
+		s.arena.Persist(cut+chunkNextOff, 8)
+		for c := oldHead; c != pmem.NullOff; {
+			nxt := s.arena.Read8(c + chunkNextOff)
+			sh.retired = append(sh.retired, c)
+			c = nxt
+		}
+	}
+	sh.live.Store(live)
+	sh.dead.Store(0)
+	return nil
+}

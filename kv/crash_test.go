@@ -15,10 +15,25 @@ import (
 // linearizability because records are persisted before they become
 // reachable.
 func TestCrashFuzzDurableStore(t *testing.T) {
+	crashFuzzStore(t, Options{ArenaSize: 64 << 20, ChunkSize: 1 << 14}, nil)
+}
+
+// TestCrashFuzzCollisionChains re-runs the crash fuzzer with a degenerate
+// hash (every key lands in one of seven chains) so that crash points land
+// inside multi-key hash-chain updates, and with tiny chunks so they also
+// land inside newChunk's chunk-link and shard-table persists.
+func TestCrashFuzzCollisionChains(t *testing.T) {
+	crashFuzzStore(t, Options{ArenaSize: 64 << 20, ChunkSize: 1 << 12, Shards: 4}, collide(7))
+}
+
+func crashFuzzStore(t *testing.T, opts Options, hash func([]byte) uint64) {
 	for trial := int64(0); trial < 15; trial++ {
-		s, err := New(Options{ArenaSize: 64 << 20, ChunkSize: 1 << 14})
+		s, err := New(opts)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if hash != nil {
+			s.hash = hash
 		}
 		rng := rand.New(rand.NewSource(trial))
 		const ops = 250
@@ -81,9 +96,14 @@ func TestCrashFuzzDurableStore(t *testing.T) {
 			before, after = committed, committed
 		}
 
-		s2, err := Open(img, Options{ChunkSize: 1 << 14})
+		// opts.ChunkSize deliberately not forwarded: v2 recovery reads the
+		// geometry from the persisted superblock.
+		s2, err := Open(img, Options{})
 		if err != nil {
 			t.Fatalf("trial %d: open: %v", trial, err)
+		}
+		if hash != nil {
+			s2.hash = hash
 		}
 		got := map[string]string{}
 		s2.Range(func(k, v []byte) bool {

@@ -1,0 +1,221 @@
+package kv
+
+import (
+	"fmt"
+
+	"rntree/internal/core"
+	"rntree/internal/pmem"
+)
+
+// Open recovers a store from a snapshot: the tree index is rebuilt via
+// crash recovery, every shard's chunk chain is re-registered with the
+// allocator, and appends continue in fresh chunks (the tails of the
+// pre-crash chunks are sacrificed, as in any bump-allocated log).
+//
+// The log geometry — chunk size and shard count — is read from the
+// persisted superblock, not from opts, so opening with different Options
+// than the store was created with is safe. Legacy v1 images (which did not
+// persist their geometry) are migrated to the v2 sharded format in place;
+// for those, opts.ChunkSize must match the creating store.
+func Open(img []uint64, opts Options) (*Store, error) {
+	opts.normalize()
+	arena := pmem.Recover(img, pmem.Config{Latency: opts.FlushLatency})
+	return openArena(arena, opts)
+}
+
+// openArena is Open after arena recovery; split out so crash tests can
+// install persist hooks on the arena before recovery runs.
+func openArena(arena *pmem.Arena, opts Options) (*Store, error) {
+	t, err := core.Open(arena, core.Options{DualSlot: opts.DualSlotArray})
+	if err != nil {
+		return nil, err
+	}
+	sb := arena.Read8(rootStoreOff)
+	if sb == pmem.NullOff {
+		return nil, fmt.Errorf("kv: arena does not contain a store superblock")
+	}
+	switch arena.Read8(sb + sbMagicOff) {
+	case storeMagicV2:
+		return openV2(arena, t, sb)
+	case storeMagicV1:
+		return openV1(arena, t, sb, opts)
+	default:
+		return nil, fmt.Errorf("kv: arena does not contain a store superblock")
+	}
+}
+
+// openV2 recovers a sharded store from its persisted superblock.
+func openV2(arena *pmem.Arena, t *core.Tree, sb uint64) (*Store, error) {
+	chunkSz := arena.Read8(sb + sbChunkSzOff)
+	nShards := arena.Read8(sb + sbShardsOff)
+	table := arena.Read8(sb + sbTableOff)
+	if nShards == 0 || nShards > MaxShards || nShards&(nShards-1) != 0 {
+		return nil, fmt.Errorf("kv: corrupt superblock: shard count %d", nShards)
+	}
+	if chunkSz < 2*pmem.LineSize || chunkSz%pmem.LineSize != 0 {
+		return nil, fmt.Errorf("kv: corrupt superblock: chunk size %d", chunkSz)
+	}
+	if table == pmem.NullOff {
+		return nil, fmt.Errorf("kv: corrupt superblock: null shard table")
+	}
+	s := newShardedStore(arena, t, sb, chunkSz, int(nShards), table)
+
+	// The tree's recovery reset the allocator to cover only tree state;
+	// extend it past the superblock, the shard table and every log chunk
+	// of every chain (including a legacy chain mid-migration) so the
+	// allocator cannot hand out offsets overlapping live log data.
+	maxOff := arena.Bump()
+	grow := func(end uint64) {
+		if end > maxOff {
+			maxOff = end
+		}
+	}
+	grow(sb + pmem.LineSize)
+	grow(table + nShards*pmem.LineSize)
+	for i := range s.shards {
+		for c := arena.Read8(s.shards[i].tabOff); c != pmem.NullOff; c = arena.Read8(c + chunkNextOff) {
+			grow(c + chunkSz)
+		}
+	}
+	legacy := arena.Read8(sb + sbLegacyOff)
+	legacySz := arena.Read8(sb + sbLegacySzOff)
+	if legacy != pmem.NullOff {
+		for c := legacy; c != pmem.NullOff; c = arena.Read8(c + chunkNextOff) {
+			grow(c + legacySz)
+		}
+	}
+	arena.SetBump(maxOff)
+	for i := range s.shards {
+		if err := s.newShardChunk(&s.shards[i]); err != nil {
+			return nil, err
+		}
+	}
+	// A non-null legacy chain means a v1→v2 migration was interrupted by a
+	// crash; finish it (idempotent) before the store is published.
+	if legacy != pmem.NullOff {
+		if err := s.finishMigration(legacy, legacySz); err != nil {
+			return nil, err
+		}
+	}
+	s.recount()
+	return s, nil
+}
+
+// openV1 migrates a legacy single-chain store to the sharded v2 format: it
+// builds a fresh v2 superblock whose legacy slot references the old chain,
+// flips the root pointer (the commit point — before it the image is still
+// v1, after it openV2 can always finish the job), then rewrites every
+// record into its hash shard and frees the old chunks.
+//
+// v1 never persisted its geometry, so walking the old chain must trust
+// opts.ChunkSize — the historical footgun the v2 format removes.
+func openV1(arena *pmem.Arena, t *core.Tree, sb uint64, opts Options) (*Store, error) {
+	chunkSz := opts.ChunkSize
+	oldHead := arena.Read8(sb + sbV1ChunkOff)
+	maxOff := arena.Bump()
+	if sb+pmem.LineSize > maxOff {
+		maxOff = sb + pmem.LineSize
+	}
+	for c := oldHead; c != pmem.NullOff; c = arena.Read8(c + chunkNextOff) {
+		if c+chunkSz > maxOff {
+			maxOff = c + chunkSz
+		}
+	}
+	arena.SetBump(maxOff)
+
+	sb2, err := arena.Alloc(pmem.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	table, err := arena.Alloc(uint64(opts.Shards) * pmem.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	s := newShardedStore(arena, t, sb2, chunkSz, opts.Shards, table)
+	for i := range s.shards {
+		arena.Write8(s.shards[i].tabOff, pmem.NullOff)
+	}
+	arena.Persist(table, uint64(opts.Shards)*pmem.LineSize)
+	for i := range s.shards {
+		if err := s.newShardChunk(&s.shards[i]); err != nil {
+			return nil, err
+		}
+	}
+	arena.Write8(sb2+sbMagicOff, storeMagicV2)
+	arena.Write8(sb2+sbChunkSzOff, chunkSz)
+	arena.Write8(sb2+sbShardsOff, uint64(opts.Shards))
+	arena.Write8(sb2+sbTableOff, table)
+	arena.Write8(sb2+sbLegacyOff, oldHead)
+	arena.Write8(sb2+sbLegacySzOff, chunkSz)
+	arena.Persist(sb2, pmem.LineSize)
+	arena.Write8(rootStoreOff, sb2)
+	arena.Persist(rootStoreOff, 8)
+
+	if err := s.finishMigration(oldHead, chunkSz); err != nil {
+		return nil, err
+	}
+	s.recount()
+	return s, nil
+}
+
+// finishMigration rewrites every indexed record into its hash shard's
+// chain, then unlinks and frees the legacy chunks. Runs single-threaded
+// inside Open before the store is published. Crash-safe: records are
+// persisted into (persistently linked) shard chunks before the index is
+// repointed, and the legacy chain stays allocator-protected until the
+// legacy slot is cleared; if a crash interrupts it, the next Open reruns
+// it, and any re-appended duplicates are invisible behind the newest chain
+// entries and reclaimed by the next Compact.
+func (s *Store) finishMigration(legacyHead, legacySz uint64) error {
+	var fail error
+	s.tree.Scan(0, 0, func(hash, off uint64) bool {
+		live := s.collectLive(off)
+		if len(live) == 0 {
+			if err := s.tree.Remove(hash); err != nil {
+				fail = err
+				return false
+			}
+			return true
+		}
+		if err := s.rewriteChain(s.shardFor(hash), hash, live); err != nil {
+			fail = err
+			return false
+		}
+		return true
+	})
+	if fail != nil {
+		return fail
+	}
+	s.arena.Write8(s.sbOff+sbLegacyOff, pmem.NullOff)
+	s.arena.Persist(s.sbOff+sbLegacyOff, 8)
+	for c := legacyHead; c != pmem.NullOff; {
+		nxt := s.arena.Read8(c + chunkNextOff)
+		s.arena.Free(c, legacySz)
+		c = nxt
+	}
+	return nil
+}
+
+// recount rebuilds the per-shard live counters exactly by walking every
+// hash chain (dead records restart at zero after recovery; Compact
+// re-derives them). Runs single-threaded inside Open.
+func (s *Store) recount() {
+	s.tree.Scan(0, 0, func(hash, off uint64) bool {
+		n := 0
+		seen := map[string]bool{}
+		for off != 0 {
+			kind, key, next := s.readRecordMeta(off)
+			if !seen[string(key)] {
+				seen[string(key)] = true
+				if kind == recPut {
+					n++
+				}
+			}
+			off = next
+		}
+		if n > 0 {
+			s.shardFor(hash).live.Add(int64(n))
+		}
+		return true
+	})
+}

@@ -1,0 +1,528 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rntree/internal/pmem"
+)
+
+// collide makes every key hash into one of n buckets, forcing deep hash
+// chains (and, transitively, shard contention) deterministically.
+func collide(n uint64) func([]byte) uint64 {
+	return func(key []byte) uint64 { return Hash(key) % n }
+}
+
+// TestLiveKeysAfterReinsert is the regression test for the accounting bug
+// where Put over a tombstoned key did not re-increment the live counter,
+// so LiveKeys undercounted after every delete→reinsert.
+func TestLiveKeysAfterReinsert(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put([]byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().LiveKeys; got != 1 {
+		t.Fatalf("LiveKeys after insert = %d, want 1", got)
+	}
+	if err := s.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().LiveKeys; got != 0 {
+		t.Fatalf("LiveKeys after delete = %d, want 0", got)
+	}
+	if err := s.Put([]byte("k"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().LiveKeys; got != 1 {
+		t.Fatalf("LiveKeys after reinsert = %d, want 1", got)
+	}
+	// Several delete→reinsert cycles must not drift.
+	for i := 0; i < 10; i++ {
+		if err := s.Delete([]byte("k")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put([]byte("k"), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := s.Stats().LiveKeys, s.Len(); got != want || got != 1 {
+		t.Fatalf("LiveKeys after churn = %d, Len = %d, want 1", got, want)
+	}
+}
+
+// TestAccountingWithCollidingKeys is the regression test for head-based
+// accounting: when a hash chain holds several distinct keys, the record a
+// mutation shadows is the mutated key's newest record — not the chain head,
+// which may belong to a colliding key. The seed code counted the head,
+// undercounting LiveKeys and overcounting DeadRecords on every collision.
+func TestAccountingWithCollidingKeys(t *testing.T) {
+	s := newStore(t)
+	s.hash = collide(3) // every key lands in one of three chains
+	records := 0        // every successful Put/Delete appends exactly one
+
+	const n = 12
+	for i := 0; i < n; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		records++
+	}
+	st := s.Stats()
+	if st.LiveKeys != n || st.DeadRecords != 0 {
+		t.Fatalf("after colliding inserts: live=%d dead=%d, want live=%d dead=0", st.LiveKeys, st.DeadRecords, n)
+	}
+
+	// Overwrite half: each kills exactly the overwritten key's record.
+	for i := 0; i < n; i += 2 {
+		if err := s.Put([]byte(fmt.Sprintf("key-%d", i)), []byte("v2")); err != nil {
+			t.Fatal(err)
+		}
+		records++
+	}
+	st = s.Stats()
+	if st.LiveKeys != n || st.DeadRecords != n/2 {
+		t.Fatalf("after overwrites: live=%d dead=%d, want live=%d dead=%d", st.LiveKeys, st.DeadRecords, n, n/2)
+	}
+
+	// Delete keys whose newest record is buried mid-chain: exactly the
+	// buried Put plus the new tombstone die.
+	for i := 1; i < n; i += 2 {
+		if err := s.Delete([]byte(fmt.Sprintf("key-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		records++
+	}
+	st = s.Stats()
+	if st.LiveKeys != n/2 {
+		t.Fatalf("after deletes: live=%d, want %d", st.LiveKeys, n/2)
+	}
+	if st.LiveKeys != s.Len() {
+		t.Fatalf("LiveKeys=%d disagrees with Len=%d", st.LiveKeys, s.Len())
+	}
+	// Invariant: every appended record is either live or dead.
+	if st.LiveKeys+st.DeadRecords != records {
+		t.Fatalf("live(%d)+dead(%d) != records appended(%d)", st.LiveKeys, st.DeadRecords, records)
+	}
+
+	// Reinsert over tombstones in colliding chains.
+	for i := 1; i < n; i += 2 {
+		if err := s.Put([]byte(fmt.Sprintf("key-%d", i)), []byte("back")); err != nil {
+			t.Fatal(err)
+		}
+		records++
+	}
+	st = s.Stats()
+	if st.LiveKeys != n || st.LiveKeys != s.Len() {
+		t.Fatalf("after reinserts: live=%d Len=%d, want %d", st.LiveKeys, s.Len(), n)
+	}
+	if st.LiveKeys+st.DeadRecords != records {
+		t.Fatalf("live(%d)+dead(%d) != records appended(%d)", st.LiveKeys, st.DeadRecords, records)
+	}
+
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.LiveKeys != n || st.DeadRecords != 0 {
+		t.Fatalf("after compact: live=%d dead=%d, want live=%d dead=0", st.LiveKeys, st.DeadRecords, n)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := s.Get([]byte(fmt.Sprintf("key-%d", i))); err != nil {
+			t.Fatalf("key-%d lost: %v", i, err)
+		}
+	}
+}
+
+// TestOpenUsesPersistedChunkSize is the regression test for the recovery
+// bug where Open trusted Options.ChunkSize when walking chunk chains: a
+// smaller value computed a too-small allocator bump, and fresh chunks were
+// handed out overlapping live log data. v2 persists the geometry, so the
+// value passed to Open must not matter.
+func TestOpenUsesPersistedChunkSize(t *testing.T) {
+	s, err := New(Options{ArenaSize: 128 << 20, ChunkSize: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]byte{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 400; i++ {
+		k := fmt.Sprintf("old-%04d", i)
+		v := make([]byte, 200+rng.Intn(800))
+		rng.Read(v)
+		want[k] = v
+		if err := s.Put([]byte(k), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := s.Snapshot()
+
+	// Open with a chunk size 8x smaller than the store was created with.
+	s2, err := Open(img, Options{ChunkSize: 1 << 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.chunkSz; got != 1<<16 {
+		t.Fatalf("recovered chunk size = %d, want %d (persisted)", got, 1<<16)
+	}
+	// Write enough fresh data that a mis-positioned allocator would hand
+	// out offsets inside the old chunks and corrupt them.
+	for i := 0; i < 2000; i++ {
+		v := make([]byte, 500)
+		rng.Read(v)
+		if err := s2.Put([]byte(fmt.Sprintf("new-%05d", i)), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k, v := range want {
+		got, err := s2.Get([]byte(k))
+		if err != nil || !bytes.Equal(got, v) {
+			t.Fatalf("old record %q corrupted after open with wrong ChunkSize (err %v)", k, err)
+		}
+	}
+
+	// A larger-than-created value must be harmless too.
+	s3, err := Open(img, Options{ChunkSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range want {
+		got, err := s3.Get([]byte(k))
+		if err != nil || !bytes.Equal(got, v) {
+			t.Fatalf("old record %q lost after open with larger ChunkSize (err %v)", k, err)
+		}
+	}
+}
+
+// TestStatsRaceWithWriters is the regression test for Stats() reading the
+// accounting counters without synchronization: under -race the seed code
+// reports a data race between Stats and any writer.
+func TestStatsRaceWithWriters(t *testing.T) {
+	s := newStore(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := []byte(fmt.Sprintf("k%d", i%64))
+			if i%5 == 4 {
+				_ = s.Delete(k)
+			} else if err := s.Put(k, []byte("v")); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 3000; i++ {
+		st := s.Stats()
+		if st.LiveKeys < 0 || st.DeadRecords < 0 {
+			t.Errorf("negative counters: %+v", st)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestConcurrentStress drives concurrent Put/Get/Delete/Stats (plus
+// periodic Compact and Range) across every shard; run with -race it is the
+// acceptance stress for the sharded write path.
+func TestConcurrentStress(t *testing.T) {
+	s, err := New(Options{ArenaSize: 256 << 20, ChunkSize: 1 << 16, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 4
+		keys    = 256
+	)
+	deadline := time.Now().Add(1 * time.Second)
+	var wg sync.WaitGroup
+	var ops atomic.Int64
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for time.Now().Before(deadline) {
+				k := []byte(fmt.Sprintf("k%d", rng.Intn(keys)))
+				switch rng.Intn(10) {
+				case 0:
+					_ = s.Delete(k)
+				case 1:
+					_, _ = s.Get(k)
+				case 2:
+					_ = s.Has(k)
+				default:
+					if err := s.Put(k, []byte(fmt.Sprintf("w%d", w))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+	// Dedicated readers: Stats and Range concurrently with the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			st := s.Stats()
+			if st.LiveKeys < 0 || st.LiveKeys > keys {
+				t.Errorf("implausible LiveKeys %d", st.LiveKeys)
+				return
+			}
+			s.Range(func(k, v []byte) bool { return len(k) > 0 })
+		}
+	}()
+	// Occasional compaction; per-shard locking means it runs alongside the
+	// writers rather than stopping the world.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			if err := s.Compact(); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if n := ops.Load(); n == 0 {
+		t.Fatal("stress made no progress")
+	}
+	// Quiesced: the atomics must agree with a full walk.
+	if got, want := s.Stats().LiveKeys, s.Len(); got != want {
+		t.Fatalf("post-stress LiveKeys=%d, Len=%d", got, want)
+	}
+}
+
+// TestParallelWritersAllShards checks plain correctness of fully parallel
+// writers: every write lands, nothing tears, accounting stays exact.
+func TestParallelWritersAllShards(t *testing.T) {
+	s, err := New(Options{ArenaSize: 256 << 20, ChunkSize: 1 << 16, Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 8
+		per     = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := []byte(fmt.Sprintf("w%d-k%04d", w, i))
+				if err := s.Put(k, []byte(fmt.Sprintf("v%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := s.Len(); got != writers*per {
+		t.Fatalf("Len = %d, want %d", got, writers*per)
+	}
+	if got := s.Stats().LiveKeys; got != writers*per {
+		t.Fatalf("LiveKeys = %d, want %d", got, writers*per)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < per; i += 37 {
+			k := fmt.Sprintf("w%d-k%04d", w, i)
+			v, err := s.Get([]byte(k))
+			if err != nil || string(v) != fmt.Sprintf("v%d-%d", w, i) {
+				t.Fatalf("%s = %q, %v", k, v, err)
+			}
+		}
+	}
+	// And the parallel-written store survives a crash.
+	s2, err := Open(s.Snapshot(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Len(); got != writers*per {
+		t.Fatalf("recovered Len = %d, want %d", got, writers*per)
+	}
+}
+
+// makeV1Image rewrites a single-shard store's superblock into the legacy
+// v1 format (magic v1, one chunk-chain head, no persisted geometry) and
+// returns the crash image — a faithful pre-sharding snapshot.
+func makeV1Image(t *testing.T, s *Store) []uint64 {
+	t.Helper()
+	if len(s.shards) != 1 {
+		t.Fatal("makeV1Image needs a single-shard store")
+	}
+	a := s.arena
+	a.Write8(s.sbOff+sbMagicOff, storeMagicV1)
+	a.Write8(s.sbOff+sbV1ChunkOff, a.Read8(s.shards[0].tabOff))
+	a.Persist(s.sbOff, pmem.LineSize)
+	return a.CrashImage(nil, 0)
+}
+
+// TestV1ImageMigration: opening a legacy v1 image must migrate it to the
+// sharded v2 format without losing a byte, and the migrated image must be
+// a normal v2 store from then on.
+func TestV1ImageMigration(t *testing.T) {
+	s, err := New(Options{ArenaSize: 64 << 20, ChunkSize: 1 << 14, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	for i := 0; i < 500; i++ {
+		k, v := fmt.Sprintf("k%03d", i%200), fmt.Sprintf("v%d", i)
+		if err := s.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	for i := 0; i < 200; i += 3 {
+		k := fmt.Sprintf("k%03d", i)
+		if err := s.Delete([]byte(k)); err != nil {
+			t.Fatal(err)
+		}
+		delete(want, k)
+	}
+	img := makeV1Image(t, s)
+
+	s2, err := Open(img, Options{ChunkSize: 1 << 14, Shards: 8})
+	if err != nil {
+		t.Fatalf("v1 open: %v", err)
+	}
+	if got := s2.arena.Read8(s2.sbOff + sbMagicOff); got != storeMagicV2 {
+		t.Fatalf("migrated magic = %#x, want v2", got)
+	}
+	if got := s2.arena.Read8(s2.sbOff + sbLegacyOff); got != pmem.NullOff {
+		t.Fatal("legacy chain not cleared after migration")
+	}
+	if len(s2.shards) != 8 {
+		t.Fatalf("migrated shard count = %d, want 8", len(s2.shards))
+	}
+	check := func(s *Store, tag string) {
+		t.Helper()
+		got := map[string]string{}
+		s.Range(func(k, v []byte) bool { got[string(k)] = string(v); return true })
+		if !strMapsEqual(got, want) {
+			t.Fatalf("%s: got %d keys, want %d", tag, len(got), len(want))
+		}
+	}
+	check(s2, "after migration")
+	if got := s2.Stats().LiveKeys; got != len(want) {
+		t.Fatalf("migrated LiveKeys = %d, want %d", got, len(want))
+	}
+
+	// The migrated store is a normal v2 store: it takes writes, compacts
+	// per shard, and round-trips through another crash.
+	if err := s2.Put([]byte("post-migration"), []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+	want["post-migration"] = "yes"
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	check(s2, "after migration+compact")
+	s3, err := Open(s2.Snapshot(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(s3, "after migration+crash")
+}
+
+// TestMigrationCrashMatrix crashes the v1→v2 migration at every persist
+// boundary (sampled) and verifies that reopening the crash image always
+// yields exactly the pre-migration contents — before the root flip the
+// image is still v1, after it the v2 legacy slot lets recovery finish the
+// job, and no window in between may lose or corrupt data.
+func TestMigrationCrashMatrix(t *testing.T) {
+	s, err := New(Options{ArenaSize: 16 << 20, ChunkSize: 1 << 13, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	for i := 0; i < 120; i++ {
+		k, v := fmt.Sprintf("k%02d", i%40), fmt.Sprintf("v%d", i)
+		if err := s.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	for i := 0; i < 40; i += 4 {
+		k := fmt.Sprintf("k%02d", i)
+		if err := s.Delete([]byte(k)); err != nil {
+			t.Fatal(err)
+		}
+		delete(want, k)
+	}
+	img := makeV1Image(t, s)
+	opts := Options{ChunkSize: 1 << 13, Shards: 4}
+
+	// Count the persists a clean migration performs.
+	total := 0
+	{
+		a := pmem.Recover(img, pmem.Config{})
+		a.SetHooks(&pmem.Hooks{AfterPersist: func(_, _ uint64) { total++ }})
+		if _, err := openArena(a, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total == 0 {
+		t.Fatal("migration performed no persists")
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for k := 0; k < total; k += 1 + rng.Intn(4) {
+		a := pmem.Recover(img, pmem.Config{})
+		var crash []uint64
+		n := 0
+		a.SetHooks(&pmem.Hooks{BeforePersist: func(_, _ uint64) {
+			if n == k {
+				// Half the samples also evict random dirty lines.
+				if k%2 == 0 {
+					crash = a.CrashImage(nil, 0)
+				} else {
+					crash = a.CrashImage(rng, 0.5)
+				}
+			}
+			n++
+		}})
+		if _, err := openArena(a, opts); err != nil {
+			t.Fatalf("crash point %d: clean open failed: %v", k, err)
+		}
+		if crash == nil {
+			t.Fatalf("crash point %d never reached (total %d)", k, total)
+		}
+		s2, err := Open(crash, opts)
+		if err != nil {
+			t.Fatalf("crash point %d: reopen: %v", k, err)
+		}
+		got := map[string]string{}
+		s2.Range(func(k, v []byte) bool { got[string(k)] = string(v); return true })
+		if !strMapsEqual(got, want) {
+			t.Fatalf("crash point %d/%d: recovered %d keys, want %d", k, total, len(got), len(want))
+		}
+		if err := s2.Put([]byte("post"), []byte("crash")); err != nil {
+			t.Fatalf("crash point %d: post-crash put: %v", k, err)
+		}
+	}
+}

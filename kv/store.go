@@ -4,24 +4,34 @@
 // PostgreSQL index).
 //
 // Values live in a log-structured region of the same simulated NVM arena as
-// the tree: a Put appends an immutable record (header, key, value) to the
-// current log chunk, persists it, and then updates the RNTree index from
-// the key's 63-bit hash to the record's offset — so the record is durable
-// before it becomes reachable, and the tree's slot-array flush is the
-// commit point, giving Put/Delete the same durable-linearizability story as
-// the tree itself. Hash collisions are handled with per-hash record chains
-// that store full keys.
+// the tree: a Put appends an immutable record (header, key, value) to a
+// log chunk, persists it, and then updates the RNTree index from the key's
+// 63-bit hash to the record's offset — so the record is durable before it
+// becomes reachable, and the tree's slot-array flush is the commit point,
+// giving Put/Delete the same durable-linearizability story as the tree
+// itself. Hash collisions are handled with per-hash record chains that
+// store full keys.
+//
+// The value log is sharded (Bitcask-style per-writer log heads): the
+// superblock roots a persisted shard table whose entries each head an
+// independent chunk chain with its own volatile append cursor and lock. A
+// key's hash picks its shard, so Puts and Deletes on different shards
+// proceed fully in parallel — the slow persists of one writer never
+// serialize the others, mirroring how RNTree itself overlaps persistency
+// with concurrency (§3.4) instead of serializing behind a whole-structure
+// lock. Reads are lock-free on every path.
 //
 // Space from overwritten and deleted records is reclaimed by Compact, which
-// rewrites live records into fresh chunks (Bitcask-style) and retires the
-// old ones.
+// rewrites live records into fresh chunks and retires the old ones — one
+// shard at a time, so compaction never stops the whole store.
 package kv
 
 import (
 	"bytes"
 	"errors"
-	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"rntree/internal/core"
 	"rntree/internal/pmem"
@@ -42,11 +52,22 @@ const (
 	// tree for layers above it) holding the store superblock offset.
 	rootStoreOff = 40
 
-	storeMagic = 0x524e_4b56_0001 // "RNKV" v1
+	// Superblock magics. v1 stored a single chunk-chain head and no
+	// geometry; v2 persists the chunk size, the shard count and the shard
+	// table, so Open never has to trust Options for chain walking.
+	storeMagicV1 = 0x524e_4b56_0001 // "RNKV" v1
+	storeMagicV2 = 0x524e_4b56_0002 // "RNKV" v2 (sharded value log)
 
-	// superblock layout (one line)
-	sbMagicOff = 0
-	sbChunkOff = 8 // head of the chunk chain
+	// v2 superblock layout (one line).
+	sbMagicOff    = 0
+	sbChunkSzOff  = 8  // persisted log chunk size
+	sbShardsOff   = 16 // shard count (power of two)
+	sbTableOff    = 24 // offset of the shard table (one line per shard)
+	sbLegacyOff   = 32 // head of a not-yet-migrated v1 chunk chain, or null
+	sbLegacySzOff = 40 // chunk size of the legacy chain
+
+	// v1 superblock layout.
+	sbV1ChunkOff = 8 // head of the single chunk chain
 
 	// chunk header (one line); records start at chunkHdrSize
 	chunkNextOff = 0
@@ -54,6 +75,9 @@ const (
 
 	// DefaultChunkSize is the log chunk size.
 	DefaultChunkSize = 1 << 20
+
+	// MaxShards bounds the persisted shard table (one line per shard).
+	MaxShards = 64
 
 	// record header word: kind | keyLen<<8 | valLen<<32 ; second word: next
 	// record in the hash chain (0 = end).
@@ -66,8 +90,18 @@ const (
 type Options struct {
 	// ArenaSize is the simulated NVM capacity (default 512 MiB).
 	ArenaSize uint64
-	// ChunkSize is the value-log chunk size (default 1 MiB).
+	// ChunkSize is the value-log chunk size (default 1 MiB). Persisted in
+	// the superblock at creation; Open always uses the persisted value, so
+	// a mismatched ChunkSize can no longer corrupt the allocator. (The
+	// only exception is opening a legacy v1 image, which never persisted
+	// its geometry — there ChunkSize must match the creating store.)
 	ChunkSize uint64
+	// Shards is the number of value-log shards, i.e. the writer
+	// concurrency of the store (default: GOMAXPROCS, floored at 8 because
+	// persist stalls are wall-clock and overlap even when cores don't).
+	// Rounded up to a power of two, capped at MaxShards. Persisted at
+	// creation; Open uses the persisted count.
+	Shards int
 	// DualSlotArray enables the RNTree+DS index variant (recommended for
 	// read-heavy stores).
 	DualSlotArray bool
@@ -83,23 +117,76 @@ func (o *Options) normalize() {
 		o.ChunkSize = DefaultChunkSize
 	}
 	o.ChunkSize = (o.ChunkSize + pmem.LineSize - 1) &^ uint64(pmem.LineSize-1)
+	if o.Shards == 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+		if o.Shards < 8 {
+			o.Shards = 8
+		}
+	}
+	if o.Shards > MaxShards {
+		o.Shards = MaxShards
+	}
+	for p := 1; ; p <<= 1 {
+		if p >= o.Shards {
+			o.Shards = p
+			break
+		}
+	}
 }
 
-// Store is a durable key-value store. Reads may run concurrently with one
-// writer; writes are serialized internally.
+// shard is one independent slice of the value log: a persisted chunk-chain
+// head (one shard-table line), a volatile append cursor, and a lock that
+// serializes only the writers that hash here.
+type shard struct {
+	mu     sync.Mutex
+	tabOff uint64 // arena offset of this shard's table line (chain head word)
+	chunk  uint64 // current chunk base
+	used   uint64 // bytes used in the current chunk (volatile)
+
+	// live/dead are this shard's slice of the space accounting, read
+	// lock-free by Stats.
+	live atomic.Int64 // keys whose newest record is a Put
+	dead atomic.Int64 // overwritten/tombstone records awaiting Compact
+
+	// retired holds chunks unlinked by the previous compaction of this
+	// shard; they are freed at the start of the next one, giving lock-free
+	// readers a full compaction cycle to drain before reuse.
+	retired []uint64
+}
+
+// Store is a durable key-value store. Reads are lock-free and may run
+// concurrently with any number of writers; writers on different shards
+// proceed in parallel, and Compact locks one shard at a time.
 type Store struct {
 	arena *pmem.Arena
 	tree  *core.Tree
+	hash  func([]byte) uint64 // Hash, overridable by tests to force collisions
 
-	mu      sync.Mutex // guards the log head and all mutations
-	sbOff   uint64
-	chunk   uint64 // current chunk base
-	used    uint64 // bytes used in the current chunk (volatile)
-	chunkSz uint64
-
-	liveRecords int // records reachable via the index (approximate live set)
-	deadRecords int // overwritten/tombstone records awaiting Compact
+	sbOff     uint64
+	chunkSz   uint64
+	shards    []shard
+	shardMask uint64
 }
+
+// newShardedStore builds the volatile Store around an existing (or about to
+// be initialized) v2 superblock and shard table.
+func newShardedStore(arena *pmem.Arena, t *core.Tree, sb, chunkSz uint64, nShards int, table uint64) *Store {
+	s := &Store{
+		arena:     arena,
+		tree:      t,
+		hash:      Hash,
+		sbOff:     sb,
+		chunkSz:   chunkSz,
+		shards:    make([]shard, nShards),
+		shardMask: uint64(nShards - 1),
+	}
+	for i := range s.shards {
+		s.shards[i].tabOff = table + uint64(i)*pmem.LineSize
+	}
+	return s
+}
+
+func (s *Store) shardFor(h uint64) *shard { return &s.shards[h&s.shardMask] }
 
 // New creates an empty store on a fresh arena.
 func New(opts Options) (*Store, error) {
@@ -109,19 +196,32 @@ func New(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{arena: arena, tree: t, chunkSz: opts.ChunkSize}
 	sb, err := arena.Alloc(pmem.LineSize)
 	if err != nil {
 		return nil, err
 	}
-	arena.Write8(sb+sbMagicOff, storeMagic)
-	arena.Write8(sb+sbChunkOff, pmem.NullOff)
+	table, err := arena.Alloc(uint64(opts.Shards) * pmem.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	s := newShardedStore(arena, t, sb, opts.ChunkSize, opts.Shards, table)
+	for i := range s.shards {
+		arena.Write8(s.shards[i].tabOff, pmem.NullOff)
+	}
+	arena.Persist(table, uint64(opts.Shards)*pmem.LineSize)
+	arena.Write8(sb+sbMagicOff, storeMagicV2)
+	arena.Write8(sb+sbChunkSzOff, opts.ChunkSize)
+	arena.Write8(sb+sbShardsOff, uint64(opts.Shards))
+	arena.Write8(sb+sbTableOff, table)
+	arena.Write8(sb+sbLegacyOff, pmem.NullOff)
+	arena.Write8(sb+sbLegacySzOff, 0)
 	arena.Persist(sb, pmem.LineSize)
 	arena.Write8(rootStoreOff, sb)
 	arena.Persist(rootStoreOff, 8)
-	s.sbOff = sb
-	if err := s.newChunk(); err != nil {
-		return nil, err
+	for i := range s.shards {
+		if err := s.newShardChunk(&s.shards[i]); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -132,54 +232,21 @@ func (s *Store) Snapshot() []uint64 {
 	return s.arena.CrashImage(nil, 0)
 }
 
-// Open recovers a store from a snapshot: the tree index is rebuilt via
-// crash recovery, the chunk chain is re-registered with the allocator, and
-// appends continue in a fresh chunk (the tail of the pre-crash chunk is
-// sacrificed, as in any bump-allocated log).
-func Open(img []uint64, opts Options) (*Store, error) {
-	opts.normalize()
-	arena := pmem.Recover(img, pmem.Config{Latency: opts.FlushLatency})
-	t, err := core.Open(arena, core.Options{DualSlot: opts.DualSlotArray})
-	if err != nil {
-		return nil, err
-	}
-	sb := arena.Read8(rootStoreOff)
-	if sb == 0 || arena.Read8(sb+sbMagicOff) != storeMagic {
-		return nil, fmt.Errorf("kv: arena does not contain a store superblock")
-	}
-	s := &Store{arena: arena, tree: t, sbOff: sb, chunkSz: opts.ChunkSize}
-	// The tree's recovery reset the allocator to cover only tree state;
-	// extend it past every log chunk.
-	maxOff := arena.Bump()
-	if sb+pmem.LineSize > maxOff {
-		maxOff = sb + pmem.LineSize
-	}
-	for c := arena.Read8(sb + sbChunkOff); c != pmem.NullOff; c = arena.Read8(c + chunkNextOff) {
-		if c+s.chunkSz > maxOff {
-			maxOff = c + s.chunkSz
-		}
-	}
-	arena.SetBump(maxOff)
-	if err := s.newChunk(); err != nil {
-		return nil, err
-	}
-	s.liveRecords = s.Len() // exact: walks chains, skipping tombstones
-	return s, nil
-}
-
-// newChunk links a fresh log chunk at the head of the persistent chain.
-// Caller holds mu (or is the constructor).
-func (s *Store) newChunk() error {
+// newShardChunk links a fresh log chunk at the head of sh's persistent
+// chain. The chunk's next pointer is persisted before the head references
+// it, so a crash in between merely leaks the fresh chunk. Caller holds
+// sh.mu (or the store is not yet published).
+func (s *Store) newShardChunk(sh *shard) error {
 	off, err := s.arena.Alloc(s.chunkSz)
 	if err != nil {
 		return err
 	}
-	s.arena.Write8(off+chunkNextOff, s.arena.Read8(s.sbOff+sbChunkOff))
+	s.arena.Write8(off+chunkNextOff, s.arena.Read8(sh.tabOff))
 	s.arena.Persist(off+chunkNextOff, 8)
-	s.arena.Write8(s.sbOff+sbChunkOff, off)
-	s.arena.Persist(s.sbOff+sbChunkOff, 8)
-	s.chunk = off
-	s.used = chunkHdrSize
+	s.arena.Write8(sh.tabOff, off)
+	s.arena.Persist(sh.tabOff, 8)
+	sh.chunk = off
+	sh.used = chunkHdrSize
 	return nil
 }
 
@@ -201,20 +268,21 @@ func recSize(keyLen, valLen int) uint64 {
 	return uint64(recHdrSize) + (uint64(keyLen)+7)&^7 + (uint64(valLen)+7)&^7
 }
 
-// appendRecord writes one immutable record to the log and persists it.
-// Caller holds mu. Returns the record offset.
-func (s *Store) appendRecord(kind int, key, val []byte, next uint64) (uint64, error) {
+// appendRecord writes one immutable record to sh's log and persists it.
+// Caller holds sh.mu (or the store is not yet published). Returns the
+// record offset.
+func (s *Store) appendRecord(sh *shard, kind int, key, val []byte, next uint64) (uint64, error) {
 	size := recSize(len(key), len(val))
 	if size > s.chunkSz-chunkHdrSize {
 		return 0, ErrTooLarge
 	}
-	if s.used+size > s.chunkSz {
-		if err := s.newChunk(); err != nil {
+	if sh.used+size > s.chunkSz {
+		if err := s.newShardChunk(sh); err != nil {
 			return 0, err
 		}
 	}
-	off := s.chunk + s.used
-	s.used += size
+	off := sh.chunk + sh.used
+	sh.used += size
 	hdr := uint64(kind) | uint64(len(key))<<8 | uint64(len(val))<<32
 	s.arena.Write8(off, hdr)
 	s.arena.Write8(off+8, next)
@@ -254,9 +322,38 @@ func (s *Store) readRecord(off uint64) (kind int, key, val []byte, next uint64) 
 	return kind, key, val, next
 }
 
+// readRecordMeta decodes kind, key and next of the record at off, skipping
+// the value copy (chain walks for accounting don't need it).
+func (s *Store) readRecordMeta(off uint64) (kind int, key []byte, next uint64) {
+	hdr := s.arena.Read8(off)
+	kind = int(hdr & 0xff)
+	keyLen := int(hdr >> 8 & 0xffffff)
+	next = s.arena.Read8(off + 8)
+	kp := (uint64(keyLen) + 7) &^ 7
+	kb := make([]byte, kp)
+	s.arena.ReadRange(off+recHdrSize, kp, kb)
+	return kind, kb[:keyLen], next
+}
+
+// chainFindKind walks a hash chain from head and returns the kind of the
+// newest record for key, or 0 if the chain holds no record for it. This is
+// how mutations count precisely: the newest record for the mutated key —
+// not whatever happens to sit at the chain head, which may belong to a
+// colliding key — is what a new append shadows.
+func (s *Store) chainFindKind(head uint64, key []byte) int {
+	for off := head; off != 0; {
+		kind, rkey, next := s.readRecordMeta(off)
+		if bytes.Equal(rkey, key) {
+			return kind
+		}
+		off = next
+	}
+	return 0
+}
+
 // lookup walks the hash chain for key. Returns the newest matching record.
 func (s *Store) lookup(key []byte) (kind int, val []byte, ok bool) {
-	h := Hash(key)
+	h := s.hash(key)
 	off, found := s.tree.Find(h)
 	if !found {
 		return 0, nil, false
@@ -271,35 +368,47 @@ func (s *Store) lookup(key []byte) (kind int, val []byte, ok bool) {
 	return 0, nil, false
 }
 
-// Put stores key → value (insert or overwrite).
+// Put stores key → value (insert or overwrite). Puts on different shards
+// run in parallel.
 func (s *Store) Put(key, value []byte) error {
 	if len(key) == 0 {
 		return ErrEmptyKey
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	h := Hash(key)
+	h := s.hash(key)
+	sh := s.shardFor(h)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	oldHead, existed := s.tree.Find(h)
 	next := uint64(0)
+	prevKind := 0
 	if existed {
 		next = oldHead
+		prevKind = s.chainFindKind(oldHead, key)
 	}
-	off, err := s.appendRecord(recPut, key, value, next)
+	off, err := s.appendRecord(sh, recPut, key, value, next)
 	if err != nil {
 		return err
 	}
 	if err := s.tree.Upsert(h, off); err != nil {
 		return err
 	}
-	if existed {
-		s.deadRecords++ // the shadowed head (same key or longer chain walk)
-	} else {
-		s.liveRecords++
+	switch prevKind {
+	case recPut:
+		// Overwrite: the key's previous value record is now garbage.
+		sh.dead.Add(1)
+	case recDelete:
+		// Reinsert over a tombstone: the key is live again; the tombstone
+		// was already counted dead when Delete appended it.
+		sh.live.Add(1)
+	default:
+		// Fresh key (the chain head, if any, belongs to a colliding key
+		// and stays live).
+		sh.live.Add(1)
 	}
 	return nil
 }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key. Lock-free.
 func (s *Store) Get(key []byte) ([]byte, error) {
 	kind, val, ok := s.lookup(key)
 	if !ok || kind == recDelete {
@@ -308,34 +417,41 @@ func (s *Store) Get(key []byte) ([]byte, error) {
 	return val, nil
 }
 
-// Has reports whether key is present.
+// Has reports whether key is present. Lock-free.
 func (s *Store) Has(key []byte) bool {
 	kind, _, ok := s.lookup(key)
 	return ok && kind != recDelete
 }
 
-// Delete removes key (tombstone append; reclaimed by Compact).
+// Delete removes key (tombstone append; reclaimed by Compact). Deletes on
+// different shards run in parallel.
 func (s *Store) Delete(key []byte) error {
 	if len(key) == 0 {
 		return ErrEmptyKey
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	kind, _, ok := s.lookup(key)
-	if !ok || kind == recDelete {
+	h := s.hash(key)
+	sh := s.shardFor(h)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	oldHead, existed := s.tree.Find(h)
+	if !existed {
 		return ErrNotFound
 	}
-	h := Hash(key)
-	oldHead, _ := s.tree.Find(h)
-	off, err := s.appendRecord(recDelete, key, nil, oldHead)
+	if k := s.chainFindKind(oldHead, key); k != recPut {
+		return ErrNotFound
+	}
+	off, err := s.appendRecord(sh, recDelete, key, nil, oldHead)
 	if err != nil {
 		return err
 	}
 	if err := s.tree.Upsert(h, off); err != nil {
 		return err
 	}
-	s.liveRecords--
-	s.deadRecords += 2 // the tombstone and the record it shadows
+	sh.live.Add(-1)
+	// Exactly two records die: the key's newest Put (located above — it
+	// need not be the chain head, which may belong to a colliding key) and
+	// the tombstone itself.
+	sh.dead.Add(2)
 	return nil
 }
 
@@ -369,85 +485,27 @@ func (s *Store) Len() int {
 	return n
 }
 
-// Compact rewrites every live record into fresh chunks and frees the old
-// ones, reclaiming space from overwritten values and tombstones.
-func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Snapshot the old chain, then start a new one.
-	oldHead := s.arena.Read8(s.sbOff + sbChunkOff)
-	s.arena.Write8(s.sbOff+sbChunkOff, pmem.NullOff)
-	s.arena.Persist(s.sbOff+sbChunkOff, 8)
-	if err := s.newChunk(); err != nil {
-		return err
-	}
-	// Re-append the newest live record of every hash chain and repoint the
-	// index. Records for distinct keys colliding on one hash are preserved.
-	type rec struct{ key, val []byte }
-	var fail error
-	s.tree.Scan(0, 0, func(hash, off uint64) bool {
-		var live []rec
-		seen := map[string]bool{}
-		for off != 0 {
-			kind, key, val, next := s.readRecord(off)
-			if !seen[string(key)] {
-				seen[string(key)] = true
-				if kind == recPut {
-					live = append(live, rec{key, val})
-				}
-			}
-			off = next
-		}
-		if len(live) == 0 {
-			if err := s.tree.Remove(hash); err != nil {
-				fail = err
-				return false
-			}
-			return true
-		}
-		next := uint64(0)
-		for i := len(live) - 1; i >= 0; i-- {
-			noff, err := s.appendRecord(recPut, live[i].key, live[i].val, next)
-			if err != nil {
-				fail = err
-				return false
-			}
-			next = noff
-		}
-		if err := s.tree.Upsert(hash, next); err != nil {
-			fail = err
-			return false
-		}
-		return true
-	})
-	if fail != nil {
-		return fail
-	}
-	// Free the old chunks (volatile free list; the persistent chain head
-	// already excludes them).
-	for c := oldHead; c != pmem.NullOff; {
-		nxt := s.arena.Read8(c + chunkNextOff)
-		s.arena.Free(c, s.chunkSz)
-		c = nxt
-	}
-	s.deadRecords = 0
-	s.liveRecords = s.Len()
-	return nil
-}
-
 // Stats summarises the store.
 type Stats struct {
 	LiveKeys    int
 	DeadRecords int
+	Shards      int
 	Persists    uint64
 	TreeLeaves  int
 }
 
-// Stats returns store counters.
+// Stats returns store counters. Safe to call concurrently with writers:
+// the per-shard counters are atomics rolled up here.
 func (s *Store) Stats() Stats {
+	var live, dead int64
+	for i := range s.shards {
+		live += s.shards[i].live.Load()
+		dead += s.shards[i].dead.Load()
+	}
 	return Stats{
-		LiveKeys:    s.liveRecords,
-		DeadRecords: s.deadRecords,
+		LiveKeys:    int(live),
+		DeadRecords: int(dead),
+		Shards:      len(s.shards),
 		Persists:    s.arena.Stats().Persists,
 		TreeLeaves:  s.tree.LeafCount(),
 	}
