@@ -1,9 +1,9 @@
 # Tier-1 verification and the race gate for the concurrent kv/tree paths.
 GO ?= go
 
-.PHONY: check build vet test race bench-kv
+.PHONY: check build vet test race bench-kv faultcheck faultshort
 
-check: build vet test
+check: build vet test faultshort
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,14 @@ race:
 
 bench-kv:
 	$(GO) run ./cmd/rnbench -exp kvscale
+
+# Crash-point exploration (internal/fault): crash every persist site of
+# every layer target under pre/evicted/torn image variants and check the
+# durability oracle. Exits non-zero on any violation.
+faultcheck:
+	$(GO) run ./cmd/rnbench -exp faultmatrix
+
+# Capped-site matrix folded into `check`, so every PR exercises the
+# explorer end to end without the exhaustive sweep.
+faultshort:
+	$(GO) run ./cmd/rnbench -exp faultmatrix -fault-sites 20

@@ -8,7 +8,8 @@
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, kvscale
 // (beyond the paper: kv-layer Put thread sweep, sharded vs single value
-// log), all.
+// log), faultmatrix (crash-point exploration with the durability oracle;
+// -fault-sites caps the sites replayed per target), all.
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 		flushNS  = flag.Int("flush-ns", 25, "simulated CLWB+drain latency per cache line (0 disables)")
 		fenceNS  = flag.Int("fence-ns", 500, "simulated fence latency (0 disables)")
 		seed     = flag.Int64("seed", 42, "workload seed")
+		faultMax = flag.Int("fault-sites", 0, "faultmatrix: max crash sites replayed per target (0 = exhaustive)")
 		out      = flag.String("out", "", "also write results to this file")
 		format   = flag.String("format", "table", "output format: table or csv")
 	)
@@ -56,7 +58,8 @@ func main() {
 			FlushPerLine: time.Duration(*flushNS) * time.Nanosecond,
 			Fence:        time.Duration(*fenceNS) * time.Nanosecond,
 		},
-		Seed: *seed,
+		Seed:          *seed,
+		FaultMaxSites: *faultMax,
 	}
 
 	var w io.Writer = os.Stdout
@@ -73,6 +76,7 @@ func main() {
 	fmt.Fprintf(w, "rnbench: scale=%d duration=%v threads=%v flush=%dns fence=%dns GOMAXPROCS=%d\n\n",
 		cfg.Scale, cfg.Duration, cfg.Threads, *flushNS, *fenceNS, runtime.GOMAXPROCS(0))
 
+	failed := false
 	run := func(id string) {
 		f, ok := bench.Registry[id]
 		if !ok {
@@ -86,6 +90,14 @@ func main() {
 			} else {
 				fmt.Fprintln(w, r.String())
 			}
+			// The faultmatrix experiment marks durability-oracle failures
+			// with a VIOLATION note; make them fail the run so `make
+			// faultcheck` gates CI.
+			for _, n := range r.Notes {
+				if strings.Contains(n, "VIOLATION") || strings.Contains(n, "harness error") {
+					failed = true
+				}
+			}
 		}
 		fmt.Fprintf(w, "(%s took %v)\n\n", id, time.Since(t0).Round(time.Millisecond))
 	}
@@ -94,9 +106,13 @@ func main() {
 		for _, id := range bench.ExperimentIDs() {
 			run(id)
 		}
-		return
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			run(strings.TrimSpace(id))
+		}
 	}
-	for _, id := range strings.Split(*exp, ",") {
-		run(strings.TrimSpace(id))
+	if failed {
+		fmt.Fprintln(os.Stderr, "rnbench: FAIL: durability violations found (see VIOLATION notes above)")
+		os.Exit(1)
 	}
 }

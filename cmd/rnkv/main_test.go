@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bufio"
+	"io"
+	"os"
 	"strings"
 	"testing"
 )
@@ -8,7 +11,7 @@ import (
 func runScript(t *testing.T, script string) string {
 	t.Helper()
 	var out strings.Builder
-	if err := run(strings.NewReader(script), &out); err != nil {
+	if err := run(strings.NewReader(script), &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	return out.String()
@@ -78,5 +81,45 @@ quit
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// A SIGINT mid-session must take the clean-shutdown path: checkpoint the
+// tree and confirm it reopens by reconstruction.
+func TestShellSignalCleanShutdown(t *testing.T) {
+	inR, inW := io.Pipe()
+	outR, outW := io.Pipe()
+	defer inW.Close()
+	sig := make(chan os.Signal, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(inR, outW, sig)
+		outW.Close()
+	}()
+	// Write from a goroutine: the shell blocks on its banner write until
+	// this test starts reading the output pipe.
+	go io.WriteString(inW, "put 1 100\nput 2 200\n")
+	// Wait until both puts are acknowledged so the signal arrives while
+	// the shell is idle at its prompt.
+	br := bufio.NewReader(outR)
+	for oks := 0; oks < 2; {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("waiting for acks: %v", err)
+		}
+		if strings.Contains(line, "ok") {
+			oks++
+		}
+	}
+	sig <- os.Interrupt
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(string(rest), "clean shutdown, 2 records checkpointed (reconstructed, not crash-recovered)") {
+		t.Fatalf("clean-shutdown summary missing:\n%s", rest)
 	}
 }

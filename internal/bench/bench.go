@@ -72,6 +72,10 @@ type Config struct {
 	Latency pmem.LatencyModel
 	// Seed makes runs deterministic.
 	Seed int64
+	// FaultMaxSites caps the crash sites the faultmatrix experiment
+	// replays per target (0 = exhaustive). Site sampling is even across
+	// the workload, so a capped run still touches every phase.
+	FaultMaxSites int
 }
 
 func (c Config) normalized() Config {
@@ -324,8 +328,9 @@ var Registry = map[string]func(Config) []Result{
 	"fig7":    Fig7,
 	"fig8":    Fig8,
 	"fig9":    Fig9,
-	"fig10":   Fig10,
-	"kvscale": KVScale,
+	"fig10":       Fig10,
+	"kvscale":     KVScale,
+	"faultmatrix": FaultMatrix,
 }
 
 // ExperimentIDs returns the registered experiment names, sorted.

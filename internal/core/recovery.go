@@ -14,8 +14,11 @@ import (
 // transient slot arrays, and arms the clean-shutdown flag. A tree closed
 // this way can be reopened with the cheap Reconstruct path; a tree that
 // crashed needs CrashRecover (§5.4 and Figure 7 distinguish the two).
-// The tree must be quiescent (no concurrent operations).
+// The tree must be quiescent (no concurrent operations); Close checks and
+// panics on misuse, because silently snapshotting a tree with writers in
+// flight would certify a torn image as a clean shutdown.
 func (t *Tree) Close() {
+	t.assertQuiescent()
 	for m := t.head; m != nil; m = m.next.Load() {
 		var line [pmem.LineSize]byte
 		t.arena.ReadLine(m.off+pslotOff, &line)
@@ -35,6 +38,27 @@ func (t *Tree) Close() {
 	}
 	t.arena.Write8(rootCleanOff, 1)
 	t.arena.Persist(rootCleanOff, 8)
+}
+
+// assertQuiescent panics if any operation is still in flight: a held or
+// splitting leaf lock, a writer pinned in its unlocked persist window, or a
+// held HTM fallback lock. It is a cheap DRAM-only walk of the leaf chain —
+// a best-effort misuse detector, not a synchronization barrier: callers
+// must still stop their own writers before Close.
+func (t *Tree) assertQuiescent() {
+	if t.region.FallbackHeld() {
+		panic("core: Close called with an operation in flight (HTM fallback lock held); quiesce all writers before Close")
+	}
+	for m := t.head; m != nil; m = m.next.Load() {
+		switch {
+		case m.vl.IsLocked():
+			panic(fmt.Sprintf("core: Close called with an operation in flight (leaf @%#x locked); quiesce all writers before Close", m.off))
+		case m.vl.IsSplitting():
+			panic(fmt.Sprintf("core: Close called with a split in flight (leaf @%#x splitting); quiesce all writers before Close", m.off))
+		case m.pins.Load() != 0:
+			panic(fmt.Sprintf("core: Close called with a writer in its persist window (leaf @%#x pinned); quiesce all writers before Close", m.off))
+		}
+	}
 }
 
 // WasCleanShutdown reports whether the arena holds a cleanly closed tree.

@@ -1,0 +1,329 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rntree/internal/core"
+	"rntree/internal/pmem"
+	"rntree/kv"
+)
+
+// ---------------------------------------------------------------------------
+// core.Tree target
+
+// TreeTarget drives a core.Tree with a small leaf capacity so the workload
+// reaches the split path (whole-leaf undo log) as well as the two-persist
+// insert/update and the delete paths.
+type TreeTarget struct {
+	DualSlot bool
+	arena    *pmem.Arena
+	tree     *core.Tree
+}
+
+const (
+	treeArenaSize = 1 << 20
+	treeLeafCap   = 8 // capacity-1 = 7 live entries per leaf: splits early
+)
+
+func (t *TreeTarget) Name() string {
+	if t.DualSlot {
+		return "tree+ds"
+	}
+	return "tree"
+}
+
+func (t *TreeTarget) opts() core.Options {
+	return core.Options{DualSlot: t.DualSlot, LeafCapacity: treeLeafCap}
+}
+
+func (t *TreeTarget) Reset() (*pmem.Arena, Model, error) {
+	t.arena = pmem.New(pmem.Config{Size: treeArenaSize})
+	tr, err := core.New(t.arena, t.opts())
+	if err != nil {
+		return nil, nil, err
+	}
+	t.tree = tr
+	return t.arena, Model{}, nil
+}
+
+func (t *TreeTarget) Apply(op Op) error {
+	switch op.Kind {
+	case OpInsert:
+		return t.tree.Insert(op.K, op.V)
+	case OpUpdate:
+		return t.tree.Update(op.K, op.V)
+	case OpDelete:
+		return t.tree.Remove(op.K)
+	}
+	return fmt.Errorf("tree target: unsupported op %s", op.Kind)
+}
+
+func (t *TreeTarget) ApplyModel(m Model, op Op) {
+	k := strconv.FormatUint(op.K, 10)
+	switch op.Kind {
+	case OpInsert, OpUpdate:
+		m[k] = strconv.FormatUint(op.V, 10)
+	case OpDelete:
+		delete(m, k)
+	}
+}
+
+func (t *TreeTarget) Recover(img []uint64) (Model, error) {
+	a := pmem.Recover(img, pmem.Config{})
+	tr, err := core.CrashRecover(a, t.opts())
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("recovered tree invalid: %v", err)
+	}
+	got := Model{}
+	tr.Scan(0, 0, func(k, v uint64) bool {
+		got[strconv.FormatUint(k, 10)] = strconv.FormatUint(v, 10)
+		return true
+	})
+	return got, nil
+}
+
+// TreeWorkload exercises every single-threaded mutation path: inserts deep
+// enough to split leaves several times (20 live keys at 7 per leaf), then
+// updates (log-entry reuse) and deletes (tombstone slots).
+func TreeWorkload() []Op {
+	var ops []Op
+	for i := uint64(0); i < 20; i++ {
+		ops = append(ops, Op{OpInsert, i * 7 % 97, 1000 + i})
+	}
+	for i := uint64(0); i < 6; i++ {
+		ops = append(ops, Op{OpUpdate, i * 7 % 97, 2000 + i})
+	}
+	for i := uint64(6); i < 12; i++ {
+		ops = append(ops, Op{OpDelete, i * 7 % 97, 0})
+	}
+	return ops
+}
+
+// ---------------------------------------------------------------------------
+// kv.Store target
+
+// KVTarget drives a kv.Store with tiny chunks so the workload crosses chunk
+// boundaries (newShardChunk's chunk-link persists) and with compaction ops
+// mixed in, crashing inside record appends, index updates, and the
+// compaction cut.
+type KVTarget struct {
+	store *kv.Store
+}
+
+func kvOpts() kv.Options {
+	return kv.Options{
+		ArenaSize: 4 << 20,
+		ChunkSize: 512, // ~7 records per chunk: frequent chunk-link persists
+		Shards:    2,
+	}
+}
+
+func (t *KVTarget) Name() string { return "kv" }
+
+func (t *KVTarget) Reset() (*pmem.Arena, Model, error) {
+	s, err := kv.New(kvOpts())
+	if err != nil {
+		return nil, nil, err
+	}
+	t.store = s
+	return s.Arena(), Model{}, nil
+}
+
+// kvKey/kvValue are the target's key/value encoding; values vary in length
+// with the key so records land on different line alignments.
+func kvKey(k uint64) string { return fmt.Sprintf("k%04d", k) }
+
+func kvValue(k, v uint64) string {
+	return fmt.Sprintf("v%d.%s", v, strings.Repeat("x", int(k%29)))
+}
+
+func (t *KVTarget) Apply(op Op) error {
+	switch op.Kind {
+	case OpInsert, OpUpdate:
+		return t.store.Put([]byte(kvKey(op.K)), []byte(kvValue(op.K, op.V)))
+	case OpDelete:
+		return t.store.Delete([]byte(kvKey(op.K)))
+	case OpCompact:
+		return t.store.Compact()
+	}
+	return fmt.Errorf("kv target: unsupported op %s", op.Kind)
+}
+
+func kvApplyModel(m Model, op Op) {
+	switch op.Kind {
+	case OpInsert, OpUpdate:
+		m[kvKey(op.K)] = kvValue(op.K, op.V)
+	case OpDelete:
+		delete(m, kvKey(op.K))
+	case OpCompact, OpOpen:
+		// Semantic no-ops: contents unchanged.
+	}
+}
+
+func (t *KVTarget) ApplyModel(m Model, op Op) { kvApplyModel(m, op) }
+
+func kvRecover(img []uint64, opts kv.Options) (Model, error) {
+	s, err := kv.Open(img, opts)
+	if err != nil {
+		return nil, err
+	}
+	got := Model{}
+	s.Range(func(k, v []byte) bool {
+		got[string(k)] = string(v)
+		return true
+	})
+	return got, nil
+}
+
+func (t *KVTarget) Recover(img []uint64) (Model, error) {
+	return kvRecover(img, kvOpts())
+}
+
+// KVWorkload covers Put (fresh and overwriting), Delete, and two Compacts —
+// the first with dead records and tombstones to reclaim, the second
+// exercising the retired-chunk free path.
+func KVWorkload() []Op {
+	var ops []Op
+	for i := uint64(0); i < 14; i++ {
+		ops = append(ops, Op{OpInsert, i, 100 + i})
+	}
+	for i := uint64(0); i < 6; i++ {
+		ops = append(ops, Op{OpUpdate, i, 200 + i})
+	}
+	for i := uint64(10); i < 14; i++ {
+		ops = append(ops, Op{OpDelete, i, 0})
+	}
+	ops = append(ops, Op{Kind: OpCompact})
+	for i := uint64(20); i < 26; i++ {
+		ops = append(ops, Op{OpInsert, i, 300 + i})
+	}
+	ops = append(ops,
+		Op{OpUpdate, 20, 400},
+		Op{OpUpdate, 21, 401},
+		Op{OpDelete, 22, 0},
+		Op{Kind: OpCompact},
+	)
+	return ops
+}
+
+// ---------------------------------------------------------------------------
+// kv v1-image migration target
+
+// KVV1Target pre-loads a legacy v1 (single chunk chain, no persisted
+// geometry) store image; the workload's first op is OpOpen, so the v1→v2
+// migration's own persist sites — shard-table setup, record re-appends,
+// superblock swap, legacy-chain teardown — become crash points. A crash
+// image taken mid-migration must reopen to exactly the pre-migration
+// contents.
+type KVV1Target struct {
+	arena *pmem.Arena
+	store *kv.Store
+}
+
+func (t *KVV1Target) Name() string { return "kv-v1" }
+
+// kvV1OpenOpts are the options for opening/migrating the v1 image. A v1
+// superblock never persisted its geometry, so ChunkSize must match the
+// creating store; Shards is the post-migration shard count.
+func kvV1OpenOpts() kv.Options {
+	return kv.Options{ArenaSize: 4 << 20, ChunkSize: 512, Shards: 2}
+}
+
+func (t *KVV1Target) Reset() (*pmem.Arena, Model, error) {
+	s, err := kv.New(kv.Options{ArenaSize: 4 << 20, ChunkSize: 512, Shards: 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	base := Model{}
+	for i := uint64(0); i < 10; i++ {
+		k, v := kvKey(i), kvValue(i, 100+i)
+		if err := s.Put([]byte(k), []byte(v)); err != nil {
+			return nil, nil, err
+		}
+		base[k] = v
+	}
+	// One tombstone and one overwrite, so migration carries dead records.
+	if err := s.Delete([]byte(kvKey(9))); err != nil {
+		return nil, nil, err
+	}
+	delete(base, kvKey(9))
+	k, v := kvKey(0), kvValue(0, 150)
+	if err := s.Put([]byte(k), []byte(v)); err != nil {
+		return nil, nil, err
+	}
+	base[k] = v
+	if err := s.DowngradeV1(); err != nil {
+		return nil, nil, err
+	}
+	// Reopen the durable image on a fresh arena, as a real restart would:
+	// cache == nvm == the v1 image, with no transient leftovers.
+	t.arena = pmem.Recover(s.Arena().CrashImage(nil, 0), pmem.Config{})
+	t.store = nil
+	return t.arena, base, nil
+}
+
+func (t *KVV1Target) Apply(op Op) error {
+	if op.Kind == OpOpen {
+		s, err := kv.OpenArena(t.arena, kvV1OpenOpts())
+		if err != nil {
+			return err
+		}
+		t.store = s
+		return nil
+	}
+	if t.store == nil {
+		return fmt.Errorf("kv-v1 target: %s before OpOpen", op.Kind)
+	}
+	switch op.Kind {
+	case OpInsert, OpUpdate:
+		return t.store.Put([]byte(kvKey(op.K)), []byte(kvValue(op.K, op.V)))
+	case OpDelete:
+		return t.store.Delete([]byte(kvKey(op.K)))
+	case OpCompact:
+		return t.store.Compact()
+	}
+	return fmt.Errorf("kv-v1 target: unsupported op %s", op.Kind)
+}
+
+func (t *KVV1Target) ApplyModel(m Model, op Op) { kvApplyModel(m, op) }
+
+func (t *KVV1Target) Recover(img []uint64) (Model, error) {
+	return kvRecover(img, kvV1OpenOpts())
+}
+
+// KVV1Workload migrates the pre-loaded v1 image, then keeps using the
+// migrated store: fresh inserts, overwrites of migrated keys, and a delete
+// of a migrated key.
+func KVV1Workload() []Op {
+	return []Op{
+		{Kind: OpOpen},
+		{OpInsert, 30, 500},
+		{OpInsert, 31, 501},
+		{OpInsert, 32, 502},
+		{OpUpdate, 1, 600},
+		{OpUpdate, 2, 601},
+		{OpDelete, 3, 0},
+	}
+}
+
+// Targets returns every layer adapter with its canonical workload, the
+// matrix the faultmatrix experiment and `make faultcheck` run.
+func Targets() []struct {
+	Target Target
+	Ops    []Op
+} {
+	return []struct {
+		Target Target
+		Ops    []Op
+	}{
+		{&TreeTarget{DualSlot: false}, TreeWorkload()},
+		{&TreeTarget{DualSlot: true}, TreeWorkload()},
+		{&KVTarget{}, KVWorkload()},
+		{&KVV1Target{}, KVV1Workload()},
+	}
+}

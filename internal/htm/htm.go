@@ -69,6 +69,12 @@ type Stats struct {
 	ExplicitAborts uint64
 	PersistAborts  uint64
 	Fallbacks      uint64
+	// SpuriousAborts counts aborts injected by the fault-injection model
+	// (Config.SpuriousAbortProb): attempts killed before the body ran, as
+	// real RTM transactions die to interrupts, TLB shootdowns or cache
+	// associativity evictions. They are retried like conflicts but counted
+	// separately so experiments can see the injected pressure.
+	SpuriousAborts uint64
 }
 
 // Config tunes the emulated hardware.
@@ -84,6 +90,16 @@ type Config struct {
 	// under the global fallback lock. This is the "no HTM" ablation — the
 	// coarse-grained behaviour a machine without TSX would exhibit.
 	ForceFallback bool
+	// SpuriousAbortProb injects a seeded spurious abort with this
+	// probability per hardware attempt (0 disables). Real RTM transactions
+	// abort for reasons unrelated to the footprint — interrupts, TLB
+	// shootdowns, associativity misses — and an abort storm must degrade
+	// into the fallback path, not livelock. Injected aborts follow the
+	// conflict retry path (jittered backoff, then fallback).
+	SpuriousAbortProb float64
+	// InjectSeed seeds the spurious-abort RNG, making single-threaded
+	// injection sequences replayable. Zero uses a fixed default seed.
+	InjectSeed int64
 }
 
 const (
@@ -100,6 +116,11 @@ type Region struct {
 
 	fallbackSeq atomic.Uint64 // odd = fallback lock held
 
+	// injectThreshold is SpuriousAbortProb mapped onto the uint64 range (0
+	// = injection off); injectState is the splitmix64 state behind it.
+	injectThreshold uint64
+	injectState     atomic.Uint64
+
 	stats struct {
 		commits        atomic.Uint64
 		conflictAborts atomic.Uint64
@@ -107,6 +128,7 @@ type Region struct {
 		explicitAborts atomic.Uint64
 		persistAborts  atomic.Uint64
 		fallbacks      atomic.Uint64
+		spuriousAborts atomic.Uint64
 	}
 }
 
@@ -118,11 +140,44 @@ func NewRegion(a *pmem.Arena, cfg Config) *Region {
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = defaultMaxRetries
 	}
-	return &Region{
+	r := &Region{
 		arena: a,
 		locks: make([]uint64, a.Size()/pmem.LineSize),
 		cfg:   cfg,
 	}
+	if p := cfg.SpuriousAbortProb; p > 0 {
+		if p >= 1 {
+			// float64(2^64) overflows the uint64 conversion; saturate.
+			r.injectThreshold = ^uint64(0)
+		} else {
+			r.injectThreshold = uint64(p * float64(1<<63) * 2)
+		}
+		seed := uint64(cfg.InjectSeed)
+		if seed == 0 {
+			seed = 0x5ca1ab1e
+		}
+		r.injectState.Store(seed)
+	}
+	return r
+}
+
+// injectSpurious draws from the seeded injection RNG and reports whether
+// this hardware attempt should die spuriously.
+func (r *Region) injectSpurious() bool {
+	if r.injectThreshold == 0 {
+		return false
+	}
+	return splitmix64(r.injectState.Add(0x9e3779b97f4a7c15)) <= r.injectThreshold
+}
+
+// splitmix64 finalizes a Weyl-sequence state into a uniform 64-bit value.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // Arena returns the underlying arena.
@@ -137,6 +192,7 @@ func (r *Region) Stats() Stats {
 		ExplicitAborts: r.stats.explicitAborts.Load(),
 		PersistAborts:  r.stats.persistAborts.Load(),
 		Fallbacks:      r.stats.fallbacks.Load(),
+		SpuriousAborts: r.stats.spuriousAborts.Load(),
 	}
 }
 
@@ -148,6 +204,7 @@ func (r *Region) ResetStats() {
 	r.stats.explicitAborts.Store(0)
 	r.stats.persistAborts.Store(0)
 	r.stats.fallbacks.Store(0)
+	r.stats.spuriousAborts.Store(0)
 }
 
 type abortSignal struct {
@@ -508,7 +565,18 @@ func (r *Region) RunOutcome(body func(*Tx)) (Outcome, error) {
 	var out Outcome
 	tx := txPool.Get().(*Tx)
 	defer txPool.Put(tx)
+	var jitter uint64 // lazily seeded per-Run backoff RNG state
 	for attempt := 0; attempt < r.cfg.MaxRetries && !r.cfg.ForceFallback; attempt++ {
+		// Spurious-abort injection: the attempt dies before the body runs,
+		// as a real transaction dies to an interrupt mid-flight. Retried
+		// with the same backoff as a conflict.
+		if r.injectSpurious() {
+			r.stats.spuriousAborts.Add(1)
+			out.Attempts++
+			out.LastAbort = AbortConflict
+			r.conflictBackoff(attempt, &jitter)
+			continue
+		}
 		// Subscribe to the fallback lock: wait while held, remember the seq.
 		seq := r.waitFallbackFree()
 		tx.reset(r, false, seq)
@@ -525,7 +593,7 @@ func (r *Region) RunOutcome(body func(*Tx)) (Outcome, error) {
 			return out, ErrExplicitAbort
 		case AbortConflict:
 			r.stats.conflictAborts.Add(1)
-			spinYield(attempt)
+			r.conflictBackoff(attempt, &jitter)
 			continue
 		case AbortCapacity:
 			r.stats.capacityAborts.Add(1)
@@ -616,6 +684,32 @@ func getWord(b []byte) uint64 {
 }
 
 var txPool = sync.Pool{New: func() any { return new(Tx) }}
+
+// backoffSeed derives a distinct jitter stream for each Run invocation so
+// threads that abort together do not retry in lock-step.
+var backoffSeed atomic.Uint64
+
+// conflictBackoff spins for a jittered, exponentially growing interval before
+// the next hardware attempt. Desynchronizing retries breaks the abort storms
+// that immediate retry invites when many threads contend on one line; it is
+// used only for conflict-class aborts — capacity and persist aborts go
+// straight to the fallback path, where waiting cannot help.
+func (r *Region) conflictBackoff(attempt int, state *uint64) {
+	if *state == 0 {
+		*state = backoffSeed.Add(0x9e3779b97f4a7c15) | 1
+	}
+	if attempt > 8 {
+		attempt = 8
+	}
+	*state += 0x9e3779b97f4a7c15
+	ceil := uint64(16) << uint(attempt)
+	spins := ceil/2 + splitmix64(*state)%(ceil/2+1) // jitter in [ceil/2, ceil]
+	for i := uint64(0); i < spins; i++ {
+		if i&255 == 255 {
+			runtime.Gosched()
+		}
+	}
+}
 
 func spinYield(i int) {
 	if i < 6 {

@@ -111,14 +111,24 @@ type Stats struct {
 	// Allocs and Frees count allocator operations.
 	Allocs uint64
 	Frees  uint64
+	// CrashImages counts crash images synthesized from this arena — the
+	// fault-injection traffic of the crash-point explorer.
+	CrashImages uint64
+	// EvictedLines counts cache lines that reached NVM without ordering
+	// (explicit EvictLine calls plus lines merged into crash images by the
+	// eviction model).
+	EvictedLines uint64
 }
 
-// Hooks are test/fuzzing callbacks fired around every Persist. They run on
-// the persisting goroutine. BeforePersist fires before any line is copied to
-// the nvm image, AfterPersist after the fence completes. Either may be nil.
+// Hooks are test/fuzzing callbacks fired around every persistent
+// instruction. They run on the persisting goroutine. BeforePersist fires
+// before any line is copied to the nvm image, AfterPersist after the fence
+// completes, OnFence on every standalone Fence (a fence flushes nothing, so
+// one callback suffices). Any field may be nil.
 type Hooks struct {
 	BeforePersist func(off, size uint64)
 	AfterPersist  func(off, size uint64)
+	OnFence       func()
 }
 
 // Config configures a new Arena.
@@ -148,6 +158,8 @@ type Arena struct {
 		wordsWritten atomic.Uint64
 		allocs       atomic.Uint64
 		frees        atomic.Uint64
+		crashImages  atomic.Uint64
+		evictedLines atomic.Uint64
 	}
 
 	allocMu sync.Mutex
@@ -197,6 +209,8 @@ func (a *Arena) Stats() Stats {
 		WordsWritten: a.stats.wordsWritten.Load(),
 		Allocs:       a.stats.allocs.Load(),
 		Frees:        a.stats.frees.Load(),
+		CrashImages:  a.stats.crashImages.Load(),
+		EvictedLines: a.stats.evictedLines.Load(),
 	}
 }
 
@@ -208,6 +222,8 @@ func (a *Arena) ResetStats() {
 	a.stats.wordsWritten.Store(0)
 	a.stats.allocs.Store(0)
 	a.stats.frees.Store(0)
+	a.stats.crashImages.Store(0)
+	a.stats.evictedLines.Store(0)
 }
 
 func (a *Arena) wordIndex(off uint64) uint64 {
@@ -357,6 +373,9 @@ func (a *Arena) Persist(off, size uint64) {
 
 // Fence executes a standalone ordering fence (no flush).
 func (a *Arena) Fence() {
+	if h := a.hooks.Load(); h != nil && h.OnFence != nil {
+		h.OnFence()
+	}
 	a.stats.fences.Add(1)
 	spin(a.lat.Fence)
 }
@@ -384,6 +403,7 @@ func (a *Arena) flushLine(line uint64) {
 // against.
 func (a *Arena) EvictLine(off uint64) {
 	a.flushLine(off / LineSize)
+	a.stats.evictedLines.Add(1)
 }
 
 // DirtyLines returns the offsets (line-aligned) of all lines whose cache and
@@ -410,6 +430,7 @@ func (a *Arena) DirtyLines() []uint64 {
 func (a *Arena) CrashImage(rng *rand.Rand, evictProb float64) []uint64 {
 	img := make([]uint64, len(a.nvm))
 	copy(img, a.nvm)
+	a.stats.crashImages.Add(1)
 	if evictProb > 0 {
 		nLines := a.Size() / LineSize
 		for l := uint64(0); l < nLines; l++ {
@@ -418,10 +439,25 @@ func (a *Arena) CrashImage(rng *rand.Rand, evictProb float64) []uint64 {
 				for w := uint64(0); w < WordsPerLine; w++ {
 					img[base+w] = atomic.LoadUint64(&a.cache[base+w])
 				}
+				a.stats.evictedLines.Add(1)
 			}
 		}
 	}
 	return img
+}
+
+// OverlayCacheLine copies the current cache contents of the line containing
+// off into a previously captured crash image, modelling that line reaching
+// NVM at the crash (a torn multi-line persist that flushed it, or an
+// uncontrolled eviction). img must be an image of this arena.
+func (a *Arena) OverlayCacheLine(img []uint64, off uint64) {
+	base := (off / LineSize) * WordsPerLine
+	if base+WordsPerLine > uint64(len(img)) {
+		panic(fmt.Sprintf("pmem: overlay beyond image (offset %d)", off))
+	}
+	for w := uint64(0); w < WordsPerLine; w++ {
+		img[base+w] = atomic.LoadUint64(&a.cache[base+w])
+	}
 }
 
 // Recover constructs a rebooted arena from a crash image: both the cache and

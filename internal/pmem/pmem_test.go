@@ -380,3 +380,87 @@ func TestResetStats(t *testing.T) {
 		t.Fatalf("stats not reset: %+v", s)
 	}
 }
+
+// TestCrashImageSeededDeterminism: the eviction model must be fully
+// replayable — the same dirty state and the same seed produce a
+// byte-identical crash image, so a logged seed reproduces any explorer
+// failure exactly.
+func TestCrashImageSeededDeterminism(t *testing.T) {
+	build := func() *Arena {
+		a := newTest(t, 64<<10)
+		for i := uint64(0); i < 400; i++ {
+			a.Write8(RootSize+i*8, i*2654435761)
+			if i%5 == 0 {
+				a.Persist(RootSize+i*8, 8)
+			}
+		}
+		return a
+	}
+	a1, a2 := build(), build()
+	img1 := a1.CrashImage(rand.New(rand.NewSource(77)), 0.4)
+	img2 := a2.CrashImage(rand.New(rand.NewSource(77)), 0.4)
+	if len(img1) != len(img2) {
+		t.Fatalf("image sizes differ: %d vs %d", len(img1), len(img2))
+	}
+	for i := range img1 {
+		if img1[i] != img2[i] {
+			t.Fatalf("same seed produced different images at word %d: %#x vs %#x", i, img1[i], img2[i])
+		}
+	}
+	// A different seed must pick a different eviction subset (with ~400
+	// dirty lines the collision probability is negligible).
+	img3 := build().CrashImage(rand.New(rand.NewSource(78)), 0.4)
+	same := true
+	for i := range img1 {
+		if img1[i] != img3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical eviction subsets")
+	}
+}
+
+func TestFenceHookAndEvictionCounters(t *testing.T) {
+	a := newTest(t, 4096)
+	fences := 0
+	a.SetHooks(&Hooks{OnFence: func() { fences++ }})
+	a.Fence()
+	a.Fence()
+	a.SetHooks(nil)
+	if fences != 2 {
+		t.Fatalf("OnFence fired %d times, want 2", fences)
+	}
+	a.Write8(256, 1)
+	a.EvictLine(256)
+	_ = a.CrashImage(rand.New(rand.NewSource(1)), 1.0) // no dirty lines left
+	a.Write8(320, 2)
+	_ = a.CrashImage(rand.New(rand.NewSource(1)), 1.0) // evicts the dirty line
+	s := a.Stats()
+	if s.CrashImages != 2 {
+		t.Fatalf("CrashImages = %d, want 2", s.CrashImages)
+	}
+	if s.EvictedLines != 2 {
+		t.Fatalf("EvictedLines = %d, want 2 (one EvictLine + one image merge)", s.EvictedLines)
+	}
+}
+
+func TestOverlayCacheLine(t *testing.T) {
+	a := newTest(t, 4096)
+	a.Write8(256, 0xdead)
+	a.Persist(256, 8)
+	a.Write8(256, 0xbeef) // dirty again, nvm still holds 0xdead
+	a.Write8(320, 0xf00d) // dirty, never persisted
+	img := a.CrashImage(nil, 0)
+	if img[256/WordSize] != 0xdead || img[320/WordSize] != 0 {
+		t.Fatalf("pre image wrong: %#x %#x", img[256/WordSize], img[320/WordSize])
+	}
+	a.OverlayCacheLine(img, 320)
+	if img[320/WordSize] != 0xf00d {
+		t.Fatalf("overlay missed: %#x", img[320/WordSize])
+	}
+	if img[256/WordSize] != 0xdead {
+		t.Fatalf("overlay touched other line: %#x", img[256/WordSize])
+	}
+}

@@ -23,6 +23,15 @@ func Open(img []uint64, opts Options) (*Store, error) {
 	return openArena(arena, opts)
 }
 
+// OpenArena is Open on an already-recovered arena: the caller keeps
+// ownership of the arena, so persist hooks installed on it observe the
+// recovery (and v1-migration) persists — the entry point the
+// fault-injection explorer uses to crash *inside* recovery.
+func OpenArena(arena *pmem.Arena, opts Options) (*Store, error) {
+	opts.normalize()
+	return openArena(arena, opts)
+}
+
 // openArena is Open after arena recovery; split out so crash tests can
 // install persist hooks on the arena before recovery runs.
 func openArena(arena *pmem.Arena, opts Options) (*Store, error) {

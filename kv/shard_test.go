@@ -371,14 +371,10 @@ func TestParallelWritersAllShards(t *testing.T) {
 // returns the crash image — a faithful pre-sharding snapshot.
 func makeV1Image(t *testing.T, s *Store) []uint64 {
 	t.Helper()
-	if len(s.shards) != 1 {
-		t.Fatal("makeV1Image needs a single-shard store")
+	if err := s.DowngradeV1(); err != nil {
+		t.Fatal(err)
 	}
-	a := s.arena
-	a.Write8(s.sbOff+sbMagicOff, storeMagicV1)
-	a.Write8(s.sbOff+sbV1ChunkOff, a.Read8(s.shards[0].tabOff))
-	a.Persist(s.sbOff, pmem.LineSize)
-	return a.CrashImage(nil, 0)
+	return s.arena.CrashImage(nil, 0)
 }
 
 // TestV1ImageMigration: opening a legacy v1 image must migrate it to the

@@ -29,6 +29,7 @@ package kv
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -230,6 +231,26 @@ func New(opts Options) (*Store, error) {
 // must be quiescent.
 func (s *Store) Snapshot() []uint64 {
 	return s.arena.CrashImage(nil, 0)
+}
+
+// Arena exposes the store's backing arena so fault-injection harnesses can
+// install persist hooks and synthesize crash images (internal/fault).
+func (s *Store) Arena() *pmem.Arena { return s.arena }
+
+// DowngradeV1 rewrites the superblock into the legacy v1 format — magic v1,
+// a single chunk-chain head, no persisted geometry — turning the arena into
+// a faithful pre-sharding image. The next Open migrates it back to v2. It
+// exists so migration crash-points can be exercised by the fault-injection
+// explorer; the store must be single-shard and quiescent, and must not be
+// used again after the downgrade.
+func (s *Store) DowngradeV1() error {
+	if len(s.shards) != 1 {
+		return fmt.Errorf("kv: DowngradeV1 needs a single-shard store (have %d)", len(s.shards))
+	}
+	s.arena.Write8(s.sbOff+sbMagicOff, storeMagicV1)
+	s.arena.Write8(s.sbOff+sbV1ChunkOff, s.arena.Read8(s.shards[0].tabOff))
+	s.arena.Persist(s.sbOff, pmem.LineSize)
+	return nil
 }
 
 // newShardChunk links a fresh log chunk at the head of sh's persistent
