@@ -8,11 +8,14 @@
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, kvscale
 // (beyond the paper: kv-layer Put thread sweep, sharded vs single value
-// log), faultmatrix (crash-point exploration with the durability oracle;
+// log), forestscale (partition sweep of the hash-partitioned forest; also
+// writes a machine-readable BENCH_forest.json, see -forest-json),
+// faultmatrix (crash-point exploration with the durability oracle;
 // -fault-sites caps the sites replayed per target), all.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +29,44 @@ import (
 	"rntree/internal/pmem"
 )
 
+// forestReport is the machine-readable summary of the forestscale
+// experiment, written to -forest-json so CI can gate on the speedup bar
+// without scraping the text table.
+type forestReport struct {
+	ID         string     `json:"id"`
+	Title      string     `json:"title"`
+	Scale      uint64     `json:"scale"`
+	DurationMS int64      `json:"duration_ms"`
+	Seed       int64      `json:"seed"`
+	Header     []string   `json:"header"`
+	Rows       [][]string `json:"rows"`
+	Notes      []string   `json:"notes"`
+	// SpeedupVs1P is the last sweep point's throughput over the
+	// single-partition baseline; PassedBar is SpeedupVs1P >= 1.5.
+	SpeedupVs1P float64 `json:"speedup_vs_1p"`
+	PassedBar   bool    `json:"passed_1_5x_bar"`
+}
+
+// writeForestJSON renders the forestscale result to path.
+func writeForestJSON(path string, cfg bench.Config, r bench.Result) error {
+	rep := forestReport{
+		ID: r.ID, Title: r.Title,
+		Scale: cfg.Scale, DurationMS: cfg.Duration.Milliseconds(), Seed: cfg.Seed,
+		Header: r.Header, Rows: r.Rows, Notes: r.Notes,
+	}
+	if n := len(r.Rows); n > 0 && len(r.Rows[n-1]) > 2 {
+		if v, err := strconv.ParseFloat(r.Rows[n-1][2], 64); err == nil {
+			rep.SpeedupVs1P = v
+			rep.PassedBar = v >= 1.5
+		}
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment id ("+strings.Join(bench.ExperimentIDs(), ", ")+" or all)")
@@ -36,6 +77,7 @@ func main() {
 		fenceNS  = flag.Int("fence-ns", 500, "simulated fence latency (0 disables)")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		faultMax = flag.Int("fault-sites", 0, "faultmatrix: max crash sites replayed per target (0 = exhaustive)")
+		fjson    = flag.String("forest-json", "BENCH_forest.json", "forestscale: write a machine-readable report to this file (empty disables)")
 		out      = flag.String("out", "", "also write results to this file")
 		format   = flag.String("format", "table", "output format: table or csv")
 	)
@@ -96,6 +138,14 @@ func main() {
 			for _, n := range r.Notes {
 				if strings.Contains(n, "VIOLATION") || strings.Contains(n, "harness error") {
 					failed = true
+				}
+			}
+			if r.ID == "forestscale" && *fjson != "" {
+				if err := writeForestJSON(*fjson, cfg, r); err != nil {
+					fmt.Fprintf(os.Stderr, "rnbench: writing %s: %v\n", *fjson, err)
+					failed = true
+				} else {
+					fmt.Fprintf(w, "(wrote %s)\n", *fjson)
 				}
 			}
 		}

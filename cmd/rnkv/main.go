@@ -42,7 +42,9 @@ func main() {
 // run drives the shell over the given streams; split out for testing. A
 // value on sig (may be nil) triggers the clean-shutdown path.
 func run(in io.Reader, out io.Writer, sig <-chan os.Signal) error {
-	opts := rntree.Options{DualSlotArray: true}
+	// Four partitions: the shell runs on a forest, so crash/recover and
+	// stats exercise the multi-arena paths end to end.
+	opts := rntree.Options{DualSlotArray: true, Partitions: 4, Seed: 1}
 	t, err := rntree.New(opts)
 	if err != nil {
 		return err
@@ -129,8 +131,8 @@ func run(in io.Reader, out io.Writer, sig <-chan os.Signal) error {
 			})
 		case "stats":
 			s := t.Stats()
-			fmt.Fprintf(out, "persists=%d linesFlushed=%d words=%d leaves=%d depth=%d\n",
-				s.Persists, s.LinesFlushed, s.WordsWritten, s.Leaves, s.Depth)
+			fmt.Fprintf(out, "partitions=%d persists=%d linesFlushed=%d words=%d leaves=%d depth=%d readRetries=%d\n",
+				s.Partitions, s.Persists, s.LinesFlushed, s.WordsWritten, s.Leaves, s.Depth, s.ReadRetries)
 			fmt.Fprintf(out, "htm: commits=%d conflicts=%d capacity=%d persistAborts=%d fallbacks=%d\n",
 				s.HTM.Commits, s.HTM.ConflictAborts, s.HTM.CapacityAborts, s.HTM.PersistAborts, s.HTM.Fallbacks)
 		case "crash":
@@ -140,7 +142,7 @@ func run(in io.Reader, out io.Writer, sig <-chan os.Signal) error {
 					p = f
 				}
 			}
-			snap := t.Crash(p, 1)
+			snap := t.Crash(p)
 			nt, err := rntree.Recover(snap, opts)
 			if err != nil {
 				fmt.Fprintln(out, "recovery failed:", err)

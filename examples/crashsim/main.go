@@ -20,7 +20,14 @@ func main() {
 	const opsPerWriter = 3000
 
 	for round := 0; round < rounds; round++ {
-		t, err := rntree.New(rntree.Options{DualSlotArray: true, ArenaSize: 64 << 20})
+		// Four partitions: the crash cuts power to every partition arena at
+		// once, and recovery must bring the whole forest back consistent.
+		t, err := rntree.New(rntree.Options{
+			DualSlotArray: true,
+			ArenaSize:     64 << 20,
+			Partitions:    4,
+			Seed:          int64(round + 1),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,7 +53,7 @@ func main() {
 
 		// Power loss with random eviction: any subset of unflushed lines
 		// may or may not have reached the NVM.
-		snap := t.Crash(rand.Float64(), int64(round))
+		snap := t.Crash(rand.Float64())
 		rt, err := rntree.Recover(snap, rntree.Options{})
 		if err != nil {
 			log.Fatalf("round %d: recovery failed: %v", round, err)

@@ -11,7 +11,10 @@ import (
 
 func main() {
 	// RNTree+DS: the dual slot array keeps reads non-blocking (§4.3).
-	t, err := rntree.New(rntree.Options{DualSlotArray: true})
+	// Partitions hash-splits the index into a forest of 4 independent
+	// trees, each with its own arena and HTM fallback lock; scans still
+	// return globally sorted results.
+	t, err := rntree.New(rntree.Options{DualSlotArray: true, Partitions: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +48,7 @@ func main() {
 
 	// Pull the plug: everything persisted survives; recovery rebuilds the
 	// volatile internal nodes and transient metadata (§5.4).
-	snap := t.Crash(0.5, 7)
+	snap := t.Crash(0.5)
 	t2, err := rntree.Recover(snap, rntree.Options{DualSlotArray: true})
 	if err != nil {
 		log.Fatal(err)

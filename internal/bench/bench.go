@@ -330,6 +330,7 @@ var Registry = map[string]func(Config) []Result{
 	"fig9":    Fig9,
 	"fig10":       Fig10,
 	"kvscale":     KVScale,
+	"forestscale": ForestScale,
 	"faultmatrix": FaultMatrix,
 }
 

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"rntree/internal/htm"
 	"rntree/internal/inner"
 	"rntree/internal/pmem"
 	"rntree/internal/tree"
@@ -153,7 +152,7 @@ func openCommon(a *pmem.Arena, opts Options) (*Tree, error) {
 	}
 	t := &Tree{
 		arena:    a,
-		region:   htm.NewRegion(a, opts.HTM),
+		region:   opts.region(a),
 		metas:    newMetaTable(),
 		capacity: opts.LeafCapacity,
 		lsize:    leafSize(opts.LeafCapacity),

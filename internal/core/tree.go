@@ -37,8 +37,14 @@ type Options struct {
 	LeafCapacity int
 	// HTM tunes the emulated hardware transactional memory. Setting
 	// HTM.ForceFallback yields the no-HTM ablation (every slot-array update
-	// serializes on one global lock).
+	// serializes on one global lock). Ignored when Region is set.
 	HTM htm.Config
+	// Region injects a pre-built HTM region over the same arena instead of
+	// letting the tree construct a private one. The forest layer uses this
+	// so each partition explicitly owns its region — and with it its
+	// fallback lock and abort counters — rather than having the tree bury
+	// that ownership. Nil constructs a region from HTM.
+	Region *htm.Region
 	// FlushInCS moves the log-entry flush inside the leaf critical section,
 	// reverting the overlapping design of §4.2 to the decoupled design the
 	// paper criticises (all four steps under the lock, as FPTree does).
@@ -54,6 +60,15 @@ func (o *Options) normalize() error {
 		return fmt.Errorf("core: leaf capacity %d outside [4,%d]", o.LeafCapacity, MaxLeafCapacity)
 	}
 	return nil
+}
+
+// region resolves the HTM region for a tree over arena: the injected one if
+// the caller supplied it, a private one otherwise.
+func (o *Options) region(arena *pmem.Arena) *htm.Region {
+	if o.Region != nil {
+		return o.Region
+	}
+	return htm.NewRegion(arena, o.HTM)
 }
 
 // Tree is an RNTree: leaf nodes live in (simulated) NVM, internal nodes in
@@ -89,7 +104,7 @@ func New(arena *pmem.Arena, opts Options) (*Tree, error) {
 	}
 	t := &Tree{
 		arena:    arena,
-		region:   htm.NewRegion(arena, opts.HTM),
+		region:   opts.region(arena),
 		metas:    newMetaTable(),
 		capacity: opts.LeafCapacity,
 		lsize:    leafSize(opts.LeafCapacity),
@@ -136,6 +151,36 @@ func (t *Tree) Depth() int { return t.ix.Depth() }
 // (blocked by a writer's critical section or invalidated by a concurrent
 // split). The dual slot array exists to drive this toward zero (§4.3).
 func (t *Tree) ReadRetries() uint64 { return t.readRetries.Load() }
+
+// Stats is a point-in-time snapshot of one tree's cost counters: persistence
+// traffic from its arena, transaction outcomes from its HTM region, reader
+// contention, and the tree shape. The forest layer sums these per partition.
+type Stats struct {
+	Persists     uint64
+	LinesFlushed uint64
+	WordsWritten uint64
+	ReadRetries  uint64
+	HTM          htm.Stats
+	Leaves       int
+	Depth        int
+}
+
+// Stats snapshots the tree's counters. Note the arena and region may be
+// shared with other consumers (e.g. the kv value log persists into the same
+// arena), in which case their counters reflect all traffic, not just the
+// tree's.
+func (t *Tree) Stats() Stats {
+	as := t.arena.Stats()
+	return Stats{
+		Persists:     as.Persists,
+		LinesFlushed: as.LinesFlushed,
+		WordsWritten: as.WordsWritten,
+		ReadRetries:  t.readRetries.Load(),
+		HTM:          t.region.Stats(),
+		Leaves:       t.metas.len(),
+		Depth:        t.ix.Depth(),
+	}
+}
 
 func (t *Tree) leafFor(key uint64) *leafMeta {
 	return t.metas.get(t.ix.Seek(key))

@@ -72,14 +72,27 @@ func (r *Report) fold(v uint64) {
 	r.ImageHash = (r.ImageHash ^ v) * fnvPrime
 }
 
-func (r *Report) foldImage(site int, variant string, img []uint64) {
+func (r *Report) foldImages(site int, variant string, imgs [][]uint64) {
 	r.fold(uint64(site))
 	for i := 0; i < len(variant); i++ {
 		r.fold(uint64(variant[i]))
 	}
-	for _, w := range img {
-		r.fold(w)
+	for i, img := range imgs {
+		r.fold(uint64(i))
+		for _, w := range img {
+			r.fold(w)
+		}
 	}
+}
+
+// crashAll snapshots every arena at the same instant — a power loss takes
+// out the whole machine, not one partition.
+func crashAll(arenas []*pmem.Arena, rng *rand.Rand, evictProb float64) [][]uint64 {
+	imgs := make([][]uint64, len(arenas))
+	for i, a := range arenas {
+		imgs[i] = a.CrashImage(rng, evictProb)
+	}
+	return imgs
 }
 
 // Explore enumerates every persistent-instruction site ops executes against
@@ -94,34 +107,43 @@ func Explore(tgt Target, ops []Op, cfg Config) (*Report, error) {
 	}
 	rep := &Report{Target: tgt.Name(), ImageHash: fnvOffset}
 
-	// Pass 1 — count the sites and build the end-state model.
-	arena, base, err := tgt.Reset()
+	// Pass 1 — count the sites (one global ordinal across every arena) and
+	// build the end-state model.
+	arenas, base, err := tgt.Reset()
 	if err != nil {
 		return nil, err
 	}
 	sites := 0
-	arena.SetHooks(&pmem.Hooks{
+	count := &pmem.Hooks{
 		BeforePersist: func(_, _ uint64) { sites++ },
 		OnFence:       func() { sites++ },
-	})
+	}
+	for _, a := range arenas {
+		a.SetHooks(count)
+	}
+	clearHooks := func() {
+		for _, a := range arenas {
+			a.SetHooks(nil)
+		}
+	}
 	full := cloneModel(base)
 	for i, op := range ops {
 		if err := tgt.Apply(op); err != nil {
-			arena.SetHooks(nil)
+			clearHooks()
 			return nil, fmt.Errorf("fault: %s: counting pass op %d (%s %d): %v",
 				tgt.Name(), i, op.Kind, op.K, err)
 		}
 		tgt.ApplyModel(full, op)
 	}
-	arena.SetHooks(nil)
+	clearHooks()
 	rep.Sites = sites
 
-	// No-crash check: completed operations are durable, so the image taken
-	// after the whole workload must recover to exactly the full model.
-	img := arena.CrashImage(nil, 0)
+	// No-crash check: completed operations are durable, so the image set
+	// taken after the whole workload must recover to exactly the full model.
+	imgs := crashAll(arenas, nil, 0)
 	rep.Images++
-	rep.foldImage(sites, "final", img)
-	if got, err := safeRecover(tgt, img); err != nil {
+	rep.foldImages(sites, "final", imgs)
+	if got, err := safeRecover(tgt, imgs); err != nil {
 		rep.Violations = append(rep.Violations, Violation{
 			Site: sites, Variant: "final", OpIndex: len(ops) - 1,
 			Detail: "recovery failed: " + err.Error(),
@@ -168,16 +190,17 @@ func sampleSites(n, max int) []int {
 	return out
 }
 
-// variantImage is one synthesized crash image at a site.
+// variantImage is one synthesized crash image set at a site.
 type variantImage struct {
 	name string
-	img  []uint64
+	imgs [][]uint64
 }
 
 // exploreSite replays ops against a fresh target, crashes at the site-th
-// persistent instruction, and oracle-checks every image variant.
+// persistent instruction (counted globally across all arenas), and
+// oracle-checks every image-set variant.
 func exploreSite(tgt Target, ops []Op, site int, cfg Config, rep *Report) error {
-	arena, base, err := tgt.Reset()
+	arenas, base, err := tgt.Reset()
 	if err != nil {
 		return err
 	}
@@ -186,19 +209,21 @@ func exploreSite(tgt Target, ops []Op, site int, cfg Config, rep *Report) error 
 	var images []variantImage
 	seen := 0
 	// crashNow fires from inside the pmem hooks: at the target site it
-	// synthesizes the images the hardware model admits at this exact
-	// instruction boundary, then unwinds the replay.
-	crashNow := func(isPersist bool, off, size uint64) {
+	// synthesizes the image sets the hardware model admits at this exact
+	// instruction boundary — snapshotting every arena, since a power loss
+	// is machine-wide — then unwinds the replay. hit is the arena whose
+	// persist is in flight; only its image can tear.
+	crashNow := func(hit int, isPersist bool, off, size uint64) {
 		if seen != site {
 			seen++
 			return
 		}
 		seen++
 		// "pre": the in-flight persist contributed nothing durable yet.
-		pre := arena.CrashImage(nil, 0)
+		pre := crashAll(arenas, nil, 0)
 		images = append(images, variantImage{"pre", pre})
 		if cfg.EvictProb > 0 {
-			images = append(images, variantImage{"evict", arena.CrashImage(rng, cfg.EvictProb)})
+			images = append(images, variantImage{"evict", crashAll(arenas, rng, cfg.EvictProb)})
 		}
 		if isPersist && cfg.Torn {
 			if size == 0 {
@@ -207,27 +232,36 @@ func exploreSite(tgt Target, ops []Op, site int, cfg Config, rep *Report) error 
 			first := off / pmem.LineSize
 			nl := int((off+size-1)/pmem.LineSize - first + 1)
 			if nl > 1 {
-				// A strict non-empty subset of the persist's lines made
-				// it to media before the crash.
-				torn := make([]uint64, len(pre))
-				copy(torn, pre)
+				// A strict non-empty subset of the persist's lines made it
+				// to media before the crash — on the in-flight arena; the
+				// other arenas have nothing in flight.
+				torn := make([][]uint64, len(pre))
+				for i := range pre {
+					torn[i] = make([]uint64, len(pre[i]))
+					copy(torn[i], pre[i])
+				}
 				k := 1 + rng.Intn(nl-1)
 				for _, i := range rng.Perm(nl)[:k] {
-					arena.OverlayCacheLine(torn, (first+uint64(i))*pmem.LineSize)
+					arenas[hit].OverlayCacheLine(torn[hit], (first+uint64(i))*pmem.LineSize)
 				}
 				images = append(images, variantImage{"torn", torn})
 			}
 		}
 		panic(replayStop{})
 	}
-	arena.SetHooks(&pmem.Hooks{
-		BeforePersist: func(off, size uint64) { crashNow(true, off, size) },
-		OnFence:       func() { crashNow(false, 0, 0) },
-	})
+	for i, a := range arenas {
+		i := i
+		a.SetHooks(&pmem.Hooks{
+			BeforePersist: func(off, size uint64) { crashNow(i, true, off, size) },
+			OnFence:       func() { crashNow(i, false, 0, 0) },
+		})
+	}
 
 	before := cloneModel(base)
 	opIdx, stopped, err := runToCrash(tgt, ops, before)
-	arena.SetHooks(nil)
+	for _, a := range arenas {
+		a.SetHooks(nil)
+	}
 	if err != nil {
 		return fmt.Errorf("fault: %s: site %d: %v", tgt.Name(), site, err)
 	}
@@ -240,8 +274,8 @@ func exploreSite(tgt Target, ops []Op, site int, cfg Config, rep *Report) error 
 
 	for _, v := range images {
 		rep.Images++
-		rep.foldImage(site, v.name, v.img)
-		got, err := safeRecover(tgt, v.img)
+		rep.foldImages(site, v.name, v.imgs)
+		got, err := safeRecover(tgt, v.imgs)
 		if err != nil {
 			rep.Violations = append(rep.Violations, Violation{
 				Site: site, Variant: v.name, OpIndex: opIdx,
@@ -287,11 +321,11 @@ func runToCrash(tgt Target, ops []Op, committed Model) (opIdx int, stopped bool,
 // evicted image that sends recovery through an unchecked code path (bad
 // offsets, out-of-range persists) is an oracle violation, not a harness
 // crash.
-func safeRecover(tgt Target, img []uint64) (m Model, err error) {
+func safeRecover(tgt Target, imgs [][]uint64) (m Model, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			m, err = nil, fmt.Errorf("recovery panicked: %v", p)
 		}
 	}()
-	return tgt.Recover(img)
+	return tgt.Recover(imgs)
 }

@@ -65,6 +65,43 @@ func TestExploreKVV1Migration(t *testing.T) {
 	t.Logf("kv-v1: %d sites, %d images, hash %#x", rep.Sites, rep.Images, rep.ImageHash)
 }
 
+// The forest workload spreads splits/updates/deletes over two partition
+// arenas; every crash site — counted globally across both — must recover
+// to a consistent forest, in both slot-array modes.
+func TestExploreForestAllSites(t *testing.T) {
+	for _, dual := range []bool{false, true} {
+		tgt := &ForestTarget{DualSlot: dual}
+		rep := mustExplore(t, tgt, ForestWorkload(), Config{Seed: 42, EvictProb: 0.4, Torn: true})
+		if rep.Sites < 40 {
+			t.Fatalf("%s: only %d sites — workload too shallow", tgt.Name(), rep.Sites)
+		}
+		if rep.Explored != rep.Sites {
+			t.Fatalf("%s: explored %d of %d sites", tgt.Name(), rep.Explored, rep.Sites)
+		}
+		if !rep.Ok() {
+			t.Fatalf("%s: %d violations, first: %s", tgt.Name(), len(rep.Violations), rep.Violations[0])
+		}
+		t.Logf("%s: %d sites, %d images, hash %#x", tgt.Name(), rep.Sites, rep.Images, rep.ImageHash)
+	}
+}
+
+// The partitioned kv store: record appends, index updates and compaction
+// cuts now interleave across two arenas, and v3 recovery must rebuild both
+// partitions from any machine-wide crash image set.
+func TestExploreKVV3AllSites(t *testing.T) {
+	rep := mustExplore(t, &KVV3Target{}, KVWorkload(), Config{Seed: 42, EvictProb: 0.4, Torn: true})
+	if rep.Sites < 60 {
+		t.Fatalf("only %d sites — workload too shallow", rep.Sites)
+	}
+	if rep.Explored != rep.Sites {
+		t.Fatalf("explored %d of %d sites", rep.Explored, rep.Sites)
+	}
+	if !rep.Ok() {
+		t.Fatalf("%d violations, first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	t.Logf("kv-v3: %d sites, %d images, hash %#x", rep.Sites, rep.Images, rep.ImageHash)
+}
+
 // Same seed ⇒ byte-identical crash images (same ImageHash); a different
 // seed draws different eviction/torn subsets. This is what makes a CI
 // violation replayable from its logged seed.
@@ -124,10 +161,10 @@ func (t *toyTarget) Name() string {
 	return "toy"
 }
 
-func (t *toyTarget) Reset() (*pmem.Arena, Model, error) {
+func (t *toyTarget) Reset() ([]*pmem.Arena, Model, error) {
 	t.arena = pmem.New(pmem.Config{Size: 1 << 16})
 	t.n = 0
-	return t.arena, Model{}, nil
+	return []*pmem.Arena{t.arena}, Model{}, nil
 }
 
 func (t *toyTarget) Apply(op Op) error {
@@ -154,8 +191,8 @@ func (t *toyTarget) ApplyModel(m Model, op Op) {
 	m[strconv.FormatUint(op.K, 10)] = strconv.FormatUint(op.V, 10)
 }
 
-func (t *toyTarget) Recover(img []uint64) (Model, error) {
-	a := pmem.Recover(img, pmem.Config{})
+func (t *toyTarget) Recover(imgs [][]uint64) (Model, error) {
+	a := pmem.Recover(imgs[0], pmem.Config{})
 	got := Model{}
 	for i := uint64(0); i < a.Read8(toyCountOff); i++ {
 		rec := toyRecBase + i*pmem.LineSize

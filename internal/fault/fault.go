@@ -78,23 +78,26 @@ type Model = map[string]string
 // Target adapts one layer of the stack to the explorer. Implementations
 // must be deterministic: replaying the same ops on a fresh Reset must
 // execute the identical sequence of persistent instructions, because the
-// explorer aligns crash sites across runs by ordinal.
+// explorer aligns crash sites across runs by ordinal (a single global
+// ordinal across all of the target's arenas).
 type Target interface {
 	// Name identifies the target in reports.
 	Name() string
-	// Reset builds a fresh instance and returns its arena plus the model
-	// of contents already durable at reset time (non-empty only for
-	// targets that pre-load state, e.g. the v1-migration target). The
-	// explorer installs its hooks *after* Reset returns, so format-time
-	// persists are not crash sites.
-	Reset() (*pmem.Arena, Model, error)
+	// Reset builds a fresh instance and returns its arenas (one per
+	// partition for forest-backed targets, a single-element slice
+	// otherwise) plus the model of contents already durable at reset time
+	// (non-empty only for targets that pre-load state, e.g. the
+	// v1-migration target). The explorer installs its hooks *after* Reset
+	// returns, so format-time persists are not crash sites.
+	Reset() ([]*pmem.Arena, Model, error)
 	// Apply executes op against the live instance.
 	Apply(op Op) error
 	// ApplyModel applies op's semantics to m.
 	ApplyModel(m Model, op Op)
-	// Recover reopens the crash image, verifies structural invariants,
-	// and returns the recovered contents.
-	Recover(img []uint64) (Model, error)
+	// Recover reopens the crash image set (one image per arena, in Reset
+	// order), verifies structural invariants, and returns the recovered
+	// contents.
+	Recover(imgs [][]uint64) (Model, error)
 }
 
 func cloneModel(m Model) Model {

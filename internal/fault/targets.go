@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"rntree/internal/core"
+	"rntree/internal/forest"
 	"rntree/internal/pmem"
 	"rntree/kv"
 )
@@ -38,14 +39,14 @@ func (t *TreeTarget) opts() core.Options {
 	return core.Options{DualSlot: t.DualSlot, LeafCapacity: treeLeafCap}
 }
 
-func (t *TreeTarget) Reset() (*pmem.Arena, Model, error) {
+func (t *TreeTarget) Reset() ([]*pmem.Arena, Model, error) {
 	t.arena = pmem.New(pmem.Config{Size: treeArenaSize})
 	tr, err := core.New(t.arena, t.opts())
 	if err != nil {
 		return nil, nil, err
 	}
 	t.tree = tr
-	return t.arena, Model{}, nil
+	return []*pmem.Arena{t.arena}, Model{}, nil
 }
 
 func (t *TreeTarget) Apply(op Op) error {
@@ -70,8 +71,11 @@ func (t *TreeTarget) ApplyModel(m Model, op Op) {
 	}
 }
 
-func (t *TreeTarget) Recover(img []uint64) (Model, error) {
-	a := pmem.Recover(img, pmem.Config{})
+func (t *TreeTarget) Recover(imgs [][]uint64) (Model, error) {
+	if len(imgs) != 1 {
+		return nil, fmt.Errorf("tree target: %d images, want 1", len(imgs))
+	}
+	a := pmem.Recover(imgs[0], pmem.Config{})
 	tr, err := core.CrashRecover(a, t.opts())
 	if err != nil {
 		return nil, err
@@ -125,13 +129,13 @@ func kvOpts() kv.Options {
 
 func (t *KVTarget) Name() string { return "kv" }
 
-func (t *KVTarget) Reset() (*pmem.Arena, Model, error) {
+func (t *KVTarget) Reset() ([]*pmem.Arena, Model, error) {
 	s, err := kv.New(kvOpts())
 	if err != nil {
 		return nil, nil, err
 	}
 	t.store = s
-	return s.Arena(), Model{}, nil
+	return s.Arenas(), Model{}, nil
 }
 
 // kvKey/kvValue are the target's key/value encoding; values vary in length
@@ -167,8 +171,8 @@ func kvApplyModel(m Model, op Op) {
 
 func (t *KVTarget) ApplyModel(m Model, op Op) { kvApplyModel(m, op) }
 
-func kvRecover(img []uint64, opts kv.Options) (Model, error) {
-	s, err := kv.Open(img, opts)
+func kvRecover(imgs [][]uint64, opts kv.Options) (Model, error) {
+	s, err := kv.Open(imgs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -180,8 +184,8 @@ func kvRecover(img []uint64, opts kv.Options) (Model, error) {
 	return got, nil
 }
 
-func (t *KVTarget) Recover(img []uint64) (Model, error) {
-	return kvRecover(img, kvOpts())
+func (t *KVTarget) Recover(imgs [][]uint64) (Model, error) {
+	return kvRecover(imgs, kvOpts())
 }
 
 // KVWorkload covers Put (fresh and overwriting), Delete, and two Compacts —
@@ -234,7 +238,7 @@ func kvV1OpenOpts() kv.Options {
 	return kv.Options{ArenaSize: 4 << 20, ChunkSize: 512, Shards: 2}
 }
 
-func (t *KVV1Target) Reset() (*pmem.Arena, Model, error) {
+func (t *KVV1Target) Reset() ([]*pmem.Arena, Model, error) {
 	s, err := kv.New(kv.Options{ArenaSize: 4 << 20, ChunkSize: 512, Shards: 1})
 	if err != nil {
 		return nil, nil, err
@@ -262,14 +266,14 @@ func (t *KVV1Target) Reset() (*pmem.Arena, Model, error) {
 	}
 	// Reopen the durable image on a fresh arena, as a real restart would:
 	// cache == nvm == the v1 image, with no transient leftovers.
-	t.arena = pmem.Recover(s.Arena().CrashImage(nil, 0), pmem.Config{})
+	t.arena = pmem.Recover(s.Arenas()[0].CrashImage(nil, 0), pmem.Config{})
 	t.store = nil
-	return t.arena, base, nil
+	return []*pmem.Arena{t.arena}, base, nil
 }
 
 func (t *KVV1Target) Apply(op Op) error {
 	if op.Kind == OpOpen {
-		s, err := kv.OpenArena(t.arena, kvV1OpenOpts())
+		s, err := kv.OpenArenas([]*pmem.Arena{t.arena}, kvV1OpenOpts())
 		if err != nil {
 			return err
 		}
@@ -292,8 +296,8 @@ func (t *KVV1Target) Apply(op Op) error {
 
 func (t *KVV1Target) ApplyModel(m Model, op Op) { kvApplyModel(m, op) }
 
-func (t *KVV1Target) Recover(img []uint64) (Model, error) {
-	return kvRecover(img, kvV1OpenOpts())
+func (t *KVV1Target) Recover(imgs [][]uint64) (Model, error) {
+	return kvRecover(imgs, kvV1OpenOpts())
 }
 
 // KVV1Workload migrates the pre-loaded v1 image, then keeps using the
@@ -311,6 +315,150 @@ func KVV1Workload() []Op {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// forest target
+
+// ForestTarget drives a two-partition forest.Forest with a small leaf
+// capacity: crash sites land inside one partition's mutation while the
+// other partition's arena is quiescent, and recovery must reassemble the
+// whole forest from the multi-arena image set (superblock checks included).
+type ForestTarget struct {
+	DualSlot bool
+	forest   *forest.Forest
+}
+
+func (t *ForestTarget) Name() string {
+	if t.DualSlot {
+		return "forest+ds"
+	}
+	return "forest"
+}
+
+func (t *ForestTarget) opts() forest.Options {
+	return forest.Options{
+		Partitions: 2,
+		ArenaSize:  treeArenaSize,
+		Tree:       core.Options{DualSlot: t.DualSlot, LeafCapacity: treeLeafCap},
+	}
+}
+
+func (t *ForestTarget) Reset() ([]*pmem.Arena, Model, error) {
+	f, err := forest.New(t.opts())
+	if err != nil {
+		return nil, nil, err
+	}
+	t.forest = f
+	arenas := make([]*pmem.Arena, f.Partitions())
+	for i := range arenas {
+		arenas[i] = f.Partition(i).Arena()
+	}
+	return arenas, Model{}, nil
+}
+
+func (t *ForestTarget) Apply(op Op) error {
+	switch op.Kind {
+	case OpInsert:
+		return t.forest.Insert(op.K, op.V)
+	case OpUpdate:
+		return t.forest.Update(op.K, op.V)
+	case OpDelete:
+		return t.forest.Remove(op.K)
+	}
+	return fmt.Errorf("forest target: unsupported op %s", op.Kind)
+}
+
+func (t *ForestTarget) ApplyModel(m Model, op Op) {
+	k := strconv.FormatUint(op.K, 10)
+	switch op.Kind {
+	case OpInsert, OpUpdate:
+		m[k] = strconv.FormatUint(op.V, 10)
+	case OpDelete:
+		delete(m, k)
+	}
+}
+
+func (t *ForestTarget) Recover(imgs [][]uint64) (Model, error) {
+	f, err := forest.Open(imgs, t.opts())
+	if err != nil {
+		return nil, err
+	}
+	if err := f.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("recovered forest invalid: %v", err)
+	}
+	got := Model{}
+	f.Scan(0, 0, func(k, v uint64) bool {
+		got[strconv.FormatUint(k, 10)] = strconv.FormatUint(v, 10)
+		return true
+	})
+	return got, nil
+}
+
+// ForestWorkload is TreeWorkload's shape over keys that Mix64 spreads
+// across both partitions: splits, updates and deletes land in each
+// partition's arena, so crash sites cover both.
+func ForestWorkload() []Op {
+	var ops []Op
+	for i := uint64(0); i < 20; i++ {
+		ops = append(ops, Op{OpInsert, i * 7 % 97, 1000 + i})
+	}
+	for i := uint64(0); i < 6; i++ {
+		ops = append(ops, Op{OpUpdate, i * 7 % 97, 2000 + i})
+	}
+	for i := uint64(6); i < 12; i++ {
+		ops = append(ops, Op{OpDelete, i * 7 % 97, 0})
+	}
+	return ops
+}
+
+// ---------------------------------------------------------------------------
+// kv v3 partitioned target
+
+// KVV3Target drives a two-partition kv.Store: crash sites land inside one
+// partition's record append, index update, chunk link or compaction cut,
+// and the v3 recovery path must rebuild both partitions from their own
+// superblocks and reject nothing from a legitimate machine-wide crash.
+type KVV3Target struct {
+	store *kv.Store
+}
+
+func kvV3Opts() kv.Options {
+	return kv.Options{
+		ArenaSize:  8 << 20,
+		ChunkSize:  512,
+		Shards:     1,
+		Partitions: 2,
+	}
+}
+
+func (t *KVV3Target) Name() string { return "kv-v3" }
+
+func (t *KVV3Target) Reset() ([]*pmem.Arena, Model, error) {
+	s, err := kv.New(kvV3Opts())
+	if err != nil {
+		return nil, nil, err
+	}
+	t.store = s
+	return s.Arenas(), Model{}, nil
+}
+
+func (t *KVV3Target) Apply(op Op) error {
+	switch op.Kind {
+	case OpInsert, OpUpdate:
+		return t.store.Put([]byte(kvKey(op.K)), []byte(kvValue(op.K, op.V)))
+	case OpDelete:
+		return t.store.Delete([]byte(kvKey(op.K)))
+	case OpCompact:
+		return t.store.Compact()
+	}
+	return fmt.Errorf("kv-v3 target: unsupported op %s", op.Kind)
+}
+
+func (t *KVV3Target) ApplyModel(m Model, op Op) { kvApplyModel(m, op) }
+
+func (t *KVV3Target) Recover(imgs [][]uint64) (Model, error) {
+	return kvRecover(imgs, kvV3Opts())
+}
+
 // Targets returns every layer adapter with its canonical workload, the
 // matrix the faultmatrix experiment and `make faultcheck` run.
 func Targets() []struct {
@@ -323,7 +471,10 @@ func Targets() []struct {
 	}{
 		{&TreeTarget{DualSlot: false}, TreeWorkload()},
 		{&TreeTarget{DualSlot: true}, TreeWorkload()},
+		{&ForestTarget{DualSlot: false}, ForestWorkload()},
+		{&ForestTarget{DualSlot: true}, ForestWorkload()},
 		{&KVTarget{}, KVWorkload()},
 		{&KVV1Target{}, KVV1Workload()},
+		{&KVV3Target{}, KVWorkload()},
 	}
 }

@@ -1,0 +1,74 @@
+package forest
+
+import (
+	"container/heap"
+
+	"rntree/internal/core"
+	"rntree/internal/tree"
+)
+
+// Iterator walks the whole forest in ascending key order by k-way merging
+// one per-partition tree iterator per partition. Like the underlying tree
+// iterators it observes each leaf atomically and tolerates concurrent
+// writers between batches; it must only be used by one goroutine.
+type Iterator struct {
+	f *Forest
+	h mergeHeap
+}
+
+// NewIterator positions a merged iterator at the first key >= start.
+func (f *Forest) NewIterator(start uint64) *Iterator {
+	it := &Iterator{f: f}
+	it.init(start)
+	return it
+}
+
+func (it *Iterator) init(start uint64) {
+	it.h = it.h[:0]
+	for _, p := range it.f.parts {
+		ci := p.tree.NewIterator(start)
+		if kv, ok := ci.Next(); ok {
+			it.h = append(it.h, mergeCursor{kv: kv, it: ci})
+		}
+	}
+	heap.Init(&it.h)
+}
+
+// Next returns the next record in global key order and false when every
+// partition is exhausted.
+func (it *Iterator) Next() (tree.KV, bool) {
+	if len(it.h) == 0 {
+		return tree.KV{}, false
+	}
+	kv := it.h[0].kv
+	if nkv, ok := it.h[0].it.Next(); ok {
+		it.h[0].kv = nkv
+		heap.Fix(&it.h, 0)
+	} else {
+		heap.Pop(&it.h)
+	}
+	return kv, true
+}
+
+// Seek repositions the iterator at the first key >= key.
+func (it *Iterator) Seek(key uint64) { it.init(key) }
+
+// mergeCursor is one partition's iterator plus its buffered head record.
+type mergeCursor struct {
+	kv tree.KV
+	it *core.Iterator
+}
+
+type mergeHeap []mergeCursor
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].kv.Key < h[j].kv.Key }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeCursor)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}

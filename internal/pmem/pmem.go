@@ -68,6 +68,21 @@ type LatencyModel struct {
 	// CLWB round trip plus the ordering fence that waits for the write
 	// queue to drain (a few hundred nanoseconds on NVDIMM).
 	Fence time.Duration
+	// DrainPerLine models the DIMM-internal drain behind the write-pending
+	// queue: every persisted line occupies one of the arena's drain engines
+	// for this long before the issuing fence can retire, and concurrent
+	// persists to the SAME arena queue behind each other. On Optane DCPMM a
+	// 64-byte flush dirties a whole 256-byte XPLine, so sustained small
+	// random persists cost on the order of a microsecond of media occupancy
+	// per line (Yang et al., FAST'20). Zero disables the queue: drains are
+	// infinitely parallel, as under battery-backed DRAM. This is the term
+	// that makes persist bandwidth a per-device resource — spreading a
+	// workload over more arenas (more DIMMs) multiplies it.
+	DrainPerLine time.Duration
+	// PersistStreams is the number of concurrent drain engines per arena
+	// (the effective WPQ width). 0 means 1. Ignored unless DrainPerLine is
+	// set.
+	PersistStreams int
 }
 
 // DefaultLatency models the paper's NVDIMM-N testbed closely enough to
@@ -89,6 +104,17 @@ var (
 	// ProfileOptane models Intel Optane DCPMM per the paper's ref [1]:
 	// slower media, costlier drains.
 	ProfileOptane = LatencyModel{FlushPerLine: 60 * time.Nanosecond, Fence: 900 * time.Nanosecond}
+	// ProfileOptaneDIMM extends ProfileOptane with the per-DIMM drain
+	// bottleneck: one drain engine per arena and ~1µs of media occupancy
+	// per persisted line (a 64B flush writes a 256B XPLine; at the measured
+	// few-hundred-MB/s small-random-write bandwidth of one DCPMM that is
+	// roughly a microsecond). Under this profile persist bandwidth is a
+	// per-arena resource, which is what the forest's partition-per-arena
+	// layout is designed to multiply.
+	ProfileOptaneDIMM = LatencyModel{
+		FlushPerLine: 60 * time.Nanosecond, Fence: 900 * time.Nanosecond,
+		DrainPerLine: time.Microsecond, PersistStreams: 1,
+	}
 	// ProfileEADR models platforms whose ADR domain covers the caches:
 	// flushes become ordering-only and nearly free.
 	ProfileEADR = LatencyModel{FlushPerLine: 0, Fence: 30 * time.Nanosecond}
@@ -149,6 +175,7 @@ type Arena struct {
 	dirty []uint64 // bitmap, one bit per line: cache line differs from nvm
 
 	lat   LatencyModel
+	drain chan struct{} // drain-engine semaphore; nil when DrainPerLine is 0
 	hooks atomic.Pointer[Hooks]
 
 	stats struct {
@@ -181,10 +208,24 @@ func New(cfg Config) *Arena {
 		nvm:   make([]uint64, words),
 		dirty: make([]uint64, (size/LineSize+63)/64),
 		lat:   cfg.Latency,
+		drain: drainSem(cfg.Latency),
 		bump:  RootSize,
 		freed: make(map[uint64][]uint64),
 	}
 	return a
+}
+
+// drainSem builds the drain-engine semaphore for a latency model: one slot
+// per concurrent stream, or nil when drain queueing is disabled.
+func drainSem(m LatencyModel) chan struct{} {
+	if m.DrainPerLine <= 0 {
+		return nil
+	}
+	streams := m.PersistStreams
+	if streams <= 0 {
+		streams = 1
+	}
+	return make(chan struct{}, streams)
 }
 
 // Size returns the arena capacity in bytes.
@@ -195,7 +236,10 @@ func (a *Arena) Latency() LatencyModel { return a.lat }
 
 // SetLatency replaces the persistence cost model. Not safe to call
 // concurrently with Persist.
-func (a *Arena) SetLatency(m LatencyModel) { a.lat = m }
+func (a *Arena) SetLatency(m LatencyModel) {
+	a.lat = m
+	a.drain = drainSem(m)
+}
 
 // SetHooks installs persist callbacks (nil clears them).
 func (a *Arena) SetHooks(h *Hooks) { a.hooks.Store(h) }
@@ -365,6 +409,14 @@ func (a *Arena) Persist(off, size uint64) {
 	a.stats.persists.Add(1)
 	a.stats.linesFlushed.Add(lines)
 	a.stats.fences.Add(1)
+	if a.drain != nil {
+		// The fence cannot retire until this persist's lines have passed
+		// through one of the arena's drain engines; persists racing for the
+		// same engine queue behind each other (per-DIMM media bandwidth).
+		a.drain <- struct{}{}
+		spin(time.Duration(lines) * a.lat.DrainPerLine)
+		<-a.drain
+	}
 	spin(time.Duration(lines)*a.lat.FlushPerLine + a.lat.Fence)
 	if h := a.hooks.Load(); h != nil && h.AfterPersist != nil {
 		h.AfterPersist(off, size)

@@ -8,11 +8,11 @@ type liveRec struct{ key, val []byte }
 // collectLive walks a hash chain newest-first and returns the newest
 // record of every distinct live key, preserving chain order (newest
 // first). Tombstoned keys are dropped.
-func (s *Store) collectLive(off uint64) []liveRec {
+func (p *kvPart) collectLive(off uint64) []liveRec {
 	var live []liveRec
 	seen := map[string]bool{}
 	for off != 0 {
-		kind, key, val, next := s.readRecord(off)
+		kind, key, val, next := p.readRecord(off)
 		if !seen[string(key)] {
 			seen[string(key)] = true
 			if kind == recPut {
@@ -27,27 +27,30 @@ func (s *Store) collectLive(off uint64) []liveRec {
 // rewriteChain re-appends live records (given newest-first) into sh's log,
 // preserving their order, and repoints the index. Caller holds sh.mu (or
 // the store is not yet published).
-func (s *Store) rewriteChain(sh *shard, hash uint64, live []liveRec) error {
+func (p *kvPart) rewriteChain(sh *shard, hash uint64, live []liveRec) error {
 	next := uint64(0)
 	for i := len(live) - 1; i >= 0; i-- {
-		off, err := s.appendRecord(sh, recPut, live[i].key, live[i].val, next)
+		off, err := p.appendRecord(sh, recPut, live[i].key, live[i].val, next)
 		if err != nil {
 			return err
 		}
 		next = off
 	}
-	return s.tree.Upsert(hash, next)
+	return p.tree.Upsert(hash, next)
 }
 
 // Compact rewrites every live record into fresh chunks and retires the old
 // ones, reclaiming space from overwritten values and tombstones. It works
 // one shard at a time, holding only that shard's lock — writers on the
-// other shards (and all readers) keep running, so compaction no longer
-// stops the world.
+// other shards and partitions (and all readers) keep running, so
+// compaction never stops the world.
 func (s *Store) Compact() error {
-	for i := range s.shards {
-		if err := s.compactShard(&s.shards[i]); err != nil {
-			return err
+	for pi := range s.parts {
+		p := &s.parts[pi]
+		for i := range p.shards {
+			if err := p.compactShard(&p.shards[i]); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -65,35 +68,35 @@ func (s *Store) Compact() error {
 // Reader safety: lock-free readers may still be walking the old records,
 // so the cut chunks are only retired here; the actual free happens at the
 // start of the next compaction of this shard, a full cycle later.
-func (s *Store) compactShard(sh *shard) error {
+func (p *kvPart) compactShard(sh *shard) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for _, c := range sh.retired {
-		s.arena.Free(c, s.chunkSz)
+		p.arena.Free(c, p.chunkSz)
 	}
 	sh.retired = nil
 
-	oldHead := s.arena.Read8(sh.tabOff)
-	if err := s.newShardChunk(sh); err != nil {
+	oldHead := p.arena.Read8(sh.tabOff)
+	if err := p.newShardChunk(sh); err != nil {
 		return err
 	}
 	cut := sh.chunk // its next pointer is oldHead until the cut below
 
 	live := int64(0)
 	var fail error
-	s.tree.Scan(0, 0, func(hash, off uint64) bool {
-		if s.shardFor(hash) != sh {
+	p.tree.Scan(0, 0, func(hash, off uint64) bool {
+		if p.shardFor(hash) != sh {
 			return true
 		}
-		recs := s.collectLive(off)
+		recs := p.collectLive(off)
 		if len(recs) == 0 {
-			if err := s.tree.Remove(hash); err != nil {
+			if err := p.tree.Remove(hash); err != nil {
 				fail = err
 				return false
 			}
 			return true
 		}
-		if err := s.rewriteChain(sh, hash, recs); err != nil {
+		if err := p.rewriteChain(sh, hash, recs); err != nil {
 			fail = err
 			return false
 		}
@@ -105,10 +108,10 @@ func (s *Store) compactShard(sh *shard) error {
 	}
 
 	if oldHead != pmem.NullOff {
-		s.arena.Write8(cut+chunkNextOff, pmem.NullOff)
-		s.arena.Persist(cut+chunkNextOff, 8)
+		p.arena.Write8(cut+chunkNextOff, pmem.NullOff)
+		p.arena.Persist(cut+chunkNextOff, 8)
 		for c := oldHead; c != pmem.NullOff; {
-			nxt := s.arena.Read8(c + chunkNextOff)
+			nxt := p.arena.Read8(c + chunkNextOff)
 			sh.retired = append(sh.retired, c)
 			c = nxt
 		}

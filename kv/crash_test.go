@@ -26,6 +26,14 @@ func TestCrashFuzzCollisionChains(t *testing.T) {
 	crashFuzzStore(t, Options{ArenaSize: 64 << 20, ChunkSize: 1 << 12, Shards: 4}, collide(7))
 }
 
+// TestCrashFuzzPartitioned runs the crash fuzzer over a four-partition
+// store: the power loss snapshots every partition arena at the same
+// instant, so recovery must reassemble a consistent store from the whole
+// set even though only one partition holds the in-flight operation.
+func TestCrashFuzzPartitioned(t *testing.T) {
+	crashFuzzStore(t, Options{ArenaSize: 64 << 20, ChunkSize: 1 << 13, Shards: 2, Partitions: 4}, nil)
+}
+
 func crashFuzzStore(t *testing.T, opts Options, hash func([]byte) uint64) {
 	for trial := int64(0); trial < 15; trial++ {
 		s, err := New(opts)
@@ -41,17 +49,23 @@ func crashFuzzStore(t *testing.T, opts Options, hash func([]byte) uint64) {
 
 		committed := map[string]string{}
 		var before, after map[string]string
-		var img []uint64
+		var imgs [][]uint64
 		phase := 0
 		var inflight func(m map[string]string)
 
+		arenas := s.Arenas()
 		snap := func() {
-			if img != nil || phase != crashPhase {
+			if imgs != nil || phase != crashPhase {
 				phase++
 				return
 			}
 			phase++
-			img = s.arena.CrashImage(rng, 0.4)
+			// Power loss hits every partition at once: capture the whole
+			// arena set, not just the one holding the in-flight persist.
+			imgs = make([][]uint64, len(arenas))
+			for i, a := range arenas {
+				imgs[i] = a.CrashImage(rng, 0.4)
+			}
 			before = map[string]string{}
 			for k, v := range committed {
 				before[k] = v
@@ -64,10 +78,12 @@ func crashFuzzStore(t *testing.T, opts Options, hash func([]byte) uint64) {
 				inflight(after)
 			}
 		}
-		s.arena.SetHooks(&pmem.Hooks{
-			BeforePersist: func(_, _ uint64) { snap() },
-			AfterPersist:  func(_, _ uint64) { snap() },
-		})
+		for _, a := range arenas {
+			a.SetHooks(&pmem.Hooks{
+				BeforePersist: func(_, _ uint64) { snap() },
+				AfterPersist:  func(_, _ uint64) { snap() },
+			})
+		}
 
 		for i := 0; i < ops; i++ {
 			k := fmt.Sprintf("key-%d", rng.Intn(60))
@@ -90,15 +106,17 @@ func crashFuzzStore(t *testing.T, opts Options, hash func([]byte) uint64) {
 				committed[k] = v
 			}
 		}
-		s.arena.SetHooks(nil)
-		if img == nil {
-			img = s.Snapshot()
+		for _, a := range arenas {
+			a.SetHooks(nil)
+		}
+		if imgs == nil {
+			imgs = s.Snapshot()
 			before, after = committed, committed
 		}
 
-		// opts.ChunkSize deliberately not forwarded: v2 recovery reads the
-		// geometry from the persisted superblock.
-		s2, err := Open(img, Options{})
+		// opts.ChunkSize deliberately not forwarded: v3 recovery reads the
+		// geometry from the persisted superblocks.
+		s2, err := Open(imgs, Options{})
 		if err != nil {
 			t.Fatalf("trial %d: open: %v", trial, err)
 		}

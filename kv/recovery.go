@@ -4,76 +4,143 @@ import (
 	"fmt"
 
 	"rntree/internal/core"
+	"rntree/internal/forest"
+	"rntree/internal/htm"
 	"rntree/internal/pmem"
 )
 
-// Open recovers a store from a snapshot: the tree index is rebuilt via
-// crash recovery, every shard's chunk chain is re-registered with the
-// allocator, and appends continue in fresh chunks (the tails of the
-// pre-crash chunks are sacrificed, as in any bump-allocated log).
+// Open recovers a store from a snapshot (one image per partition arena, in
+// partition order): every partition's tree index is rebuilt via crash
+// recovery, its shard chunk chains are re-registered with the allocator,
+// and appends continue in fresh chunks (the tails of the pre-crash chunks
+// are sacrificed, as in any bump-allocated log).
 //
-// The log geometry — chunk size and shard count — is read from the
-// persisted superblock, not from opts, so opening with different Options
-// than the store was created with is safe. Legacy v1 images (which did not
-// persist their geometry) are migrated to the v2 sharded format in place;
-// for those, opts.ChunkSize must match the creating store.
-func Open(img []uint64, opts Options) (*Store, error) {
+// The store geometry — chunk size, shard count, partition count — is read
+// from the persisted superblocks, not from opts, so opening with different
+// Options than the store was created with is safe. Legacy single-arena v1
+// and v2 images are migrated to the v3 partitioned format in place; v1
+// images (which did not persist their geometry) additionally need
+// opts.ChunkSize to match the creating store. Setting opts.Partitions to a
+// different count than the images hold rebuilds the store into fresh
+// arenas with the requested geometry.
+func Open(imgs [][]uint64, opts Options) (*Store, error) {
 	opts.normalize()
-	arena := pmem.Recover(img, pmem.Config{Latency: opts.FlushLatency})
-	return openArena(arena, opts)
+	arenas := make([]*pmem.Arena, len(imgs))
+	for i, img := range imgs {
+		arenas[i] = pmem.Recover(img, pmem.Config{Latency: opts.FlushLatency})
+	}
+	return openArenas(arenas, opts)
 }
 
-// OpenArena is Open on an already-recovered arena: the caller keeps
-// ownership of the arena, so persist hooks installed on it observe the
-// recovery (and v1-migration) persists — the entry point the
-// fault-injection explorer uses to crash *inside* recovery.
-func OpenArena(arena *pmem.Arena, opts Options) (*Store, error) {
+// OpenArenas is Open on already-recovered arenas: the caller keeps
+// ownership of the arenas, so persist hooks installed on them observe the
+// recovery (and migration) persists — the entry point the fault-injection
+// explorer uses to crash *inside* recovery.
+func OpenArenas(arenas []*pmem.Arena, opts Options) (*Store, error) {
 	opts.normalize()
-	return openArena(arena, opts)
+	return openArenas(arenas, opts)
 }
 
-// openArena is Open after arena recovery; split out so crash tests can
-// install persist hooks on the arena before recovery runs.
-func openArena(arena *pmem.Arena, opts Options) (*Store, error) {
-	t, err := core.Open(arena, core.Options{DualSlot: opts.DualSlotArray})
+// openArenas dispatches on the image generation. A single arena whose
+// superblock carries a v1/v2 magic takes the legacy upgrade path; anything
+// else must be a partition-complete v3 set.
+func openArenas(arenas []*pmem.Arena, opts Options) (*Store, error) {
+	if len(arenas) == 0 {
+		return nil, fmt.Errorf("kv: no arenas to open")
+	}
+	var s *Store
+	var err error
+	if len(arenas) == 1 && legacyMagic(arenas[0]) {
+		s, err = openLegacy(arenas[0], opts)
+	} else {
+		s, err = openV3(arenas, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
-	sb := arena.Read8(rootStoreOff)
-	if sb == pmem.NullOff {
-		return nil, fmt.Errorf("kv: arena does not contain a store superblock")
+	// A partition count requested explicitly and differing from what the
+	// images persist triggers a rebuild migration: a fresh store with the
+	// requested geometry, filled by rehashing every live pair. The source
+	// arenas are left untouched, so a crash mid-rebuild just means the next
+	// Open starts it over.
+	if opts.Partitions != 0 && opts.Partitions != len(s.parts) {
+		return rebuild(s, opts)
 	}
-	switch arena.Read8(sb + sbMagicOff) {
-	case storeMagicV2:
-		return openV2(arena, t, sb)
-	case storeMagicV1:
-		return openV1(arena, t, sb, opts)
-	default:
-		return nil, fmt.Errorf("kv: arena does not contain a store superblock")
-	}
+	return s, nil
 }
 
-// openV2 recovers a sharded store from its persisted superblock.
-func openV2(arena *pmem.Arena, t *core.Tree, sb uint64) (*Store, error) {
-	chunkSz := arena.Read8(sb + sbChunkSzOff)
-	nShards := arena.Read8(sb + sbShardsOff)
-	table := arena.Read8(sb + sbTableOff)
+// legacyMagic reports whether the arena's store superblock carries a
+// pre-partitioning (v1/v2) magic.
+func legacyMagic(a *pmem.Arena) bool {
+	sb := a.Read8(rootStoreOff)
+	if sb == pmem.NullOff {
+		return false
+	}
+	m := a.Read8(sb + sbMagicOff)
+	return m == storeMagicV1 || m == storeMagicV2
+}
+
+// openV3 recovers a partition-complete v3 store: the forest layer verifies
+// the arena set (count, order, per-partition forest superblocks), then each
+// partition's value-log state is rebuilt independently from its own kv
+// superblock.
+func openV3(arenas []*pmem.Arena, opts Options) (*Store, error) {
+	fopts := opts.forestOpts(len(arenas))
+	f, err := forest.OpenArenas(arenas, fopts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{f: f, hash: Hash, parts: make([]kvPart, len(arenas))}
+	for i := range s.parts {
+		p := &s.parts[i]
+		p.arena = f.Partition(i).Arena()
+		p.tree = f.Partition(i).Tree()
+		if err := openPartV3(p, i, len(arenas)); err != nil {
+			return nil, err
+		}
+		p.recount()
+	}
+	return s, nil
+}
+
+// openPartV3 rebuilds one partition's value-log state from its persisted
+// superblock and re-registers every log chunk with the allocator.
+func openPartV3(p *kvPart, idx, parts int) error {
+	a := p.arena
+	sb := a.Read8(rootStoreOff)
+	if sb == pmem.NullOff {
+		return fmt.Errorf("kv: partition %d: arena does not contain a store superblock", idx)
+	}
+	if m := a.Read8(sb + sbMagicOff); m != storeMagicV3 {
+		return fmt.Errorf("kv: partition %d: bad superblock magic %#x", idx, m)
+	}
+	chunkSz := a.Read8(sb + sbChunkSzOff)
+	nShards := a.Read8(sb + sbShardsOff)
+	table := a.Read8(sb + sbTableOff)
 	if nShards == 0 || nShards > MaxShards || nShards&(nShards-1) != 0 {
-		return nil, fmt.Errorf("kv: corrupt superblock: shard count %d", nShards)
+		return fmt.Errorf("kv: partition %d: corrupt superblock: shard count %d", idx, nShards)
 	}
 	if chunkSz < 2*pmem.LineSize || chunkSz%pmem.LineSize != 0 {
-		return nil, fmt.Errorf("kv: corrupt superblock: chunk size %d", chunkSz)
+		return fmt.Errorf("kv: partition %d: corrupt superblock: chunk size %d", idx, chunkSz)
 	}
 	if table == pmem.NullOff {
-		return nil, fmt.Errorf("kv: corrupt superblock: null shard table")
+		return fmt.Errorf("kv: partition %d: corrupt superblock: null shard table", idx)
 	}
-	s := newShardedStore(arena, t, sb, chunkSz, int(nShards), table)
+	if got := a.Read8(sb + sbPartsOff); got != uint64(parts) {
+		return fmt.Errorf("kv: partition %d: superblock says %d partitions, opening %d", idx, got, parts)
+	}
+	if got := a.Read8(sb + sbPartIdxOff); got != uint64(idx) {
+		return fmt.Errorf("kv: partition %d: arena belongs at position %d", idx, got)
+	}
+	p.sbOff = sb
+	p.initShards(chunkSz, int(nShards), table)
 
-	// The tree's recovery reset the allocator to cover only tree state;
-	// extend it past the superblock, the shard table and every log chunk
-	// of every chain (including a legacy chain mid-migration) so the
-	// allocator cannot hand out offsets overlapping live log data.
-	maxOff := arena.Bump()
+	// Recovery below the kv layer reset the allocator to cover only tree
+	// and forest state; extend it past the superblock, the shard table and
+	// every log chunk of every chain (including a legacy chain
+	// mid-migration) so the allocator cannot hand out offsets overlapping
+	// live log data.
+	maxOff := a.Bump()
 	grow := func(end uint64) {
 		if end > maxOff {
 			maxOff = end
@@ -81,90 +148,216 @@ func openV2(arena *pmem.Arena, t *core.Tree, sb uint64) (*Store, error) {
 	}
 	grow(sb + pmem.LineSize)
 	grow(table + nShards*pmem.LineSize)
-	for i := range s.shards {
-		for c := arena.Read8(s.shards[i].tabOff); c != pmem.NullOff; c = arena.Read8(c + chunkNextOff) {
+	for i := range p.shards {
+		for c := a.Read8(p.shards[i].tabOff); c != pmem.NullOff; c = a.Read8(c + chunkNextOff) {
 			grow(c + chunkSz)
 		}
 	}
-	legacy := arena.Read8(sb + sbLegacyOff)
-	legacySz := arena.Read8(sb + sbLegacySzOff)
+	legacy := a.Read8(sb + sbLegacyOff)
+	legacySz := a.Read8(sb + sbLegacySzOff)
 	if legacy != pmem.NullOff {
-		for c := legacy; c != pmem.NullOff; c = arena.Read8(c + chunkNextOff) {
+		for c := legacy; c != pmem.NullOff; c = a.Read8(c + chunkNextOff) {
 			grow(c + legacySz)
 		}
 	}
-	arena.SetBump(maxOff)
-	for i := range s.shards {
-		if err := s.newShardChunk(&s.shards[i]); err != nil {
-			return nil, err
+	a.SetBump(maxOff)
+	for i := range p.shards {
+		if err := p.newShardChunk(&p.shards[i]); err != nil {
+			return err
+		}
+	}
+	// A non-null legacy chain means a v1 migration was interrupted by a
+	// crash after the upgrade committed; finish it (idempotent) before the
+	// store is published.
+	if legacy != pmem.NullOff {
+		if err := p.finishMigration(legacy, legacySz); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openLegacy recovers a pre-partitioning single-arena image and upgrades it
+// to v3 in place. The arena has no forest superblock, so the tree is opened
+// directly (with an explicitly owned HTM region, as the forest layer would)
+// and the old v1/v2 machinery rebuilds the value log. The upgrade then runs
+// in two persisted steps:
+//
+//  1. forest.Attach writes a single-partition forest superblock and flips
+//     the forest root word. A crash after this leaves a v2 store with a
+//     dangling forest superblock — harmless, since the v2 reopen path never
+//     reads it and the next upgrade attempt overwrites the root word.
+//  2. The kv superblock gains its partition words and the magic flips to
+//     v3, all within one line persist — the commit point. Before it the
+//     image reopens as v2 and the upgrade reruns; after it the image is a
+//     complete one-partition v3 set.
+func openLegacy(arena *pmem.Arena, opts Options) (*Store, error) {
+	region := htm.NewRegion(arena, htm.Config{})
+	t, err := core.Open(arena, core.Options{DualSlot: opts.DualSlotArray, Region: region})
+	if err != nil {
+		return nil, err
+	}
+	sb := arena.Read8(rootStoreOff)
+	p := kvPart{arena: arena, tree: t}
+	switch arena.Read8(sb + sbMagicOff) {
+	case storeMagicV2:
+		err = openV2(&p, sb)
+	case storeMagicV1:
+		err = openV1(&p, sb, opts)
+	default:
+		err = fmt.Errorf("kv: arena does not contain a store superblock")
+	}
+	if err != nil {
+		return nil, err
+	}
+	f, err := forest.Attach(arena, region, t)
+	if err != nil {
+		return nil, err
+	}
+	arena.Write8(p.sbOff+sbPartsOff, 1)
+	arena.Write8(p.sbOff+sbPartIdxOff, 0)
+	arena.Write8(p.sbOff+sbMagicOff, storeMagicV3)
+	arena.Persist(p.sbOff, pmem.LineSize)
+	p.recount()
+	return &Store{f: f, hash: Hash, parts: []kvPart{p}}, nil
+}
+
+// openV2 recovers a sharded single-arena store from its persisted v2
+// superblock.
+func openV2(p *kvPart, sb uint64) error {
+	a := p.arena
+	chunkSz := a.Read8(sb + sbChunkSzOff)
+	nShards := a.Read8(sb + sbShardsOff)
+	table := a.Read8(sb + sbTableOff)
+	if nShards == 0 || nShards > MaxShards || nShards&(nShards-1) != 0 {
+		return fmt.Errorf("kv: corrupt superblock: shard count %d", nShards)
+	}
+	if chunkSz < 2*pmem.LineSize || chunkSz%pmem.LineSize != 0 {
+		return fmt.Errorf("kv: corrupt superblock: chunk size %d", chunkSz)
+	}
+	if table == pmem.NullOff {
+		return fmt.Errorf("kv: corrupt superblock: null shard table")
+	}
+	p.sbOff = sb
+	p.initShards(chunkSz, int(nShards), table)
+
+	// The tree's recovery reset the allocator to cover only tree state;
+	// extend it past the superblock, the shard table and every log chunk
+	// of every chain (including a legacy chain mid-migration) so the
+	// allocator cannot hand out offsets overlapping live log data.
+	maxOff := a.Bump()
+	grow := func(end uint64) {
+		if end > maxOff {
+			maxOff = end
+		}
+	}
+	grow(sb + pmem.LineSize)
+	grow(table + nShards*pmem.LineSize)
+	for i := range p.shards {
+		for c := a.Read8(p.shards[i].tabOff); c != pmem.NullOff; c = a.Read8(c + chunkNextOff) {
+			grow(c + chunkSz)
+		}
+	}
+	legacy := a.Read8(sb + sbLegacyOff)
+	legacySz := a.Read8(sb + sbLegacySzOff)
+	if legacy != pmem.NullOff {
+		for c := legacy; c != pmem.NullOff; c = a.Read8(c + chunkNextOff) {
+			grow(c + legacySz)
+		}
+	}
+	a.SetBump(maxOff)
+	for i := range p.shards {
+		if err := p.newShardChunk(&p.shards[i]); err != nil {
+			return err
 		}
 	}
 	// A non-null legacy chain means a v1→v2 migration was interrupted by a
 	// crash; finish it (idempotent) before the store is published.
 	if legacy != pmem.NullOff {
-		if err := s.finishMigration(legacy, legacySz); err != nil {
-			return nil, err
+		if err := p.finishMigration(legacy, legacySz); err != nil {
+			return err
 		}
 	}
-	s.recount()
-	return s, nil
+	return nil
 }
 
 // openV1 migrates a legacy single-chain store to the sharded v2 format: it
 // builds a fresh v2 superblock whose legacy slot references the old chain,
 // flips the root pointer (the commit point — before it the image is still
 // v1, after it openV2 can always finish the job), then rewrites every
-// record into its hash shard and frees the old chunks.
+// record into its hash shard and frees the old chunks. (The caller then
+// stamps the v3 partition words on top.)
 //
 // v1 never persisted its geometry, so walking the old chain must trust
-// opts.ChunkSize — the historical footgun the v2 format removes.
-func openV1(arena *pmem.Arena, t *core.Tree, sb uint64, opts Options) (*Store, error) {
+// opts.ChunkSize — the historical footgun the v2 format removed.
+func openV1(p *kvPart, sb uint64, opts Options) error {
+	a := p.arena
 	chunkSz := opts.ChunkSize
-	oldHead := arena.Read8(sb + sbV1ChunkOff)
-	maxOff := arena.Bump()
+	oldHead := a.Read8(sb + sbV1ChunkOff)
+	maxOff := a.Bump()
 	if sb+pmem.LineSize > maxOff {
 		maxOff = sb + pmem.LineSize
 	}
-	for c := oldHead; c != pmem.NullOff; c = arena.Read8(c + chunkNextOff) {
+	for c := oldHead; c != pmem.NullOff; c = a.Read8(c + chunkNextOff) {
 		if c+chunkSz > maxOff {
 			maxOff = c + chunkSz
 		}
 	}
-	arena.SetBump(maxOff)
+	a.SetBump(maxOff)
 
-	sb2, err := arena.Alloc(pmem.LineSize)
+	sb2, err := a.Alloc(pmem.LineSize)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	table, err := arena.Alloc(uint64(opts.Shards) * pmem.LineSize)
+	table, err := a.Alloc(uint64(opts.Shards) * pmem.LineSize)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	s := newShardedStore(arena, t, sb2, chunkSz, opts.Shards, table)
-	for i := range s.shards {
-		arena.Write8(s.shards[i].tabOff, pmem.NullOff)
+	p.sbOff = sb2
+	p.initShards(chunkSz, opts.Shards, table)
+	for i := range p.shards {
+		a.Write8(p.shards[i].tabOff, pmem.NullOff)
 	}
-	arena.Persist(table, uint64(opts.Shards)*pmem.LineSize)
-	for i := range s.shards {
-		if err := s.newShardChunk(&s.shards[i]); err != nil {
-			return nil, err
+	a.Persist(table, uint64(opts.Shards)*pmem.LineSize)
+	for i := range p.shards {
+		if err := p.newShardChunk(&p.shards[i]); err != nil {
+			return err
 		}
 	}
-	arena.Write8(sb2+sbMagicOff, storeMagicV2)
-	arena.Write8(sb2+sbChunkSzOff, chunkSz)
-	arena.Write8(sb2+sbShardsOff, uint64(opts.Shards))
-	arena.Write8(sb2+sbTableOff, table)
-	arena.Write8(sb2+sbLegacyOff, oldHead)
-	arena.Write8(sb2+sbLegacySzOff, chunkSz)
-	arena.Persist(sb2, pmem.LineSize)
-	arena.Write8(rootStoreOff, sb2)
-	arena.Persist(rootStoreOff, 8)
+	a.Write8(sb2+sbMagicOff, storeMagicV2)
+	a.Write8(sb2+sbChunkSzOff, chunkSz)
+	a.Write8(sb2+sbShardsOff, uint64(opts.Shards))
+	a.Write8(sb2+sbTableOff, table)
+	a.Write8(sb2+sbLegacyOff, oldHead)
+	a.Write8(sb2+sbLegacySzOff, chunkSz)
+	a.Persist(sb2, pmem.LineSize)
+	a.Write8(rootStoreOff, sb2)
+	a.Persist(rootStoreOff, 8)
 
-	if err := s.finishMigration(oldHead, chunkSz); err != nil {
+	return p.finishMigration(oldHead, chunkSz)
+}
+
+// rebuild migrates a recovered store into a fresh one with the requested
+// partition count by rehashing every live pair. The source store is
+// discarded afterwards; since its arenas are never mutated, an interrupted
+// rebuild is simply restarted by the next Open.
+func rebuild(src *Store, opts Options) (*Store, error) {
+	dst, err := New(opts)
+	if err != nil {
 		return nil, err
 	}
-	s.recount()
-	return s, nil
+	var fail error
+	src.Range(func(key, value []byte) bool {
+		if err := dst.Put(key, value); err != nil {
+			fail = err
+			return false
+		}
+		return true
+	})
+	if fail != nil {
+		return nil, fail
+	}
+	return dst, nil
 }
 
 // finishMigration rewrites every indexed record into its hash shard's
@@ -175,18 +368,18 @@ func openV1(arena *pmem.Arena, t *core.Tree, sb uint64, opts Options) (*Store, e
 // legacy slot is cleared; if a crash interrupts it, the next Open reruns
 // it, and any re-appended duplicates are invisible behind the newest chain
 // entries and reclaimed by the next Compact.
-func (s *Store) finishMigration(legacyHead, legacySz uint64) error {
+func (p *kvPart) finishMigration(legacyHead, legacySz uint64) error {
 	var fail error
-	s.tree.Scan(0, 0, func(hash, off uint64) bool {
-		live := s.collectLive(off)
+	p.tree.Scan(0, 0, func(hash, off uint64) bool {
+		live := p.collectLive(off)
 		if len(live) == 0 {
-			if err := s.tree.Remove(hash); err != nil {
+			if err := p.tree.Remove(hash); err != nil {
 				fail = err
 				return false
 			}
 			return true
 		}
-		if err := s.rewriteChain(s.shardFor(hash), hash, live); err != nil {
+		if err := p.rewriteChain(p.shardFor(hash), hash, live); err != nil {
 			fail = err
 			return false
 		}
@@ -195,25 +388,25 @@ func (s *Store) finishMigration(legacyHead, legacySz uint64) error {
 	if fail != nil {
 		return fail
 	}
-	s.arena.Write8(s.sbOff+sbLegacyOff, pmem.NullOff)
-	s.arena.Persist(s.sbOff+sbLegacyOff, 8)
+	p.arena.Write8(p.sbOff+sbLegacyOff, pmem.NullOff)
+	p.arena.Persist(p.sbOff+sbLegacyOff, 8)
 	for c := legacyHead; c != pmem.NullOff; {
-		nxt := s.arena.Read8(c + chunkNextOff)
-		s.arena.Free(c, legacySz)
+		nxt := p.arena.Read8(c + chunkNextOff)
+		p.arena.Free(c, legacySz)
 		c = nxt
 	}
 	return nil
 }
 
-// recount rebuilds the per-shard live counters exactly by walking every
-// hash chain (dead records restart at zero after recovery; Compact
-// re-derives them). Runs single-threaded inside Open.
-func (s *Store) recount() {
-	s.tree.Scan(0, 0, func(hash, off uint64) bool {
+// recount rebuilds the partition's per-shard live counters exactly by
+// walking every hash chain (dead records restart at zero after recovery;
+// Compact re-derives them). Runs single-threaded inside Open.
+func (p *kvPart) recount() {
+	p.tree.Scan(0, 0, func(hash, off uint64) bool {
 		n := 0
 		seen := map[string]bool{}
 		for off != 0 {
-			kind, key, next := s.readRecordMeta(off)
+			kind, key, next := p.readRecordMeta(off)
 			if !seen[string(key)] {
 				seen[string(key)] = true
 				if kind == recPut {
@@ -223,7 +416,7 @@ func (s *Store) recount() {
 			off = next
 		}
 		if n > 0 {
-			s.shardFor(hash).live.Add(int64(n))
+			p.shardFor(hash).live.Add(int64(n))
 		}
 		return true
 	})

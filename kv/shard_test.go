@@ -166,7 +166,7 @@ func TestOpenUsesPersistedChunkSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := s2.chunkSz; got != 1<<16 {
+	if got := s2.parts[0].chunkSz; got != 1<<16 {
 		t.Fatalf("recovered chunk size = %d, want %d (persisted)", got, 1<<16)
 	}
 	// Write enough fresh data that a mis-positioned allocator would hand
@@ -374,12 +374,12 @@ func makeV1Image(t *testing.T, s *Store) []uint64 {
 	if err := s.DowngradeV1(); err != nil {
 		t.Fatal(err)
 	}
-	return s.arena.CrashImage(nil, 0)
+	return s.Arenas()[0].CrashImage(nil, 0)
 }
 
 // TestV1ImageMigration: opening a legacy v1 image must migrate it to the
-// sharded v2 format without losing a byte, and the migrated image must be
-// a normal v2 store from then on.
+// sharded, partitioned v3 format without losing a byte, and the migrated
+// image must be a normal v3 store from then on.
 func TestV1ImageMigration(t *testing.T) {
 	s, err := New(Options{ArenaSize: 64 << 20, ChunkSize: 1 << 14, Shards: 1})
 	if err != nil {
@@ -402,18 +402,19 @@ func TestV1ImageMigration(t *testing.T) {
 	}
 	img := makeV1Image(t, s)
 
-	s2, err := Open(img, Options{ChunkSize: 1 << 14, Shards: 8})
+	s2, err := Open([][]uint64{img}, Options{ChunkSize: 1 << 14, Shards: 8})
 	if err != nil {
 		t.Fatalf("v1 open: %v", err)
 	}
-	if got := s2.arena.Read8(s2.sbOff + sbMagicOff); got != storeMagicV2 {
-		t.Fatalf("migrated magic = %#x, want v2", got)
+	p := &s2.parts[0]
+	if got := p.arena.Read8(p.sbOff + sbMagicOff); got != storeMagicV3 {
+		t.Fatalf("migrated magic = %#x, want v3", got)
 	}
-	if got := s2.arena.Read8(s2.sbOff + sbLegacyOff); got != pmem.NullOff {
+	if got := p.arena.Read8(p.sbOff + sbLegacyOff); got != pmem.NullOff {
 		t.Fatal("legacy chain not cleared after migration")
 	}
-	if len(s2.shards) != 8 {
-		t.Fatalf("migrated shard count = %d, want 8", len(s2.shards))
+	if len(p.shards) != 8 {
+		t.Fatalf("migrated shard count = %d, want 8", len(p.shards))
 	}
 	check := func(s *Store, tag string) {
 		t.Helper()
@@ -428,7 +429,7 @@ func TestV1ImageMigration(t *testing.T) {
 		t.Fatalf("migrated LiveKeys = %d, want %d", got, len(want))
 	}
 
-	// The migrated store is a normal v2 store: it takes writes, compacts
+	// The migrated store is a normal v3 store: it takes writes, compacts
 	// per shard, and round-trips through another crash.
 	if err := s2.Put([]byte("post-migration"), []byte("yes")); err != nil {
 		t.Fatal(err)
@@ -478,7 +479,7 @@ func TestMigrationCrashMatrix(t *testing.T) {
 	{
 		a := pmem.Recover(img, pmem.Config{})
 		a.SetHooks(&pmem.Hooks{AfterPersist: func(_, _ uint64) { total++ }})
-		if _, err := openArena(a, opts); err != nil {
+		if _, err := OpenArenas([]*pmem.Arena{a}, opts); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -502,13 +503,13 @@ func TestMigrationCrashMatrix(t *testing.T) {
 			}
 			n++
 		}})
-		if _, err := openArena(a, opts); err != nil {
+		if _, err := OpenArenas([]*pmem.Arena{a}, opts); err != nil {
 			t.Fatalf("crash point %d: clean open failed: %v", k, err)
 		}
 		if crash == nil {
 			t.Fatalf("crash point %d never reached (total %d)", k, total)
 		}
-		s2, err := Open(crash, opts)
+		s2, err := Open([][]uint64{crash}, opts)
 		if err != nil {
 			t.Fatalf("crash point %d: reopen: %v", k, err)
 		}

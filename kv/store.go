@@ -3,27 +3,30 @@
 // (primary-key stores with unique-constraint semantics, à la Redis or a
 // PostgreSQL index).
 //
-// Values live in a log-structured region of the same simulated NVM arena as
-// the tree: a Put appends an immutable record (header, key, value) to a
-// log chunk, persists it, and then updates the RNTree index from the key's
-// 63-bit hash to the record's offset — so the record is durable before it
-// becomes reachable, and the tree's slot-array flush is the commit point,
-// giving Put/Delete the same durable-linearizability story as the tree
-// itself. Hash collisions are handled with per-hash record chains that
-// store full keys.
+// The index is a hash-partitioned forest of RNTrees (internal/forest): a
+// key's 63-bit hash picks the partition, and each partition owns a private
+// simulated-NVM arena holding both its tree and its slice of the value
+// log. Values live in a log-structured region of the partition arena: a
+// Put appends an immutable record (header, key, value) to a log chunk,
+// persists it, and then updates that partition's RNTree from the key's
+// hash to the record's offset — so the record is durable before it becomes
+// reachable, and the tree's slot-array flush is the commit point, giving
+// Put/Delete the same durable-linearizability story as the tree itself.
+// Hash collisions are handled with per-hash record chains that store full
+// keys.
 //
-// The value log is sharded (Bitcask-style per-writer log heads): the
-// superblock roots a persisted shard table whose entries each head an
-// independent chunk chain with its own volatile append cursor and lock. A
-// key's hash picks its shard, so Puts and Deletes on different shards
-// proceed fully in parallel — the slow persists of one writer never
-// serialize the others, mirroring how RNTree itself overlaps persistency
-// with concurrency (§3.4) instead of serializing behind a whole-structure
-// lock. Reads are lock-free on every path.
+// Within a partition the value log is sharded (Bitcask-style per-writer
+// log heads): the partition superblock roots a persisted shard table whose
+// entries each head an independent chunk chain with its own volatile
+// append cursor and lock. The v3 superblock binds the value-log shards to
+// their index partition — geometry, partition count and partition index
+// are all persisted per arena — so recovery can rebuild every partition
+// independently and verify a set of crash images really is one store.
+// Reads are lock-free on every path.
 //
-// Space from overwritten and deleted records is reclaimed by Compact, which
-// rewrites live records into fresh chunks and retires the old ones — one
-// shard at a time, so compaction never stops the whole store.
+// Space from overwritten and deleted records is reclaimed by Compact,
+// which rewrites live records into fresh chunks and retires the old ones —
+// one shard at a time, so compaction never stops the whole store.
 package kv
 
 import (
@@ -35,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"rntree/internal/core"
+	"rntree/internal/forest"
 	"rntree/internal/pmem"
 )
 
@@ -55,17 +59,21 @@ const (
 
 	// Superblock magics. v1 stored a single chunk-chain head and no
 	// geometry; v2 persists the chunk size, the shard count and the shard
-	// table, so Open never has to trust Options for chain walking.
+	// table; v3 additionally binds the arena to an index partition
+	// (partition count + index), one superblock per partition arena.
 	storeMagicV1 = 0x524e_4b56_0001 // "RNKV" v1
 	storeMagicV2 = 0x524e_4b56_0002 // "RNKV" v2 (sharded value log)
+	storeMagicV3 = 0x524e_4b56_0003 // "RNKV" v3 (partitioned forest)
 
-	// v2 superblock layout (one line).
+	// v2/v3 superblock layout (one line). v3 adds the last two words.
 	sbMagicOff    = 0
 	sbChunkSzOff  = 8  // persisted log chunk size
-	sbShardsOff   = 16 // shard count (power of two)
+	sbShardsOff   = 16 // shard count per partition (power of two)
 	sbTableOff    = 24 // offset of the shard table (one line per shard)
 	sbLegacyOff   = 32 // head of a not-yet-migrated v1 chunk chain, or null
 	sbLegacySzOff = 40 // chunk size of the legacy chain
+	sbPartsOff    = 48 // v3: total partitions in the store
+	sbPartIdxOff  = 56 // v3: this arena's partition index
 
 	// v1 superblock layout.
 	sbV1ChunkOff = 8 // head of the single chunk chain
@@ -89,7 +97,8 @@ const (
 
 // Options configure a Store.
 type Options struct {
-	// ArenaSize is the simulated NVM capacity (default 512 MiB).
+	// ArenaSize is the total simulated NVM capacity in bytes (default
+	// 512 MiB), split evenly across partitions.
 	ArenaSize uint64
 	// ChunkSize is the value-log chunk size (default 1 MiB). Persisted in
 	// the superblock at creation; Open always uses the persisted value, so
@@ -97,12 +106,17 @@ type Options struct {
 	// only exception is opening a legacy v1 image, which never persisted
 	// its geometry — there ChunkSize must match the creating store.)
 	ChunkSize uint64
-	// Shards is the number of value-log shards, i.e. the writer
-	// concurrency of the store (default: GOMAXPROCS, floored at 8 because
-	// persist stalls are wall-clock and overlap even when cores don't).
-	// Rounded up to a power of two, capped at MaxShards. Persisted at
-	// creation; Open uses the persisted count.
+	// Shards is the number of value-log shards per partition (default:
+	// GOMAXPROCS, floored at 8 because persist stalls are wall-clock and
+	// overlap even when cores don't). Rounded up to a power of two, capped
+	// at MaxShards. Persisted at creation; Open uses the persisted count.
 	Shards int
+	// Partitions hash-partitions the store into that many independent
+	// index-partition + value-log pairs (power of two). On New, zero means
+	// one partition. On Open, zero keeps the partition count persisted in
+	// the image; a different non-zero count triggers a rebuild migration
+	// into fresh arenas with the requested geometry.
+	Partitions int
 	// DualSlotArray enables the RNTree+DS index variant (recommended for
 	// read-heavy stores).
 	DualSlotArray bool
@@ -135,9 +149,19 @@ func (o *Options) normalize() {
 	}
 }
 
-// shard is one independent slice of the value log: a persisted chunk-chain
-// head (one shard-table line), a volatile append cursor, and a lock that
-// serializes only the writers that hash here.
+// forestOpts maps store options onto the index forest.
+func (o Options) forestOpts(partitions int) forest.Options {
+	return forest.Options{
+		Partitions: partitions,
+		ArenaSize:  o.ArenaSize / uint64(partitions),
+		Latency:    o.FlushLatency,
+		Tree:       core.Options{DualSlot: o.DualSlotArray},
+	}
+}
+
+// shard is one independent slice of a partition's value log: a persisted
+// chunk-chain head (one shard-table line), a volatile append cursor, and a
+// lock that serializes only the writers that hash here.
 type shard struct {
 	mu     sync.Mutex
 	tabOff uint64 // arena offset of this shard's table line (chain head word)
@@ -155,13 +179,11 @@ type shard struct {
 	retired []uint64
 }
 
-// Store is a durable key-value store. Reads are lock-free and may run
-// concurrently with any number of writers; writers on different shards
-// proceed in parallel, and Compact locks one shard at a time.
-type Store struct {
+// kvPart is one partition's slice of the store: the partition arena and
+// tree (owned by the forest) plus this arena's value-log state.
+type kvPart struct {
 	arena *pmem.Arena
 	tree  *core.Tree
-	hash  func([]byte) uint64 // Hash, overridable by tests to force collisions
 
 	sbOff     uint64
 	chunkSz   uint64
@@ -169,87 +191,131 @@ type Store struct {
 	shardMask uint64
 }
 
-// newShardedStore builds the volatile Store around an existing (or about to
-// be initialized) v2 superblock and shard table.
-func newShardedStore(arena *pmem.Arena, t *core.Tree, sb, chunkSz uint64, nShards int, table uint64) *Store {
-	s := &Store{
-		arena:     arena,
-		tree:      t,
-		hash:      Hash,
-		sbOff:     sb,
-		chunkSz:   chunkSz,
-		shards:    make([]shard, nShards),
-		shardMask: uint64(nShards - 1),
+// initShards builds the volatile shard state over a persisted shard table.
+func (p *kvPart) initShards(chunkSz uint64, nShards int, table uint64) {
+	p.chunkSz = chunkSz
+	p.shards = make([]shard, nShards)
+	p.shardMask = uint64(nShards - 1)
+	for i := range p.shards {
+		p.shards[i].tabOff = table + uint64(i)*pmem.LineSize
 	}
-	for i := range s.shards {
-		s.shards[i].tabOff = table + uint64(i)*pmem.LineSize
-	}
-	return s
 }
 
-func (s *Store) shardFor(h uint64) *shard { return &s.shards[h&s.shardMask] }
+func (p *kvPart) shardFor(h uint64) *shard { return &p.shards[h&p.shardMask] }
 
-// New creates an empty store on a fresh arena.
+// Store is a durable key-value store. Reads are lock-free and may run
+// concurrently with any number of writers; writers on different shards
+// proceed in parallel, and Compact locks one shard at a time.
+type Store struct {
+	f     *forest.Forest
+	hash  func([]byte) uint64 // Hash, overridable by tests to force collisions
+	parts []kvPart
+}
+
+// partFor routes a hash to the partition owning it — necessarily the same
+// partition the forest routes the index key to, so a record always lives
+// in the arena of the tree that points at it.
+func (s *Store) partFor(h uint64) *kvPart { return &s.parts[s.f.PartitionFor(h)] }
+
+// New creates an empty store on fresh arenas (one per partition).
 func New(opts Options) (*Store, error) {
 	opts.normalize()
-	arena := pmem.New(pmem.Config{Size: opts.ArenaSize, Latency: opts.FlushLatency})
-	t, err := core.New(arena, core.Options{DualSlot: opts.DualSlotArray})
+	partitions := opts.Partitions
+	if partitions == 0 {
+		partitions = 1
+	}
+	f, err := forest.New(opts.forestOpts(partitions))
 	if err != nil {
 		return nil, err
 	}
-	sb, err := arena.Alloc(pmem.LineSize)
-	if err != nil {
-		return nil, err
-	}
-	table, err := arena.Alloc(uint64(opts.Shards) * pmem.LineSize)
-	if err != nil {
-		return nil, err
-	}
-	s := newShardedStore(arena, t, sb, opts.ChunkSize, opts.Shards, table)
-	for i := range s.shards {
-		arena.Write8(s.shards[i].tabOff, pmem.NullOff)
-	}
-	arena.Persist(table, uint64(opts.Shards)*pmem.LineSize)
-	arena.Write8(sb+sbMagicOff, storeMagicV2)
-	arena.Write8(sb+sbChunkSzOff, opts.ChunkSize)
-	arena.Write8(sb+sbShardsOff, uint64(opts.Shards))
-	arena.Write8(sb+sbTableOff, table)
-	arena.Write8(sb+sbLegacyOff, pmem.NullOff)
-	arena.Write8(sb+sbLegacySzOff, 0)
-	arena.Persist(sb, pmem.LineSize)
-	arena.Write8(rootStoreOff, sb)
-	arena.Persist(rootStoreOff, 8)
-	for i := range s.shards {
-		if err := s.newShardChunk(&s.shards[i]); err != nil {
+	s := &Store{f: f, hash: Hash, parts: make([]kvPart, partitions)}
+	for i := range s.parts {
+		p := &s.parts[i]
+		p.arena = f.Partition(i).Arena()
+		p.tree = f.Partition(i).Tree()
+		if err := s.initPart(p, i, opts); err != nil {
 			return nil, err
 		}
 	}
 	return s, nil
 }
 
-// Snapshot captures the durable state (see rntree.Tree.Crash); the store
-// must be quiescent.
-func (s *Store) Snapshot() []uint64 {
-	return s.arena.CrashImage(nil, 0)
+// initPart formats partition i's kv state: shard table, v3 superblock,
+// root pointer, and one fresh chunk per shard.
+func (s *Store) initPart(p *kvPart, idx int, opts Options) error {
+	a := p.arena
+	sb, err := a.Alloc(pmem.LineSize)
+	if err != nil {
+		return err
+	}
+	table, err := a.Alloc(uint64(opts.Shards) * pmem.LineSize)
+	if err != nil {
+		return err
+	}
+	p.sbOff = sb
+	p.initShards(opts.ChunkSize, opts.Shards, table)
+	for i := range p.shards {
+		a.Write8(p.shards[i].tabOff, pmem.NullOff)
+	}
+	a.Persist(table, uint64(opts.Shards)*pmem.LineSize)
+	a.Write8(sb+sbMagicOff, storeMagicV3)
+	a.Write8(sb+sbChunkSzOff, opts.ChunkSize)
+	a.Write8(sb+sbShardsOff, uint64(opts.Shards))
+	a.Write8(sb+sbTableOff, table)
+	a.Write8(sb+sbLegacyOff, pmem.NullOff)
+	a.Write8(sb+sbLegacySzOff, 0)
+	a.Write8(sb+sbPartsOff, uint64(len(s.parts)))
+	a.Write8(sb+sbPartIdxOff, uint64(idx))
+	a.Persist(sb, pmem.LineSize)
+	a.Write8(rootStoreOff, sb)
+	a.Persist(rootStoreOff, 8)
+	for i := range p.shards {
+		if err := p.newShardChunk(&p.shards[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// Arena exposes the store's backing arena so fault-injection harnesses can
-// install persist hooks and synthesize crash images (internal/fault).
-func (s *Store) Arena() *pmem.Arena { return s.arena }
+// Snapshot captures the durable state, one image per partition arena in
+// partition order (see rntree.Tree.Crash); the store must be quiescent.
+func (s *Store) Snapshot() [][]uint64 {
+	return s.f.CrashImages(nil, 0)
+}
+
+// Arenas exposes the per-partition backing arenas so fault-injection
+// harnesses can install persist hooks and synthesize crash images
+// (internal/fault).
+func (s *Store) Arenas() []*pmem.Arena {
+	out := make([]*pmem.Arena, len(s.parts))
+	for i := range s.parts {
+		out[i] = s.parts[i].arena
+	}
+	return out
+}
+
+// Partitions returns the number of partitions.
+func (s *Store) Partitions() int { return len(s.parts) }
 
 // DowngradeV1 rewrites the superblock into the legacy v1 format — magic v1,
-// a single chunk-chain head, no persisted geometry — turning the arena into
-// a faithful pre-sharding image. The next Open migrates it back to v2. It
-// exists so migration crash-points can be exercised by the fault-injection
-// explorer; the store must be single-shard and quiescent, and must not be
-// used again after the downgrade.
+// a single chunk-chain head, no persisted geometry, no forest superblock —
+// turning the arena into a faithful pre-sharding image. The next Open
+// migrates it back up. It exists so migration crash-points can be exercised
+// by the fault-injection explorer; the store must be single-partition,
+// single-shard and quiescent, and must not be used again after the
+// downgrade.
 func (s *Store) DowngradeV1() error {
-	if len(s.shards) != 1 {
-		return fmt.Errorf("kv: DowngradeV1 needs a single-shard store (have %d)", len(s.shards))
+	if len(s.parts) != 1 {
+		return fmt.Errorf("kv: DowngradeV1 needs a single-partition store (have %d)", len(s.parts))
 	}
-	s.arena.Write8(s.sbOff+sbMagicOff, storeMagicV1)
-	s.arena.Write8(s.sbOff+sbV1ChunkOff, s.arena.Read8(s.shards[0].tabOff))
-	s.arena.Persist(s.sbOff, pmem.LineSize)
+	p := &s.parts[0]
+	if len(p.shards) != 1 {
+		return fmt.Errorf("kv: DowngradeV1 needs a single-shard store (have %d)", len(p.shards))
+	}
+	p.arena.Write8(p.sbOff+sbMagicOff, storeMagicV1)
+	p.arena.Write8(p.sbOff+sbV1ChunkOff, p.arena.Read8(p.shards[0].tabOff))
+	p.arena.Persist(p.sbOff, pmem.LineSize)
+	forest.Detach(p.arena)
 	return nil
 }
 
@@ -257,15 +323,15 @@ func (s *Store) DowngradeV1() error {
 // chain. The chunk's next pointer is persisted before the head references
 // it, so a crash in between merely leaks the fresh chunk. Caller holds
 // sh.mu (or the store is not yet published).
-func (s *Store) newShardChunk(sh *shard) error {
-	off, err := s.arena.Alloc(s.chunkSz)
+func (p *kvPart) newShardChunk(sh *shard) error {
+	off, err := p.arena.Alloc(p.chunkSz)
 	if err != nil {
 		return err
 	}
-	s.arena.Write8(off+chunkNextOff, s.arena.Read8(sh.tabOff))
-	s.arena.Persist(off+chunkNextOff, 8)
-	s.arena.Write8(sh.tabOff, off)
-	s.arena.Persist(sh.tabOff, 8)
+	p.arena.Write8(off+chunkNextOff, p.arena.Read8(sh.tabOff))
+	p.arena.Persist(off+chunkNextOff, 8)
+	p.arena.Write8(sh.tabOff, off)
+	p.arena.Persist(sh.tabOff, 8)
 	sh.chunk = off
 	sh.used = chunkHdrSize
 	return nil
@@ -292,24 +358,24 @@ func recSize(keyLen, valLen int) uint64 {
 // appendRecord writes one immutable record to sh's log and persists it.
 // Caller holds sh.mu (or the store is not yet published). Returns the
 // record offset.
-func (s *Store) appendRecord(sh *shard, kind int, key, val []byte, next uint64) (uint64, error) {
+func (p *kvPart) appendRecord(sh *shard, kind int, key, val []byte, next uint64) (uint64, error) {
 	size := recSize(len(key), len(val))
-	if size > s.chunkSz-chunkHdrSize {
+	if size > p.chunkSz-chunkHdrSize {
 		return 0, ErrTooLarge
 	}
-	if sh.used+size > s.chunkSz {
-		if err := s.newShardChunk(sh); err != nil {
+	if sh.used+size > p.chunkSz {
+		if err := p.newShardChunk(sh); err != nil {
 			return 0, err
 		}
 	}
 	off := sh.chunk + sh.used
 	sh.used += size
 	hdr := uint64(kind) | uint64(len(key))<<8 | uint64(len(val))<<32
-	s.arena.Write8(off, hdr)
-	s.arena.Write8(off+8, next)
-	writePadded(s.arena, off+recHdrSize, key)
-	writePadded(s.arena, off+recHdrSize+(uint64(len(key))+7)&^7, val)
-	s.arena.Persist(off, size)
+	p.arena.Write8(off, hdr)
+	p.arena.Write8(off+8, next)
+	writePadded(p.arena, off+recHdrSize, key)
+	writePadded(p.arena, off+recHdrSize+(uint64(len(key))+7)&^7, val)
+	p.arena.Persist(off, size)
 	return off, nil
 }
 
@@ -324,20 +390,20 @@ func writePadded(a *pmem.Arena, off uint64, b []byte) {
 }
 
 // readRecord decodes the record at off.
-func (s *Store) readRecord(off uint64) (kind int, key, val []byte, next uint64) {
-	hdr := s.arena.Read8(off)
+func (p *kvPart) readRecord(off uint64) (kind int, key, val []byte, next uint64) {
+	hdr := p.arena.Read8(off)
 	kind = int(hdr & 0xff)
 	keyLen := int(hdr >> 8 & 0xffffff)
 	valLen := int(hdr >> 32)
-	next = s.arena.Read8(off + 8)
+	next = p.arena.Read8(off + 8)
 	kp := (uint64(keyLen) + 7) &^ 7
 	kb := make([]byte, kp)
-	s.arena.ReadRange(off+recHdrSize, kp, kb)
+	p.arena.ReadRange(off+recHdrSize, kp, kb)
 	key = kb[:keyLen]
 	vp := (uint64(valLen) + 7) &^ 7
 	if vp > 0 {
 		vb := make([]byte, vp)
-		s.arena.ReadRange(off+recHdrSize+kp, vp, vb)
+		p.arena.ReadRange(off+recHdrSize+kp, vp, vb)
 		val = vb[:valLen]
 	}
 	return kind, key, val, next
@@ -345,14 +411,14 @@ func (s *Store) readRecord(off uint64) (kind int, key, val []byte, next uint64) 
 
 // readRecordMeta decodes kind, key and next of the record at off, skipping
 // the value copy (chain walks for accounting don't need it).
-func (s *Store) readRecordMeta(off uint64) (kind int, key []byte, next uint64) {
-	hdr := s.arena.Read8(off)
+func (p *kvPart) readRecordMeta(off uint64) (kind int, key []byte, next uint64) {
+	hdr := p.arena.Read8(off)
 	kind = int(hdr & 0xff)
 	keyLen := int(hdr >> 8 & 0xffffff)
-	next = s.arena.Read8(off + 8)
+	next = p.arena.Read8(off + 8)
 	kp := (uint64(keyLen) + 7) &^ 7
 	kb := make([]byte, kp)
-	s.arena.ReadRange(off+recHdrSize, kp, kb)
+	p.arena.ReadRange(off+recHdrSize, kp, kb)
 	return kind, kb[:keyLen], next
 }
 
@@ -361,9 +427,9 @@ func (s *Store) readRecordMeta(off uint64) (kind int, key []byte, next uint64) {
 // how mutations count precisely: the newest record for the mutated key —
 // not whatever happens to sit at the chain head, which may belong to a
 // colliding key — is what a new append shadows.
-func (s *Store) chainFindKind(head uint64, key []byte) int {
+func (p *kvPart) chainFindKind(head uint64, key []byte) int {
 	for off := head; off != 0; {
-		kind, rkey, next := s.readRecordMeta(off)
+		kind, rkey, next := p.readRecordMeta(off)
 		if bytes.Equal(rkey, key) {
 			return kind
 		}
@@ -375,12 +441,13 @@ func (s *Store) chainFindKind(head uint64, key []byte) int {
 // lookup walks the hash chain for key. Returns the newest matching record.
 func (s *Store) lookup(key []byte) (kind int, val []byte, ok bool) {
 	h := s.hash(key)
-	off, found := s.tree.Find(h)
+	p := s.partFor(h)
+	off, found := p.tree.Find(h)
 	if !found {
 		return 0, nil, false
 	}
 	for off != 0 {
-		k, rkey, rval, next := s.readRecord(off)
+		k, rkey, rval, next := p.readRecord(off)
 		if bytes.Equal(rkey, key) {
 			return k, rval, true
 		}
@@ -390,27 +457,28 @@ func (s *Store) lookup(key []byte) (kind int, val []byte, ok bool) {
 }
 
 // Put stores key → value (insert or overwrite). Puts on different shards
-// run in parallel.
+// (and a fortiori different partitions) run in parallel.
 func (s *Store) Put(key, value []byte) error {
 	if len(key) == 0 {
 		return ErrEmptyKey
 	}
 	h := s.hash(key)
-	sh := s.shardFor(h)
+	p := s.partFor(h)
+	sh := p.shardFor(h)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	oldHead, existed := s.tree.Find(h)
+	oldHead, existed := p.tree.Find(h)
 	next := uint64(0)
 	prevKind := 0
 	if existed {
 		next = oldHead
-		prevKind = s.chainFindKind(oldHead, key)
+		prevKind = p.chainFindKind(oldHead, key)
 	}
-	off, err := s.appendRecord(sh, recPut, key, value, next)
+	off, err := p.appendRecord(sh, recPut, key, value, next)
 	if err != nil {
 		return err
 	}
-	if err := s.tree.Upsert(h, off); err != nil {
+	if err := p.tree.Upsert(h, off); err != nil {
 		return err
 	}
 	switch prevKind {
@@ -451,21 +519,22 @@ func (s *Store) Delete(key []byte) error {
 		return ErrEmptyKey
 	}
 	h := s.hash(key)
-	sh := s.shardFor(h)
+	p := s.partFor(h)
+	sh := p.shardFor(h)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	oldHead, existed := s.tree.Find(h)
+	oldHead, existed := p.tree.Find(h)
 	if !existed {
 		return ErrNotFound
 	}
-	if k := s.chainFindKind(oldHead, key); k != recPut {
+	if k := p.chainFindKind(oldHead, key); k != recPut {
 		return ErrNotFound
 	}
-	off, err := s.appendRecord(sh, recDelete, key, nil, oldHead)
+	off, err := p.appendRecord(sh, recDelete, key, nil, oldHead)
 	if err != nil {
 		return err
 	}
-	if err := s.tree.Upsert(h, off); err != nil {
+	if err := p.tree.Upsert(h, off); err != nil {
 		return err
 	}
 	sh.live.Add(-1)
@@ -476,27 +545,36 @@ func (s *Store) Delete(key []byte) error {
 	return nil
 }
 
-// Range calls fn for every live key/value pair (hash order — unordered
-// with respect to the original keys). fn must not mutate the store.
+// Range calls fn for every live key/value pair (hash order within each
+// partition, partition by partition — unordered with respect to the
+// original keys). fn must not mutate the store.
 func (s *Store) Range(fn func(key, value []byte) bool) {
-	s.tree.Scan(0, 0, func(_, off uint64) bool {
-		// Walk the chain newest-first, reporting the first (newest) record
-		// per distinct key.
-		seen := map[string]bool{}
-		for off != 0 {
-			kind, key, val, next := s.readRecord(off)
-			if !seen[string(key)] {
-				seen[string(key)] = true
-				if kind == recPut {
-					if !fn(key, val) {
-						return false
+	for i := range s.parts {
+		p := &s.parts[i]
+		stopped := false
+		p.tree.Scan(0, 0, func(_, off uint64) bool {
+			// Walk the chain newest-first, reporting the first (newest)
+			// record per distinct key.
+			seen := map[string]bool{}
+			for off != 0 {
+				kind, key, val, next := p.readRecord(off)
+				if !seen[string(key)] {
+					seen[string(key)] = true
+					if kind == recPut {
+						if !fn(key, val) {
+							stopped = true
+							return false
+						}
 					}
 				}
+				off = next
 			}
-			off = next
+			return true
+		})
+		if stopped {
+			return
 		}
-		return true
-	})
+	}
 }
 
 // Len returns the number of live keys.
@@ -510,7 +588,8 @@ func (s *Store) Len() int {
 type Stats struct {
 	LiveKeys    int
 	DeadRecords int
-	Shards      int
+	Partitions  int
+	Shards      int // total across partitions
 	Persists    uint64
 	TreeLeaves  int
 }
@@ -519,15 +598,23 @@ type Stats struct {
 // the per-shard counters are atomics rolled up here.
 func (s *Store) Stats() Stats {
 	var live, dead int64
-	for i := range s.shards {
-		live += s.shards[i].live.Load()
-		dead += s.shards[i].dead.Load()
+	nShards := 0
+	var persists uint64
+	for i := range s.parts {
+		p := &s.parts[i]
+		for j := range p.shards {
+			live += p.shards[j].live.Load()
+			dead += p.shards[j].dead.Load()
+		}
+		nShards += len(p.shards)
+		persists += p.arena.Stats().Persists
 	}
 	return Stats{
 		LiveKeys:    int(live),
 		DeadRecords: int(dead),
-		Shards:      len(s.shards),
-		Persists:    s.arena.Stats().Persists,
-		TreeLeaves:  s.tree.LeafCount(),
+		Partitions:  len(s.parts),
+		Shards:      nShards,
+		Persists:    persists,
+		TreeLeaves:  s.f.LeafCount(),
 	}
 }

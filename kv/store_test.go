@@ -215,6 +215,141 @@ func TestCompactReclaimsAndPreserves(t *testing.T) {
 	}
 }
 
+// TestPartitionedStore drives the full CRUD surface over a v3 multi-
+// partition store and round-trips it through a snapshot: every partition
+// arena must come back, in order, with the geometry it persisted.
+func TestPartitionedStore(t *testing.T) {
+	s, err := New(Options{ArenaSize: 256 << 20, ChunkSize: 1 << 14, Shards: 2, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Partitions() != 4 {
+		t.Fatalf("Partitions = %d", s.Partitions())
+	}
+	want := map[string]string{}
+	for i := 0; i < 2000; i++ {
+		k, v := fmt.Sprintf("k%d", i%800), fmt.Sprintf("v%d", i)
+		if err := s.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	for i := 0; i < 800; i += 5 {
+		k := fmt.Sprintf("k%d", i)
+		if err := s.Delete([]byte(k)); err != nil {
+			t.Fatal(err)
+		}
+		delete(want, k)
+	}
+	if got := s.Len(); got != len(want) {
+		t.Fatalf("Len = %d, want %d", got, len(want))
+	}
+	st := s.Stats()
+	if st.Partitions != 4 || st.Shards != 8 || st.LiveKeys != len(want) {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Every partition must actually hold keys (Mix64 routing spreads them).
+	for i := range s.parts {
+		if s.parts[i].tree.Len() == 0 {
+			t.Fatalf("partition %d empty", i)
+		}
+	}
+	imgs := s.Snapshot()
+	if len(imgs) != 4 {
+		t.Fatalf("snapshot has %d images", len(imgs))
+	}
+	s2, err := Open(imgs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Partitions() != 4 {
+		t.Fatalf("recovered Partitions = %d", s2.Partitions())
+	}
+	for k, v := range want {
+		got, err := s2.Get([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("recovered %q = %q,%v", k, got, err)
+		}
+	}
+	if got := s2.Stats().LiveKeys; got != len(want) {
+		t.Fatalf("recovered LiveKeys = %d, want %d", got, len(want))
+	}
+
+	// Reordered or incomplete image sets must be rejected, and the store
+	// must notice its own superblock mismatch, not just the forest's.
+	imgs[0], imgs[1] = imgs[1], imgs[0]
+	if _, err := Open(imgs, Options{}); err == nil {
+		t.Fatal("reordered image set accepted")
+	}
+	imgs[0], imgs[1] = imgs[1], imgs[0]
+	if _, err := Open(imgs[:2], Options{}); err == nil {
+		t.Fatal("partial image set accepted")
+	}
+}
+
+// TestPartitionRebuild: opening with an explicit Partitions different from
+// the persisted count migrates the store into fresh arenas with the
+// requested geometry, preserving every live pair.
+func TestPartitionRebuild(t *testing.T) {
+	s, err := New(Options{ArenaSize: 64 << 20, ChunkSize: 1 << 14, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	for i := 0; i < 1000; i++ {
+		k, v := fmt.Sprintf("k%d", i%400), fmt.Sprintf("v%d", i)
+		if err := s.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	for i := 0; i < 400; i += 7 {
+		k := fmt.Sprintf("k%d", i)
+		if err := s.Delete([]byte(k)); err != nil {
+			t.Fatal(err)
+		}
+		delete(want, k)
+	}
+	check := func(s *Store, parts int, tag string) {
+		t.Helper()
+		if s.Partitions() != parts {
+			t.Fatalf("%s: Partitions = %d, want %d", tag, s.Partitions(), parts)
+		}
+		got := map[string]string{}
+		s.Range(func(k, v []byte) bool { got[string(k)] = string(v); return true })
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d keys, want %d", tag, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("%s: %q = %q, want %q", tag, k, got[k], v)
+			}
+		}
+	}
+	// 1 → 4 partitions.
+	s4, err := Open(s.Snapshot(), Options{ArenaSize: 128 << 20, ChunkSize: 1 << 14, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(s4, 4, "rebuild 1->4")
+	// Zero keeps the persisted count.
+	s4b, err := Open(s4.Snapshot(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(s4b, 4, "reopen keeps 4")
+	// 4 → 2 partitions.
+	s2, err := Open(s4.Snapshot(), Options{ArenaSize: 128 << 20, ChunkSize: 1 << 14, Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(s2, 2, "rebuild 4->2")
+	// Rebuilt stores take writes.
+	if err := s2.Put([]byte("post"), []byte("rebuild")); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestHashStability(t *testing.T) {
 	if Hash([]byte("abc")) != Hash([]byte("abc")) {
 		t.Fatal("hash unstable")

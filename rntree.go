@@ -13,13 +13,19 @@
 // fallback lock). See DESIGN.md for the substitution argument and
 // EXPERIMENTS.md for paper-vs-measured results.
 //
+// Beyond the paper, the index can be hash-partitioned into a forest of
+// independent trees (Options.Partitions): each partition owns a private
+// arena, HTM fallback lock and persist stream, so write throughput scales
+// past the single tree's serialization points while range scans stay
+// globally ordered via a k-way merge.
+//
 // Quick start:
 //
-//	t, err := rntree.New(rntree.Options{DualSlotArray: true})
+//	t, err := rntree.New(rntree.Options{DualSlotArray: true, Partitions: 8})
 //	if err != nil { ... }
 //	t.Insert(42, 1)
 //	v, ok := t.Find(42)
-//	snap := t.Crash(0.5, 1)                  // simulated power loss
+//	snap := t.Crash(0.5)                     // simulated power loss
 //	t2, err := rntree.Recover(snap, rntree.Options{})
 //
 // The package also exposes the re-implemented baselines of the paper's
@@ -30,6 +36,7 @@ package rntree
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"rntree/internal/baseline/cdds"
@@ -37,6 +44,7 @@ import (
 	"rntree/internal/baseline/nvtree"
 	"rntree/internal/baseline/wbtree"
 	"rntree/internal/core"
+	"rntree/internal/forest"
 	"rntree/internal/htm"
 	"rntree/internal/pmem"
 	"rntree/internal/tree"
@@ -59,8 +67,15 @@ var (
 
 // Options configure a Tree.
 type Options struct {
-	// ArenaSize is the simulated NVM capacity in bytes (default 256 MiB).
+	// ArenaSize is the total simulated NVM capacity in bytes (default
+	// 256 MiB), split evenly across partitions.
 	ArenaSize uint64
+	// Partitions hash-partitions the index into a forest of that many
+	// independent trees (power of two, default 1). Each partition owns its
+	// own arena, HTM region (fallback lock) and recovery root, so modify
+	// throughput scales past one tree's serialization points. Recover
+	// reads the partition count from the snapshot, not from this field.
+	Partitions int
 	// DualSlotArray enables the paper's RNTree+DS variant (§4.3): reads
 	// never block on concurrent writers.
 	DualSlotArray bool
@@ -72,8 +87,39 @@ type Options struct {
 	// busy-wait; use pmem-realistic values (≈250ns/100ns) for benchmarks.
 	FlushLatency time.Duration
 	FenceLatency time.Duration
+	// Seed initialises the tree's private sampler for Crash eviction (and
+	// any future randomized decisions), so crash simulation is
+	// deterministic per tree instance rather than hostage to global rand
+	// state. Zero means seed 1.
+	Seed int64
 }
 
+func (o Options) forestOpts() forest.Options {
+	parts := o.Partitions
+	if parts == 0 {
+		parts = 1
+	}
+	size := o.ArenaSize
+	if size == 0 {
+		size = 256 << 20
+	}
+	return forest.Options{
+		Partitions: parts,
+		ArenaSize:  size / uint64(parts),
+		Latency:    pmem.LatencyModel{FlushPerLine: o.FlushLatency, Fence: o.FenceLatency},
+		Tree:       core.Options{DualSlot: o.DualSlotArray, LeafCapacity: o.LeafCapacity},
+	}
+}
+
+func (o Options) rng() *rand.Rand {
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// arena builds the single arena the baseline trees run on.
 func (o Options) arena() *pmem.Arena {
 	size := o.ArenaSize
 	if size == 0 {
@@ -85,113 +131,124 @@ func (o Options) arena() *pmem.Arena {
 	})
 }
 
-// Tree is an RNTree over a simulated NVM arena. All methods are safe for
-// concurrent use.
+// Tree is an RNTree (or with Partitions > 1 a forest of them) over
+// simulated NVM arenas. All methods are safe for concurrent use.
 type Tree struct {
-	*core.Tree
-	arena *pmem.Arena
+	*forest.Forest
+
+	// mu guards rng: crash sampling draws from a per-tree stream so each
+	// instance replays deterministically under a fixed Seed.
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
-// New creates an empty RNTree in a fresh arena.
+// New creates an empty RNTree in fresh arenas.
 func New(opts Options) (*Tree, error) {
-	a := opts.arena()
-	t, err := core.New(a, core.Options{
-		DualSlot:     opts.DualSlotArray,
-		LeafCapacity: opts.LeafCapacity,
-	})
+	f, err := forest.New(opts.forestOpts())
 	if err != nil {
 		return nil, err
 	}
-	return &Tree{Tree: t, arena: a}, nil
+	return &Tree{Forest: f, rng: opts.rng()}, nil
 }
 
-// Stats aggregates persistence and HTM counters plus tree shape.
+// Stats is the unified counter snapshot of the whole tree (or forest):
+// persistence traffic, reader retries, HTM outcomes and shape, aggregated
+// across partitions.
 type Stats struct {
 	// Persists is the number of persistent instructions executed.
 	Persists uint64
 	// LinesFlushed is the number of cache lines written back to NVM.
 	LinesFlushed uint64
-	// WordsWritten counts 8-byte stores into the arena.
+	// WordsWritten counts 8-byte stores into the arenas.
 	WordsWritten uint64
-	// HTM reports transaction outcomes of the emulated RTM.
+	// ReadRetries counts read attempts wasted on concurrent writers (§6.3);
+	// the dual slot array drives this toward zero.
+	ReadRetries uint64
+	// HTM reports transaction outcomes of the emulated RTM, summed over
+	// every partition's region.
 	HTM htm.Stats
-	// Leaves and Depth describe the tree shape.
+	// Leaves and Depth describe the tree shape (Leaves summed over
+	// partitions, Depth the maximum).
 	Leaves int
 	Depth  int
+	// Partitions is the forest fan-out (1 for a single tree).
+	Partitions int
 }
 
 // Stats returns a snapshot of the tree's counters.
 func (t *Tree) Stats() Stats {
-	s := t.arena.Stats()
+	fs := t.Forest.Stats()
 	return Stats{
-		Persists:     s.Persists,
-		LinesFlushed: s.LinesFlushed,
-		WordsWritten: s.WordsWritten,
-		HTM:          t.HTMStats(),
-		Leaves:       t.LeafCount(),
-		Depth:        t.Tree.Depth(),
+		Persists:     fs.Persists,
+		LinesFlushed: fs.LinesFlushed,
+		WordsWritten: fs.WordsWritten,
+		ReadRetries:  fs.ReadRetries,
+		HTM:          fs.HTM,
+		Leaves:       fs.Leaves,
+		Depth:        fs.Depth,
+		Partitions:   t.Forest.Partitions(),
 	}
 }
 
-// ResetStats zeroes the persistence counters (HTM counters included).
-func (t *Tree) ResetStats() { t.arena.ResetStats() }
-
 // Snapshot is the durable state of a tree at a crash or shutdown: exactly
-// what the simulated NVM would contain after power loss.
+// what the simulated NVM would contain after power loss, one image per
+// partition.
 type Snapshot struct {
-	img []uint64
+	imgs [][]uint64
 }
 
 // Crash simulates power loss: the returned snapshot contains everything
 // persisted so far, plus each dirty-but-unflushed cache line with
-// probability evictProb (hardware may evict any line at any time). The tree
+// probability evictProb (hardware may evict any line at any time). Eviction
+// sampling draws from the tree's own seeded source (Options.Seed), so a
+// given instance's crash sequence replays deterministically. The tree
 // remains usable, but the snapshot is fixed.
-func (t *Tree) Crash(evictProb float64, seed int64) Snapshot {
+func (t *Tree) Crash(evictProb float64) Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var rng *rand.Rand
 	if evictProb > 0 {
-		rng = rand.New(rand.NewSource(seed))
+		rng = t.rng
 	}
-	return Snapshot{img: t.arena.CrashImage(rng, evictProb)}
+	return Snapshot{imgs: t.Forest.CrashImages(rng, evictProb)}
 }
 
 // Checkpoint performs a clean shutdown (Close) and returns the durable
 // state; reopening a checkpoint uses the fast reconstruction path.
 func (t *Tree) Checkpoint() Snapshot {
-	t.Close()
-	return Snapshot{img: t.arena.CrashImage(nil, 0)}
+	t.Forest.Close()
+	return Snapshot{imgs: t.Forest.CrashImages(nil, 0)}
 }
 
-// Recover reopens a tree from a snapshot, choosing the fast reconstruction
-// path after a clean Checkpoint and full crash recovery otherwise (§5.4).
-// DualSlotArray and latency options apply to the reopened tree; LeafCapacity
-// is read from the snapshot.
+// Recover reopens a tree from a snapshot, choosing per partition the fast
+// reconstruction path after a clean Checkpoint and full crash recovery
+// otherwise (§5.4). DualSlotArray and latency options apply to the reopened
+// tree; LeafCapacity and the partition count are read from the snapshot
+// (Options.Partitions is ignored).
 func Recover(s Snapshot, opts Options) (*Tree, error) {
-	a := pmem.Recover(s.img, pmem.Config{
-		Latency: pmem.LatencyModel{FlushPerLine: opts.FlushLatency, Fence: opts.FenceLatency},
-	})
-	t, err := core.Open(a, core.Options{DualSlot: opts.DualSlotArray})
+	f, err := forest.Open(s.imgs, opts.forestOpts())
 	if err != nil {
 		return nil, err
 	}
-	return &Tree{Tree: t, arena: a}, nil
+	return &Tree{Forest: f, rng: opts.rng()}, nil
 }
 
-// Iterator walks a Tree in ascending key order; see Tree.NewIterator.
-type Iterator = core.Iterator
+// ResetStats zeroes the persistence and HTM counters of every partition.
+func (t *Tree) ResetStats() { t.Forest.ResetStats() }
+
+// Iterator walks a Tree in ascending key order across all partitions; see
+// Tree.NewIterator.
+type Iterator = forest.Iterator
 
 // BulkLoad builds a tree directly from records sorted by strictly
 // increasing key, using one persistent instruction per leaf instead of two
 // per record — the fast path for initial loads and migrations.
 func BulkLoad(opts Options, records []KV) (*Tree, error) {
-	a := opts.arena()
-	t, err := core.BulkLoad(a, core.Options{
-		DualSlot:     opts.DualSlotArray,
-		LeafCapacity: opts.LeafCapacity,
-	}, records)
+	f, err := forest.BulkLoad(opts.forestOpts(), records)
 	if err != nil {
 		return nil, err
 	}
-	return &Tree{Tree: t, arena: a}, nil
+	return &Tree{Forest: f, rng: opts.rng()}, nil
 }
 
 // Kind names a baseline tree implementation from the paper's evaluation.

@@ -39,7 +39,7 @@ func TestPublicAPICRUD(t *testing.T) {
 }
 
 func TestCrashRecoverPublic(t *testing.T) {
-	tr, err := New(Options{})
+	tr, err := New(Options{Seed: 99})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestCrashRecoverPublic(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	snap := tr.Crash(0.3, 99)
+	snap := tr.Crash(0.3)
 	tr2, err := Recover(snap, Options{DualSlotArray: true})
 	if err != nil {
 		t.Fatal(err)
@@ -102,6 +102,103 @@ func TestBaselinesConstructible(t *testing.T) {
 	}
 	if _, err := NewBaseline("bogus", Options{}); err == nil {
 		t.Fatal("bogus kind accepted")
+	}
+}
+
+func TestPartitionedPublicAPI(t *testing.T) {
+	tr, err := New(Options{DualSlotArray: true, Partitions: 8, ArenaSize: 64 << 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5000; i++ {
+		if err := tr.Insert(i, i^7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := tr.Stats(); s.Partitions != 8 || s.Leaves == 0 || s.HTM.Commits == 0 {
+		t.Fatalf("forest stats: %+v", s)
+	}
+	// Scans stay globally ordered across partitions.
+	var prev uint64
+	first := true
+	n := tr.Scan(0, 0, func(k, _ uint64) bool {
+		if !first && k <= prev {
+			t.Fatalf("scan out of order: %d after %d", k, prev)
+		}
+		prev, first = k, false
+		return true
+	})
+	if n != 5000 {
+		t.Fatalf("scan visited %d", n)
+	}
+	// Crash + recover the whole forest; partition count comes from the
+	// snapshot, options only restyle the reopened tree.
+	snap := tr.Crash(0.4)
+	tr2, err := Recover(snap, Options{DualSlotArray: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr2.Stats().Partitions; got != 8 {
+		t.Fatalf("recovered partitions = %d", got)
+	}
+	for i := uint64(0); i < 5000; i++ {
+		if v, ok := tr2.Find(i); !ok || v != i^7 {
+			t.Fatalf("recovered Find(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestCrashSamplingDeterministicPerTree(t *testing.T) {
+	build := func(seed int64) *Tree {
+		// Dual slot mode keeps the transient slot arrays dirty (they are
+		// never persisted), so eviction sampling has real lines to pick.
+		tr, err := New(Options{DualSlotArray: true, Partitions: 2, ArenaSize: 16 << 20, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 2000; i++ {
+			if err := tr.Insert(i, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr
+	}
+	// Same seed + same history => identical eviction sampling, crash after
+	// crash; a different seed diverges.
+	a, b, c := build(7), build(7), build(8)
+	differs := false
+	for round := 0; round < 3; round++ {
+		sa, sb, sc := a.Crash(0.5), b.Crash(0.5), c.Crash(0.5)
+		for p := range sa.imgs {
+			for w := range sa.imgs[p] {
+				if sa.imgs[p][w] != sb.imgs[p][w] {
+					t.Fatalf("round %d: same-seed trees diverged (partition %d word %d)", round, p, w)
+				}
+				if sa.imgs[p][w] != sc.imgs[p][w] {
+					differs = true
+				}
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical eviction sampling")
+	}
+}
+
+func TestBulkLoadPartitioned(t *testing.T) {
+	var recs []KV
+	for i := uint64(0); i < 3000; i++ {
+		recs = append(recs, KV{Key: i * 2, Value: i})
+	}
+	tr, err := BulkLoad(Options{Partitions: 4, ArenaSize: 32 << 20}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(recs) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if v, ok := tr.Find(4000); !ok || v != 2000 {
+		t.Fatalf("Find(4000) = %d,%v", v, ok)
 	}
 }
 
