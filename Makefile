@@ -1,9 +1,9 @@
 # Tier-1 verification and the race gate for the concurrent kv/tree paths.
 GO ?= go
 
-.PHONY: check build vet test race bench-kv faultcheck faultshort
+.PHONY: check build vet test race bench-kv bench-server faultcheck faultshort servercheck fuzz-wire
 
-check: build vet test faultshort
+check: build vet test faultshort servercheck
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,24 @@ race:
 
 bench-kv:
 	$(GO) run ./cmd/rnbench -exp kvscale
+
+# Loopback serving sweep (conns x depth); writes BENCH_server.json.
+bench-server:
+	$(GO) run ./cmd/rnbench -exp netbench
+
+# The network serving layer's gate: protocol/server/client tests under the
+# race detector (the pipelined writer, batcher, and drain paths are all
+# concurrent), plus a short fuzz smoke of each wire decoder on top of the
+# committed seed corpus.
+servercheck:
+	$(GO) test -race ./internal/wire/... ./internal/server/... ./client/... ./internal/drain/...
+	$(GO) test ./internal/wire -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=3s
+	$(GO) test ./internal/wire -run='^$$' -fuzz=FuzzDecodeResponse -fuzztime=3s
+	$(GO) test ./internal/wire -run='^$$' -fuzz=FuzzReadFrame -fuzztime=3s
+
+# Longer fuzz session for the wire decoders.
+fuzz-wire:
+	$(GO) test ./internal/wire -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=60s
 
 # Crash-point exploration (internal/fault): crash every persist site of
 # every layer target under pre/evicted/torn image variants and check the

@@ -1,0 +1,569 @@
+// Package client is the Go client for rnserved, the RNTree kv network
+// server. One Client multiplexes any number of goroutines over a single
+// pipelined connection: each call is assigned a request ID, written to the
+// shared socket, and matched to its (possibly out-of-order) response by a
+// background reader — so N concurrent callers get N-deep pipelining with
+// no per-call connection cost.
+//
+// The client reconnects lazily with jittered exponential backoff (the same
+// desynchronization shape the HTM layer uses for conflict retries: a
+// splitmix64 stream jitters each delay in [d/2, d], so a fleet of clients
+// that lost the same server does not reconnect in lock-step). Calls that
+// were in flight when the connection died fail with ErrConnLost — the
+// caller cannot know whether a lost PUT committed, exactly like any
+// at-most-once RPC — and subsequent calls transparently use the new
+// connection.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rntree/internal/wire"
+)
+
+// Client errors.
+var (
+	// ErrClosed is returned by calls on a Close()d client.
+	ErrClosed = errors.New("client: closed")
+	// ErrNotFound is returned by Get/Delete for absent keys.
+	ErrNotFound = errors.New("client: key not found")
+	// ErrOverloaded is the server's backpressure rejection; back off and
+	// retry.
+	ErrOverloaded = errors.New("client: server overloaded")
+	// ErrClosing means the server is draining; reconnect later.
+	ErrClosing = errors.New("client: server closing")
+	// ErrTimeout is a per-call timeout; the request may still execute.
+	ErrTimeout = errors.New("client: request timed out")
+	// ErrConnLost fails calls whose connection died mid-flight; mutations
+	// may or may not have committed.
+	ErrConnLost = errors.New("client: connection lost")
+)
+
+// Options tune a Client. Zero values take the documented defaults.
+type Options struct {
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// Timeout bounds one call, write to response (default 5s).
+	Timeout time.Duration
+	// MaxInflight caps pipelined requests on the connection (default 64 —
+	// match the server's per-connection limit; deeper pipelines would
+	// stall in TCP anyway).
+	MaxInflight int
+	// ReconnectAttempts is how many dials one call will try before
+	// failing (default 5).
+	ReconnectAttempts int
+	// ReconnectBase/ReconnectMax bound the jittered exponential backoff
+	// between dials (defaults 10ms and 1s).
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+}
+
+func (o *Options) normalize() {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = 64
+	}
+	if o.ReconnectAttempts == 0 {
+		o.ReconnectAttempts = 5
+	}
+	if o.ReconnectBase == 0 {
+		o.ReconnectBase = 10 * time.Millisecond
+	}
+	if o.ReconnectMax == 0 {
+		o.ReconnectMax = time.Second
+	}
+}
+
+// KV is one key/value pair returned by Scan.
+type KV struct {
+	Key, Value []byte
+}
+
+// result is one response delivery.
+type result struct {
+	resp wire.Response
+	err  error
+}
+
+// pending is one in-flight call.
+type pending struct {
+	gen      uint64
+	deadline time.Time
+	ch       chan result
+}
+
+// Client is a concurrency-safe pipelined connection to one server.
+type Client struct {
+	addr string
+	opts Options
+
+	sem    chan struct{} // inflight tokens
+	nextID atomic.Uint64
+	closed atomic.Bool
+
+	// connMu guards connection (re)establishment.
+	connMu  sync.Mutex
+	conn    net.Conn
+	gen     uint64 // bumped on every teardown, tags pending entries
+	backoff uint64 // splitmix64 jitter state
+
+	// Callers append request frames to wBuf under wMu and nudge the writer
+	// goroutine, which swaps the buffer out and writes it with one syscall
+	// — frames queued by other pipeline workers while a write is in flight
+	// ride the next one, so the syscall count scales with write bursts,
+	// not with calls. wBufGen tags the buffered frames' connection
+	// generation: frames for a torn-down generation are dropped unsent
+	// (teardown already failed their pending entries). The server's conn
+	// has the matching response-side scheme.
+	wMu     sync.Mutex
+	wBuf    []byte
+	wBufGen uint64
+	wSig    chan struct{} // cap 1: "wBuf is non-empty"
+	wStop   chan struct{} // closed by Close; writeLoop exits
+
+	pendMu sync.Mutex
+	pend   map[uint64]pending
+}
+
+// Dial connects to an rnserved address. The first connection is
+// established eagerly so configuration errors surface here.
+func Dial(addr string, opts Options) (*Client, error) {
+	opts.normalize()
+	c := &Client{
+		addr:    addr,
+		opts:    opts,
+		sem:     make(chan struct{}, opts.MaxInflight),
+		pend:    map[uint64]pending{},
+		backoff: splitmix64seed.Add(0x9e3779b97f4a7c15) | 1,
+		wSig:    make(chan struct{}, 1),
+		wStop:   make(chan struct{}),
+	}
+	c.connMu.Lock()
+	if _, _, err := c.ensureConnLocked(opts.ReconnectAttempts); err != nil {
+		c.connMu.Unlock()
+		return nil, err
+	}
+	c.connMu.Unlock()
+	go c.writeLoop()
+	go c.sweepLoop()
+	return c, nil
+}
+
+// writeLoop is the client's writer: each wakeup swaps the accumulated
+// frame buffer out under the lock and writes it to the buffered frames'
+// connection with one syscall. A write error tears that generation down
+// (failing its in-flight calls); frames buffered for an already-replaced
+// generation are dropped, since teardown has failed their callers. The
+// loop lives for the client's whole lifetime, across reconnects.
+// writerIdleYields is how many scheduler yields the writer goroutine makes
+// with an empty buffer before parking on its signal channel. See writeLoop.
+const writerIdleYields = 4
+
+func (c *Client) writeLoop() {
+	var spare []byte
+	var armed time.Time
+	var armedConn net.Conn
+	for {
+		select {
+		case <-c.wSig:
+			// One yield before swapping: the channel wakeup schedules this
+			// writer ahead of the other just-woken pipeline workers (the
+			// runnext slot), which would mean one syscall per frame.
+			// Yielding lets the rest of the burst append first, so the
+			// swap takes every frame of the burst in one write.
+			runtime.Gosched()
+		case <-c.wStop:
+			return
+		}
+		idle := 0
+		for {
+			c.wMu.Lock()
+			buf, gen := c.wBuf, c.wBufGen
+			c.wBuf = spare[:0]
+			c.wMu.Unlock()
+			if len(buf) == 0 {
+				// Yield a few beats with the buffer empty before parking:
+				// at depth the pipeline workers refill it within a
+				// scheduler pass, and picking frames up here coalesces
+				// many requests per write syscall. An idle client's
+				// yields return immediately and the writer parks on wSig.
+				spare = buf
+				if idle >= writerIdleYields {
+					break
+				}
+				idle++
+				runtime.Gosched()
+				continue
+			}
+			idle = 0
+			c.connMu.Lock()
+			conn := c.conn
+			if c.gen != gen {
+				conn = nil
+			}
+			c.connMu.Unlock()
+			if conn == nil {
+				spare = buf[:0]
+				continue
+			}
+			// Throttle SetWriteDeadline to once per Timeout/4 per
+			// connection: a timer-heap update per write is measurable at
+			// pipelined rates and the deadline needs no precision.
+			if now := time.Now(); conn != armedConn || now.Sub(armed) > c.opts.Timeout/4 {
+				conn.SetWriteDeadline(now.Add(c.opts.Timeout))
+				armed, armedConn = now, conn
+			}
+			_, err := conn.Write(buf)
+			spare = buf[:0]
+			if err != nil {
+				c.teardown(gen, ErrConnLost)
+			}
+		}
+	}
+}
+
+// sweepLoop enforces call timeouts in bulk: every Timeout/4 it fails the
+// pending calls whose deadline has passed. A per-call runtime timer — even
+// a pooled one — costs two timer-heap updates per request, which is
+// measurable at pipelined rates; the sweep makes timeout enforcement
+// O(sweeps) instead of O(calls), at the price of ErrTimeout arriving up to
+// a quarter-Timeout late. The loop exits (within one sweep interval) after
+// Close.
+func (c *Client) sweepLoop() {
+	interval := c.opts.Timeout / 4
+	if interval > 500*time.Millisecond {
+		interval = 500 * time.Millisecond
+	}
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	for !c.closed.Load() {
+		time.Sleep(interval)
+		now := time.Now()
+		var expired []chan result
+		c.pendMu.Lock()
+		for id, p := range c.pend {
+			if now.After(p.deadline) {
+				delete(c.pend, id)
+				expired = append(expired, p.ch)
+			}
+		}
+		c.pendMu.Unlock()
+		// Deliveries happen after the map removal, so each registration
+		// still gets exactly one result (late responses are dropped by
+		// readLoop when the ID is gone).
+		for _, ch := range expired {
+			ch <- result{err: ErrTimeout}
+		}
+	}
+}
+
+// splitmix64seed desynchronizes the backoff streams of clients created in
+// the same process.
+var splitmix64seed atomic.Uint64
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// sleepBackoff sleeps for attempt's slot of the jittered exponential
+// schedule: d doubles from ReconnectBase up to ReconnectMax, jittered into
+// [d/2, d].
+func (c *Client) sleepBackoff(attempt int) {
+	d := c.opts.ReconnectBase << uint(attempt)
+	if d > c.opts.ReconnectMax || d <= 0 {
+		d = c.opts.ReconnectMax
+	}
+	c.backoff += 0x9e3779b97f4a7c15
+	j := splitmix64(c.backoff)
+	half := uint64(d) / 2
+	time.Sleep(time.Duration(half + j%(half+1)))
+}
+
+// ensureConnLocked returns the live connection, dialing with backoff if
+// needed. Caller holds connMu.
+func (c *Client) ensureConnLocked(attempts int) (net.Conn, uint64, error) {
+	if c.conn != nil {
+		return c.conn, c.gen, nil
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			c.sleepBackoff(a - 1)
+		}
+		if c.closed.Load() {
+			return nil, 0, ErrClosed
+		}
+		conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		c.conn = conn
+		c.gen++
+		go c.readLoop(conn, c.gen)
+		return conn, c.gen, nil
+	}
+	return nil, 0, fmt.Errorf("client: dial %s: %w", c.addr, lastErr)
+}
+
+// teardown retires a broken connection generation and fails its pending
+// calls. Later generations are untouched.
+func (c *Client) teardown(gen uint64, cause error) {
+	c.connMu.Lock()
+	if c.gen == gen && c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.connMu.Unlock()
+	c.pendMu.Lock()
+	for id, p := range c.pend {
+		if p.gen == gen {
+			delete(c.pend, id)
+			p.ch <- result{err: cause}
+		}
+	}
+	c.pendMu.Unlock()
+}
+
+// readLoop pumps responses for one connection generation and routes them
+// by request ID.
+func (c *Client) readLoop(conn net.Conn, gen uint64) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var buf []byte
+	for {
+		payload, err := wire.ReadFrame(br, buf)
+		if err != nil {
+			cause := ErrConnLost
+			if c.closed.Load() {
+				cause = ErrClosed
+			}
+			c.teardown(gen, cause)
+			return
+		}
+		buf = payload[:0]
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			// A malformed response means the stream framing can no
+			// longer be trusted.
+			c.teardown(gen, fmt.Errorf("client: protocol error: %w", err))
+			return
+		}
+		// Own the bytes beyond this frame.
+		resp.Val = append([]byte(nil), resp.Val...)
+		for i := range resp.Pairs {
+			resp.Pairs[i].Key = append([]byte(nil), resp.Pairs[i].Key...)
+			resp.Pairs[i].Val = append([]byte(nil), resp.Pairs[i].Val...)
+		}
+		c.pendMu.Lock()
+		p, ok := c.pend[resp.ID]
+		if ok {
+			delete(c.pend, resp.ID)
+		}
+		c.pendMu.Unlock()
+		if ok {
+			p.ch <- result{resp: resp}
+		}
+		// Unmatched IDs are responses to timed-out calls; drop them.
+	}
+}
+
+// do executes one pipelined request/response exchange.
+func (c *Client) do(req wire.Request) (wire.Response, error) {
+	if c.closed.Load() {
+		return wire.Response{}, ErrClosed
+	}
+	c.sem <- struct{}{}
+	defer func() { <-c.sem }()
+
+	c.connMu.Lock()
+	_, gen, err := c.ensureConnLocked(c.opts.ReconnectAttempts)
+	c.connMu.Unlock()
+	if err != nil {
+		return wire.Response{}, err
+	}
+
+	req.ID = c.nextID.Add(1)
+	fbuf, _ := framePool.Get().([]byte)
+	frame, err := wire.AppendRequest(fbuf[:0], req)
+	if err != nil {
+		framePool.Put(frame[:0]) //nolint:staticcheck // []byte pooling is deliberate
+		return wire.Response{}, err
+	}
+	ch := chanPool.Get().(chan result)
+	c.pendMu.Lock()
+	c.pend[req.ID] = pending{gen: gen, deadline: time.Now().Add(c.opts.Timeout), ch: ch}
+	c.pendMu.Unlock()
+
+	// Queue the frame for the writer goroutine, which coalesces every
+	// frame queued behind the in-flight write into one syscall. A buffer
+	// still holding an OLDER generation's frames means that generation was
+	// torn down (failing its callers); ours starts the buffer over. A
+	// NEWER generation in the buffer means our own generation is the
+	// torn-down one — drop our frame unwritten; teardown(gen) has already
+	// delivered our result.
+	c.wMu.Lock()
+	if c.wBufGen < gen {
+		c.wBuf = c.wBuf[:0]
+		c.wBufGen = gen
+	}
+	if c.wBufGen == gen {
+		c.wBuf = append(c.wBuf, frame...)
+	}
+	c.wMu.Unlock()
+	framePool.Put(frame[:0]) //nolint:staticcheck // []byte pooling is deliberate
+	select {
+	case c.wSig <- struct{}{}:
+	default:
+	}
+
+	// Exactly one of readLoop (the response), teardown (connection loss or
+	// Close) or sweepLoop (timeout) removes our pend entry and delivers —
+	// so this receive always completes and the channel is empty and
+	// reusable afterwards.
+	r := <-ch
+	chanPool.Put(ch)
+	if r.err != nil {
+		return wire.Response{}, r.err
+	}
+	return r.resp, nil
+}
+
+// framePool recycles request-frame buffers: bufio.Writer.Write copies the
+// frame before returning, so the buffer is dead as soon as the write
+// section unlocks.
+var framePool sync.Pool
+
+// chanPool recycles result channels: a pending entry's channel receives
+// exactly one delivery per registration, so after do's receive it is empty
+// and safe to reuse.
+var chanPool = sync.Pool{New: func() any { return make(chan result, 1) }}
+
+// statusErr maps a non-OK response to a client error.
+func statusErr(r wire.Response) error {
+	switch r.Status {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusNotFound:
+		return ErrNotFound
+	case wire.StatusOverloaded:
+		return ErrOverloaded
+	case wire.StatusClosing:
+		return ErrClosing
+	case wire.StatusErr:
+		return fmt.Errorf("client: server error: %s", r.Msg)
+	}
+	return fmt.Errorf("client: unknown status %d", r.Status)
+}
+
+// Ping round-trips an empty request.
+func (c *Client) Ping() error {
+	r, err := c.do(wire.Request{Op: wire.OpPing})
+	if err != nil {
+		return err
+	}
+	return statusErr(r)
+}
+
+// Get returns the value stored under key.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	r, err := c.do(wire.Request{Op: wire.OpGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(r); err != nil {
+		return nil, err
+	}
+	return r.Val, nil
+}
+
+// Put stores key → value. A nil return means the write is durable on the
+// server.
+func (c *Client) Put(key, value []byte) error {
+	r, err := c.do(wire.Request{Op: wire.OpPut, Key: key, Val: value})
+	if err != nil {
+		return err
+	}
+	return statusErr(r)
+}
+
+// Delete removes key.
+func (c *Client) Delete(key []byte) error {
+	r, err := c.do(wire.Request{Op: wire.OpDel, Key: key})
+	if err != nil {
+		return err
+	}
+	return statusErr(r)
+}
+
+// Scan returns up to max live pairs whose key starts with prefix (nil
+// prefix matches everything), in unspecified order.
+func (c *Client) Scan(prefix []byte, max int) ([]KV, error) {
+	r, err := c.do(wire.Request{Op: wire.OpScan, ScanPrefix: prefix, ScanMax: uint32(max)})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(r); err != nil {
+		return nil, err
+	}
+	out := make([]KV, len(r.Pairs))
+	for i, p := range r.Pairs {
+		out[i] = KV{Key: p.Key, Value: p.Val}
+	}
+	return out, nil
+}
+
+// Stats returns the server's named counters (store stats plus serving
+// counters; see DESIGN.md §10).
+func (c *Client) Stats() (map[string]uint64, error) {
+	r, err := c.do(wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(r); err != nil {
+		return nil, err
+	}
+	out := make(map[string]uint64, len(r.Counters))
+	for _, ctr := range r.Counters {
+		out[ctr.Name] = ctr.Val
+	}
+	return out, nil
+}
+
+// Close tears the connection down; concurrent and subsequent calls fail
+// with ErrClosed.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return ErrClosed
+	}
+	c.connMu.Lock()
+	conn := c.conn
+	gen := c.gen
+	c.conn = nil
+	c.connMu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	close(c.wStop)
+	c.teardown(gen, ErrClosed)
+	return nil
+}

@@ -1,0 +1,275 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rntree/internal/wire"
+)
+
+// fakeServer is a minimal in-test wire server: it answers PING/PUT/GET
+// from a map, optionally delaying or dropping responses, so client
+// behavior is testable without the real serving stack (which has its own
+// tests in internal/server).
+type fakeServer struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	data    map[string][]byte
+	conns   int
+	dropAll bool          // accept but never respond
+	delay   time.Duration // per-request artificial latency
+}
+
+func newFakeServer(t *testing.T) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeServer{ln: ln, data: map[string][]byte{}}
+	go fs.acceptLoop()
+	t.Cleanup(func() { ln.Close() })
+	return fs
+}
+
+func (fs *fakeServer) addr() string { return fs.ln.Addr().String() }
+
+func (fs *fakeServer) connCount() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.conns
+}
+
+func (fs *fakeServer) acceptLoop() {
+	for {
+		c, err := fs.ln.Accept()
+		if err != nil {
+			return
+		}
+		fs.mu.Lock()
+		fs.conns++
+		fs.mu.Unlock()
+		go fs.serve(c)
+	}
+}
+
+func (fs *fakeServer) serve(c net.Conn) {
+	defer c.Close()
+	br := bufio.NewReader(c)
+	var buf []byte
+	for {
+		payload, err := wire.ReadFrame(br, buf)
+		if err != nil {
+			return
+		}
+		buf = payload[:0]
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		fs.mu.Lock()
+		drop, delay := fs.dropAll, fs.delay
+		fs.mu.Unlock()
+		if drop {
+			continue
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		resp := wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOK}
+		switch req.Op {
+		case wire.OpPut:
+			fs.mu.Lock()
+			fs.data[string(req.Key)] = append([]byte(nil), req.Val...)
+			fs.mu.Unlock()
+		case wire.OpGet:
+			fs.mu.Lock()
+			v, ok := fs.data[string(req.Key)]
+			fs.mu.Unlock()
+			if ok {
+				resp.Val = v
+			} else {
+				resp.Status = wire.StatusNotFound
+			}
+		}
+		frame, _ := wire.AppendResponse(nil, resp)
+		c.Write(frame)
+	}
+}
+
+func TestClientBasics(t *testing.T) {
+	fs := newFakeServer(t)
+	c, err := Dial(fs.addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get([]byte("k"))
+	if err != nil || !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if _, err := c.Get([]byte("nope")); err != ErrNotFound {
+		t.Fatalf("absent Get: %v", err)
+	}
+}
+
+func TestDialFailsCleanly(t *testing.T) {
+	// A port with nothing listening (bind then close to claim one).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	start := time.Now()
+	_, err = Dial(addr, Options{ReconnectAttempts: 3, ReconnectBase: 5 * time.Millisecond, ReconnectMax: 20 * time.Millisecond})
+	if err == nil {
+		t.Fatal("Dial to a dead address succeeded")
+	}
+	// Backoff between the 3 attempts must have actually slept (jitter in
+	// [d/2, d] per gap) but stayed bounded.
+	if e := time.Since(start); e < 5*time.Millisecond || e > 5*time.Second {
+		t.Fatalf("dial retries took %v", e)
+	}
+}
+
+// TestReconnectAfterConnLoss: the in-flight call fails with ErrConnLost,
+// the next call transparently redials.
+func TestReconnectAfterConnLoss(t *testing.T) {
+	fs := newFakeServer(t)
+	c, err := Dial(fs.addr(), Options{ReconnectBase: 2 * time.Millisecond, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the live server connection out from under the client.
+	fs.mu.Lock()
+	fs.dropAll = true
+	fs.mu.Unlock()
+	done := make(chan error, 1)
+	go func() { done <- c.Ping() }()
+	// While the ping is parked, sever the connection: the pending call
+	// must fail with ErrConnLost (not hang).
+	time.Sleep(20 * time.Millisecond)
+	c.connMu.Lock()
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.connMu.Unlock()
+	if err := <-done; err != ErrConnLost {
+		t.Fatalf("in-flight call after conn loss: %v", err)
+	}
+	fs.mu.Lock()
+	fs.dropAll = false
+	fs.mu.Unlock()
+	// Next call redials.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("call after reconnect: %v", err)
+	}
+	if fs.connCount() < 2 {
+		t.Fatalf("no reconnect observed (%d connections)", fs.connCount())
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	fs := newFakeServer(t)
+	fs.mu.Lock()
+	fs.dropAll = true
+	fs.mu.Unlock()
+	c, err := Dial(fs.addr(), Options{Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if err := c.Ping(); err != ErrTimeout {
+		t.Fatalf("Ping on mute server: %v", err)
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("timeout took %v", e)
+	}
+}
+
+// TestPipelinedConcurrentCalls: many goroutines share the client; each
+// response must route to its caller (the fake server adds latency so
+// responses genuinely overlap).
+func TestPipelinedConcurrentCalls(t *testing.T) {
+	fs := newFakeServer(t)
+	fs.mu.Lock()
+	fs.delay = time.Millisecond
+	fs.mu.Unlock()
+	c, err := Dial(fs.addr(), Options{MaxInflight: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 24; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			k := []byte(fmt.Sprintf("key-%d", g))
+			v := []byte(fmt.Sprintf("value-%d", g))
+			if err := c.Put(k, v); err != nil {
+				t.Errorf("Put: %v", err)
+				return
+			}
+			got, err := c.Get(k)
+			if err != nil || !bytes.Equal(got, v) {
+				t.Errorf("Get(%s) = %q, %v (cross-routed response?)", k, got, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestClosedClient(t *testing.T) {
+	fs := newFakeServer(t)
+	c, err := Dial(fs.addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != ErrClosed {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := c.Ping(); err != ErrClosed {
+		t.Fatalf("Ping after Close: %v", err)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	c := &Client{opts: Options{ReconnectBase: 4 * time.Millisecond, ReconnectMax: 16 * time.Millisecond}, backoff: 1}
+	for attempt := 0; attempt < 6; attempt++ {
+		d := c.opts.ReconnectBase << uint(attempt)
+		if d > c.opts.ReconnectMax || d <= 0 {
+			d = c.opts.ReconnectMax
+		}
+		start := time.Now()
+		c.sleepBackoff(attempt)
+		slept := time.Since(start)
+		if slept < d/2-time.Millisecond {
+			t.Fatalf("attempt %d slept %v, want >= %v", attempt, slept, d/2)
+		}
+		if slept > 4*d+50*time.Millisecond {
+			t.Fatalf("attempt %d slept %v, want <= ~%v", attempt, slept, d)
+		}
+	}
+}

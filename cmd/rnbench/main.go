@@ -11,7 +11,9 @@
 // log), forestscale (partition sweep of the hash-partitioned forest; also
 // writes a machine-readable BENCH_forest.json, see -forest-json),
 // faultmatrix (crash-point exploration with the durability oracle;
-// -fault-sites caps the sites replayed per target), all.
+// -fault-sites caps the sites replayed per target), netbench (loopback
+// serving-layer sweep over connections x pipeline depth; also writes
+// BENCH_server.json, see -server-json), all.
 package main
 
 import (
@@ -67,6 +69,47 @@ func writeForestJSON(path string, cfg bench.Config, r bench.Result) error {
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
+// serverReport is the machine-readable summary of the netbench
+// experiment, written to -server-json so CI can gate on the pipelining
+// speedup bar without scraping the text table.
+type serverReport struct {
+	ID         string     `json:"id"`
+	Title      string     `json:"title"`
+	DurationMS int64      `json:"duration_ms"`
+	Seed       int64      `json:"seed"`
+	Header     []string   `json:"header"`
+	Rows       [][]string `json:"rows"`
+	Notes      []string   `json:"notes"`
+	// SpeedupVs1x1 is the 8-connections x depth-16 throughput over the
+	// 1-connection unpipelined baseline; PassedBar is SpeedupVs1x1 >= 4.
+	SpeedupVs1x1 float64 `json:"speedup_vs_1x1"`
+	PassedBar    bool    `json:"passed_4x_bar"`
+}
+
+// writeServerJSON renders the netbench result to path.
+func writeServerJSON(path string, cfg bench.Config, r bench.Result) error {
+	rep := serverReport{
+		ID: r.ID, Title: r.Title,
+		DurationMS: cfg.Duration.Milliseconds(), Seed: cfg.Seed,
+		Header: r.Header, Rows: r.Rows, Notes: r.Notes,
+	}
+	// The acceptance cell is the batched 8×16 row; its last column is the
+	// throughput ratio against the (batched) 1×1 baseline row.
+	for _, row := range r.Rows {
+		if len(row) >= 8 && row[0] == "8" && row[1] == "16" && row[2] == "on" {
+			if v, err := strconv.ParseFloat(row[7], 64); err == nil {
+				rep.SpeedupVs1x1 = v
+				rep.PassedBar = v >= 4.0
+			}
+		}
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment id ("+strings.Join(bench.ExperimentIDs(), ", ")+" or all)")
@@ -78,6 +121,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "workload seed")
 		faultMax = flag.Int("fault-sites", 0, "faultmatrix: max crash sites replayed per target (0 = exhaustive)")
 		fjson    = flag.String("forest-json", "BENCH_forest.json", "forestscale: write a machine-readable report to this file (empty disables)")
+		sjson    = flag.String("server-json", "BENCH_server.json", "netbench: write a machine-readable report to this file (empty disables)")
 		out      = flag.String("out", "", "also write results to this file")
 		format   = flag.String("format", "table", "output format: table or csv")
 	)
@@ -146,6 +190,14 @@ func main() {
 					failed = true
 				} else {
 					fmt.Fprintf(w, "(wrote %s)\n", *fjson)
+				}
+			}
+			if r.ID == "netbench" && *sjson != "" {
+				if err := writeServerJSON(*sjson, cfg, r); err != nil {
+					fmt.Fprintf(os.Stderr, "rnbench: writing %s: %v\n", *sjson, err)
+					failed = true
+				} else {
+					fmt.Fprintf(w, "(wrote %s)\n", *sjson)
 				}
 			}
 		}

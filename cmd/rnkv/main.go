@@ -25,6 +25,7 @@ import (
 	"syscall"
 
 	"rntree"
+	"rntree/internal/drain"
 )
 
 func main() {
@@ -40,8 +41,11 @@ func main() {
 }
 
 // run drives the shell over the given streams; split out for testing. A
-// value on sig (may be nil) triggers the clean-shutdown path.
+// value on sig (may be nil) triggers the clean-shutdown path — including
+// mid-scan: the scan callback polls the drain watcher so a signal cuts a
+// long range query short instead of waiting for it to finish.
 func run(in io.Reader, out io.Writer, sig <-chan os.Signal) error {
+	w := drain.New(sig)
 	// Four partitions: the shell runs on a forest, so crash/recover and
 	// stats exercise the multi-arena paths end to end.
 	opts := rntree.Options{DualSlotArray: true, Partitions: 4, Seed: 1}
@@ -73,7 +77,7 @@ func run(in io.Reader, out io.Writer, sig <-chan os.Signal) error {
 		fmt.Fprint(out, "> ")
 		var line string
 		select {
-		case <-sig:
+		case <-w.Done():
 			return shutdown(t, opts, out)
 		case l, ok := <-lines:
 			if !ok {
@@ -125,10 +129,19 @@ func run(in io.Reader, out io.Writer, sig <-chan os.Signal) error {
 				fmt.Fprintln(out, "usage: scan <start> <n>")
 				continue
 			}
+			interrupted := false
 			t.Scan(k, int(n), func(key, val uint64) bool {
+				if w.Triggered() {
+					interrupted = true
+					return false
+				}
 				fmt.Fprintf(out, "  %d = %d\n", key, val)
 				return true
 			})
+			if interrupted {
+				fmt.Fprintln(out, "  (scan interrupted by signal)")
+				return shutdown(t, opts, out)
+			}
 		case "stats":
 			s := t.Stats()
 			fmt.Fprintf(out, "partitions=%d persists=%d linesFlushed=%d words=%d leaves=%d depth=%d readRetries=%d\n",

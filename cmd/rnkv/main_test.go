@@ -2,10 +2,13 @@ package main
 
 import (
 	"bufio"
+	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 func runScript(t *testing.T, script string) string {
@@ -122,4 +125,78 @@ func TestShellSignalCleanShutdown(t *testing.T) {
 	if !strings.Contains(string(rest), "clean shutdown, 2 records checkpointed (reconstructed, not crash-recovered)") {
 		t.Fatalf("clean-shutdown summary missing:\n%s", rest)
 	}
+}
+
+// A signal during a long scan must interrupt the scan — not wait for it to
+// finish — and then take the same clean-checkpoint path. The output pipe is
+// read one row at a time so the scan is provably mid-flight when the signal
+// lands.
+func TestShellSignalInterruptsScan(t *testing.T) {
+	const keys = 400
+	var script strings.Builder
+	for i := 1; i <= keys; i++ {
+		fmt.Fprintf(&script, "put %d %d\n", i, i*10)
+	}
+	script.WriteString("scan 0 500\n")
+
+	inR, inW := io.Pipe()
+	outR, outW := io.Pipe()
+	defer inW.Close()
+	sig := make(chan os.Signal, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(inR, outW, sig)
+		outW.Close()
+	}()
+	go io.WriteString(inW, script.String())
+
+	// Consume acks, then a handful of scan rows — the scan's writer is now
+	// blocked on this pipe, mid-scan by construction.
+	br := bufio.NewReader(outR)
+	rows := 0
+	for rows < 5 {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("waiting for scan rows: %v", err)
+		}
+		if strings.Contains(line, " = ") {
+			rows++
+		}
+	}
+	sig <- os.Interrupt
+	// Wait for the drain watcher to consume the signal (the flag store
+	// follows immediately); only then resume reading so the very next
+	// callback poll observes it.
+	for len(sig) > 0 {
+		runtime.Gosched()
+	}
+	time.Sleep(10 * time.Millisecond)
+
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := string(rest)
+	if !strings.Contains(out, "(scan interrupted by signal)") {
+		t.Fatalf("scan was not interrupted:\n...%s", tail(out, 400))
+	}
+	if got := strings.Count(out, " = "); got > keys-10 {
+		t.Fatalf("scan printed %d rows after the signal; not truncated", got)
+	}
+	if !strings.Contains(out, "clean shutdown") || !strings.Contains(out, "reconstructed, not crash-recovered") {
+		t.Fatalf("interrupted scan skipped the clean checkpoint path:\n...%s", tail(out, 400))
+	}
+	if !strings.Contains(out, fmt.Sprintf("%d records checkpointed", keys)) {
+		t.Fatalf("checkpoint lost records:\n...%s", tail(out, 400))
+	}
+}
+
+func tail(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[len(s)-n:]
 }

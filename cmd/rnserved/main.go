@@ -1,0 +1,162 @@
+// Command rnserved serves the RNTree partitioned kv store over TCP with
+// the pipelined binary protocol in internal/wire. It is the network face
+// of the durability story: every acknowledged PUT is persisted (value-log
+// record flushed and fenced) before the response frame leaves the box, and
+// a SIGINT/SIGTERM drains in-flight requests, checkpoints the store, and
+// verifies the checkpoint reopens via the fast reconstruction path before
+// exiting — the same contract the rnkv shell makes, at network scale.
+//
+// Usage:
+//
+//	rnserved [-addr :4410] [-partitions 4] [-arena-mb 512] [-dualslot]
+//	         [-batch] [-batch-max 64] [-batch-delay 200us]
+//	         [-max-conns 256] [-max-inflight 64] [-max-global 1024]
+//	         [-idle-timeout 2m] [-flush-ns 0] [-fence-ns 0]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rntree/internal/drain"
+	"rntree/internal/pmem"
+	"rntree/internal/server"
+	"rntree/kv"
+)
+
+// config is the parsed flag set, separated from flag.Parse for testing.
+type config struct {
+	addr       string
+	partitions int
+	arenaMB    uint64
+	dualslot   bool
+
+	batch      bool
+	batchMax   int
+	batchDelay time.Duration
+
+	maxConns    int
+	maxInflight int
+	maxGlobal   int
+	idleTimeout time.Duration
+
+	flushNs, fenceNs int64
+
+	drainTimeout time.Duration
+}
+
+func parseFlags(args []string, errw io.Writer) (config, error) {
+	fs := flag.NewFlagSet("rnserved", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var c config
+	fs.StringVar(&c.addr, "addr", ":4410", "listen address")
+	fs.IntVar(&c.partitions, "partitions", 4, "hash partitions (power of two)")
+	fs.Uint64Var(&c.arenaMB, "arena-mb", 512, "total simulated NVM capacity in MiB")
+	fs.BoolVar(&c.dualslot, "dualslot", true, "use the RNTree+DS index variant")
+	fs.BoolVar(&c.batch, "batch", false, "coalesce PUTs across connections to amortize persist fences")
+	fs.IntVar(&c.batchMax, "batch-max", 64, "max PUTs per coalesced batch")
+	fs.DurationVar(&c.batchDelay, "batch-delay", 200*time.Microsecond, "max time a PUT waits for batch-mates")
+	fs.IntVar(&c.maxConns, "max-conns", 256, "max concurrent connections")
+	fs.IntVar(&c.maxInflight, "max-inflight", 64, "max pipelined requests per connection")
+	fs.IntVar(&c.maxGlobal, "max-global", 1024, "max in-flight requests across all connections (excess rejected)")
+	fs.DurationVar(&c.idleTimeout, "idle-timeout", 2*time.Minute, "reap connections idle this long")
+	fs.Int64Var(&c.flushNs, "flush-ns", 0, "simulated per-line flush latency (ns)")
+	fs.Int64Var(&c.fenceNs, "fence-ns", 0, "simulated per-persist fence latency (ns)")
+	fs.DurationVar(&c.drainTimeout, "drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	return c, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(2)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := serve(cfg, drain.New(sig), os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "rnserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the store + server until the drain watcher trips, then takes
+// the clean shutdown path: drain connections, checkpoint, verify the
+// checkpoint reopens. Split from main for testing.
+func serve(cfg config, w *drain.Watcher, out io.Writer) error {
+	st, err := kv.New(kv.Options{
+		ArenaSize:     cfg.arenaMB << 20,
+		Partitions:    cfg.partitions,
+		DualSlotArray: cfg.dualslot,
+		FlushLatency: pmem.LatencyModel{
+			FlushPerLine: time.Duration(cfg.flushNs),
+			Fence:        time.Duration(cfg.fenceNs),
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+
+	srv := server.New(st, server.Config{
+		MaxConns:          cfg.maxConns,
+		MaxInflight:       cfg.maxInflight,
+		MaxGlobalInflight: cfg.maxGlobal,
+		IdleTimeout:       cfg.idleTimeout,
+		Batch: server.BatchConfig{
+			Puts:     cfg.batch,
+			MaxBatch: cfg.batchMax,
+			MaxDelay: cfg.batchDelay,
+		},
+	})
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	fmt.Fprintf(out, "rnserved: serving on %s (partitions=%d arena=%dMiB batch=%v)\n",
+		ln.Addr(), cfg.partitions, cfg.arenaMB, cfg.batch)
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	select {
+	case <-w.Done():
+	case err := <-serveDone:
+		// Listener died without a drain trigger: real failure.
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	fmt.Fprintln(out, "rnserved: signal received, draining")
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveDone; err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	// The drain guaranteed quiescence, so the clean checkpoint path must
+	// succeed; verifying the reopen here means an interrupted server never
+	// leaves crash recovery as the only way back in.
+	imgs, err := st.Checkpoint()
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	st2, err := kv.Open(imgs, kv.Options{})
+	if err != nil {
+		return fmt.Errorf("checkpoint did not reopen: %w", err)
+	}
+	fmt.Fprintf(out, "rnserved: clean shutdown, %d live keys checkpointed (reconstructed, not crash-recovered)\n",
+		st2.Stats().LiveKeys)
+	return nil
+}

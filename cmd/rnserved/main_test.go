@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"rntree/client"
+	"rntree/internal/drain"
+)
+
+func TestParseFlags(t *testing.T) {
+	c, err := parseFlags([]string{"-addr", "127.0.0.1:9999", "-partitions", "2", "-batch", "-arena-mb", "64"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.addr != "127.0.0.1:9999" || c.partitions != 2 || !c.batch || c.arenaMB != 64 {
+		t.Fatalf("parsed config = %+v", c)
+	}
+	if _, err := parseFlags([]string{"-no-such-flag"}, io.Discard); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+// TestServeSignalCleanShutdown is the end-to-end binary path: start,
+// serve real client traffic, deliver the drain trigger (the signal path),
+// and require the clean checkpoint + verified reopen.
+func TestServeSignalCleanShutdown(t *testing.T) {
+	for _, batch := range []bool{false, true} {
+		name := "unbatched"
+		if batch {
+			name = "batched"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-arena-mb", "64", "-partitions", "2"}, io.Discard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.batch = batch
+
+			w := drain.New(nil)
+			outR, outW := io.Pipe()
+			errc := make(chan error, 1)
+			go func() {
+				errc <- serve(cfg, w, outW)
+				outW.Close()
+			}()
+
+			br := bufio.NewReader(outR)
+			banner, err := br.ReadString('\n')
+			if err != nil {
+				t.Fatalf("no banner: %v", err)
+			}
+			// "rnserved: serving on 127.0.0.1:PORT (...)"
+			fields := strings.Fields(banner)
+			if len(fields) < 4 {
+				t.Fatalf("unparseable banner: %q", banner)
+			}
+			addr := fields[3]
+
+			c, err := client.Dial(addr, client.Options{})
+			if err != nil {
+				t.Fatalf("dial %s: %v", addr, err)
+			}
+			defer c.Close()
+			const n = 50
+			for i := 0; i < n; i++ {
+				if err := c.Put([]byte(fmt.Sprintf("key-%d", i)), []byte("v")); err != nil {
+					t.Fatalf("Put: %v", err)
+				}
+			}
+			stats, err := c.Stats()
+			if err != nil || stats["live_keys"] != n {
+				t.Fatalf("stats = %v, %v", stats, err)
+			}
+
+			w.Trigger()
+			rest, err := io.ReadAll(br)
+			if err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case err := <-errc:
+				if err != nil {
+					t.Fatalf("serve: %v", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("serve did not return after drain trigger")
+			}
+			out := string(rest)
+			if !strings.Contains(out, "signal received, draining") {
+				t.Fatalf("drain message missing:\n%s", out)
+			}
+			want := fmt.Sprintf("clean shutdown, %d live keys checkpointed (reconstructed, not crash-recovered)", n)
+			if !strings.Contains(out, want) {
+				t.Fatalf("clean-shutdown summary missing (want %q):\n%s", want, out)
+			}
+		})
+	}
+}

@@ -321,17 +321,18 @@ func median3(f func() float64) float64 {
 
 // Registry maps experiment IDs to runners.
 var Registry = map[string]func(Config) []Result{
-	"table1":  Table1,
-	"fig4":    Fig4,
-	"fig5":    Fig5,
-	"fig6":    Fig6,
-	"fig7":    Fig7,
-	"fig8":    Fig8,
-	"fig9":    Fig9,
+	"table1":      Table1,
+	"fig4":        Fig4,
+	"fig5":        Fig5,
+	"fig6":        Fig6,
+	"fig7":        Fig7,
+	"fig8":        Fig8,
+	"fig9":        Fig9,
 	"fig10":       Fig10,
 	"kvscale":     KVScale,
 	"forestscale": ForestScale,
 	"faultmatrix": FaultMatrix,
+	"netbench":    NetBench,
 }
 
 // ExperimentIDs returns the registered experiment names, sorted.

@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rntree/client"
+	"rntree/internal/hist"
+	"rntree/internal/pmem"
+	"rntree/internal/server"
+	"rntree/kv"
+)
+
+// netPoint is one cell of the connections × pipeline-depth sweep.
+type netPoint struct {
+	conns, depth int
+	batch        bool
+}
+
+// netWarmup is the per-point settle time before the measurement window
+// opens (see the comment at the sleep site).
+const netWarmup = 400 * time.Millisecond
+
+// netMinWindow is the floor on each point's measurement window; see the
+// warmup/measure block in runNetPointP.
+const netMinWindow = 1500 * time.Millisecond
+
+// netSweep walks both axes under the greedy write batcher: pipelining on
+// one connection (1×1 → 1×16), connections at fixed depth (1×16 → 8×16),
+// and connections without pipelining (8×1) to separate the two effects.
+// The 8×16 corner is the acceptance point: ≥ 4x the 1×1 rate. Two
+// batcher-off contrast rows bracket the sweep so the group-commit
+// contribution is visible on its own.
+var netSweep = []netPoint{
+	{1, 1, true}, {1, 8, true}, {1, 16, true}, {2, 16, true},
+	{4, 16, true}, {8, 1, true}, {8, 16, true},
+	{1, 1, false}, {8, 16, false},
+}
+
+// NetBench measures the serving layer end to end over loopback TCP:
+// durable PUTs (each ack means the record is flushed and fenced in the
+// value log) swept over client connections × per-connection pipeline
+// depth. One run per point: fresh store, fresh server, `depth` worker
+// goroutines per connection sharing one pipelined client, a fixed
+// measurement window, per-op latency into a shared histogram.
+//
+// The 1×1 point is the classic request/response RPC: one op pays one
+// network round trip plus one persist fence, serially. Pipelining overlaps
+// the round trips on one connection; more connections overlap server-side
+// execution across partitions. Both axes multiply until the store's
+// persist bandwidth (or loopback itself) saturates — which is the paper's
+// §6 story, surfaced at the network layer: the B+tree is no longer the
+// bottleneck, the fabric in front of it is.
+//
+// The sweep runs with the cross-connection write batcher in greedy mode
+// (MaxDelay < 0): a batch takes whatever PUTs have queued behind the
+// previous batch's persist and goes, never waiting for company. A solo
+// unpipelined client therefore commits in batches of one — the identical
+// persist path an individual Put takes — while concurrent clients get
+// their fences amortized and their value-log records laid down in
+// contiguous runs. The batcher-off contrast rows quantify that effect.
+func NetBench(c Config) []Result {
+	c = c.normalized()
+	res := Result{
+		ID:    "netbench",
+		Title: "network serving throughput (kops/s durable PUTs, loopback) vs connections x pipeline depth",
+		Header: []string{
+			"conns", "depth", "batch", "kops", "mean_us", "p50_us", "p99_us", "vs-1x1",
+		},
+	}
+	base := -1.0
+	barRatio := ""
+	for _, pt := range netSweep {
+		kops, h, errs := runNetPoint(c, pt)
+		if base < 0 {
+			base = kops
+		}
+		onOff := "off"
+		if pt.batch {
+			onOff = "on"
+		}
+		ratio := f2(kops / base)
+		if pt.conns == 8 && pt.depth == 16 && pt.batch {
+			barRatio = ratio
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", pt.conns), fmt.Sprintf("%d", pt.depth), onOff,
+			f2(kops),
+			fmt.Sprintf("%d", h.Mean().Microseconds()),
+			fmt.Sprintf("%d", h.Percentile(50).Microseconds()),
+			fmt.Sprintf("%d", h.Percentile(99).Microseconds()),
+			ratio,
+		})
+		if errs > 0 {
+			res.Notes = append(res.Notes, fmt.Sprintf("harness error: %d failed PUTs at %dx%d", errs, pt.conns, pt.depth))
+		}
+	}
+	res.Notes = append(res.Notes,
+		"each PUT carries a 2 KiB value, durably persisted (value-log flush + fence) before its ack frame is sent",
+		fmt.Sprintf("latency profile: Optane DCPMM with per-DIMM drain (flush %v/line, fence %v, drain %v/line), %d partition arenas",
+			pmem.ProfileOptaneDIMM.FlushPerLine, pmem.ProfileOptaneDIMM.Fence, pmem.ProfileOptaneDIMM.DrainPerLine, netParts),
+		"one pipelined client per connection; depth = concurrent callers sharing it (client MaxInflight)",
+		"batch=on is the greedy group committer (no added delay: a batch takes only what queued behind the previous persist); a solo unpipelined client commits in batches of one",
+		"store geometry: one value-log head per partition (the group-commit design point); vs-1x1 is relative to the batched 1x1 row",
+		fmt.Sprintf("each point warms up for %v (fresh-arena page faults, tree growth, pipeline ramp) before its measurement window opens", netWarmup),
+	)
+	if barRatio != "" {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"8 conns x depth 16 reach %sx the 1-conn unpipelined rate (acceptance bar: >= 4x)", barRatio))
+	}
+	return []Result{res}
+}
+
+// runNetPoint measures one sweep cell and returns throughput (kops/s), the
+// latency histogram, and the number of failed ops.
+func runNetPoint(c Config, pt netPoint) (float64, *hist.Histogram, uint64) {
+	return runNetPointP(c, pt, netParts)
+}
+
+// netParts is the sweep's store geometry: one arena (one simulated DIMM)
+// per partition, eight partitions — a one-socket AppDirect box. The
+// partition count multiplies persist bandwidth (each arena has its own
+// drain engine) and is what the per-partition group committers shard
+// over. Eight is the measured sweet spot on this host: fewer partitions
+// starve the 8×16 corner of drain overlap, while more of them shrink
+// each gathered batch, and with it the fence amortization and the number
+// of acknowledgements the connection writers can coalesce per syscall.
+const netParts = 8
+
+// netValSize is the PUT value size: 2 KiB records make each op pay a
+// realistic media cost (~33 lines of flush+drain) so the sweep measures
+// persist-stall hiding rather than pure dispatch overhead.
+const netValSize = 2048
+
+func runNetPointP(c Config, pt netPoint, parts int) (float64, *hist.Histogram, uint64) {
+	st, err := kv.New(kv.Options{
+		// 256 MiB per partition bounds the touched image pages; the sweep
+		// writes well under that per point even at multi-second windows.
+		ArenaSize:  256 << 20,
+		ChunkSize:  1 << 20,
+		Partitions: parts,
+		// One value-log head per partition: with the group committer doing
+		// the writing, a batch's records land back-to-back in one chunk and
+		// persist as a single contiguous run — the design point the sharded
+		// log's Shards knob exists to trade away from when writers contend
+		// on the shard locks instead of batching.
+		Shards: 1,
+		// Optane DCPMM with the per-DIMM drain queue, like forestscale:
+		// persists cost wall-clock media occupancy, which is exactly the
+		// latency pipelining exists to hide.
+		FlushLatency: pmem.ProfileOptaneDIMM,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("netbench: store: %v", err))
+	}
+	srv := server.New(st, server.Config{
+		Batch: server.BatchConfig{Puts: pt.batch, MaxDelay: -1},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("netbench: listen: %v", err))
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	h := &hist.Histogram{}
+	var ops, errs atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	clients := make([]*client.Client, pt.conns)
+	for ci := range clients {
+		cl, err := client.Dial(addr, client.Options{MaxInflight: pt.depth})
+		if err != nil {
+			panic(fmt.Sprintf("netbench: dial: %v", err))
+		}
+		clients[ci] = cl
+	}
+	for ci, cl := range clients {
+		for wk := 0; wk < pt.depth; wk++ {
+			wg.Add(1)
+			go func(cl *client.Client, ci, wk int) {
+				defer wg.Done()
+				// 2 KiB values (a mainstream object-store/page size): each
+				// durable PUT occupies the DIMM drain engine for ~33 cache
+				// lines, so the unpipelined baseline is dominated by persist
+				// stalls — exactly the latency that pipelining and extra
+				// connections exist to hide.
+				val := make([]byte, netValSize)
+				for i := range val {
+					val[i] = byte('a' + i%26)
+				}
+				prefix := fmt.Sprintf("c%d-w%d-", ci, wk)
+				for i := uint64(0); ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					key := strconv.AppendUint([]byte(prefix), i, 10)
+					t0 := time.Now()
+					err := cl.Put(key, val)
+					h.Record(time.Since(t0))
+					if err != nil {
+						errs.Add(1)
+						return
+					}
+					ops.Add(1)
+				}
+			}(cl, ci, wk)
+		}
+	}
+
+	// Warm up before measuring: the first few hundred milliseconds touch
+	// fresh arena pages (page faults on both images), grow the trees, and
+	// ramp the worker pipeline — all one-time costs a steady-state server
+	// never sees. Reset the counters after, measure from there.
+	time.Sleep(netWarmup)
+	h.Reset()
+	ops.Store(0)
+	start := time.Now()
+	// Hold each point's window open for at least netMinWindow: GC cycles
+	// and kernel page management land unevenly on sub-second windows and
+	// swing the measured rate by tens of percent run to run.
+	window := c.Duration
+	if window < netMinWindow {
+		window = netMinWindow
+	}
+	time.Sleep(window)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for _, cl := range clients {
+		cl.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	srv.Shutdown(ctx)
+	cancel()
+	<-serveDone
+	st.Close()
+
+	return float64(ops.Load()) / elapsed.Seconds() / 1e3, h, errs.Load()
+}

@@ -1,0 +1,57 @@
+// Package drain is the shared graceful-shutdown trigger for the rnkv and
+// rnserved binaries. A Watcher turns an OS signal (or a programmatic
+// Trigger) into two complementary views of "we are shutting down":
+//
+//   - Done(), a channel for code that is parked in a select and can react
+//     the moment the signal lands, and
+//   - Triggered(), a cheap atomic flag for code that is busy in a loop —
+//     a long scan, a batch apply — and can only poll between steps.
+//
+// The split matters because a blocked worker never reaches the select: the
+// original rnkv shell only checked its signal channel between input lines,
+// so a signal during a large scan waited for the scan to finish. With a
+// Watcher the scan's per-row callback polls Triggered() and cuts the scan
+// short, then the prompt loop's select on Done() takes the clean
+// checkpoint path.
+package drain
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Watcher fans one shutdown trigger out to any number of observers.
+type Watcher struct {
+	done      chan struct{}
+	once      sync.Once
+	triggered atomic.Bool
+}
+
+// New returns a Watcher that trips when sig delivers a value. A nil sig is
+// allowed: the Watcher then only trips via Trigger.
+func New(sig <-chan os.Signal) *Watcher {
+	w := &Watcher{done: make(chan struct{})}
+	if sig != nil {
+		go func() {
+			<-sig
+			w.Trigger()
+		}()
+	}
+	return w
+}
+
+// Trigger trips the Watcher; safe to call many times from any goroutine.
+func (w *Watcher) Trigger() {
+	w.once.Do(func() {
+		w.triggered.Store(true)
+		close(w.done)
+	})
+}
+
+// Done returns a channel closed when the Watcher trips.
+func (w *Watcher) Done() <-chan struct{} { return w.done }
+
+// Triggered reports whether the Watcher has tripped. Single atomic load —
+// cheap enough for per-row polling inside a scan callback.
+func (w *Watcher) Triggered() bool { return w.triggered.Load() }

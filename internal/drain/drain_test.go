@@ -1,0 +1,57 @@
+package drain
+
+import (
+	"os"
+	"runtime"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestTriggerIdempotent(t *testing.T) {
+	w := New(nil)
+	if w.Triggered() {
+		t.Fatal("fresh watcher already triggered")
+	}
+	select {
+	case <-w.Done():
+		t.Fatal("fresh watcher Done closed")
+	default:
+	}
+	w.Trigger()
+	w.Trigger() // second call must not panic (double close)
+	if !w.Triggered() {
+		t.Fatal("Triggered false after Trigger")
+	}
+	select {
+	case <-w.Done():
+	default:
+		t.Fatal("Done not closed after Trigger")
+	}
+}
+
+func TestSignalTrips(t *testing.T) {
+	sig := make(chan os.Signal, 1)
+	w := New(sig)
+	sig <- syscall.SIGTERM
+	deadline := time.Now().Add(5 * time.Second)
+	for !w.Triggered() {
+		if time.Now().After(deadline) {
+			t.Fatal("signal never tripped the watcher")
+		}
+		runtime.Gosched()
+	}
+	<-w.Done()
+}
+
+func TestNilSignalOnlyManual(t *testing.T) {
+	w := New(nil)
+	time.Sleep(time.Millisecond)
+	if w.Triggered() {
+		t.Fatal("nil-signal watcher tripped on its own")
+	}
+	w.Trigger()
+	if !w.Triggered() {
+		t.Fatal("manual trigger failed")
+	}
+}

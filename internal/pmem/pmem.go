@@ -32,6 +32,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 )
 
 const (
@@ -423,6 +424,100 @@ func (a *Arena) Persist(off, size uint64) {
 	}
 }
 
+// WriteStream stores len(src) bytes (a multiple of 8) at the aligned
+// offset, writing through to the nvm image in the same pass — the
+// simulator's non-temporal streaming store (MOVNT/ntstore): the data
+// bypasses the cache hierarchy and is already at the media when the
+// following PersistStream fences, so bulk writes cost one pass over the
+// bytes instead of WriteRange's store pass plus Persist's flush-copy pass.
+// The cache image gets the same words (loads must observe the store, as on
+// real hardware).
+//
+// Callers must own the written words exclusively until their fence: a
+// streamed range reaches the nvm image with no ordering guarantee (exactly
+// like an eagerly-evicted line), which is safe only for bytes that nothing
+// reads until a later, properly fenced pointer/tail publishes them — the
+// value log's append path. Streamed lines are not marked dirty: cache and
+// nvm already agree.
+func (a *Arena) WriteStream(off uint64, src []byte) {
+	if len(src)%WordSize != 0 {
+		panic("pmem: WriteStream size must be word-aligned")
+	}
+	if len(src) == 0 {
+		return
+	}
+	base := a.wordIndex(off)
+	n := uint64(len(src) / WordSize)
+	if nativeLittleEndian {
+		// The streamed range is exclusively owned until the caller's
+		// fenced publish, so no concurrent reader can legally observe
+		// these words mid-write — a bulk memmove is equivalent to the
+		// per-word atomic stores and several times cheaper (this copy is
+		// the hot loop of every value-log append). The byte view matches
+		// getWord's little-endian word convention on LE hosts.
+		_ = a.nvm[base+n-1] // bounds check before taking unsafe views
+		cdst := unsafe.Slice((*byte)(unsafe.Pointer(&a.cache[base])), len(src))
+		ndst := unsafe.Slice((*byte)(unsafe.Pointer(&a.nvm[base])), len(src))
+		copy(cdst, src)
+		copy(ndst, src)
+	} else {
+		for w := uint64(0); w < n; w++ {
+			v := getWord(src[w*WordSize:])
+			atomic.StoreUint64(&a.cache[base+w], v)
+			atomic.StoreUint64(&a.nvm[base+w], v)
+		}
+	}
+	a.stats.wordsWritten.Add(n)
+}
+
+// nativeLittleEndian reports whether the host stores the low-order byte of
+// a word first, i.e. whether a byte view of a word array matches getWord's
+// little-endian convention.
+var nativeLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// Write8Stream is WriteStream for one word.
+func (a *Arena) Write8Stream(off uint64, v uint64) {
+	i := a.wordIndex(off)
+	atomic.StoreUint64(&a.cache[i], v)
+	atomic.StoreUint64(&a.nvm[i], v)
+	a.stats.wordsWritten.Add(1)
+}
+
+// PersistStream is Persist for a range laid down entirely with
+// WriteStream/Write8Stream: the words are already at the media, so no
+// flush copy happens, but the cost model is charged identically — a
+// streaming store spends the same media bandwidth (drain-engine occupancy
+// per line) and its fence still waits for the write queue to drain.
+func (a *Arena) PersistStream(off, size uint64) {
+	if h := a.hooks.Load(); h != nil && h.BeforePersist != nil {
+		h.BeforePersist(off, size)
+	}
+	if size == 0 {
+		size = 1
+	}
+	first := off / LineSize
+	last := (off + size - 1) / LineSize
+	lines := last - first + 1
+	if last*WordsPerLine >= uint64(len(a.cache)) {
+		panic(fmt.Sprintf("pmem: persist beyond arena (line %d)", last))
+	}
+	a.stats.persists.Add(1)
+	a.stats.linesFlushed.Add(lines)
+	a.stats.fences.Add(1)
+	if a.drain != nil {
+		a.drain <- struct{}{}
+		spin(time.Duration(lines) * a.lat.DrainPerLine)
+		<-a.drain
+	}
+	spin(time.Duration(lines)*a.lat.FlushPerLine + a.lat.Fence)
+	if h := a.hooks.Load(); h != nil && h.AfterPersist != nil {
+		h.AfterPersist(off, size)
+	}
+}
+
 // Fence executes a standalone ordering fence (no flush).
 func (a *Arena) Fence() {
 	if h := a.hooks.Load(); h != nil && h.OnFence != nil {
@@ -626,6 +721,13 @@ func getWord(b []byte) uint64 {
 // them. Critically, a stall taken while holding a lock still blocks every
 // waiter for the full duration, which is exactly the contention effect the
 // paper measures (§3.4).
+//
+// The wait is a pure yield loop, never time.Sleep: a parked timer wakes at
+// the scheduler's mercy — behind a long run queue or a GC assist the wake
+// can land milliseconds late, which showed up as bimodal throughput when
+// persist stalls slept. Yielding keeps the stall's end within one
+// scheduler round of the target at a measured-in-the-noise CPU cost, since
+// each pass through the loop gives the processor away.
 func spin(d time.Duration) {
 	if d <= 0 {
 		return

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rntree/internal/wire"
+	"rntree/kv"
+)
+
+// BatchConfig tunes the opt-in cross-connection write batcher. When
+// enabled, PUTs from every connection are routed by key to a per-partition
+// committer (one bounded queue and one goroutine per store partition) and
+// applied with kv.Store.PutBatch, which persists each batch's records with
+// one fence per contiguous run — the persist-fence amortization that
+// individual Puts cannot get. Each PUT is acknowledged only after its
+// batch returns, so the durability contract is unchanged; what batching
+// trades is a little added latency (at most MaxDelay) for fence cost
+// spread over MaxBatch writers.
+//
+// Sharding the committer by partition does two things. It preserves
+// per-key ordering — a key always hashes to the same partition, so two
+// pipelined PUTs to one key pass through the same queue and commit in
+// arrival order — and it lets one partition's persist stall overlap every
+// other partition's CPU work (encoding acks, reading the next requests),
+// instead of a single committer alternating between draining the NVM
+// write queue and doing CPU work while the drain engines sit idle.
+type BatchConfig struct {
+	// Puts enables the batcher.
+	Puts bool
+	// MaxBatch is the most PUTs coalesced into one PutBatch (default 64).
+	MaxBatch int
+	// MaxDelay bounds how long the first PUT of a batch waits for company
+	// (default 200µs; subject to the host's timer granularity, which can
+	// be a millisecond or more). A NEGATIVE MaxDelay selects greedy group
+	// commit: a batch takes whatever is already queued and goes — a solo
+	// writer is never delayed waiting for company, while under load the
+	// queue that builds behind the previous batch's persist becomes the
+	// next batch. This is the recommended mode for throughput serving.
+	MaxDelay time.Duration
+	// QueueCap bounds each partition committer's intake queue (default
+	// 4×MaxBatch); when full, PUTs are rejected with StatusOverloaded
+	// rather than buffered.
+	QueueCap int
+}
+
+func (c *BatchConfig) normalize() {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 200 * time.Microsecond
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 4 * c.MaxBatch
+	}
+}
+
+// batchedPut is one enqueued PUT with its completion route. raw is the
+// frame payload req's key/value slices alias; apply returns it to
+// payloadPool once PutBatch has copied the value out.
+type batchedPut struct {
+	cn  *conn
+	req wire.Request
+	raw []byte
+}
+
+// batcher drains the PUT queues into PutBatch calls, one committer
+// goroutine per store partition.
+type batcher struct {
+	st    *kv.Store
+	cfg   BatchConfig
+	qs    []chan batchedPut // one intake queue per partition
+	stopc chan struct{}
+	wg    sync.WaitGroup
+
+	batches atomic.Uint64
+	puts    atomic.Uint64
+}
+
+func newBatcher(st *kv.Store, cfg BatchConfig) *batcher {
+	qs := make([]chan batchedPut, st.Partitions())
+	for i := range qs {
+		qs[i] = make(chan batchedPut, cfg.QueueCap)
+	}
+	return &batcher{
+		st:    st,
+		cfg:   cfg,
+		qs:    qs,
+		stopc: make(chan struct{}),
+	}
+}
+
+func (b *batcher) start() {
+	for _, q := range b.qs {
+		b.wg.Add(1)
+		go b.run(q)
+	}
+}
+
+// stop shuts the batcher down. Callers must guarantee no further enqueues
+// (the server stops all connections first); anything still queued is
+// flushed before stop returns.
+func (b *batcher) stop() {
+	close(b.stopc)
+	b.wg.Wait()
+}
+
+// enqueue queues one PUT on its key's partition committer, or reports
+// false when that queue is full (backpressure: the caller rejects with
+// StatusOverloaded).
+func (b *batcher) enqueue(cn *conn, req wire.Request, raw []byte) bool {
+	select {
+	case b.qs[b.st.PartitionOf(req.Key)] <- batchedPut{cn: cn, req: req, raw: raw}:
+		return true
+	default:
+		return false
+	}
+}
+
+// run is one partition's committer: wait for one PUT, then gather more
+// until MaxBatch or MaxDelay, apply them in one PutBatch, and complete
+// each request. While this committer sits in its batch's persist stall,
+// the other partitions' committers (and the readers and responders) own
+// the CPU — the drain engines of all partitions stay busy concurrently.
+func (b *batcher) run(q chan batchedPut) {
+	defer b.wg.Done()
+	for {
+		var first batchedPut
+		select {
+		case first = <-q:
+		case <-b.stopc:
+			// Flush whatever raced in before the last connection left.
+			for {
+				select {
+				case p := <-q:
+					b.apply([]batchedPut{p})
+				default:
+					return
+				}
+			}
+		}
+		batch := append(make([]batchedPut, 0, b.cfg.MaxBatch), first)
+		if b.cfg.MaxDelay < 0 {
+			// Greedy group commit: drain what has already queued, never wait.
+		greedy:
+			for len(batch) < b.cfg.MaxBatch {
+				select {
+				case p := <-q:
+					batch = append(batch, p)
+				default:
+					break greedy
+				}
+			}
+		} else {
+			timer := time.NewTimer(b.cfg.MaxDelay)
+		gather:
+			for len(batch) < b.cfg.MaxBatch {
+				select {
+				case p := <-q:
+					batch = append(batch, p)
+				case <-timer.C:
+					break gather
+				case <-b.stopc:
+					break gather
+				}
+			}
+			timer.Stop()
+		}
+		b.apply(batch)
+	}
+}
+
+// apply runs one PutBatch and acknowledges every entry. Acks are grouped
+// by connection and delivered with one respondBatch per connection, so a
+// batch's worth of acknowledgements to the same client leaves in one
+// buffered write instead of one flush per response.
+func (b *batcher) apply(batch []batchedPut) {
+	keys := make([][]byte, len(batch))
+	vals := make([][]byte, len(batch))
+	for i, p := range batch {
+		keys[i] = p.req.Key
+		vals[i] = p.req.Val
+	}
+	errs := b.st.PutBatch(keys, vals)
+	// PutBatch copied every key and value into the store, so the frame
+	// payloads the request slices alias are dead — recycle them before the
+	// acks go out (the responses carry only IDs and statuses).
+	for i := range batch {
+		keys[i], vals[i] = nil, nil
+		if batch[i].raw != nil {
+			payloadPool.Put(batch[i].raw[:0]) //nolint:staticcheck // []byte pooling is deliberate
+			batch[i].raw = nil
+		}
+	}
+	b.batches.Add(1)
+	b.puts.Add(uint64(len(batch)))
+	var (
+		order  []*conn
+		byConn map[*conn][]wire.Response
+	)
+	for i, p := range batch {
+		resp := wire.Response{ID: p.req.ID, Op: wire.OpPut, Status: wire.StatusOK}
+		if errs != nil && errs[i] != nil {
+			if errs[i] == kv.ErrClosed {
+				resp.Status = wire.StatusClosing
+			} else {
+				resp.Status, resp.Msg = wire.StatusErr, errs[i].Error()
+			}
+		}
+		if byConn == nil {
+			byConn = map[*conn][]wire.Response{}
+		}
+		if _, seen := byConn[p.cn]; !seen {
+			order = append(order, p.cn)
+		}
+		byConn[p.cn] = append(byConn[p.cn], resp)
+	}
+	for _, cn := range order {
+		cn.respondBatch(byConn[cn])
+	}
+}

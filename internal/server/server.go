@@ -1,0 +1,692 @@
+// Package server is the network serving layer over kv.Store: a TCP server
+// speaking the internal/wire length-prefixed binary protocol
+// (GET/PUT/DEL/SCAN/STATS/PING) with per-connection request pipelining.
+//
+// Concurrency model. Each connection runs a reader goroutine that decodes
+// frames and dispatches every request to a pool of handler workers,
+// bounded by a per-connection inflight semaphore — requests on one
+// connection complete out of order, exactly what a pipelining client
+// wants, and responses carry the request ID so the client can match them.
+// Responders hand their frames to a per-connection writer goroutine that
+// coalesces everything queued behind the in-flight write, so a pipeline of
+// responses shares one syscall. The paper's core claim is that slow NVM persists
+// should never block unrelated work; the serving layer extends that to the
+// socket: while one request sits in a persist stall, the other inflight
+// requests of the same connection (and every other connection) keep
+// moving.
+//
+// Backpressure is explicit and bounded everywhere: the per-connection
+// semaphore stalls the reader (TCP pushes back on the client), a global
+// inflight limit rejects excess requests with StatusOverloaded rather than
+// queueing them, the write batcher's queue is bounded the same way, and
+// connections beyond MaxConns are refused at accept. Idle connections are
+// reaped by read deadlines.
+//
+// Graceful drain (SIGINT/SIGTERM in rnserved): stop accepting, stop
+// reading new frames, finish every request already read — a response on
+// the wire always reflects a durable mutation — flush writers, then the
+// caller checkpoints the store (kv.Store.Checkpoint), so recovery after a
+// drain takes the clean reconstruction path and loses nothing that was
+// acknowledged.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rntree/internal/wire"
+	"rntree/kv"
+)
+
+// Config tunes a Server. Zero values take the documented defaults.
+type Config struct {
+	// MaxConns caps concurrent connections (default 256); accepts beyond
+	// it are closed immediately.
+	MaxConns int
+	// MaxInflight caps pipelined requests in progress per connection
+	// (default 64). A client pipelining deeper stalls in TCP, not in
+	// server memory.
+	MaxInflight int
+	// MaxGlobalInflight caps requests in progress across all connections
+	// (default 1024). Beyond it requests are rejected with
+	// StatusOverloaded instead of queueing.
+	MaxGlobalInflight int
+	// IdleTimeout reaps connections with no inflight requests and no
+	// traffic (default 2m).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one response write (default 10s).
+	WriteTimeout time.Duration
+	// Batch configures the opt-in cross-connection write batcher.
+	Batch BatchConfig
+}
+
+func (c *Config) normalize() {
+	if c.MaxConns == 0 {
+		c.MaxConns = 256
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 64
+	}
+	if c.MaxGlobalInflight == 0 {
+		c.MaxGlobalInflight = 1024
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	c.Batch.normalize()
+}
+
+// Server serves a kv.Store over TCP.
+type Server struct {
+	cfg     Config
+	st      *kv.Store
+	batcher *batcher
+	// globalInflight counts requests in progress across all connections.
+	// It is a try-acquire-only semaphore (nothing ever blocks on it — over
+	// the limit is an immediate StatusOverloaded), so a plain atomic beats
+	// a channel: two uncontended channel operations per request are
+	// measurable at pipelined rates.
+	globalInflight atomic.Int64
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+	served   sync.WaitGroup // accept loop + one per live connection
+
+	accepted  atomic.Uint64
+	refused   atomic.Uint64
+	reaped    atomic.Uint64
+	active    atomic.Int64
+	requests  atomic.Uint64
+	overloads atomic.Uint64
+}
+
+// New builds a Server over st.
+func New(st *kv.Store, cfg Config) *Server {
+	cfg.normalize()
+	s := &Server{
+		cfg:   cfg,
+		st:    st,
+		conns: map[*conn]struct{}{},
+	}
+	if cfg.Batch.Puts {
+		s.batcher = newBatcher(st, cfg.Batch)
+	}
+	return s
+}
+
+// Serve accepts connections on ln until Shutdown (returns nil) or a fatal
+// listener error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.served.Add(1)
+	s.mu.Unlock()
+	defer s.served.Done()
+	if s.batcher != nil {
+		s.batcher.start()
+	}
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		if !s.register(c) {
+			s.refused.Add(1)
+			c.Close()
+			continue
+		}
+	}
+}
+
+// Addr returns the listening address (for tests using ":0").
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// register admits c unless the server is draining or full.
+func (s *Server) register(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || len(s.conns) >= s.cfg.MaxConns {
+		return false
+	}
+	cn := newConn(s, c)
+	s.conns[cn] = struct{}{}
+	s.accepted.Add(1)
+	s.active.Add(1)
+	s.served.Add(1)
+	go cn.run()
+	return true
+}
+
+// unregister removes a finished connection.
+func (s *Server) unregister(cn *conn) {
+	s.mu.Lock()
+	delete(s.conns, cn)
+	s.mu.Unlock()
+	s.active.Add(-1)
+	s.served.Done()
+}
+
+// Shutdown gracefully drains the server: stop accepting, stop reading new
+// frames, finish and acknowledge every request already read, flush and
+// close every connection, stop the batcher. If ctx expires first the
+// remaining connections are torn down hard and ctx.Err is returned. The
+// store itself is left open — the caller owns the checkpoint.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	s.draining = true
+	ln := s.ln
+	for cn := range s.conns {
+		cn.beginDrain()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.served.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for cn := range s.conns {
+			cn.abort()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	if s.batcher != nil {
+		// All connections are gone, so the queue is empty and stays so.
+		s.batcher.stop()
+	}
+	return err
+}
+
+// counters snapshots the named server+store counters for STATS.
+func (s *Server) counters() []wire.Counter {
+	st := s.st.Stats()
+	out := []wire.Counter{
+		{Name: "live_keys", Val: uint64(st.LiveKeys)},
+		{Name: "dead_records", Val: uint64(st.DeadRecords)},
+		{Name: "partitions", Val: uint64(st.Partitions)},
+		{Name: "shards", Val: uint64(st.Shards)},
+		{Name: "persists", Val: st.Persists},
+		{Name: "tree_leaves", Val: uint64(st.TreeLeaves)},
+		{Name: "conns_active", Val: uint64(s.active.Load())},
+		{Name: "conns_accepted", Val: s.accepted.Load()},
+		{Name: "conns_refused", Val: s.refused.Load()},
+		{Name: "conns_reaped", Val: s.reaped.Load()},
+		{Name: "requests", Val: s.requests.Load()},
+		{Name: "overloads", Val: s.overloads.Load()},
+	}
+	if s.batcher != nil {
+		out = append(out,
+			wire.Counter{Name: "batches", Val: s.batcher.batches.Load()},
+			wire.Counter{Name: "batched_puts", Val: s.batcher.puts.Load()},
+		)
+	}
+	return out
+}
+
+// conn is one client connection.
+type conn struct {
+	s   *Server
+	c   net.Conn
+	sem chan struct{} // per-connection inflight tokens
+
+	deadF  atomic.Bool // fatal write error or abort: drop further writes
+	drainF atomic.Bool // stop reading new frames
+
+	// reqs feeds a lazily-grown pool of handler workers; pooling reuses
+	// goroutines across requests instead of paying a spawn per request.
+	reqs    chan wire.Request
+	workers atomic.Int32
+
+	// Responders append encoded frames to wBuf and nudge the connection's
+	// writer goroutine, which swaps the buffer out and writes it with one
+	// syscall. At pipelined rates the syscall is the expensive part of a
+	// response, and acks arriving from several batch committers while one
+	// write is in flight coalesce into the next — so the syscall count
+	// scales with write bursts, not with responses. See client.Client for
+	// the matching request-side scheme. wArmed (writer-only) throttles
+	// SetWriteDeadline to once per WriteTimeout/4: a timer-heap update per
+	// write is measurable and WriteTimeout needs no precision.
+	wMu    sync.Mutex
+	wBuf   []byte
+	wSig   chan struct{} // cap 1: "wBuf is non-empty"
+	wStop  chan struct{} // closed by run after the last responder finishes
+	wDone  chan struct{} // closed by writeLoop after its final drain
+	wArmed time.Time
+
+	inflight sync.WaitGroup // dispatched requests not yet responded
+}
+
+func newConn(s *Server, c net.Conn) *conn {
+	return &conn{
+		s:     s,
+		c:     c,
+		sem:   make(chan struct{}, s.cfg.MaxInflight),
+		reqs:  make(chan wire.Request, s.cfg.MaxInflight),
+		wSig:  make(chan struct{}, 1),
+		wStop: make(chan struct{}),
+		wDone: make(chan struct{}),
+	}
+}
+
+// beginDrain makes the reader stop at the next frame boundary: the flag
+// flips first, then the read deadline is yanked so a reader blocked in
+// ReadFrame wakes immediately.
+func (cn *conn) beginDrain() {
+	cn.drainF.Store(true)
+	cn.c.SetReadDeadline(time.Now())
+}
+
+// abort tears the connection down without waiting (Shutdown past its
+// deadline).
+func (cn *conn) abort() {
+	cn.deadF.Store(true)
+	cn.c.Close()
+}
+
+// send queues one response frame for the connection's writer goroutine.
+// On a dead connection (write error or abort) frames are dropped; the
+// client sees the closed socket.
+func (cn *conn) send(frame []byte) {
+	if cn.deadF.Load() {
+		return
+	}
+	cn.wMu.Lock()
+	cn.wBuf = append(cn.wBuf, frame...)
+	cn.wMu.Unlock()
+	select {
+	case cn.wSig <- struct{}{}:
+	default:
+	}
+}
+
+// writeLoop is the connection's writer: each wakeup swaps the accumulated
+// frame buffer out under the lock and writes it with one syscall, so every
+// response queued while the previous write was in flight rides the next
+// one. After wStop it drains whatever the (already finished) responders
+// left and exits; run waits on wDone before closing the socket, which is
+// what makes a sent response mean a durable, flushed-to-socket ack even
+// through a graceful drain.
+// writerIdleYields is how many scheduler yields the writer goroutine makes
+// with an empty buffer before parking on its signal channel. See writeLoop.
+const writerIdleYields = 4
+
+func (cn *conn) writeLoop() {
+	defer close(cn.wDone)
+	var spare []byte
+	for {
+		stopping := false
+		select {
+		case <-cn.wSig:
+			// One yield before swapping: a channel wakeup schedules this
+			// writer ahead of the rest of the just-woken burst (the
+			// runnext slot), which would mean one tiny write per response.
+			// Yielding lets the other responders of the burst append their
+			// frames first, so the swap takes the whole burst in one write.
+			runtime.Gosched()
+		case <-cn.wStop:
+			stopping = true
+		}
+		idle := 0
+		for {
+			cn.wMu.Lock()
+			buf := cn.wBuf
+			cn.wBuf = spare[:0]
+			cn.wMu.Unlock()
+			if len(buf) == 0 {
+				// Before parking, yield a few beats with the buffer empty:
+				// at saturation the responders refill it within a
+				// scheduler pass or two, and picking the frames up here
+				// coalesces several responses per write syscall. When the
+				// connection is idle the yields return immediately and the
+				// writer parks on wSig as before.
+				spare = buf
+				if stopping || idle >= writerIdleYields {
+					break
+				}
+				idle++
+				runtime.Gosched()
+				continue
+			}
+			idle = 0
+			if now := time.Now(); now.Sub(cn.wArmed) > cn.s.cfg.WriteTimeout/4 {
+				cn.c.SetWriteDeadline(now.Add(cn.s.cfg.WriteTimeout))
+				cn.wArmed = now
+			}
+			_, err := cn.c.Write(buf)
+			spare = buf[:0]
+			if err != nil {
+				cn.deadF.Store(true)
+				return
+			}
+		}
+		if stopping {
+			return
+		}
+	}
+}
+
+// respond encodes and sends a response, then releases the request's
+// tokens. It is the single completion point for every dispatched request.
+func (cn *conn) respond(r wire.Response) {
+	fbuf, _ := framePool.Get().([]byte)
+	frame, err := wire.AppendResponse(fbuf[:0], r)
+	if err != nil {
+		// Response construction bugs must not wedge the pipeline; drop
+		// to an encodable error instead.
+		frame, _ = wire.AppendResponse(frame[:0], wire.Response{
+			ID: r.ID, Status: wire.StatusErr, Op: r.Op, Msg: "server: unencodable response",
+		})
+	}
+	cn.send(frame)
+	framePool.Put(frame[:0]) //nolint:staticcheck // []byte pooling is deliberate
+	cn.s.globalInflight.Add(-1)
+	<-cn.sem
+	cn.inflight.Done()
+}
+
+// respondBatch encodes several responses back-to-back and sends them as
+// one write burst, then releases every request's tokens. The batcher uses
+// it to acknowledge one connection's slice of a batch with a single
+// buffered write (usually one syscall) instead of a flush per response.
+func (cn *conn) respondBatch(rs []wire.Response) {
+	fbuf, _ := framePool.Get().([]byte)
+	frame := fbuf[:0]
+	for _, r := range rs {
+		next, err := wire.AppendResponse(frame, r)
+		if err != nil {
+			next, _ = wire.AppendResponse(frame, wire.Response{
+				ID: r.ID, Status: wire.StatusErr, Op: r.Op, Msg: "server: unencodable response",
+			})
+		}
+		frame = next
+	}
+	cn.send(frame)
+	framePool.Put(frame[:0]) //nolint:staticcheck // []byte pooling is deliberate
+	cn.s.globalInflight.Add(-int64(len(rs)))
+	for range rs {
+		<-cn.sem
+		cn.inflight.Done()
+	}
+}
+
+// framePool recycles response-frame buffers: send copies the frame into
+// the connection's write buffer before returning, so the buffer is dead by
+// the time send comes back.
+var framePool sync.Pool
+
+// payloadPool recycles request-payload buffers on the batched-PUT path. A
+// decoded request's key/value slices alias its frame payload, so the
+// buffer lives exactly as long as the request does; the batcher returns it
+// once PutBatch has copied the value into the log. At a couple of KiB per
+// durable PUT this is the server's dominant allocation, and recycling it
+// keeps the GC out of the steady-state serving loop. Requests that take
+// the non-batched path just let the GC have the buffer.
+var payloadPool sync.Pool
+
+// run owns the connection lifecycle: pump the reader, drain inflight
+// handlers, let the writer flush their final acks, then close.
+func (cn *conn) run() {
+	defer cn.s.unregister(cn)
+	go cn.writeLoop()
+	cn.readLoop()
+
+	// No new requests past this point. Wait for dispatched handlers to
+	// respond, then stop the writer — it drains every queued frame before
+	// wDone — retire the worker pool and close the socket.
+	cn.inflight.Wait()
+	close(cn.reqs)
+	close(cn.wStop)
+	<-cn.wDone
+	cn.c.Close()
+}
+
+// readLoop decodes frames and dispatches requests until error, idle
+// timeout or drain.
+func (cn *conn) readLoop() {
+	br := bufio.NewReaderSize(cn.c, 64<<10)
+	var armed time.Time
+	for {
+		if cn.drainF.Load() {
+			return
+		}
+		// Re-arm the idle deadline at most every IdleTimeout/4: a
+		// timer-heap update per frame is measurable at pipelined rates and
+		// reaping needs no precision. The drainF re-check AFTER the Set
+		// closes the drain race: if beginDrain's deadline poke landed
+		// between the loop-top check and our Set, our Set overwrote it —
+		// but then the flag store (which precedes the poke) is visible
+		// here, so we return instead of blocking. If the poke lands after
+		// this re-check, it overwrites our deadline and wakes the read.
+		if now := time.Now(); now.Sub(armed) > cn.s.cfg.IdleTimeout/4 {
+			cn.c.SetReadDeadline(now.Add(cn.s.cfg.IdleTimeout))
+			armed = now
+			if cn.drainF.Load() {
+				return
+			}
+		}
+		// Each frame gets its own payload buffer (pooled when a previous
+		// batched PUT has retired one) so the decoded request's key/value
+		// slices can alias it for the request's whole lifetime — the
+		// dispatch paths are asynchronous, and handing the payload over
+		// outright is one 2-KiB memmove cheaper per PUT than reusing the
+		// buffer and cloning the slices out of it.
+		pbuf, _ := payloadPool.Get().([]byte)
+		payload, err := wire.ReadFrame(br, pbuf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() && !cn.drainF.Load() {
+				cn.s.reaped.Add(1)
+			}
+			// Framing/protocol garbage, timeout, EOF: the stream is not
+			// trustworthy beyond this point; stop reading. Inflight
+			// requests still complete and flush.
+			return
+		}
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			// Malformed request: the frame boundary was still sound, so
+			// report and keep the connection. dispatchReject copies what it
+			// needs, so the payload can go straight back to the pool.
+			cn.dispatchReject(wire.Request{ID: reqIDBestEffort(payload), Op: wire.OpPing}, wire.StatusErr, err.Error())
+			payloadPool.Put(payload[:0]) //nolint:staticcheck // []byte pooling is deliberate
+			continue
+		}
+		cn.dispatch(req, payload)
+	}
+}
+
+// reqIDBestEffort pulls the request ID out of a payload long enough to
+// carry one, so even malformed-request errors can be matched by a client.
+func reqIDBestEffort(p []byte) uint64 {
+	if len(p) < 8 {
+		return 0
+	}
+	var id uint64
+	for _, b := range p[:8] {
+		id = id<<8 | uint64(b)
+	}
+	return id
+}
+
+func cloneBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// dispatch routes one request: acquire the per-connection token (blocking:
+// this is the pipelining depth limit), try the global token (rejecting:
+// this is overload protection), then hand off to a handler goroutine or
+// the batcher. payload is the frame buffer req's slices alias; the batcher
+// recycles it after commit, every other route leaves it to the GC.
+func (cn *conn) dispatch(req wire.Request, payload []byte) {
+	cn.s.requests.Add(1)
+	cn.sem <- struct{}{}
+	cn.inflight.Add(1)
+	if cn.s.globalInflight.Add(1) > int64(cn.s.cfg.MaxGlobalInflight) {
+		cn.s.globalInflight.Add(-1)
+		cn.s.overloads.Add(1)
+		// Re-acquire nothing: respond releases both tokens, so take the
+		// global slot's place with a direct completion.
+		go func() {
+			frame, _ := wire.AppendResponse(nil, wire.Response{ID: req.ID, Status: wire.StatusOverloaded, Op: req.Op})
+			cn.send(frame)
+			<-cn.sem
+			cn.inflight.Done()
+		}()
+		return
+	}
+	if req.Op == wire.OpPut && cn.s.batcher != nil {
+		if !cn.s.batcher.enqueue(cn, req, payload) {
+			cn.s.overloads.Add(1)
+			go cn.respond(wire.Response{ID: req.ID, Status: wire.StatusOverloaded, Op: req.Op})
+		}
+		return
+	}
+	// The reqs queue has one slot per sem token, so this send never blocks.
+	cn.reqs <- req
+	// Grow the worker pool while requests are waiting: every queued request
+	// deserves its own worker (that is the pipelining), but an idle pool
+	// serves a shallow pipeline without spawning.
+	if w := cn.workers.Load(); len(cn.reqs) > 0 && int(w) < cap(cn.sem) {
+		if cn.workers.CompareAndSwap(w, w+1) {
+			go cn.workerLoop()
+		}
+	}
+}
+
+// workerLoop handles requests until the conn's reader closes the feed.
+func (cn *conn) workerLoop() {
+	for req := range cn.reqs {
+		cn.handle(req)
+	}
+}
+
+// dispatchReject completes a request that never acquired tokens.
+func (cn *conn) dispatchReject(req wire.Request, status uint8, msg string) {
+	frame, _ := wire.AppendResponse(nil, wire.Response{ID: req.ID, Status: status, Op: req.Op, Msg: msg})
+	cn.send(frame)
+}
+
+// handle executes one request against the store and responds.
+func (cn *conn) handle(req wire.Request) {
+	resp := wire.Response{ID: req.ID, Op: req.Op}
+	switch req.Op {
+	case wire.OpPing:
+		resp.Status = wire.StatusOK
+	case wire.OpGet:
+		val, err := cn.s.st.Get(req.Key)
+		switch err {
+		case nil:
+			resp.Status = wire.StatusOK
+			resp.Val = val
+		case kv.ErrNotFound:
+			resp.Status = wire.StatusNotFound
+		default:
+			resp.Status, resp.Msg = wire.StatusErr, err.Error()
+		}
+	case wire.OpPut:
+		switch err := cn.s.st.Put(req.Key, req.Val); err {
+		case nil:
+			resp.Status = wire.StatusOK
+		case kv.ErrClosed:
+			resp.Status = wire.StatusClosing
+		default:
+			resp.Status, resp.Msg = wire.StatusErr, err.Error()
+		}
+	case wire.OpDel:
+		switch err := cn.s.st.Delete(req.Key); err {
+		case nil:
+			resp.Status = wire.StatusOK
+		case kv.ErrNotFound:
+			resp.Status = wire.StatusNotFound
+		case kv.ErrClosed:
+			resp.Status = wire.StatusClosing
+		default:
+			resp.Status, resp.Msg = wire.StatusErr, err.Error()
+		}
+	case wire.OpScan:
+		resp.Status = wire.StatusOK
+		resp.Pairs = cn.scan(req)
+	case wire.OpStats:
+		resp.Status = wire.StatusOK
+		resp.Counters = cn.s.counters()
+	default:
+		resp.Status, resp.Msg = wire.StatusErr, fmt.Sprintf("unhandled op %s", wire.OpName(req.Op))
+	}
+	cn.respond(resp)
+}
+
+// scan collects up to ScanMax live pairs with the given key prefix. The
+// store's iteration order is hash order — unordered with respect to keys,
+// like a Redis SCAN.
+func (cn *conn) scan(req wire.Request) []wire.KV {
+	max := int(req.ScanMax)
+	if max <= 0 || max > 10_000 {
+		max = 10_000
+	}
+	var out []wire.KV
+	cn.s.st.Range(func(k, v []byte) bool {
+		if len(req.ScanPrefix) > 0 && !hasPrefix(k, req.ScanPrefix) {
+			return true
+		}
+		out = append(out, wire.KV{Key: cloneBytes(k), Val: cloneBytes(v)})
+		return len(out) < max
+	})
+	return out
+}
+
+func hasPrefix(b, prefix []byte) bool {
+	if len(b) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if b[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}

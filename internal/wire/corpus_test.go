@@ -1,0 +1,47 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// corpusEntry renders data in the Go fuzzing corpus-file encoding.
+func corpusEntry(data []byte) string {
+	return fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+}
+
+// TestSeedCorpusCommitted keeps testdata/fuzz in sync with the in-code
+// seeds: it writes any missing corpus file and fails if a committed file
+// drifted from its generator, so `go test -fuzz` on a fresh checkout always
+// starts from the full seed set.
+func TestSeedCorpusCommitted(t *testing.T) {
+	targets := map[string][][]byte{
+		"FuzzDecodeRequest":  seedRequestPayloads(),
+		"FuzzDecodeResponse": seedResponsePayloads(),
+	}
+	for target, seeds := range targets {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, data := range seeds {
+			path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			want := corpusEntry(data)
+			got, err := os.ReadFile(path)
+			switch {
+			case os.IsNotExist(err):
+				if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", path)
+			case err != nil:
+				t.Fatal(err)
+			case string(got) != want:
+				t.Errorf("%s drifted from the in-code seed; delete it and re-run to regenerate", path)
+			}
+		}
+	}
+}

@@ -1,0 +1,403 @@
+// Package wire defines the length-prefixed binary protocol spoken between
+// rnserved and its clients.
+//
+// A frame is a 4-byte big-endian payload length followed by the payload:
+//
+//	uint32  payload length N (9 <= N <= MaxFrame)
+//	uint64  request id (echoed verbatim in the response; clients use it to
+//	        match pipelined, possibly out-of-order responses)
+//	uint8   opcode (requests) — responses carry a status byte here and echo
+//	        the opcode after it, so response bodies are self-describing
+//	...     op-specific body
+//
+// Variable-length fields are encoded as uint32 length + raw bytes. The
+// decoder is total: any truncated, oversized or otherwise malformed payload
+// returns an error — it never panics and never allocates more than the
+// payload it was handed (FuzzDecodeRequest / FuzzDecodeResponse enforce
+// this).
+//
+// Request bodies:
+//
+//	PING, STATS        (empty)
+//	GET, DEL           key
+//	PUT                key, value
+//	SCAN               uint32 max, prefix
+//
+// Response bodies (status OK unless noted):
+//
+//	PING, PUT, DEL     (empty)
+//	GET                value
+//	SCAN               uint32 n, then n x (key, value)
+//	STATS              uint32 n, then n x (name, uint64 value)
+//	any with StatusErr message
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds one frame's payload. It comfortably fits the kv store's
+// largest record (one log chunk, default 1 MiB) plus framing overhead.
+const MaxFrame = 4 << 20
+
+// minPayload is id (8) + opcode/status (1).
+const minPayload = 9
+
+// Opcodes.
+const (
+	OpPing  = 1
+	OpGet   = 2
+	OpPut   = 3
+	OpDel   = 4
+	OpScan  = 5
+	OpStats = 6
+)
+
+// Response status codes.
+const (
+	StatusOK         = 0
+	StatusNotFound   = 1 // GET/DEL on an absent key
+	StatusErr        = 2 // server-side error; body carries the message
+	StatusOverloaded = 3 // backpressure rejection: retry later
+	StatusClosing    = 4 // server is draining; reconnect elsewhere
+)
+
+// Protocol errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrFrameTooSmall = errors.New("wire: frame below minimum payload")
+	ErrTruncated     = errors.New("wire: truncated payload")
+	ErrTrailingData  = errors.New("wire: trailing bytes after payload")
+	ErrBadOp         = errors.New("wire: unknown opcode")
+	ErrBadStatus     = errors.New("wire: unknown status")
+)
+
+// Request is one decoded client request.
+type Request struct {
+	ID  uint64
+	Op  uint8
+	Key []byte // GET, PUT, DEL
+	Val []byte // PUT
+
+	ScanMax    uint32 // SCAN: max pairs returned
+	ScanPrefix []byte // SCAN: key prefix filter (may be empty)
+}
+
+// KV is one key/value pair in a SCAN response.
+type KV struct {
+	Key, Val []byte
+}
+
+// Counter is one named STATS value.
+type Counter struct {
+	Name string
+	Val  uint64
+}
+
+// Response is one decoded server response.
+type Response struct {
+	ID     uint64
+	Status uint8
+	Op     uint8 // opcode of the request this answers
+
+	Val      []byte    // GET
+	Msg      string    // StatusErr
+	Pairs    []KV      // SCAN
+	Counters []Counter // STATS
+}
+
+// OpName returns a printable opcode name.
+func OpName(op uint8) string {
+	switch op {
+	case OpPing:
+		return "PING"
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpDel:
+		return "DEL"
+	case OpScan:
+		return "SCAN"
+	case OpStats:
+		return "STATS"
+	}
+	return fmt.Sprintf("OP(%d)", op)
+}
+
+func validOp(op uint8) bool { return op >= OpPing && op <= OpStats }
+
+func validStatus(st uint8) bool { return st <= StatusClosing }
+
+// --- encoding ---------------------------------------------------------
+
+// appendU32/appendU64/appendBytes build payloads big-endian.
+func appendU32(dst []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(dst, v) }
+func appendU64(dst []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(dst, v) }
+func appendBytes(dst, b []byte) []byte {
+	dst = appendU32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+// finishFrame patches the 4-byte length placeholder at base.
+func finishFrame(dst []byte, base int) ([]byte, error) {
+	n := len(dst) - base - 4
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(dst[base:], uint32(n))
+	return dst, nil
+}
+
+// AppendRequest appends r as a complete frame (length prefix included).
+func AppendRequest(dst []byte, r Request) ([]byte, error) {
+	if !validOp(r.Op) {
+		return nil, ErrBadOp
+	}
+	base := len(dst)
+	dst = appendU32(dst, 0) // length placeholder
+	dst = appendU64(dst, r.ID)
+	dst = append(dst, r.Op)
+	switch r.Op {
+	case OpGet, OpDel:
+		dst = appendBytes(dst, r.Key)
+	case OpPut:
+		dst = appendBytes(dst, r.Key)
+		dst = appendBytes(dst, r.Val)
+	case OpScan:
+		dst = appendU32(dst, r.ScanMax)
+		dst = appendBytes(dst, r.ScanPrefix)
+	}
+	return finishFrame(dst, base)
+}
+
+// AppendResponse appends r as a complete frame (length prefix included).
+func AppendResponse(dst []byte, r Response) ([]byte, error) {
+	if !validOp(r.Op) {
+		return nil, ErrBadOp
+	}
+	if !validStatus(r.Status) {
+		return nil, ErrBadStatus
+	}
+	base := len(dst)
+	dst = appendU32(dst, 0) // length placeholder
+	dst = appendU64(dst, r.ID)
+	dst = append(dst, r.Status, r.Op)
+	switch {
+	case r.Status == StatusErr:
+		dst = appendBytes(dst, []byte(r.Msg))
+	case r.Status != StatusOK:
+		// Rejections carry no body.
+	case r.Op == OpGet:
+		dst = appendBytes(dst, r.Val)
+	case r.Op == OpScan:
+		dst = appendU32(dst, uint32(len(r.Pairs)))
+		for _, p := range r.Pairs {
+			dst = appendBytes(dst, p.Key)
+			dst = appendBytes(dst, p.Val)
+		}
+	case r.Op == OpStats:
+		dst = appendU32(dst, uint32(len(r.Counters)))
+		for _, c := range r.Counters {
+			dst = appendBytes(dst, []byte(c.Name))
+			dst = appendU64(dst, c.Val)
+		}
+	}
+	return finishFrame(dst, base)
+}
+
+// --- framing ----------------------------------------------------------
+
+// ReadFrame reads one frame from r and returns its payload. buf, if large
+// enough, is reused for the payload; pass the previous return value to
+// amortize allocation. Oversized or undersized frames are rejected before
+// any payload byte is read, so a malicious length cannot force a large
+// allocation.
+func ReadFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if n < minPayload {
+		return nil, ErrFrameTooSmall
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// --- decoding ---------------------------------------------------------
+
+// cursor walks a payload, failing cleanly on truncation.
+type cursor struct {
+	b   []byte
+	err error
+}
+
+func (c *cursor) u8() uint8 {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.b) < 1 {
+		c.err = ErrTruncated
+		return 0
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.b) < 4 {
+		c.err = ErrTruncated
+		return 0
+	}
+	v := binary.BigEndian.Uint32(c.b)
+	c.b = c.b[4:]
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.b) < 8 {
+		c.err = ErrTruncated
+		return 0
+	}
+	v := binary.BigEndian.Uint64(c.b)
+	c.b = c.b[8:]
+	return v
+}
+
+// bytes reads a length-prefixed field. The returned slice aliases the
+// payload; callers that retain it across frames must copy.
+func (c *cursor) bytes() []byte {
+	n := c.u32()
+	if c.err != nil {
+		return nil
+	}
+	if uint64(n) > uint64(len(c.b)) {
+		c.err = ErrTruncated
+		return nil
+	}
+	v := c.b[:n]
+	c.b = c.b[n:]
+	return v
+}
+
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.b) != 0 {
+		return ErrTrailingData
+	}
+	return nil
+}
+
+// DecodeRequest decodes a request payload (a frame minus its length
+// prefix). The returned slices alias p.
+func DecodeRequest(p []byte) (Request, error) {
+	if len(p) < minPayload {
+		return Request{}, ErrFrameTooSmall
+	}
+	c := cursor{b: p}
+	var r Request
+	r.ID = c.u64()
+	r.Op = c.u8()
+	if !validOp(r.Op) {
+		return Request{}, ErrBadOp
+	}
+	switch r.Op {
+	case OpGet, OpDel:
+		r.Key = c.bytes()
+	case OpPut:
+		r.Key = c.bytes()
+		r.Val = c.bytes()
+	case OpScan:
+		r.ScanMax = c.u32()
+		r.ScanPrefix = c.bytes()
+	}
+	if err := c.done(); err != nil {
+		return Request{}, err
+	}
+	return r, nil
+}
+
+// DecodeResponse decodes a response payload. The returned slices alias p.
+func DecodeResponse(p []byte) (Response, error) {
+	if len(p) < minPayload+1 {
+		return Response{}, ErrFrameTooSmall
+	}
+	c := cursor{b: p}
+	var r Response
+	r.ID = c.u64()
+	r.Status = c.u8()
+	r.Op = c.u8()
+	if !validStatus(r.Status) {
+		return Response{}, ErrBadStatus
+	}
+	if !validOp(r.Op) {
+		return Response{}, ErrBadOp
+	}
+	switch {
+	case r.Status == StatusErr:
+		r.Msg = string(c.bytes())
+	case r.Status != StatusOK:
+	case r.Op == OpGet:
+		r.Val = c.bytes()
+	case r.Op == OpScan:
+		n := c.u32()
+		// Each pair costs at least 8 bytes of length prefixes; reject
+		// counts the remaining payload cannot possibly hold before
+		// allocating for them.
+		if c.err == nil && uint64(n)*8 > uint64(len(c.b)) {
+			return Response{}, ErrTruncated
+		}
+		if c.err == nil && n > 0 {
+			r.Pairs = make([]KV, 0, n)
+			for i := uint32(0); i < n && c.err == nil; i++ {
+				k := c.bytes()
+				v := c.bytes()
+				r.Pairs = append(r.Pairs, KV{Key: k, Val: v})
+			}
+		}
+	case r.Op == OpStats:
+		n := c.u32()
+		if c.err == nil && uint64(n)*12 > uint64(len(c.b)) {
+			return Response{}, ErrTruncated
+		}
+		if c.err == nil && n > 0 {
+			r.Counters = make([]Counter, 0, n)
+			for i := uint32(0); i < n && c.err == nil; i++ {
+				name := string(c.bytes())
+				v := c.u64()
+				r.Counters = append(r.Counters, Counter{Name: name, Val: v})
+			}
+		}
+	}
+	if err := c.done(); err != nil {
+		return Response{}, err
+	}
+	return r, nil
+}

@@ -1,0 +1,274 @@
+package kv
+
+import "sync"
+
+// Batched writes. PutBatch is the fence-amortization entry point the
+// network server's cross-connection write batcher uses: where N separate
+// Puts to one shard cost N ranged persists (one fence each) for their log
+// records, a batch groups the pairs by shard, holds each shard's lock
+// once, lays the records down back-to-back and persists every contiguous
+// run with a single call — one fence per chunk-run instead of one per
+// record. The commit point is unchanged: records are durable in the value
+// log before any tree slot points at them, so an acknowledged batch entry
+// has exactly the durable-linearizability story of an individual Put.
+
+// persistSpan accumulates the contiguous byte range of records appended to
+// the current chunk and flushes it with one ranged persist.
+type persistSpan struct {
+	start, end uint64
+	active     bool
+}
+
+func (sp *persistSpan) add(p *kvPart, off, size uint64) {
+	if sp.active && off == sp.end {
+		sp.end += size
+		return
+	}
+	sp.flush(p)
+	sp.start, sp.end, sp.active = off, off+size, true
+}
+
+func (sp *persistSpan) flush(p *kvPart) {
+	if sp.active {
+		// Spans cover only streamed (write-through) record bytes, so the
+		// fence needs no flush copy — just the media occupancy and drain.
+		p.arena.PersistStream(sp.start, sp.end-sp.start)
+		sp.active = false
+	}
+}
+
+// appendRecordDeferred is appendRecord with the persist folded into span:
+// the caller must flush the span before making any record of it reachable.
+func (p *kvPart) appendRecordDeferred(sh *shard, sp *persistSpan, kind int, key, val []byte, next uint64) (uint64, error) {
+	size := recSize(len(key), len(val))
+	if size > p.chunkSz-chunkHdrSize {
+		return 0, ErrTooLarge
+	}
+	if sh.used+size > p.chunkSz {
+		// Rolling to a fresh chunk persists chain pointers of its own;
+		// flush the old chunk's span first so the batch's persists stay
+		// contiguous runs.
+		sp.flush(p)
+		if err := p.newShardChunk(sh); err != nil {
+			return 0, err
+		}
+	}
+	off := sh.chunk + sh.used
+	sh.used += size
+	hdr := uint64(kind) | uint64(len(key))<<8 | uint64(len(val))<<32
+	// Streaming stores, as in appendRecord: the span's PersistStream
+	// fences before putGroup publishes any tree pointer to these bytes.
+	p.arena.Write8Stream(off, hdr)
+	p.arena.Write8Stream(off+8, next)
+	streamPadded(p.arena, off+recHdrSize, key)
+	streamPadded(p.arena, off+recHdrSize+(uint64(len(key))+7)&^7, val)
+	sp.add(p, off, size)
+	return off, nil
+}
+
+// PutBatch stores every keys[i] → vals[i] pair (len(vals) must equal
+// len(keys); insert or overwrite, duplicates within the batch allowed and
+// applied in order). It returns nil if every pair was stored, otherwise a
+// slice with one error per pair (nil entries succeeded). When PutBatch
+// returns, every pair without an error is durable.
+//
+// Pairs are grouped by value-log shard; each shard's records are persisted
+// in contiguous runs (one fence per run) before its tree slots are
+// updated. Batches therefore interleave arbitrarily with concurrent Puts
+// on other shards, and hold each shard lock no longer than the same pairs
+// written individually would in aggregate.
+func (s *Store) PutBatch(keys, vals [][]byte) []error {
+	if len(keys) != len(vals) {
+		panic("kv: PutBatch keys/vals length mismatch")
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	var (
+		errMu sync.Mutex
+		errs  []error
+	)
+	fail := func(i int, err error) {
+		errMu.Lock()
+		if errs == nil {
+			errs = make([]error, len(keys))
+		}
+		errs[i] = err
+		errMu.Unlock()
+	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed.Load() {
+		for i := range keys {
+			fail(i, ErrClosed)
+		}
+		return errs
+	}
+
+	// Group pair indices by destination shard, preserving batch order
+	// within each group (order matters for duplicate keys).
+	hashes := make([]uint64, len(keys))
+	groups := map[*shard][]int{}
+	partOf := map[*shard]*kvPart{}
+	for i, k := range keys {
+		if len(k) == 0 {
+			fail(i, ErrEmptyKey)
+			continue
+		}
+		h := s.hash(k)
+		hashes[i] = h
+		p := s.partFor(h)
+		sh := p.shardFor(h)
+		groups[sh] = append(groups[sh], i)
+		partOf[sh] = p
+	}
+	// Apply the groups concurrently: every group holds a different shard
+	// lock and persists its records into its own contiguous run, so the
+	// drain stalls of groups on different partition arenas overlap (one
+	// drain engine per arena) instead of queueing behind one another on
+	// the calling goroutine. This is where a cross-connection batch beats
+	// the same writes issued serially: the fences amortize within a group
+	// AND the media occupancy overlaps across groups.
+	if len(groups) == 1 {
+		for sh, idxs := range groups {
+			partOf[sh].putGroup(sh, idxs, keys, vals, hashes, fail)
+		}
+		return errs
+	}
+	var wg sync.WaitGroup
+	for sh, idxs := range groups {
+		wg.Add(1)
+		go func(p *kvPart, sh *shard, idxs []int) {
+			defer wg.Done()
+			p.putGroup(sh, idxs, keys, vals, hashes, fail)
+		}(partOf[sh], sh, idxs)
+	}
+	wg.Wait()
+	return errs
+}
+
+// batchEntry is putGroup's per-unique-hash state: the newest record this
+// batch appended for the hash, the batch indices that fed it (for Upsert
+// failure reporting), and the hash's live/dead accounting delta. Batches
+// are small (bounded by the server batcher's MaxBatch), so entries are
+// found by linear scan instead of a map — cheaper and allocation-free.
+type batchEntry struct {
+	hash       uint64
+	head       uint64
+	live, dead int64
+	idxs       []int
+}
+
+// batchKeyKind records the kind of the newest record appended for an exact
+// key within the current batch (hashes can collide; kinds cannot be keyed
+// by hash alone). The key slice is borrowed from the caller and only valid
+// during the putGroup call that wrote it.
+type batchKeyKind struct {
+	key  []byte
+	kind int
+}
+
+// putGroup applies one shard's slice of a batch under that shard's lock:
+// append all records (deferring persists into contiguous spans), flush,
+// then repoint each touched hash at its newest record.
+func (p *kvPart) putGroup(sh *shard, idxs []int, keys, vals [][]byte, hashes []uint64, fail func(int, error)) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	var sp persistSpan
+	ents := sh.batchEnts[:0]
+	kinds := sh.batchKinds[:0]
+
+	for _, i := range idxs {
+		h, key, val := hashes[i], keys[i], vals[i]
+		var e *batchEntry
+		for j := range ents {
+			if ents[j].hash == h {
+				e = &ents[j]
+				break
+			}
+		}
+		var next uint64
+		var prevKind int
+		if e != nil {
+			// The chain head is a record we just appended; its kind chain
+			// covers both batch-local and pre-existing records (the
+			// appended records are readable from the cache before their
+			// persist).
+			next = e.head
+			known := false
+			for j := range kinds {
+				if string(kinds[j].key) == string(key) {
+					prevKind, known = kinds[j].kind, true
+					break
+				}
+			}
+			if !known {
+				prevKind = p.chainFindKind(next, key)
+			}
+		} else if oldHead, existed := p.tree.Find(h); existed {
+			next = oldHead
+			prevKind = p.chainFindKind(oldHead, key)
+		}
+		off, err := p.appendRecordDeferred(sh, &sp, recPut, key, val, next)
+		if err != nil {
+			fail(i, err)
+			continue
+		}
+		if e == nil {
+			if len(ents) < cap(ents) {
+				ents = ents[:len(ents)+1]
+				e = &ents[len(ents)-1]
+				e.live, e.dead = 0, 0
+				e.idxs = e.idxs[:0]
+			} else {
+				ents = append(ents, batchEntry{})
+				e = &ents[len(ents)-1]
+			}
+			e.hash = h
+		}
+		e.head = off
+		e.idxs = append(e.idxs, i)
+		set := false
+		for j := range kinds {
+			if string(kinds[j].key) == string(key) {
+				kinds[j].kind, set = recPut, true
+				break
+			}
+		}
+		if !set {
+			kinds = append(kinds, batchKeyKind{key: key, kind: recPut})
+		}
+		if prevKind == recPut {
+			e.dead++ // overwrite: the shadowed value record is garbage
+		} else {
+			e.live++ // fresh key, or reinsert over a tombstone
+		}
+	}
+	// Records must be durable before they become reachable.
+	sp.flush(p)
+	var liveDelta, deadDelta int64
+	for j := range ents {
+		e := &ents[j]
+		if err := p.tree.Upsert(e.hash, e.head); err != nil {
+			// The appended records are durable but unreachable (leaked
+			// until the next compaction); surface the failure on every
+			// pair that fed this hash and drop the hash's accounting
+			// deltas with it.
+			for _, i := range e.idxs {
+				fail(i, err)
+			}
+			continue
+		}
+		liveDelta += e.live
+		deadDelta += e.dead
+	}
+	sh.live.Add(liveDelta)
+	sh.dead.Add(deadDelta)
+	// Drop borrowed key references before the caller recycles its payload
+	// buffers, then park the scratch for the next batch.
+	for j := range kinds {
+		kinds[j].key = nil
+	}
+	sh.batchEnts, sh.batchKinds = ents, kinds
+}

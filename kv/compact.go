@@ -45,6 +45,11 @@ func (p *kvPart) rewriteChain(sh *shard, hash uint64, live []liveRec) error {
 // other shards and partitions (and all readers) keep running, so
 // compaction never stops the world.
 func (s *Store) Compact() error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	for pi := range s.parts {
 		p := &s.parts[pi]
 		for i := range p.shards {

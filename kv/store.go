@@ -50,6 +50,9 @@ var (
 	ErrTooLarge = errors.New("kv: record larger than log chunk")
 	// ErrEmptyKey is returned for zero-length keys.
 	ErrEmptyKey = errors.New("kv: empty key")
+	// ErrClosed is returned by mutating operations after Close: the store
+	// has taken its clean-shutdown path and accepts no more writes.
+	ErrClosed = errors.New("kv: store is closed")
 )
 
 const (
@@ -177,6 +180,13 @@ type shard struct {
 	// shard; they are freed at the start of the next one, giving lock-free
 	// readers a full compaction cycle to drain before reuse.
 	retired []uint64
+
+	// batchEnts/batchKinds are putGroup's per-batch scratch, guarded by mu
+	// and reused across batches so group commit stays allocation-free on
+	// the hot path. Entries reference caller key slices only for the
+	// duration of one putGroup call.
+	batchEnts  []batchEntry
+	batchKinds []batchKeyKind
 }
 
 // kvPart is one partition's slice of the store: the partition arena and
@@ -210,6 +220,16 @@ type Store struct {
 	f     *forest.Forest
 	hash  func([]byte) uint64 // Hash, overridable by tests to force collisions
 	parts []kvPart
+
+	// closeMu is the quiesce gate: every mutating operation holds it for
+	// read, Close holds it for write. Close therefore waits out all
+	// in-flight writers before shutting the forest down, and any writer
+	// arriving after the flag flips gets ErrClosed instead of racing the
+	// shutdown (the regression this guards: core.Close panics if a write
+	// is still in flight). Reads stay lock-free and remain valid after
+	// Close — a closed store is a read-only snapshot.
+	closeMu sync.RWMutex
+	closed  atomic.Bool
 }
 
 // partFor routes a hash to the partition owning it — necessarily the same
@@ -337,6 +357,12 @@ func (p *kvPart) newShardChunk(sh *shard) error {
 	return nil
 }
 
+// PartitionOf returns the index, in [0, Partitions()), of the partition
+// that owns key. A key's partition never changes while the store is open,
+// so callers that shard work by partition — like the server's group
+// committer — preserve per-key ordering for free.
+func (s *Store) PartitionOf(key []byte) int { return s.f.PartitionFor(s.hash(key)) }
+
 // Hash maps a key to its 63-bit index key (FNV-1a folded to 63 bits).
 func Hash(key []byte) uint64 {
 	const (
@@ -371,22 +397,32 @@ func (p *kvPart) appendRecord(sh *shard, kind int, key, val []byte, next uint64)
 	off := sh.chunk + sh.used
 	sh.used += size
 	hdr := uint64(kind) | uint64(len(key))<<8 | uint64(len(val))<<32
-	p.arena.Write8(off, hdr)
-	p.arena.Write8(off+8, next)
-	writePadded(p.arena, off+recHdrSize, key)
-	writePadded(p.arena, off+recHdrSize+(uint64(len(key))+7)&^7, val)
-	p.arena.Persist(off, size)
+	// Records are laid down with streaming (write-through) stores: nothing
+	// reads them until the tree points at them, and that pointer update
+	// happens after the PersistStream fence — so the log append pays one
+	// pass over the bytes instead of a store pass plus a flush copy.
+	p.arena.Write8Stream(off, hdr)
+	p.arena.Write8Stream(off+8, next)
+	streamPadded(p.arena, off+recHdrSize, key)
+	streamPadded(p.arena, off+recHdrSize+(uint64(len(key))+7)&^7, val)
+	p.arena.PersistStream(off, size)
 	return off, nil
 }
 
-func writePadded(a *pmem.Arena, off uint64, b []byte) {
-	n := (len(b) + 7) &^ 7
-	if n == 0 {
+func streamPadded(a *pmem.Arena, off uint64, b []byte) {
+	if len(b) == 0 {
 		return
 	}
+	if len(b)%8 == 0 {
+		// Already word-aligned: write straight from the caller's bytes. This
+		// is the common case for block-sized values and skips a full copy.
+		a.WriteStream(off, b)
+		return
+	}
+	n := (len(b) + 7) &^ 7
 	buf := make([]byte, n)
 	copy(buf, b)
-	a.WriteRange(off, buf)
+	a.WriteStream(off, buf)
 }
 
 // readRecord decodes the record at off.
@@ -462,6 +498,11 @@ func (s *Store) Put(key, value []byte) error {
 	if len(key) == 0 {
 		return ErrEmptyKey
 	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	h := s.hash(key)
 	p := s.partFor(h)
 	sh := p.shardFor(h)
@@ -517,6 +558,11 @@ func (s *Store) Has(key []byte) bool {
 func (s *Store) Delete(key []byte) error {
 	if len(key) == 0 {
 		return ErrEmptyKey
+	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed.Load() {
+		return ErrClosed
 	}
 	h := s.hash(key)
 	p := s.partFor(h)
@@ -617,4 +663,32 @@ func (s *Store) Stats() Stats {
 		Persists:    persists,
 		TreeLeaves:  s.f.LeafCount(),
 	}
+}
+
+// Close takes the clean-shutdown path: it waits out every in-flight
+// mutation (Put/Delete/PutBatch/Compact), flips the store read-only, and
+// closes the index forest (persisting transient bookkeeping and arming
+// each partition's clean flag, so the next Open reconstructs instead of
+// crash-recovering). Mutations that arrive during or after Close return
+// ErrClosed; reads remain valid. A second Close returns ErrClosed.
+func (s *Store) Close() error {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.closed.Store(true)
+	s.f.Close()
+	return nil
+}
+
+// Checkpoint is Close plus a snapshot of the resulting durable state (one
+// image per partition arena): the images reopen through Open's fast
+// reconstruction path. This is what a server's graceful drain calls once
+// all in-flight requests have completed.
+func (s *Store) Checkpoint() ([][]uint64, error) {
+	if err := s.Close(); err != nil {
+		return nil, err
+	}
+	return s.Snapshot(), nil
 }
