@@ -1,9 +1,9 @@
 # Tier-1 verification and the race gate for the concurrent kv/tree paths.
 GO ?= go
 
-.PHONY: check build vet test race bench-kv bench-server faultcheck faultshort servercheck fuzz-wire
+.PHONY: check build vet test lint race bench-kv bench-server faultcheck faultshort servercheck fuzz-wire
 
-check: build vet test faultshort servercheck
+check: build vet lint test faultshort servercheck
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# rnvet: the repo's own pass suite (persistcheck, htmsafe, lockflush,
+# fencecheck) machine-checks the NVM-persistence and HTM-safety invariants
+# over every production package. See DESIGN.md §11.
+lint:
+	$(GO) run ./cmd/rnvet ./...
+
 test:
 	$(GO) test ./...
 
-# The kv store's Stats/Put/Delete/Compact paths and the tree's HTM slot
-# updates are exercised concurrently; keep them race-clean.
+# The kv store's Stats/Put/Delete/Compact paths, the tree's HTM slot
+# updates, the forest's partition router, and the HTM emulation's lock
+# table are exercised concurrently; keep them race-clean.
 race:
-	$(GO) test -race ./kv/... ./internal/core/...
+	$(GO) test -race ./kv/... ./internal/core/... ./internal/forest/... ./internal/htm/...
 
 bench-kv:
 	$(GO) run ./cmd/rnbench -exp kvscale

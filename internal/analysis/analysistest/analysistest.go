@@ -1,0 +1,94 @@
+// Package analysistest runs rnvet analyzers over fixture packages and
+// checks their diagnostics against expectations written in the fixture
+// source, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	a.Write8(0, 1) // want `Write8 on a is not covered`
+//
+// A want comment holds one or more patterns, each double- or back-quoted;
+// every pattern must be matched by exactly one diagnostic reported on that
+// line, and every diagnostic must be claimed by a pattern. Patterns are
+// regular expressions matched against the diagnostic message.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rntree/internal/analysis"
+)
+
+// wantPatterns extracts the quoted patterns of one want comment.
+var wantPatterns = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the single fixture package rooted at dir, executes the given
+// analyzers over it, and reports any mismatch between the diagnostics and
+// the fixture's want comments as test errors.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	prog, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					i := strings.Index(c.Text, "want ")
+					if i < 0 {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, q := range wantPatterns.FindAllString(c.Text[i+len("want "):], -1) {
+						pat := q
+						if q[0] == '"' {
+							if pat, err = strconv.Unquote(q); err != nil {
+								t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+							}
+						} else {
+							pat = strings.Trim(q, "`")
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{
+							file: pos.Filename, line: pos.Line, pattern: pat, re: re,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range analysis.Run(prog, analyzers) {
+		pos := prog.Fset.Position(d.Pos)
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Pass, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}

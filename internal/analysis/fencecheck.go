@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FenceCheck polices ordering fences on both sides:
+//
+//   - a standalone Fence with nothing unordered to order — no streamed
+//     write (WriteStream/Write8Stream) or EvictLine on the same arena since
+//     the last fence-bearing instruction (Persist, PersistStream, Fence) —
+//     is a redundant fence: pure cost on the paper's dominant latency term;
+//   - an EvictLine that is never followed by a fence-bearing instruction on
+//     the same arena before the function returns is an unfenced commit
+//     flush: the line reaches NVM with no ordering guarantee, so nothing
+//     durable may be published on the strength of it.
+//
+// (Unpersisted streamed writes are persistcheck's finding; fencecheck owns
+// the ordering side.) Audited exceptions carry //rnvet:ignore fencecheck.
+var FenceCheck = &Analyzer{
+	Name: "fencecheck",
+	Doc:  "no redundant fences, and no unfenced commit flushes",
+	Run:  runFenceCheck,
+}
+
+func runFenceCheck(pass *Pass) {
+	if pass.Pkg.Path == pmemPath {
+		return // the primitives themselves, not their uses
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFenceBody(pass, fd.Body)
+		}
+	}
+}
+
+type pendingEvict struct {
+	pos      token.Pos
+	recv     string
+	reported bool
+}
+
+func checkFenceBody(pass *Pass, body *ast.BlockStmt) {
+	events, closures := bodyEvents(pass.Pkg.Info, body)
+	for _, cl := range closures {
+		checkFenceBody(pass, cl.Body)
+	}
+
+	// Per-receiver fence state: whether a fence-bearing call was seen, and
+	// whether unordered traffic (stream write / evict) happened since.
+	fenced := map[string]bool{}    // receiver had a fence-bearing op
+	unordered := map[string]bool{} // unordered traffic since that op
+	var evicts []pendingEvict
+	var deferredFences []string // receivers fenced by deferred calls
+
+	fence := func(recv string) {
+		fenced[recv] = true
+		unordered[recv] = false
+		kept := evicts[:0]
+		for _, e := range evicts {
+			if e.recv != recv {
+				kept = append(kept, e)
+			}
+		}
+		evicts = kept
+	}
+	atExit := func() {
+		for _, recv := range deferredFences {
+			fence(recv)
+		}
+		for i := range evicts {
+			if evicts[i].reported {
+				continue
+			}
+			evicts[i].reported = true
+			pass.Reportf(evicts[i].pos,
+				"EvictLine on %s is never fenced before return: the flushed line reaches NVM unordered, so no commit may depend on it (unfenced commit flush)",
+				evicts[i].recv)
+		}
+	}
+
+	for _, ev := range events {
+		if ev.kind == evReturn {
+			atExit()
+			continue
+		}
+		if ev.fn == nil || !isArenaMethod(ev.fn) {
+			continue
+		}
+		name := ev.fn.Name()
+		switch {
+		case arenaStreamWrites[name]:
+			unordered[ev.recv] = true
+		case name == "EvictLine":
+			unordered[ev.recv] = true
+			evicts = append(evicts, pendingEvict{pos: ev.pos, recv: ev.recv})
+		case arenaPersists[name]:
+			if ev.deferred {
+				deferredFences = append(deferredFences, ev.recv)
+			} else {
+				fence(ev.recv)
+			}
+		case name == "Fence":
+			if ev.deferred {
+				deferredFences = append(deferredFences, ev.recv)
+				continue
+			}
+			if fenced[ev.recv] && !unordered[ev.recv] {
+				pass.Reportf(ev.pos,
+					"redundant fence on %s: no unfenced persist (streamed write or eviction) since the last fence-bearing instruction", ev.recv)
+			}
+			fence(ev.recv)
+		}
+	}
+	atExit()
+}

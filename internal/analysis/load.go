@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// Analyze marks packages matched by the requested patterns. In-module
+	// dependencies of the request are loaded too — every module package
+	// must live in ONE type-checked universe, or a dependency resolved by
+	// the source importer would clash with the same package loaded as a
+	// target — but passes only run over the requested set.
+	Analyze bool
+}
+
+// Program is a set of type-checked target packages plus the cross-package
+// indexes the interprocedural passes need.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+
+	// bodies maps every function/method declared in a target package to its
+	// declaration and owning package, so passes can walk callee bodies.
+	bodies map[*types.Func]bodyRef
+
+	// notes indexes annotation comments: filename -> line -> entries.
+	notes map[string]map[int][]noteEntry
+}
+
+type bodyRef struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// BodyOf returns the target-package declaration of fn, or nil if fn is
+// declared outside the loaded set (stdlib, or a package not analyzed).
+func (prog *Program) BodyOf(fn *types.Func) (*ast.FuncDecl, *Package) {
+	ref, ok := prog.bodies[fn]
+	if !ok {
+		return nil, nil
+	}
+	return ref.decl, ref.pkg
+}
+
+// listedPackage is the slice of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+}
+
+// Load enumerates patterns with `go list` (run in dir; "" means the current
+// directory, which must be inside the module) and type-checks every matched
+// package from source, along with every in-module package it depends on —
+// the whole module must share one type-checked universe, or the source
+// importer would materialize a second copy of a dependency and type
+// identities would clash. Test files are not loaded: the invariants guard
+// production paths, and tests legitimately evict lines and tear images.
+func Load(dir string, patterns []string) (*Program, error) {
+	requested, err := goList(dir, patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	withDeps, err := goList(dir, patterns, true)
+	if err != nil {
+		return nil, err
+	}
+	analyze := make(map[string]bool, len(requested))
+	for _, lp := range requested {
+		analyze[lp.ImportPath] = true
+	}
+	var listed []listedPackage
+	for _, lp := range withDeps {
+		if !lp.Standard { // stdlib stays with the source importer
+			listed = append(listed, lp)
+		}
+	}
+	return load(listed, analyze)
+}
+
+// goList runs `go list -json` over patterns, optionally with -deps.
+func goList(dir string, patterns []string, deps bool) ([]listedPackage, error) {
+	args := []string{"list", "-json=ImportPath,Dir,GoFiles,Imports,Standard"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(append(args, "--"), patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if len(lp.GoFiles) > 0 {
+			listed = append(listed, lp)
+		}
+	}
+	return listed, nil
+}
+
+// LoadDir type-checks the single package rooted at dir (used by the golden
+// tests to load fixture packages out of testdata, which `go list` ignores).
+// Imports resolve against the enclosing module via the source importer.
+func LoadDir(dir string) (*Program, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, name)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(files)
+	lp := listedPackage{ImportPath: "fixture/" + filepath.Base(dir), Dir: dir, GoFiles: files}
+	return load([]listedPackage{lp}, map[string]bool{lp.ImportPath: true})
+}
+
+// load parses and type-checks the listed packages in dependency order. Each
+// target package's dependencies that are themselves targets are served from
+// the already-checked set (so *types.Func identities line up across
+// packages); everything else (stdlib) is type-checked from source by the
+// compiler's "source" importer.
+func load(listed []listedPackage, analyze map[string]bool) (*Program, error) {
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		bodies: make(map[*types.Func]bodyRef),
+		notes:  make(map[string]map[int][]noteEntry),
+	}
+	byPath := make(map[string]*listedPackage, len(listed))
+	for i := range listed {
+		byPath[listed[i].ImportPath] = &listed[i]
+	}
+	// Topological order over the in-target import edges.
+	var order []*listedPackage
+	state := make(map[string]int, len(listed)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(lp *listedPackage) error
+	visit = func(lp *listedPackage) error {
+		switch state[lp.ImportPath] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", lp.ImportPath)
+		case 2:
+			return nil
+		}
+		state[lp.ImportPath] = 1
+		for _, imp := range lp.Imports {
+			if dep, ok := byPath[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[lp.ImportPath] = 2
+		order = append(order, lp)
+		return nil
+	}
+	for i := range listed {
+		if err := visit(&listed[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	imp := &chainedImporter{
+		loaded: make(map[string]*types.Package),
+		source: importer.ForCompiler(prog.Fset, "source", nil),
+	}
+	for _, lp := range order {
+		var files []*ast.File
+		var srcs [][]byte
+		for _, name := range lp.GoFiles {
+			path := filepath.Join(lp.Dir, name)
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			f, err := parser.ParseFile(prog.Fset, path, src, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+			srcs = append(srcs, src)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp, FakeImportC: true}
+		tpkg, err := conf.Check(lp.ImportPath, prog.Fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+		}
+		imp.loaded[lp.ImportPath] = tpkg
+		pkg := &Package{Path: lp.ImportPath, Dir: lp.Dir, Files: files, Types: tpkg, Info: info, Analyze: analyze[lp.ImportPath]}
+		prog.Packages = append(prog.Packages, pkg)
+		for i, f := range files {
+			prog.collectNotes(f, srcs[i])
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn := pkg.FuncOf(fd); fn != nil {
+					prog.bodies[fn] = bodyRef{decl: fd, pkg: pkg}
+				}
+			}
+		}
+	}
+	return prog, nil
+}
+
+// chainedImporter serves already-type-checked target packages by identity and
+// defers everything else to the source importer.
+type chainedImporter struct {
+	loaded map[string]*types.Package
+	source types.Importer
+}
+
+func (c *chainedImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c *chainedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := c.loaded[path]; ok {
+		return pkg, nil
+	}
+	if from, ok := c.source.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return c.source.Import(path)
+}

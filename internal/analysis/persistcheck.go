@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PersistCheck enforces durable linearizability's write side: every
+// pmem.Arena mutation (Write8, WriteLine, WriteLineWords, WriteRange,
+// WriteStream, Write8Stream, Zero) performed by a function must be covered
+// by a later Persist/PersistStream on the same arena before the function
+// returns. When both the write's offset and the persist's range are
+// compile-time constants the coverage check is exact at cache-line
+// granularity; otherwise any persist on the same receiver is assumed to
+// cover the write (the documented offset-range approximation).
+//
+// Functions that intentionally leave bytes unpersisted — scratch data, or
+// helpers whose caller owns the flush (deferred group commit) — carry the
+// audited //pmem:volatile annotation.
+var PersistCheck = &Analyzer{
+	Name: "persistcheck",
+	Doc:  "arena mutations on durable paths must be persisted before return",
+	Run:  runPersistCheck,
+}
+
+// pendingWrite is one not-yet-covered arena mutation.
+type pendingWrite struct {
+	pos      token.Pos
+	name     string // mutating method name, for the diagnostic
+	recv     string
+	lines    lineRange
+	hasLines bool
+	reported bool
+}
+
+func runPersistCheck(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPersistBody(pass, fd.Body)
+		}
+	}
+}
+
+func checkPersistBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	events, closures := bodyEvents(info, body)
+	for _, cl := range closures {
+		checkPersistBody(pass, cl.Body)
+	}
+
+	var pending []pendingWrite
+	var deferredPersists []event
+
+	// applyPersist drops pending writes the persist call provably covers.
+	applyPersist := func(ev event) {
+		pr, prOK := persistLines(info, ev.call)
+		kept := pending[:0]
+		for _, w := range pending {
+			covered := w.recv == ev.recv && (!prOK || !w.hasLines || pr.contains(w.lines))
+			if !covered {
+				kept = append(kept, w)
+			}
+		}
+		pending = kept
+	}
+	// atExit reports writes still uncovered once the function (or one of its
+	// returns) is reached, after folding in deferred persists.
+	atExit := func() {
+		for _, dp := range deferredPersists {
+			applyPersist(dp)
+		}
+		for i := range pending {
+			if pending[i].reported {
+				continue
+			}
+			pending[i].reported = true
+			pass.Reportf(pending[i].pos,
+				"%s on %s is not covered by a Persist/PersistStream before return (durable store left unflushed; annotate //pmem:volatile if intentional)",
+				pending[i].name, pending[i].recv)
+		}
+	}
+
+	for _, ev := range events {
+		switch ev.kind {
+		case evReturn:
+			atExit()
+		case evCall:
+			if ev.fn == nil {
+				continue
+			}
+			name := ev.fn.Name()
+			switch {
+			case isArenaMethod(ev.fn) && (arenaCacheWrites[name] || arenaStreamWrites[name]):
+				lr, ok := writeLines(info, ev.fn, ev.call)
+				pending = append(pending, pendingWrite{
+					pos: ev.pos, name: name, recv: ev.recv, lines: lr, hasLines: ok,
+				})
+			case isArenaMethod(ev.fn) && arenaPersists[name]:
+				if ev.deferred {
+					deferredPersists = append(deferredPersists, ev)
+				} else {
+					applyPersist(ev)
+				}
+			case mayPersist(pass.Prog, ev.fn, nil):
+				// A callee that persists is assumed to flush on our behalf
+				// (interprocedural approximation: receiver-insensitive).
+				pending = pending[:0]
+			}
+		}
+	}
+	atExit()
+}
+
+// mayPersist reports whether fn (transitively, through target-package
+// bodies and the function literals they contain) can execute a persistent
+// instruction: an Arena Persist/PersistStream/Fence or a Tx.Persist.
+func mayPersist(prog *Program, fn *types.Func, seen map[*types.Func]bool) bool {
+	if fn == nil {
+		return false
+	}
+	if isArenaMethod(fn) {
+		return arenaPersists[fn.Name()] || fn.Name() == "Fence"
+	}
+	if isTxMethod(fn) {
+		return fn.Name() == "Persist"
+	}
+	decl, pkg := prog.BodyOf(fn)
+	if decl == nil {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[*types.Func]bool)
+	}
+	if seen[fn] || len(seen) > 64 {
+		return false
+	}
+	seen[fn] = true
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee := calleeOf(pkg.Info, call); callee != nil && mayPersist(prog, callee, seen) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

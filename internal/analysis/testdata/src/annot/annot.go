@@ -1,0 +1,94 @@
+// Package annot is the annotation golden fixture, run under the FULL rnvet
+// suite: it proves that //pmem:volatile, //htm:safe and //rnvet:ignore each
+// suppress exactly their own pass — same-line, line-above and whole-function
+// forms — and never anything else.
+package annot
+
+import (
+	"rntree/internal/htm"
+	"rntree/internal/pmem"
+	"rntree/internal/sync2"
+)
+
+// hook stands in for an unverifiable function value.
+var hook func()
+
+// volatileLine: same-line //pmem:volatile silences persistcheck.
+func volatileLine(a *pmem.Arena) {
+	a.Write8(0, 1) //pmem:volatile scratch bytes, never read back
+}
+
+// volatileAbove: full-line-comment form applies to the line below.
+func volatileAbove(a *pmem.Arena) {
+	//pmem:volatile scratch bytes, never read back
+	a.Write8(0, 1)
+}
+
+// volatileFunc: the doc-comment form covers every write in the function.
+//
+//pmem:volatile scratch region, the caller persists the image
+func volatileFunc(a *pmem.Arena) {
+	a.Write8(0, 1)
+	a.Zero(64, 64)
+}
+
+// wrongAnnotForWrite: an //htm:safe annotation must NOT hide a persistcheck
+// finding.
+func wrongAnnotForWrite(a *pmem.Arena) {
+	a.Write8(0, 1) //htm:safe mismatched annotation // want `Write8 on a is not covered by a Persist/PersistStream before return`
+}
+
+// safeLine: same-line //htm:safe silences htmsafe.
+func safeLine(r *htm.Region) {
+	r.Run(func(tx *htm.Tx) {
+		hook() //htm:safe audited: hook is bound to a bounded, non-blocking helper
+	})
+}
+
+// wrongAnnotForRegion: a //pmem:volatile annotation must NOT hide an
+// htmsafe finding.
+func wrongAnnotForRegion(r *htm.Region) {
+	r.Run(func(tx *htm.Tx) {
+		hook() //pmem:volatile mismatched annotation // want `call through a function value inside HTM region cannot be verified`
+	})
+}
+
+// ignoreLine: the generic form names the pass it silences.
+func ignoreLine(a *pmem.Arena, mu *sync2.SpinLock) {
+	mu.Lock()
+	a.Persist(0, 8) //rnvet:ignore lockflush audited: this flush is the commit point
+	mu.Unlock()
+}
+
+// ignoreWrongPass: naming a different pass leaves the finding alive.
+func ignoreWrongPass(a *pmem.Arena, mu *sync2.SpinLock) {
+	mu.Lock()
+	a.Fence() //rnvet:ignore persistcheck mismatched annotation // want `arena Fence while sync2 lock mu is held`
+	mu.Unlock()
+}
+
+// ignoreList: one comment can name several passes.
+func ignoreList(a *pmem.Arena, mu *sync2.SpinLock) {
+	mu.Lock()
+	a.Write8(0, 1)  //rnvet:ignore persistcheck audited scratch write under lock
+	a.Persist(0, 8) //rnvet:ignore lockflush,fencecheck audited commit flush
+	mu.Unlock()
+}
+
+// safeFuncDoc: the doc-comment //htm:safe covers the whole audited body.
+//
+//htm:safe audited: bounded lookup table, no allocation or blocking
+func safeFuncDoc(tx *htm.Tx) {
+	hook()
+}
+
+func runsAudited(r *htm.Region) {
+	r.Run(safeFuncDoc)
+}
+
+// suppressedOnlyOnce: the annotation on the first write does not leak to
+// the second.
+func suppressedOnlyOnce(a *pmem.Arena) {
+	a.Write8(0, 1)   //pmem:volatile scratch bytes, never read back
+	a.Write8(128, 2) // want `Write8 on a is not covered by a Persist/PersistStream before return`
+}

@@ -1,0 +1,45 @@
+// Package fence is the fencecheck golden fixture: redundant fences and
+// unfenced commit flushes seeded next to the legal ordering patterns.
+package fence
+
+import "rntree/internal/pmem"
+
+// redundant: the second fence has nothing unordered to order.
+func redundant(a *pmem.Arena) {
+	a.Fence()
+	a.Fence() // want `redundant fence on a`
+}
+
+// evictNoFence is the seeded unfenced-commit bug: the evicted line reaches
+// NVM with no ordering guarantee.
+func evictNoFence(a *pmem.Arena) {
+	a.EvictLine(0) // want `EvictLine on a is never fenced before return`
+}
+
+// evictFenced is the legal commit pattern: evict, then order it.
+func evictFenced(a *pmem.Arena) {
+	a.EvictLine(0)
+	a.Fence()
+}
+
+// orderedStream: a fence with a streamed store outstanding is never
+// redundant.
+func orderedStream(a *pmem.Arena, b []byte) {
+	a.Fence()
+	a.WriteStream(0, b)
+	a.Fence()
+}
+
+// doubleAfterStream: the first fence orders the stream; the second is pure
+// cost.
+func doubleAfterStream(a *pmem.Arena, b []byte) {
+	a.WriteStream(0, b)
+	a.Fence()
+	a.Fence() // want `redundant fence on a`
+}
+
+// persistCovers: Persist is fence-bearing, so it settles an earlier evict.
+func persistCovers(a *pmem.Arena) {
+	a.EvictLine(0)
+	a.Persist(64, 8)
+}

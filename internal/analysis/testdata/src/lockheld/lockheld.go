@@ -1,0 +1,80 @@
+// Package lockheld is the lockflush golden fixture: persistent
+// instructions seeded inside sync2 critical sections next to the legal
+// flush-outside-lock patterns (§4.2).
+package lockheld
+
+import (
+	"rntree/internal/htm"
+	"rntree/internal/pmem"
+	"rntree/internal/sync2"
+)
+
+// persistUnderLock is the canonical seeded bug: every waiter on mu is
+// serialized behind the NVM flush.
+func persistUnderLock(a *pmem.Arena, mu *sync2.SpinLock) {
+	mu.Lock()
+	a.Write8(0, 1)
+	a.Persist(0, 8) // want `arena Persist while sync2 lock mu is held`
+	mu.Unlock()
+}
+
+func fenceUnderVersionLock(a *pmem.Arena, vl *sync2.VersionLock) {
+	vl.Lock()
+	a.Fence() // want `arena Fence while sync2 lock vl is held`
+	vl.Unlock()
+}
+
+// persistAfterUnlock is the paper's pattern: mutate and publish under the
+// lock, flush after releasing it.
+func persistAfterUnlock(a *pmem.Arena, mu *sync2.SpinLock) {
+	mu.Lock()
+	a.Write8(0, 1)
+	mu.Unlock()
+	a.Persist(0, 8)
+}
+
+// earlyExit: the unlock-and-return branch must not release the lock for
+// the fall-through path (regression for the branch-aware walk).
+func earlyExit(a *pmem.Arena, mu *sync2.SpinLock, cond bool) {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+		return
+	}
+	a.Persist(0, 8) // want `arena Persist while sync2 lock mu is held`
+	mu.Unlock()
+}
+
+// viaCallee: the flush hides one call deep.
+func viaCallee(a *pmem.Arena, mu *sync2.SpinLock) {
+	mu.Lock()
+	helper(a) // want `call to helper, which can persist, while sync2 lock mu is held`
+	mu.Unlock()
+}
+
+func helper(a *pmem.Arena) {
+	a.Write8(0, 1)
+	a.Persist(0, 8)
+}
+
+// deferredUnlock holds mu until return, so the fence runs under it.
+func deferredUnlock(a *pmem.Arena, mu *sync2.SpinLock) {
+	mu.Lock()
+	defer mu.Unlock()
+	a.Fence() // want `arena Fence while sync2 lock mu is held`
+}
+
+// regionClosure: a persist smuggled into an HTM body started under a lock.
+func regionClosure(r *htm.Region, mu *sync2.SpinLock) {
+	mu.Lock()
+	r.Run(func(tx *htm.Tx) { tx.Persist(0, 8) }) // want `call to Run, which can persist, while sync2 lock mu is held`
+	mu.Unlock()
+}
+
+// cleanRegion: a flush-free HTM body under a lock is legal (the critical
+// section itself may use the transactional API).
+func cleanRegion(r *htm.Region, mu *sync2.SpinLock) {
+	mu.Lock()
+	r.Run(func(tx *htm.Tx) { tx.Store8(0, 1) })
+	mu.Unlock()
+}

@@ -1,0 +1,68 @@
+// Package persist is the persistcheck golden fixture: seeded
+// missing-persist bugs next to the legal patterns the pass must not flag.
+package persist
+
+import "rntree/internal/pmem"
+
+// missing is the canonical seeded bug: a durable store with no flush.
+func missing(a *pmem.Arena) {
+	a.Write8(0, 1) // want `Write8 on a is not covered by a Persist/PersistStream before return`
+}
+
+// covered is the legal pattern: write, then persist the covering range.
+func covered(a *pmem.Arena) {
+	a.Write8(0, 1)
+	a.Persist(0, 8)
+}
+
+// partial persists one line but leaves the write to another line exposed —
+// the constant-offset coverage check must see through the shared receiver.
+func partial(a *pmem.Arena) {
+	a.Write8(0, 1)
+	a.Write8(128, 2) // want `Write8 on a is not covered by a Persist/PersistStream before return`
+	a.Persist(0, 8)
+}
+
+// earlyReturn leaks the write through the return inside the branch even
+// though the fall-through path persists it.
+func earlyReturn(a *pmem.Arena, cond bool) {
+	a.Write8(64, 7) // want `Write8 on a is not covered by a Persist/PersistStream before return`
+	if cond {
+		return
+	}
+	a.Persist(64, 8)
+}
+
+// streamMissing: streamed (write-through) stores still need their fence.
+func streamMissing(a *pmem.Arena, b []byte) {
+	a.WriteStream(0, b) // want `WriteStream on a is not covered by a Persist/PersistStream before return`
+}
+
+// streamCovered is the legal streaming pattern: stream, then one ranged
+// PersistStream fence over the span.
+func streamCovered(a *pmem.Arena, b []byte) {
+	a.WriteStream(0, b)
+	a.Write8Stream(uint64(len(b)), 1)
+	a.PersistStream(0, uint64(len(b))+8)
+}
+
+// deferredPersist runs its flush at return; the write is covered.
+func deferredPersist(a *pmem.Arena) {
+	defer a.Persist(0, 8)
+	a.Write8(0, 1)
+}
+
+// viaHelper delegates the flush to a callee that provably persists.
+func viaHelper(a *pmem.Arena) {
+	a.Write8(0, 1)
+	flushAll(a)
+}
+
+func flushAll(a *pmem.Arena) {
+	a.Persist(0, 8)
+}
+
+// zeroMissing: Zero is a mutation like any other.
+func zeroMissing(a *pmem.Arena) {
+	a.Zero(256, 64) // want `Zero on a is not covered by a Persist/PersistStream before return`
+}

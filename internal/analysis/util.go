@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Import paths of the packages whose primitives the passes model.
+const (
+	pmemPath  = "rntree/internal/pmem"
+	htmPath   = "rntree/internal/htm"
+	sync2Path = "rntree/internal/sync2"
+)
+
+// Method-name sets over pmem.Arena. These mirror the simulator's API split:
+// cache-image mutations need a Persist, streamed (write-through) mutations
+// need a PersistStream or fence, and EvictLine reaches NVM with no ordering
+// at all.
+var (
+	arenaCacheWrites = map[string]bool{
+		"Write8": true, "WriteLine": true, "WriteLineWords": true,
+		"WriteRange": true, "Zero": true,
+	}
+	arenaStreamWrites = map[string]bool{
+		"WriteStream": true, "Write8Stream": true,
+	}
+	arenaPersists = map[string]bool{
+		"Persist": true, "PersistStream": true,
+	}
+)
+
+// calleeOf resolves the *types.Func a call expression invokes (methods via
+// selection, functions via plain or package-qualified identifiers). Returns
+// nil for builtins, conversions, and calls through function-typed values.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call (pkg.Fn).
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isMethodOn reports whether fn is a method whose receiver (possibly via
+// pointer) is the named type pkgPath.typeName.
+func isMethodOn(fn *types.Func, pkgPath, typeName string) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == typeName
+}
+
+func isArenaMethod(fn *types.Func) bool  { return isMethodOn(fn, pmemPath, "Arena") }
+func isTxMethod(fn *types.Func) bool     { return isMethodOn(fn, htmPath, "Tx") }
+func isRegionMethod(fn *types.Func) bool { return isMethodOn(fn, htmPath, "Region") }
+
+// isSync2Lock reports whether fn is a blocking-acquire method of one of the
+// sync2 lock types (the node metadata lock or the spin lock).
+func isSync2Lock(fn *types.Func) bool {
+	if fn == nil || fn.Name() != "Lock" {
+		return false
+	}
+	return isMethodOn(fn, sync2Path, "VersionLock") || isMethodOn(fn, sync2Path, "SpinLock")
+}
+
+func isSync2Unlock(fn *types.Func) bool {
+	if fn == nil || fn.Name() != "Unlock" {
+		return false
+	}
+	return isMethodOn(fn, sync2Path, "VersionLock") || isMethodOn(fn, sync2Path, "SpinLock")
+}
+
+// recvString renders the receiver expression of a method call ("t.arena",
+// "sh.mu") so per-object state can be tracked textually within a function.
+func recvString(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return types.ExprString(ast.Unparen(sel.X))
+	}
+	return ""
+}
+
+// constUint evaluates expr to a constant uint64 when the type checker proved
+// it constant.
+func constUint(info *types.Info, expr ast.Expr) (uint64, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Uint64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return 0, false
+	}
+	return v, true
+}
+
+// event stream ---------------------------------------------------------------
+
+type eventKind int
+
+const (
+	evCall eventKind = iota
+	evReturn
+)
+
+// event is one source-ordered action inside a function body: a call (with
+// its resolved callee, if any) or an explicit return.
+type event struct {
+	kind     eventKind
+	pos      token.Pos
+	call     *ast.CallExpr
+	fn       *types.Func
+	recv     string
+	deferred bool
+}
+
+// bodyEvents flattens a function body into source-ordered events. Nested
+// function literals are NOT descended into (they execute on their own
+// schedule); they are returned separately so callers can analyze them as
+// independent bodies. The ordering is the pre-order source position walk —
+// a deliberate approximation of control flow (see DESIGN.md §11): a Persist
+// later in the text is taken to cover a Write earlier in the text.
+func bodyEvents(info *types.Info, body *ast.BlockStmt) (events []event, closures []*ast.FuncLit) {
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			closures = append(closures, n)
+			return false
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.ReturnStmt:
+			events = append(events, event{kind: evReturn, pos: n.Pos()})
+		case *ast.CallExpr:
+			events = append(events, event{
+				kind:     evCall,
+				pos:      n.Pos(),
+				call:     n,
+				fn:       calleeOf(info, n),
+				recv:     recvString(n),
+				deferred: deferred[n],
+			})
+		}
+		return true
+	})
+	return events, closures
+}
+
+// lineRange is an inclusive range of 64-byte cache-line indexes.
+type lineRange struct{ first, last uint64 }
+
+const simLineSize = 64 // pmem.LineSize, fixed by the simulated hardware
+
+func (r lineRange) contains(o lineRange) bool {
+	return r.first <= o.first && o.last <= r.last
+}
+
+// writeLines computes the cache lines a mutating Arena call touches, when
+// its offset (and, for ranged ops, size) are compile-time constants.
+func writeLines(info *types.Info, fn *types.Func, call *ast.CallExpr) (lineRange, bool) {
+	if len(call.Args) == 0 {
+		return lineRange{}, false
+	}
+	off, ok := constUint(info, call.Args[0])
+	if !ok {
+		return lineRange{}, false
+	}
+	switch fn.Name() {
+	case "Write8", "Write8Stream":
+		return lineRange{off / simLineSize, (off + 7) / simLineSize}, true
+	case "WriteLine", "WriteLineWords":
+		return lineRange{off / simLineSize, off / simLineSize}, true
+	case "Zero":
+		if len(call.Args) >= 2 {
+			if size, ok := constUint(info, call.Args[1]); ok && size > 0 {
+				return lineRange{off / simLineSize, (off + size - 1) / simLineSize}, true
+			}
+		}
+	}
+	// WriteRange/WriteStream sizes come from slice lengths; not constant.
+	return lineRange{}, false
+}
+
+// persistLines computes the cache lines a Persist/PersistStream covers, when
+// constant. Persist flushes whole lines, and a zero size still flushes the
+// line containing off.
+func persistLines(info *types.Info, call *ast.CallExpr) (lineRange, bool) {
+	if len(call.Args) < 2 {
+		return lineRange{}, false
+	}
+	off, ok1 := constUint(info, call.Args[0])
+	size, ok2 := constUint(info, call.Args[1])
+	if !ok1 || !ok2 {
+		return lineRange{}, false
+	}
+	if size == 0 {
+		size = 1
+	}
+	return lineRange{off / simLineSize, (off + size - 1) / simLineSize}, true
+}

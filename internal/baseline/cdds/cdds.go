@@ -117,6 +117,7 @@ func (t *Tree) readEntry(m *leafMeta, i int) entry {
 	}
 }
 
+//pmem:volatile every caller persists the entry range it wrote (the per-op persist counts are the baseline's contract)
 func (t *Tree) writeEntry(m *leafMeta, i int, e entry) {
 	off := t.entryOff(m, i)
 	t.arena.Write8(off, e.key)
@@ -287,6 +288,7 @@ func (t *Tree) split(m *leafMeta) error {
 	return nil
 }
 
+//pmem:volatile the split/compaction caller persists the whole leaf with one ranged Persist
 func (t *Tree) writeLeaf(off uint64, live []entry, next uint64) {
 	t.arena.Zero(off, t.lsize)
 	t.arena.Write8(off+hdrNextOff, next)

@@ -158,6 +158,7 @@ func (t *Tree) readFP(m *leafMeta, i int) uint8 {
 	return uint8(w >> (8 * uint(i&7)))
 }
 
+//pmem:volatile the insert path persists the fingerprint word separately (persist 2 of the FPTree budget)
 func (t *Tree) writeFP(m *leafMeta, i int, fp uint8) {
 	off := m.off + fpLineOff + uint64(i&^7)
 	w := t.arena.Read8(off)
@@ -256,7 +257,7 @@ func (t *Tree) modify(key, value uint64, mode int) error {
 		}
 		free := bits.TrailingZeros64(^bitmap)
 		if free >= t.capacity {
-			err := t.splitLocked(m, bitmap)
+			err := t.splitLocked(m, bitmap) //rnvet:ignore lockflush FPTree splits under the leaf lock; the baseline models that cost faithfully
 			m.mu.Unlock()
 			if err != nil {
 				return err
@@ -266,15 +267,15 @@ func (t *Tree) modify(key, value uint64, mode int) error {
 		eoff := t.entryOff(m, free)
 		t.arena.Write8(eoff, key)
 		t.arena.Write8(eoff+8, value)
-		t.arena.Persist(eoff, kvEntrySize) // persist 1: the entry
+		t.arena.Persist(eoff, kvEntrySize) //rnvet:ignore lockflush FPTree flushes inside the critical section by design — the coupling RNTree's §4.2 removes
 		t.writeFP(m, free, Fingerprint(key))
-		t.arena.Persist(m.off+fpLineOff+uint64(free&^7), 8) // persist 2: the fingerprint
+		t.arena.Persist(m.off+fpLineOff+uint64(free&^7), 8) //rnvet:ignore lockflush FPTree flushes inside the critical section by design
 		nb := bitmap | 1<<uint(free)
 		if exists {
 			nb &^= 1 << uint(i) // retire the old version in the same atomic word
 		}
 		t.arena.Write8(m.off+hdrBmpOff, nb)
-		t.arena.Persist(m.off+hdrBmpOff, 8) // persist 3: the bitmap (commit point)
+		t.arena.Persist(m.off+hdrBmpOff, 8) //rnvet:ignore lockflush persist 3: the bitmap commit point, under the leaf lock by design
 		m.ver.Add(1)
 		m.mu.Unlock()
 		return nil
@@ -298,7 +299,7 @@ func (t *Tree) Remove(key uint64) error {
 			return tree.ErrKeyNotFound
 		}
 		t.arena.Write8(m.off+hdrBmpOff, bitmap&^(1<<uint(i)))
-		t.arena.Persist(m.off+hdrBmpOff, 8) // the only persist
+		t.arena.Persist(m.off+hdrBmpOff, 8) //rnvet:ignore lockflush the single-persist remove commits under the leaf lock by design
 		m.ver.Add(1)
 		m.mu.Unlock()
 		return nil
@@ -344,6 +345,8 @@ func (t *Tree) splitLocked(m *leafMeta, bitmap uint64) error {
 }
 
 // writeLeaf lays out a compacted leaf: slots 0..n-1 in key order.
+//
+//pmem:volatile the split caller persists the whole leaf with one ranged Persist
 func (t *Tree) writeLeaf(off uint64, keys, vals []uint64, next uint64) {
 	t.arena.Zero(off, t.lsize)
 	t.arena.Write8(off+hdrNextOff, next)

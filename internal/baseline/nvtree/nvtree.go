@@ -303,6 +303,8 @@ func (t *Tree) maybeSplit(m *leafMeta) error {
 }
 
 // writeLeafLog lays out a compacted leaf log in key order.
+//
+//pmem:volatile the split/compaction caller persists the whole leaf with one ranged Persist
 func (t *Tree) writeLeafLog(off uint64, live []tree.KV, next uint64) {
 	t.arena.Zero(off, t.lsize)
 	t.arena.Write8(off+hdrNextOff, next)

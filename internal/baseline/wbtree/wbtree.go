@@ -362,6 +362,8 @@ func (t *Tree) split(m *leafMeta) error {
 }
 
 // writeLeaf lays out a compacted leaf with an identity slot array.
+//
+//pmem:volatile the split caller persists the whole leaf with one ranged Persist
 func (t *Tree) writeLeaf(off uint64, keys, vals []uint64, next uint64) {
 	t.arena.Zero(off, t.lsize)
 	t.arena.Write8(off+hdrNextOff, next)

@@ -135,7 +135,7 @@ func CrashRecover(a *pmem.Arena, opts Options) (*Tree, error) {
 		// Rebuild the transient slot array from the persistent one.
 		var line [pmem.LineSize]byte
 		a.ReadLine(m.off+pslotOff, &line)
-		a.WriteLine(m.off+tslotOff, &line)
+		a.WriteLine(m.off+tslotOff, &line) //pmem:volatile the transient slot array is a volatile mirror, rebuilt from pslot on every recovery
 	})
 	t.finishOpen(maxOff)
 	return t, nil

@@ -57,10 +57,13 @@ func (p *undoPool) acquire(a *pmem.Arena) (uint64, error) {
 	// each persisted before the next write depends on it.
 	a.Write8(off+undoStatusOff, 0)
 	a.Write8(off+undoNextOff, a.Read8(rootUndoOff))
-	a.Persist(off, pmem.LineSize)
+	a.Persist(off, pmem.LineSize) //rnvet:ignore lockflush slot.next must be durable before the lock-serialized head write can reference it
 	a.Write8(rootUndoOff, off)
-	a.Persist(rootUndoOff, 8)
 	p.mu.Unlock()
+	// The head flush runs outside the critical section (§4.2): a crash before
+	// it merely leaks the slot (old head is still a valid chain), and any
+	// later head persist by a competing acquire flushes this value too.
+	a.Persist(rootUndoOff, 8)
 	return off, nil
 }
 
@@ -80,7 +83,7 @@ func (t *Tree) forceSplit(m *leafMeta) error {
 	m.vl.Lock()
 	defer m.vl.Unlock()
 	if int(m.nlogs.Load()) >= t.capacity {
-		return t.splitLocked(m)
+		return t.splitLocked(m) //rnvet:ignore lockflush Algorithm 3 must run under the leaf lock (the leaf is undo-logged)
 	}
 	return nil
 }
@@ -204,6 +207,8 @@ var splitBufs = sync.Pool{New: func() any { return new(splitScratch) }}
 // records in key order, both slot arrays are the identity permutation, and
 // the header carries the next pointer. The image is assembled in a scratch
 // buffer and stored with one ranged write. The caller persists the range.
+//
+//pmem:volatile the split/compaction caller persists the whole leaf image in one Persist
 func (t *Tree) writeLeafImage(off uint64, keys, vals []uint64, next uint64) {
 	sb := splitBufs.Get().(*splitScratch)
 	img := sb.image(t.lsize)

@@ -306,7 +306,7 @@ func (t *Tree) modify(key, value uint64, mode int) error {
 		m.vl.Lock()
 		if t.flushCS {
 			// Decoupled-design ablation: the slow flush occupies the lock.
-			t.arena.Persist(eoff, kvEntrySize)
+			t.arena.Persist(eoff, kvEntrySize) //rnvet:ignore lockflush the FlushInCS ablation exists to measure exactly this violation
 		}
 		if m.vl.Version() != v || key >= m.high.Load() {
 			// A split intervened while we were flushing; our log entry is
@@ -338,14 +338,14 @@ func (t *Tree) modify(key, value uint64, mode int) error {
 			ns = s.insertAt(pos, uint8(entry))
 		}
 		t.htmLeafUpdate(m, &ns)
-		t.arena.Persist(m.off+pslotOff, pmem.LineSize) // persistent instruction 2 of 2 — commit point
+		t.arena.Persist(m.off+pslotOff, pmem.LineSize) //rnvet:ignore lockflush §4.2 step 4: the slot-array publish IS the commit and must flush under the leaf lock
 		if t.dual {
 			t.htmLeafCopySlot(m)
 		}
 		m.plogs++
 		var splitErr error
 		if int(m.plogs) >= t.capacity-1 {
-			splitErr = t.splitLocked(m)
+			splitErr = t.splitLocked(m) //rnvet:ignore lockflush Algorithm 3 must run under the leaf lock (the leaf is undo-logged)
 		}
 		m.vl.Unlock()
 		return splitErr
@@ -376,7 +376,7 @@ func (t *Tree) Remove(key uint64) error {
 		}
 		ns := s.removeAt(pos)
 		t.htmLeafUpdate(m, &ns)
-		t.arena.Persist(m.off+pslotOff, pmem.LineSize) // the only persistent instruction
+		t.arena.Persist(m.off+pslotOff, pmem.LineSize) //rnvet:ignore lockflush Remove's single persist is the commit point (§4.2 step 4, under the leaf lock)
 		if t.dual {
 			t.htmLeafCopySlot(m)
 		}

@@ -377,6 +377,8 @@ func (tx *Tx) Load8(off uint64) uint64 {
 // Store8 buffers an 8-byte word store; it becomes visible at commit. In
 // fallback mode the store executes immediately, as on a real RTM fallback
 // path (ordinary locked code).
+//
+//pmem:volatile transactional stores are made durable by the caller's commit persist after Run returns, never inside the region
 func (tx *Tx) Store8(off uint64, v uint64) {
 	if tx.fallback {
 		tx.r.arena.Write8(off, v)
@@ -405,6 +407,8 @@ func (tx *Tx) LoadLine(off uint64, dst *[pmem.LineSize]byte) {
 }
 
 // StoreLine buffers a store of all 64 bytes of the line containing off.
+//
+//pmem:volatile transactional stores are made durable by the caller's commit persist after Run returns, never inside the region
 func (tx *Tx) StoreLine(off uint64, src *[pmem.LineSize]byte) {
 	lineOff := off &^ uint64(pmem.LineSize-1)
 	if tx.fallback {
@@ -436,6 +440,8 @@ func (tx *Tx) Persist(off, size uint64) {
 func (tx *Tx) InFallback() bool { return tx.fallback }
 
 // commit publishes buffered writes atomically. Returns false on conflict.
+//
+//pmem:volatile commit drains the write buffer to cache lines; durability is the caller's commit persist after Run returns (a flush here would have aborted the transaction, §2.2)
 func (tx *Tx) commit() bool {
 	if tx.fallback {
 		// Stores already executed directly; exclusivity against the hardware
@@ -555,7 +561,7 @@ var ErrExplicitAbort = ErrExplicitAbortT{}
 // conflicts — the canonical RTM lock-elision loop. Returns ErrExplicitAbort
 // if body called Tx.Abort; otherwise nil after a successful commit.
 func (r *Region) Run(body func(*Tx)) error {
-	out, err := r.RunOutcome(body)
+	out, err := r.RunOutcome(body) //htm:safe pure delegation; the body closure is verified at each caller's Run call site
 	_ = out
 	return err
 }

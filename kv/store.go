@@ -409,6 +409,7 @@ func (p *kvPart) appendRecord(sh *shard, kind int, key, val []byte, next uint64)
 	return off, nil
 }
 
+//pmem:volatile helper inside the record append; the caller fences the whole record span with one PersistStream
 func streamPadded(a *pmem.Arena, off uint64, b []byte) {
 	if len(b) == 0 {
 		return
