@@ -21,17 +21,21 @@ test:
 	$(GO) test ./...
 
 # The kv store's Stats/Put/Delete/Compact paths, the tree's HTM slot
-# updates, the forest's partition router, and the HTM emulation's lock
-# table are exercised concurrently; keep them race-clean.
+# updates (including the DRAM fingerprint words), the forest's partition
+# router, the HTM emulation's lock table, the server's hot-key cache and
+# stats snapshots, and the client's pending-call table are exercised
+# concurrently; keep them race-clean.
 race:
-	$(GO) test -race ./kv/... ./internal/core/... ./internal/forest/... ./internal/htm/...
+	$(GO) test -race ./kv/... ./internal/core/... ./internal/forest/... ./internal/htm/... ./internal/server/... ./client/...
 
 bench-kv:
 	$(GO) run ./cmd/rnbench -exp kvscale
 
-# Loopback serving sweep (conns x depth); writes BENCH_server.json.
+# Loopback serving sweeps: durable-PUT throughput (conns x depth) and the
+# zipf-0.8 GET-latency sweep with the hot-key cache off/on; both sections
+# merge into BENCH_server.json.
 bench-server:
-	$(GO) run ./cmd/rnbench -exp netbench
+	$(GO) run ./cmd/rnbench -exp netbench,netgetbench
 
 # The network serving layer's gate: protocol/server/client tests under the
 # race detector (the pipelined writer, batcher, and drain paths are all

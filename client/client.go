@@ -383,7 +383,10 @@ func (c *Client) readLoop(conn net.Conn, gen uint64) {
 		if ok {
 			p.ch <- result{resp: resp}
 		}
-		// Unmatched IDs are responses to timed-out calls; drop them.
+		// Unmatched IDs are late responses to calls already failed by the
+		// timeout sweep or a teardown. IDs are never reused, so such a
+		// response cannot belong to any other caller: dropping it here is
+		// the whole response-after-timeout story.
 	}
 }
 
@@ -409,10 +412,47 @@ func (c *Client) do(req wire.Request) (wire.Response, error) {
 		framePool.Put(frame[:0]) //nolint:staticcheck // []byte pooling is deliberate
 		return wire.Response{}, err
 	}
+	// Response-after-timeout audit (why a late response can never complete
+	// a different caller's call): request IDs come from a monotonic counter
+	// and are NEVER reused, so a response outliving its call matches no
+	// other caller's pend entry — readLoop drops it. The result channel IS
+	// reused (chanPool), but only after its previous registration was
+	// delivered: removal of the pend entry under pendMu is the single
+	// commit point, exactly one of readLoop / teardown / sweepLoop wins it,
+	// and only the winner sends on the channel. A channel coming out of the
+	// pool is therefore always empty.
 	ch := chanPool.Get().(chan result)
 	c.pendMu.Lock()
 	c.pend[req.ID] = pending{gen: gen, deadline: time.Now().Add(c.opts.Timeout), ch: ch}
 	c.pendMu.Unlock()
+
+	// Re-check closed AFTER registering: Close sweeps the pending map
+	// exactly once (teardown) and sweepLoop exits with the flag, so an
+	// entry registered after that sweep has no deliverer left — without
+	// this check the call would hang forever on its channel. Close sets the
+	// flag before its sweep takes pendMu, so either the sweep saw our entry
+	// (it delivers ErrClosed below) or this load sees the flag and we
+	// withdraw the entry ourselves. Losing the withdrawal race just means a
+	// delivery is already committed — take it.
+	if c.closed.Load() {
+		framePool.Put(frame[:0]) //nolint:staticcheck // []byte pooling is deliberate
+		c.pendMu.Lock()
+		_, mine := c.pend[req.ID]
+		if mine {
+			delete(c.pend, req.ID)
+		}
+		c.pendMu.Unlock()
+		if mine {
+			chanPool.Put(ch)
+			return wire.Response{}, ErrClosed
+		}
+		r := <-ch
+		chanPool.Put(ch)
+		if r.err != nil {
+			return wire.Response{}, r.err
+		}
+		return r.resp, nil
+	}
 
 	// Queue the frame for the writer goroutine, which coalesces every
 	// frame queued behind the in-flight write into one syscall. A buffer

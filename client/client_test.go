@@ -255,6 +255,122 @@ func TestClosedClient(t *testing.T) {
 	}
 }
 
+// TestLateResponseDropped pins the response-after-timeout contract: a
+// server reply arriving after the sweep has already failed its call with
+// ErrTimeout must be dropped, never delivered to a later call — even
+// though that later call reuses the pooled result channel of the dead one.
+// The raw connection lets the test control exactly when each reply frame
+// hits the wire.
+func TestLateResponseDropped(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	reqs := make(chan wire.Request, 16)
+	connCh := make(chan net.Conn, 1)
+	go func() {
+		sc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		connCh <- sc
+		br := bufio.NewReader(sc)
+		for {
+			payload, err := wire.ReadFrame(br, nil)
+			if err != nil {
+				return
+			}
+			req, err := wire.DecodeRequest(payload)
+			if err != nil {
+				return
+			}
+			req.Key = append([]byte(nil), req.Key...)
+			reqs <- req
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String(), Options{Timeout: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sc := <-connCh
+	defer sc.Close()
+
+	// Call 1: the server reads the request but withholds the reply until
+	// after the sweep fires ErrTimeout.
+	if _, err := c.Get([]byte("held")); err != ErrTimeout {
+		t.Fatalf("held Get: %v", err)
+	}
+	req1 := <-reqs
+
+	// Late reply for the dead call, with a poison value. readLoop must find
+	// no pending entry for req1.ID (the sweep removed it, and IDs are never
+	// reused) and drop the frame on the floor.
+	frame, err := wire.AppendResponse(nil, wire.Response{
+		ID: req1.ID, Op: wire.OpGet, Status: wire.StatusOK, Val: []byte("POISON"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+
+	// Call 2 very likely takes the pooled channel call 1 abandoned. It must
+	// complete with its own response, not the poison one.
+	go func() {
+		req2 := <-reqs
+		if req2.ID == req1.ID {
+			t.Error("request ID reused across calls")
+		}
+		f, _ := wire.AppendResponse(nil, wire.Response{
+			ID: req2.ID, Op: wire.OpGet, Status: wire.StatusOK, Val: []byte("fresh"),
+		})
+		sc.Write(f)
+	}()
+	v, err := c.Get([]byte("next"))
+	if err != nil || string(v) != "fresh" {
+		t.Fatalf("call after late response got %q, %v (want \"fresh\")", v, err)
+	}
+}
+
+// TestCloseRaceNoHang races in-flight calls against Close. Before the
+// post-registration closed re-check in do(), a call that registered its
+// pending entry after Close's teardown sweep had no deliverer left —
+// readLoop and sweepLoop were gone — and blocked on its channel forever.
+func TestCloseRaceNoHang(t *testing.T) {
+	for iter := 0; iter < 40; iter++ {
+		fs := newFakeServer(t)
+		c, err := Dial(fs.addr(), Options{Timeout: time.Second, ReconnectAttempts: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				// Any outcome (success, ErrClosed, ErrConnLost) is fine;
+				// the assertion is that every call RETURNS.
+				_ = c.Ping()
+			}()
+		}
+		close(start)
+		c.Close()
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("call hung across Close (orphaned pending entry)")
+		}
+	}
+}
+
 func TestBackoffJitterBounds(t *testing.T) {
 	c := &Client{opts: Options{ReconnectBase: 4 * time.Millisecond, ReconnectMax: 16 * time.Millisecond}, backoff: 1}
 	for attempt := 0; attempt < 6; attempt++ {

@@ -69,9 +69,12 @@ func writeForestJSON(path string, cfg bench.Config, r bench.Result) error {
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
-// serverReport is the machine-readable summary of the netbench
-// experiment, written to -server-json so CI can gate on the pipelining
-// speedup bar without scraping the text table.
+// serverReport is the machine-readable summary of the serving-layer
+// experiments, written to -server-json so CI can gate on the pipelining
+// speedup bar (and the cache's read-latency win) without scraping the
+// text tables. The top-level fields are the netbench PUT sweep; GetSweep
+// is the netgetbench GET-latency sweep. Either experiment can run alone:
+// the writer merges its section into whatever the file already holds.
 type serverReport struct {
 	ID         string     `json:"id"`
 	Title      string     `json:"title"`
@@ -84,24 +87,74 @@ type serverReport struct {
 	// 1-connection unpipelined baseline; PassedBar is SpeedupVs1x1 >= 4.
 	SpeedupVs1x1 float64 `json:"speedup_vs_1x1"`
 	PassedBar    bool    `json:"passed_4x_bar"`
+
+	GetSweep *getSweepReport `json:"get_sweep,omitempty"`
 }
 
-// writeServerJSON renders the netbench result to path.
+// getSweepReport is the netgetbench section: zipf-0.8 GET p50/p99 with
+// the hot-key cache off and on.
+type getSweepReport struct {
+	Title      string     `json:"title"`
+	DurationMS int64      `json:"duration_ms"`
+	Seed       int64      `json:"seed"`
+	Header     []string   `json:"header"`
+	Rows       [][]string `json:"rows"`
+	Notes      []string   `json:"notes"`
+	// P50SpeedupCached / P99SpeedupCached are the 4x16 shape's cache-off
+	// latency over its cache-on latency; CachePassedBar requires the
+	// cached p50 to beat uncached (ratio > 1).
+	P50SpeedupCached float64 `json:"p50_speedup_cached"`
+	P99SpeedupCached float64 `json:"p99_speedup_cached"`
+	CachePassedBar   bool    `json:"cache_passed_bar"`
+}
+
+// writeServerJSON merges one serving-layer result (netbench or
+// netgetbench) into the report at path, preserving the other section if a
+// previous run already wrote it.
 func writeServerJSON(path string, cfg bench.Config, r bench.Result) error {
-	rep := serverReport{
-		ID: r.ID, Title: r.Title,
-		DurationMS: cfg.Duration.Milliseconds(), Seed: cfg.Seed,
-		Header: r.Header, Rows: r.Rows, Notes: r.Notes,
+	var rep serverReport
+	if prev, err := os.ReadFile(path); err == nil {
+		// Best-effort: an unreadable or stale-format file is overwritten.
+		_ = json.Unmarshal(prev, &rep)
 	}
-	// The acceptance cell is the batched 8×16 row; its last column is the
-	// throughput ratio against the (batched) 1×1 baseline row.
-	for _, row := range r.Rows {
-		if len(row) >= 8 && row[0] == "8" && row[1] == "16" && row[2] == "on" {
-			if v, err := strconv.ParseFloat(row[7], 64); err == nil {
-				rep.SpeedupVs1x1 = v
-				rep.PassedBar = v >= 4.0
+	switch r.ID {
+	case "netbench":
+		rep.ID = r.ID
+		rep.Title = r.Title
+		rep.DurationMS = cfg.Duration.Milliseconds()
+		rep.Seed = cfg.Seed
+		rep.Header, rep.Rows, rep.Notes = r.Header, r.Rows, r.Notes
+		// The acceptance cell is the batched 8×16 row; its last column is
+		// the throughput ratio against the (batched) 1×1 baseline row.
+		for _, row := range r.Rows {
+			if len(row) >= 8 && row[0] == "8" && row[1] == "16" && row[2] == "on" {
+				if v, err := strconv.ParseFloat(row[7], 64); err == nil {
+					rep.SpeedupVs1x1 = v
+					rep.PassedBar = v >= 4.0
+				}
 			}
 		}
+	case "netgetbench":
+		gs := &getSweepReport{
+			Title:      r.Title,
+			DurationMS: cfg.Duration.Milliseconds(),
+			Seed:       cfg.Seed,
+			Header:     r.Header, Rows: r.Rows, Notes: r.Notes,
+		}
+		// The acceptance cells are the 4×16 cache-on row's off/on latency
+		// ratios (columns p50_vs_off, p99_vs_off).
+		for _, row := range r.Rows {
+			if len(row) >= 9 && row[0] == "4" && row[1] == "16" && row[2] == "on" {
+				if v, err := strconv.ParseFloat(row[7], 64); err == nil {
+					gs.P50SpeedupCached = v
+				}
+				if v, err := strconv.ParseFloat(row[8], 64); err == nil {
+					gs.P99SpeedupCached = v
+				}
+				gs.CachePassedBar = gs.P50SpeedupCached > 1.0
+			}
+		}
+		rep.GetSweep = gs
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -192,7 +245,7 @@ func main() {
 					fmt.Fprintf(w, "(wrote %s)\n", *fjson)
 				}
 			}
-			if r.ID == "netbench" && *sjson != "" {
+			if (r.ID == "netbench" || r.ID == "netgetbench") && *sjson != "" {
 				if err := writeServerJSON(*sjson, cfg, r); err != nil {
 					fmt.Fprintf(os.Stderr, "rnbench: writing %s: %v\n", *sjson, err)
 					failed = true

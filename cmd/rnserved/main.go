@@ -10,6 +10,7 @@
 //
 //	rnserved [-addr :4410] [-partitions 4] [-arena-mb 512] [-dualslot]
 //	         [-batch] [-batch-max 64] [-batch-delay 200us]
+//	         [-cache] [-cache-entries 65536]
 //	         [-max-conns 256] [-max-inflight 64] [-max-global 1024]
 //	         [-idle-timeout 2m] [-flush-ns 0] [-fence-ns 0]
 package main
@@ -42,6 +43,9 @@ type config struct {
 	batchMax   int
 	batchDelay time.Duration
 
+	cache        bool
+	cacheEntries int
+
 	maxConns    int
 	maxInflight int
 	maxGlobal   int
@@ -63,6 +67,8 @@ func parseFlags(args []string, errw io.Writer) (config, error) {
 	fs.BoolVar(&c.batch, "batch", false, "coalesce PUTs across connections to amortize persist fences")
 	fs.IntVar(&c.batchMax, "batch-max", 64, "max PUTs per coalesced batch")
 	fs.DurationVar(&c.batchDelay, "batch-delay", 200*time.Microsecond, "max time a PUT waits for batch-mates")
+	fs.BoolVar(&c.cache, "cache", false, "front GETs with the epoch-validated DRAM hot-key cache")
+	fs.IntVar(&c.cacheEntries, "cache-entries", 65536, "hot-key cache capacity (size to the GET working set; an undersized cache thrashes)")
 	fs.IntVar(&c.maxConns, "max-conns", 256, "max concurrent connections")
 	fs.IntVar(&c.maxInflight, "max-inflight", 64, "max pipelined requests per connection")
 	fs.IntVar(&c.maxGlobal, "max-global", 1024, "max in-flight requests across all connections (excess rejected)")
@@ -116,14 +122,18 @@ func serve(cfg config, w *drain.Watcher, out io.Writer) error {
 			MaxBatch: cfg.batchMax,
 			MaxDelay: cfg.batchDelay,
 		},
+		Cache: server.CacheConfig{
+			Enable:     cfg.cache,
+			MaxEntries: cfg.cacheEntries,
+		},
 	})
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
-	fmt.Fprintf(out, "rnserved: serving on %s (partitions=%d arena=%dMiB batch=%v)\n",
-		ln.Addr(), cfg.partitions, cfg.arenaMB, cfg.batch)
+	fmt.Fprintf(out, "rnserved: serving on %s (partitions=%d arena=%dMiB batch=%v cache=%v)\n",
+		ln.Addr(), cfg.partitions, cfg.arenaMB, cfg.batch, cfg.cache)
 
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- srv.Serve(ln) }()

@@ -13,12 +13,15 @@ import (
 )
 
 func TestParseFlags(t *testing.T) {
-	c, err := parseFlags([]string{"-addr", "127.0.0.1:9999", "-partitions", "2", "-batch", "-arena-mb", "64"}, io.Discard)
+	c, err := parseFlags([]string{"-addr", "127.0.0.1:9999", "-partitions", "2", "-batch", "-arena-mb", "64", "-cache", "-cache-entries", "1024"}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.addr != "127.0.0.1:9999" || c.partitions != 2 || !c.batch || c.arenaMB != 64 {
 		t.Fatalf("parsed config = %+v", c)
+	}
+	if !c.cache || c.cacheEntries != 1024 {
+		t.Fatalf("cache flags not parsed: %+v", c)
 	}
 	if _, err := parseFlags([]string{"-no-such-flag"}, io.Discard); err == nil {
 		t.Fatal("bad flag accepted")
@@ -40,6 +43,9 @@ func TestServeSignalCleanShutdown(t *testing.T) {
 				t.Fatal(err)
 			}
 			cfg.batch = batch
+			// The batched variant also fronts GETs with the hot-key cache,
+			// so the end-to-end path covers both server-side subsystems.
+			cfg.cache = batch
 
 			w := drain.New(nil)
 			outR, outW := io.Pipe()

@@ -333,6 +333,7 @@ var Registry = map[string]func(Config) []Result{
 	"forestscale": ForestScale,
 	"faultmatrix": FaultMatrix,
 	"netbench":    NetBench,
+	"netgetbench": NetGetBench,
 }
 
 // ExperimentIDs returns the registered experiment names, sorted.

@@ -44,6 +44,13 @@ type leafMeta struct {
 	// range scans to walk the chain without arena lookups.
 	next atomic.Pointer[leafMeta]
 
+	// fps is the packed per-log-entry fingerprint filter (8 bytes per
+	// word; see fingerprint.go for the coherence argument). Written under
+	// the leaf lock or SplitBit, snapshotted atomically by readers.
+	//
+	//pmem:volatile DRAM-only probe filter, rebuilt from slot arrays and logs by every recovery path
+	fps [fpWords]atomic.Uint64
+
 	// id is this leaf's handle in the metaTable / inner index.
 	id uint64
 }

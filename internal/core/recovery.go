@@ -186,6 +186,13 @@ func (t *Tree) walkChain(fill func(m *leafMeta, s *slotArray)) uint64 {
 		a.ReadLine(off+pslotOff, &line)
 		s := decodeSlot(&line, t.capacity)
 		fill(m, &s)
+		// Rebuild the DRAM fingerprint filter from the persistent slot
+		// array and logs — the filter is volatile and every reopen path
+		// (Reconstruct, CrashRecover, BulkLoad) funnels through here.
+		for i := 0; i < s.n; i++ {
+			e := int(s.idx[i])
+			m.setFp(e, fpHash(a.Read8(kvEntryOff(off, e))))
+		}
 		if s.n > 0 {
 			// Reconstruction trusts the min key Close persisted in the
 			// header (§5.4: "retrieves the greatest key in each leaf");

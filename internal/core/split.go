@@ -163,12 +163,18 @@ func (t *Tree) splitInTwo(m *leafMeta, keys, vals []uint64) error {
 	nm.plogs = uint32(n - half)
 	nm.high.Store(m.high.Load())
 	nm.next.Store(m.next.Load())
+	nm.resetFps(keys[half:])
 	newID := t.metas.add(nm)
 
 	m.nlogs.Store(uint32(half))
 	m.plogs = uint32(half)
 	m.high.Store(splitKey)
 	m.next.Store(nm)
+	// The log area was rewritten to the identity layout; reinstall the
+	// fingerprints before UnsetSplit publishes the new version. Readers
+	// racing the split may pair new fingerprints with an old snapshot, but
+	// their version validation rejects the attempt either way.
+	m.resetFps(keys[:half])
 
 	// htmTreeUpdate (Table 2): register the new leaf under its separator.
 	// Done before UnsetSplit so retrying operations find the updated index.
@@ -185,6 +191,7 @@ func (t *Tree) compactInPlace(m *leafMeta, keys, vals []uint64) {
 	t.arena.Persist(m.off, t.lsize)
 	m.nlogs.Store(uint32(len(keys)))
 	m.plogs = uint32(len(keys))
+	m.resetFps(keys)
 }
 
 // splitScratch holds reusable buffers for split/compaction so the split

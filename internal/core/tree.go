@@ -93,6 +93,11 @@ type Tree struct {
 	// readRetries counts wasted read attempts (leaf locked or version
 	// changed mid-read) — the reader/writer contention metric of §6.3.
 	readRetries atomic.Uint64
+	// splitRetries counts modify attempts thrown away by a split race
+	// (stale leaf, splitting leaf, or a version change under the lock).
+	// Bounded growth under contention is asserted by the backoff stress
+	// test; unbounded growth would mean the retry loop is hot-spinning.
+	splitRetries atomic.Uint64
 }
 
 var _ tree.Index = (*Tree)(nil)
@@ -151,6 +156,10 @@ func (t *Tree) Depth() int { return t.ix.Depth() }
 // (blocked by a writer's critical section or invalidated by a concurrent
 // split). The dual slot array exists to drive this toward zero (§4.3).
 func (t *Tree) ReadRetries() uint64 { return t.readRetries.Load() }
+
+// SplitRetries reports how many modify attempts were discarded by a
+// concurrent split and retried from the root.
+func (t *Tree) SplitRetries() uint64 { return t.splitRetries.Load() }
 
 // Stats is a point-in-time snapshot of one tree's cost counters: persistence
 // traffic from its arena, transaction outcomes from its HTM region, reader
@@ -273,11 +282,19 @@ func (t *Tree) Update(key, value uint64) error { return t.modify(key, value, mod
 func (t *Tree) Upsert(key, value uint64) error { return t.modify(key, value, modeUpsert) }
 
 func (t *Tree) modify(key, value uint64, mode int) error {
+	// Split-race retries back off with the same jittered exponential delay
+	// the HTM region applies to conflict aborts: without it, every writer
+	// parked on a splitting hot leaf re-traverses in lock step and hammers
+	// the same version word while the splitter is trying to finish.
+	var jitter uint64
 	for attempt := 0; ; attempt++ {
 		m := t.leafFor(key)
 		v := m.vl.StableVersion()
 		if key >= m.high.Load() {
-			continue // leaf split since the index was read; re-traverse
+			// Leaf split since the index was read; re-traverse.
+			t.splitRetries.Add(1)
+			sync2.JitterBackoff(attempt, &jitter)
+			continue
 		}
 		// --- Unlocked window: allocate, write, flush (§4.2 steps 1-3).
 		// The pin keeps a concurrent split from compacting the log area
@@ -285,6 +302,8 @@ func (t *Tree) modify(key, value uint64, mode int) error {
 		m.pins.Add(1)
 		if m.vl.IsSplitting() {
 			m.pins.Add(-1)
+			t.splitRetries.Add(1)
+			sync2.JitterBackoff(attempt, &jitter)
 			continue
 		}
 		entry, ok := t.allocEntry(m)
@@ -293,6 +312,8 @@ func (t *Tree) modify(key, value uint64, mode int) error {
 			if err := t.forceSplit(m); err != nil {
 				return err
 			}
+			// No backoff: forceSplit made progress (the leaf has room now).
+			t.splitRetries.Add(1)
 			continue
 		}
 		eoff := kvEntryOff(m.off, entry)
@@ -313,6 +334,8 @@ func (t *Tree) modify(key, value uint64, mode int) error {
 			// orphaned (never referenced) and will be discarded by the next
 			// compaction. Retry from the root (Algorithm 1 line 5).
 			m.vl.Unlock()
+			t.splitRetries.Add(1)
+			sync2.JitterBackoff(attempt, &jitter)
 			continue
 		}
 		var line [pmem.LineSize]byte
@@ -337,6 +360,9 @@ func (t *Tree) modify(key, value uint64, mode int) error {
 		} else {
 			ns = s.insertAt(pos, uint8(entry))
 		}
+		// Fingerprint before publish: any reader whose snapshot contains
+		// this entry must already find its fingerprint (fingerprint.go).
+		m.setFp(entry, fpHash(key))
 		t.htmLeafUpdate(m, &ns)
 		t.arena.Persist(m.off+pslotOff, pmem.LineSize) //rnvet:ignore lockflush §4.2 step 4: the slot-array publish IS the commit and must flush under the leaf lock
 		if t.dual {
@@ -385,11 +411,14 @@ func (t *Tree) Remove(key uint64) error {
 	}
 }
 
-// Find implements Algorithm 4. With the dual slot array enabled it never
-// blocks on concurrent writers: it snapshots the transient slot array and
-// validates the leaf version (which only changes on splits). Without it,
-// readers must wait out the writer's critical section, the contention the
-// +DS design removes.
+// Find implements Algorithm 4, with the per-leaf fingerprint filter
+// replacing the binary search of the snapshot: a miss is decided from DRAM
+// bytes alone and a hit costs one arena key read plus the value read
+// (fingerprint.go). With the dual slot array enabled it never blocks on
+// concurrent writers: it snapshots the transient slot array and validates
+// the leaf version (which only changes on splits). Without it, readers must
+// wait out the writer's critical section, the contention the +DS design
+// removes.
 func (t *Tree) Find(key uint64) (uint64, bool) {
 	for {
 		m := t.leafFor(key)
@@ -399,7 +428,7 @@ func (t *Tree) Find(key uint64) (uint64, bool) {
 				continue
 			}
 			s := t.htmLeafSnapshot(m, tslotOff)
-			pos, ok := t.searchLeaf(m, &s, key)
+			pos, ok := t.probeLeaf(m, &s, key)
 			var val uint64
 			if ok {
 				val = t.arena.Read8(kvEntryOff(m.off, int(s.idx[pos])) + 8)
@@ -420,7 +449,7 @@ func (t *Tree) Find(key uint64) (uint64, bool) {
 			continue
 		}
 		s := t.htmLeafSnapshot(m, pslotOff)
-		pos, ok := t.searchLeaf(m, &s, key)
+		pos, ok := t.probeLeaf(m, &s, key)
 		var val uint64
 		if ok {
 			val = t.arena.Read8(kvEntryOff(m.off, int(s.idx[pos])) + 8)

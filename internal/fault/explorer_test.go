@@ -52,6 +52,24 @@ func TestExploreKVAllSites(t *testing.T) {
 	t.Logf("kv: %d sites, %d images, hash %#x", rep.Sites, rep.Images, rep.ImageHash)
 }
 
+// The cached target runs the same store workload behind the server's DRAM
+// hot-key cache: every crash site must recover to an image a fresh cache
+// serves identically on the fill pass and the all-hits pass — the proof
+// that the cache needs no persistence and recovery discards it cleanly.
+func TestExploreCachedKVAllSites(t *testing.T) {
+	rep := mustExplore(t, &CachedKVTarget{}, KVWorkload(), Config{Seed: 42, EvictProb: 0.4, Torn: true})
+	if rep.Sites < 60 {
+		t.Fatalf("only %d sites — workload too shallow", rep.Sites)
+	}
+	if rep.Explored != rep.Sites {
+		t.Fatalf("explored %d of %d sites", rep.Explored, rep.Sites)
+	}
+	if !rep.Ok() {
+		t.Fatalf("%d violations, first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	t.Logf("kv+cache: %d sites, %d images, hash %#x", rep.Sites, rep.Images, rep.ImageHash)
+}
+
 // Crashing inside the v1→v2 migration (which runs inside Open) must always
 // leave an image that reopens to exactly the pre-migration contents.
 func TestExploreKVV1Migration(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"rntree/internal/core"
 	"rntree/internal/forest"
 	"rntree/internal/pmem"
+	"rntree/internal/server"
 	"rntree/kv"
 )
 
@@ -213,6 +214,148 @@ func KVWorkload() []Op {
 		Op{Kind: OpCompact},
 	)
 	return ops
+}
+
+// ---------------------------------------------------------------------------
+// kv.Store + DRAM hot-key cache target
+
+// CachedKVTarget drives a kv.Store fronted by the server's DRAM hot-key
+// cache, wired exactly as internal/server.handle wires it: every GET is a
+// cache-first read-through (FillEpoch → store read → CommitFill), every
+// mutation invalidates after the store commit. The cache holds no
+// persistent state, so the thing to prove here is the recovery contract
+// from cache.go: a crash discards the cache wholesale, and a fresh server
+// over the recovered image — with a fresh, empty cache — serves exactly
+// the model state both on the filling pass and on the all-hits pass that
+// follows it. A cache that survived recovery by accident (or a read-through
+// that installs mismatched values) fails the image comparison.
+type CachedKVTarget struct {
+	store *kv.Store
+	cache *server.Cache
+}
+
+func (t *CachedKVTarget) Name() string { return "kv+cache" }
+
+func cachedKVCacheCfg() server.CacheConfig {
+	// Small and 2-sharded: evictions and shared-shard epoch bumps happen
+	// within the workload's few dozen keys.
+	return server.CacheConfig{Enable: true, MaxEntries: 16, Shards: 2}
+}
+
+func (t *CachedKVTarget) Reset() ([]*pmem.Arena, Model, error) {
+	s, err := kv.New(kvOpts())
+	if err != nil {
+		return nil, nil, err
+	}
+	t.store = s
+	t.cache = server.NewCache(cachedKVCacheCfg())
+	return s.Arenas(), Model{}, nil
+}
+
+// readThrough is the serving path's GET: cache hit, or store read guarded
+// by the shard epoch (cache.go rule 2).
+func (t *CachedKVTarget) readThrough(key []byte) ([]byte, error) {
+	if v, ok := t.cache.Get(key); ok {
+		return v, nil
+	}
+	epoch := t.cache.FillEpoch(key)
+	v, err := t.store.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	t.cache.CommitFill(key, v, epoch)
+	return v, nil
+}
+
+func (t *CachedKVTarget) Apply(op Op) error {
+	key := []byte(kvKey(op.K))
+	switch op.Kind {
+	case OpInsert, OpUpdate:
+		// Warm the cache with the superseded value first, so the
+		// invalidation below is load-bearing, then mutate and invalidate
+		// after the commit (cache.go rule 1).
+		if _, err := t.readThrough(key); err != nil && err != kv.ErrNotFound {
+			return err
+		}
+		if err := t.store.Put(key, []byte(kvValue(op.K, op.V))); err != nil {
+			return err
+		}
+		t.cache.Invalidate(key)
+		// Read back through the cache: the fill path must re-install the
+		// new value, not resurrect the superseded one.
+		v, err := t.readThrough(key)
+		if err != nil {
+			return err
+		}
+		if string(v) != kvValue(op.K, op.V) {
+			return fmt.Errorf("kv+cache: read-through after put of %s returned %q", key, v)
+		}
+		return nil
+	case OpDelete:
+		if err := t.store.Delete(key); err != nil {
+			return err
+		}
+		t.cache.Invalidate(key)
+		if _, err := t.readThrough(key); err != kv.ErrNotFound {
+			return fmt.Errorf("kv+cache: read-through after delete of %s: %v", key, err)
+		}
+		return nil
+	case OpCompact:
+		// Compaction rewrites records without changing contents; the cache
+		// needs no invalidation and must keep serving the same values.
+		return t.store.Compact()
+	}
+	return fmt.Errorf("kv+cache target: unsupported op %s", op.Kind)
+}
+
+func (t *CachedKVTarget) ApplyModel(m Model, op Op) { kvApplyModel(m, op) }
+
+// Recover reopens the store from the crash images behind a FRESH cache —
+// recovery discards DRAM — and builds the model by reading every surviving
+// key through the cache twice: the first pass fills, the second must be
+// all hits and agree byte-for-byte with the first. Any disagreement (or a
+// second-pass miss) is reported as a divergent model entry so the explorer
+// flags it as a violation.
+func (t *CachedKVTarget) Recover(imgs [][]uint64) (Model, error) {
+	s, err := kv.Open(imgs, kvOpts())
+	if err != nil {
+		return nil, err
+	}
+	cache := server.NewCache(cachedKVCacheCfg())
+	through := func(key []byte) ([]byte, error) {
+		if v, ok := cache.Get(key); ok {
+			return v, nil
+		}
+		epoch := cache.FillEpoch(key)
+		v, err := s.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		cache.CommitFill(key, v, epoch)
+		return v, nil
+	}
+	var keys []string
+	s.Range(func(k, _ []byte) bool {
+		keys = append(keys, string(k))
+		return true
+	})
+	got := Model{}
+	for _, k := range keys {
+		first, err := through([]byte(k))
+		if err != nil {
+			return nil, fmt.Errorf("kv+cache recover: fill pass Get(%s): %v", k, err)
+		}
+		second, err := through([]byte(k))
+		if err != nil {
+			return nil, fmt.Errorf("kv+cache recover: hit pass Get(%s): %v", k, err)
+		}
+		if string(first) != string(second) {
+			got[k] = fmt.Sprintf("CACHE-DIVERGED fill=%q hit=%q", first, second)
+			continue
+		}
+		got[k] = string(first)
+	}
+	return got, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -474,6 +617,7 @@ func Targets() []struct {
 		{&ForestTarget{DualSlot: false}, ForestWorkload()},
 		{&ForestTarget{DualSlot: true}, ForestWorkload()},
 		{&KVTarget{}, KVWorkload()},
+		{&CachedKVTarget{}, KVWorkload()},
 		{&KVV1Target{}, KVV1Workload()},
 		{&KVV3Target{}, KVWorkload()},
 	}

@@ -261,6 +261,101 @@ func TestConcurrent(t *testing.T) {
 	}
 }
 
+// TestScanVsUpdateInterleaving pins the scan/update contract across leaf
+// version bumps: a merged full scan racing value updates (slot-line
+// republish in place) and insert/remove churn (splits, version bumps) must
+// report every pre-loaded "stable" key exactly once, in strictly increasing
+// order, with an untorn value. TestConcurrent checks local scan order;
+// this one checks global completeness — the failure mode where a scan
+// straddling a split sees a leaf's records twice or not at all.
+func TestScanVsUpdateInterleaving(t *testing.T) {
+	for _, dual := range []bool{false, true} {
+		t.Run(fmt.Sprintf("DS%v", dual), func(t *testing.T) {
+			f := mustNew(t, 4, dual)
+			const nStable = 2000
+			// Stable keys are even, values start at the key and are only
+			// ever overwritten with key+2j, j<1000 — so any torn or stale
+			// read is detectable.
+			for i := 1; i <= nStable; i++ {
+				k := uint64(2 * i)
+				if err := f.Insert(k, k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			// Updaters: republish slot lines of stable keys in place.
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						k := uint64(2 + 2*rng.Intn(nStable))
+						if err := f.Update(k, k+2*uint64(rng.Intn(1000))); err != nil {
+							t.Errorf("update %d: %v", k, err)
+							return
+						}
+					}
+				}(int64(w + 1))
+			}
+			// Churners: insert/remove odd keys so leaves around the stable
+			// ones split and bump versions mid-scan.
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						k := uint64(1 + 2*rng.Intn(nStable+200))
+						if rng.Intn(2) == 0 {
+							_ = f.Upsert(k, k)
+						} else {
+							_ = f.Remove(k)
+						}
+					}
+				}(int64(100 + w))
+			}
+			for scan := 0; scan < 25; scan++ {
+				it := f.NewIterator(0)
+				var prev uint64
+				first := true
+				seen := 0
+				for kv, ok := it.Next(); ok; kv, ok = it.Next() {
+					if !first && kv.Key <= prev {
+						t.Fatalf("scan %d: key %d after %d (duplicate or disorder)", scan, kv.Key, prev)
+					}
+					prev, first = kv.Key, false
+					if kv.Key%2 == 0 {
+						seen++
+						if kv.Value < kv.Key || (kv.Value-kv.Key)%2 != 0 || kv.Value >= kv.Key+2000 {
+							t.Fatalf("scan %d: key %d carries impossible value %d", scan, kv.Key, kv.Value)
+						}
+					}
+				}
+				if seen != nStable {
+					t.Fatalf("scan %d saw %d/%d stable keys (lost or duplicated across a leaf version bump)", scan, seen, nStable)
+				}
+			}
+			close(stop)
+			wg.Wait()
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 func TestCheckpointRecover(t *testing.T) {
 	for _, dual := range []bool{false, true} {
 		f := mustNew(t, 4, dual)

@@ -84,6 +84,15 @@ type LatencyModel struct {
 	// (the effective WPQ width). 0 means 1. Ignored unless DrainPerLine is
 	// set.
 	PersistStreams int
+	// ReadPerLine charges bulk media reads (ReadRange, ReadLine): each
+	// cache line read from the arena busy-waits this long, modelling NVM
+	// random-read latency — ~300ns per line on Optane DCPMM (Yang et al.,
+	// FAST'20), two to three times DRAM. Zero (the default, and correct
+	// for DRAM-backed NVDIMM-N) keeps reads free. Word reads (Read8) stay
+	// unpriced regardless: they model pointer chasing through lines that
+	// are hot in the CPU cache, and charging them would multiply-count the
+	// line fetch. This is the term a DRAM-side cache exists to skip.
+	ReadPerLine time.Duration
 }
 
 // DefaultLatency models the paper's NVDIMM-N testbed closely enough to
@@ -335,6 +344,9 @@ func (a *Arena) ReadLine(off uint64, dst *[LineSize]byte) {
 		v := atomic.LoadUint64(&a.cache[base+uint64(w)])
 		putWord(dst[w*WordSize:], v)
 	}
+	if a.lat.ReadPerLine > 0 {
+		spin(a.lat.ReadPerLine)
+	}
 }
 
 // WriteLine stores all 64 bytes of src into the cache line containing off.
@@ -369,6 +381,11 @@ func (a *Arena) ReadRange(off, size uint64, dst []byte) {
 	base := a.wordIndex(off)
 	for w := uint64(0); w < size/WordSize; w++ {
 		putWord(dst[w*WordSize:], atomic.LoadUint64(&a.cache[base+w]))
+	}
+	if a.lat.ReadPerLine > 0 {
+		// Charge whole lines: a range read fetches every line it touches.
+		lines := (off+size-1)/LineSize - off/LineSize + 1
+		spin(time.Duration(lines) * a.lat.ReadPerLine)
 	}
 }
 

@@ -71,6 +71,7 @@ type batchedPut struct {
 type batcher struct {
 	st    *kv.Store
 	cfg   BatchConfig
+	cache *Cache            // hot-key cache to invalidate on commit; nil when disabled
 	qs    []chan batchedPut // one intake queue per partition
 	stopc chan struct{}
 	wg    sync.WaitGroup
@@ -79,7 +80,7 @@ type batcher struct {
 	puts    atomic.Uint64
 }
 
-func newBatcher(st *kv.Store, cfg BatchConfig) *batcher {
+func newBatcher(st *kv.Store, cfg BatchConfig, cache *Cache) *batcher {
 	qs := make([]chan batchedPut, st.Partitions())
 	for i := range qs {
 		qs[i] = make(chan batchedPut, cfg.QueueCap)
@@ -87,6 +88,7 @@ func newBatcher(st *kv.Store, cfg BatchConfig) *batcher {
 	return &batcher{
 		st:    st,
 		cfg:   cfg,
+		cache: cache,
 		qs:    qs,
 		stopc: make(chan struct{}),
 	}
@@ -184,6 +186,14 @@ func (b *batcher) apply(batch []batchedPut) {
 		vals[i] = p.req.Val
 	}
 	errs := b.st.PutBatch(keys, vals)
+	// Invalidate the hot-key cache after the batch commit and before the
+	// acks (cache.go rule 1) — and before the payload recycling below,
+	// which kills the buffers the key slices alias.
+	if b.cache != nil {
+		for _, k := range keys {
+			b.cache.Invalidate(k)
+		}
+	}
 	// PutBatch copied every key and value into the store, so the frame
 	// payloads the request slices alias are dead — recycle them before the
 	// acks go out (the responses carry only IDs and statuses).

@@ -1,0 +1,209 @@
+// DRAM hot-key cache (ROADMAP item 4): a sharded, bounded map fronting
+// kv.Store GETs, the read-side counterpart of the write batcher. A GET that
+// hits skips the store's hash, partition route, tree walk and chain read
+// entirely; a miss fills the cache so the zipf-hot keys of a skewed
+// workload converge to DRAM lookups.
+//
+// Coherence protocol. The tree's leaf version word cannot stamp cache
+// entries — it only changes on splits, not on the update-in-place that
+// actually supersedes a value — so each cache shard carries its own epoch
+// counter and the server enforces two rules:
+//
+//  1. Invalidate AFTER commit, BEFORE ack: every mutation (PUT, DEL, batch
+//     commit) bumps the key's shard epoch and deletes the key after the
+//     store mutation returns and before the client sees the response. A
+//     cache hit can therefore only ever return a value that was current at
+//     some instant after the request arrived: a stale hit concurrent with
+//     an unacknowledged mutation linearizes before it.
+//  2. Epoch-guarded fills: a miss records the shard epoch BEFORE reading
+//     the store and installs the value only if the epoch is unchanged
+//     (checked under the shard lock). A mutation that lands between the
+//     store read and the install bumps the epoch, so the stale value is
+//     dropped instead of cached — the classic read-aside stale-fill race.
+//
+// The cache holds no persistent state and needs none: recovery starts a
+// fresh server with an empty cache, and the fault-explorer target
+// (internal/fault CachedKVTarget) proves every crash point leaves the
+// store+cache pair serving exactly the model state.
+//
+//pmem:volatile the cache is a DRAM-only read accelerator; it is discarded wholesale on restart and rebuilt demand-side from store reads
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rntree/kv"
+)
+
+// CacheConfig tunes the opt-in hot-key cache.
+type CacheConfig struct {
+	// Enable turns the cache on.
+	Enable bool
+	// MaxEntries bounds the total cached keys across all shards (default
+	// 4096). When a shard is full, an arbitrary resident entry is evicted.
+	MaxEntries int
+	// Shards is the number of independently locked segments, rounded up to
+	// a power of two (default 16). More shards means less lock contention
+	// and finer-grained fill invalidation (an epoch bump only aborts
+	// in-flight fills of its own shard).
+	Shards int
+}
+
+func (c *CacheConfig) normalize() {
+	if c.MaxEntries == 0 {
+		c.MaxEntries = 4096
+	}
+	if c.Shards == 0 {
+		c.Shards = 16
+	}
+	n := 1
+	for n < c.Shards {
+		n <<= 1
+	}
+	c.Shards = n
+}
+
+// cacheShard is one locked segment: a bounded map plus the epoch that
+// serializes fills against invalidations.
+type cacheShard struct {
+	// epoch is bumped (under mu) by every invalidation in this shard;
+	// fills read it lock-free before the store read and revalidate it
+	// under mu before installing.
+	epoch atomic.Uint64
+	mu    sync.Mutex
+	m     map[string][]byte
+	max   int
+}
+
+// Cache is the sharded hot-key cache. All methods are safe for concurrent
+// use. Values handed out by Get are shared — callers must treat them as
+// immutable (the serving path only encodes them into response frames).
+type Cache struct {
+	shards []cacheShard
+	mask   uint64
+
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	fills      atomic.Uint64
+	fillAborts atomic.Uint64
+	invals     atomic.Uint64
+	evicts     atomic.Uint64
+}
+
+// NewCache builds a cache; cfg zero values take the documented defaults.
+func NewCache(cfg CacheConfig) *Cache {
+	cfg.normalize()
+	perShard := cfg.MaxEntries / cfg.Shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{
+		shards: make([]cacheShard, cfg.Shards),
+		mask:   uint64(cfg.Shards - 1),
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string][]byte, perShard)
+		c.shards[i].max = perShard
+	}
+	return c
+}
+
+func (c *Cache) shard(key []byte) *cacheShard {
+	return &c.shards[kv.Hash(key)&c.mask]
+}
+
+// Get returns the cached value for key, if resident.
+func (c *Cache) Get(key []byte) ([]byte, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	v, ok := sh.m[string(key)]
+	sh.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// FillEpoch returns the stamp a prospective fill of key must present to
+// CommitFill. It MUST be read before the store read whose result is being
+// cached (rule 2 above).
+func (c *Cache) FillEpoch(key []byte) uint64 {
+	return c.shard(key).epoch.Load()
+}
+
+// CommitFill installs val for key unless an invalidation bumped the shard
+// epoch since FillEpoch — in which case val may predate a committed
+// mutation and is dropped. val is retained by reference; callers pass
+// store-owned copies and never mutate them.
+func (c *Cache) CommitFill(key, val []byte, epoch uint64) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if sh.epoch.Load() != epoch {
+		sh.mu.Unlock()
+		c.fillAborts.Add(1)
+		return
+	}
+	if _, resident := sh.m[string(key)]; !resident && len(sh.m) >= sh.max {
+		for k := range sh.m { // evict an arbitrary resident entry
+			delete(sh.m, k)
+			c.evicts.Add(1)
+			break
+		}
+	}
+	sh.m[string(key)] = val
+	sh.mu.Unlock()
+	c.fills.Add(1)
+}
+
+// Invalidate drops key and bumps its shard epoch, aborting every in-flight
+// fill in the shard. Mutators call it after the store commit and before
+// acknowledging the client (rule 1 above); the bump is unconditional
+// because a fill of key may be in flight even when key is not resident.
+func (c *Cache) Invalidate(key []byte) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	sh.epoch.Add(1)
+	delete(sh.m, string(key))
+	sh.mu.Unlock()
+	c.invals.Add(1)
+}
+
+// Len reports the resident entry count.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats is a snapshot of the cache counters.
+type CacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Fills         uint64
+	FillAborts    uint64
+	Invalidations uint64
+	Evictions     uint64
+	Entries       uint64
+}
+
+// Stats snapshots the counters. Loads are ordered so derived invariants
+// hold in any interleaving: fills (each preceded by its miss) before
+// misses, fill-aborts likewise.
+func (c *Cache) Stats() CacheStats {
+	var s CacheStats
+	s.Fills = c.fills.Load()
+	s.FillAborts = c.fillAborts.Load()
+	s.Evictions = c.evicts.Load()
+	s.Invalidations = c.invals.Load()
+	s.Hits = c.hits.Load()
+	s.Misses = c.misses.Load()
+	s.Entries = uint64(c.Len())
+	return s
+}

@@ -65,6 +65,8 @@ type Config struct {
 	WriteTimeout time.Duration
 	// Batch configures the opt-in cross-connection write batcher.
 	Batch BatchConfig
+	// Cache configures the opt-in DRAM hot-key cache fronting GETs.
+	Cache CacheConfig
 }
 
 func (c *Config) normalize() {
@@ -84,6 +86,7 @@ func (c *Config) normalize() {
 		c.WriteTimeout = 10 * time.Second
 	}
 	c.Batch.normalize()
+	c.Cache.normalize()
 }
 
 // Server serves a kv.Store over TCP.
@@ -91,6 +94,10 @@ type Server struct {
 	cfg     Config
 	st      *kv.Store
 	batcher *batcher
+	// cache is the optional DRAM hot-key cache (cache.go); nil when
+	// disabled. Every mutation path (handle's PUT/DEL and the batcher's
+	// commit) invalidates through it before acknowledging the client.
+	cache *Cache
 	// globalInflight counts requests in progress across all connections.
 	// It is a try-acquire-only semaphore (nothing ever blocks on it — over
 	// the limit is an immediate StatusOverloaded), so a plain atomic beats
@@ -120,8 +127,11 @@ func New(st *kv.Store, cfg Config) *Server {
 		st:    st,
 		conns: map[*conn]struct{}{},
 	}
+	if cfg.Cache.Enable {
+		s.cache = NewCache(cfg.Cache)
+	}
 	if cfg.Batch.Puts {
-		s.batcher = newBatcher(st, cfg.Batch)
+		s.batcher = newBatcher(st, cfg.Batch, s.cache)
 	}
 	return s
 }
@@ -240,9 +250,77 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
+// Stats is a consistent snapshot of the serving counters. HasBatcher and
+// HasCache gate which of the optional counters are meaningful.
+type Stats struct {
+	ConnsActive   int64
+	ConnsAccepted uint64
+	ConnsRefused  uint64
+	ConnsReaped   uint64
+	Requests      uint64
+	Overloads     uint64
+
+	HasBatcher  bool
+	Batches     uint64
+	BatchedPuts uint64
+
+	HasCache bool
+	Cache    CacheStats
+}
+
+// statsSnapshotRetries bounds the Stats consistency loop; see Stats.
+const statsSnapshotRetries = 8
+
+// Stats snapshots the serving counters. The per-field atomics cannot be
+// read at one instant, so two mechanisms keep the snapshot consistent.
+// First, a bounded seqlock-style loop using the requests counter as the
+// sequence word: if no request arrived while the fields were read, the
+// snapshot is causally clean and is returned as-is. Under a saturating
+// burst that never converges, the fallback is load ordering: every derived
+// counter is incremented strictly AFTER the requests counter it depends on
+// (dispatch bumps requests before any overload/batch/cache path runs), so
+// loading the dependents BEFORE requests guarantees the invariants a
+// monitor checks — overloads <= requests, batched_puts <= requests — in
+// every interleaving, torn or not.
+func (s *Server) Stats() Stats {
+	var st Stats
+	for try := 0; try < statsSnapshotRetries; try++ {
+		before := s.requests.Load()
+		st = s.loadStats()
+		if st.Requests == before {
+			break
+		}
+	}
+	return st
+}
+
+// loadStats reads the counters with requests LAST (see Stats for why the
+// order is load-bearing).
+func (s *Server) loadStats() Stats {
+	st := Stats{
+		ConnsActive:   s.active.Load(),
+		ConnsAccepted: s.accepted.Load(),
+		ConnsRefused:  s.refused.Load(),
+		ConnsReaped:   s.reaped.Load(),
+		Overloads:     s.overloads.Load(),
+	}
+	if s.batcher != nil {
+		st.HasBatcher = true
+		st.Batches = s.batcher.batches.Load()
+		st.BatchedPuts = s.batcher.puts.Load()
+	}
+	if s.cache != nil {
+		st.HasCache = true
+		st.Cache = s.cache.Stats()
+	}
+	st.Requests = s.requests.Load()
+	return st
+}
+
 // counters snapshots the named server+store counters for STATS.
 func (s *Server) counters() []wire.Counter {
 	st := s.st.Stats()
+	sv := s.Stats()
 	out := []wire.Counter{
 		{Name: "live_keys", Val: uint64(st.LiveKeys)},
 		{Name: "dead_records", Val: uint64(st.DeadRecords)},
@@ -250,17 +328,28 @@ func (s *Server) counters() []wire.Counter {
 		{Name: "shards", Val: uint64(st.Shards)},
 		{Name: "persists", Val: st.Persists},
 		{Name: "tree_leaves", Val: uint64(st.TreeLeaves)},
-		{Name: "conns_active", Val: uint64(s.active.Load())},
-		{Name: "conns_accepted", Val: s.accepted.Load()},
-		{Name: "conns_refused", Val: s.refused.Load()},
-		{Name: "conns_reaped", Val: s.reaped.Load()},
-		{Name: "requests", Val: s.requests.Load()},
-		{Name: "overloads", Val: s.overloads.Load()},
+		{Name: "conns_active", Val: uint64(sv.ConnsActive)},
+		{Name: "conns_accepted", Val: sv.ConnsAccepted},
+		{Name: "conns_refused", Val: sv.ConnsRefused},
+		{Name: "conns_reaped", Val: sv.ConnsReaped},
+		{Name: "requests", Val: sv.Requests},
+		{Name: "overloads", Val: sv.Overloads},
 	}
-	if s.batcher != nil {
+	if sv.HasBatcher {
 		out = append(out,
-			wire.Counter{Name: "batches", Val: s.batcher.batches.Load()},
-			wire.Counter{Name: "batched_puts", Val: s.batcher.puts.Load()},
+			wire.Counter{Name: "batches", Val: sv.Batches},
+			wire.Counter{Name: "batched_puts", Val: sv.BatchedPuts},
+		)
+	}
+	if sv.HasCache {
+		out = append(out,
+			wire.Counter{Name: "cache_hits", Val: sv.Cache.Hits},
+			wire.Counter{Name: "cache_misses", Val: sv.Cache.Misses},
+			wire.Counter{Name: "cache_fills", Val: sv.Cache.Fills},
+			wire.Counter{Name: "cache_fill_aborts", Val: sv.Cache.FillAborts},
+			wire.Counter{Name: "cache_invalidations", Val: sv.Cache.Invalidations},
+			wire.Counter{Name: "cache_evictions", Val: sv.Cache.Evictions},
+			wire.Counter{Name: "cache_entries", Val: sv.Cache.Entries},
 		)
 	}
 	return out
@@ -618,6 +707,28 @@ func (cn *conn) handle(req wire.Request) {
 	case wire.OpPing:
 		resp.Status = wire.StatusOK
 	case wire.OpGet:
+		if c := cn.s.cache; c != nil {
+			if val, ok := c.Get(req.Key); ok {
+				resp.Status = wire.StatusOK
+				resp.Val = val
+				break
+			}
+			// Epoch before the store read (cache.go rule 2): a mutation
+			// landing between the read and the install aborts the fill.
+			epoch := c.FillEpoch(req.Key)
+			val, err := cn.s.st.Get(req.Key)
+			switch err {
+			case nil:
+				resp.Status = wire.StatusOK
+				resp.Val = val
+				c.CommitFill(req.Key, val, epoch)
+			case kv.ErrNotFound:
+				resp.Status = wire.StatusNotFound
+			default:
+				resp.Status, resp.Msg = wire.StatusErr, err.Error()
+			}
+			break
+		}
 		val, err := cn.s.st.Get(req.Key)
 		switch err {
 		case nil:
@@ -629,7 +740,14 @@ func (cn *conn) handle(req wire.Request) {
 			resp.Status, resp.Msg = wire.StatusErr, err.Error()
 		}
 	case wire.OpPut:
-		switch err := cn.s.st.Put(req.Key, req.Val); err {
+		err := cn.s.st.Put(req.Key, req.Val)
+		if c := cn.s.cache; c != nil {
+			// After commit, before ack (cache.go rule 1). Error paths
+			// invalidate too: it is always safe and spares reasoning about
+			// which failures might have touched the store.
+			c.Invalidate(req.Key)
+		}
+		switch err {
 		case nil:
 			resp.Status = wire.StatusOK
 		case kv.ErrClosed:
@@ -638,7 +756,11 @@ func (cn *conn) handle(req wire.Request) {
 			resp.Status, resp.Msg = wire.StatusErr, err.Error()
 		}
 	case wire.OpDel:
-		switch err := cn.s.st.Delete(req.Key); err {
+		err := cn.s.st.Delete(req.Key)
+		if c := cn.s.cache; c != nil {
+			c.Invalidate(req.Key)
+		}
+		switch err {
 		case nil:
 			resp.Status = wire.StatusOK
 		case kv.ErrNotFound:

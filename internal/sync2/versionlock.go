@@ -153,3 +153,40 @@ func backoff(i int) {
 	}
 	runtime.Gosched()
 }
+
+// jitterSeed seeds per-loop JitterBackoff RNG states so that concurrent
+// retry loops never share a jitter sequence.
+var jitterSeed atomic.Uint64
+
+// JitterBackoff spins for a jittered, exponentially growing interval before
+// a retry — the same desynchronization the HTM region applies to conflict
+// aborts. Plain progressive backoff keeps colliding loops in lock step
+// (they all wait the same time and collide again); the randomized interval
+// spreads them out. state is a per-loop RNG cursor, lazily seeded on first
+// use; attempt caps at 8 so the ceiling stays bounded (~4k spins).
+func JitterBackoff(attempt int, state *uint64) {
+	if *state == 0 {
+		*state = jitterSeed.Add(0x9e3779b97f4a7c15) | 1
+	}
+	if attempt > 8 {
+		attempt = 8
+	}
+	*state += 0x9e3779b97f4a7c15
+	ceil := uint64(16) << uint(attempt)
+	spins := ceil/2 + splitmix64(*state)%(ceil/2+1) // jitter in [ceil/2, ceil]
+	for i := uint64(0); i < spins; i++ {
+		if i&255 == 255 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// splitmix64 finalizes a Weyl-sequence state into a uniform 64-bit value.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
