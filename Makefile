@@ -1,9 +1,9 @@
 # Tier-1 verification and the race gate for the concurrent kv/tree paths.
 GO ?= go
 
-.PHONY: check build vet test lint race bench-kv bench-server faultcheck faultshort servercheck fuzz-wire
+.PHONY: check build vet test lint race bench-kv bench-server faultcheck faultshort servercheck replcheck fuzz-wire
 
-check: build vet lint test faultshort servercheck
+check: build vet lint test faultshort servercheck replcheck
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,7 @@ test:
 # stats snapshots, and the client's pending-call table are exercised
 # concurrently; keep them race-clean.
 race:
-	$(GO) test -race ./kv/... ./internal/core/... ./internal/forest/... ./internal/htm/... ./internal/server/... ./client/...
+	$(GO) test -race ./kv/... ./internal/core/... ./internal/forest/... ./internal/htm/... ./internal/server/... ./internal/repl/... ./client/...
 
 bench-kv:
 	$(GO) run ./cmd/rnbench -exp kvscale
@@ -46,6 +46,18 @@ servercheck:
 	$(GO) test ./internal/wire -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=3s
 	$(GO) test ./internal/wire -run='^$$' -fuzz=FuzzDecodeResponse -fuzztime=3s
 	$(GO) test ./internal/wire -run='^$$' -fuzz=FuzzReadFrame -fuzztime=3s
+
+# Replication gate: the repl node/subscriber/applier under the race
+# detector, the kv LSN/apply/backlog layer, the server's ship+drain and
+# client-failover end-to-end tests, and the two-node fault explorers
+# (primary killed at every persist site, replica killed mid-apply, a
+# crash inside the promotion cutover). Zero acked-durable-write loss or
+# the target fails.
+replcheck:
+	$(GO) test -race ./internal/repl/...
+	$(GO) test ./kv -run 'Repl|CommitHook'
+	$(GO) test -race ./internal/server -run 'Repl|Durable|Drain|Failover'
+	$(GO) test ./internal/fault -run 'Repl|Failover|PrimaryKill|ReplicaKill|Promotion'
 
 # Longer fuzz session for the wire decoders.
 fuzz-wire:

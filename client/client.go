@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,20 @@ var (
 	// ErrConnLost fails calls whose connection died mid-flight; mutations
 	// may or may not have committed.
 	ErrConnLost = errors.New("client: connection lost")
+	// ErrReadOnly means the server is a replica: writes go to the primary
+	// (or the replica must be promoted first — see Failover).
+	ErrReadOnly = errors.New("client: server is a read-only replica")
+	// ErrDial wraps connection-establishment failures.
+	ErrDial = errors.New("client: dial failed")
+	// ErrNoRepl is returned by ReplState/Promote against a server without
+	// replication enabled.
+	ErrNoRepl = errors.New("client: replication not enabled on server")
+)
+
+// Replication roles as reported by ReplState.
+const (
+	RolePrimary = wire.RolePrimary
+	RoleReplica = wire.RoleReplica
 )
 
 // Options tune a Client. Zero values take the documented defaults.
@@ -63,6 +78,12 @@ type Options struct {
 	// between dials (defaults 10ms and 1s).
 	ReconnectBase time.Duration
 	ReconnectMax  time.Duration
+	// OverloadRetries is how many times a call rejected with
+	// StatusOverloaded is retried, each retry preceded by the same jittered
+	// exponential backoff the reconnect path uses (0 disables: the call
+	// returns ErrOverloaded immediately). Overload rejections happen before
+	// the store is touched, so retrying mutations is safe.
+	OverloadRetries int
 }
 
 func (o *Options) normalize() {
@@ -116,8 +137,8 @@ type Client struct {
 	// connMu guards connection (re)establishment.
 	connMu  sync.Mutex
 	conn    net.Conn
-	gen     uint64 // bumped on every teardown, tags pending entries
-	backoff uint64 // splitmix64 jitter state
+	gen     uint64        // bumped on every teardown, tags pending entries
+	backoff atomic.Uint64 // splitmix64 jitter state (shared by overload retries)
 
 	// Callers append request frames to wBuf under wMu and nudge the writer
 	// goroutine, which swaps the buffer out and writes it with one syscall
@@ -142,14 +163,14 @@ type Client struct {
 func Dial(addr string, opts Options) (*Client, error) {
 	opts.normalize()
 	c := &Client{
-		addr:    addr,
-		opts:    opts,
-		sem:     make(chan struct{}, opts.MaxInflight),
-		pend:    map[uint64]pending{},
-		backoff: splitmix64seed.Add(0x9e3779b97f4a7c15) | 1,
-		wSig:    make(chan struct{}, 1),
-		wStop:   make(chan struct{}),
+		addr:  addr,
+		opts:  opts,
+		sem:   make(chan struct{}, opts.MaxInflight),
+		pend:  map[uint64]pending{},
+		wSig:  make(chan struct{}, 1),
+		wStop: make(chan struct{}),
 	}
+	c.backoff.Store(splitmix64seed.Add(0x9e3779b97f4a7c15) | 1)
 	c.connMu.Lock()
 	if _, _, err := c.ensureConnLocked(opts.ReconnectAttempts); err != nil {
 		c.connMu.Unlock()
@@ -290,8 +311,7 @@ func (c *Client) sleepBackoff(attempt int) {
 	if d > c.opts.ReconnectMax || d <= 0 {
 		d = c.opts.ReconnectMax
 	}
-	c.backoff += 0x9e3779b97f4a7c15
-	j := splitmix64(c.backoff)
+	j := splitmix64(c.backoff.Add(0x9e3779b97f4a7c15))
 	half := uint64(d) / 2
 	time.Sleep(time.Duration(half + j%(half+1)))
 }
@@ -323,7 +343,7 @@ func (c *Client) ensureConnLocked(attempts int) (net.Conn, uint64, error) {
 		go c.readLoop(conn, c.gen)
 		return conn, c.gen, nil
 	}
-	return nil, 0, fmt.Errorf("client: dial %s: %w", c.addr, lastErr)
+	return nil, 0, fmt.Errorf("%w: %s: %v", ErrDial, c.addr, lastErr)
 }
 
 // teardown retires a broken connection generation and fails its pending
@@ -509,15 +529,30 @@ func statusErr(r wire.Response) error {
 		return ErrOverloaded
 	case wire.StatusClosing:
 		return ErrClosing
+	case wire.StatusReadOnly:
+		return ErrReadOnly
 	case wire.StatusErr:
 		return fmt.Errorf("client: server error: %s", r.Msg)
 	}
 	return fmt.Errorf("client: unknown status %d", r.Status)
 }
 
+// doRetry is do plus the opt-in overload retry: a StatusOverloaded
+// response is retried up to OverloadRetries times, each attempt preceded
+// by a jittered exponential backoff slot. Every retry is a fresh request
+// (new ID); the server rejected the original before touching the store.
+func (c *Client) doRetry(req wire.Request) (wire.Response, error) {
+	r, err := c.do(req)
+	for a := 0; err == nil && r.Status == wire.StatusOverloaded && a < c.opts.OverloadRetries; a++ {
+		c.sleepBackoff(a)
+		r, err = c.do(req)
+	}
+	return r, err
+}
+
 // Ping round-trips an empty request.
 func (c *Client) Ping() error {
-	r, err := c.do(wire.Request{Op: wire.OpPing})
+	r, err := c.doRetry(wire.Request{Op: wire.OpPing})
 	if err != nil {
 		return err
 	}
@@ -526,7 +561,7 @@ func (c *Client) Ping() error {
 
 // Get returns the value stored under key.
 func (c *Client) Get(key []byte) ([]byte, error) {
-	r, err := c.do(wire.Request{Op: wire.OpGet, Key: key})
+	r, err := c.doRetry(wire.Request{Op: wire.OpGet, Key: key})
 	if err != nil {
 		return nil, err
 	}
@@ -539,7 +574,7 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 // Put stores key → value. A nil return means the write is durable on the
 // server.
 func (c *Client) Put(key, value []byte) error {
-	r, err := c.do(wire.Request{Op: wire.OpPut, Key: key, Val: value})
+	r, err := c.doRetry(wire.Request{Op: wire.OpPut, Key: key, Val: value})
 	if err != nil {
 		return err
 	}
@@ -548,7 +583,7 @@ func (c *Client) Put(key, value []byte) error {
 
 // Delete removes key.
 func (c *Client) Delete(key []byte) error {
-	r, err := c.do(wire.Request{Op: wire.OpDel, Key: key})
+	r, err := c.doRetry(wire.Request{Op: wire.OpDel, Key: key})
 	if err != nil {
 		return err
 	}
@@ -558,7 +593,7 @@ func (c *Client) Delete(key []byte) error {
 // Scan returns up to max live pairs whose key starts with prefix (nil
 // prefix matches everything), in unspecified order.
 func (c *Client) Scan(prefix []byte, max int) ([]KV, error) {
-	r, err := c.do(wire.Request{Op: wire.OpScan, ScanPrefix: prefix, ScanMax: uint32(max)})
+	r, err := c.doRetry(wire.Request{Op: wire.OpScan, ScanPrefix: prefix, ScanMax: uint32(max)})
 	if err != nil {
 		return nil, err
 	}
@@ -575,7 +610,7 @@ func (c *Client) Scan(prefix []byte, max int) ([]KV, error) {
 // Stats returns the server's named counters (store stats plus serving
 // counters; see DESIGN.md §10).
 func (c *Client) Stats() (map[string]uint64, error) {
-	r, err := c.do(wire.Request{Op: wire.OpStats})
+	r, err := c.doRetry(wire.Request{Op: wire.OpStats})
 	if err != nil {
 		return nil, err
 	}
@@ -587,6 +622,54 @@ func (c *Client) Stats() (map[string]uint64, error) {
 		out[ctr.Name] = ctr.Val
 	}
 	return out, nil
+}
+
+// PutDurable stores key → value and waits for the server to confirm the
+// write is persisted on a replica as well (the wire Durable flag): a nil
+// return survives the loss of either node. Fails with a server error when
+// no replica catches up within the server's durable timeout — the write is
+// still committed on the primary in that case.
+func (c *Client) PutDurable(key, value []byte) error {
+	r, err := c.doRetry(wire.Request{Op: wire.OpPut, Key: key, Val: value, Durable: true})
+	if err != nil {
+		return err
+	}
+	return statusErr(r)
+}
+
+// ReplState asks the server for its replication role, epoch and
+// per-partition LSN vector (the REPL.HELLO handshake, sent as an
+// observer). ErrNoRepl means the server has replication disabled.
+func (c *Client) ReplState() (role uint8, epoch uint64, lsns []uint64, err error) {
+	r, err := c.doRetry(wire.Request{Op: wire.OpReplHello})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if r.Status == wire.StatusErr && strings.Contains(r.Msg, "replication not enabled") {
+		return 0, 0, nil, ErrNoRepl
+	}
+	if err := statusErr(r); err != nil {
+		return 0, 0, nil, err
+	}
+	return r.ReplRole, r.ReplEpoch, r.ReplLSNs, nil
+}
+
+// Promote asks the server to take over as primary at an epoch strictly
+// above minEpoch (the caller's last observed primary epoch), returning the
+// epoch it now serves at. Idempotent: promoting an already-promoted
+// primary whose epoch supersedes minEpoch returns that epoch unchanged.
+func (c *Client) Promote(minEpoch uint64) (uint64, error) {
+	r, err := c.doRetry(wire.Request{Op: wire.OpPromote, ReplEpoch: minEpoch})
+	if err != nil {
+		return 0, err
+	}
+	if r.Status == wire.StatusErr && strings.Contains(r.Msg, "replication not enabled") {
+		return 0, ErrNoRepl
+	}
+	if err := statusErr(r); err != nil {
+		return 0, err
+	}
+	return r.ReplEpoch, nil
 }
 
 // Close tears the connection down; concurrent and subsequent calls fail

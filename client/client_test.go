@@ -372,7 +372,8 @@ func TestCloseRaceNoHang(t *testing.T) {
 }
 
 func TestBackoffJitterBounds(t *testing.T) {
-	c := &Client{opts: Options{ReconnectBase: 4 * time.Millisecond, ReconnectMax: 16 * time.Millisecond}, backoff: 1}
+	c := &Client{opts: Options{ReconnectBase: 4 * time.Millisecond, ReconnectMax: 16 * time.Millisecond}}
+	c.backoff.Store(1)
 	for attempt := 0; attempt < 6; attempt++ {
 		d := c.opts.ReconnectBase << uint(attempt)
 		if d > c.opts.ReconnectMax || d <= 0 {

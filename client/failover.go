@@ -1,0 +1,276 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Failover is a client over a primary/replica pair (or any fixed set of
+// candidate servers): it tracks which node is primary, routes every call
+// there, and on connection loss or a read-only rejection elects a new
+// primary — preferring a live one, promoting a replica otherwise — and
+// retries the call once.
+//
+// Epoch discipline prevents split-brain flapping: the wrapper remembers the
+// highest primary epoch it has acted on and refuses to adopt a node whose
+// epoch is lower (a deposed primary that came back). Promotions pass that
+// epoch as the floor, so the new primary always supersedes the old one.
+//
+// Semantics under failover are at-least-once for mutations: a PUT whose
+// connection died after the server committed but before the response
+// arrived is retried against the new primary and applied again. PUT and
+// DELETE are idempotent per key, so the visible end state matches a single
+// application; callers needing exactly-once must layer their own sequence
+// numbers on top.
+type Failover struct {
+	opts  Options
+	addrs []string
+
+	mu    sync.Mutex
+	c     *Client
+	cur   int    // index into addrs of the node c is connected to
+	epoch uint64 // highest primary epoch acted on (0 until learned)
+	rng   uint64 // jitter state for inter-round backoff
+}
+
+// failoverRounds is how many passes over the candidate list one failover
+// makes before giving up.
+const failoverRounds = 8
+
+// DialFailover connects to the first usable node and locates the primary
+// among addrs. A node without replication enabled counts as a primary (so a
+// single plain server works unchanged); replicas are only promoted if no
+// live primary is found.
+func DialFailover(addrs []string, opts Options) (*Failover, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("client: no addresses")
+	}
+	fo := &Failover{
+		opts:  opts,
+		addrs: append([]string(nil), addrs...),
+		cur:   -1,
+		rng:   uint64(time.Now().UnixNano()) | 1,
+	}
+	if err := fo.electLocked(false); err != nil {
+		return nil, err
+	}
+	return fo, nil
+}
+
+// Addr returns the address of the node currently treated as primary.
+func (fo *Failover) Addr() string {
+	fo.mu.Lock()
+	defer fo.mu.Unlock()
+	return fo.addrs[fo.cur]
+}
+
+// Epoch returns the highest primary epoch observed (0 when the cluster has
+// replication disabled).
+func (fo *Failover) Epoch() uint64 {
+	fo.mu.Lock()
+	defer fo.mu.Unlock()
+	return fo.epoch
+}
+
+// Close releases the underlying connection.
+func (fo *Failover) Close() error {
+	fo.mu.Lock()
+	defer fo.mu.Unlock()
+	if fo.c == nil {
+		return ErrClosed
+	}
+	err := fo.c.Close()
+	fo.c = nil
+	return err
+}
+
+// retryable reports whether err means "this node is gone or no longer
+// primary" — the cases a failover can cure. Timeouts are excluded: the
+// server may just be slow, and failing over on them would promote
+// spuriously.
+func retryable(err error) bool {
+	return errors.Is(err, ErrConnLost) || errors.Is(err, ErrClosing) ||
+		errors.Is(err, ErrReadOnly) || errors.Is(err, ErrDial)
+}
+
+// call runs op against the current primary, failing over and retrying once
+// when the node is unreachable or rejects us as a replica.
+func (fo *Failover) call(op func(c *Client) error) error {
+	fo.mu.Lock()
+	c := fo.c
+	fo.mu.Unlock()
+	if c == nil {
+		return ErrClosed
+	}
+	err := op(c)
+	if err == nil || !retryable(err) {
+		return err
+	}
+	if ferr := fo.failover(c); ferr != nil {
+		return fmt.Errorf("%w (failover: %v)", err, ferr)
+	}
+	fo.mu.Lock()
+	c = fo.c
+	fo.mu.Unlock()
+	if c == nil {
+		return ErrClosed
+	}
+	return op(c)
+}
+
+// failover replaces prev with a newly elected primary. Concurrent callers
+// that lost on the same connection piggyback on the first election.
+func (fo *Failover) failover(prev *Client) error {
+	fo.mu.Lock()
+	defer fo.mu.Unlock()
+	if fo.c == nil {
+		return ErrClosed
+	}
+	if fo.c != prev {
+		return nil // someone else already failed over
+	}
+	return fo.electLocked(true)
+}
+
+// electLocked finds a primary among addrs and swaps the connection to it.
+// With promote set, a replica is promoted when no acceptable primary
+// answers in a round — the cutover path; without it (initial dial) only an
+// existing primary (or a replication-less server) is accepted, so merely
+// constructing a client never deposes anyone.
+func (fo *Failover) electLocked(promote bool) error {
+	if fo.c != nil {
+		fo.c.Close()
+		fo.c = nil
+	}
+	probeOpts := fo.opts
+	probeOpts.ReconnectAttempts = 1
+	var lastErr error
+	for round := 0; round < failoverRounds; round++ {
+		var bestReplica *Client
+		bestIdx, bestEpoch := -1, uint64(0)
+		for i, addr := range fo.addrs {
+			c, err := Dial(addr, probeOpts)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			role, epoch, _, err := c.ReplState()
+			switch {
+			case errors.Is(err, ErrNoRepl):
+				// Plain server: it is the primary by construction.
+				fo.adoptLocked(c, i, fo.epoch)
+				if bestReplica != nil {
+					bestReplica.Close()
+				}
+				return nil
+			case err != nil:
+				lastErr = err
+				c.Close()
+				continue
+			case role == RolePrimary && epoch >= fo.epoch:
+				fo.adoptLocked(c, i, epoch)
+				if bestReplica != nil {
+					bestReplica.Close()
+				}
+				return nil
+			case role == RolePrimary:
+				// Stale primary (epoch < ours): deposed node that came
+				// back. Adopting it would fork history; skip it.
+				lastErr = fmt.Errorf("client: stale primary %s: epoch %d < %d", addr, epoch, fo.epoch)
+				c.Close()
+			case promote && (bestReplica == nil || epoch >= bestEpoch):
+				if bestReplica != nil {
+					bestReplica.Close()
+				}
+				bestReplica, bestIdx, bestEpoch = c, i, epoch
+			default:
+				c.Close()
+			}
+		}
+		if bestReplica != nil {
+			epoch, err := bestReplica.Promote(fo.epoch)
+			if err == nil {
+				fo.adoptLocked(bestReplica, bestIdx, epoch)
+				return nil
+			}
+			lastErr = err
+			bestReplica.Close()
+		}
+		fo.sleepRound(round)
+	}
+	if lastErr == nil {
+		lastErr = errors.New("client: no primary found")
+	}
+	return lastErr
+}
+
+func (fo *Failover) adoptLocked(c *Client, idx int, epoch uint64) {
+	fo.c, fo.cur = c, idx
+	if epoch > fo.epoch {
+		fo.epoch = epoch
+	}
+}
+
+// sleepRound waits a jittered exponential delay between election rounds so
+// several clients racing through a dead cluster don't probe in lockstep.
+func (fo *Failover) sleepRound(round int) {
+	d := 10 * time.Millisecond
+	for i := 0; i < round && d < 500*time.Millisecond; i++ {
+		d *= 2
+	}
+	fo.rng ^= fo.rng << 13
+	fo.rng ^= fo.rng >> 7
+	fo.rng ^= fo.rng << 17
+	time.Sleep(d/2 + time.Duration(fo.rng%uint64(d/2+1)))
+}
+
+// Ping checks liveness of the current primary.
+func (fo *Failover) Ping() error {
+	return fo.call(func(c *Client) error { return c.Ping() })
+}
+
+// Get fetches the value for key from the primary.
+func (fo *Failover) Get(key []byte) (val []byte, err error) {
+	err = fo.call(func(c *Client) error {
+		val, err = c.Get(key)
+		return err
+	})
+	return val, err
+}
+
+// Put stores key → value on the primary (at-least-once under failover).
+func (fo *Failover) Put(key, value []byte) error {
+	return fo.call(func(c *Client) error { return c.Put(key, value) })
+}
+
+// PutDurable stores key → value and waits for replica durability; a nil
+// return means the write survives the loss of either node, even if a
+// failover happened mid-call.
+func (fo *Failover) PutDurable(key, value []byte) error {
+	return fo.call(func(c *Client) error { return c.PutDurable(key, value) })
+}
+
+// Delete removes key on the primary (at-least-once under failover).
+func (fo *Failover) Delete(key []byte) error {
+	return fo.call(func(c *Client) error { return c.Delete(key) })
+}
+
+// Scan returns up to max pairs with the given prefix from the primary.
+func (fo *Failover) Scan(prefix []byte, max int) (kvs []KV, err error) {
+	err = fo.call(func(c *Client) error {
+		kvs, err = c.Scan(prefix, max)
+		return err
+	})
+	return kvs, err
+}
+
+// Stats fetches the primary's counters.
+func (fo *Failover) Stats() (m map[string]uint64, err error) {
+	err = fo.call(func(c *Client) error {
+		m, err = c.Stats()
+		return err
+	})
+	return m, err
+}

@@ -13,7 +13,10 @@
 // faultmatrix (crash-point exploration with the durability oracle;
 // -fault-sites caps the sites replayed per target), netbench (loopback
 // serving-layer sweep over connections x pipeline depth; also writes
-// BENCH_server.json, see -server-json), all.
+// BENCH_server.json, see -server-json), replbench (primary/replica
+// replication: async vs replica-durable PUT throughput, failover time,
+// and the two-node crash matrix; merges a repl_failover section into
+// BENCH_server.json), all.
 package main
 
 import (
@@ -89,6 +92,8 @@ type serverReport struct {
 	PassedBar    bool    `json:"passed_4x_bar"`
 
 	GetSweep *getSweepReport `json:"get_sweep,omitempty"`
+
+	ReplFailover *replReport `json:"repl_failover,omitempty"`
 }
 
 // getSweepReport is the netgetbench section: zipf-0.8 GET p50/p99 with
@@ -108,9 +113,29 @@ type getSweepReport struct {
 	CachePassedBar   bool    `json:"cache_passed_bar"`
 }
 
-// writeServerJSON merges one serving-layer result (netbench or
-// netgetbench) into the report at path, preserving the other section if a
-// previous run already wrote it.
+// replReport is the replbench section: replicated PUT throughput in both
+// ack modes, the measured failover time, and the two-node crash matrix.
+type replReport struct {
+	Title      string     `json:"title"`
+	DurationMS int64      `json:"duration_ms"`
+	Seed       int64      `json:"seed"`
+	Header     []string   `json:"header"`
+	Rows       [][]string `json:"rows"`
+	Notes      []string   `json:"notes"`
+	// AsyncKops / DurableKops are the two throughput rows; FailoverMS is
+	// the client-measured kill-to-first-successful-write time. Violations
+	// sums the failover lost-write count and every crash-matrix row;
+	// PassedBar requires it to be zero.
+	AsyncKops   float64 `json:"async_kops"`
+	DurableKops float64 `json:"durable_kops"`
+	FailoverMS  float64 `json:"failover_ms"`
+	Violations  int     `json:"violations"`
+	PassedBar   bool    `json:"passed_zero_loss_bar"`
+}
+
+// writeServerJSON merges one serving-layer result (netbench, netgetbench,
+// or replbench) into the report at path, preserving the other sections if
+// a previous run already wrote them.
 func writeServerJSON(path string, cfg bench.Config, r bench.Result) error {
 	var rep serverReport
 	if prev, err := os.ReadFile(path); err == nil {
@@ -155,6 +180,42 @@ func writeServerJSON(path string, cfg bench.Config, r bench.Result) error {
 			}
 		}
 		rep.GetSweep = gs
+	case "replbench":
+		rr := &replReport{
+			Title:      r.Title,
+			DurationMS: cfg.Duration.Milliseconds(),
+			Seed:       cfg.Seed,
+			Header:     r.Header, Rows: r.Rows, Notes: r.Notes,
+		}
+		// Columns: phase, kops, p50_us, p99_us, sites, violations, detail.
+		// The failover row's p50_us is its single sample — the
+		// kill-to-first-successful-write time.
+		sawFailover := false
+		for _, row := range r.Rows {
+			if len(row) < 7 {
+				continue
+			}
+			switch row[0] {
+			case "put-async":
+				if v, err := strconv.ParseFloat(row[1], 64); err == nil {
+					rr.AsyncKops = v
+				}
+			case "put-durable":
+				if v, err := strconv.ParseFloat(row[1], 64); err == nil {
+					rr.DurableKops = v
+				}
+			case "failover":
+				sawFailover = true
+				if v, err := strconv.ParseFloat(row[2], 64); err == nil {
+					rr.FailoverMS = v / 1e3
+				}
+			}
+			if v, err := strconv.Atoi(row[5]); err == nil {
+				rr.Violations += v
+			}
+		}
+		rr.PassedBar = sawFailover && rr.Violations == 0
+		rep.ReplFailover = rr
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -174,7 +235,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "workload seed")
 		faultMax = flag.Int("fault-sites", 0, "faultmatrix: max crash sites replayed per target (0 = exhaustive)")
 		fjson    = flag.String("forest-json", "BENCH_forest.json", "forestscale: write a machine-readable report to this file (empty disables)")
-		sjson    = flag.String("server-json", "BENCH_server.json", "netbench: write a machine-readable report to this file (empty disables)")
+		sjson    = flag.String("server-json", "BENCH_server.json", "netbench/netgetbench/replbench: write a machine-readable report to this file (empty disables)")
 		out      = flag.String("out", "", "also write results to this file")
 		format   = flag.String("format", "table", "output format: table or csv")
 	)
@@ -245,7 +306,7 @@ func main() {
 					fmt.Fprintf(w, "(wrote %s)\n", *fjson)
 				}
 			}
-			if (r.ID == "netbench" || r.ID == "netgetbench") && *sjson != "" {
+			if (r.ID == "netbench" || r.ID == "netgetbench" || r.ID == "replbench") && *sjson != "" {
 				if err := writeServerJSON(*sjson, cfg, r); err != nil {
 					fmt.Fprintf(os.Stderr, "rnbench: writing %s: %v\n", *sjson, err)
 					failed = true

@@ -11,6 +11,7 @@
 //	rnserved [-addr :4410] [-partitions 4] [-arena-mb 512] [-dualslot]
 //	         [-batch] [-batch-max 64] [-batch-delay 200us]
 //	         [-cache] [-cache-entries 65536]
+//	         [-repl] [-replica-of addr] [-repl-durable-timeout 5s]
 //	         [-max-conns 256] [-max-inflight 64] [-max-global 1024]
 //	         [-idle-timeout 2m] [-flush-ns 0] [-fence-ns 0]
 package main
@@ -28,6 +29,7 @@ import (
 
 	"rntree/internal/drain"
 	"rntree/internal/pmem"
+	"rntree/internal/repl"
 	"rntree/internal/server"
 	"rntree/kv"
 )
@@ -45,6 +47,12 @@ type config struct {
 
 	cache        bool
 	cacheEntries int
+
+	repl             bool
+	replicaOf        string
+	replAckEvery     int
+	replAckInterval  time.Duration
+	replDurableTmout time.Duration
 
 	maxConns    int
 	maxInflight int
@@ -69,6 +77,11 @@ func parseFlags(args []string, errw io.Writer) (config, error) {
 	fs.DurationVar(&c.batchDelay, "batch-delay", 200*time.Microsecond, "max time a PUT waits for batch-mates")
 	fs.BoolVar(&c.cache, "cache", false, "front GETs with the epoch-validated DRAM hot-key cache")
 	fs.IntVar(&c.cacheEntries, "cache-entries", 65536, "hot-key cache capacity (size to the GET working set; an undersized cache thrashes)")
+	fs.BoolVar(&c.repl, "repl", false, "enable replication (serve as primary; replicas may subscribe)")
+	fs.StringVar(&c.replicaOf, "replica-of", "", "run as a replica of the primary at this address (implies -repl)")
+	fs.IntVar(&c.replAckEvery, "repl-ack-every", 32, "replica acks after this many applied records")
+	fs.DurationVar(&c.replAckInterval, "repl-ack-interval", 20*time.Millisecond, "replica ack flush interval")
+	fs.DurationVar(&c.replDurableTmout, "repl-durable-timeout", 5*time.Second, "max wait for replica durability on a durable PUT")
 	fs.IntVar(&c.maxConns, "max-conns", 256, "max concurrent connections")
 	fs.IntVar(&c.maxInflight, "max-inflight", 64, "max pipelined requests per connection")
 	fs.IntVar(&c.maxGlobal, "max-global", 1024, "max in-flight requests across all connections (excess rejected)")
@@ -98,7 +111,18 @@ func main() {
 // serve runs the store + server until the drain watcher trips, then takes
 // the clean shutdown path: drain connections, checkpoint, verify the
 // checkpoint reopens. Split from main for testing.
+// minCacheEntries is the floor the -cache-entries flag is clamped to.
+// Below it the hot-key cache thrashes: entries are evicted before their
+// epoch validation ever pays off, so every GET does the cache bookkeeping
+// and still walks the tree — measurably slower than -cache=false.
+const minCacheEntries = 4096
+
 func serve(cfg config, w *drain.Watcher, out io.Writer) error {
+	if cfg.cache && cfg.cacheEntries < minCacheEntries {
+		fmt.Fprintf(out, "rnserved: -cache-entries %d is below the useful floor; clamping to %d (an undersized cache is slower than no cache)\n",
+			cfg.cacheEntries, minCacheEntries)
+		cfg.cacheEntries = minCacheEntries
+	}
 	st, err := kv.New(kv.Options{
 		ArenaSize:     cfg.arenaMB << 20,
 		Partitions:    cfg.partitions,
@@ -110,6 +134,33 @@ func serve(cfg config, w *drain.Watcher, out io.Writer) error {
 	})
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
+	}
+
+	// Replication: -replica-of makes this node a replica pulling from the
+	// named primary; -repl alone makes it a primary replicas can subscribe
+	// to. Either way the persisted role wins over the flags on reopen, so a
+	// promoted replica restarted with its old flags stays primary.
+	var node *repl.Node
+	if cfg.repl || cfg.replicaOf != "" {
+		role := uint8(repl.Primary)
+		if cfg.replicaOf != "" {
+			role = repl.Replica
+		}
+		node, err = repl.NewNode(st, role)
+		if err != nil {
+			return fmt.Errorf("repl: %w", err)
+		}
+		if node.Role() == repl.Replica && cfg.replicaOf != "" {
+			go func() {
+				if err := node.RunApplier(repl.ApplierConfig{
+					Addr:        cfg.replicaOf,
+					AckEvery:    cfg.replAckEvery,
+					AckInterval: cfg.replAckInterval,
+				}); err != nil {
+					fmt.Fprintf(os.Stderr, "rnserved: applier: %v\n", err)
+				}
+			}()
+		}
 	}
 
 	srv := server.New(st, server.Config{
@@ -126,14 +177,20 @@ func serve(cfg config, w *drain.Watcher, out io.Writer) error {
 			Enable:     cfg.cache,
 			MaxEntries: cfg.cacheEntries,
 		},
+		Repl:               node,
+		ReplDurableTimeout: cfg.replDurableTmout,
 	})
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
-	fmt.Fprintf(out, "rnserved: serving on %s (partitions=%d arena=%dMiB batch=%v cache=%v)\n",
-		ln.Addr(), cfg.partitions, cfg.arenaMB, cfg.batch, cfg.cache)
+	replDesc := "off"
+	if node != nil {
+		replDesc = fmt.Sprintf("role=%d epoch=%d", node.Role(), node.Epoch())
+	}
+	fmt.Fprintf(out, "rnserved: serving on %s (partitions=%d arena=%dMiB batch=%v cache=%v repl=%s)\n",
+		ln.Addr(), cfg.partitions, cfg.arenaMB, cfg.batch, cfg.cache, replDesc)
 
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- srv.Serve(ln) }()
@@ -153,6 +210,9 @@ func serve(cfg config, w *drain.Watcher, out io.Writer) error {
 	}
 	if err := <-serveDone; err != nil {
 		return fmt.Errorf("serve: %w", err)
+	}
+	if node != nil {
+		node.Close()
 	}
 
 	// The drain guaranteed quiescence, so the clean checkpoint path must

@@ -334,6 +334,7 @@ var Registry = map[string]func(Config) []Result{
 	"faultmatrix": FaultMatrix,
 	"netbench":    NetBench,
 	"netgetbench": NetGetBench,
+	"replbench":   ReplBench,
 }
 
 // ExperimentIDs returns the registered experiment names, sorted.

@@ -1,0 +1,508 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rntree/internal/pmem"
+	"rntree/internal/repl"
+	"rntree/kv"
+)
+
+// Failover exploration: unlike Explore, which takes the whole machine down,
+// these explorers kill ONE node of a replicated pair at every persist/fence
+// site that node executes — mid record append, mid index persist, mid
+// replica apply, mid promotion — while the other node keeps running. Crash
+// hooks go only on the doomed node's arenas, so the survivor is never
+// unwound mid-persist and its live state stays internally consistent, the
+// way a real single-node failure leaves its peer.
+//
+// Three oracles fall out:
+//
+//   - primary-kill: the surviving replica must hold every completed
+//     (acked, since the link is the wait-for-replica-durable mode) write —
+//     zero acked-write loss — and must be promotable and able to serve a
+//     probe write immediately.
+//   - replica-kill: the live primary is unperturbed (it committed the
+//     in-flight op before shipping it), and every crash image of the dead
+//     replica recovers to a prefix-consistent cut and converges back to the
+//     primary via the backlog catch-up, exactly the reconnect path.
+//   - promotion: a crash anywhere inside the role cutover leaves the node
+//     either fully a replica at the old epoch or fully a primary at the new
+//     one — the packed epoch/role word cannot tear — with contents intact.
+
+// nodeCrasher enumerates crash sites on one node's arenas and synthesizes
+// that node's crash images at the chosen site (the survivor's arenas are
+// not snapshotted — the survivor does not crash).
+type nodeCrasher struct {
+	arenas     []*pmem.Arena
+	site, seen int
+	rng        *rand.Rand
+	cfg        Config
+	images     []variantImage
+}
+
+func newNodeCrasher(arenas []*pmem.Arena, site int, cfg Config) *nodeCrasher {
+	return &nodeCrasher{
+		arenas: arenas, site: site, cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed ^ (int64(site)+1)*siteGamma)),
+	}
+}
+
+func (c *nodeCrasher) install() {
+	for i, a := range c.arenas {
+		i := i
+		a.SetHooks(&pmem.Hooks{
+			BeforePersist: func(off, size uint64) { c.crash(i, true, off, size) },
+			OnFence:       func() { c.crash(i, false, 0, 0) },
+		})
+	}
+}
+
+func (c *nodeCrasher) clear() {
+	for _, a := range c.arenas {
+		a.SetHooks(nil)
+	}
+}
+
+func (c *nodeCrasher) crash(hit int, isPersist bool, off, size uint64) {
+	if c.seen != c.site {
+		c.seen++
+		return
+	}
+	c.seen++
+	pre := crashAll(c.arenas, nil, 0)
+	c.images = append(c.images, variantImage{"pre", pre})
+	if c.cfg.EvictProb > 0 {
+		c.images = append(c.images, variantImage{"evict", crashAll(c.arenas, c.rng, c.cfg.EvictProb)})
+	}
+	if isPersist && c.cfg.Torn {
+		if size == 0 {
+			size = 1
+		}
+		first := off / pmem.LineSize
+		nl := int((off+size-1)/pmem.LineSize - first + 1)
+		if nl > 1 {
+			torn := make([][]uint64, len(pre))
+			for i := range pre {
+				torn[i] = append([]uint64(nil), pre[i]...)
+			}
+			k := 1 + c.rng.Intn(nl-1)
+			for _, i := range c.rng.Perm(nl)[:k] {
+				c.arenas[hit].OverlayCacheLine(torn[hit], (first+uint64(i))*pmem.LineSize)
+			}
+			c.images = append(c.images, variantImage{"torn", torn})
+		}
+	}
+	panic(replayStop{})
+}
+
+// countNodeSites counts the persist/fence sites arenas execute while fn
+// runs.
+func countNodeSites(arenas []*pmem.Arena, fn func() error) (int, error) {
+	sites := 0
+	h := &pmem.Hooks{
+		BeforePersist: func(_, _ uint64) { sites++ },
+		OnFence:       func() { sites++ },
+	}
+	for _, a := range arenas {
+		a.SetHooks(h)
+	}
+	err := fn()
+	for _, a := range arenas {
+		a.SetHooks(nil)
+	}
+	return sites, err
+}
+
+// runPairToCrash applies ops through the pair, folding each completed op
+// into committed, until the doomed node's crash hook unwinds the replay.
+func runPairToCrash(pair *replPair, ops []Op, committed Model) (opIdx int, stopped bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(replayStop); ok {
+				stopped = true
+				return
+			}
+			panic(p)
+		}
+	}()
+	for i, op := range ops {
+		opIdx = i
+		if err := pair.apply(op); err != nil {
+			return i, false, fmt.Errorf("op %d (%s %d): %v", i, op.Kind, op.K, err)
+		}
+		kvApplyModel(committed, op)
+	}
+	return len(ops) - 1, false, nil
+}
+
+// safeReplOpen shields the explorers from panics inside recovery of a
+// single node's image set.
+func safeReplOpen(imgs [][]uint64) (s *kv.Store, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s, err = nil, fmt.Errorf("recovery panicked: %v", p)
+		}
+	}()
+	return kv.Open(imgs, replOpts())
+}
+
+// ExploreFailover runs all three single-node-kill explorations and returns
+// their reports (primary-kill, replica-kill, promotion) — the two-node half
+// of the fault matrix.
+func ExploreFailover(ops []Op, cfg Config) ([]*Report, error) {
+	pk, err := ExplorePrimaryKill(ops, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rk, err := ExploreReplicaKill(ops, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := ExplorePromotion(ops, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []*Report{pk, rk, pm}, nil
+}
+
+// ExplorePrimaryKill kills the primary at each of its persist/fence sites
+// and checks the failover contract on the surviving replica.
+func ExplorePrimaryKill(ops []Op, cfg Config) (*Report, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	rep := &Report{Target: "repl/primary-kill", ImageHash: fnvOffset}
+	pair, err := newReplPair()
+	if err != nil {
+		return nil, err
+	}
+	full := Model{}
+	sites, err := countNodeSites(pair.primary.Arenas(), func() error {
+		for i, op := range ops {
+			if err := pair.apply(op); err != nil {
+				return fmt.Errorf("counting pass op %d (%s %d): %v", i, op.Kind, op.K, err)
+			}
+			kvApplyModel(full, op)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fault: repl/primary-kill: %v", err)
+	}
+	rep.Sites = sites
+
+	// No-crash check: with the synchronous link every completed op is on
+	// the replica the moment the call returns.
+	if got := rangeModel(pair.replica); !modelsEqual(got, full) {
+		rep.Violations = append(rep.Violations, Violation{
+			Site: sites, Variant: "final", OpIndex: len(ops) - 1,
+			Detail: "replica does not mirror the completed workload:" + modelsDiff(got, full),
+		})
+	}
+
+	for _, site := range sampleSites(sites, cfg.MaxSites) {
+		if err := primaryKillSite(ops, site, cfg, rep); err != nil {
+			return rep, err
+		}
+		rep.Explored++
+	}
+	return rep, nil
+}
+
+func primaryKillSite(ops []Op, site int, cfg Config, rep *Report) error {
+	pair, err := newReplPair()
+	if err != nil {
+		return err
+	}
+	cr := newNodeCrasher(pair.primary.Arenas(), site, cfg)
+	cr.install()
+	before := Model{}
+	opIdx, stopped, err := runPairToCrash(pair, ops, before)
+	cr.clear()
+	if err != nil {
+		return fmt.Errorf("fault: repl/primary-kill: site %d: %v", site, err)
+	}
+	if !stopped {
+		return fmt.Errorf("fault: repl/primary-kill: site %d not reached on replay (%d of %d events) — workload is not deterministic",
+			site, cr.seen, site+1)
+	}
+	after := cloneModel(before)
+	kvApplyModel(after, ops[opIdx])
+
+	// Oracle 1 — zero acked-write loss: the surviving replica, which never
+	// crashed, must hold every completed op. The in-flight op was never
+	// acked (the primary died inside its own persists, before or after
+	// shipping), so the survivor legitimately sits at before or after.
+	got := rangeModel(pair.replica)
+	if !modelsEqual(got, before) && !modelsEqual(got, after) {
+		rep.Violations = append(rep.Violations, Violation{
+			Site: site, Variant: "survivor", OpIndex: opIdx,
+			Detail: fmt.Sprintf("acked write lost on surviving replica (in-flight %s %d):%s",
+				ops[opIdx].Kind, ops[opIdx].K, modelsDiff(got, before)),
+		})
+	} else {
+		// Oracle 2 — the survivor is promotable and immediately serves
+		// writes at a superseding epoch: the client-driven failover path.
+		epoch, _ := pair.replica.ReplState()
+		probeErr := pair.replica.SetReplState(epoch+1, repl.Primary)
+		if probeErr == nil {
+			probeErr = pair.replica.Put([]byte("probe-key"), []byte("post-failover"))
+		}
+		if probeErr == nil {
+			v, err := pair.replica.Get([]byte("probe-key"))
+			if err != nil {
+				probeErr = err
+			} else if string(v) != "post-failover" {
+				probeErr = fmt.Errorf("probe read back %q", v)
+			}
+		}
+		if probeErr != nil {
+			rep.Violations = append(rep.Violations, Violation{
+				Site: site, Variant: "promote", OpIndex: opIdx,
+				Detail: "survivor not serviceable after promotion: " + probeErr.Error(),
+			})
+		}
+	}
+
+	// Oracle 3 — the dead primary's crash images each recover to a prefix-
+	// consistent cut, same contract as the single-node explorer.
+	for _, v := range cr.images {
+		rep.Images++
+		rep.foldImages(site, v.name, v.imgs)
+		s, err := safeReplOpen(v.imgs)
+		if err != nil {
+			rep.Violations = append(rep.Violations, Violation{
+				Site: site, Variant: v.name, OpIndex: opIdx,
+				Detail: "dead primary recovery failed: " + err.Error(),
+			})
+			continue
+		}
+		if m := rangeModel(s); !modelsEqual(m, before) && !modelsEqual(m, after) {
+			rep.Violations = append(rep.Violations, Violation{
+				Site: site, Variant: v.name, OpIndex: opIdx,
+				Detail: fmt.Sprintf("dead primary recovered to neither pre- nor post-op state (in-flight %s %d):%s",
+					ops[opIdx].Kind, ops[opIdx].K, modelsDiff(m, after)),
+			})
+		}
+	}
+	return nil
+}
+
+// ExploreReplicaKill kills the replica at each of its persist/fence sites —
+// all of which run inside ReplApply, mid-ship — and checks that the live
+// primary is unperturbed and that the recovered replica heals from the
+// primary's backlog.
+func ExploreReplicaKill(ops []Op, cfg Config) (*Report, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	rep := &Report{Target: "repl/replica-kill", ImageHash: fnvOffset}
+	pair, err := newReplPair()
+	if err != nil {
+		return nil, err
+	}
+	full := Model{}
+	sites, err := countNodeSites(pair.replica.Arenas(), func() error {
+		for i, op := range ops {
+			if err := pair.apply(op); err != nil {
+				return fmt.Errorf("counting pass op %d (%s %d): %v", i, op.Kind, op.K, err)
+			}
+			kvApplyModel(full, op)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fault: repl/replica-kill: %v", err)
+	}
+	rep.Sites = sites
+
+	for _, site := range sampleSites(sites, cfg.MaxSites) {
+		if err := replicaKillSite(ops, site, cfg, rep); err != nil {
+			return rep, err
+		}
+		rep.Explored++
+	}
+	return rep, nil
+}
+
+func replicaKillSite(ops []Op, site int, cfg Config, rep *Report) error {
+	pair, err := newReplPair()
+	if err != nil {
+		return err
+	}
+	cr := newNodeCrasher(pair.replica.Arenas(), site, cfg)
+	cr.install()
+	before := Model{}
+	opIdx, stopped, err := runPairToCrash(pair, ops, before)
+	cr.clear()
+	if err != nil {
+		return fmt.Errorf("fault: repl/replica-kill: site %d: %v", site, err)
+	}
+	if !stopped {
+		return fmt.Errorf("fault: repl/replica-kill: site %d not reached on replay (%d of %d events) — workload is not deterministic",
+			site, cr.seen, site+1)
+	}
+	after := cloneModel(before)
+	kvApplyModel(after, ops[opIdx])
+
+	// Oracle 1 — the live primary committed the in-flight op before
+	// shipping it (records ship from the commit hook, after the append and
+	// index persists), so losing the replica mid-apply must leave the
+	// primary exactly at the post-op state.
+	pGot := rangeModel(pair.primary)
+	if !modelsEqual(pGot, after) {
+		rep.Violations = append(rep.Violations, Violation{
+			Site: site, Variant: "primary-live", OpIndex: opIdx,
+			Detail: fmt.Sprintf("live primary perturbed by replica death (in-flight %s %d):%s",
+				ops[opIdx].Kind, ops[opIdx].K, modelsDiff(pGot, after)),
+		})
+	}
+
+	// Oracle 2 — every crash image of the dead replica recovers to a
+	// prefix-consistent cut and converges to the primary via the backlog
+	// catch-up, the applier's resubscribe path.
+	for _, v := range cr.images {
+		rep.Images++
+		rep.foldImages(site, v.name, v.imgs)
+		s, err := safeReplOpen(v.imgs)
+		if err != nil {
+			rep.Violations = append(rep.Violations, Violation{
+				Site: site, Variant: v.name, OpIndex: opIdx,
+				Detail: "replica recovery failed: " + err.Error(),
+			})
+			continue
+		}
+		if m := rangeModel(s); !modelsEqual(m, before) && !modelsEqual(m, after) {
+			rep.Violations = append(rep.Violations, Violation{
+				Site: site, Variant: v.name, OpIndex: opIdx,
+				Detail: fmt.Sprintf("replica recovered to neither pre- nor post-op state (in-flight %s %d):%s",
+					ops[opIdx].Kind, ops[opIdx].K, modelsDiff(m, after)),
+			})
+			continue
+		}
+		if err := repl.CatchUp(pair.primary, s); err != nil {
+			rep.Violations = append(rep.Violations, Violation{
+				Site: site, Variant: v.name, OpIndex: opIdx,
+				Detail: "catch-up after replica recovery failed: " + err.Error(),
+			})
+			continue
+		}
+		if m := rangeModel(s); !modelsEqual(m, pGot) {
+			rep.Violations = append(rep.Violations, Violation{
+				Site: site, Variant: v.name, OpIndex: opIdx,
+				Detail: "replica diverged from primary after catch-up:" + modelsDiff(m, pGot),
+			})
+		}
+	}
+	return nil
+}
+
+// promoteEpoch is the epoch the promotion explorer cuts over to (the pair
+// seeds both nodes at epoch 1).
+const promoteEpoch = 2
+
+// ExplorePromotion runs the full workload, then crashes the replica at
+// every persist/fence site inside the promotion cutover itself. The packed
+// epoch/role word makes the cutover a single atomic persist: every crash
+// image must read back as entirely the old identity or entirely the new
+// one, with contents untouched either way.
+func ExplorePromotion(ops []Op, cfg Config) (*Report, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	rep := &Report{Target: "repl/promote", ImageHash: fnvOffset}
+	pair, err := newReplPair()
+	if err != nil {
+		return nil, err
+	}
+	full := Model{}
+	for i, op := range ops {
+		if err := pair.apply(op); err != nil {
+			return nil, fmt.Errorf("fault: repl/promote: counting pass op %d (%s %d): %v", i, op.Kind, op.K, err)
+		}
+		kvApplyModel(full, op)
+	}
+	sites, err := countNodeSites(pair.replica.Arenas(), func() error {
+		return pair.replica.SetReplState(promoteEpoch, repl.Primary)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fault: repl/promote: counting pass: %v", err)
+	}
+	rep.Sites = sites
+
+	for _, site := range sampleSites(sites, cfg.MaxSites) {
+		if err := promotionSite(ops, full, site, cfg, rep); err != nil {
+			return rep, err
+		}
+		rep.Explored++
+	}
+	return rep, nil
+}
+
+func promotionSite(ops []Op, full Model, site int, cfg Config, rep *Report) error {
+	pair, err := newReplPair()
+	if err != nil {
+		return err
+	}
+	for i, op := range ops {
+		if err := pair.apply(op); err != nil {
+			return fmt.Errorf("fault: repl/promote: site %d: op %d (%s %d): %v", site, i, op.Kind, op.K, err)
+		}
+	}
+	cr := newNodeCrasher(pair.replica.Arenas(), site, cfg)
+	cr.install()
+	stopped := func() (stopped bool) {
+		defer func() {
+			if p := recover(); p != nil {
+				if _, ok := p.(replayStop); ok {
+					stopped = true
+					return
+				}
+				panic(p)
+			}
+		}()
+		if err := pair.replica.SetReplState(promoteEpoch, repl.Primary); err != nil {
+			panic(err)
+		}
+		return false
+	}()
+	cr.clear()
+	if !stopped {
+		return fmt.Errorf("fault: repl/promote: site %d not reached on replay (%d of %d events) — promotion is not deterministic",
+			site, cr.seen, site+1)
+	}
+
+	opIdx := len(ops) - 1
+	for _, v := range cr.images {
+		rep.Images++
+		rep.foldImages(site, v.name, v.imgs)
+		s, err := safeReplOpen(v.imgs)
+		if err != nil {
+			rep.Violations = append(rep.Violations, Violation{
+				Site: site, Variant: v.name, OpIndex: opIdx,
+				Detail: "recovery mid-promotion failed: " + err.Error(),
+			})
+			continue
+		}
+		epoch, role := s.ReplState()
+		oldID := epoch == 1 && role == repl.Replica
+		newID := epoch == promoteEpoch && role == repl.Primary
+		if !oldID && !newID {
+			rep.Violations = append(rep.Violations, Violation{
+				Site: site, Variant: v.name, OpIndex: opIdx,
+				Detail: fmt.Sprintf("promotion cutover tore: recovered epoch=%d role=%d (want 1/replica or %d/primary)",
+					epoch, role, promoteEpoch),
+			})
+			continue
+		}
+		if m := rangeModel(s); !modelsEqual(m, full) {
+			rep.Violations = append(rep.Violations, Violation{
+				Site: site, Variant: v.name, OpIndex: opIdx,
+				Detail: "promotion changed store contents:" + modelsDiff(m, full),
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package fault
+
+import "testing"
+
+// Machine-wide crash of the replicated pair: every persist site on either
+// node — including the replica-apply persists running inside the primary's
+// commit hook — must recover, after the backlog catch-up, to a single
+// prefix-consistent cut served identically by both nodes.
+func TestExploreReplPairAllSites(t *testing.T) {
+	rep := mustExplore(t, &ReplTarget{}, KVWorkload(), Config{Seed: 42, EvictProb: 0.4, Torn: true})
+	if rep.Sites < 120 {
+		t.Fatalf("only %d sites — two-node workload too shallow", rep.Sites)
+	}
+	if rep.Explored != rep.Sites {
+		t.Fatalf("explored %d of %d sites", rep.Explored, rep.Sites)
+	}
+	if !rep.Ok() {
+		t.Fatalf("%d violations, first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	t.Logf("kv+repl: %d sites, %d images, hash %#x", rep.Sites, rep.Images, rep.ImageHash)
+}
+
+// Killing only the primary, at each of its persist sites: the surviving
+// replica must hold every acked write, promote cleanly, and serve a probe
+// write — and the dead primary's own images must still recover to a
+// prefix-consistent cut.
+func TestExplorePrimaryKillAllSites(t *testing.T) {
+	rep, err := ExplorePrimaryKill(KVWorkload(), Config{Seed: 42, EvictProb: 0.4, Torn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sites < 60 {
+		t.Fatalf("only %d sites — workload too shallow", rep.Sites)
+	}
+	if rep.Explored != rep.Sites {
+		t.Fatalf("explored %d of %d sites", rep.Explored, rep.Sites)
+	}
+	if !rep.Ok() {
+		t.Fatalf("%d violations, first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	t.Logf("primary-kill: %d sites, %d images, hash %#x", rep.Sites, rep.Images, rep.ImageHash)
+}
+
+// Killing only the replica, mid-apply: the live primary must be unperturbed
+// and every replica crash image must heal back to the primary's state via
+// the backlog catch-up.
+func TestExploreReplicaKillAllSites(t *testing.T) {
+	rep, err := ExploreReplicaKill(KVWorkload(), Config{Seed: 42, EvictProb: 0.4, Torn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sites < 40 {
+		t.Fatalf("only %d sites — replica apply path too shallow", rep.Sites)
+	}
+	if rep.Explored != rep.Sites {
+		t.Fatalf("explored %d of %d sites", rep.Explored, rep.Sites)
+	}
+	if !rep.Ok() {
+		t.Fatalf("%d violations, first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	t.Logf("replica-kill: %d sites, %d images, hash %#x", rep.Sites, rep.Images, rep.ImageHash)
+}
+
+// Crashing inside the promotion cutover: the packed epoch/role word cannot
+// tear, so every image reads back as fully the old identity or fully the
+// new one, contents untouched.
+func TestExplorePromotionAllSites(t *testing.T) {
+	rep, err := ExplorePromotion(KVWorkload(), Config{Seed: 42, EvictProb: 0.4, Torn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sites < 1 {
+		t.Fatalf("no promotion sites counted")
+	}
+	if rep.Explored != rep.Sites {
+		t.Fatalf("explored %d of %d sites", rep.Explored, rep.Sites)
+	}
+	if !rep.Ok() {
+		t.Fatalf("%d violations, first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	t.Logf("promote: %d sites, %d images, hash %#x", rep.Sites, rep.Images, rep.ImageHash)
+}
+
+// The failover explorers are seeded the same way Explore is: same seed ⇒
+// identical crash images, so a CI violation replays from its logged seed.
+func TestFailoverSeededDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, EvictProb: 0.5, Torn: true, MaxSites: 25}
+	a, err := ExplorePrimaryKill(KVWorkload(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExplorePrimaryKill(KVWorkload(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ImageHash != b.ImageHash || a.Sites != b.Sites || a.Images != b.Images {
+		t.Fatalf("same seed diverged: %#x/%d/%d vs %#x/%d/%d",
+			a.ImageHash, a.Sites, a.Images, b.ImageHash, b.Sites, b.Images)
+	}
+}

@@ -620,5 +620,6 @@ func Targets() []struct {
 		{&CachedKVTarget{}, KVWorkload()},
 		{&KVV1Target{}, KVV1Workload()},
 		{&KVV3Target{}, KVWorkload()},
+		{&ReplTarget{}, KVWorkload()},
 	}
 }

@@ -1,0 +1,269 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rntree/internal/wire"
+)
+
+// ApplierConfig tunes a replica's connection to its primary.
+type ApplierConfig struct {
+	// Addr is the primary's listen address.
+	Addr string
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+	// RetryBase/RetryMax bound the jittered reconnect backoff
+	// (defaults 10ms and 500ms).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// AckEvery acks after this many applied records (default 32); an ack
+	// also goes out every AckInterval (default 20ms) when records applied
+	// since the last one — so durable-ack PUT latency on the primary is
+	// bounded even at low write rates.
+	AckEvery    int
+	AckInterval time.Duration
+}
+
+func (c *ApplierConfig) normalize() {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 10 * time.Millisecond
+	}
+	if c.RetryMax == 0 {
+		c.RetryMax = 500 * time.Millisecond
+	}
+	if c.AckEvery == 0 {
+		c.AckEvery = 32
+	}
+	if c.AckInterval == 0 {
+		c.AckInterval = 20 * time.Millisecond
+	}
+}
+
+// RunApplier runs the replica side of the replication stream: dial the
+// primary, handshake (HELLO: roles and epochs), subscribe from this store's
+// durable per-partition watermarks, then apply and ack the record stream.
+// Connection loss reconnects with jittered backoff and resubscribes from
+// the durable watermarks — records shipped twice are skipped by ReplApply's
+// LSN idempotency, so crash-reconnect loses nothing and duplicates nothing.
+// Blocks until Stop (via Node.Close) or promotion; only setup errors (bad
+// config, applier already running) are returned.
+func (n *Node) RunApplier(cfg ApplierConfig) error {
+	cfg.normalize()
+	stopc := make(chan struct{})
+	var once sync.Once
+	stop := func() { once.Do(func() { close(stopc) }) }
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return fmt.Errorf("repl: node closed")
+	}
+	if n.applierStop != nil {
+		n.mu.Unlock()
+		return fmt.Errorf("repl: applier already running")
+	}
+	n.applierStop = stop
+	n.mu.Unlock()
+	defer func() {
+		stop()
+		n.mu.Lock()
+		n.applierStop = nil
+		n.mu.Unlock()
+	}()
+
+	jitter := uint64(time.Now().UnixNano()) | 1
+	for attempt := 0; ; attempt++ {
+		if n.Role() != Replica {
+			return nil
+		}
+		select {
+		case <-stopc:
+			return nil
+		default:
+		}
+		if err := n.applyStream(cfg, stopc); err == nil {
+			attempt = -1 // clean server-side close: reset the backoff
+		}
+		select {
+		case <-stopc:
+			return nil
+		case <-time.After(backoff(cfg, attempt, &jitter)):
+		}
+	}
+}
+
+// backoff is the applier's jittered exponential reconnect delay: base<<n
+// capped at max, scaled by a uniform [50%,100%] jitter so a fleet of
+// replicas losing one primary does not reconnect in lockstep.
+func backoff(cfg ApplierConfig, attempt int, state *uint64) time.Duration {
+	d := cfg.RetryBase
+	for i := 0; i < attempt && d < cfg.RetryMax; i++ {
+		d *= 2
+	}
+	if d > cfg.RetryMax {
+		d = cfg.RetryMax
+	}
+	*state ^= *state << 13
+	*state ^= *state >> 7
+	*state ^= *state << 17
+	return d/2 + time.Duration(*state%uint64(d/2+1))
+}
+
+// applyStream is one connection's worth of the applier loop.
+func (n *Node) applyStream(cfg ApplierConfig, stopc <-chan struct{}) error {
+	c, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	closed := make(chan struct{})
+	defer close(closed)
+	go func() {
+		select {
+		case <-stopc:
+			c.Close() // unblock the reader
+		case <-closed:
+		}
+	}()
+
+	br := bufio.NewReaderSize(c, 64<<10)
+	var wMu sync.Mutex // serializes handshake writes and the ack flusher
+	bw := bufio.NewWriterSize(c, 16<<10)
+	writeReq := func(req wire.Request) error {
+		wMu.Lock()
+		defer wMu.Unlock()
+		frame, err := wire.AppendRequest(nil, req)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(frame); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	readResp := func(buf []byte) (wire.Response, []byte, error) {
+		payload, err := wire.ReadFrame(br, buf)
+		if err != nil {
+			return wire.Response{}, buf, err
+		}
+		resp, err := wire.DecodeResponse(payload)
+		return resp, payload, err
+	}
+
+	// HELLO: exchange roles and epochs.
+	if err := writeReq(wire.Request{ID: 1, Op: wire.OpReplHello, ReplRole: Replica, ReplEpoch: n.Epoch()}); err != nil {
+		return err
+	}
+	var buf []byte
+	resp, buf, err := readResp(buf)
+	if err != nil {
+		return err
+	}
+	if resp.Status != wire.StatusOK {
+		return fmt.Errorf("repl: hello rejected: status %d: %s", resp.Status, resp.Msg)
+	}
+	if resp.ReplRole != Primary {
+		return fmt.Errorf("repl: %s is not a primary (role %d)", cfg.Addr, resp.ReplRole)
+	}
+	if resp.ReplEpoch < n.Epoch() {
+		// A deposed primary that came back: its epoch predates one we have
+		// already followed (or our own promotion). Following it could
+		// split-brain; refuse and retry — operators re-seed old primaries.
+		return fmt.Errorf("repl: stale primary %s: epoch %d < ours %d", cfg.Addr, resp.ReplEpoch, n.Epoch())
+	}
+	if err := n.adoptEpoch(resp.ReplEpoch); err != nil {
+		return err
+	}
+
+	// SUBSCRIBE from our durable watermarks: everything at or below them is
+	// already applied and persisted here.
+	if err := writeReq(wire.Request{ID: 2, Op: wire.OpReplSubscribe, ReplLSNs: n.st.ReplLSNs()}); err != nil {
+		return err
+	}
+	resp, buf, err = readResp(buf)
+	if err != nil {
+		return err
+	}
+	if resp.Status != wire.StatusOK {
+		return fmt.Errorf("repl: subscribe rejected: status %d: %s", resp.Status, resp.Msg)
+	}
+
+	// Ack state, shared with the periodic flusher. ackv holds the durable
+	// watermarks (ReplApply returned ⇒ applied and persisted).
+	var ackMu sync.Mutex
+	ackv := n.st.ReplLSNs()
+	pending := 0
+	ackSeq := uint64(3)
+	flushAcks := func() error {
+		ackMu.Lock()
+		if pending == 0 {
+			ackMu.Unlock()
+			return nil
+		}
+		pending = 0
+		ackSeq++
+		req := wire.Request{ID: ackSeq, Op: wire.OpReplAck, ReplLSNs: append([]uint64(nil), ackv...)}
+		ackMu.Unlock()
+		return writeReq(req)
+	}
+	flusherDone := make(chan struct{})
+	go func() {
+		defer close(flusherDone)
+		tick := time.NewTicker(cfg.AckInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-closed:
+				return
+			case <-tick.C:
+				if flushAcks() != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	for {
+		resp, buf, err = readResp(buf)
+		if err != nil {
+			select {
+			case <-stopc:
+				return nil
+			default:
+			}
+			return err
+		}
+		if resp.Op != wire.OpReplRecord || resp.Status != wire.StatusOK {
+			return fmt.Errorf("repl: unexpected frame on subscription (op %d, status %d)", resp.Op, resp.Status)
+		}
+		part := int(resp.ReplPart)
+		if part < 0 || part >= len(ackv) {
+			return fmt.Errorf("repl: record for partition %d, store has %d", part, len(ackv))
+		}
+		if err := n.st.ReplApply(part, resp.ReplLSN, resp.ReplKind, resp.Key, resp.Val); err != nil {
+			return err
+		}
+		n.applied.Add(1)
+		if hook := n.applyHook.Load(); hook != nil {
+			(*hook)(resp.Key)
+		}
+		ackMu.Lock()
+		if resp.ReplLSN > ackv[part] {
+			ackv[part] = resp.ReplLSN
+		}
+		pending++
+		full := pending >= cfg.AckEvery
+		ackMu.Unlock()
+		if full {
+			if err := flushAcks(); err != nil {
+				return err
+			}
+		}
+	}
+}

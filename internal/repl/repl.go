@@ -1,0 +1,508 @@
+// Package repl implements primary/replica replication for the kv store.
+//
+// The value log doubles as the replication log: every committed record
+// carries a per-partition LSN (kv/repl.go), so replication is "ship the log
+// records a subscriber hasn't seen yet, in LSN order, per partition". A Node
+// wraps one kv.Store with a replication role:
+//
+//   - A primary installs the store's commit hook and fans each committed
+//     record out to its Subscribers. A subscriber that falls behind (queue
+//     overflow, fresh connect, reconnect) is healed by replaying the
+//     reachable backlog above its cursor — the log IS the retransmit buffer,
+//     so there is no separate ship buffer to overflow or persist.
+//   - A replica runs an applier loop (applier.go) against the primary's
+//     network address: it applies shipped records with kv.Store.ReplApply
+//     (idempotent by LSN watermark) and acks its durable per-partition
+//     watermarks back.
+//
+// Durability handshake: a record acked by a replica has been applied AND
+// persisted there (ReplApply returns after the record and its index publish
+// are durable), so Node.WaitDurable(part, lsn) returning nil means the write
+// survives the loss of either node — the wait-for-replica-durable PUT mode.
+//
+// Epochs order primaries across failovers. The pair (epoch, role) is
+// persisted in the store (kv.Store.SetReplState) as one atomically-written
+// word: a promotion commits the bumped epoch *before* the node starts
+// accepting writes, so a deposed primary can always be told apart by its
+// lower epoch, and a crash mid-promotion recovers as either the old replica
+// or the new primary — never a hybrid. See DESIGN.md §13.
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rntree/internal/wire"
+	"rntree/kv"
+)
+
+// Roles, shared with the wire protocol's handshake encoding.
+const (
+	Primary = wire.RolePrimary
+	Replica = wire.RoleReplica
+)
+
+// ErrDurableTimeout is returned by WaitDurable when no replica acked the
+// record in time (no replica connected, or the connected one is too far
+// behind). The write itself is committed locally either way.
+var ErrDurableTimeout = errors.New("repl: timed out waiting for replica durability")
+
+// subQueueCap bounds each subscriber's live ship queue. Overflow is not an
+// error: the subscriber is flagged lagging and heals from the log backlog.
+const subQueueCap = 1024
+
+// Record is one replicated log record.
+type Record struct {
+	Part int
+	LSN  uint64
+	Kind uint8 // kv.ReplPut or kv.ReplDelete
+	Key  []byte
+	Val  []byte
+}
+
+// Node is one replication participant wrapped around a kv.Store.
+type Node struct {
+	st *kv.Store
+
+	role  atomic.Uint32 // Primary / Replica; reads are lock-free (hot path)
+	epoch atomic.Uint64
+
+	mu          sync.Mutex // role/epoch transitions, subs, durable
+	subs        map[*Subscriber]struct{}
+	durable     []uint64      // per-partition max LSN acked durable by any replica
+	durableCh   chan struct{} // closed+replaced whenever durable advances
+	applierStop func()
+	closed      bool
+
+	shipped atomic.Uint64 // records offered to subscribers (commit hook calls)
+	acks    atomic.Uint64 // ack vectors processed
+	applied atomic.Uint64 // records applied by this node's applier (replica)
+
+	// applyHook, when set, is called with each key the applier has just
+	// applied — the serving layer invalidates its hot-key cache through it,
+	// since applied records bypass the server's mutation handlers.
+	applyHook atomic.Pointer[func(key []byte)]
+}
+
+// NewNode wraps st as a replication participant. role is the requested role
+// for a store that has never replicated; a persisted role (a promoted
+// replica, a restarted primary) always wins, so a node cannot silently
+// demote itself and drop acked writes — re-seeding a deposed primary as a
+// replica requires a fresh store. The store's commit hook is installed
+// regardless of role: it ships local commits to subscribers (a promoted
+// replica's own replicas chain naturally) and switches compaction to keep
+// newest tombstones, preserving the log as a complete replication history.
+func NewNode(st *kv.Store, role uint8) (*Node, error) {
+	if role != Primary && role != Replica {
+		return nil, fmt.Errorf("repl: bad role %d", role)
+	}
+	n := &Node{
+		st:        st,
+		subs:      map[*Subscriber]struct{}{},
+		durable:   make([]uint64, st.Partitions()),
+		durableCh: make(chan struct{}),
+	}
+	if e, r := st.ReplState(); r != 0 {
+		// Persisted state wins.
+		n.epoch.Store(e)
+		role = r
+	} else if role == Primary {
+		// A fresh primary starts at epoch 1 (0 is "never replicated").
+		if err := st.SetReplState(1, Primary); err != nil {
+			return nil, err
+		}
+		n.epoch.Store(1)
+	} else {
+		// Persist the replica role so a restart comes back read-only
+		// instead of silently accepting unreplicated writes.
+		if err := st.SetReplState(0, Replica); err != nil {
+			return nil, err
+		}
+	}
+	n.role.Store(uint32(role))
+	st.SetCommitHook(n.onCommit)
+	return n, nil
+}
+
+// Store returns the wrapped store.
+func (n *Node) Store() *kv.Store { return n.st }
+
+// SetApplyHook registers fn to be called with each key the applier
+// applies (nil unregisters). See applyHook.
+func (n *Node) SetApplyHook(fn func(key []byte)) {
+	if fn == nil {
+		n.applyHook.Store(nil)
+		return
+	}
+	n.applyHook.Store(&fn)
+}
+
+// Role returns the node's current role (lock-free).
+func (n *Node) Role() uint8 { return uint8(n.role.Load()) }
+
+// Epoch returns the node's current epoch (lock-free).
+func (n *Node) Epoch() uint64 { return n.epoch.Load() }
+
+// onCommit is the store's commit hook: fan the record out to every
+// subscriber. It runs under the partition's commit locks, so per partition
+// the LSN stream each subscriber observes is monotonic.
+func (n *Node) onCommit(part int, lsn uint64, kind uint8, key, val []byte) {
+	n.shipped.Add(1)
+	n.mu.Lock()
+	for sub := range n.subs {
+		sub.offer(part, lsn, kind, key, val)
+	}
+	n.mu.Unlock()
+}
+
+// Subscribe registers a subscriber whose per-partition cursors start at
+// from (the subscriber's durable watermarks) and whose records are
+// delivered through send. send runs on the subscriber's Run goroutine and
+// may block (it is the transport's backpressure); a send error ends Run.
+// The caller must call Run to start shipping and Stop to end it.
+func (n *Node) Subscribe(from []uint64, send func(Record) error) (*Subscriber, error) {
+	if len(from) != n.st.Partitions() {
+		return nil, fmt.Errorf("repl: subscribe with %d cursors, store has %d partitions",
+			len(from), n.st.Partitions())
+	}
+	sub := &Subscriber{
+		n:      n,
+		send:   send,
+		q:      make(chan Record, subQueueCap),
+		stopc:  make(chan struct{}),
+		donec:  make(chan struct{}),
+		cursor: make([]atomic.Uint64, len(from)),
+		ackv:   make([]atomic.Uint64, len(from)),
+	}
+	for i, l := range from {
+		sub.cursor[i].Store(l)
+		sub.ackv[i].Store(l)
+	}
+	// Force an initial backlog pass: everything between the cursors and the
+	// store's current LSNs predates this registration.
+	sub.lagging.Store(true)
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, errors.New("repl: node closed")
+	}
+	n.subs[sub] = struct{}{}
+	n.mu.Unlock()
+	// The subscriber's acked watermarks count toward durability: a replica
+	// resuming from LSN L has everything <= L durable already.
+	n.advanceDurable(from)
+	return sub, nil
+}
+
+// advanceDurable folds an ack vector into the node's durable watermarks and
+// wakes WaitDurable waiters when anything moved.
+func (n *Node) advanceDurable(lsns []uint64) {
+	n.mu.Lock()
+	changed := false
+	for i, l := range lsns {
+		if i < len(n.durable) && l > n.durable[i] {
+			n.durable[i] = l
+			changed = true
+		}
+	}
+	if changed {
+		close(n.durableCh)
+		n.durableCh = make(chan struct{})
+	}
+	n.mu.Unlock()
+}
+
+// WaitDurable blocks until some replica has acked partition part up to lsn
+// (the record is applied and persisted there), or the timeout expires.
+func (n *Node) WaitDurable(part int, lsn uint64, timeout time.Duration) error {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		n.mu.Lock()
+		ok := part >= 0 && part < len(n.durable) && n.durable[part] >= lsn
+		ch := n.durableCh
+		n.mu.Unlock()
+		if ok {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return ErrDurableTimeout
+		}
+	}
+}
+
+// Durable returns the per-partition durable (replica-acked) watermarks.
+func (n *Node) Durable() []uint64 {
+	n.mu.Lock()
+	out := append([]uint64(nil), n.durable...)
+	n.mu.Unlock()
+	return out
+}
+
+// Promote makes this node the primary at an epoch strictly above both its
+// own and minEpoch (the caller's last known primary epoch), persisting the
+// new (epoch, role) word BEFORE the role flip takes effect — a crash during
+// promotion recovers as either the old replica or the new primary. Calling
+// Promote on a primary whose epoch already supersedes minEpoch is a no-op
+// (idempotent client retries); otherwise the epoch is bumped again, which
+// is safe — epochs only need to be monotonic, not dense.
+func (n *Node) Promote(minEpoch uint64) (uint64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cur := n.epoch.Load()
+	if n.role.Load() == uint32(Primary) && cur > minEpoch {
+		return cur, nil
+	}
+	e := cur
+	if minEpoch > e {
+		e = minEpoch
+	}
+	e++
+	if err := n.st.SetReplState(e, Primary); err != nil {
+		return 0, err
+	}
+	n.epoch.Store(e)
+	n.role.Store(uint32(Primary))
+	if n.applierStop != nil {
+		n.applierStop()
+		n.applierStop = nil
+	}
+	return e, nil
+}
+
+// adoptEpoch persists a higher epoch learned from the primary's handshake,
+// so a client failing over against this replica later always gets an epoch
+// superseding every primary the replica ever followed.
+func (n *Node) adoptEpoch(e uint64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role.Load() != uint32(Replica) || e <= n.epoch.Load() {
+		return nil
+	}
+	if err := n.st.SetReplState(e, Replica); err != nil {
+		return err
+	}
+	n.epoch.Store(e)
+	return nil
+}
+
+// Stats is a snapshot of the node's replication counters.
+type Stats struct {
+	Role        uint8
+	Epoch       uint64
+	Subscribers int
+	Shipped     uint64 // records offered to subscribers
+	Acks        uint64 // ack vectors processed
+	Applied     uint64 // records applied by the local applier
+}
+
+// NodeStats returns a snapshot of the node's replication counters.
+func (n *Node) NodeStats() Stats {
+	n.mu.Lock()
+	subs := len(n.subs)
+	n.mu.Unlock()
+	return Stats{
+		Role:        n.Role(),
+		Epoch:       n.Epoch(),
+		Subscribers: subs,
+		Shipped:     n.shipped.Load(),
+		Acks:        n.acks.Load(),
+		Applied:     n.applied.Load(),
+	}
+}
+
+// Subscribers returns a snapshot of the registered subscribers (the server
+// drain uses it to flush ship queues before closing replica connections).
+func (n *Node) Subscribers() []*Subscriber {
+	n.mu.Lock()
+	out := make([]*Subscriber, 0, len(n.subs))
+	for sub := range n.subs {
+		out = append(out, sub)
+	}
+	n.mu.Unlock()
+	return out
+}
+
+// Close stops the applier and every subscriber and uninstalls the commit
+// hook. It does not close the store.
+func (n *Node) Close() {
+	n.mu.Lock()
+	n.closed = true
+	if n.applierStop != nil {
+		n.applierStop()
+		n.applierStop = nil
+	}
+	subs := make([]*Subscriber, 0, len(n.subs))
+	for sub := range n.subs {
+		subs = append(subs, sub)
+	}
+	n.mu.Unlock()
+	for _, sub := range subs {
+		sub.Stop()
+		<-sub.Done()
+	}
+	n.st.SetCommitHook(nil)
+}
+
+// ---------------------------------------------------------------------------
+
+// Subscriber ships one replica's record stream: live records through a
+// bounded queue, gaps (initial catch-up, queue overflow) through the log
+// backlog. Cursors and acked watermarks are atomics so Flush and stats can
+// observe them from other goroutines.
+type Subscriber struct {
+	n    *Node
+	send func(Record) error
+
+	q       chan Record
+	lagging atomic.Bool // set on overflow; Run heals via backlog replay
+
+	cursor []atomic.Uint64 // per-partition highest LSN sent
+	ackv   []atomic.Uint64 // per-partition highest LSN acked durable
+
+	stopOnce sync.Once
+	stopc    chan struct{}
+	donec    chan struct{}
+
+	sent atomic.Uint64
+}
+
+// offer enqueues one committed record, copying the borrowed key/value
+// slices (they alias the committing writer's buffers). A full queue marks
+// the subscriber lagging; the dropped record is recovered from the log.
+func (sub *Subscriber) offer(part int, lsn uint64, kind uint8, key, val []byte) {
+	rec := Record{
+		Part: part,
+		LSN:  lsn,
+		Kind: kind,
+		Key:  append([]byte(nil), key...),
+		Val:  append([]byte(nil), val...),
+	}
+	select {
+	case sub.q <- rec:
+	default:
+		sub.lagging.Store(true)
+	}
+}
+
+// Run ships records until Stop, node close, or a send error (a dead
+// transport); the caller owns reconnect policy. The cursor dedups the
+// overlap between a backlog replay and records queued concurrently, so the
+// replica's stream stays per-partition monotonic.
+func (sub *Subscriber) Run() error {
+	defer sub.close()
+	for {
+		select {
+		case <-sub.stopc:
+			return nil
+		default:
+		}
+		if sub.lagging.CompareAndSwap(true, false) {
+			if err := sub.catchUp(); err != nil {
+				return err
+			}
+			continue
+		}
+		select {
+		case <-sub.stopc:
+			return nil
+		case rec := <-sub.q:
+			if rec.LSN <= sub.cursor[rec.Part].Load() {
+				continue // already shipped by a backlog replay
+			}
+			if err := sub.send(rec); err != nil {
+				return err
+			}
+			sub.cursor[rec.Part].Store(rec.LSN)
+			sub.sent.Add(1)
+		}
+	}
+}
+
+// catchUp replays the reachable backlog above each partition cursor.
+func (sub *Subscriber) catchUp() error {
+	for part := range sub.cursor {
+		var fail error
+		err := sub.n.st.ReplBacklog(part, sub.cursor[part].Load(),
+			func(lsn uint64, kind uint8, key, val []byte) bool {
+				if err := sub.send(Record{Part: part, LSN: lsn, Kind: kind, Key: key, Val: val}); err != nil {
+					fail = err
+					return false
+				}
+				sub.cursor[part].Store(lsn)
+				sub.sent.Add(1)
+				return true
+			})
+		if err == nil {
+			err = fail
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Ack folds the replica's durable watermark vector into the subscriber and
+// the node. Safe to call from the transport's read goroutine.
+func (sub *Subscriber) Ack(lsns []uint64) {
+	for i := 0; i < len(lsns) && i < len(sub.ackv); i++ {
+		if lsns[i] > sub.ackv[i].Load() {
+			sub.ackv[i].Store(lsns[i])
+		}
+	}
+	sub.n.acks.Add(1)
+	sub.n.advanceDurable(lsns)
+}
+
+// Flush blocks until the replica has acked everything committed to the
+// store at the time of each check — the server's drain uses it to guarantee
+// a shutdown loses no acked-durable write and hands the replica the full
+// stream first. Returns an error if the subscriber dies or ctx expires.
+func (sub *Subscriber) Flush(ctx context.Context) error {
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		if sub.caughtUp() {
+			return nil
+		}
+		select {
+		case <-sub.donec:
+			return errors.New("repl: subscriber stopped before flush completed")
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+func (sub *Subscriber) caughtUp() bool {
+	for p := range sub.ackv {
+		if sub.ackv[p].Load() < sub.n.st.ReplLSN(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Stop asks Run to exit; Done is closed when it has.
+func (sub *Subscriber) Stop() {
+	sub.stopOnce.Do(func() { close(sub.stopc) })
+}
+
+// Done reports Run's completion (also closed if Run was never started and
+// close was called by the node).
+func (sub *Subscriber) Done() <-chan struct{} { return sub.donec }
+
+func (sub *Subscriber) close() {
+	sub.n.mu.Lock()
+	delete(sub.n.subs, sub)
+	sub.n.mu.Unlock()
+	close(sub.donec)
+}

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"errors"
+	"time"
+
+	"rntree/internal/repl"
+	"rntree/internal/wire"
+	"rntree/kv"
+)
+
+// Replication serving (DESIGN.md §13). A replica's applier connects like
+// any client and speaks three verbs: REPL.HELLO (role/epoch handshake),
+// REPL.SUBSCRIBE (start the stream from per-partition LSN watermarks), and
+// REPL.ACK (durable watermark vectors, no response). Once subscribed, the
+// connection becomes a ship stream: records ride the ordinary writer
+// goroutine as unsolicited OpReplRecord responses whose IDs are a ship
+// sequence, interleaving with nothing (a subscribed connection carries no
+// other traffic). Acks are intercepted in the read loop and never enter the
+// dispatch pipeline — they carry no response and must not consume inflight
+// tokens that could deadlock a drain.
+
+// shipHighWater bounds the ship stream's write-buffer growth when the
+// replica's TCP stalls: past it the subscriber's Run goroutine waits for
+// the writer to drain instead of queueing more frames.
+const shipHighWater = 4 << 20
+
+var errShipConnDead = errors.New("server: replication connection dead")
+
+// handleReplHello reports this node's role, epoch and LSN vector.
+func (cn *conn) handleReplHello(req wire.Request, resp *wire.Response) {
+	node := cn.s.repl
+	if node == nil {
+		resp.Status, resp.Msg = wire.StatusErr, "server: replication not enabled"
+		return
+	}
+	resp.Status = wire.StatusOK
+	resp.ReplRole = node.Role()
+	resp.ReplEpoch = node.Epoch()
+	resp.ReplLSNs = cn.s.st.ReplLSNs()
+}
+
+// handleReplSubscribe registers this connection as a replica subscriber and
+// returns the subscriber to start (the caller responds first, so the OK
+// frame precedes every shipped record on the wire).
+func (cn *conn) handleReplSubscribe(req wire.Request, resp *wire.Response) *repl.Subscriber {
+	node := cn.s.repl
+	if node == nil {
+		resp.Status, resp.Msg = wire.StatusErr, "server: replication not enabled"
+		return nil
+	}
+	if node.Role() != repl.Primary {
+		resp.Status, resp.Msg = wire.StatusErr, "server: not a primary"
+		return nil
+	}
+	cn.s.mu.Lock()
+	draining := cn.s.draining
+	cn.s.mu.Unlock()
+	if draining {
+		resp.Status = wire.StatusClosing
+		return nil
+	}
+	cn.subMu.Lock()
+	defer cn.subMu.Unlock()
+	if cn.sub.Load() != nil {
+		resp.Status, resp.Msg = wire.StatusErr, "server: already subscribed"
+		return nil
+	}
+	sub, err := node.Subscribe(req.ReplLSNs, cn.sendRecord)
+	if err != nil {
+		resp.Status, resp.Msg = wire.StatusErr, err.Error()
+		return nil
+	}
+	cn.sub.Store(sub)
+	resp.Status = wire.StatusOK
+	return sub
+}
+
+// handlePromote promotes this node to primary at an epoch superseding the
+// client's last known one. Valid on any role (retrying a promote against
+// the node that already won is idempotent).
+func (cn *conn) handlePromote(req wire.Request, resp *wire.Response) {
+	node := cn.s.repl
+	if node == nil {
+		resp.Status, resp.Msg = wire.StatusErr, "server: replication not enabled"
+		return
+	}
+	epoch, err := node.Promote(req.ReplEpoch)
+	if err != nil {
+		resp.Status, resp.Msg = wire.StatusErr, err.Error()
+		return
+	}
+	resp.Status = wire.StatusOK
+	resp.ReplRole = node.Role()
+	resp.ReplEpoch = epoch
+}
+
+// handleDurablePut is the wait-for-replica-durable PUT: commit locally,
+// then hold the ack until a replica has persisted the record. On timeout
+// the write IS committed locally — the error tells the client replication
+// lag, not data loss, exactly like an acks=all produce timeout.
+func (cn *conn) handleDurablePut(req wire.Request, resp *wire.Response) {
+	part, lsn, err := cn.s.st.PutEx(req.Key, req.Val)
+	if c := cn.s.cache; c != nil {
+		c.Invalidate(req.Key)
+	}
+	switch err {
+	case nil:
+	case kv.ErrClosed:
+		resp.Status = wire.StatusClosing
+		return
+	default:
+		resp.Status, resp.Msg = wire.StatusErr, err.Error()
+		return
+	}
+	cn.s.replWaits.Add(1)
+	if err := cn.s.repl.WaitDurable(part, lsn, cn.s.cfg.ReplDurableTimeout); err != nil {
+		cn.s.replWaitFails.Add(1)
+		resp.Status, resp.Msg = wire.StatusErr, err.Error()
+		return
+	}
+	resp.Status = wire.StatusOK
+}
+
+// batchablePut reports whether a PUT may take the batcher path: durable-ack
+// PUTs must hold their own ack until the replica's watermark covers their
+// LSN (handle's job), and a non-primary rejects writes instead of batching
+// them.
+func (cn *conn) batchablePut(req wire.Request) bool {
+	node := cn.s.repl
+	if node == nil {
+		return true
+	}
+	return !req.Durable && node.Role() == repl.Primary
+}
+
+// sendRecord is the subscriber's transport: encode one record as an
+// unsolicited OpReplRecord response and queue it on the writer. It runs on
+// the subscriber's Run goroutine, so blocking here (the high-water wait) is
+// the stream's backpressure, not anyone else's.
+func (cn *conn) sendRecord(rec repl.Record) error {
+	for {
+		if cn.deadF.Load() {
+			return errShipConnDead
+		}
+		cn.wMu.Lock()
+		over := len(cn.wBuf) > shipHighWater
+		cn.wMu.Unlock()
+		if !over {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cn.shipSeq++
+	frame, err := wire.AppendResponse(nil, wire.Response{
+		ID:       cn.shipSeq,
+		Status:   wire.StatusOK,
+		Op:       wire.OpReplRecord,
+		ReplPart: uint32(rec.Part),
+		ReplLSN:  rec.LSN,
+		ReplKind: rec.Kind,
+		Key:      rec.Key,
+		Val:      rec.Val,
+	})
+	if err != nil {
+		return err
+	}
+	cn.send(frame)
+	if cn.deadF.Load() {
+		return errShipConnDead
+	}
+	return nil
+}

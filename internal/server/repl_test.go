@@ -1,0 +1,410 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"rntree/client"
+	"rntree/internal/repl"
+	"rntree/kv"
+)
+
+func replKVOpts() kv.Options {
+	return kv.Options{ArenaSize: 16 << 20, ChunkSize: 1 << 12, Partitions: 2}
+}
+
+// startReplPair spins up a primary and a replica server on loopback, with
+// the replica's applier subscribed to the primary.
+func startReplPair(t *testing.T, pcfg, rcfg Config) (pNode, rNode *repl.Node, pAddr, rAddr string) {
+	t.Helper()
+	pst, err := kv.New(replKVOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pNode, err = repl.NewNode(pst, repl.Primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg.Repl = pNode
+	_, _, pAddr = startServerOn(t, pcfg, pst)
+
+	rst, err := kv.New(replKVOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNode, err = repl.NewNode(rst, repl.Replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg.Repl = rNode
+	_, _, rAddr = startServerOn(t, rcfg, rst)
+
+	applierDone := make(chan error, 1)
+	go func() {
+		applierDone <- rNode.RunApplier(repl.ApplierConfig{
+			Addr:        pAddr,
+			AckEvery:    4,
+			AckInterval: 2 * time.Millisecond,
+		})
+	}()
+	t.Cleanup(func() {
+		rNode.Close()
+		pNode.Close()
+		select {
+		case err := <-applierDone:
+			if err != nil {
+				t.Errorf("applier: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("applier did not stop")
+		}
+	})
+	return pNode, rNode, pAddr, rAddr
+}
+
+// startServerOn is startServer for a caller-built store.
+func startServerOn(t *testing.T, scfg Config, st *kv.Store) (*Server, *kv.Store, string) {
+	t.Helper()
+	srv := New(st, scfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv, st, ln.Addr().String()
+}
+
+func waitConverged(t *testing.T, pNode, rNode *repl.Node) {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		if storesEqual(pNode.Store(), rNode.Store()) {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("replica did not converge")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+func storesEqual(a, b *kv.Store) bool {
+	am := map[string]string{}
+	a.Range(func(k, v []byte) bool { am[string(k)] = string(v); return true })
+	n := 0
+	ok := true
+	b.Range(func(k, v []byte) bool {
+		n++
+		if am[string(k)] != string(v) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok && n == len(am)
+}
+
+func TestReplicationEndToEnd(t *testing.T) {
+	pNode, rNode, pAddr, rAddr := startReplPair(t, Config{}, Config{})
+	c := dial(t, pAddr, client.Options{})
+
+	// Async writes converge to the replica.
+	for i := 0; i < 50; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := c.Delete([]byte("k007")); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, pNode, rNode)
+
+	// A durable PUT is on the replica the moment the ack returns — no
+	// waiting, no convergence poll.
+	if err := c.PutDurable([]byte("durable-key"), []byte("durable-val")); err != nil {
+		t.Fatalf("PutDurable: %v", err)
+	}
+	if v, err := rNode.Store().Get([]byte("durable-key")); err != nil || string(v) != "durable-val" {
+		t.Fatalf("durable write not on replica at ack time: %q, %v", v, err)
+	}
+
+	// The replica serves reads but rejects writes.
+	rc := dial(t, rAddr, client.Options{})
+	if v, err := rc.Get([]byte("durable-key")); err != nil || string(v) != "durable-val" {
+		t.Fatalf("replica Get: %q, %v", v, err)
+	}
+	if err := rc.Put([]byte("x"), []byte("y")); err != client.ErrReadOnly {
+		t.Fatalf("replica Put: %v, want ErrReadOnly", err)
+	}
+	if err := rc.Delete([]byte("durable-key")); err != client.ErrReadOnly {
+		t.Fatalf("replica Delete: %v, want ErrReadOnly", err)
+	}
+
+	// ReplState reports both sides of the pair.
+	role, epoch, lsns, err := c.ReplState()
+	if err != nil || role != client.RolePrimary || epoch != 1 {
+		t.Fatalf("primary ReplState: role %d epoch %d err %v", role, epoch, err)
+	}
+	if len(lsns) != pNode.Store().Partitions() {
+		t.Fatalf("primary LSN vector has %d entries", len(lsns))
+	}
+	if role, _, _, err = rc.ReplState(); err != nil || role != client.RoleReplica {
+		t.Fatalf("replica ReplState: role %d err %v", role, err)
+	}
+
+	// Replication counters surface in stats.
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["repl_role"] != uint64(client.RolePrimary) || stats["repl_subscribers"] != 1 {
+		t.Fatalf("primary stats: role %d subscribers %d", stats["repl_role"], stats["repl_subscribers"])
+	}
+	if stats["repl_shipped"] == 0 || stats["repl_acks"] == 0 {
+		t.Fatalf("primary stats: shipped %d acks %d", stats["repl_shipped"], stats["repl_acks"])
+	}
+}
+
+// Without a replica connected, a durable PUT commits locally but reports
+// the replication-lag error — the acks=all timeout contract.
+func TestDurablePutTimesOutWithoutReplica(t *testing.T) {
+	st, err := kv.New(replKVOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := repl.NewNode(st, repl.Primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+	_, _, addr := startServerOn(t, Config{Repl: node, ReplDurableTimeout: 20 * time.Millisecond}, st)
+	c := dial(t, addr, client.Options{})
+
+	if err := c.PutDurable([]byte("k"), []byte("v")); err == nil {
+		t.Fatal("durable PUT acked with no replica connected")
+	}
+	// The write is committed locally regardless.
+	if v, err := c.Get([]byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("local commit missing after durable timeout: %q, %v", v, err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["repl_durable_timeouts"] == 0 {
+		t.Fatal("durable timeout not counted")
+	}
+}
+
+// The replica's apply hook must invalidate the hot-key cache: a GET served
+// from the replica's cache before an update must re-read after the shipped
+// record lands.
+func TestReplicaCacheInvalidation(t *testing.T) {
+	pNode, rNode, pAddr, rAddr := startReplPair(t,
+		Config{},
+		Config{Cache: CacheConfig{Enable: true, MaxEntries: 1024}})
+	c := dial(t, pAddr, client.Options{})
+	rc := dial(t, rAddr, client.Options{})
+
+	if err := c.PutDurable([]byte("hot"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the replica's cache with v1.
+	if v, err := rc.Get([]byte("hot")); err != nil || string(v) != "v1" {
+		t.Fatalf("warm read: %q, %v", v, err)
+	}
+	if err := c.PutDurable([]byte("hot"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, pNode, rNode)
+	if v, err := rc.Get([]byte("hot")); err != nil || string(v) != "v2" {
+		t.Fatalf("replica cache served stale value after shipped update: %q, %v", v, err)
+	}
+}
+
+// Satellite: a drain with the ship stream in flight must hand the replica
+// every acked write before closing the replica connection — zero lost
+// acks across a planned shutdown.
+func TestDrainFlushesShipStream(t *testing.T) {
+	pst, err := kv.New(replKVOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pNode, err := repl.NewNode(pst, repl.Primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psrv := New(pst, Config{Repl: pNode})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- psrv.Serve(ln) }()
+
+	rst, err := kv.New(replKVOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNode, err := repl.NewNode(rst, repl.Replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applierDone := make(chan error, 1)
+	go func() {
+		applierDone <- rNode.RunApplier(repl.ApplierConfig{
+			Addr:        ln.Addr().String(),
+			AckEvery:    8,
+			AckInterval: 2 * time.Millisecond,
+		})
+	}()
+
+	// Pump writes and shut down immediately, with the ship stream almost
+	// certainly mid-flight.
+	c, err := client.Dial(ln.Addr().String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := psrv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	c.Close()
+	rNode.Close()
+	pNode.Close()
+	select {
+	case <-applierDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("applier did not stop after shutdown")
+	}
+
+	// Every acked write made it: the replica's store equals the primary's.
+	if !storesEqual(pst, rst) {
+		t.Fatal("drain lost acked writes: replica does not match primary")
+	}
+	for part := 0; part < pst.Partitions(); part++ {
+		if rst.ReplLSN(part) != pst.ReplLSN(part) {
+			t.Fatalf("partition %d: replica watermark %d, primary %d",
+				part, rst.ReplLSN(part), pst.ReplLSN(part))
+		}
+	}
+}
+
+// Client-driven failover: kill the primary, and the failover client
+// promotes the replica and keeps serving with no acked write lost.
+func TestClientFailover(t *testing.T) {
+	pst, err := kv.New(replKVOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pNode, err := repl.NewNode(pst, repl.Primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psrv := New(pst, Config{Repl: pNode})
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pDone := make(chan error, 1)
+	go func() { pDone <- psrv.Serve(pln) }()
+
+	rst, err := kv.New(replKVOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNode, err := repl.NewNode(rst, repl.Replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, rAddr := startServerOn(t, Config{Repl: rNode}, rst)
+	t.Cleanup(rNode.Close)
+	applierDone := make(chan error, 1)
+	go func() {
+		applierDone <- rNode.RunApplier(repl.ApplierConfig{
+			Addr:        pln.Addr().String(),
+			AckEvery:    4,
+			AckInterval: 2 * time.Millisecond,
+		})
+	}()
+
+	fo, err := client.DialFailover([]string{pln.Addr().String(), rAddr}, client.Options{
+		DialTimeout: 200 * time.Millisecond,
+		Timeout:     2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fo.Close() })
+	if fo.Addr() != pln.Addr().String() {
+		t.Fatalf("failover client picked %s, want the primary %s", fo.Addr(), pln.Addr().String())
+	}
+
+	// Durable writes: acked ⇒ on the replica ⇒ must survive the failover.
+	for i := 0; i < 20; i++ {
+		if err := fo.PutDurable([]byte(fmt.Sprintf("d%03d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("PutDurable %d: %v", i, err)
+		}
+	}
+
+	// Hard-kill the primary: drop its listener and connections without a
+	// drain.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	psrv.Shutdown(ctx)
+	cancel()
+	<-pDone
+	pNode.Close()
+
+	// The next op fails over: the client promotes the replica and retries.
+	if err := fo.Put([]byte("after-failover"), []byte("ok")); err != nil {
+		t.Fatalf("Put after primary death: %v", err)
+	}
+	if fo.Addr() != rAddr {
+		t.Fatalf("failover client on %s, want the promoted replica %s", fo.Addr(), rAddr)
+	}
+	if fo.Epoch() <= 1 {
+		t.Fatalf("promotion did not supersede the old epoch: %d", fo.Epoch())
+	}
+
+	// Every durable (acked) write survived.
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("d%03d", i)
+		v, err := fo.Get([]byte(key))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("acked durable write %s lost across failover: %q, %v", key, v, err)
+		}
+	}
+	if v, err := fo.Get([]byte("after-failover")); err != nil || string(v) != "ok" {
+		t.Fatalf("post-failover write: %q, %v", v, err)
+	}
+
+	// Promotion stops the reconnect loop: a primary must not keep trying
+	// to follow anyone.
+	select {
+	case <-applierDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("applier kept running after promotion")
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rntree/internal/repl"
 	"rntree/internal/wire"
 	"rntree/kv"
 )
@@ -67,6 +68,14 @@ type Config struct {
 	Batch BatchConfig
 	// Cache configures the opt-in DRAM hot-key cache fronting GETs.
 	Cache CacheConfig
+	// Repl attaches a replication node (repl.NewNode over the same store);
+	// nil disables replication. On a replica-role node, PUT and DEL are
+	// rejected with StatusReadOnly (GET/SCAN/STATS serve, possibly stale).
+	Repl *repl.Node
+	// ReplDurableTimeout bounds how long a durable-ack PUT waits for a
+	// replica's ack before failing the request (default 5s). The write
+	// stays committed locally either way.
+	ReplDurableTimeout time.Duration
 }
 
 func (c *Config) normalize() {
@@ -85,6 +94,9 @@ func (c *Config) normalize() {
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = 10 * time.Second
 	}
+	if c.ReplDurableTimeout == 0 {
+		c.ReplDurableTimeout = 5 * time.Second
+	}
 	c.Batch.normalize()
 	c.Cache.normalize()
 }
@@ -98,6 +110,8 @@ type Server struct {
 	// disabled. Every mutation path (handle's PUT/DEL and the batcher's
 	// commit) invalidates through it before acknowledging the client.
 	cache *Cache
+	// repl is the optional replication node (repl.go); nil when disabled.
+	repl *repl.Node
 	// globalInflight counts requests in progress across all connections.
 	// It is a try-acquire-only semaphore (nothing ever blocks on it — over
 	// the limit is an immediate StatusOverloaded), so a plain atomic beats
@@ -111,12 +125,14 @@ type Server struct {
 	draining bool
 	served   sync.WaitGroup // accept loop + one per live connection
 
-	accepted  atomic.Uint64
-	refused   atomic.Uint64
-	reaped    atomic.Uint64
-	active    atomic.Int64
-	requests  atomic.Uint64
-	overloads atomic.Uint64
+	accepted      atomic.Uint64
+	refused       atomic.Uint64
+	reaped        atomic.Uint64
+	active        atomic.Int64
+	requests      atomic.Uint64
+	overloads     atomic.Uint64
+	replWaits     atomic.Uint64 // durable-ack PUTs that waited for a replica
+	replWaitFails atomic.Uint64 // ...that timed out waiting
 }
 
 // New builds a Server over st.
@@ -132,6 +148,13 @@ func New(st *kv.Store, cfg Config) *Server {
 	}
 	if cfg.Batch.Puts {
 		s.batcher = newBatcher(st, cfg.Batch, s.cache)
+	}
+	s.repl = cfg.Repl
+	if s.repl != nil && s.cache != nil {
+		// Replica mode: records applied by the applier bypass handle(), so
+		// the hot-key cache must be invalidated from the apply path or GETs
+		// would serve superseded values forever.
+		s.repl.SetApplyHook(func(key []byte) { s.cache.Invalidate(key) })
 	}
 	return s
 }
@@ -210,6 +233,13 @@ func (s *Server) unregister(cn *conn) {
 // close every connection, stop the batcher. If ctx expires first the
 // remaining connections are torn down hard and ctx.Err is returned. The
 // store itself is left open — the caller owns the checkpoint.
+//
+// With replication attached the drain is two-phase: client connections
+// drain first while replica connections keep shipping and acking (so
+// inflight durable-ack PUTs can still complete), then every subscriber's
+// ship queue is flushed to its replica's acked watermark — a drained
+// primary has handed its replicas every committed record — and only then
+// are the replica connections closed.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.draining {
@@ -218,7 +248,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.draining = true
 	ln := s.ln
+	var clients, replicas []*conn
 	for cn := range s.conns {
+		if cn.sub.Load() != nil {
+			replicas = append(replicas, cn)
+			continue
+		}
+		clients = append(clients, cn)
 		cn.beginDrain()
 	}
 	s.mu.Unlock()
@@ -226,12 +262,40 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		ln.Close()
 	}
 
+	// Phase 1: client connections finish (their final durable-ack waits
+	// are fed by the still-open replica connections).
+	var err error
+	for _, cn := range clients {
+		select {
+		case <-cn.done:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+		if err != nil {
+			break
+		}
+	}
+	// Phase 2: flush each subscriber to its replica's ack watermark. A dead
+	// or absent replica cannot be flushed — best effort, the replica will
+	// resubscribe from its durable watermarks and heal from the backlog.
+	if err == nil {
+		for _, cn := range replicas {
+			if sub := cn.sub.Load(); sub != nil {
+				_ = sub.Flush(ctx)
+			}
+		}
+	}
+	// Phase 3: drain everything left (replica connections, stragglers).
+	s.mu.Lock()
+	for cn := range s.conns {
+		cn.beginDrain()
+	}
+	s.mu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		s.served.Wait()
 		close(done)
 	}()
-	var err error
 	select {
 	case <-done:
 	case <-ctx.Done():
@@ -266,6 +330,11 @@ type Stats struct {
 
 	HasCache bool
 	Cache    CacheStats
+
+	HasRepl         bool
+	Repl            repl.Stats
+	DurableWaits    uint64 // durable-ack PUTs that waited for a replica
+	DurableTimeouts uint64 // ...that timed out waiting
 }
 
 // statsSnapshotRetries bounds the Stats consistency loop; see Stats.
@@ -313,6 +382,12 @@ func (s *Server) loadStats() Stats {
 		st.HasCache = true
 		st.Cache = s.cache.Stats()
 	}
+	if s.repl != nil {
+		st.HasRepl = true
+		st.Repl = s.repl.NodeStats()
+		st.DurableWaits = s.replWaits.Load()
+		st.DurableTimeouts = s.replWaitFails.Load()
+	}
 	st.Requests = s.requests.Load()
 	return st
 }
@@ -339,6 +414,18 @@ func (s *Server) counters() []wire.Counter {
 		out = append(out,
 			wire.Counter{Name: "batches", Val: sv.Batches},
 			wire.Counter{Name: "batched_puts", Val: sv.BatchedPuts},
+		)
+	}
+	if sv.HasRepl {
+		out = append(out,
+			wire.Counter{Name: "repl_role", Val: uint64(sv.Repl.Role)},
+			wire.Counter{Name: "repl_epoch", Val: sv.Repl.Epoch},
+			wire.Counter{Name: "repl_subscribers", Val: uint64(sv.Repl.Subscribers)},
+			wire.Counter{Name: "repl_shipped", Val: sv.Repl.Shipped},
+			wire.Counter{Name: "repl_acks", Val: sv.Repl.Acks},
+			wire.Counter{Name: "repl_applied", Val: sv.Repl.Applied},
+			wire.Counter{Name: "repl_durable_waits", Val: sv.DurableWaits},
+			wire.Counter{Name: "repl_durable_timeouts", Val: sv.DurableTimeouts},
 		)
 	}
 	if sv.HasCache {
@@ -385,6 +472,14 @@ type conn struct {
 	wDone  chan struct{} // closed by writeLoop after its final drain
 	wArmed time.Time
 
+	// Replication ship stream (repl.go): non-nil sub marks this as a
+	// replica connection; shipSeq numbers the unsolicited record frames
+	// (touched only by the subscriber's Run goroutine).
+	subMu   sync.Mutex // serializes subscribe attempts
+	sub     atomic.Pointer[repl.Subscriber]
+	shipSeq uint64
+
+	done     chan struct{}  // closed when run finishes (drain phasing)
 	inflight sync.WaitGroup // dispatched requests not yet responded
 }
 
@@ -397,6 +492,7 @@ func newConn(s *Server, c net.Conn) *conn {
 		wSig:  make(chan struct{}, 1),
 		wStop: make(chan struct{}),
 		wDone: make(chan struct{}),
+		done:  make(chan struct{}),
 	}
 }
 
@@ -559,13 +655,20 @@ var payloadPool sync.Pool
 // handlers, let the writer flush their final acks, then close.
 func (cn *conn) run() {
 	defer cn.s.unregister(cn)
+	defer close(cn.done)
 	go cn.writeLoop()
 	cn.readLoop()
 
 	// No new requests past this point. Wait for dispatched handlers to
-	// respond, then stop the writer — it drains every queued frame before
-	// wDone — retire the worker pool and close the socket.
+	// respond, stop the ship stream if this was a replica connection (its
+	// queued record frames still drain through the writer below), then stop
+	// the writer — it drains every queued frame before wDone — retire the
+	// worker pool and close the socket.
 	cn.inflight.Wait()
+	if sub := cn.sub.Load(); sub != nil {
+		sub.Stop()
+		<-sub.Done()
+	}
 	close(cn.reqs)
 	close(cn.wStop)
 	<-cn.wDone
@@ -622,6 +725,16 @@ func (cn *conn) readLoop() {
 			payloadPool.Put(payload[:0]) //nolint:staticcheck // []byte pooling is deliberate
 			continue
 		}
+		if req.Op == wire.OpReplAck {
+			// Acks carry no response and take no inflight tokens: they are
+			// folded here on the reader, so an ack can never be stuck in the
+			// dispatch pipeline behind the very durable-ack PUT it unblocks.
+			if sub := cn.sub.Load(); sub != nil {
+				sub.Ack(req.ReplLSNs)
+			}
+			payloadPool.Put(payload[:0]) //nolint:staticcheck // []byte pooling is deliberate
+			continue
+		}
 		cn.dispatch(req, payload)
 	}
 }
@@ -668,7 +781,7 @@ func (cn *conn) dispatch(req wire.Request, payload []byte) {
 		}()
 		return
 	}
-	if req.Op == wire.OpPut && cn.s.batcher != nil {
+	if req.Op == wire.OpPut && cn.s.batcher != nil && cn.batchablePut(req) {
 		if !cn.s.batcher.enqueue(cn, req, payload) {
 			cn.s.overloads.Add(1)
 			go cn.respond(wire.Response{ID: req.ID, Status: wire.StatusOverloaded, Op: req.Op})
@@ -740,6 +853,14 @@ func (cn *conn) handle(req wire.Request) {
 			resp.Status, resp.Msg = wire.StatusErr, err.Error()
 		}
 	case wire.OpPut:
+		if node := cn.s.repl; node != nil && node.Role() != repl.Primary {
+			resp.Status = wire.StatusReadOnly
+			break
+		}
+		if req.Durable && cn.s.repl != nil {
+			cn.handleDurablePut(req, &resp)
+			break
+		}
 		err := cn.s.st.Put(req.Key, req.Val)
 		if c := cn.s.cache; c != nil {
 			// After commit, before ack (cache.go rule 1). Error paths
@@ -756,6 +877,10 @@ func (cn *conn) handle(req wire.Request) {
 			resp.Status, resp.Msg = wire.StatusErr, err.Error()
 		}
 	case wire.OpDel:
+		if node := cn.s.repl; node != nil && node.Role() != repl.Primary {
+			resp.Status = wire.StatusReadOnly
+			break
+		}
 		err := cn.s.st.Delete(req.Key)
 		if c := cn.s.cache; c != nil {
 			c.Invalidate(req.Key)
@@ -776,6 +901,19 @@ func (cn *conn) handle(req wire.Request) {
 	case wire.OpStats:
 		resp.Status = wire.StatusOK
 		resp.Counters = cn.s.counters()
+	case wire.OpReplHello:
+		cn.handleReplHello(req, &resp)
+	case wire.OpReplSubscribe:
+		// Respond before starting the ship loop so the OK frame precedes
+		// every shipped record on the wire (send appends in call order).
+		sub := cn.handleReplSubscribe(req, &resp)
+		cn.respond(resp)
+		if sub != nil {
+			go sub.Run()
+		}
+		return
+	case wire.OpPromote:
+		cn.handlePromote(req, &resp)
 	default:
 		resp.Status, resp.Msg = wire.StatusErr, fmt.Sprintf("unhandled op %s", wire.OpName(req.Op))
 	}

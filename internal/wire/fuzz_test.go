@@ -17,6 +17,12 @@ func seedRequestPayloads() [][]byte {
 		{ID: 4, Op: OpDel, Key: []byte("key")},
 		{ID: 5, Op: OpPut, Key: []byte("key"), Val: []byte("value")},
 		{ID: 6, Op: OpScan, ScanMax: 10, ScanPrefix: []byte("pre")},
+		{ID: 7, Op: OpPut, Key: []byte("key"), Val: []byte("value"), Durable: true},
+		{ID: 8, Op: OpReplHello, ReplRole: RoleReplica, ReplEpoch: 3},
+		{ID: 9, Op: OpReplSubscribe, ReplLSNs: []uint64{0, 17}},
+		{ID: 10, Op: OpReplRecord, ReplPart: 1, ReplLSN: 42, ReplKind: 1, Key: []byte("key"), Val: []byte("value")},
+		{ID: 11, Op: OpReplAck, ReplLSNs: []uint64{9, 8}},
+		{ID: 12, Op: OpPromote, ReplEpoch: 7},
 	}
 	var out [][]byte
 	for _, r := range reqs {
@@ -44,6 +50,11 @@ func seedResponsePayloads() [][]byte {
 		{ID: 5, Status: StatusOverloaded, Op: OpPut},
 		{ID: 6, Status: StatusOK, Op: OpScan, Pairs: []KV{{Key: []byte("a"), Val: []byte("1")}}},
 		{ID: 7, Status: StatusOK, Op: OpStats, Counters: []Counter{{Name: "live_keys", Val: 9}}},
+		{ID: 8, Status: StatusOK, Op: OpReplHello, ReplRole: RolePrimary, ReplEpoch: 3, ReplLSNs: []uint64{5, 6}},
+		{ID: 9, Status: StatusOK, Op: OpReplSubscribe},
+		{ID: 10, Status: StatusOK, Op: OpReplRecord, ReplPart: 1, ReplLSN: 42, ReplKind: 2, Key: []byte("key")},
+		{ID: 11, Status: StatusReadOnly, Op: OpPut},
+		{ID: 12, Status: StatusOK, Op: OpPromote, ReplRole: RolePrimary, ReplEpoch: 8},
 	}
 	var out [][]byte
 	for _, r := range resps {

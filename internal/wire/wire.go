@@ -20,8 +20,13 @@
 //
 //	PING, STATS        (empty)
 //	GET, DEL           key
-//	PUT                key, value
+//	PUT                key, value [, uint8 1 — durable-ack flag, absent = async]
 //	SCAN               uint32 max, prefix
+//	REPL.HELLO         uint8 role, uint64 epoch
+//	REPL.SUBSCRIBE     uint32 n, then n x uint64 from-LSN (one per partition)
+//	REPL.RECORD        uint32 part, uint64 lsn, uint8 kind, key, value
+//	REPL.ACK           uint32 n, then n x uint64 durable LSN (one per partition)
+//	PROMOTE            uint64 epoch to supersede
 //
 // Response bodies (status OK unless noted):
 //
@@ -29,7 +34,18 @@
 //	GET                value
 //	SCAN               uint32 n, then n x (key, value)
 //	STATS              uint32 n, then n x (name, uint64 value)
+//	REPL.HELLO         uint8 role, uint64 epoch, uint32 n, then n x uint64 LSN
+//	REPL.SUBSCRIBE     (empty)
+//	REPL.RECORD        uint32 part, uint64 lsn, uint8 kind, key, value
+//	REPL.ACK           (empty)
+//	PROMOTE            uint8 role, uint64 epoch
 //	any with StatusErr message
+//
+// Replication rides the same framing in both directions: after a replica's
+// REPL.SUBSCRIBE is acknowledged, the primary streams REPL.RECORD frames as
+// unsolicited *responses* (the ID is a per-connection ship sequence, the Op
+// field distinguishes them from request responses), and the replica sends
+// REPL.ACK *requests* that receive no response. See DESIGN.md §13.
 package wire
 
 import (
@@ -55,6 +71,19 @@ const (
 	OpDel   = 4
 	OpScan  = 5
 	OpStats = 6
+
+	// Replication verbs (DESIGN.md §13).
+	OpReplHello     = 7  // role/epoch handshake
+	OpReplSubscribe = 8  // replica asks for the stream from per-partition LSNs
+	OpReplRecord    = 9  // one shipped log record (streamed as responses)
+	OpReplAck       = 10 // replica's durable per-partition watermarks (no response)
+	OpPromote       = 11 // client asks a replica to take over as primary
+)
+
+// Replication roles carried by REPL.HELLO and PROMOTE frames.
+const (
+	RolePrimary = 1
+	RoleReplica = 2
 )
 
 // Response status codes.
@@ -64,6 +93,7 @@ const (
 	StatusErr        = 2 // server-side error; body carries the message
 	StatusOverloaded = 3 // backpressure rejection: retry later
 	StatusClosing    = 4 // server is draining; reconnect elsewhere
+	StatusReadOnly   = 5 // write on a replica: promote it or find the primary
 )
 
 // Protocol errors.
@@ -74,17 +104,31 @@ var (
 	ErrTrailingData  = errors.New("wire: trailing bytes after payload")
 	ErrBadOp         = errors.New("wire: unknown opcode")
 	ErrBadStatus     = errors.New("wire: unknown status")
+	ErrBadFlag       = errors.New("wire: bad trailing flag byte")
 )
 
 // Request is one decoded client request.
 type Request struct {
 	ID  uint64
 	Op  uint8
-	Key []byte // GET, PUT, DEL
-	Val []byte // PUT
+	Key []byte // GET, PUT, DEL; REPL.RECORD record key
+	Val []byte // PUT; REPL.RECORD record value
 
 	ScanMax    uint32 // SCAN: max pairs returned
 	ScanPrefix []byte // SCAN: key prefix filter (may be empty)
+
+	// Durable asks the primary to delay the PUT ack until a replica has
+	// persisted the record (wait-for-replica-durable mode). Encoded as an
+	// optional trailing flag byte so pre-replication PUT frames — and the
+	// committed fuzz corpus — decode unchanged.
+	Durable bool
+
+	ReplRole  uint8    // REPL.HELLO: sender role
+	ReplEpoch uint64   // REPL.HELLO: sender epoch; PROMOTE: epoch to supersede
+	ReplLSNs  []uint64 // REPL.SUBSCRIBE: resume LSNs; REPL.ACK: durable watermarks
+	ReplPart  uint32   // REPL.RECORD: partition index
+	ReplLSN   uint64   // REPL.RECORD: record LSN
+	ReplKind  uint8    // REPL.RECORD: record kind (kv.ReplPut / kv.ReplDelete)
 }
 
 // KV is one key/value pair in a SCAN response.
@@ -104,10 +148,18 @@ type Response struct {
 	Status uint8
 	Op     uint8 // opcode of the request this answers
 
-	Val      []byte    // GET
+	Val      []byte    // GET; REPL.RECORD record value
 	Msg      string    // StatusErr
 	Pairs    []KV      // SCAN
 	Counters []Counter // STATS
+
+	Key       []byte   // REPL.RECORD: record key
+	ReplRole  uint8    // REPL.HELLO / PROMOTE: responder's role
+	ReplEpoch uint64   // REPL.HELLO / PROMOTE: responder's epoch
+	ReplLSNs  []uint64 // REPL.HELLO: responder's per-partition LSNs
+	ReplPart  uint32   // REPL.RECORD: partition index
+	ReplLSN   uint64   // REPL.RECORD: record LSN
+	ReplKind  uint8    // REPL.RECORD: record kind
 }
 
 // OpName returns a printable opcode name.
@@ -125,13 +177,23 @@ func OpName(op uint8) string {
 		return "SCAN"
 	case OpStats:
 		return "STATS"
+	case OpReplHello:
+		return "REPL.HELLO"
+	case OpReplSubscribe:
+		return "REPL.SUBSCRIBE"
+	case OpReplRecord:
+		return "REPL.RECORD"
+	case OpReplAck:
+		return "REPL.ACK"
+	case OpPromote:
+		return "PROMOTE"
 	}
 	return fmt.Sprintf("OP(%d)", op)
 }
 
-func validOp(op uint8) bool { return op >= OpPing && op <= OpStats }
+func validOp(op uint8) bool { return op >= OpPing && op <= OpPromote }
 
-func validStatus(st uint8) bool { return st <= StatusClosing }
+func validStatus(st uint8) bool { return st <= StatusReadOnly }
 
 // --- encoding ---------------------------------------------------------
 
@@ -141,6 +203,16 @@ func appendU64(dst []byte, v uint64) []byte { return binary.BigEndian.AppendUint
 func appendBytes(dst, b []byte) []byte {
 	dst = appendU32(dst, uint32(len(b)))
 	return append(dst, b...)
+}
+
+// appendLSNs encodes a per-partition LSN vector: uint32 count, then the
+// values.
+func appendLSNs(dst []byte, lsns []uint64) []byte {
+	dst = appendU32(dst, uint32(len(lsns)))
+	for _, l := range lsns {
+		dst = appendU64(dst, l)
+	}
+	return dst
 }
 
 // finishFrame patches the 4-byte length placeholder at base.
@@ -168,9 +240,25 @@ func AppendRequest(dst []byte, r Request) ([]byte, error) {
 	case OpPut:
 		dst = appendBytes(dst, r.Key)
 		dst = appendBytes(dst, r.Val)
+		if r.Durable {
+			dst = append(dst, 1)
+		}
 	case OpScan:
 		dst = appendU32(dst, r.ScanMax)
 		dst = appendBytes(dst, r.ScanPrefix)
+	case OpReplHello:
+		dst = append(dst, r.ReplRole)
+		dst = appendU64(dst, r.ReplEpoch)
+	case OpReplSubscribe, OpReplAck:
+		dst = appendLSNs(dst, r.ReplLSNs)
+	case OpReplRecord:
+		dst = appendU32(dst, r.ReplPart)
+		dst = appendU64(dst, r.ReplLSN)
+		dst = append(dst, r.ReplKind)
+		dst = appendBytes(dst, r.Key)
+		dst = appendBytes(dst, r.Val)
+	case OpPromote:
+		dst = appendU64(dst, r.ReplEpoch)
 	}
 	return finishFrame(dst, base)
 }
@@ -206,6 +294,19 @@ func AppendResponse(dst []byte, r Response) ([]byte, error) {
 			dst = appendBytes(dst, []byte(c.Name))
 			dst = appendU64(dst, c.Val)
 		}
+	case r.Op == OpReplHello:
+		dst = append(dst, r.ReplRole)
+		dst = appendU64(dst, r.ReplEpoch)
+		dst = appendLSNs(dst, r.ReplLSNs)
+	case r.Op == OpReplRecord:
+		dst = appendU32(dst, r.ReplPart)
+		dst = appendU64(dst, r.ReplLSN)
+		dst = append(dst, r.ReplKind)
+		dst = appendBytes(dst, r.Key)
+		dst = appendBytes(dst, r.Val)
+	case r.Op == OpPromote:
+		dst = append(dst, r.ReplRole)
+		dst = appendU64(dst, r.ReplEpoch)
 	}
 	return finishFrame(dst, base)
 }
@@ -305,6 +406,27 @@ func (c *cursor) bytes() []byte {
 	return v
 }
 
+// lsns reads a per-partition LSN vector. Counts the remaining payload
+// cannot possibly hold are rejected before allocating for them.
+func (c *cursor) lsns() []uint64 {
+	n := c.u32()
+	if c.err != nil {
+		return nil
+	}
+	if uint64(n)*8 > uint64(len(c.b)) {
+		c.err = ErrTruncated
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = c.u64()
+	}
+	return out
+}
+
 func (c *cursor) done() error {
 	if c.err != nil {
 		return c.err
@@ -334,9 +456,31 @@ func DecodeRequest(p []byte) (Request, error) {
 	case OpPut:
 		r.Key = c.bytes()
 		r.Val = c.bytes()
+		// Optional durable-ack flag. Only the value 1 is valid — decoding
+		// stays the exact inverse of encoding, which the fuzz round-trip
+		// check requires.
+		if c.err == nil && len(c.b) > 0 {
+			if c.u8() != 1 {
+				return Request{}, ErrBadFlag
+			}
+			r.Durable = true
+		}
 	case OpScan:
 		r.ScanMax = c.u32()
 		r.ScanPrefix = c.bytes()
+	case OpReplHello:
+		r.ReplRole = c.u8()
+		r.ReplEpoch = c.u64()
+	case OpReplSubscribe, OpReplAck:
+		r.ReplLSNs = c.lsns()
+	case OpReplRecord:
+		r.ReplPart = c.u32()
+		r.ReplLSN = c.u64()
+		r.ReplKind = c.u8()
+		r.Key = c.bytes()
+		r.Val = c.bytes()
+	case OpPromote:
+		r.ReplEpoch = c.u64()
 	}
 	if err := c.done(); err != nil {
 		return Request{}, err
@@ -395,6 +539,19 @@ func DecodeResponse(p []byte) (Response, error) {
 				r.Counters = append(r.Counters, Counter{Name: name, Val: v})
 			}
 		}
+	case r.Op == OpReplHello:
+		r.ReplRole = c.u8()
+		r.ReplEpoch = c.u64()
+		r.ReplLSNs = c.lsns()
+	case r.Op == OpReplRecord:
+		r.ReplPart = c.u32()
+		r.ReplLSN = c.u64()
+		r.ReplKind = c.u8()
+		r.Key = c.bytes()
+		r.Val = c.bytes()
+	case r.Op == OpPromote:
+		r.ReplRole = c.u8()
+		r.ReplEpoch = c.u64()
 	}
 	if err := c.done(); err != nil {
 		return Response{}, err

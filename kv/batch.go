@@ -1,6 +1,9 @@
 package kv
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // Batched writes. PutBatch is the fence-amortization entry point the
 // network server's cross-connection write batcher uses: where N separate
@@ -39,7 +42,7 @@ func (sp *persistSpan) flush(p *kvPart) {
 
 // appendRecordDeferred is appendRecord with the persist folded into span:
 // the caller must flush the span before making any record of it reachable.
-func (p *kvPart) appendRecordDeferred(sh *shard, sp *persistSpan, kind int, key, val []byte, next uint64) (uint64, error) {
+func (p *kvPart) appendRecordDeferred(sh *shard, sp *persistSpan, kind int, lsn uint64, key, val []byte, next uint64) (uint64, error) {
 	size := recSize(len(key), len(val))
 	if size > p.chunkSz-chunkHdrSize {
 		return 0, ErrTooLarge
@@ -60,6 +63,7 @@ func (p *kvPart) appendRecordDeferred(sh *shard, sp *persistSpan, kind int, key,
 	// fences before putGroup publishes any tree pointer to these bytes.
 	p.arena.Write8Stream(off, hdr)
 	p.arena.Write8Stream(off+8, next)
+	p.arena.Write8Stream(off+recLSNOff, lsn)
 	streamPadded(p.arena, off+recHdrSize, key)
 	streamPadded(p.arena, off+recHdrSize+(uint64(len(key))+7)&^7, val)
 	sp.add(p, off, size)
@@ -78,6 +82,21 @@ func (p *kvPart) appendRecordDeferred(sh *shard, sp *persistSpan, kind int, key,
 // on other shards, and hold each shard lock no longer than the same pairs
 // written individually would in aggregate.
 func (s *Store) PutBatch(keys, vals [][]byte) []error {
+	return s.putBatch(keys, vals, nil, nil)
+}
+
+// PutBatchEx is PutBatch additionally reporting, for every pair that
+// succeeded, its partition index and committed LSN into parts/lsns (each
+// must have len(keys) entries; failed pairs are left untouched). The
+// replicating server's batcher uses it to wait for durable-ack PUTs.
+func (s *Store) PutBatchEx(keys, vals [][]byte, parts []int, lsns []uint64) []error {
+	if len(parts) != len(keys) || len(lsns) != len(keys) {
+		panic("kv: PutBatchEx parts/lsns length mismatch")
+	}
+	return s.putBatch(keys, vals, parts, lsns)
+}
+
+func (s *Store) putBatch(keys, vals [][]byte, partsOut []int, lsnsOut []uint64) []error {
 	if len(keys) != len(vals) {
 		panic("kv: PutBatch keys/vals length mismatch")
 	}
@@ -109,7 +128,7 @@ func (s *Store) PutBatch(keys, vals [][]byte) []error {
 	// within each group (order matters for duplicate keys).
 	hashes := make([]uint64, len(keys))
 	groups := map[*shard][]int{}
-	partOf := map[*shard]*kvPart{}
+	partOf := map[*shard]int{}
 	for i, k := range keys {
 		if len(k) == 0 {
 			fail(i, ErrEmptyKey)
@@ -117,10 +136,16 @@ func (s *Store) PutBatch(keys, vals [][]byte) []error {
 		}
 		h := s.hash(k)
 		hashes[i] = h
-		p := s.partFor(h)
-		sh := p.shardFor(h)
+		pi := s.f.PartitionFor(h)
+		sh := s.parts[pi].shardFor(h)
 		groups[sh] = append(groups[sh], i)
-		partOf[sh] = p
+		partOf[sh] = pi
+	}
+	// The commit hook needs each record's LSN to ship it; allocate the
+	// shared per-pair LSN table if the caller didn't provide one. Groups
+	// write disjoint indices, so sharing it across goroutines is safe.
+	if lsnsOut == nil && s.commitHook() != nil {
+		lsnsOut = make([]uint64, len(keys))
 	}
 	// Apply the groups concurrently: every group holds a different shard
 	// lock and persists its records into its own contiguous run, so the
@@ -131,16 +156,16 @@ func (s *Store) PutBatch(keys, vals [][]byte) []error {
 	// AND the media occupancy overlaps across groups.
 	if len(groups) == 1 {
 		for sh, idxs := range groups {
-			partOf[sh].putGroup(sh, idxs, keys, vals, hashes, fail)
+			s.putGroup(partOf[sh], sh, idxs, keys, vals, hashes, partsOut, lsnsOut, fail)
 		}
 		return errs
 	}
 	var wg sync.WaitGroup
 	for sh, idxs := range groups {
 		wg.Add(1)
-		go func(p *kvPart, sh *shard, idxs []int) {
+		go func(pi int, sh *shard, idxs []int) {
 			defer wg.Done()
-			p.putGroup(sh, idxs, keys, vals, hashes, fail)
+			s.putGroup(pi, sh, idxs, keys, vals, hashes, partsOut, lsnsOut, fail)
 		}(partOf[sh], sh, idxs)
 	}
 	wg.Wait()
@@ -170,8 +195,19 @@ type batchKeyKind struct {
 
 // putGroup applies one shard's slice of a batch under that shard's lock:
 // append all records (deferring persists into contiguous spans), flush,
-// then repoint each touched hash at its newest record.
-func (p *kvPart) putGroup(sh *shard, idxs []int, keys, vals [][]byte, hashes []uint64, fail func(int, error)) {
+// then repoint each touched hash at its newest record. partsOut/lsnsOut,
+// when non-nil, receive each successful pair's partition and LSN (groups
+// write disjoint indices).
+func (s *Store) putGroup(pi int, sh *shard, idxs []int, keys, vals [][]byte, hashes []uint64, partsOut []int, lsnsOut []uint64, fail func(int, error)) {
+	p := &s.parts[pi]
+	hook := s.commitHook()
+	if hook != nil {
+		// Same lock order as PutEx: replMu, then the shard mu, held across
+		// the whole group so the hook sees this partition's commits in LSN
+		// order.
+		p.replMu.Lock()
+		defer p.replMu.Unlock()
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 
@@ -210,10 +246,14 @@ func (p *kvPart) putGroup(sh *shard, idxs []int, keys, vals [][]byte, hashes []u
 			next = oldHead
 			prevKind = p.chainFindKind(oldHead, key)
 		}
-		off, err := p.appendRecordDeferred(sh, &sp, recPut, key, val, next)
+		lsn := p.lsn.Add(1)
+		off, err := p.appendRecordDeferred(sh, &sp, recPut, lsn, key, val, next)
 		if err != nil {
 			fail(i, err)
 			continue
+		}
+		if lsnsOut != nil {
+			lsnsOut[i] = lsn
 		}
 		if e == nil {
 			if len(ents) < cap(ents) {
@@ -248,6 +288,7 @@ func (p *kvPart) putGroup(sh *shard, idxs []int, keys, vals [][]byte, hashes []u
 	// Records must be durable before they become reachable.
 	sp.flush(p)
 	var liveDelta, deadDelta int64
+	var shipped []int
 	for j := range ents {
 		e := &ents[j]
 		if err := p.tree.Upsert(e.hash, e.head); err != nil {
@@ -262,9 +303,26 @@ func (p *kvPart) putGroup(sh *shard, idxs []int, keys, vals [][]byte, hashes []u
 		}
 		liveDelta += e.live
 		deadDelta += e.dead
+		for _, i := range e.idxs {
+			if partsOut != nil {
+				partsOut[i] = pi
+			}
+			if hook != nil {
+				shipped = append(shipped, i)
+			}
+		}
 	}
 	sh.live.Add(liveDelta)
 	sh.dead.Add(deadDelta)
+	if hook != nil {
+		// Hashes were published in entry order, not LSN order; re-sort the
+		// committed pairs so the hook's per-partition LSN stream stays
+		// monotonic (the shipping cursor treats it as a watermark).
+		sort.Slice(shipped, func(a, b int) bool { return lsnsOut[shipped[a]] < lsnsOut[shipped[b]] })
+		for _, i := range shipped {
+			hook(pi, lsnsOut[i], ReplPut, keys[i], vals[i])
+		}
+	}
 	// Drop borrowed key references before the caller recycles its payload
 	// buffers, then park the scratch for the next batch.
 	for j := range kinds {

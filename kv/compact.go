@@ -2,21 +2,32 @@ package kv
 
 import "rntree/internal/pmem"
 
-// liveRec is one record Compact or migration carries over.
-type liveRec struct{ key, val []byte }
+// liveRec is one record Compact or migration carries over. Kind and LSN are
+// preserved verbatim: a rewritten record is the same logical commit, so its
+// replication identity (and the recovered LSN watermark) must survive
+// compaction.
+type liveRec struct {
+	kind int
+	lsn  uint64
+	key  []byte
+	val  []byte
+}
 
-// collectLive walks a hash chain newest-first and returns the newest
-// record of every distinct live key, preserving chain order (newest
-// first). Tombstoned keys are dropped.
-func (p *kvPart) collectLive(off uint64) []liveRec {
+// collectLive walks a hash chain newest-first and returns the newest record
+// of every distinct key, preserving chain order (newest first). With
+// keepTombs false, tombstoned keys are dropped entirely; with keepTombs true
+// (replicating stores) the newest record is kept even when it is a
+// tombstone, so a subscriber resuming from an old LSN still hears about the
+// delete.
+func (p *kvPart) collectLive(off uint64, keepTombs bool) []liveRec {
 	var live []liveRec
 	seen := map[string]bool{}
 	for off != 0 {
 		kind, key, val, next := p.readRecord(off)
 		if !seen[string(key)] {
 			seen[string(key)] = true
-			if kind == recPut {
-				live = append(live, liveRec{key, val})
+			if kind == recPut || keepTombs {
+				live = append(live, liveRec{kind, p.readLSN(off), key, val})
 			}
 		}
 		off = next
@@ -24,13 +35,13 @@ func (p *kvPart) collectLive(off uint64) []liveRec {
 	return live
 }
 
-// rewriteChain re-appends live records (given newest-first) into sh's log,
-// preserving their order, and repoints the index. Caller holds sh.mu (or
-// the store is not yet published).
+// rewriteChain re-appends records (given newest-first) into sh's log,
+// preserving their order, kinds and LSNs, and repoints the index. Caller
+// holds sh.mu (or the store is not yet published).
 func (p *kvPart) rewriteChain(sh *shard, hash uint64, live []liveRec) error {
 	next := uint64(0)
 	for i := len(live) - 1; i >= 0; i-- {
-		off, err := p.appendRecord(sh, recPut, live[i].key, live[i].val, next)
+		off, err := p.appendRecord(sh, live[i].kind, live[i].lsn, live[i].key, live[i].val, next)
 		if err != nil {
 			return err
 		}
@@ -44,16 +55,21 @@ func (p *kvPart) rewriteChain(sh *shard, hash uint64, live []liveRec) error {
 // one shard at a time, holding only that shard's lock — writers on the
 // other shards and partitions (and all readers) keep running, so
 // compaction never stops the world.
+//
+// On a store with a commit hook installed (a replication primary or
+// replica), each key's newest tombstone is preserved instead of dropped, so
+// the log remains a complete replication history; see SetCommitHook.
 func (s *Store) Compact() error {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	keepTombs := s.commitHook() != nil
 	for pi := range s.parts {
 		p := &s.parts[pi]
 		for i := range p.shards {
-			if err := p.compactShard(&p.shards[i]); err != nil {
+			if err := p.compactShard(&p.shards[i], keepTombs); err != nil {
 				return err
 			}
 		}
@@ -73,7 +89,7 @@ func (s *Store) Compact() error {
 // Reader safety: lock-free readers may still be walking the old records,
 // so the cut chunks are only retired here; the actual free happens at the
 // start of the next compaction of this shard, a full cycle later.
-func (p *kvPart) compactShard(sh *shard) error {
+func (p *kvPart) compactShard(sh *shard, keepTombs bool) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for _, c := range sh.retired {
@@ -88,12 +104,13 @@ func (p *kvPart) compactShard(sh *shard) error {
 	cut := sh.chunk // its next pointer is oldHead until the cut below
 
 	live := int64(0)
+	dead := int64(0)
 	var fail error
 	p.tree.Scan(0, 0, func(hash, off uint64) bool {
 		if p.shardFor(hash) != sh {
 			return true
 		}
-		recs := p.collectLive(off)
+		recs := p.collectLive(off, keepTombs)
 		if len(recs) == 0 {
 			if err := p.tree.Remove(hash); err != nil {
 				fail = err
@@ -105,7 +122,13 @@ func (p *kvPart) compactShard(sh *shard) error {
 			fail = err
 			return false
 		}
-		live += int64(len(recs))
+		for _, r := range recs {
+			if r.kind == recPut {
+				live++
+			} else {
+				dead++ // preserved tombstone: still reclaimable garbage
+			}
+		}
 		return true
 	})
 	if fail != nil {
@@ -122,6 +145,6 @@ func (p *kvPart) compactShard(sh *shard) error {
 		}
 	}
 	sh.live.Store(live)
-	sh.dead.Store(0)
+	sh.dead.Store(dead)
 	return nil
 }

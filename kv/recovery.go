@@ -160,6 +160,11 @@ func openPartV3(p *kvPart, idx, parts int) error {
 			grow(c + legacySz)
 		}
 	}
+	// The replication-state line (epoch/role, kv/repl.go) is rooted in the
+	// arena root line; keep the allocator clear of it too.
+	if r := a.Read8(rootReplOff); r != pmem.NullOff {
+		grow(r + pmem.LineSize)
+	}
 	a.SetBump(maxOff)
 	for i := range p.shards {
 		if err := p.newShardChunk(&p.shards[i]); err != nil {
@@ -265,6 +270,9 @@ func openV2(p *kvPart, sb uint64) error {
 			grow(c + legacySz)
 		}
 	}
+	if r := a.Read8(rootReplOff); r != pmem.NullOff {
+		grow(r + pmem.LineSize)
+	}
 	a.SetBump(maxOff)
 	for i := range p.shards {
 		if err := p.newShardChunk(&p.shards[i]); err != nil {
@@ -302,6 +310,9 @@ func openV1(p *kvPart, sb uint64, opts Options) error {
 		if c+chunkSz > maxOff {
 			maxOff = c + chunkSz
 		}
+	}
+	if r := a.Read8(rootReplOff); r != pmem.NullOff && r+pmem.LineSize > maxOff {
+		maxOff = r + pmem.LineSize
 	}
 	a.SetBump(maxOff)
 
@@ -371,7 +382,7 @@ func rebuild(src *Store, opts Options) (*Store, error) {
 func (p *kvPart) finishMigration(legacyHead, legacySz uint64) error {
 	var fail error
 	p.tree.Scan(0, 0, func(hash, off uint64) bool {
-		live := p.collectLive(off)
+		live := p.collectLive(off, false)
 		if len(live) == 0 {
 			if err := p.tree.Remove(hash); err != nil {
 				fail = err
@@ -400,13 +411,21 @@ func (p *kvPart) finishMigration(legacyHead, legacySz uint64) error {
 
 // recount rebuilds the partition's per-shard live counters exactly by
 // walking every hash chain (dead records restart at zero after recovery;
-// Compact re-derives them). Runs single-threaded inside Open.
+// Compact re-derives them), and recovers the partition's LSN counter as the
+// max LSN over all reachable records — the durable replication watermark: a
+// record whose tree publish did not survive the crash is unreachable, so a
+// replica resubscribing from this watermark re-receives it. Runs
+// single-threaded inside Open.
 func (p *kvPart) recount() {
+	maxLSN := uint64(0)
 	p.tree.Scan(0, 0, func(hash, off uint64) bool {
 		n := 0
 		seen := map[string]bool{}
 		for off != 0 {
 			kind, key, next := p.readRecordMeta(off)
+			if l := p.readLSN(off); l > maxLSN {
+				maxLSN = l
+			}
 			if !seen[string(key)] {
 				seen[string(key)] = true
 				if kind == recPut {
@@ -420,4 +439,7 @@ func (p *kvPart) recount() {
 		}
 		return true
 	})
+	if maxLSN > p.lsn.Load() {
+		p.lsn.Store(maxLSN)
+	}
 }

@@ -1,0 +1,191 @@
+package kv
+
+import (
+	"fmt"
+	"sort"
+
+	"rntree/internal/pmem"
+)
+
+// Replication support: the value log doubles as the replication log. Every
+// committed record carries a per-partition log sequence number (LSN), so a
+// replica's progress is a vector of per-partition watermarks, shipped
+// records are idempotent (an LSN at or below the watermark is a replay and
+// is skipped), and a subscriber can resume from any watermark by replaying
+// the reachable records above it in LSN order. See DESIGN.md §13.
+
+// ReplLSN returns partition part's current log sequence number: the highest
+// LSN assigned (primary) or applied (replica).
+func (s *Store) ReplLSN(part int) uint64 { return s.parts[part].lsn.Load() }
+
+// ReplLSNs returns the per-partition LSN vector.
+func (s *Store) ReplLSNs() []uint64 {
+	out := make([]uint64, len(s.parts))
+	for i := range s.parts {
+		out[i] = s.parts[i].lsn.Load()
+	}
+	return out
+}
+
+// ReplApply applies one shipped record to a replica store and persists it
+// exactly like a local mutation (record append + persist, then tree
+// publish). It is idempotent: an LSN at or below the partition's watermark
+// has already been applied — possibly before a crash the shipper doesn't
+// know about — and is skipped, which is what makes duplicate shipping
+// across reconnects and failovers safe. LSN gaps are accepted (a primary
+// can burn an LSN on a failed append). The commit hook is NOT fired.
+func (s *Store) ReplApply(part int, lsn uint64, kind uint8, key, val []byte) error {
+	if part < 0 || part >= len(s.parts) {
+		return fmt.Errorf("kv: ReplApply: partition %d out of range [0,%d)", part, len(s.parts))
+	}
+	if kind != ReplPut && kind != ReplDelete {
+		return fmt.Errorf("kv: ReplApply: bad record kind %d", kind)
+	}
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	h := s.hash(key)
+	if got := s.f.PartitionFor(h); got != part {
+		return fmt.Errorf("kv: ReplApply: key routes to partition %d, record says %d (geometry mismatch)", got, part)
+	}
+	p := &s.parts[part]
+	// replMu makes watermark-check + apply atomic against concurrent
+	// appliers and a promotion racing in local writes.
+	p.replMu.Lock()
+	defer p.replMu.Unlock()
+	if lsn <= p.lsn.Load() {
+		return nil
+	}
+	sh := p.shardFor(h)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	oldHead, existed := p.tree.Find(h)
+	next := uint64(0)
+	prevKind := 0
+	if existed {
+		next = oldHead
+		prevKind = p.chainFindKind(oldHead, key)
+	}
+	off, err := p.appendRecord(sh, int(kind), lsn, key, val, next)
+	if err != nil {
+		return err
+	}
+	if err := p.tree.Upsert(h, off); err != nil {
+		return err
+	}
+	// The record is durable and reachable: the watermark advance is
+	// recoverable (recount re-derives it from this record), so the volatile
+	// counter can move.
+	p.lsn.Store(lsn)
+	if kind == ReplPut {
+		if prevKind == recPut {
+			sh.dead.Add(1)
+		} else {
+			sh.live.Add(1)
+		}
+	} else {
+		if prevKind == recPut {
+			sh.live.Add(-1)
+			sh.dead.Add(2)
+		} else {
+			// Tombstone for a key with no live record here (the matching Put
+			// was compacted away upstream, or never existed): the tombstone
+			// itself is the only garbage.
+			sh.dead.Add(1)
+		}
+	}
+	return nil
+}
+
+// ReplBacklog calls fn for every reachable record of partition part with
+// LSN above from, in ascending LSN order, until fn returns false. Superseded
+// record versions dropped by compaction are fine: the newest record per key
+// survives with the highest LSN, so replaying the backlog converges a
+// subscriber to the primary's state. The key/val slices are freshly
+// allocated and may be retained. Safe to call concurrently with writers —
+// records committed during the walk may or may not be included; the live
+// ship queue covers them.
+func (s *Store) ReplBacklog(part int, from uint64, fn func(lsn uint64, kind uint8, key, val []byte) bool) error {
+	if part < 0 || part >= len(s.parts) {
+		return fmt.Errorf("kv: ReplBacklog: partition %d out of range [0,%d)", part, len(s.parts))
+	}
+	p := &s.parts[part]
+	type rec struct {
+		lsn      uint64
+		kind     uint8
+		key, val []byte
+	}
+	var recs []rec
+	p.tree.Scan(0, 0, func(_, off uint64) bool {
+		for off != 0 {
+			kind, key, val, next := p.readRecord(off)
+			if l := p.readLSN(off); l > from {
+				recs = append(recs, rec{l, uint8(kind), key, val})
+			}
+			off = next
+		}
+		return true
+	})
+	sort.Slice(recs, func(i, j int) bool { return recs[i].lsn < recs[j].lsn })
+	for _, r := range recs {
+		if !fn(r.lsn, r.kind, r.key, r.val) {
+			break
+		}
+	}
+	return nil
+}
+
+// ReplState returns the persisted replication epoch and role byte (0, 0 if
+// the store never participated in replication). The state line lives on
+// partition 0's arena, rooted at the root-line word rootReplOff.
+func (s *Store) ReplState() (epoch uint64, role uint8) {
+	a := s.parts[0].arena
+	off := a.Read8(rootReplOff)
+	if off == pmem.NullOff || a.Read8(off+replStMagicOff) != replMagic {
+		return 0, 0
+	}
+	w := a.Read8(off + replStWordOff)
+	return w >> 8, uint8(w)
+}
+
+// SetReplState persists the replication epoch and role. Both pack into one
+// 8-byte word, so the update is a single atomic persist: a crash during a
+// promotion observes either the old epoch/role or the new, never a mix.
+// The first call allocates the state line (line persisted before the root
+// word references it; a crash between the two merely leaks the line and
+// reads back as never-replicated, i.e. epoch 0).
+func (s *Store) SetReplState(epoch uint64, role uint8) error {
+	if epoch >= 1<<56 {
+		return fmt.Errorf("kv: replication epoch %d overflows the packed state word", epoch)
+	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.replStMu.Lock()
+	defer s.replStMu.Unlock()
+	a := s.parts[0].arena
+	off := a.Read8(rootReplOff)
+	if off == pmem.NullOff {
+		var err error
+		off, err = a.Alloc(pmem.LineSize)
+		if err != nil {
+			return err
+		}
+		a.Write8(off+replStMagicOff, replMagic)
+		a.Write8(off+replStWordOff, epoch<<8|uint64(role))
+		a.Persist(off, pmem.LineSize)
+		a.Write8(rootReplOff, off)
+		a.Persist(rootReplOff, 8)
+		return nil
+	}
+	a.Write8(off+replStWordOff, epoch<<8|uint64(role))
+	a.Persist(off+replStWordOff, 8)
+	return nil
+}

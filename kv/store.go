@@ -92,10 +92,33 @@ const (
 	MaxShards = 64
 
 	// record header word: kind | keyLen<<8 | valLen<<32 ; second word: next
-	// record in the hash chain (0 = end).
-	recHdrSize = 16
+	// record in the hash chain (0 = end); third word: the record's
+	// per-partition log sequence number, assigned at commit. The LSN rides
+	// the record itself so replication progress is recovered from the value
+	// log — recount rebuilds each partition's counter from the max reachable
+	// LSN, and a record whose tree publish did not survive the crash is
+	// invisible, keeping the recovered watermark exactly at the durable
+	// prefix.
+	recHdrSize = 24
+	recLSNOff  = 16
 	recPut     = 1
 	recDelete  = 2
+
+	// rootReplOff is the root-line word (partition 0's arena) holding the
+	// offset of the replication-state line, or null if the store never
+	// participated in replication. The line's second word packs epoch<<8 |
+	// role, so a promotion commits with a single atomic 8-byte persist.
+	rootReplOff    = 56
+	replMagic      = 0x524e_5250_0001 // "RNRP" v1
+	replStMagicOff = 0
+	replStWordOff  = 8
+)
+
+// Replication record kinds as shipped by the commit hook and accepted by
+// ReplApply (the wire values of the kv-internal record kinds).
+const (
+	ReplPut    uint8 = recPut
+	ReplDelete uint8 = recDelete
 )
 
 // Options configure a Store.
@@ -199,6 +222,19 @@ type kvPart struct {
 	chunkSz   uint64
 	shards    []shard
 	shardMask uint64
+
+	// lsn is the partition's log sequence counter: the highest LSN assigned
+	// (primary) or applied (replica). Recovered from the max reachable
+	// record LSN by recount. Assignment is atomic, so LSNs stay unique and
+	// monotonic even for hook-less parallel writers on different shards.
+	lsn atomic.Uint64
+
+	// replMu serializes committed mutations of this partition while a
+	// commit hook is installed, so the hook observes them in LSN order —
+	// the property the replication shipper's cursor depends on. Lock order:
+	// replMu before any shard mu. With no hook installed the field is never
+	// locked and writers on different shards stay parallel.
+	replMu sync.Mutex
 }
 
 // initShards builds the volatile shard state over a persisted shard table.
@@ -230,6 +266,45 @@ type Store struct {
 	// Close — a closed store is a read-only snapshot.
 	closeMu sync.RWMutex
 	closed  atomic.Bool
+
+	// hook is the installed commit hook (nil pointer = none); see
+	// SetCommitHook.
+	hook atomic.Pointer[CommitHook]
+
+	// replStMu serializes SetReplState's read-modify-write of the
+	// replication-state line.
+	replStMu sync.Mutex
+}
+
+// CommitHook observes every committed local mutation: it is called with the
+// partition, the record's LSN, its kind (ReplPut/ReplDelete) and the key and
+// value bytes, after the mutation's commit point and before its caller
+// regains control. The key/val slices are only valid for the duration of the
+// call. Replicated applies (ReplApply) do NOT fire the hook — replication
+// chains deeper than primary→replicas are not supported.
+type CommitHook func(part int, lsn uint64, kind uint8, key, val []byte)
+
+// SetCommitHook installs fn as the store's commit hook (nil uninstalls).
+// While a hook is installed, mutations within one partition are serialized
+// so the hook fires in LSN order — the replication shipper's contract — and
+// Compact preserves each key's newest record even when it is a tombstone, so
+// the value log remains a complete replication history for subscribers
+// resuming from any LSN at or above the compaction floor. Install the hook
+// before concurrent writers start; swapping it mid-traffic leaves records
+// committed during the swap unobserved.
+func (s *Store) SetCommitHook(fn CommitHook) {
+	if fn == nil {
+		s.hook.Store(nil)
+		return
+	}
+	s.hook.Store(&fn)
+}
+
+func (s *Store) commitHook() CommitHook {
+	if p := s.hook.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // partFor routes a hash to the partition owning it — necessarily the same
@@ -384,7 +459,7 @@ func recSize(keyLen, valLen int) uint64 {
 // appendRecord writes one immutable record to sh's log and persists it.
 // Caller holds sh.mu (or the store is not yet published). Returns the
 // record offset.
-func (p *kvPart) appendRecord(sh *shard, kind int, key, val []byte, next uint64) (uint64, error) {
+func (p *kvPart) appendRecord(sh *shard, kind int, lsn uint64, key, val []byte, next uint64) (uint64, error) {
 	size := recSize(len(key), len(val))
 	if size > p.chunkSz-chunkHdrSize {
 		return 0, ErrTooLarge
@@ -403,6 +478,7 @@ func (p *kvPart) appendRecord(sh *shard, kind int, key, val []byte, next uint64)
 	// pass over the bytes instead of a store pass plus a flush copy.
 	p.arena.Write8Stream(off, hdr)
 	p.arena.Write8Stream(off+8, next)
+	p.arena.Write8Stream(off+recLSNOff, lsn)
 	streamPadded(p.arena, off+recHdrSize, key)
 	streamPadded(p.arena, off+recHdrSize+(uint64(len(key))+7)&^7, val)
 	p.arena.PersistStream(off, size)
@@ -459,6 +535,9 @@ func (p *kvPart) readRecordMeta(off uint64) (kind int, key []byte, next uint64) 
 	return kind, kb[:keyLen], next
 }
 
+// readLSN reads the persisted LSN of the record at off.
+func (p *kvPart) readLSN(off uint64) uint64 { return p.arena.Read8(off + recLSNOff) }
+
 // chainFindKind walks a hash chain from head and returns the kind of the
 // newest record for key, or 0 if the chain holds no record for it. This is
 // how mutations count precisely: the newest record for the mutated key —
@@ -496,16 +575,33 @@ func (s *Store) lookup(key []byte) (kind int, val []byte, ok bool) {
 // Put stores key → value (insert or overwrite). Puts on different shards
 // (and a fortiori different partitions) run in parallel.
 func (s *Store) Put(key, value []byte) error {
+	_, _, err := s.PutEx(key, value)
+	return err
+}
+
+// PutEx is Put returning the partition index and the committed record's LSN
+// — what a replicating server needs to wait for the replica's durable
+// watermark to cover this exact write.
+func (s *Store) PutEx(key, value []byte) (part int, lsn uint64, err error) {
 	if len(key) == 0 {
-		return ErrEmptyKey
+		return 0, 0, ErrEmptyKey
 	}
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed.Load() {
-		return ErrClosed
+		return 0, 0, ErrClosed
 	}
 	h := s.hash(key)
-	p := s.partFor(h)
+	part = s.f.PartitionFor(h)
+	p := &s.parts[part]
+	hook := s.commitHook()
+	if hook != nil {
+		// Ship order must equal LSN order: hold the partition's replication
+		// lock across assign→append→publish→hook (lock order: replMu, then
+		// the shard mu below).
+		p.replMu.Lock()
+		defer p.replMu.Unlock()
+	}
 	sh := p.shardFor(h)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -516,12 +612,13 @@ func (s *Store) Put(key, value []byte) error {
 		next = oldHead
 		prevKind = p.chainFindKind(oldHead, key)
 	}
-	off, err := p.appendRecord(sh, recPut, key, value, next)
+	lsn = p.lsn.Add(1)
+	off, err := p.appendRecord(sh, recPut, lsn, key, value, next)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	if err := p.tree.Upsert(h, off); err != nil {
-		return err
+		return 0, 0, err
 	}
 	switch prevKind {
 	case recPut:
@@ -536,7 +633,10 @@ func (s *Store) Put(key, value []byte) error {
 		// and stays live).
 		sh.live.Add(1)
 	}
-	return nil
+	if hook != nil {
+		hook(part, lsn, ReplPut, key, value)
+	}
+	return part, lsn, nil
 }
 
 // Get returns the value stored under key. Lock-free.
@@ -557,39 +657,55 @@ func (s *Store) Has(key []byte) bool {
 // Delete removes key (tombstone append; reclaimed by Compact). Deletes on
 // different shards run in parallel.
 func (s *Store) Delete(key []byte) error {
+	_, _, err := s.DeleteEx(key)
+	return err
+}
+
+// DeleteEx is Delete returning the partition index and the tombstone's LSN.
+func (s *Store) DeleteEx(key []byte) (part int, lsn uint64, err error) {
 	if len(key) == 0 {
-		return ErrEmptyKey
+		return 0, 0, ErrEmptyKey
 	}
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed.Load() {
-		return ErrClosed
+		return 0, 0, ErrClosed
 	}
 	h := s.hash(key)
-	p := s.partFor(h)
+	part = s.f.PartitionFor(h)
+	p := &s.parts[part]
+	hook := s.commitHook()
+	if hook != nil {
+		p.replMu.Lock()
+		defer p.replMu.Unlock()
+	}
 	sh := p.shardFor(h)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	oldHead, existed := p.tree.Find(h)
 	if !existed {
-		return ErrNotFound
+		return 0, 0, ErrNotFound
 	}
 	if k := p.chainFindKind(oldHead, key); k != recPut {
-		return ErrNotFound
+		return 0, 0, ErrNotFound
 	}
-	off, err := p.appendRecord(sh, recDelete, key, nil, oldHead)
+	lsn = p.lsn.Add(1)
+	off, err := p.appendRecord(sh, recDelete, lsn, key, nil, oldHead)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	if err := p.tree.Upsert(h, off); err != nil {
-		return err
+		return 0, 0, err
 	}
 	sh.live.Add(-1)
 	// Exactly two records die: the key's newest Put (located above — it
 	// need not be the chain head, which may belong to a colliding key) and
 	// the tombstone itself.
 	sh.dead.Add(2)
-	return nil
+	if hook != nil {
+		hook(part, lsn, ReplDelete, key, nil)
+	}
+	return part, lsn, nil
 }
 
 // Range calls fn for every live key/value pair (hash order within each
