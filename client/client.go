@@ -21,7 +21,6 @@ import (
 	"fmt"
 	"net"
 	"runtime"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -531,6 +530,8 @@ func statusErr(r wire.Response) error {
 		return ErrClosing
 	case wire.StatusReadOnly:
 		return ErrReadOnly
+	case wire.StatusNoRepl:
+		return ErrNoRepl
 	case wire.StatusErr:
 		return fmt.Errorf("client: server error: %s", r.Msg)
 	}
@@ -639,14 +640,12 @@ func (c *Client) PutDurable(key, value []byte) error {
 
 // ReplState asks the server for its replication role, epoch and
 // per-partition LSN vector (the REPL.HELLO handshake, sent as an
-// observer). ErrNoRepl means the server has replication disabled.
+// observer). ErrNoRepl (the wire.StatusNoRepl code, not a message match)
+// means the server has replication disabled.
 func (c *Client) ReplState() (role uint8, epoch uint64, lsns []uint64, err error) {
 	r, err := c.doRetry(wire.Request{Op: wire.OpReplHello})
 	if err != nil {
 		return 0, 0, nil, err
-	}
-	if r.Status == wire.StatusErr && strings.Contains(r.Msg, "replication not enabled") {
-		return 0, 0, nil, ErrNoRepl
 	}
 	if err := statusErr(r); err != nil {
 		return 0, 0, nil, err
@@ -662,9 +661,6 @@ func (c *Client) Promote(minEpoch uint64) (uint64, error) {
 	r, err := c.doRetry(wire.Request{Op: wire.OpPromote, ReplEpoch: minEpoch})
 	if err != nil {
 		return 0, err
-	}
-	if r.Status == wire.StatusErr && strings.Contains(r.Msg, "replication not enabled") {
-		return 0, ErrNoRepl
 	}
 	if err := statusErr(r); err != nil {
 		return 0, err

@@ -11,7 +11,7 @@
 //	rnserved [-addr :4410] [-partitions 4] [-arena-mb 512] [-dualslot]
 //	         [-batch] [-batch-max 64] [-batch-delay 200us]
 //	         [-cache] [-cache-entries 65536]
-//	         [-repl] [-replica-of addr] [-repl-durable-timeout 5s]
+//	         [-repl] [-replica-of addr] [-repl-durable-timeout 5s] [-repl-fence-lease 0]
 //	         [-max-conns 256] [-max-inflight 64] [-max-global 1024]
 //	         [-idle-timeout 2m] [-flush-ns 0] [-fence-ns 0]
 package main
@@ -53,6 +53,7 @@ type config struct {
 	replAckEvery     int
 	replAckInterval  time.Duration
 	replDurableTmout time.Duration
+	replFenceLease   time.Duration
 
 	maxConns    int
 	maxInflight int
@@ -82,6 +83,7 @@ func parseFlags(args []string, errw io.Writer) (config, error) {
 	fs.IntVar(&c.replAckEvery, "repl-ack-every", 32, "replica acks after this many applied records")
 	fs.DurationVar(&c.replAckInterval, "repl-ack-interval", 20*time.Millisecond, "replica ack flush interval")
 	fs.DurationVar(&c.replDurableTmout, "repl-durable-timeout", 5*time.Second, "max wait for replica durability on a durable PUT")
+	fs.DurationVar(&c.replFenceLease, "repl-fence-lease", 0, "fence writes (read-only) after all replicas have been gone this long; 0 disables")
 	fs.IntVar(&c.maxConns, "max-conns", 256, "max concurrent connections")
 	fs.IntVar(&c.maxInflight, "max-inflight", 64, "max pipelined requests per connection")
 	fs.IntVar(&c.maxGlobal, "max-global", 1024, "max in-flight requests across all connections (excess rejected)")
@@ -179,6 +181,7 @@ func serve(cfg config, w *drain.Watcher, out io.Writer) error {
 		},
 		Repl:               node,
 		ReplDurableTimeout: cfg.replDurableTmout,
+		ReplFenceLease:     cfg.replFenceLease,
 	})
 
 	ln, err := net.Listen("tcp", cfg.addr)

@@ -82,6 +82,13 @@ type Node struct {
 	acks    atomic.Uint64 // ack vectors processed
 	applied atomic.Uint64 // records applied by this node's applier (replica)
 
+	// Fencing (SetFenceLease): a primary whose subscribers have all been
+	// gone longer than the lease reports Fenced, so the serving layer can
+	// stop acking writes that would not survive a concurrent failover.
+	fenceLease atomic.Int64 // lease in nanoseconds; 0 disables fencing
+	subCount   atomic.Int64 // live registered subscribers
+	subGone    atomic.Int64 // unix nanos when subCount last dropped to zero
+
 	// applyHook, when set, is called with each key the applier has just
 	// applied — the serving layer invalidates its hot-key cache through it,
 	// since applied records bypass the server's mutation handlers.
@@ -124,8 +131,39 @@ func NewNode(st *kv.Store, role uint8) (*Node, error) {
 		}
 	}
 	n.role.Store(uint32(role))
+	n.subGone.Store(time.Now().UnixNano())
 	st.SetCommitHook(n.onCommit)
 	return n, nil
+}
+
+// SetFenceLease arms write fencing: once every subscriber has been gone for
+// longer than d, Fenced reports true until one resubscribes. Arming (and
+// re-arming) grants a fresh grace window of d, so a primary that boots
+// before its replica is not fenced on its first write. d <= 0 disables
+// fencing — the default, preserving a single node that runs with
+// replication enabled but no replica attached.
+//
+// Fencing closes client-driven failover's divergence window (DESIGN.md
+// §13.4): without it, a primary cut off from its replica — but not from
+// its own clients — keeps acking async writes while those clients' peers
+// promote the replica, and every write acked after the promotion's epoch
+// bump is silently stranded on the deposed node.
+func (n *Node) SetFenceLease(d time.Duration) {
+	n.fenceLease.Store(int64(d))
+	n.subGone.Store(time.Now().UnixNano())
+}
+
+// Fenced reports whether this node is a primary whose fence lease has
+// expired: no subscriber is registered and none has been for longer than
+// the SetFenceLease duration. A fenced primary's async acks could be
+// stranded by a concurrent promotion, so the serving layer rejects writes
+// (read-only) while Fenced holds. Lock-free; called per mutation.
+func (n *Node) Fenced() bool {
+	lease := n.fenceLease.Load()
+	if lease <= 0 || n.Role() != Primary || n.subCount.Load() > 0 {
+		return false
+	}
+	return time.Now().UnixNano()-n.subGone.Load() > lease
 }
 
 // Store returns the wrapped store.
@@ -191,6 +229,7 @@ func (n *Node) Subscribe(from []uint64, send func(Record) error) (*Subscriber, e
 		return nil, errors.New("repl: node closed")
 	}
 	n.subs[sub] = struct{}{}
+	n.subCount.Add(1)
 	n.mu.Unlock()
 	// The subscriber's acked watermarks count toward durability: a replica
 	// resuming from LSN L has everything <= L durable already.
@@ -269,6 +308,10 @@ func (n *Node) Promote(minEpoch uint64) (uint64, error) {
 	}
 	n.epoch.Store(e)
 	n.role.Store(uint32(Primary))
+	// A fresh primary starts its fence lease from the promotion, not from
+	// however long ago it was created: it gets the full grace window for
+	// its own replicas to subscribe.
+	n.subGone.Store(time.Now().UnixNano())
 	if n.applierStop != nil {
 		n.applierStop()
 		n.applierStop = nil
@@ -394,7 +437,12 @@ func (sub *Subscriber) offer(part int, lsn uint64, kind uint8, key, val []byte) 
 // Run ships records until Stop, node close, or a send error (a dead
 // transport); the caller owns reconnect policy. The cursor dedups the
 // overlap between a backlog replay and records queued concurrently, so the
-// replica's stream stays per-partition monotonic.
+// replica's stream stays per-partition monotonic. Dropping a queued record
+// at or below the cursor is safe because a backlog replay never advances
+// the cursor past kv.ReplBacklog's barrier snapshot: every LSN at or below
+// the barrier was already delivered by the replay (or superseded by a
+// higher-LSN record for the same key), and every LSN above it is still in
+// this queue — or recovered by the next replay if the queue overflowed.
 func (sub *Subscriber) Run() error {
 	defer sub.close()
 	for {
@@ -426,6 +474,11 @@ func (sub *Subscriber) Run() error {
 }
 
 // catchUp replays the reachable backlog above each partition cursor.
+// ReplBacklog bounds the replay at a barrier snapshot of the partition's
+// LSN taken under the commit path's replication mutex, so the cursor only
+// ever advances over LSNs whose records were published and queue-offered
+// before the replay's tree scan began — a record committed concurrently
+// with the scan is above the barrier and stays the live queue's job.
 func (sub *Subscriber) catchUp() error {
 	for part := range sub.cursor {
 		var fail error
@@ -503,6 +556,10 @@ func (sub *Subscriber) Done() <-chan struct{} { return sub.donec }
 func (sub *Subscriber) close() {
 	sub.n.mu.Lock()
 	delete(sub.n.subs, sub)
+	if sub.n.subCount.Add(-1) == 0 {
+		// The fence lease starts counting from the last subscriber's exit.
+		sub.n.subGone.Store(time.Now().UnixNano())
+	}
 	sub.n.mu.Unlock()
 	close(sub.donec)
 }

@@ -313,3 +313,54 @@ func assertStoresEqual(t *testing.T, a, b *kv.Store) {
 		t.Fatalf("stores diverge in size: %d vs %d keys", len(am), n)
 	}
 }
+
+// A primary with a fence lease steps down to read-only (Fenced) once every
+// subscriber has been gone longer than the lease, and recovers the moment
+// one subscribes — closing client-driven failover's divergence window.
+func TestFenceLease(t *testing.T) {
+	n, err := NewNode(newStore(t), Primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if n.Fenced() {
+		t.Fatal("fenced with fencing disabled")
+	}
+	n.SetFenceLease(20 * time.Millisecond)
+	if n.Fenced() {
+		t.Fatal("fenced inside the arming grace window")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !n.Fenced() {
+		if time.Now().After(deadline) {
+			t.Fatal("never fenced after the lease expired with no subscriber")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sub, err := n.Subscribe(make([]uint64, n.Store().Partitions()), func(Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Fenced() {
+		t.Fatal("fenced with a live subscriber")
+	}
+	go sub.Run()
+	sub.Stop()
+	<-sub.Done()
+	if n.Fenced() {
+		t.Fatal("fenced immediately after a disconnect: the lease must re-arm")
+	}
+	for !n.Fenced() {
+		if time.Now().After(deadline) {
+			t.Fatal("never re-fenced after the subscriber left")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A promotion re-arms the lease: the fresh primary gets a grace window.
+	if _, err := n.Promote(n.Epoch()); err != nil {
+		t.Fatal(err)
+	}
+	if n.Fenced() {
+		t.Fatal("fenced immediately after promotion")
+	}
+}

@@ -31,7 +31,7 @@ var errShipConnDead = errors.New("server: replication connection dead")
 func (cn *conn) handleReplHello(req wire.Request, resp *wire.Response) {
 	node := cn.s.repl
 	if node == nil {
-		resp.Status, resp.Msg = wire.StatusErr, "server: replication not enabled"
+		resp.Status = wire.StatusNoRepl
 		return
 	}
 	resp.Status = wire.StatusOK
@@ -46,7 +46,7 @@ func (cn *conn) handleReplHello(req wire.Request, resp *wire.Response) {
 func (cn *conn) handleReplSubscribe(req wire.Request, resp *wire.Response) *repl.Subscriber {
 	node := cn.s.repl
 	if node == nil {
-		resp.Status, resp.Msg = wire.StatusErr, "server: replication not enabled"
+		resp.Status = wire.StatusNoRepl
 		return nil
 	}
 	if node.Role() != repl.Primary {
@@ -82,7 +82,7 @@ func (cn *conn) handleReplSubscribe(req wire.Request, resp *wire.Response) *repl
 func (cn *conn) handlePromote(req wire.Request, resp *wire.Response) {
 	node := cn.s.repl
 	if node == nil {
-		resp.Status, resp.Msg = wire.StatusErr, "server: replication not enabled"
+		resp.Status = wire.StatusNoRepl
 		return
 	}
 	epoch, err := node.Promote(req.ReplEpoch)
@@ -122,16 +122,36 @@ func (cn *conn) handleDurablePut(req wire.Request, resp *wire.Response) {
 	resp.Status = wire.StatusOK
 }
 
+// readOnly reports whether replication currently forbids local mutations:
+// replica role, or a fenced primary — one whose replicas have all been gone
+// longer than Config.ReplFenceLease, where an async ack could be stranded
+// by a concurrent client-driven promotion. Fence rejections are counted
+// (repl_fence_rejects) as the operator's alarm signal.
+func (s *Server) readOnly() bool {
+	node := s.repl
+	if node == nil {
+		return false
+	}
+	if node.Role() != repl.Primary {
+		return true
+	}
+	if node.Fenced() {
+		s.fenceRejects.Add(1)
+		return true
+	}
+	return false
+}
+
 // batchablePut reports whether a PUT may take the batcher path: durable-ack
 // PUTs must hold their own ack until the replica's watermark covers their
-// LSN (handle's job), and a non-primary rejects writes instead of batching
-// them.
+// LSN (handle's job), and a non-primary or fenced node rejects writes in
+// handle instead of batching them.
 func (cn *conn) batchablePut(req wire.Request) bool {
 	node := cn.s.repl
 	if node == nil {
 		return true
 	}
-	return !req.Durable && node.Role() == repl.Primary
+	return !req.Durable && node.Role() == repl.Primary && !node.Fenced()
 }
 
 // sendRecord is the subscriber's transport: encode one record as an

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"testing"
@@ -406,5 +407,95 @@ func TestClientFailover(t *testing.T) {
 	case <-applierDone:
 	case <-time.After(5 * time.Second):
 		t.Fatal("applier kept running after promotion")
+	}
+}
+
+// Satellite of the failover review: a primary with a fence lease stops
+// acking writes once its replica has been gone longer than the lease
+// (StatusReadOnly -> client.ErrReadOnly), so async acks cannot silently
+// diverge from a promoted replica, and resumes as soon as one resubscribes.
+func TestFenceLeaseRejectsWrites(t *testing.T) {
+	pst, err := kv.New(replKVOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pNode, err := repl.NewNode(pst, repl.Primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pNode.Close()
+	_, _, pAddr := startServerOn(t, Config{Repl: pNode, ReplFenceLease: 25 * time.Millisecond}, pst)
+
+	c, err := client.Dial(pAddr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Inside the grace window the primary still accepts writes.
+	if err := c.Put([]byte("before"), []byte("v")); err != nil {
+		t.Fatalf("put inside grace window: %v", err)
+	}
+	// Past the lease with no replica ever subscribed, writes are fenced.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := c.Put([]byte("fenced"), []byte("v"))
+		if errors.Is(err, client.ErrReadOnly) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("fenced put failed with %v, want ErrReadOnly", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("primary never fenced after the lease expired")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if m, err := c.Stats(); err != nil || m["repl_fenced"] != 1 || m["repl_fence_rejects"] == 0 {
+		t.Fatalf("fence counters: repl_fenced=%d repl_fence_rejects=%d err=%v",
+			m["repl_fenced"], m["repl_fence_rejects"], err)
+	}
+	// Reads still serve while fenced.
+	if v, err := c.Get([]byte("before")); err != nil || string(v) != "v" {
+		t.Fatalf("fenced read: %q, %v", v, err)
+	}
+
+	// A replica subscribing lifts the fence.
+	rst, err := kv.New(replKVOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNode, err := repl.NewNode(rst, repl.Replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applierDone := make(chan error, 1)
+	go func() {
+		applierDone <- rNode.RunApplier(repl.ApplierConfig{
+			Addr: pAddr, AckEvery: 1, AckInterval: time.Millisecond,
+		})
+	}()
+	defer func() {
+		rNode.Close()
+		select {
+		case err := <-applierDone:
+			if err != nil {
+				t.Errorf("applier: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("applier did not stop")
+		}
+	}()
+	for {
+		err := c.Put([]byte("after"), []byte("v"))
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, client.ErrReadOnly) {
+			t.Fatalf("put while replica subscribing: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fence never lifted after the replica subscribed")
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }

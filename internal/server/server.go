@@ -76,6 +76,16 @@ type Config struct {
 	// replica's ack before failing the request (default 5s). The write
 	// stays committed locally either way.
 	ReplDurableTimeout time.Duration
+	// ReplFenceLease, when positive, fences a primary whose replica
+	// subscriptions have all been gone longer than the lease: PUT/DEL are
+	// rejected with StatusReadOnly until a replica resubscribes. This
+	// closes client-driven failover's divergence window — without it, a
+	// primary that lost its replica (but not its own clients) keeps
+	// acking async writes that a concurrent promotion on the other side
+	// silently strands (DESIGN.md §13.4). 0 (default) disables fencing, so
+	// a single node with replication enabled serves writes with no replica
+	// attached.
+	ReplFenceLease time.Duration
 }
 
 func (c *Config) normalize() {
@@ -133,6 +143,7 @@ type Server struct {
 	overloads     atomic.Uint64
 	replWaits     atomic.Uint64 // durable-ack PUTs that waited for a replica
 	replWaitFails atomic.Uint64 // ...that timed out waiting
+	fenceRejects  atomic.Uint64 // writes rejected because the primary is fenced
 }
 
 // New builds a Server over st.
@@ -150,6 +161,9 @@ func New(st *kv.Store, cfg Config) *Server {
 		s.batcher = newBatcher(st, cfg.Batch, s.cache)
 	}
 	s.repl = cfg.Repl
+	if s.repl != nil && cfg.ReplFenceLease > 0 {
+		s.repl.SetFenceLease(cfg.ReplFenceLease)
+	}
 	if s.repl != nil && s.cache != nil {
 		// Replica mode: records applied by the applier bypass handle(), so
 		// the hot-key cache must be invalidated from the apply path or GETs
@@ -426,6 +440,8 @@ func (s *Server) counters() []wire.Counter {
 			wire.Counter{Name: "repl_applied", Val: sv.Repl.Applied},
 			wire.Counter{Name: "repl_durable_waits", Val: sv.DurableWaits},
 			wire.Counter{Name: "repl_durable_timeouts", Val: sv.DurableTimeouts},
+			wire.Counter{Name: "repl_fenced", Val: b2u(s.repl.Fenced())},
+			wire.Counter{Name: "repl_fence_rejects", Val: s.fenceRejects.Load()},
 		)
 	}
 	if sv.HasCache {
@@ -440,6 +456,13 @@ func (s *Server) counters() []wire.Counter {
 		)
 	}
 	return out
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // conn is one client connection.
@@ -853,7 +876,7 @@ func (cn *conn) handle(req wire.Request) {
 			resp.Status, resp.Msg = wire.StatusErr, err.Error()
 		}
 	case wire.OpPut:
-		if node := cn.s.repl; node != nil && node.Role() != repl.Primary {
+		if cn.s.readOnly() {
 			resp.Status = wire.StatusReadOnly
 			break
 		}
@@ -877,7 +900,7 @@ func (cn *conn) handle(req wire.Request) {
 			resp.Status, resp.Msg = wire.StatusErr, err.Error()
 		}
 	case wire.OpDel:
-		if node := cn.s.repl; node != nil && node.Role() != repl.Primary {
+		if cn.s.readOnly() {
 			resp.Status = wire.StatusReadOnly
 			break
 		}

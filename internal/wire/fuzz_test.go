@@ -55,6 +55,7 @@ func seedResponsePayloads() [][]byte {
 		{ID: 10, Status: StatusOK, Op: OpReplRecord, ReplPart: 1, ReplLSN: 42, ReplKind: 2, Key: []byte("key")},
 		{ID: 11, Status: StatusReadOnly, Op: OpPut},
 		{ID: 12, Status: StatusOK, Op: OpPromote, ReplRole: RolePrimary, ReplEpoch: 8},
+		{ID: 13, Status: StatusNoRepl, Op: OpReplHello},
 	}
 	var out [][]byte
 	for _, r := range resps {

@@ -94,6 +94,7 @@ const (
 	StatusOverloaded = 3 // backpressure rejection: retry later
 	StatusClosing    = 4 // server is draining; reconnect elsewhere
 	StatusReadOnly   = 5 // write on a replica: promote it or find the primary
+	StatusNoRepl     = 6 // replication verb on a server with replication disabled
 )
 
 // Protocol errors.
@@ -193,7 +194,7 @@ func OpName(op uint8) string {
 
 func validOp(op uint8) bool { return op >= OpPing && op <= OpPromote }
 
-func validStatus(st uint8) bool { return st <= StatusReadOnly }
+func validStatus(st uint8) bool { return st <= StatusNoRepl }
 
 // --- encoding ---------------------------------------------------------
 

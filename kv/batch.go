@@ -143,8 +143,12 @@ func (s *Store) putBatch(keys, vals [][]byte, partsOut []int, lsnsOut []uint64) 
 	}
 	// The commit hook needs each record's LSN to ship it; allocate the
 	// shared per-pair LSN table if the caller didn't provide one. Groups
-	// write disjoint indices, so sharing it across goroutines is safe.
-	if lsnsOut == nil && s.commitHook() != nil {
+	// write disjoint indices, so sharing it across goroutines is safe. The
+	// hook is read exactly once and passed down: putGroup re-reading it
+	// could observe a hook installed after this nil check and index a nil
+	// lsnsOut.
+	hook := s.commitHook()
+	if lsnsOut == nil && hook != nil {
 		lsnsOut = make([]uint64, len(keys))
 	}
 	// Apply the groups concurrently: every group holds a different shard
@@ -156,7 +160,7 @@ func (s *Store) putBatch(keys, vals [][]byte, partsOut []int, lsnsOut []uint64) 
 	// AND the media occupancy overlaps across groups.
 	if len(groups) == 1 {
 		for sh, idxs := range groups {
-			s.putGroup(partOf[sh], sh, idxs, keys, vals, hashes, partsOut, lsnsOut, fail)
+			s.putGroup(partOf[sh], sh, idxs, keys, vals, hashes, partsOut, lsnsOut, hook, fail)
 		}
 		return errs
 	}
@@ -165,7 +169,7 @@ func (s *Store) putBatch(keys, vals [][]byte, partsOut []int, lsnsOut []uint64) 
 		wg.Add(1)
 		go func(pi int, sh *shard, idxs []int) {
 			defer wg.Done()
-			s.putGroup(pi, sh, idxs, keys, vals, hashes, partsOut, lsnsOut, fail)
+			s.putGroup(pi, sh, idxs, keys, vals, hashes, partsOut, lsnsOut, hook, fail)
 		}(partOf[sh], sh, idxs)
 	}
 	wg.Wait()
@@ -197,10 +201,10 @@ type batchKeyKind struct {
 // append all records (deferring persists into contiguous spans), flush,
 // then repoint each touched hash at its newest record. partsOut/lsnsOut,
 // when non-nil, receive each successful pair's partition and LSN (groups
-// write disjoint indices).
-func (s *Store) putGroup(pi int, sh *shard, idxs []int, keys, vals [][]byte, hashes []uint64, partsOut []int, lsnsOut []uint64, fail func(int, error)) {
+// write disjoint indices). hook is putBatch's one read of the commit hook,
+// consistent with its lsnsOut allocation.
+func (s *Store) putGroup(pi int, sh *shard, idxs []int, keys, vals [][]byte, hashes []uint64, partsOut []int, lsnsOut []uint64, hook CommitHook, fail func(int, error)) {
 	p := &s.parts[pi]
-	hook := s.commitHook()
 	if hook != nil {
 		// Same lock order as PutEx: replMu, then the shard mu, held across
 		// the whole group so the hook sees this partition's commits in LSN

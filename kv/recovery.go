@@ -203,12 +203,16 @@ func openLegacy(arena *pmem.Arena, opts Options) (*Store, error) {
 		return nil, err
 	}
 	sb := arena.Read8(rootStoreOff)
-	p := kvPart{arena: arena, tree: t}
+	// The partition is built in place in its final slice slot: kvPart holds
+	// atomics and a mutex, so it must never be copied.
+	parts := make([]kvPart, 1)
+	p := &parts[0]
+	p.arena, p.tree = arena, t
 	switch arena.Read8(sb + sbMagicOff) {
 	case storeMagicV2:
-		err = openV2(&p, sb)
+		err = openV2(p, sb)
 	case storeMagicV1:
-		err = openV1(&p, sb, opts)
+		err = openV1(p, sb, opts)
 	default:
 		err = fmt.Errorf("kv: arena does not contain a store superblock")
 	}
@@ -224,7 +228,7 @@ func openLegacy(arena *pmem.Arena, opts Options) (*Store, error) {
 	arena.Write8(p.sbOff+sbMagicOff, storeMagicV3)
 	arena.Persist(p.sbOff, pmem.LineSize)
 	p.recount()
-	return &Store{f: f, hash: Hash, parts: []kvPart{p}}, nil
+	return &Store{f: f, hash: Hash, parts: parts}, nil
 }
 
 // openV2 recovers a sharded single-arena store from its persisted v2

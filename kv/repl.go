@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 
@@ -102,39 +103,115 @@ func (s *Store) ReplApply(part int, lsn uint64, kind uint8, key, val []byte) err
 	return nil
 }
 
+// Bounds on what one ReplBacklog pass may buffer. A lagging subscriber's
+// replay must not pin a copy of the whole partition in memory (a fresh
+// replica subscribes from LSN 0), so the walk streams the backlog in
+// bounded windows: each tree scan keeps only the lowest-LSN records that
+// fit the budget, ships them, and rescans above the highest shipped LSN
+// until the stream is complete.
+// Vars, not consts, so tests can shrink them to force multi-pass replays.
+var (
+	replBacklogMaxRecs  = 4096
+	replBacklogMaxBytes = uint64(4 << 20)
+)
+
+// backlogRec is one buffered backlog record.
+type backlogRec struct {
+	lsn      uint64
+	kind     uint8
+	key, val []byte
+}
+
+// backlogHeap is a max-heap on LSN with byte accounting: evicting the root
+// drops the highest buffered LSN, so a budget-bounded collection pass always
+// retains the *lowest* LSNs above the cursor — the next contiguous window of
+// the stream. Evicted records are re-read by the next pass.
+type backlogHeap struct {
+	recs  []backlogRec
+	bytes uint64
+}
+
+func (h *backlogHeap) Len() int            { return len(h.recs) }
+func (h *backlogHeap) Less(i, j int) bool  { return h.recs[i].lsn > h.recs[j].lsn }
+func (h *backlogHeap) Swap(i, j int)       { h.recs[i], h.recs[j] = h.recs[j], h.recs[i] }
+func (h *backlogHeap) Push(x any)          { h.recs = append(h.recs, x.(backlogRec)) }
+func (h *backlogHeap) Pop() any {
+	r := h.recs[len(h.recs)-1]
+	h.recs = h.recs[:len(h.recs)-1]
+	return r
+}
+
+func (h *backlogHeap) add(r backlogRec) (evicted bool) {
+	heap.Push(h, r)
+	h.bytes += uint64(len(r.key) + len(r.val))
+	// Keep at least one record so a single over-budget record still makes
+	// progress instead of looping forever.
+	for h.Len() > 1 && (h.Len() > replBacklogMaxRecs || h.bytes > replBacklogMaxBytes) {
+		dropped := heap.Pop(h).(backlogRec)
+		h.bytes -= uint64(len(dropped.key) + len(dropped.val))
+		evicted = true
+	}
+	return evicted
+}
+
 // ReplBacklog calls fn for every reachable record of partition part with
-// LSN above from, in ascending LSN order, until fn returns false. Superseded
-// record versions dropped by compaction are fine: the newest record per key
-// survives with the highest LSN, so replaying the backlog converges a
-// subscriber to the primary's state. The key/val slices are freshly
-// allocated and may be retained. Safe to call concurrently with writers —
-// records committed during the walk may or may not be included; the live
-// ship queue covers them.
+// LSN above from — up to a barrier snapshot of the partition's LSN taken
+// under the replication mutex — in ascending LSN order, until fn returns
+// false. Superseded record versions dropped by compaction are fine: the
+// newest record per key survives with the highest LSN, so replaying the
+// backlog converges a subscriber to the primary's state. The key/val slices
+// are freshly allocated and may be retained.
+//
+// The barrier is the replay's correctness keystone (DESIGN.md §13.1): every
+// commit holds replMu across LSN-assign → publish → hook, so once the
+// snapshot is read under replMu, every record with LSN <= the snapshot is
+// already tree-published (the scans below see it) AND already offered to
+// every registered subscriber queue. Records above the snapshot are exactly
+// the live queue's stream and are never delivered here — so a subscriber
+// advancing its cursor along this replay can never skip past a record the
+// scan raced with and then drop that record's queue copy as a duplicate.
+//
+// Memory is bounded (replBacklogMaxRecs/replBacklogMaxBytes): the backlog
+// streams in LSN windows, rescanning the tree once per window, rather than
+// materializing the whole partition per lagging subscriber.
 func (s *Store) ReplBacklog(part int, from uint64, fn func(lsn uint64, kind uint8, key, val []byte) bool) error {
 	if part < 0 || part >= len(s.parts) {
 		return fmt.Errorf("kv: ReplBacklog: partition %d out of range [0,%d)", part, len(s.parts))
 	}
 	p := &s.parts[part]
-	type rec struct {
-		lsn      uint64
-		kind     uint8
-		key, val []byte
-	}
-	var recs []rec
-	p.tree.Scan(0, 0, func(_, off uint64) bool {
-		for off != 0 {
-			kind, key, val, next := p.readRecord(off)
-			if l := p.readLSN(off); l > from {
-				recs = append(recs, rec{l, uint8(kind), key, val})
+	p.replMu.Lock()
+	target := p.lsn.Load()
+	p.replMu.Unlock()
+	h := &backlogHeap{}
+	for from < target {
+		h.recs, h.bytes = h.recs[:0], 0
+		truncated := false
+		p.tree.Scan(0, 0, func(_, off uint64) bool {
+			for off != 0 {
+				if l := p.readLSN(off); l > from && l <= target {
+					kind, key, val, next := p.readRecord(off)
+					if h.add(backlogRec{l, uint8(kind), key, val}) {
+						truncated = true
+					}
+					off = next
+					continue
+				}
+				off = p.arena.Read8(off + 8) // next pointer only; skip the copies
 			}
-			off = next
+			return true
+		})
+		if h.Len() == 0 {
+			return nil // nothing reachable above from: stream complete
 		}
-		return true
-	})
-	sort.Slice(recs, func(i, j int) bool { return recs[i].lsn < recs[j].lsn })
-	for _, r := range recs {
-		if !fn(r.lsn, r.kind, r.key, r.val) {
-			break
+		sort.Slice(h.recs, func(i, j int) bool { return h.recs[i].lsn < h.recs[j].lsn })
+		for _, r := range h.recs {
+			if !fn(r.lsn, r.kind, r.key, r.val) {
+				return nil
+			}
+		}
+		from = h.recs[len(h.recs)-1].lsn
+		if !truncated {
+			return nil // the pass held everything above the cursor: done
 		}
 	}
 	return nil

@@ -166,6 +166,100 @@ func TestReplBacklogOrdered(t *testing.T) {
 	}
 }
 
+// A backlog larger than one pass's buffer budget streams in bounded LSN
+// windows: the full stream still arrives, complete and ascending, without
+// the store ever materializing the whole partition for one subscriber.
+func TestReplBacklogWindowed(t *testing.T) {
+	oldRecs, oldBytes := replBacklogMaxRecs, replBacklogMaxBytes
+	replBacklogMaxRecs, replBacklogMaxBytes = 7, 1<<20
+	defer func() { replBacklogMaxRecs, replBacklogMaxBytes = oldRecs, oldBytes }()
+	s, err := New(replTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for part := 0; part < s.Partitions(); part++ {
+		var lsns []uint64
+		err := s.ReplBacklog(part, 0, func(lsn uint64, _ uint8, _, _ []byte) bool {
+			lsns = append(lsns, lsn)
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lsns) != int(s.ReplLSN(part)) {
+			t.Fatalf("partition %d: %d records streamed, watermark %d", part, len(lsns), s.ReplLSN(part))
+		}
+		for i, l := range lsns {
+			if l != uint64(i)+1 {
+				t.Fatalf("partition %d: stream gap or reorder at %d: %v", part, i, lsns[:i+1])
+			}
+		}
+	}
+	// The byte budget alone also forces windows (and a record bigger than
+	// the whole budget still makes progress).
+	replBacklogMaxRecs, replBacklogMaxBytes = 1<<30, 16
+	for part := 0; part < s.Partitions(); part++ {
+		count := 0
+		if err := s.ReplBacklog(part, 0, func(uint64, uint8, []byte, []byte) bool {
+			count++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if count != int(s.ReplLSN(part)) {
+			t.Fatalf("partition %d: byte-budgeted stream delivered %d of %d", part, count, s.ReplLSN(part))
+		}
+	}
+}
+
+// ReplBacklog never delivers a record committed after the replay started:
+// the stream is bounded by a barrier snapshot of the partition LSN taken
+// under the commit mutex, so a subscriber's cursor cannot advance past a
+// record the lock-free tree scan raced with (that record's copy is in the
+// live ship queue, above the barrier). Mutating from inside fn is the
+// deterministic way to commit concurrently with the walk.
+func TestReplBacklogBarrier(t *testing.T) {
+	// Small windows force several scan passes, so the mid-walk commits below
+	// are visible to later passes — only the barrier keeps them out.
+	oldRecs := replBacklogMaxRecs
+	replBacklogMaxRecs = 3
+	defer func() { replBacklogMaxRecs = oldRecs }()
+	s, err := New(replTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetCommitHook(func(int, uint64, uint8, []byte, []byte) {})
+	for i := 0; i < 20; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for part := 0; part < s.Partitions(); part++ {
+		barrier := s.ReplLSN(part)
+		i := 0
+		err := s.ReplBacklog(part, 0, func(lsn uint64, _ uint8, _, _ []byte) bool {
+			if lsn > barrier {
+				t.Fatalf("partition %d: replay delivered lsn %d above barrier %d", part, lsn, barrier)
+			}
+			// Commit new records mid-walk; they must stay out of this stream.
+			if err := s.Put([]byte(fmt.Sprintf("mid-%d-%d", part, i)), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+			i++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // Replaying a full backlog into a fresh store converges it to the source's
 // contents, tombstones included.
 func TestReplBacklogConverges(t *testing.T) {
