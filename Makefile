@@ -1,9 +1,9 @@
 # Tier-1 verification and the race gate for the concurrent kv/tree paths.
 GO ?= go
 
-.PHONY: check build vet test lint race bench-kv bench-server faultcheck faultshort servercheck replcheck fuzz-wire
+.PHONY: check build vet test lint race bench-kv bench-server bench-heap faultcheck faultshort servercheck replcheck heapcheck fuzz-wire
 
-check: build vet lint test faultshort servercheck replcheck
+check: build vet lint test faultshort servercheck replcheck heapcheck
 
 build:
 	$(GO) build ./...
@@ -23,10 +23,11 @@ test:
 # The kv store's Stats/Put/Delete/Compact paths, the tree's HTM slot
 # updates (including the DRAM fingerprint words), the forest's partition
 # router, the HTM emulation's lock table, the server's hot-key cache and
-# stats snapshots, and the client's pending-call table are exercised
+# stats snapshots, the client's pending-call table, and the heap's grow
+# cutover (committed-space gate vs concurrent readers) are exercised
 # concurrently; keep them race-clean.
 race:
-	$(GO) test -race ./kv/... ./internal/core/... ./internal/forest/... ./internal/htm/... ./internal/server/... ./internal/repl/... ./client/...
+	$(GO) test -race ./kv/... ./internal/core/... ./internal/forest/... ./internal/htm/... ./internal/server/... ./internal/repl/... ./client/... ./internal/pmem/...
 
 bench-kv:
 	$(GO) run ./cmd/rnbench -exp kvscale
@@ -58,6 +59,22 @@ replcheck:
 	$(GO) test ./kv -run 'Repl|CommitHook'
 	$(GO) test -race ./internal/server -run 'Repl|Durable|Drain|Failover'
 	$(GO) test ./internal/fault -run 'Repl|Failover|PrimaryKill|ReplicaKill|Promotion'
+
+# Heap gate: the persistent allocator's crash matrix (every allocator-
+# metadata persist site, including the segment-append cutover, plus the
+# v3->v4 superblock upgrade), the heap/swizzle unit tests, the kv growth
+# and OOM-retry tests, and the rnvet undolog fixture that machine-checks
+# the UndoBegin/MetaWrite8/UndoCommit protocol.
+heapcheck:
+	$(GO) test ./internal/fault -run 'ExploreHeap|ExploreKVV3Upgrade'
+	$(GO) test ./internal/pmem -run 'Heap|Swizzle|Grow|Undo|Free'
+	$(GO) test ./kv -run 'Grow|Swizzle|V3ImageUpgrade|OOM'
+	$(GO) test ./internal/analysis -run 'UndoLog'
+
+# Sustained kv Put throughput while the partition heap appends segments
+# under live load; merges a heap_grow section into BENCH_forest.json.
+bench-heap:
+	$(GO) run ./cmd/rnbench -exp heapgrow
 
 # Longer fuzz session for the wire decoders.
 fuzz-wire:

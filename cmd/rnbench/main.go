@@ -10,7 +10,8 @@
 // (beyond the paper: kv-layer Put thread sweep, sharded vs single value
 // log), forestscale (partition sweep of the hash-partitioned forest; also
 // writes a machine-readable BENCH_forest.json, see -forest-json),
-// faultmatrix (crash-point exploration with the durability oracle;
+// heapgrow (kv Put throughput across live heap segment appends; merges a
+// heap_grow section into BENCH_forest.json), faultmatrix (crash-point exploration with the durability oracle;
 // -fault-sites caps the sites replayed per target), netbench (loopback
 // serving-layer sweep over connections x pipeline depth; also writes
 // BENCH_server.json, see -server-json), replbench (primary/replica
@@ -26,6 +27,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -34,9 +36,12 @@ import (
 	"rntree/internal/pmem"
 )
 
-// forestReport is the machine-readable summary of the forestscale
-// experiment, written to -forest-json so CI can gate on the speedup bar
-// without scraping the text table.
+// forestReport is the machine-readable summary of the forest-layer
+// experiments, written to -forest-json so CI can gate on the speedup bar
+// without scraping the text tables. The top-level fields are the
+// forestscale partition sweep; HeapGrow is the heapgrow segment-append
+// sweep. Either experiment can run alone: the writer merges its section
+// into whatever the file already holds.
 type forestReport struct {
 	ID         string     `json:"id"`
 	Title      string     `json:"title"`
@@ -50,26 +55,94 @@ type forestReport struct {
 	// single-partition baseline; PassedBar is SpeedupVs1P >= 1.5.
 	SpeedupVs1P float64 `json:"speedup_vs_1p"`
 	PassedBar   bool    `json:"passed_1_5x_bar"`
+
+	HeapGrow *heapGrowReport `json:"heap_grow,omitempty"`
 }
 
-// writeForestJSON renders the forestscale result to path.
+// heapGrowReport is the heapgrow section: kv Put throughput in fixed-size
+// operation windows while the partition heap appends segments under load.
+type heapGrowReport struct {
+	Title  string     `json:"title"`
+	Seed   int64      `json:"seed"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes"`
+	// GrowthVsSteady is the median growth-window throughput over the
+	// median steady-state window; PassedBar is GrowthVsSteady >= 0.8
+	// (growth windows hold at least 80% of steady-state throughput).
+	GrowthVsSteady float64 `json:"growth_vs_steady"`
+	PassedBar      bool    `json:"passed_80pct_bar"`
+}
+
+// writeForestJSON merges one forest-layer result (forestscale or
+// heapgrow) into the report at path, preserving the other section if a
+// previous run already wrote it.
 func writeForestJSON(path string, cfg bench.Config, r bench.Result) error {
-	rep := forestReport{
-		ID: r.ID, Title: r.Title,
-		Scale: cfg.Scale, DurationMS: cfg.Duration.Milliseconds(), Seed: cfg.Seed,
-		Header: r.Header, Rows: r.Rows, Notes: r.Notes,
+	var rep forestReport
+	if prev, err := os.ReadFile(path); err == nil {
+		// Best-effort: an unreadable or stale-format file is overwritten.
+		_ = json.Unmarshal(prev, &rep)
 	}
-	if n := len(r.Rows); n > 0 && len(r.Rows[n-1]) > 2 {
-		if v, err := strconv.ParseFloat(r.Rows[n-1][2], 64); err == nil {
-			rep.SpeedupVs1P = v
-			rep.PassedBar = v >= 1.5
+	switch r.ID {
+	case "forestscale":
+		rep.ID = r.ID
+		rep.Title = r.Title
+		rep.Scale = cfg.Scale
+		rep.DurationMS = cfg.Duration.Milliseconds()
+		rep.Seed = cfg.Seed
+		rep.Header, rep.Rows, rep.Notes = r.Header, r.Rows, r.Notes
+		if n := len(r.Rows); n > 0 && len(r.Rows[n-1]) > 2 {
+			if v, err := strconv.ParseFloat(r.Rows[n-1][2], 64); err == nil {
+				rep.SpeedupVs1P = v
+				rep.PassedBar = v >= 1.5
+			}
 		}
+	case "heapgrow":
+		hg := &heapGrowReport{
+			Title: r.Title, Seed: cfg.Seed,
+			Header: r.Header, Rows: r.Rows, Notes: r.Notes,
+		}
+		// The acceptance cell is the ratio note's leading "...is X.XXx"
+		// figure; recompute it instead from the rows so the bar doesn't
+		// depend on note phrasing: median kops of grew>0 rows over median
+		// kops of grew==0 rows.
+		var steady, growth []float64
+		for _, row := range r.Rows {
+			if len(row) < 4 {
+				continue
+			}
+			v, err := strconv.ParseFloat(row[1], 64)
+			if err != nil {
+				continue
+			}
+			if row[3] != "0" {
+				growth = append(growth, v)
+			} else {
+				steady = append(steady, v)
+			}
+		}
+		if len(steady) > 0 && len(growth) > 0 {
+			hg.GrowthVsSteady = medianOf(growth) / medianOf(steady)
+			hg.PassedBar = hg.GrowthVsSteady >= 0.8
+		}
+		rep.HeapGrow = hg
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// medianOf returns the median of a non-empty sample.
+func medianOf(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
 }
 
 // serverReport is the machine-readable summary of the serving-layer
@@ -298,7 +371,7 @@ func main() {
 					failed = true
 				}
 			}
-			if r.ID == "forestscale" && *fjson != "" {
+			if (r.ID == "forestscale" || r.ID == "heapgrow") && *fjson != "" {
 				if err := writeForestJSON(*fjson, cfg, r); err != nil {
 					fmt.Fprintf(os.Stderr, "rnbench: writing %s: %v\n", *fjson, err)
 					failed = true

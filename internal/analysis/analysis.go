@@ -14,6 +14,9 @@
 //   - fencecheck: no redundant fences (a fence with nothing unordered to
 //     order) and no unfenced commit flushes (an EvictLine that is never
 //     followed by an ordering fence).
+//   - undolog: multi-word allocator-metadata updates (MetaWrite8) stay
+//     inside a matched UndoBegin/UndoCommit window, so a crash anywhere
+//     rolls the heap's metadata back to a consistent state (DESIGN.md §14).
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
 // (Analyzer / Pass / Diagnostic, golden tests driven by "// want" comments)
@@ -125,7 +128,7 @@ func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
 
 // All returns the full rnvet suite in its canonical order.
 func All() []*Analyzer {
-	return []*Analyzer{PersistCheck, HTMSafe, LockFlush, FenceCheck}
+	return []*Analyzer{PersistCheck, HTMSafe, LockFlush, FenceCheck, UndoLog}
 }
 
 // ByName resolves a comma-separated pass list ("persistcheck,htmsafe").

@@ -28,6 +28,10 @@ func TestFenceCheck(t *testing.T) {
 	analysistest.Run(t, fixture("fence"), analysis.FenceCheck)
 }
 
+func TestUndoLog(t *testing.T) {
+	analysistest.Run(t, fixture("undolog"), analysis.UndoLog)
+}
+
 // TestAnnotations runs the FULL suite over the annotation fixture: each
 // escape hatch must suppress exactly its own diagnostic and nothing else.
 func TestAnnotations(t *testing.T) {

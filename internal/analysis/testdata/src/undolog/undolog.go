@@ -1,0 +1,87 @@
+// Package undolog is the undolog golden fixture: seeded violations of the
+// heap allocator's undo-window discipline next to the legal patterns the
+// pass must not flag.
+package undolog
+
+import "rntree/internal/pmem"
+
+// wellFormed is the canonical multi-word metadata update: open a window
+// over the words, mutate them, commit.
+func wellFormed(h *pmem.Heap, a, b uint64) {
+	h.UndoBegin(a, b)
+	h.MetaWrite8(a, 1)
+	h.MetaWrite8(b, 2)
+	h.UndoCommit()
+}
+
+// flipExempt: single-word updates are atomic and need no window.
+func flipExempt(h *pmem.Heap, a uint64) {
+	h.MetaFlip8(a, 1)
+}
+
+// naked is the seeded bug: a metadata write with no window means a crash
+// here leaves the multi-word update half-applied.
+func naked(h *pmem.Heap, a uint64) {
+	h.MetaWrite8(a, 1) // want `MetaWrite8 on h outside an undo window`
+}
+
+// afterCommit: the window is already closed when the second write runs.
+func afterCommit(h *pmem.Heap, a, b uint64) {
+	h.UndoBegin(a)
+	h.MetaWrite8(a, 1)
+	h.UndoCommit()
+	h.MetaWrite8(b, 2) // want `MetaWrite8 on h outside an undo window`
+}
+
+// leaked: the window escapes the function still armed — an unrelated later
+// crash would roll these words back.
+func leaked(h *pmem.Heap, a uint64) {
+	h.UndoBegin(a) // want `UndoBegin on h is not closed by an UndoCommit before return`
+	h.MetaWrite8(a, 1)
+}
+
+// leakedEarlyReturn: the fall-through path commits, but the early return
+// leaks the armed window.
+func leakedEarlyReturn(h *pmem.Heap, a uint64, cond bool) {
+	h.UndoBegin(a) // want `UndoBegin on h is not closed by an UndoCommit before return`
+	h.MetaWrite8(a, 1)
+	if cond {
+		return
+	}
+	h.UndoCommit()
+}
+
+// unmatched disarms a window this function never opened.
+func unmatched(h *pmem.Heap) {
+	h.UndoCommit() // want `UndoCommit on h without a matching UndoBegin`
+}
+
+// nested: the heap has a single undo window; re-arming discards the open one.
+func nested(h *pmem.Heap, a, b uint64) {
+	h.UndoBegin(a)
+	h.UndoBegin(b) // want `nested UndoBegin on h`
+	h.MetaWrite8(a, 1)
+	h.UndoCommit()
+}
+
+// deferredCommit is legal: the deferred commit closes the window at return.
+func deferredCommit(h *pmem.Heap, a uint64) {
+	h.UndoBegin(a)
+	defer h.UndoCommit()
+	h.MetaWrite8(a, 1)
+}
+
+// twoArenas: windows are tracked per arena — b's write is outside b's
+// window even though a's is open.
+func twoArenas(a, b *pmem.Heap, w uint64) {
+	a.UndoBegin(w)
+	b.MetaWrite8(w, 1) // want `MetaWrite8 on b outside an undo window`
+	a.MetaWrite8(w, 1)
+	a.UndoCommit()
+}
+
+// audited: the escape hatch suppresses exactly this pass.
+func audited(h *pmem.Heap, a uint64) {
+	//rnvet:ignore undolog recovery-only code path, window re-armed by design
+	h.MetaWrite8(a, 1)
+}

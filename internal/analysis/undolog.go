@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// UndoLog enforces the allocator metadata flush discipline around the pmem
+// heap's undo window (DESIGN.md §14.3):
+//
+//   - MetaWrite8 mutates multi-word allocator metadata and is only
+//     crash-consistent while an undo window is open: every call must be
+//     preceded, in the same function, by an UndoBegin on the same arena
+//     with no UndoCommit in between. (Single-word updates use MetaFlip8,
+//     which is exempt — one aligned word flips atomically.)
+//   - Every UndoBegin must be closed by an UndoCommit on the same arena
+//     before the function returns. A window that escapes the function would
+//     make an unrelated later crash roll back committed state.
+//   - An UndoCommit with no open window disarms someone else's log.
+//
+// The pass is linear-flow like persistcheck: events are walked in source
+// order, so a window opened under one branch and closed under another is
+// approximated. Audited exceptions carry //rnvet:ignore undolog.
+var UndoLog = &Analyzer{
+	Name: "undolog",
+	Doc:  "allocator metadata updates stay inside a matched undo window",
+	Run:  runUndoLog,
+}
+
+func runUndoLog(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkUndoBody(pass, fd.Body)
+		}
+	}
+}
+
+type undoWindow struct {
+	pos      token.Pos
+	recv     string
+	reported bool
+}
+
+func checkUndoBody(pass *Pass, body *ast.BlockStmt) {
+	events, closures := bodyEvents(pass.Pkg.Info, body)
+	for _, cl := range closures {
+		checkUndoBody(pass, cl.Body)
+	}
+
+	var open []undoWindow
+	var deferredCommits []string
+	find := func(recv string) *undoWindow {
+		for i := range open {
+			if open[i].recv == recv {
+				return &open[i]
+			}
+		}
+		return nil
+	}
+	closeWin := func(recv string) bool {
+		for i := range open {
+			if open[i].recv == recv {
+				open = append(open[:i], open[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	atExit := func() {
+		for _, recv := range deferredCommits {
+			closeWin(recv)
+		}
+		for i := range open {
+			if open[i].reported {
+				continue
+			}
+			open[i].reported = true
+			pass.Reportf(open[i].pos,
+				"UndoBegin on %s is not closed by an UndoCommit before return: the armed window would roll back committed state after an unrelated crash",
+				open[i].recv)
+		}
+	}
+
+	for _, ev := range events {
+		if ev.kind == evReturn {
+			atExit()
+			continue
+		}
+		if ev.fn == nil || !isArenaMethod(ev.fn) {
+			continue
+		}
+		switch ev.fn.Name() {
+		case "UndoBegin":
+			if w := find(ev.recv); w != nil && !w.reported {
+				w.reported = true
+				pass.Reportf(ev.pos,
+					"nested UndoBegin on %s: the heap has one undo window, re-arming it discards the open one", ev.recv)
+				continue
+			}
+			if find(ev.recv) == nil {
+				open = append(open, undoWindow{pos: ev.pos, recv: ev.recv})
+			}
+		case "MetaWrite8":
+			if find(ev.recv) == nil {
+				pass.Reportf(ev.pos,
+					"MetaWrite8 on %s outside an undo window: a crash here leaves the multi-word update half-applied (open one with UndoBegin, or use MetaFlip8 for a single word)",
+					ev.recv)
+			}
+		case "UndoCommit":
+			if ev.deferred {
+				deferredCommits = append(deferredCommits, ev.recv)
+				continue
+			}
+			if !closeWin(ev.recv) {
+				pass.Reportf(ev.pos,
+					"UndoCommit on %s without a matching UndoBegin in this function", ev.recv)
+			}
+		}
+	}
+	atExit()
+}

@@ -77,7 +77,11 @@ func isMethodOn(fn *types.Func, pkgPath, typeName string) bool {
 	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == typeName
 }
 
-func isArenaMethod(fn *types.Func) bool  { return isMethodOn(fn, pmemPath, "Arena") }
+// isArenaMethod matches methods on the pmem heap under either name: the
+// named type is Heap, and Arena is a compatibility alias for it.
+func isArenaMethod(fn *types.Func) bool {
+	return isMethodOn(fn, pmemPath, "Heap") || isMethodOn(fn, pmemPath, "Arena")
+}
 func isTxMethod(fn *types.Func) bool     { return isMethodOn(fn, htmPath, "Tx") }
 func isRegionMethod(fn *types.Func) bool { return isMethodOn(fn, htmPath, "Region") }
 

@@ -331,6 +331,7 @@ var Registry = map[string]func(Config) []Result{
 	"fig10":       Fig10,
 	"kvscale":     KVScale,
 	"forestscale": ForestScale,
+	"heapgrow":    HeapGrow,
 	"faultmatrix": FaultMatrix,
 	"netbench":    NetBench,
 	"netgetbench": NetGetBench,

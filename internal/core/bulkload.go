@@ -48,6 +48,11 @@ func BulkLoad(arena *pmem.Arena, opts Options, records []tree.KV) (*Tree, error)
 	for i := range offs {
 		off, err := arena.Alloc(t.lsize)
 		if err != nil {
+			// Return the partial chain to the allocator so a failed bulk
+			// load leaves no leak behind (the blocks were never linked).
+			for _, o := range offs[:i] {
+				arena.Free(o, t.lsize)
+			}
 			return nil, tree.ErrFull
 		}
 		offs[i] = off

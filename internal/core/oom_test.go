@@ -1,0 +1,69 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"rntree/internal/pmem"
+	"rntree/internal/tree"
+)
+
+// Exhausting the arena mid-split (the right-leaf or undo-slot allocation
+// fails with ErrOutOfMemory) must surface as the typed tree.ErrFull, leave
+// the tree consistent, and be retry-safe: every acked insert stays
+// readable, the same insert keeps failing identically, and non-allocating
+// operations still work.
+func TestInsertOOMMidSplitRetrySafe(t *testing.T) {
+	// One non-growable heap segment: inserts run until a split's
+	// allocation trips ErrOutOfMemory.
+	a := pmem.New(pmem.Config{Size: 1 << 16, MaxSegments: 1})
+	if !a.HeapFormatted() {
+		t.Fatal("test arena not heap-formatted")
+	}
+	tr, err := New(a, Options{LeafCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked []uint64
+	var full error
+	for k := uint64(1); k < 1<<14; k++ {
+		if err := tr.Insert(k, k*10); err != nil {
+			full = err
+			break
+		}
+		acked = append(acked, k)
+	}
+	if full == nil {
+		t.Fatal("arena never filled; enlarge the workload")
+	}
+	if !errors.Is(full, tree.ErrFull) {
+		t.Fatalf("exhaustion surfaced as %v, want tree.ErrFull", full)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("tree inconsistent after mid-split OOM: %v", err)
+	}
+	for _, k := range acked {
+		if v, ok := tr.Find(k); !ok || v != k*10 {
+			t.Fatalf("acked key %d lost after OOM (ok=%v v=%d)", k, ok, v)
+		}
+	}
+	// Retrying is stable: same typed error, no corruption.
+	next := acked[len(acked)-1] + 1
+	if err := tr.Insert(next, 1); !errors.Is(err, tree.ErrFull) {
+		t.Fatalf("retry surfaced as %v, want tree.ErrFull", err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("tree inconsistent after retry: %v", err)
+	}
+	// Non-allocating paths still make progress: update an existing key.
+	k0 := acked[0]
+	if err := tr.Update(k0, 4242); err != nil {
+		// An update may legitimately need a compaction slot; only a
+		// non-typed failure is a bug.
+		if !errors.Is(err, tree.ErrFull) {
+			t.Fatalf("update failed untyped: %v", err)
+		}
+	} else if v, ok := tr.Find(k0); !ok || v != 4242 {
+		t.Fatalf("update lost: ok=%v v=%d", ok, v)
+	}
+}

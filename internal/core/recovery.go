@@ -112,10 +112,20 @@ func CrashRecover(a *pmem.Arena, opts Options) (*Tree, error) {
 	for uoff := a.Read8(rootUndoOff); uoff != pmem.NullOff; uoff = a.Read8(uoff + undoNextOff) {
 		leafOff := a.Read8(uoff + undoStatusOff)
 		if leafOff != 0 {
+			curNext := a.Read8(leafOff + hdrNextOff)
 			img := make([]byte, t.lsize)
 			a.ReadRange(uoff+undoImageOff, t.lsize, img)
 			a.WriteRange(leafOff, img)
 			a.Persist(leafOff, t.lsize)
+			// If the interrupted split had already chained in its new
+			// right-hand leaf, the restored image just unlinked it: the
+			// pre-split next pointer differs from the one we overwrote.
+			// The right leaf was fully persisted before the chain write
+			// (Algorithm 3's ordering), so it is a well-formed orphan —
+			// return it to the allocator instead of leaking it.
+			if oldNext := a.Read8(leafOff + hdrNextOff); curNext != oldNext && curNext != pmem.NullOff {
+				a.Free(curNext, t.lsize)
+			}
 			a.Write8(uoff+undoStatusOff, 0)
 			a.Persist(uoff+undoStatusOff, 8)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -354,6 +355,22 @@ func (t *Tree) modify(key, value uint64, mode int) error {
 				return tree.ErrKeyNotFound
 			}
 		}
+		if !exists && s.n >= t.capacity-1 {
+			// The leaf is at its active-entry limit (capacity-1, the most
+			// the slot encoding can represent) — the proactive split that
+			// normally prevents this state must have failed on a full
+			// arena. Publishing n == capacity would be silently clamped by
+			// the next decode, dropping the highest slot. Leave our log
+			// entry orphaned (reclaimed by the next compaction), split or
+			// surface the typed failure, and retry.
+			m.vl.Unlock()
+			if err := t.forceSplit(m); err != nil {
+				return err
+			}
+			t.splitRetries.Add(1)
+			sync2.JitterBackoff(attempt, &jitter)
+			continue
+		}
 		var ns slotArray
 		if exists {
 			ns = s.replaceAt(pos, uint8(entry))
@@ -372,6 +389,15 @@ func (t *Tree) modify(key, value uint64, mode int) error {
 		var splitErr error
 		if int(m.plogs) >= t.capacity-1 {
 			splitErr = t.splitLocked(m) //rnvet:ignore lockflush Algorithm 3 must run under the leaf lock (the leaf is undo-logged)
+			if errors.Is(splitErr, tree.ErrFull) {
+				// The record above is already committed; this split is
+				// proactive. Reporting its exhaustion would break the
+				// "error means not applied" contract (a caller retrying the
+				// insert would see ErrKeyExists). The arena-full condition
+				// resurfaces, typed, on the first operation that actually
+				// needs the room (forceSplit's path).
+				splitErr = nil
+			}
 		}
 		m.vl.Unlock()
 		return splitErr

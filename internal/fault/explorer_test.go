@@ -120,6 +120,40 @@ func TestExploreKVV3AllSites(t *testing.T) {
 	t.Logf("kv-v3: %d sites, %d images, hash %#x", rep.Sites, rep.Images, rep.ImageHash)
 }
 
+// The heap allocator driven directly: every allocator-metadata persist
+// site — undo-log arm, metadata writes inside the window, commit flips,
+// bump advances, and the segment-append cutover — must leave an image that
+// still carries the heap format, passes CheckHeap, and recovers the block
+// directory to a pre- or post-op state under eviction and torn persists.
+func TestExploreHeapAllSites(t *testing.T) {
+	rep := mustExplore(t, &HeapTarget{}, HeapWorkload(), Config{Seed: 42, EvictProb: 0.4, Torn: true})
+	if rep.Sites < 60 {
+		t.Fatalf("only %d sites — workload too shallow", rep.Sites)
+	}
+	if rep.Explored != rep.Sites {
+		t.Fatalf("explored %d of %d sites", rep.Explored, rep.Sites)
+	}
+	if !rep.Ok() {
+		t.Fatalf("%d violations, first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	t.Logf("heap: %d sites, %d images, hash %#x", rep.Sites, rep.Images, rep.ImageHash)
+}
+
+// Crashing inside the v3→v4 superblock upgrade (which runs inside Open, in
+// each partition) must always leave an image that reopens to exactly the
+// pre-upgrade contents — before the root flip as a v3 store that reruns
+// the upgrade, after it as a finished v4 store.
+func TestExploreKVV3Upgrade(t *testing.T) {
+	rep := mustExplore(t, &KVV3UpTarget{}, KVV3UpWorkload(), Config{Seed: 42, EvictProb: 0.4, Torn: true})
+	if rep.Sites < 20 {
+		t.Fatalf("only %d sites — upgrade not exercised", rep.Sites)
+	}
+	if !rep.Ok() {
+		t.Fatalf("%d violations, first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	t.Logf("kv-v3up: %d sites, %d images, hash %#x", rep.Sites, rep.Images, rep.ImageHash)
+}
+
 // Same seed ⇒ byte-identical crash images (same ImageHash); a different
 // seed draws different eviction/torn subsets. This is what makes a CI
 // violation replayable from its logged seed.
@@ -180,7 +214,7 @@ func (t *toyTarget) Name() string {
 }
 
 func (t *toyTarget) Reset() ([]*pmem.Arena, Model, error) {
-	t.arena = pmem.New(pmem.Config{Size: 1 << 16})
+	t.arena = pmem.New(pmem.Config{Size: 1 << 16, VolatileAlloc: true})
 	t.n = 0
 	return []*pmem.Arena{t.arena}, Model{}, nil
 }

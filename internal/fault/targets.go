@@ -602,6 +602,265 @@ func (t *KVV3Target) Recover(imgs [][]uint64) (Model, error) {
 	return kvRecover(imgs, kvV3Opts())
 }
 
+// ---------------------------------------------------------------------------
+// pmem heap allocator target
+
+// HeapTarget drives the persistent heap allocator directly: each op
+// allocates, updates, or frees a pattern-filled block linked into a tiny
+// persistent directory rooted in the arena root line. The geometry is
+// sized so the workload crosses several segment-append cutovers, and the
+// deletes/reinserts push blocks through the persistent size-class free
+// lists — so every allocator-metadata persist site (undo-log arm, the
+// MetaWrite8 window, commit flips, bump advances, the grow cutover)
+// becomes a crash point. Recovery asserts the heap format itself survived
+// (recoverHeap silently falls back to a legacy volatile arena on a
+// corrupt header, which here would mean a durability violation) and that
+// CheckHeap holds on every admissible image.
+type HeapTarget struct {
+	arena *pmem.Arena
+}
+
+const (
+	heapSeg0Size = 1 << 16
+	heapGrowSize = 1 << 14
+	heapMaxSegs  = 8
+	// heapDirOff is the root-line word heading the block directory (the
+	// root line is free for the target's own use: no tree lives here).
+	heapDirOff = 0
+	// Block layout: next pointer, key, value, then a key-derived fill
+	// pattern to the end of the block (so an overlapping allocation shows
+	// up as a pattern mismatch, not silence).
+	heapBlkNextOff = 0
+	heapBlkKeyOff  = 8
+	heapBlkValOff  = 16
+	heapBlkPatOff  = 24
+)
+
+// heapBlockSize derives a block's size from its key, so Free needs no
+// persisted size field and the workload spreads over four size classes.
+func heapBlockSize(k uint64) uint64 { return (1 + k%4) * 2048 }
+
+func (t *HeapTarget) Name() string { return "heap" }
+
+func (t *HeapTarget) Reset() ([]*pmem.Arena, Model, error) {
+	t.arena = pmem.New(pmem.Config{
+		Size:        heapSeg0Size,
+		GrowSize:    heapGrowSize,
+		MaxSegments: heapMaxSegs,
+	})
+	if !t.arena.HeapFormatted() {
+		return nil, nil, fmt.Errorf("heap target: fresh arena not heap-formatted")
+	}
+	return []*pmem.Arena{t.arena}, Model{}, nil
+}
+
+// findBlock returns the offset holding the link to key's block (the root
+// word or a predecessor's next word) and the block offset itself.
+func (t *HeapTarget) findBlock(k uint64) (linkOff, off uint64, ok bool) {
+	a := t.arena
+	linkOff = heapDirOff
+	for off = a.Read8(linkOff); off != pmem.NullOff; off = a.Read8(linkOff) {
+		if a.Read8(off+heapBlkKeyOff) == k {
+			return linkOff, off, true
+		}
+		linkOff = off + heapBlkNextOff
+	}
+	return 0, 0, false
+}
+
+func (t *HeapTarget) Apply(op Op) error {
+	a := t.arena
+	switch op.Kind {
+	case OpInsert:
+		size := heapBlockSize(op.K)
+		off, err := a.Alloc(size)
+		if err != nil {
+			return err
+		}
+		a.Write8(off+heapBlkNextOff, a.Read8(heapDirOff))
+		a.Write8(off+heapBlkKeyOff, op.K)
+		a.Write8(off+heapBlkValOff, op.V)
+		for w := uint64(heapBlkPatOff); w < size; w += 8 {
+			a.Write8(off+w, op.K^w)
+		}
+		// The block is fully durable before the directory points at it;
+		// the single-word head flip is the commit point.
+		a.Persist(off, size)
+		a.Write8(heapDirOff, off)
+		a.Persist(heapDirOff, 8)
+		return nil
+	case OpUpdate:
+		_, off, ok := t.findBlock(op.K)
+		if !ok {
+			return fmt.Errorf("heap target: update of absent key %d", op.K)
+		}
+		a.Write8(off+heapBlkValOff, op.V)
+		a.Persist(off+heapBlkValOff, 8)
+		return nil
+	case OpDelete:
+		linkOff, off, ok := t.findBlock(op.K)
+		if !ok {
+			return fmt.Errorf("heap target: delete of absent key %d", op.K)
+		}
+		// Unlink first (single-word commit point), then return the block
+		// to the allocator's persistent free lists.
+		a.Write8(linkOff, a.Read8(off+heapBlkNextOff))
+		a.Persist(linkOff, 8)
+		a.Free(off, heapBlockSize(op.K))
+		return nil
+	}
+	return fmt.Errorf("heap target: unsupported op %s", op.Kind)
+}
+
+func (t *HeapTarget) ApplyModel(m Model, op Op) {
+	k := strconv.FormatUint(op.K, 10)
+	switch op.Kind {
+	case OpInsert, OpUpdate:
+		m[k] = strconv.FormatUint(op.V, 10)
+	case OpDelete:
+		delete(m, k)
+	}
+}
+
+func (t *HeapTarget) Recover(imgs [][]uint64) (Model, error) {
+	if len(imgs) != 1 {
+		return nil, fmt.Errorf("heap target: %d images, want 1", len(imgs))
+	}
+	a := pmem.Recover(imgs[0], pmem.Config{})
+	if !a.HeapFormatted() {
+		return nil, fmt.Errorf("heap target: recovered arena lost its heap format")
+	}
+	if err := a.CheckHeap(); err != nil {
+		return nil, fmt.Errorf("heap target: %v", err)
+	}
+	got := Model{}
+	for off := a.Read8(heapDirOff); off != pmem.NullOff; off = a.Read8(off + heapBlkNextOff) {
+		k := a.Read8(off + heapBlkKeyOff)
+		size := heapBlockSize(k)
+		for w := uint64(heapBlkPatOff); w < size; w += 8 {
+			if v := a.Read8(off + w); v != k^w {
+				return nil, fmt.Errorf("heap target: block %#x (key %d) pattern torn at +%d: %#x", off, k, w, v)
+			}
+		}
+		got[strconv.FormatUint(k, 10)] = strconv.FormatUint(a.Read8(off+heapBlkValOff), 10)
+	}
+	return got, nil
+}
+
+// HeapWorkload crosses at least two segment-append cutovers on the way in
+// (20 blocks averaging 5 KiB against a 64 KiB first segment), then frees
+// six blocks across all four size classes and reinserts into exactly those
+// classes, so the persistent free-list push/pop paths crash too.
+func HeapWorkload() []Op {
+	var ops []Op
+	for i := uint64(0); i < 20; i++ {
+		ops = append(ops, Op{OpInsert, i, 7000 + i})
+	}
+	for i := uint64(0); i < 4; i++ {
+		ops = append(ops, Op{OpUpdate, i, 7100 + i})
+	}
+	for i := uint64(4); i < 10; i++ {
+		ops = append(ops, Op{OpDelete, i, 0})
+	}
+	for i := uint64(20); i < 26; i++ {
+		ops = append(ops, Op{OpInsert, i, 7200 + i})
+	}
+	ops = append(ops, Op{OpDelete, 20, 0}, Op{OpInsert, 30, 7300})
+	return ops
+}
+
+// ---------------------------------------------------------------------------
+// kv v3→v4 superblock upgrade target
+
+// KVV3UpTarget pre-loads a two-partition v3 image (one-line superblocks,
+// no heap record); the workload's first op is OpOpen, so the v3→v4
+// upgrade's persist sites — new superblock build, root-word flip, old
+// superblock free — become crash points, per partition. A crash image from
+// any of them must reopen to exactly the pre-upgrade contents.
+type KVV3UpTarget struct {
+	arenas []*pmem.Arena
+	store  *kv.Store
+}
+
+func (t *KVV3UpTarget) Name() string { return "kv-v3up" }
+
+func (t *KVV3UpTarget) Reset() ([]*pmem.Arena, Model, error) {
+	s, err := kv.New(kvV3Opts())
+	if err != nil {
+		return nil, nil, err
+	}
+	base := Model{}
+	for i := uint64(0); i < 10; i++ {
+		k, v := kvKey(i), kvValue(i, 100+i)
+		if err := s.Put([]byte(k), []byte(v)); err != nil {
+			return nil, nil, err
+		}
+		base[k] = v
+	}
+	if err := s.Delete([]byte(kvKey(9))); err != nil {
+		return nil, nil, err
+	}
+	delete(base, kvKey(9))
+	k, v := kvKey(0), kvValue(0, 150)
+	if err := s.Put([]byte(k), []byte(v)); err != nil {
+		return nil, nil, err
+	}
+	base[k] = v
+	if err := s.DowngradeV3(); err != nil {
+		return nil, nil, err
+	}
+	// Reopen the durable images on fresh arenas, as a real restart would.
+	srcs := s.Arenas()
+	t.arenas = make([]*pmem.Arena, len(srcs))
+	for i, a := range srcs {
+		t.arenas[i] = pmem.Recover(a.CrashImage(nil, 0), pmem.Config{})
+	}
+	t.store = nil
+	return t.arenas, base, nil
+}
+
+func (t *KVV3UpTarget) Apply(op Op) error {
+	if op.Kind == OpOpen {
+		s, err := kv.OpenArenas(t.arenas, kvV3Opts())
+		if err != nil {
+			return err
+		}
+		t.store = s
+		return nil
+	}
+	if t.store == nil {
+		return fmt.Errorf("kv-v3up target: %s before OpOpen", op.Kind)
+	}
+	switch op.Kind {
+	case OpInsert, OpUpdate:
+		return t.store.Put([]byte(kvKey(op.K)), []byte(kvValue(op.K, op.V)))
+	case OpDelete:
+		return t.store.Delete([]byte(kvKey(op.K)))
+	case OpCompact:
+		return t.store.Compact()
+	}
+	return fmt.Errorf("kv-v3up target: unsupported op %s", op.Kind)
+}
+
+func (t *KVV3UpTarget) ApplyModel(m Model, op Op) { kvApplyModel(m, op) }
+
+func (t *KVV3UpTarget) Recover(imgs [][]uint64) (Model, error) {
+	return kvRecover(imgs, kvV3Opts())
+}
+
+// KVV3UpWorkload upgrades the pre-loaded v3 images, then keeps using the
+// upgraded store across both partitions.
+func KVV3UpWorkload() []Op {
+	return []Op{
+		{Kind: OpOpen},
+		{OpInsert, 30, 500},
+		{OpInsert, 31, 501},
+		{OpUpdate, 1, 600},
+		{OpDelete, 3, 0},
+		{Kind: OpCompact},
+	}
+}
+
 // Targets returns every layer adapter with its canonical workload, the
 // matrix the faultmatrix experiment and `make faultcheck` run.
 func Targets() []struct {
@@ -612,6 +871,7 @@ func Targets() []struct {
 		Target Target
 		Ops    []Op
 	}{
+		{&HeapTarget{}, HeapWorkload()},
 		{&TreeTarget{DualSlot: false}, TreeWorkload()},
 		{&TreeTarget{DualSlot: true}, TreeWorkload()},
 		{&ForestTarget{DualSlot: false}, ForestWorkload()},
@@ -620,6 +880,7 @@ func Targets() []struct {
 		{&CachedKVTarget{}, KVWorkload()},
 		{&KVV1Target{}, KVV1Workload()},
 		{&KVV3Target{}, KVWorkload()},
+		{&KVV3UpTarget{}, KVV3UpWorkload()},
 		{&ReplTarget{}, KVWorkload()},
 	}
 }

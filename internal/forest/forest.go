@@ -52,9 +52,15 @@ type Options struct {
 	// Partitions is the number of trees in the forest; must be a power of
 	// two in [1, MaxPartitions]. Default 1.
 	Partitions int
-	// ArenaSize is the simulated NVM capacity of EACH partition arena in
-	// bytes (default 64 MiB).
+	// ArenaSize is the initial simulated NVM capacity of EACH partition
+	// arena in bytes (default 64 MiB). Heap-formatted partitions grow past
+	// it by appending segments, up to MaxSegments.
 	ArenaSize uint64
+	// GrowSize is the size of each appended segment (default: ArenaSize).
+	GrowSize uint64
+	// MaxSegments caps a partition at ArenaSize +
+	// (MaxSegments-1)*GrowSize bytes (default 8). 1 disables growth.
+	MaxSegments int
 	// Latency is the persistent-instruction cost model applied to every
 	// partition arena.
 	Latency pmem.LatencyModel
@@ -74,7 +80,20 @@ func (o *Options) normalize() error {
 	if o.ArenaSize == 0 {
 		o.ArenaSize = 64 << 20
 	}
+	if o.MaxSegments == 0 {
+		o.MaxSegments = 8
+	}
 	return nil
+}
+
+// arenaConfig is the pmem configuration shared by every partition arena.
+func (o *Options) arenaConfig() pmem.Config {
+	return pmem.Config{
+		Size:        o.ArenaSize,
+		GrowSize:    o.GrowSize,
+		MaxSegments: o.MaxSegments,
+		Latency:     o.Latency,
+	}
 }
 
 // Partition is one tree of the forest together with the resources it owns.
@@ -135,7 +154,7 @@ func New(opts Options) (*Forest, error) {
 	}
 	f := &Forest{parts: make([]*Partition, opts.Partitions), mask: uint64(opts.Partitions - 1)}
 	for i := range f.parts {
-		a := pmem.New(pmem.Config{Size: opts.ArenaSize, Latency: opts.Latency})
+		a := pmem.New(opts.arenaConfig())
 		p, err := newPartition(a, i, opts)
 		if err != nil {
 			return nil, err
@@ -183,7 +202,7 @@ func BulkLoad(opts Options, records []tree.KV) (*Forest, error) {
 	}
 	f := &Forest{parts: make([]*Partition, opts.Partitions), mask: mask}
 	for i := range f.parts {
-		a := pmem.New(pmem.Config{Size: opts.ArenaSize, Latency: opts.Latency})
+		a := pmem.New(opts.arenaConfig())
 		topts := opts.Tree
 		region := htm.NewRegion(a, topts.HTM)
 		topts.Region = region

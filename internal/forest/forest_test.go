@@ -535,3 +535,58 @@ func TestBulkLoad(t *testing.T) {
 		t.Fatalf("recovered bulk load has %d records", f2.Len())
 	}
 }
+
+// A partition whose initial segment fills must grow by appending segments
+// instead of surfacing ErrFull, and the grown layout must survive a crash.
+func TestPartitionGrowsInsteadOfFilling(t *testing.T) {
+	opts := Options{
+		Partitions:  2,
+		ArenaSize:   1 << 16,
+		GrowSize:    1 << 16,
+		MaxSegments: 4,
+		Tree:        core.Options{LeafCapacity: 8},
+	}
+	f, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := f.Partition(0).Arena().Size()
+	const n = 4000 // well past what one 64KB segment per partition can hold
+	for k := uint64(1); k <= n; k++ {
+		if err := f.Insert(k, k*7); err != nil {
+			t.Fatalf("Insert(%d) on a growable forest: %v", k, err)
+		}
+	}
+	grew := 0
+	for i := 0; i < f.Partitions(); i++ {
+		if a := f.Partition(i).Arena(); a.Size() > initial {
+			if a.Segments() < 2 {
+				t.Fatalf("partition %d grew without committing a segment", i)
+			}
+			grew++
+		}
+	}
+	if grew == 0 {
+		t.Fatal("no partition grew; shrink ArenaSize or raise n")
+	}
+	// Hard power cut across the grown layout.
+	imgs := f.CrashImages(nil, 0)
+	f2, err := Open(imgs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= n; k++ {
+		if v, ok := f2.Find(k); !ok || v != k*7 {
+			t.Fatalf("Find(%d) after grown recovery = %d,%v", k, v, ok)
+		}
+	}
+	// The recovered forest keeps growing: fill further without error.
+	for k := uint64(n + 1); k <= n+500; k++ {
+		if err := f2.Insert(k, k*7); err != nil {
+			t.Fatalf("post-recovery Insert(%d): %v", k, err)
+		}
+	}
+}

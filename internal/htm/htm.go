@@ -142,7 +142,10 @@ func NewRegion(a *pmem.Arena, cfg Config) *Region {
 	}
 	r := &Region{
 		arena: a,
-		locks: make([]uint64, a.Size()/pmem.LineSize),
+		// Sized by Capacity, not Size: the heap grows by committing
+		// segments inside its reserved capacity, and the lock table must
+		// already cover lines that appear mid-run.
+		locks: make([]uint64, a.Capacity()/pmem.LineSize),
 		cfg:   cfg,
 	}
 	if p := cfg.SpuriousAbortProb; p > 0 {

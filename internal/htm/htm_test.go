@@ -10,7 +10,7 @@ import (
 
 func newRegion(t *testing.T, size uint64, cfg Config) *Region {
 	t.Helper()
-	return NewRegion(pmem.New(pmem.Config{Size: size}), cfg)
+	return NewRegion(pmem.New(pmem.Config{Size: size, VolatileAlloc: true}), cfg)
 }
 
 func TestCommitPublishesWrites(t *testing.T) {
@@ -281,7 +281,7 @@ func TestResetStats(t *testing.T) {
 // the final state equals the sequential result.
 func TestQuickSerializableIncrements(t *testing.T) {
 	f := func(keys []uint8) bool {
-		r := NewRegion(pmem.New(pmem.Config{Size: 1 << 16}), Config{})
+		r := NewRegion(pmem.New(pmem.Config{Size: 1 << 16, VolatileAlloc: true}), Config{})
 		want := make(map[uint64]uint64)
 		var wg sync.WaitGroup
 		for shard := 0; shard < 4; shard++ {

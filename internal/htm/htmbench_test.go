@@ -7,7 +7,7 @@ import (
 )
 
 func BenchmarkTxSnapshot(b *testing.B) {
-	r := NewRegion(pmem.New(pmem.Config{Size: 1 << 20}), Config{})
+	r := NewRegion(pmem.New(pmem.Config{Size: 1 << 20, VolatileAlloc: true}), Config{})
 	var line [pmem.LineSize]byte
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -16,7 +16,7 @@ func BenchmarkTxSnapshot(b *testing.B) {
 }
 
 func BenchmarkTxStoreLine(b *testing.B) {
-	r := NewRegion(pmem.New(pmem.Config{Size: 1 << 20}), Config{})
+	r := NewRegion(pmem.New(pmem.Config{Size: 1 << 20, VolatileAlloc: true}), Config{})
 	var line [pmem.LineSize]byte
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,819 @@
+// Heap format: segment headers, the crash-consistent allocator, growth and
+// pointer swizzling.
+//
+// A heap-formatted arena carries one persistent header per segment (the
+// go-pmem runtime's pArena pattern): identity and geometry, the segment's
+// simulated mapping address with its swizzle state, and — in segment 0 —
+// the allocator metadata (bump mark, size-class free lists) plus a small
+// undo log. Allocator updates follow the undo-log discipline from
+// "Transactions on Red-black and AVL trees in NVRAM": single-word updates
+// flip atomically (MetaFlip8); multi-word updates persist their old values
+// into the undo area and arm a status word before mutating (UndoBegin /
+// MetaWrite8 / UndoCommit), so recovery can always roll an interrupted
+// update back to the pre-operation state. rnvet's undolog pass enforces the
+// pairing statically.
+//
+// Segment header layout (hdrSize bytes; at offset RootSize in segment 0,
+// at the segment base otherwise):
+//
+//	line 0: magic, ordinal, segSize, seg0Size, growSize, maxSegs,
+//	        nsegs (segment 0 only), reserved
+//	line 1: simBase, prevSimBase, swizzleState, bump (segment 0 only)
+//	line 2+3: size-class table, classCount × (blockSize, headOff) pairs;
+//	        free blocks thread the list through their first word
+//	line 4: undo log: status (armed record count), then
+//	        undoRecs × (address, old value) records
+//	lines 5-7: reserved
+package pmem
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+const (
+	// heapMagic0/heapMagicN identify a formatted initial/grown segment.
+	heapMagic0 = 0x524e484541503030 // "RNHEAP00"
+	heapMagicN = 0x524e484541503031 // "RNHEAP01"
+
+	// seg0HdrOff is the header position in segment 0 (past the root line).
+	seg0HdrOff = RootSize
+	// hdrSize is the per-segment header footprint in bytes.
+	hdrSize = 8 * LineSize
+
+	// Header word offsets (relative to the header base).
+	hdrMagicOff    = 0
+	hdrOrdinalOff  = 8
+	hdrSegSizeOff  = 16
+	hdrSeg0SizeOff = 24
+	hdrGrowSizeOff = 32
+	hdrMaxSegsOff  = 40
+	hdrNsegsOff    = 48
+	hdrSimBaseOff  = 64
+	hdrPrevBaseOff = 72
+	hdrSwizzleOff  = 80
+	hdrBumpOff     = 88
+	hdrClassOff    = 2 * LineSize
+	hdrUndoOff     = 4 * LineSize
+
+	// classCount size classes of (blockSize, headOff) pairs fill two lines.
+	classCount = 8
+	// undoRecs (address, old value) records plus the status word fill the
+	// undo line.
+	undoRecs = 3
+
+	// minHeapSize is the smallest initial segment that gets heap
+	// formatting; smaller arenas (unit-test scratch space) keep the
+	// volatile allocator. minGrowSize bounds appended segments.
+	minHeapSize = 1 << 16
+	minGrowSize = 4096
+
+	// defaultSimBase seeds segment mapping addresses when Config.SimBase
+	// is zero: a canonical-looking user-space address.
+	defaultSimBase = 0x00007c0000000000
+	// simGuard separates consecutive segments' simulated mappings so
+	// address ranges never abut (a swizzle bug that mixes up adjacent
+	// segments resolves to nothing instead of the wrong segment).
+	simGuard = 1 << 21
+)
+
+// Swizzle states persisted in hdrSwizzleOff.
+const (
+	// SwizzleClean: simBase is the segment's only mapping; prevSimBase is
+	// meaningless.
+	SwizzleClean uint64 = 0
+	// SwizzleSwizzling: the heap was recovered at a new mapping address and
+	// upper layers have not yet confirmed their absolute pointers are
+	// re-encoded; FromSimAddr resolves prevSimBase too.
+	SwizzleSwizzling uint64 = 1
+)
+
+// testBinary reports whether this process is a `go test` binary; free
+// checking defaults on under tests (FreeCheckAuto).
+var testBinary = strings.HasSuffix(os.Args[0], ".test")
+
+// HeapFormatted reports whether the heap carries segment headers and the
+// persistent allocator (false for volatile-mode and legacy-image arenas).
+func (h *Heap) HeapFormatted() bool { return h.pa }
+
+// Segments returns the number of committed segments (1 for fixed arenas).
+func (h *Heap) Segments() int {
+	if !h.pa {
+		return 1
+	}
+	return int(h.Read8(seg0HdrOff + hdrNsegsOff))
+}
+
+// GrowSize returns the size in bytes of each appended segment.
+func (h *Heap) GrowSize() uint64 { return h.growSize }
+
+// Seg0Size returns the size in bytes of the initial segment.
+func (h *Heap) Seg0Size() uint64 { return h.seg0Size }
+
+// segIndex maps a byte offset to its segment ordinal.
+func (h *Heap) segIndex(off uint64) int {
+	if off < h.seg0Size {
+		return 0
+	}
+	return 1 + int((off-h.seg0Size)/h.growSize)
+}
+
+// segSpan returns segment si's [base, end) byte range.
+func (h *Heap) segSpan(si int) (base, end uint64) {
+	if si == 0 {
+		return 0, h.seg0Size
+	}
+	base = h.seg0Size + uint64(si-1)*h.growSize
+	return base, base + h.growSize
+}
+
+// hdrBase returns the header offset of segment si.
+func (h *Heap) hdrBase(si int) uint64 {
+	base, _ := h.segSpan(si)
+	if si == 0 {
+		return base + RootSize
+	}
+	return base
+}
+
+// dataStart returns the first allocatable offset of segment si.
+func (h *Heap) dataStart(si int) uint64 { return h.hdrBase(si) + hdrSize }
+
+// simStride is the simulated-address distance between consecutive segment
+// mappings, fixed by geometry so it is recomputable after recovery.
+func (h *Heap) simStride() uint64 {
+	stride := h.seg0Size
+	if h.growSize > stride {
+		stride = h.growSize
+	}
+	return stride + simGuard
+}
+
+// ---------------------------------------------------------------------------
+// Formatting
+
+// formatSeg0 writes and persists segment 0's header on a fresh heap.
+func (h *Heap) formatSeg0(simSeed uint64) {
+	if simSeed == 0 {
+		simSeed = defaultSimBase
+	}
+	hb := uint64(seg0HdrOff)
+	h.Write8(hb+hdrMagicOff, heapMagic0)
+	h.Write8(hb+hdrOrdinalOff, 0)
+	h.Write8(hb+hdrSegSizeOff, h.seg0Size)
+	h.Write8(hb+hdrSeg0SizeOff, h.seg0Size)
+	h.Write8(hb+hdrGrowSizeOff, h.growSize)
+	h.Write8(hb+hdrMaxSegsOff, uint64(h.maxSegs))
+	h.Write8(hb+hdrNsegsOff, 1)
+	h.Write8(hb+hdrSimBaseOff, simSeed)
+	h.Write8(hb+hdrPrevBaseOff, 0)
+	h.Write8(hb+hdrSwizzleOff, SwizzleClean)
+	h.Write8(hb+hdrBumpOff, h.dataStart(0))
+	h.Persist(hb, hdrSize)
+}
+
+// formatSeg writes and persists segment si's header during Grow. The
+// segment is not visible to recovery until the nsegs cutover commits it.
+func (h *Heap) formatSeg(si int) {
+	hb := h.hdrBase(si)
+	seed := h.Read8(seg0HdrOff + hdrSimBaseOff)
+	h.Write8(hb+hdrMagicOff, heapMagicN)
+	h.Write8(hb+hdrOrdinalOff, uint64(si))
+	h.Write8(hb+hdrSegSizeOff, h.growSize)
+	h.Write8(hb+hdrSeg0SizeOff, h.seg0Size)
+	h.Write8(hb+hdrGrowSizeOff, h.growSize)
+	h.Write8(hb+hdrMaxSegsOff, uint64(h.maxSegs))
+	h.Write8(hb+hdrSimBaseOff, seed+uint64(si)*h.simStride())
+	h.Write8(hb+hdrPrevBaseOff, 0)
+	h.Write8(hb+hdrSwizzleOff, SwizzleClean)
+	h.Persist(hb, hdrSize)
+}
+
+// ---------------------------------------------------------------------------
+// Undo-logged metadata updates
+
+// MetaFlip8 atomically updates one word of persistent allocator metadata.
+// A single aligned word is the simulated hardware's atomic write unit, so a
+// flip is crash-consistent without an undo window: recovery observes either
+// the old or the new value, both well-formed. Multi-word updates must use
+// UndoBegin/MetaWrite8/UndoCommit instead (rnvet's undolog pass enforces
+// this).
+func (h *Heap) MetaFlip8(off, v uint64) {
+	h.Write8(off, v)
+	h.Persist(off, WordSize)
+}
+
+// UndoBegin opens an undo window over the given metadata words: their
+// current values are persisted into the segment-0 undo log, then the status
+// word arms the log. If the process crashes anywhere before UndoCommit,
+// recovery rolls every logged word back to its pre-window value. At most
+// undoRecs words fit one window.
+func (h *Heap) UndoBegin(addrs ...uint64) {
+	if len(addrs) == 0 || len(addrs) > undoRecs {
+		panic(fmt.Sprintf("pmem: UndoBegin with %d records (max %d)", len(addrs), undoRecs))
+	}
+	ub := uint64(seg0HdrOff + hdrUndoOff)
+	for i, addr := range addrs {
+		h.Write8(ub+8+uint64(i)*16, addr)
+		h.Write8(ub+16+uint64(i)*16, h.Read8(addr))
+	}
+	// Records first, then the arming flip: the status word must never be
+	// durable before the old values it points at.
+	h.Persist(ub, LineSize)
+	h.Write8(ub, uint64(len(addrs)))
+	h.Persist(ub, WordSize)
+}
+
+// MetaWrite8 stores and persists one metadata word inside an open undo
+// window. Calling it outside a window is a discipline violation (undolog
+// pass); the write would not be rolled back after a crash.
+func (h *Heap) MetaWrite8(off, v uint64) {
+	h.Write8(off, v)
+	h.Persist(off, WordSize)
+}
+
+// UndoCommit closes the window: the multi-word update is complete, so the
+// log is disarmed and recovery will keep the new values.
+func (h *Heap) UndoCommit() {
+	h.Write8(seg0HdrOff+hdrUndoOff, 0)
+	h.Persist(seg0HdrOff+hdrUndoOff, WordSize)
+}
+
+// undoRecover rolls back an interrupted metadata update: if the status word
+// is armed, every logged word is restored (newest first) and the log
+// disarmed. Idempotent — crashing inside undoRecover re-runs it.
+func (h *Heap) undoRecover() {
+	ub := uint64(seg0HdrOff + hdrUndoOff)
+	n := h.Read8(ub)
+	if n == 0 {
+		return
+	}
+	if n <= undoRecs {
+		for i := n; i > 0; i-- {
+			addr := h.Read8(ub + 8 + (i-1)*16)
+			old := h.Read8(ub + 16 + (i-1)*16)
+			if addr%WordSize == 0 && addr/WordSize < h.committedW.Load() {
+				h.MetaFlip8(addr, old)
+			}
+		}
+	}
+	h.MetaFlip8(ub, 0)
+}
+
+// ---------------------------------------------------------------------------
+// Persistent allocation
+
+// findClass returns the class-table index holding blocks of exactly size
+// bytes, or -1.
+func (h *Heap) findClass(size uint64) int {
+	for i := 0; i < classCount; i++ {
+		if h.Read8(seg0HdrOff+hdrClassOff+uint64(i)*16) == size {
+			return i
+		}
+	}
+	return -1
+}
+
+// claimClass returns a class index for size: an exact match, or the first
+// empty slot (claimed by the caller's free). -1 when the table is full of
+// other sizes.
+func (h *Heap) claimClass(size uint64) int {
+	empty := -1
+	for i := 0; i < classCount; i++ {
+		cs := h.Read8(seg0HdrOff + hdrClassOff + uint64(i)*16)
+		if cs == size {
+			return i
+		}
+		if cs == 0 && empty < 0 {
+			empty = i
+		}
+	}
+	return empty
+}
+
+// heapAlloc is Alloc on a heap-formatted arena (allocMu held, size
+// line-rounded): pop the size class, else the volatile overflow list, else
+// bump — growing by a segment when the committed space is exhausted.
+func (h *Heap) heapAlloc(size uint64) (uint64, error) {
+	if ci := h.findClass(size); ci >= 0 {
+		headOff := seg0HdrOff + hdrClassOff + uint64(ci)*16 + 8
+		if head := h.Read8(headOff); head != 0 {
+			// Single-word pop: the head flips to the block's stored next
+			// pointer; either value is a well-formed list after a crash.
+			h.MetaFlip8(headOff, h.Read8(head))
+			h.noteAllocated(head, size)
+			h.stats.allocs.Add(1)
+			return head, nil
+		}
+	}
+	if lst := h.freed[size]; len(lst) > 0 {
+		off := lst[len(lst)-1]
+		h.freed[size] = lst[:len(lst)-1]
+		h.noteAllocated(off, size)
+		h.stats.allocs.Add(1)
+		return off, nil
+	}
+	for {
+		off, needGrow, err := h.fitBump(size)
+		if err != nil {
+			return 0, err
+		}
+		if needGrow {
+			if err := h.growLocked(); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		// The bump mark is persisted before the block is handed out, so a
+		// recovered heap never re-allocates it. A crash between this flip
+		// and the caller linking the block leaks it — bounded by one block
+		// per crash, versus SetBump leaking every unlinked byte.
+		h.MetaFlip8(seg0HdrOff+hdrBumpOff, off+size)
+		h.noteAllocated(off, size)
+		h.stats.allocs.Add(1)
+		return off, nil
+	}
+}
+
+// fitBump finds the lowest offset at or above the bump mark where a
+// size-byte block fits entirely inside one segment's data region. needGrow
+// reports that the hosting segment is not committed yet.
+func (h *Heap) fitBump(size uint64) (off uint64, needGrow bool, err error) {
+	off = h.Read8(seg0HdrOff + hdrBumpOff)
+	committed := h.Size()
+	for {
+		si := h.segIndex(off)
+		if si >= h.maxSegs {
+			return 0, false, ErrOutOfMemory
+		}
+		_, end := h.segSpan(si)
+		if ds := h.dataStart(si); off < ds {
+			off = ds
+		}
+		if off+size > end {
+			// The tail of segment si is too small: advance to the next
+			// segment (the skipped tail is internal fragmentation). A block
+			// larger than a whole grown segment's data region can never fit.
+			if si+1 >= h.maxSegs || size > h.growSize-hdrSize {
+				return 0, false, ErrOutOfMemory
+			}
+			off = end
+			continue
+		}
+		return off, end > committed, nil
+	}
+}
+
+// heapFree pushes the block onto its persistent size-class list, claiming a
+// class slot if needed. The three metadata words (class size, class head,
+// block link) change under one undo window, so a crash mid-free rolls back
+// to the pre-free state instead of leaving a half-linked list. Returns
+// false when the class table is full of other sizes (the caller falls back
+// to the volatile overflow list, which a crash leaks — bounded by the
+// number of distinct block sizes beyond classCount).
+func (h *Heap) heapFree(off, size uint64) bool {
+	ci := h.claimClass(size)
+	if ci < 0 {
+		return false
+	}
+	sizeOff := seg0HdrOff + hdrClassOff + uint64(ci)*16
+	headOff := sizeOff + 8
+	h.UndoBegin(sizeOff, headOff, off)
+	h.MetaWrite8(off, h.Read8(headOff)) // thread the list through the block
+	h.MetaWrite8(sizeOff, size)         // claim (or re-assert) the class
+	h.MetaWrite8(headOff, off)          // publish the block
+	h.UndoCommit()
+	return true
+}
+
+// growLocked appends and commits one segment (allocMu held). The new
+// segment's header is fully persisted before the nsegs flip in segment 0
+// commits it; a crash in between leaves an uncommitted trailing segment
+// that recovery discards.
+func (h *Heap) growLocked() error {
+	n := h.Segments()
+	if n >= h.maxSegs {
+		return ErrOutOfMemory
+	}
+	_, end := h.segSpan(n)
+	h.committedW.Store(end / WordSize)
+	h.formatSeg(n)
+	h.MetaFlip8(seg0HdrOff+hdrNsegsOff, uint64(n+1))
+	return nil
+}
+
+// Grow explicitly commits one more segment, as Alloc does on demand.
+// Returns ErrOutOfMemory when the heap is at MaxSegments or not
+// heap-formatted.
+func (h *Heap) Grow() error {
+	h.allocMu.Lock()
+	defer h.allocMu.Unlock()
+	if !h.pa {
+		return ErrOutOfMemory
+	}
+	return h.growLocked()
+}
+
+// ---------------------------------------------------------------------------
+// Free checking (debug)
+
+func (h *Heap) initFreeCheck(mode FreeCheckMode) {
+	switch mode {
+	case FreeCheckOn:
+		h.freeCheck = true
+	case FreeCheckOff:
+		h.freeCheck = false
+	default:
+		h.freeCheck = testBinary
+	}
+	if h.freeCheck {
+		h.freeLines = make(map[uint64]struct{})
+	}
+}
+
+// checkFree validates a Free against the currently-free line set (allocMu
+// held): out-of-range, overlapping and double frees panic. Lines the heap
+// recovered as free are tracked too (rebuildFreeLines).
+func (h *Heap) checkFree(off, size uint64) {
+	if !h.freeCheck {
+		return
+	}
+	if off%LineSize != 0 || off < RootSize || size == 0 || off+size > h.Size() {
+		panic(fmt.Sprintf("pmem: Free(%d, %d) outside allocatable space (size %d)", off, size, h.Size()))
+	}
+	for l := off; l < off+size; l += LineSize {
+		if _, dup := h.freeLines[l]; dup {
+			panic(fmt.Sprintf("pmem: double or overlapping free of line %d in Free(%d, %d)", l, off, size))
+		}
+	}
+	for l := off; l < off+size; l += LineSize {
+		h.freeLines[l] = struct{}{}
+	}
+}
+
+// noteAllocated removes a handed-out block's lines from the free set.
+func (h *Heap) noteAllocated(off, size uint64) {
+	if !h.freeCheck {
+		return
+	}
+	for l := off; l < off+size; l += LineSize {
+		delete(h.freeLines, l)
+	}
+}
+
+// rebuildFreeLines reseeds the debug free set from the persistent class
+// lists after recovery.
+func (h *Heap) rebuildFreeLines() {
+	if !h.freeCheck {
+		return
+	}
+	for i := 0; i < classCount; i++ {
+		size := h.Read8(seg0HdrOff + hdrClassOff + uint64(i)*16)
+		if size == 0 {
+			continue
+		}
+		for off := h.Read8(seg0HdrOff + hdrClassOff + uint64(i)*16 + 8); off != 0; off = h.Read8(off) {
+			for l := off; l < off+size; l += LineSize {
+				h.freeLines[l] = struct{}{}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Recovery and invariants
+
+// recoverHeap rebuilds a heap from a flat crash image when the image
+// carries valid segment headers; returns nil to select the legacy volatile
+// path. An appended-but-uncommitted trailing segment (crash inside Grow
+// before the nsegs cutover) is silently discarded; an armed undo log is
+// rolled back.
+func recoverHeap(img []uint64, cfg Config) *Heap {
+	if cfg.VolatileAlloc {
+		return nil
+	}
+	imgBytes := uint64(len(img)) * WordSize
+	if imgBytes < seg0HdrOff+hdrSize {
+		return nil
+	}
+	rd := func(off uint64) uint64 { return img[off/WordSize] }
+	if rd(seg0HdrOff+hdrMagicOff) != heapMagic0 {
+		return nil
+	}
+	seg0 := rd(seg0HdrOff + hdrSeg0SizeOff)
+	grow := rd(seg0HdrOff + hdrGrowSizeOff)
+	maxSegs := int(rd(seg0HdrOff + hdrMaxSegsOff))
+	nsegs := int(rd(seg0HdrOff + hdrNsegsOff))
+	if seg0 != rd(seg0HdrOff+hdrSegSizeOff) || seg0%LineSize != 0 || grow == 0 ||
+		grow%LineSize != 0 || seg0 < minHeapSize || grow < minGrowSize ||
+		maxSegs < 1 || nsegs < 1 || nsegs > maxSegs {
+		return nil
+	}
+	committed := seg0 + uint64(nsegs-1)*grow
+	capacity := seg0 + uint64(maxSegs-1)*grow
+	if committed > imgBytes || imgBytes > capacity {
+		return nil
+	}
+	h := &Heap{
+		cache: make([]uint64, capacity/WordSize),
+		nvm:   make([]uint64, capacity/WordSize),
+		dirty: make([]uint64, (capacity/LineSize+63)/64),
+		lat:   cfg.Latency,
+		drain: drainSem(cfg.Latency),
+		freed: make(map[uint64][]uint64),
+
+		pa:       true,
+		seg0Size: seg0,
+		growSize: grow,
+		maxSegs:  maxSegs,
+	}
+	// Copy the whole image (an uncommitted trailing segment's bytes are
+	// unreachable behind the committed watermark).
+	copy(h.cache, img)
+	copy(h.nvm, img)
+	h.committedW.Store(committed / WordSize)
+	h.initFreeCheck(cfg.FreeChecks)
+	h.undoRecover()
+	if h.CheckHeap() != nil {
+		// Structurally invalid allocator metadata (e.g. raw writes over the
+		// header region): fall back to the legacy volatile path rather than
+		// refusing to serve the data. Recovery flows that require the heap
+		// format assert HeapFormatted() and re-run CheckHeap themselves.
+		return nil
+	}
+	h.rebuildFreeLines()
+	return h
+}
+
+// CheckHeap validates the persistent allocator metadata of a heap-formatted
+// arena: segment headers coherent, bump mark inside the committed space,
+// undo log disarmed or well-formed, free lists acyclic with line-aligned
+// in-bounds blocks below the bump mark and no block on two lists. Volatile
+// arenas trivially pass. Intended for recovery and the fault explorer.
+func (h *Heap) CheckHeap() error {
+	if !h.pa {
+		return nil
+	}
+	nsegs := h.Segments()
+	if nsegs < 1 || nsegs > h.maxSegs {
+		return fmt.Errorf("nsegs %d out of range [1,%d]", nsegs, h.maxSegs)
+	}
+	for si := 0; si < nsegs; si++ {
+		hb := h.hdrBase(si)
+		wantMagic := uint64(heapMagicN)
+		if si == 0 {
+			wantMagic = heapMagic0
+		}
+		if m := h.Read8(hb + hdrMagicOff); m != wantMagic {
+			return fmt.Errorf("segment %d: bad magic %#x", si, m)
+		}
+		if o := h.Read8(hb + hdrOrdinalOff); o != uint64(si) {
+			return fmt.Errorf("segment %d: ordinal %d", si, o)
+		}
+		if st := h.Read8(hb + hdrSwizzleOff); st != SwizzleClean && st != SwizzleSwizzling {
+			return fmt.Errorf("segment %d: swizzle state %d", si, st)
+		}
+	}
+	bump := h.Read8(seg0HdrOff + hdrBumpOff)
+	if bump%LineSize != 0 || bump < h.dataStart(0) || bump > h.Size() {
+		return fmt.Errorf("bump %d outside [%d, %d]", bump, h.dataStart(0), h.Size())
+	}
+	if n := h.Read8(seg0HdrOff + hdrUndoOff); n > undoRecs {
+		return fmt.Errorf("undo status %d exceeds %d records", n, undoRecs)
+	}
+	seen := make(map[uint64]bool)
+	maxSteps := h.Size() / LineSize
+	for i := 0; i < classCount; i++ {
+		size := h.Read8(seg0HdrOff + hdrClassOff + uint64(i)*16)
+		head := h.Read8(seg0HdrOff + hdrClassOff + uint64(i)*16 + 8)
+		if size == 0 {
+			if head != 0 {
+				return fmt.Errorf("class %d: head %d with zero size", i, head)
+			}
+			continue
+		}
+		if size%LineSize != 0 {
+			return fmt.Errorf("class %d: unaligned size %d", i, size)
+		}
+		steps := uint64(0)
+		for off := head; off != 0; off = h.Read8(off) {
+			if steps++; steps > maxSteps {
+				return fmt.Errorf("class %d: free list cycle", i)
+			}
+			si := h.segIndex(off)
+			_, end := h.segSpan(si)
+			if si >= nsegs || off%LineSize != 0 || off < h.dataStart(si) || off+size > end {
+				return fmt.Errorf("class %d: block [%d,%d) outside segment %d data", i, off, off+size, si)
+			}
+			if off+size > bump && si == h.segIndex(bump) && off >= bump {
+				return fmt.Errorf("class %d: block %d above bump %d", i, off, bump)
+			}
+			for l := off; l < off+size; l += LineSize {
+				if seen[l] {
+					return fmt.Errorf("class %d: line %d on two free blocks", i, l)
+				}
+				seen[l] = true
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Handles and swizzling
+
+// A Handle is a position-independent (segment, offset) reference to a heap
+// location: the segment ordinal in the top 16 bits, the byte offset within
+// the segment below. Handles survive recovery at any mapping address and —
+// unlike flat offsets — remain meaningful if a future layout resizes
+// segments independently.
+type Handle uint64
+
+const handleSegShift = 48
+
+// HandleOf encodes the (segment, offset) handle for a flat byte offset.
+func (h *Heap) HandleOf(off uint64) Handle {
+	si := 0
+	if h.pa {
+		si = h.segIndex(off)
+	}
+	base, _ := h.segSpan(si)
+	return Handle(uint64(si)<<handleSegShift | (off - base))
+}
+
+// OffsetOf decodes a handle back to a flat byte offset; ok is false when
+// the handle points outside the committed heap.
+func (h *Heap) OffsetOf(hd Handle) (uint64, bool) {
+	si := int(uint64(hd) >> handleSegShift)
+	segOff := uint64(hd) & (1<<handleSegShift - 1)
+	if !h.pa {
+		if si != 0 || segOff >= h.Size() {
+			return 0, false
+		}
+		return segOff, true
+	}
+	if si >= h.Segments() {
+		return 0, false
+	}
+	base, end := h.segSpan(si)
+	if base+segOff >= end {
+		return 0, false
+	}
+	return base + segOff, true
+}
+
+// SimAddr returns the simulated mapped address of a byte offset: the
+// hosting segment's persisted mapping base plus the offset within the
+// segment. Upper layers store SimAddr values as "absolute pointers"; after
+// recovery at a different base, FromSimAddr still resolves them.
+func (h *Heap) SimAddr(off uint64) uint64 {
+	if !h.pa {
+		return off
+	}
+	si := h.segIndex(off)
+	base, _ := h.segSpan(si)
+	return h.Read8(h.hdrBase(si)+hdrSimBaseOff) + (off - base)
+}
+
+// FromSimAddr translates a simulated mapped address back to a byte offset,
+// consulting every committed segment's current base and — while the segment
+// is mid-swizzle — its previous base.
+func (h *Heap) FromSimAddr(addr uint64) (uint64, bool) {
+	if !h.pa {
+		if addr < h.Size() {
+			return addr, true
+		}
+		return 0, false
+	}
+	nsegs := h.Segments()
+	for si := 0; si < nsegs; si++ {
+		base, end := h.segSpan(si)
+		span := end - base
+		hb := h.hdrBase(si)
+		if sb := h.Read8(hb + hdrSimBaseOff); addr >= sb && addr < sb+span {
+			return base + (addr - sb), true
+		}
+		if h.Read8(hb+hdrSwizzleOff) == SwizzleSwizzling {
+			if pb := h.Read8(hb + hdrPrevBaseOff); addr >= pb && addr < pb+span {
+				return base + (addr - pb), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Swizzling reports whether any committed segment is mid-swizzle (recovered
+// at a new base, absolute pointers not yet confirmed re-encoded).
+func (h *Heap) Swizzling() bool {
+	if !h.pa {
+		return false
+	}
+	for si := 0; si < h.Segments(); si++ {
+		if h.Read8(h.hdrBase(si)+hdrSwizzleOff) == SwizzleSwizzling {
+			return true
+		}
+	}
+	return false
+}
+
+// FinishSwizzle marks every segment clean: the caller has re-encoded all
+// absolute pointers against the current bases, so the previous bases are
+// dropped. Crash-safe in any prefix: a segment flips to clean only after
+// its current base is durable, and a stale prevSimBase behind a clean state
+// is never consulted.
+func (h *Heap) FinishSwizzle() {
+	if !h.pa {
+		return
+	}
+	for si := 0; si < h.Segments(); si++ {
+		hb := h.hdrBase(si)
+		if h.Read8(hb+hdrSwizzleOff) != SwizzleSwizzling {
+			continue
+		}
+		h.MetaFlip8(hb+hdrSwizzleOff, SwizzleClean)
+		h.MetaFlip8(hb+hdrPrevBaseOff, 0)
+	}
+}
+
+// SnapshotSegments captures the durable (nvm) image of every committed
+// segment separately — the position-independent on-media layout. The
+// per-segment images can be stored or shipped independently and reassembled
+// by RecoverSegments in any order.
+func (h *Heap) SnapshotSegments() [][]uint64 {
+	if !h.pa {
+		return [][]uint64{h.CrashImage(nil, 0)}
+	}
+	h.allocMu.Lock()
+	defer h.allocMu.Unlock()
+	nsegs := h.Segments()
+	out := make([][]uint64, nsegs)
+	for si := 0; si < nsegs; si++ {
+		base, end := h.segSpan(si)
+		seg := make([]uint64, (end-base)/WordSize)
+		copy(seg, h.nvm[base/WordSize:end/WordSize])
+		out[si] = seg
+	}
+	h.stats.crashImages.Add(1)
+	return out
+}
+
+// RecoverSegments reassembles a heap from per-segment images in any order
+// (each segment carries its ordinal) and remaps it at cfg.SimBase: every
+// segment whose persisted mapping base differs from its new one enters the
+// SwizzleSwizzling state, with the old base retained in prevSimBase so
+// FromSimAddr resolves absolute pointers persisted under either mapping.
+// Callers re-encode their pointers and then FinishSwizzle. cfg.SimBase == 0
+// keeps the persisted bases (no swizzle).
+func RecoverSegments(imgs [][]uint64, cfg Config) (*Heap, error) {
+	if len(imgs) == 0 {
+		return nil, fmt.Errorf("pmem: no segment images")
+	}
+	ordered := make([][]uint64, len(imgs))
+	for _, img := range imgs {
+		var ord uint64
+		switch {
+		case uint64(len(img))*WordSize > seg0HdrOff+hdrSize && img[(seg0HdrOff+hdrMagicOff)/WordSize] == heapMagic0:
+			ord = img[(seg0HdrOff+hdrOrdinalOff)/WordSize]
+		case uint64(len(img))*WordSize > hdrSize && img[hdrMagicOff/WordSize] == heapMagicN:
+			ord = img[hdrOrdinalOff/WordSize]
+		default:
+			return nil, fmt.Errorf("pmem: image without a segment header")
+		}
+		if ord >= uint64(len(imgs)) {
+			return nil, fmt.Errorf("pmem: segment ordinal %d with only %d images", ord, len(imgs))
+		}
+		if ordered[ord] != nil {
+			return nil, fmt.Errorf("pmem: duplicate segment ordinal %d", ord)
+		}
+		ordered[ord] = img
+	}
+	var flat []uint64
+	for ord, img := range ordered {
+		if img == nil {
+			return nil, fmt.Errorf("pmem: missing segment ordinal %d", ord)
+		}
+		flat = append(flat, img...)
+	}
+	h := recoverHeap(flat, cfg)
+	if h == nil {
+		return nil, fmt.Errorf("pmem: segment images do not form a heap")
+	}
+	if cfg.SimBase != 0 {
+		stride := h.simStride()
+		for si := 0; si < h.Segments(); si++ {
+			hb := h.hdrBase(si)
+			newBase := cfg.SimBase + uint64(si)*stride
+			old := h.Read8(hb + hdrSimBaseOff)
+			if old == newBase {
+				continue
+			}
+			// Ordered flips: prev, then state, then the new base. Any crash
+			// prefix leaves a mapping FromSimAddr can still resolve.
+			h.MetaFlip8(hb+hdrPrevBaseOff, old)
+			h.MetaFlip8(hb+hdrSwizzleOff, SwizzleSwizzling)
+			h.MetaFlip8(hb+hdrSimBaseOff, newBase)
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,321 @@
+package pmem
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func newTestHeap(t *testing.T, size, grow uint64, maxSegs int) *Heap {
+	t.Helper()
+	h := New(Config{Size: size, GrowSize: grow, MaxSegments: maxSegs, FreeChecks: FreeCheckOn})
+	if !h.HeapFormatted() {
+		t.Fatalf("New(%d, grow %d) did not heap-format", size, grow)
+	}
+	return h
+}
+
+func TestHeapFormatting(t *testing.T) {
+	if !New(Config{Size: 1 << 16}).HeapFormatted() {
+		t.Fatal("64KB arena should heap-format by default")
+	}
+	if New(Config{Size: 4096}).HeapFormatted() {
+		t.Fatal("tiny arena must stay volatile")
+	}
+	if New(Config{Size: 1 << 16, VolatileAlloc: true}).HeapFormatted() {
+		t.Fatal("VolatileAlloc must opt out of heap formatting")
+	}
+}
+
+// The tentpole property: a freed block survives crash recovery on the
+// persistent free list and is handed out again, and the bump mark is
+// durable — recovery no longer leaks everything below it (the old SetBump
+// contract).
+func TestHeapFreeReuseSurvivesCrash(t *testing.T) {
+	h := newTestHeap(t, 1<<16, 4096, 2)
+	a1, err := h.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := h.Alloc(128)
+	h.Write8(a2, 77)
+	h.Persist(a2, 8)
+	h.Free(a1, 128)
+	bump := h.Bump()
+
+	r := Recover(h.CrashImage(nil, 0), Config{FreeChecks: FreeCheckOn})
+	if !r.HeapFormatted() {
+		t.Fatal("recovered image lost heap formatting")
+	}
+	if r.Bump() != bump {
+		t.Fatalf("bump not durable: %d != %d", r.Bump(), bump)
+	}
+	if got, _ := r.Alloc(128); got != a1 {
+		t.Fatalf("freed block not reused after recovery: got %d want %d", got, a1)
+	}
+	if next, _ := r.Alloc(128); next <= a2 {
+		t.Fatalf("allocator handed out live block space: %d overlaps %d", next, a2)
+	}
+	if r.Read8(a2) != 77 {
+		t.Fatal("live data lost")
+	}
+}
+
+func TestUndoRollbackOnCrash(t *testing.T) {
+	h := newTestHeap(t, 1<<16, 4096, 2)
+	off, _ := h.Alloc(64)
+	h.Write8(off, 5)
+	h.Write8(off+8, 6)
+	h.Persist(off, 16)
+
+	// An undo window opened but never committed: recovery must restore the
+	// pre-window values.
+	h.UndoBegin(off, off+8)
+	h.MetaWrite8(off, 99)
+	h.MetaWrite8(off+8, 100)
+	r := Recover(h.CrashImage(nil, 0), Config{})
+	if r.Read8(off) != 5 || r.Read8(off+8) != 6 {
+		t.Fatalf("uncommitted window not rolled back: %d/%d", r.Read8(off), r.Read8(off+8))
+	}
+
+	// Committed window: the new values stick.
+	h.UndoCommit()
+	r = Recover(h.CrashImage(nil, 0), Config{})
+	if r.Read8(off) != 99 || r.Read8(off+8) != 100 {
+		t.Fatalf("committed window rolled back: %d/%d", r.Read8(off), r.Read8(off+8))
+	}
+}
+
+func TestGrowOnDemand(t *testing.T) {
+	h := newTestHeap(t, 1<<16, 1<<16, 3)
+	if h.Segments() != 1 {
+		t.Fatalf("fresh heap has %d segments", h.Segments())
+	}
+	var offs []uint64
+	for h.Segments() == 1 {
+		off, err := h.Alloc(4096)
+		if err != nil {
+			t.Fatalf("alloc before MaxSegments failed: %v", err)
+		}
+		h.Write8(off, off)
+		h.Persist(off, 8)
+		offs = append(offs, off)
+	}
+	if h.Segments() != 2 {
+		t.Fatalf("segments = %d", h.Segments())
+	}
+	last := offs[len(offs)-1]
+	if h.segIndex(last) != 1 {
+		t.Fatalf("block %d not in grown segment", last)
+	}
+	r := Recover(h.CrashImage(nil, 0), Config{})
+	if r.Segments() != 2 || r.Size() != h.Size() {
+		t.Fatalf("growth not durable: %d segs, %d bytes", r.Segments(), r.Size())
+	}
+	for _, off := range offs {
+		if r.Read8(off) != off {
+			t.Fatalf("data at %d lost across grow+recover", off)
+		}
+	}
+}
+
+func TestGrowExhaustionIsTypedAndRetrySafe(t *testing.T) {
+	h := newTestHeap(t, 1<<16, 4096, 2)
+	var err error
+	for i := 0; i < 1<<12; i++ {
+		if _, err = h.Alloc(1024); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("exhaustion error = %v, want ErrOutOfMemory", err)
+	}
+	// The failure is retry-safe: freeing makes the same alloc succeed.
+	if err := h.CheckHeap(); err != nil {
+		t.Fatalf("heap inconsistent after exhaustion: %v", err)
+	}
+	off, err := func() (uint64, error) {
+		o, e := h.Alloc(1024)
+		return o, e
+	}()
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatal("exhausted heap granted an alloc")
+	}
+	_ = off
+}
+
+// A crash after the new segment's header is persisted but before the nsegs
+// cutover in segment 0 must recover to the pre-grow heap.
+func TestGrowCrashBeforeCutover(t *testing.T) {
+	h := newTestHeap(t, 1<<16, 1<<16, 3)
+	sizeBefore := h.Size()
+	n := h.Segments()
+	_, end := h.segSpan(n)
+	h.committedW.Store(end / WordSize)
+	h.formatSeg(n) // crash here: header durable, cutover flip never ran
+
+	r := Recover(h.CrashImage(nil, 0), Config{})
+	if !r.HeapFormatted() {
+		t.Fatal("recovered image lost heap formatting")
+	}
+	if r.Segments() != n || r.Size() != sizeBefore {
+		t.Fatalf("uncommitted segment not discarded: %d segs, %d bytes", r.Segments(), r.Size())
+	}
+	if err := r.Grow(); err != nil {
+		t.Fatalf("re-grow after truncated recovery: %v", err)
+	}
+	if r.Segments() != n+1 {
+		t.Fatal("re-grow did not commit")
+	}
+}
+
+// allocIntoSegment allocates until a block lands in the given segment.
+func allocIntoSegment(t *testing.T, h *Heap, si int) uint64 {
+	t.Helper()
+	for i := 0; i < 1<<12; i++ {
+		off, err := h.Alloc(4096)
+		if err != nil {
+			t.Fatalf("alloc: %v", err)
+		}
+		if h.segIndex(off) == si {
+			return off
+		}
+	}
+	t.Fatalf("never reached segment %d", si)
+	return 0
+}
+
+// The swizzle round-trip from the acceptance criteria: snapshot a
+// two-segment heap, recover the segments out of order at a different
+// simulated base, resolve an absolute pointer persisted under the old
+// mapping, re-encode, finish the swizzle, and recover once more at a third
+// base with identical contents.
+func TestSwizzleRoundTrip(t *testing.T) {
+	h := New(Config{Size: 1 << 16, GrowSize: 1 << 16, MaxSegments: 3, SimBase: 0x4000_0000})
+	ptrCell, _ := h.Alloc(64)
+	target := allocIntoSegment(t, h, 1)
+	h.Write8(target, 1234)
+	h.Write8(ptrCell, h.SimAddr(target)) // absolute pointer, old mapping
+	h.Persist(target, 8)
+	h.Persist(ptrCell, 8)
+
+	segs := h.SnapshotSegments()
+	if len(segs) != 2 {
+		t.Fatalf("SnapshotSegments = %d images", len(segs))
+	}
+	// Shuffled order: segments carry their ordinals.
+	r, err := RecoverSegments([][]uint64{segs[1], segs[0]}, Config{SimBase: 0x9000_0000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Swizzling() {
+		t.Fatal("remapped heap not in swizzling state")
+	}
+	off, ok := r.FromSimAddr(r.Read8(ptrCell))
+	if !ok || off != target {
+		t.Fatalf("old-mapping pointer unresolved: %d (ok=%v), want %d", off, ok, target)
+	}
+	if r.Read8(off) != 1234 {
+		t.Fatal("pointed-to data lost in round trip")
+	}
+	if r.SimAddr(target) == h.SimAddr(target) {
+		t.Fatal("remap did not move the simulated base")
+	}
+	// Re-encode against the new mapping and finish.
+	r.Write8(ptrCell, r.SimAddr(target))
+	r.Persist(ptrCell, 8)
+	r.FinishSwizzle()
+	if r.Swizzling() {
+		t.Fatal("FinishSwizzle left segments mid-swizzle")
+	}
+
+	// Second hop at a third base must resolve the re-encoded pointer.
+	r2, err := RecoverSegments(r.SnapshotSegments(), Config{SimBase: 0x2000_0000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2, ok := r2.FromSimAddr(r2.Read8(ptrCell))
+	if !ok || off2 != target || r2.Read8(off2) != 1234 {
+		t.Fatalf("second swizzle hop failed: off=%d ok=%v val=%d", off2, ok, r2.Read8(off2))
+	}
+}
+
+func TestHandleRoundTrip(t *testing.T) {
+	h := New(Config{Size: 1 << 16, GrowSize: 1 << 16, MaxSegments: 3})
+	in0, _ := h.Alloc(64)
+	in1 := allocIntoSegment(t, h, 1)
+	for _, off := range []uint64{in0, in1} {
+		got, ok := h.OffsetOf(h.HandleOf(off))
+		if !ok || got != off {
+			t.Fatalf("handle round trip %d -> %d (ok=%v)", off, got, ok)
+		}
+	}
+	if _, ok := h.OffsetOf(Handle(5 << handleSegShift)); ok {
+		t.Fatal("handle into uncommitted segment resolved")
+	}
+}
+
+// Satellite: double and overlapping frees are detected in debug mode.
+func TestDoubleFreeDetected(t *testing.T) {
+	h := newTestHeap(t, 1<<16, 4096, 2)
+	off, _ := h.Alloc(128)
+	h.Free(off, 128)
+	mustPanic(t, "double free", func() { h.Free(off, 128) })
+}
+
+func TestOverlappingFreeDetected(t *testing.T) {
+	h := newTestHeap(t, 1<<16, 4096, 2)
+	o1, _ := h.Alloc(64)
+	o2, _ := h.Alloc(64)
+	h.Free(o1, 128) // spans both blocks; first free of these lines
+	mustPanic(t, "overlapping free", func() { h.Free(o2, 64) })
+}
+
+func TestFreeCheckOffAllowsDoubleFree(t *testing.T) {
+	h := New(Config{Size: 1 << 16, FreeChecks: FreeCheckOff})
+	off, _ := h.Alloc(128)
+	h.Free(off, 128)
+	h.Free(off, 128) // silently accepted with checking off
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s not detected", what)
+		}
+	}()
+	f()
+}
+
+// Satellite regression: Zero used to bypass the latency model entirely.
+// With a store cost configured it must now charge like WriteRange.
+func TestZeroChargesStoreLatency(t *testing.T) {
+	lat := LatencyModel{StorePerLine: 200 * time.Microsecond}
+	a := New(Config{Size: 4096, Latency: lat})
+	t0 := time.Now()
+	a.Zero(256, 4*LineSize)
+	if el := time.Since(t0); el < 700*time.Microsecond {
+		t.Fatalf("Zero charged no store latency: %v", el)
+	}
+	t0 = time.Now()
+	a.WriteRange(256, make([]byte, 4*LineSize))
+	if el := time.Since(t0); el < 700*time.Microsecond {
+		t.Fatalf("WriteRange charged no store latency: %v", el)
+	}
+}
+
+func TestCheckHeapCatchesCorruption(t *testing.T) {
+	h := newTestHeap(t, 1<<16, 4096, 2)
+	off, _ := h.Alloc(128)
+	h.Free(off, 128)
+	if err := h.CheckHeap(); err != nil {
+		t.Fatalf("healthy heap flagged: %v", err)
+	}
+	// Corrupt the class head to point above the bump mark.
+	ci := h.findClass(128)
+	h.Write8(seg0HdrOff+hdrClassOff+uint64(ci)*16+8, h.Bump()+4096)
+	if h.CheckHeap() == nil {
+		t.Fatal("free block above bump not flagged")
+	}
+}

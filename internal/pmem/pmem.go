@@ -93,6 +93,14 @@ type LatencyModel struct {
 	// are hot in the CPU cache, and charging them would multiply-count the
 	// line fetch. This is the term a DRAM-side cache exists to skip.
 	ReadPerLine time.Duration
+	// StorePerLine charges bulk store instructions (WriteRange, WriteLine,
+	// WriteLineWords, Zero, WriteStream): each cache line dirtied by one
+	// bulk operation busy-waits this long. All bulk mutators share one
+	// charge path, so none of them (Zero included) can understate write
+	// cost relative to the others. Zero (the default) models stores that
+	// land in the CPU cache for free, which matches the persist-dominated
+	// profiles; set it to price store bandwidth itself.
+	StorePerLine time.Duration
 }
 
 // DefaultLatency models the paper's NVDIMM-N testbed closely enough to
@@ -167,22 +175,68 @@ type Hooks struct {
 	OnFence       func()
 }
 
-// Config configures a new Arena.
+// FreeCheckMode selects the allocator's debug overlap/double-free detection.
+type FreeCheckMode int
+
+const (
+	// FreeCheckAuto enables the check when the process is a `go test`
+	// binary and disables it otherwise (the default).
+	FreeCheckAuto FreeCheckMode = iota
+	// FreeCheckOn always verifies frees (panics on overlap/double free).
+	FreeCheckOn
+	// FreeCheckOff never verifies frees.
+	FreeCheckOff
+)
+
+// Config configures a new Heap.
 type Config struct {
-	// Size is the arena capacity in bytes; rounded up to a whole line.
-	// The first RootSize bytes are reserved for root metadata.
+	// Size is the initial segment's capacity in bytes; rounded up to a
+	// whole line. The first RootSize bytes are reserved for root metadata.
 	Size uint64
+	// GrowSize is the capacity in bytes of each appended segment (rounded
+	// up to a whole line). 0 means Size: every grown segment matches the
+	// initial one.
+	GrowSize uint64
+	// MaxSegments caps how many segments the heap may hold (initial
+	// segment included). 0 or 1 keeps the classic fixed-size arena: the
+	// heap never grows and Alloc fails with ErrOutOfMemory at exhaustion.
+	MaxSegments int
+	// SimBase seeds the simulated mapping addresses recorded in segment
+	// headers (pointer swizzling). 0 picks a default. Recovering the same
+	// image under a different SimBase models remapping the heap at a
+	// different address.
+	SimBase uint64
+	// VolatileAlloc disables the persistent allocator and segment headers:
+	// allocation metadata is volatile and recovery must SetBump past the
+	// highest reachable offset, leaking everything unreferenced below it
+	// (the pre-heap behaviour; also forced for heaps too small to hold a
+	// segment header).
+	VolatileAlloc bool
+	// FreeChecks selects the debug overlap/double-free detection on Free.
+	FreeChecks FreeCheckMode
 	// Latency is the persistent-instruction cost model.
 	Latency LatencyModel
 }
 
-// Arena is a simulated NVM device mapped into the process, addressed by byte
+// Heap is a simulated NVM device mapped into the process, addressed by byte
 // offsets. Offsets must be 8-byte aligned for word accesses; Persist and the
 // line helpers operate at 64-byte granularity.
-type Arena struct {
-	cache []uint64 // CPU-visible image
-	nvm   []uint64 // crash-durable image
+//
+// A heap is an ordered set of segments sharing one contiguous offset space:
+// the initial segment spans [0, Size) and each Grow appends a GrowSize
+// segment at the current committed end. The cache/nvm images are reserved at
+// full capacity up front (like an mmap address-space reservation) so hot-path
+// loads and stores never take a segment lookup; Size() reports the committed
+// prefix and accesses beyond it panic. Unless Config.VolatileAlloc is set
+// (or the heap is too small for a header), every segment carries a
+// persistent header (see heap.go) and Alloc/Free maintain crash-consistent
+// free lists through a per-segment undo log.
+type Heap struct {
+	cache []uint64 // CPU-visible image (reserved to full capacity)
+	nvm   []uint64 // crash-durable image (reserved to full capacity)
 	dirty []uint64 // bitmap, one bit per line: cache line differs from nvm
+
+	committedW atomic.Uint64 // committed size in words (Size()/WordSize)
 
 	lat   LatencyModel
 	drain chan struct{} // drain-engine semaphore; nil when DrainPerLine is 0
@@ -200,29 +254,71 @@ type Arena struct {
 	}
 
 	allocMu sync.Mutex
-	bump    uint64              // next unallocated byte offset
-	freed   map[uint64][]uint64 // size class (bytes) -> free offsets
+	bump    uint64              // volatile-mode next unallocated byte offset
+	freed   map[uint64][]uint64 // size class (bytes) -> free offsets (volatile/overflow)
+
+	// Heap-format state (persistent allocator + segment headers).
+	pa       bool   // persistent allocator active
+	seg0Size uint64 // bytes of the initial segment
+	growSize uint64 // bytes of each appended segment
+	maxSegs  int
+
+	// Debug free checking (see Config.FreeChecks).
+	freeCheck bool
+	freeLines map[uint64]struct{} // line offsets currently on a free list
 }
 
-// New creates an arena of cfg.Size bytes (at least two lines) with both
-// images zeroed and the allocator positioned just past the root line.
-func New(cfg Config) *Arena {
+// Arena is the heap's historical name; the tree, forest and kv layers — and
+// rnvet's Arena-method models — address it through this alias.
+type Arena = Heap
+
+// New creates a heap whose initial segment is cfg.Size bytes (at least two
+// lines) with both images zeroed. Unless cfg.VolatileAlloc is set and the
+// segment fits a header, the segment is formatted with a persistent header
+// and the crash-consistent allocator; otherwise the volatile allocator is
+// positioned just past the root line.
+func New(cfg Config) *Heap {
 	size := cfg.Size
 	if size < 2*LineSize {
 		size = 2 * LineSize
 	}
 	size = (size + LineSize - 1) &^ uint64(LineSize-1)
-	words := size / WordSize
-	a := &Arena{
-		cache: make([]uint64, words),
-		nvm:   make([]uint64, words),
-		dirty: make([]uint64, (size/LineSize+63)/64),
+	grow := (cfg.GrowSize + LineSize - 1) &^ uint64(LineSize-1)
+	if grow == 0 {
+		grow = size
+	}
+	maxSegs := cfg.MaxSegments
+	if maxSegs <= 0 {
+		maxSegs = 1
+	}
+	pa := !cfg.VolatileAlloc && size >= minHeapSize && grow >= minGrowSize
+	if !pa {
+		maxSegs = 1
+	}
+	capacity := size + uint64(maxSegs-1)*grow
+	h := &Heap{
+		cache: make([]uint64, capacity/WordSize),
+		nvm:   make([]uint64, capacity/WordSize),
+		dirty: make([]uint64, (capacity/LineSize+63)/64),
 		lat:   cfg.Latency,
 		drain: drainSem(cfg.Latency),
-		bump:  RootSize,
 		freed: make(map[uint64][]uint64),
+
+		pa:       pa,
+		seg0Size: size,
+		growSize: grow,
+		maxSegs:  maxSegs,
 	}
-	return a
+	h.committedW.Store(size / WordSize)
+	h.initFreeCheck(cfg.FreeChecks)
+	if pa {
+		h.formatSeg0(cfg.SimBase)
+		// Formatting is construction, not workload: hand out clean stats.
+		h.ResetStats()
+	} else {
+		h.bump = RootSize
+	}
+	return h
 }
 
 // drainSem builds the drain-engine semaphore for a latency model: one slot
@@ -238,8 +334,16 @@ func drainSem(m LatencyModel) chan struct{} {
 	return make(chan struct{}, streams)
 }
 
-// Size returns the arena capacity in bytes.
-func (a *Arena) Size() uint64 { return uint64(len(a.cache)) * WordSize }
+// Size returns the committed heap size in bytes: the initial segment plus
+// every segment committed by Grow. Offsets at or beyond Size() are not yet
+// addressable.
+func (a *Arena) Size() uint64 { return a.committedW.Load() * WordSize }
+
+// Capacity returns the heap's maximum size in bytes: the committed size plus
+// every segment Grow may still append. Fixed (non-growable) heaps have
+// Capacity == Size. Lock tables and other per-line side structures sized at
+// creation should use Capacity so they survive growth.
+func (a *Arena) Capacity() uint64 { return uint64(len(a.cache)) * WordSize }
 
 // Latency returns the arena's persistence cost model.
 func (a *Arena) Latency() LatencyModel { return a.lat }
@@ -285,7 +389,7 @@ func (a *Arena) wordIndex(off uint64) uint64 {
 		panic(fmt.Sprintf("pmem: misaligned word access at offset %d", off))
 	}
 	i := off / WordSize
-	if i >= uint64(len(a.cache)) {
+	if i >= a.committedW.Load() {
 		panic(fmt.Sprintf("pmem: offset %d out of range (size %d)", off, a.Size()))
 	}
 	return i
@@ -349,6 +453,16 @@ func (a *Arena) ReadLine(off uint64, dst *[LineSize]byte) {
 	}
 }
 
+// chargeStore busy-waits the bulk-store bandwidth term for a store touching
+// lines cache lines. Every bulk mutator (WriteRange, WriteLine,
+// WriteLineWords, Zero, WriteStream) funnels through this one charge path so
+// no store primitive can undercount modeled write cost.
+func (a *Arena) chargeStore(lines uint64) {
+	if a.lat.StorePerLine > 0 {
+		spin(time.Duration(lines) * a.lat.StorePerLine)
+	}
+}
+
 // WriteLine stores all 64 bytes of src into the cache line containing off.
 func (a *Arena) WriteLine(off uint64, src *[LineSize]byte) {
 	lineOff := off &^ uint64(LineSize-1)
@@ -358,6 +472,7 @@ func (a *Arena) WriteLine(off uint64, src *[LineSize]byte) {
 	}
 	a.stats.wordsWritten.Add(WordsPerLine)
 	a.markDirty(lineOff / LineSize)
+	a.chargeStore(1)
 }
 
 // WriteLineWords stores the eight words of the line containing off at once
@@ -370,6 +485,7 @@ func (a *Arena) WriteLineWords(off uint64, w *[WordsPerLine]uint64) {
 	}
 	a.stats.wordsWritten.Add(WordsPerLine)
 	a.markDirty(lineOff / LineSize)
+	a.chargeStore(1)
 }
 
 // ReadRange copies size bytes starting at the aligned byte offset into dst.
@@ -405,6 +521,7 @@ func (a *Arena) WriteRange(off uint64, src []byte) {
 	for l := first; l <= last; l++ {
 		a.markDirty(l)
 	}
+	a.chargeStore(last - first + 1)
 }
 
 // Persist executes one persistent instruction covering [off, off+size): it
@@ -485,6 +602,7 @@ func (a *Arena) WriteStream(off uint64, src []byte) {
 		}
 	}
 	a.stats.wordsWritten.Add(n)
+	a.chargeStore((off+uint64(len(src))-1)/LineSize - off/LineSize + 1)
 }
 
 // nativeLittleEndian reports whether the host stores the low-order byte of
@@ -592,8 +710,9 @@ func (a *Arena) DirtyLines() []uint64 {
 // care about (the crash fuzzer snapshots from persist hooks, which run on
 // the persisting goroutine, or after quiescing writers).
 func (a *Arena) CrashImage(rng *rand.Rand, evictProb float64) []uint64 {
-	img := make([]uint64, len(a.nvm))
-	copy(img, a.nvm)
+	cw := a.committedW.Load()
+	img := make([]uint64, cw)
+	copy(img, a.nvm[:cw])
 	a.stats.crashImages.Add(1)
 	if evictProb > 0 {
 		nLines := a.Size() / LineSize
@@ -624,12 +743,25 @@ func (a *Arena) OverlayCacheLine(img []uint64, off uint64) {
 	}
 }
 
-// Recover constructs a rebooted arena from a crash image: both the cache and
-// nvm images equal the captured state, all lines clean, the allocator reset.
-// The caller (tree recovery) must re-establish allocator state with SetBump
-// or MarkAllocated after walking its persistent structures.
+// Recover constructs a rebooted heap from a crash image: both the cache and
+// nvm images equal the captured state, all lines clean. When the image
+// carries heap-format segment headers, recovery walks them: geometry, bump
+// mark and size-class free lists come from the persisted allocator metadata
+// (rolling back any interrupted update through the undo log), and an
+// appended-but-uncommitted trailing segment is discarded. Headerless legacy
+// images fall back to the volatile allocator, whose state the caller (tree
+// recovery) must re-establish with SetBump after walking its persistent
+// structures.
 func Recover(img []uint64, cfg Config) *Arena {
-	a := New(Config{Size: uint64(len(img)) * WordSize, Latency: cfg.Latency})
+	if h := recoverHeap(img, cfg); h != nil {
+		return h
+	}
+	a := New(Config{
+		Size:          uint64(len(img)) * WordSize,
+		Latency:       cfg.Latency,
+		VolatileAlloc: true,
+		FreeChecks:    cfg.FreeChecks,
+	})
 	if len(a.cache) != len(img) {
 		panic("pmem: recover image size mismatch")
 	}
@@ -638,19 +770,29 @@ func Recover(img []uint64, cfg Config) *Arena {
 	return a
 }
 
-// ErrOutOfMemory is returned by Alloc when the arena is exhausted.
+// ErrOutOfMemory is returned by Alloc when the heap is exhausted and cannot
+// grow further (capacity or MaxSegments reached).
 var ErrOutOfMemory = errors.New("pmem: arena out of memory")
 
-// Alloc reserves size bytes (rounded up to whole lines) of arena space and
-// returns its byte offset. Allocation metadata is volatile, as in the paper;
-// recovery re-derives it from the persistent structures.
+// Alloc reserves size bytes (rounded up to whole lines) of heap space and
+// returns its byte offset. On heap-formatted arenas the allocation is
+// crash-consistent: the bump mark and size-class free lists live in the
+// segment headers and every update is persisted (undo-logged where it spans
+// words) before Alloc returns, so a recovered image never hands out the same
+// block twice. When the committed space is exhausted the heap grows by one
+// segment, up to MaxSegments. Volatile-mode arenas keep the paper's
+// behaviour: metadata is rebuilt by recovery via SetBump.
 func (a *Arena) Alloc(size uint64) (uint64, error) {
 	size = (size + LineSize - 1) &^ uint64(LineSize-1)
 	a.allocMu.Lock()
 	defer a.allocMu.Unlock()
+	if a.pa {
+		return a.heapAlloc(size)
+	}
 	if lst := a.freed[size]; len(lst) > 0 {
 		off := lst[len(lst)-1]
 		a.freed[size] = lst[:len(lst)-1]
+		a.noteAllocated(off, size)
 		a.stats.allocs.Add(1)
 		return off, nil
 	}
@@ -663,47 +805,83 @@ func (a *Arena) Alloc(size uint64) (uint64, error) {
 	return off, nil
 }
 
-// Free returns a block to the allocator's (volatile) free list.
+// Free returns a block to the allocator. On heap-formatted arenas the block
+// is pushed onto a persistent size-class free list under the undo log, so
+// the reclaimed space survives a crash; otherwise it joins the volatile free
+// list. With free checking enabled (Config.FreeChecks; on by default under
+// `go test`) an overlapping or double free panics.
 func (a *Arena) Free(off, size uint64) {
 	size = (size + LineSize - 1) &^ uint64(LineSize-1)
 	a.allocMu.Lock()
+	defer a.allocMu.Unlock()
+	a.checkFree(off, size)
+	if a.pa && a.heapFree(off, size) {
+		a.stats.frees.Add(1)
+		return
+	}
 	a.freed[size] = append(a.freed[size], off)
-	a.allocMu.Unlock()
 	a.stats.frees.Add(1)
 }
 
-// Bump returns the allocator high-water mark (volatile).
+// Bump returns the allocator high-water mark (persistent on heap-formatted
+// arenas, volatile otherwise).
 func (a *Arena) Bump() uint64 {
 	a.allocMu.Lock()
 	defer a.allocMu.Unlock()
+	if a.pa {
+		return a.Read8(seg0HdrOff + hdrBumpOff)
+	}
 	return a.bump
 }
 
 // SetBump positions the allocator high-water mark; used by recovery after it
-// has determined the highest offset in use. Blocks below the mark that are
-// not referenced by persistent structures are leaked, exactly as on real
-// NVM allocators without persistent metadata.
+// has determined the highest offset in use. On volatile-mode arenas blocks
+// below the mark that are not referenced by persistent structures are
+// leaked, exactly as on real NVM allocators without persistent metadata. On
+// heap-formatted arenas the persisted bump mark and free lists are already
+// authoritative and SetBump is a no-op (it only raises the mark, defensively,
+// if the caller proves a reachable offset above it).
 func (a *Arena) SetBump(off uint64) {
 	if off < RootSize {
 		off = RootSize
 	}
 	off = (off + LineSize - 1) &^ uint64(LineSize-1)
 	a.allocMu.Lock()
+	defer a.allocMu.Unlock()
+	if a.pa {
+		if cur := a.Read8(seg0HdrOff + hdrBumpOff); off > cur {
+			a.MetaFlip8(seg0HdrOff+hdrBumpOff, off)
+		}
+		return
+	}
 	a.bump = off
 	a.freed = make(map[uint64][]uint64)
-	a.allocMu.Unlock()
+	if a.freeCheck {
+		a.freeLines = make(map[uint64]struct{})
+	}
 }
 
-// Zero fills [off, off+size) with zero words (size multiple of 8).
+// Zero fills [off, off+size) with zero words (size multiple of 8). It is a
+// bulk store like WriteRange — same dirty tracking, same per-line charge
+// path — so page zeroing is priced identically to writing the page.
 func (a *Arena) Zero(off, size uint64) {
+	if size%WordSize != 0 {
+		panic("pmem: Zero size must be word-aligned")
+	}
+	if size == 0 {
+		return
+	}
 	base := a.wordIndex(off)
 	for w := uint64(0); w < size/WordSize; w++ {
 		atomic.StoreUint64(&a.cache[base+w], 0)
 	}
 	a.stats.wordsWritten.Add(size / WordSize)
-	for l := off / LineSize; l <= (off+size-1)/LineSize; l++ {
+	first := off / LineSize
+	last := (off + size - 1) / LineSize
+	for l := first; l <= last; l++ {
 		a.markDirty(l)
 	}
+	a.chargeStore(last - first + 1)
 }
 
 // NVMRead8 reads a word from the nvm image (what a crash would preserve).

@@ -235,7 +235,9 @@ func TestAllocExhaustion(t *testing.T) {
 }
 
 func TestSetBumpResets(t *testing.T) {
-	a := newTest(t, 1<<16)
+	// SetBump's reset semantics only exist on volatile-allocator arenas;
+	// heap-formatted arenas keep their persistent allocator state.
+	a := New(Config{Size: 1 << 16, VolatileAlloc: true})
 	o, _ := a.Alloc(64)
 	a.Free(o, 64)
 	a.SetBump(o + 640)

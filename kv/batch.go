@@ -301,7 +301,7 @@ func (s *Store) putGroup(pi int, sh *shard, idxs []int, keys, vals [][]byte, has
 			// pair that fed this hash and drop the hash's accounting
 			// deltas with it.
 			for _, i := range e.idxs {
-				fail(i, err)
+				fail(i, mapFull(err))
 			}
 			continue
 		}

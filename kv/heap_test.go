@@ -1,0 +1,264 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rntree/internal/pmem"
+)
+
+// TestStoreGrowsPastInitialArena: a partition whose initial arena fills up
+// must absorb further writes by appending heap segments instead of failing
+// with ErrFull, and the grown image must reopen with everything intact.
+func TestStoreGrowsPastInitialArena(t *testing.T) {
+	opts := Options{
+		ArenaSize:   1 << 17,
+		GrowSize:    1 << 16,
+		MaxSegments: 6,
+		ChunkSize:   1 << 12,
+		Shards:      1,
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 400)
+	want := map[string]string{}
+	for i := 0; i < 600; i++ {
+		k := fmt.Sprintf("grow-%04d", i)
+		for j := range val {
+			val[j] = byte(i + j)
+		}
+		if err := s.Put([]byte(k), val); err != nil {
+			t.Fatalf("put %d failed on a growable store: %v", i, err)
+		}
+		want[k] = string(val)
+	}
+	a := s.parts[0].arena
+	if a.Segments() < 2 {
+		t.Fatalf("store absorbed %d bytes without growing (segments=%d); shrink the workload margin", 600*400, a.Segments())
+	}
+	if err := a.CheckHeap(); err != nil {
+		t.Fatalf("heap inconsistent after growth: %v", err)
+	}
+
+	imgs, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(imgs, Options{})
+	if err != nil {
+		t.Fatalf("reopen of grown store: %v", err)
+	}
+	for k, v := range want {
+		got, err := s2.Get([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("key %q lost across grown-image reopen (err=%v)", k, err)
+		}
+	}
+	p := &s2.parts[0]
+	if rec, segs := p.arena.Read8(p.sbOff+sbNsegsOff), uint64(p.arena.Segments()); rec != segs {
+		t.Fatalf("reopened superblock records %d segments, heap has %d", rec, segs)
+	}
+	// The reopened store keeps growing.
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("more-%04d", i)
+		if err := s2.Put([]byte(k), val); err != nil {
+			t.Fatalf("post-reopen put: %v", err)
+		}
+	}
+}
+
+// TestV3ImageUpgrade: a v3 image (no heap record) opens through the
+// crash-atomic v3→v4 superblock migration — same data, v4 magic, heap
+// record populated.
+func TestV3ImageUpgrade(t *testing.T) {
+	s, err := New(Options{ArenaSize: 8 << 20, ChunkSize: 1 << 14, Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	for i := 0; i < 300; i++ {
+		k, v := fmt.Sprintf("k%03d", i), fmt.Sprintf("v%d", i)
+		if err := s.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DowngradeV3(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(s.Snapshot(), Options{})
+	if err != nil {
+		t.Fatalf("v3 open: %v", err)
+	}
+	for i := range s2.parts {
+		p := &s2.parts[i]
+		if got := p.arena.Read8(p.sbOff + sbMagicOff); got != storeMagicV4 {
+			t.Fatalf("partition %d: upgraded magic = %#x, want v4", i, got)
+		}
+		if p.arena.HeapFormatted() != (p.arena.Read8(p.sbOff+sbHeapOff) == 1) {
+			t.Fatalf("partition %d: heap record flag disagrees with arena", i)
+		}
+	}
+	got := map[string]string{}
+	s2.Range(func(k, v []byte) bool { got[string(k)] = string(v); return true })
+	if !strMapsEqual(got, want) {
+		t.Fatalf("after upgrade: got %d keys, want %d", len(got), len(want))
+	}
+	if err := s2.Put([]byte("post"), []byte("upgrade")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSwizzledReopenAtDifferentBase: per-segment images reassembled at a
+// different simulated mapping base must open cleanly — the superblock's
+// absolute shard-table pointer resolves through the mid-swizzle previous
+// base, is re-encoded against the new mapping, and the swizzle state is
+// retired by the open.
+func TestSwizzledReopenAtDifferentBase(t *testing.T) {
+	opts := Options{
+		ArenaSize:   1 << 17,
+		GrowSize:    1 << 16,
+		MaxSegments: 6,
+		ChunkSize:   1 << 12,
+		Shards:      1,
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 400)
+	want := map[string]string{}
+	for i := 0; i < 600; i++ {
+		k := fmt.Sprintf("swz-%04d", i)
+		if err := s.Put([]byte(k), val); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = string(val)
+	}
+	if s.parts[0].arena.Segments() < 2 {
+		t.Fatal("workload did not grow the heap; the swizzle test needs multiple segments")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segImgs := s.parts[0].arena.SnapshotSegments()
+	// Shuffle the segment order; RecoverSegments reassembles by ordinal.
+	for i, j := 0, len(segImgs)-1; i < j; i, j = i+1, j-1 {
+		segImgs[i], segImgs[j] = segImgs[j], segImgs[i]
+	}
+	const newBase = 0x0000_6100_0000_0000
+	h, err := pmem.RecoverSegments(segImgs, pmem.Config{SimBase: newBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Swizzling() {
+		t.Fatal("recovery at a new base did not enter the swizzling state")
+	}
+	s2, err := OpenArenas([]*pmem.Arena{h}, Options{})
+	if err != nil {
+		t.Fatalf("swizzled open: %v", err)
+	}
+	if h.Swizzling() {
+		t.Fatal("open did not retire the swizzle state")
+	}
+	p := &s2.parts[0]
+	table := h.Read8(p.sbOff + sbTableOff)
+	if sim := h.Read8(p.sbOff + sbTableSimOff); sim != h.SimAddr(table) {
+		t.Fatalf("table pointer not re-encoded: sb holds %#x, current mapping is %#x", sim, h.SimAddr(table))
+	}
+	if sim := h.Read8(p.sbOff + sbTableSimOff); sim < newBase {
+		t.Fatalf("re-encoded table pointer %#x not under the new base %#x", sim, newBase)
+	}
+	got := map[string]string{}
+	s2.Range(func(k, v []byte) bool { got[string(k)] = string(v); return true })
+	if !strMapsEqual(got, want) {
+		t.Fatalf("after swizzled reopen: got %d keys, want %d", len(got), len(want))
+	}
+	if err := s2.Put([]byte("post"), []byte("swizzle")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPutBatchOOMRetrySafe: exhausting a non-growable partition mid-batch
+// must surface per-pair typed ErrFull errors, keep every acknowledged pair
+// readable, and leave both the heap and the index consistent under retry.
+func TestPutBatchOOMRetrySafe(t *testing.T) {
+	s, err := New(Options{
+		ArenaSize:   1 << 16,
+		MaxSegments: 1, // growth disabled: exhaustion must surface, not grow
+		ChunkSize:   1 << 12,
+		Shards:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 512)
+	want := map[string]string{}
+	var failedKeys [][]byte
+	for b := 0; b < 200 && failedKeys == nil; b++ {
+		keys := make([][]byte, 16)
+		vals := make([][]byte, 16)
+		for i := range keys {
+			keys[i] = []byte(fmt.Sprintf("b%03d-%02d", b, i))
+			vals[i] = val
+		}
+		errs := s.PutBatch(keys, vals)
+		if errs == nil {
+			for i := range keys {
+				want[string(keys[i])] = string(vals[i])
+			}
+			continue
+		}
+		for i, e := range errs {
+			if e == nil {
+				want[string(keys[i])] = string(vals[i])
+				continue
+			}
+			if !errors.Is(e, ErrFull) {
+				t.Fatalf("pair %d failed untyped: %v", i, e)
+			}
+			failedKeys = append(failedKeys, keys[i])
+		}
+	}
+	if failedKeys == nil {
+		t.Fatal("store never filled; enlarge the workload")
+	}
+	verify := func(tag string) {
+		t.Helper()
+		for k, v := range want {
+			got, err := s.Get([]byte(k))
+			if err != nil || string(got) != v {
+				t.Fatalf("%s: acked key %q lost (err=%v)", tag, k, err)
+			}
+		}
+		p := &s.parts[0]
+		if err := p.tree.CheckInvariants(); err != nil {
+			t.Fatalf("%s: index inconsistent: %v", tag, err)
+		}
+		if err := p.arena.CheckHeap(); err != nil {
+			t.Fatalf("%s: heap inconsistent: %v", tag, err)
+		}
+	}
+	verify("after mid-batch OOM")
+	// Retrying the failed pairs is safe: each either commits (and is then
+	// readable) or fails with the same typed error.
+	for _, k := range failedKeys {
+		if err := s.Put(k, val); err != nil {
+			if !errors.Is(err, ErrFull) {
+				t.Fatalf("retry of %q failed untyped: %v", k, err)
+			}
+		} else {
+			want[string(k)] = string(val)
+		}
+	}
+	verify("after retries")
+	if _, err := s.Get([]byte("never-written")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("miss surfaced as %v, want ErrNotFound", err)
+	}
+}

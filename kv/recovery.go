@@ -43,7 +43,7 @@ func OpenArenas(arenas []*pmem.Arena, opts Options) (*Store, error) {
 
 // openArenas dispatches on the image generation. A single arena whose
 // superblock carries a v1/v2 magic takes the legacy upgrade path; anything
-// else must be a partition-complete v3 set.
+// else must be a partition-complete v3/v4 set.
 func openArenas(arenas []*pmem.Arena, opts Options) (*Store, error) {
 	if len(arenas) == 0 {
 		return nil, fmt.Errorf("kv: no arenas to open")
@@ -53,7 +53,7 @@ func openArenas(arenas []*pmem.Arena, opts Options) (*Store, error) {
 	if len(arenas) == 1 && legacyMagic(arenas[0]) {
 		s, err = openLegacy(arenas[0], opts)
 	} else {
-		s, err = openV3(arenas, opts)
+		s, err = openPartitioned(arenas, opts)
 	}
 	if err != nil {
 		return nil, err
@@ -80,11 +80,12 @@ func legacyMagic(a *pmem.Arena) bool {
 	return m == storeMagicV1 || m == storeMagicV2
 }
 
-// openV3 recovers a partition-complete v3 store: the forest layer verifies
-// the arena set (count, order, per-partition forest superblocks), then each
-// partition's value-log state is rebuilt independently from its own kv
-// superblock.
-func openV3(arenas []*pmem.Arena, opts Options) (*Store, error) {
+// openPartitioned recovers a partition-complete v3/v4 store: the forest
+// layer verifies the arena set (count, order, per-partition forest
+// superblocks), then each partition's value-log state is rebuilt
+// independently from its own kv superblock. v3 partitions are upgraded to
+// the v4 two-line superblock in place.
+func openPartitioned(arenas []*pmem.Arena, opts Options) (*Store, error) {
 	fopts := opts.forestOpts(len(arenas))
 	f, err := forest.OpenArenas(arenas, fopts)
 	if err != nil {
@@ -95,7 +96,7 @@ func openV3(arenas []*pmem.Arena, opts Options) (*Store, error) {
 		p := &s.parts[i]
 		p.arena = f.Partition(i).Arena()
 		p.tree = f.Partition(i).Tree()
-		if err := openPartV3(p, i, len(arenas)); err != nil {
+		if err := openPart(p, i, len(arenas)); err != nil {
 			return nil, err
 		}
 		p.recount()
@@ -103,16 +104,17 @@ func openV3(arenas []*pmem.Arena, opts Options) (*Store, error) {
 	return s, nil
 }
 
-// openPartV3 rebuilds one partition's value-log state from its persisted
-// superblock and re-registers every log chunk with the allocator.
-func openPartV3(p *kvPart, idx, parts int) error {
+// openPart rebuilds one partition's value-log state from its persisted
+// v3/v4 superblock and re-registers every log chunk with the allocator.
+func openPart(p *kvPart, idx, parts int) error {
 	a := p.arena
 	sb := a.Read8(rootStoreOff)
 	if sb == pmem.NullOff {
 		return fmt.Errorf("kv: partition %d: arena does not contain a store superblock", idx)
 	}
-	if m := a.Read8(sb + sbMagicOff); m != storeMagicV3 {
-		return fmt.Errorf("kv: partition %d: bad superblock magic %#x", idx, m)
+	magic := a.Read8(sb + sbMagicOff)
+	if magic != storeMagicV3 && magic != storeMagicV4 {
+		return fmt.Errorf("kv: partition %d: bad superblock magic %#x", idx, magic)
 	}
 	chunkSz := a.Read8(sb + sbChunkSzOff)
 	nShards := a.Read8(sb + sbShardsOff)
@@ -134,6 +136,11 @@ func openPartV3(p *kvPart, idx, parts int) error {
 	}
 	p.sbOff = sb
 	p.initShards(chunkSz, int(nShards), table)
+	if magic == storeMagicV4 {
+		if err := p.checkHeapRecord(idx); err != nil {
+			return err
+		}
+	}
 
 	// Recovery below the kv layer reset the allocator to cover only tree
 	// and forest state; extend it past the superblock, the shard table and
@@ -146,7 +153,11 @@ func openPartV3(p *kvPart, idx, parts int) error {
 			maxOff = end
 		}
 	}
-	grow(sb + pmem.LineSize)
+	if magic == storeMagicV4 {
+		grow(sb + sbSizeV4)
+	} else {
+		grow(sb + sbSizeV3)
+	}
 	grow(table + nShards*pmem.LineSize)
 	for i := range p.shards {
 		for c := a.Read8(p.shards[i].tabOff); c != pmem.NullOff; c = a.Read8(c + chunkNextOff) {
@@ -179,6 +190,86 @@ func openPartV3(p *kvPart, idx, parts int) error {
 			return err
 		}
 	}
+	if magic == storeMagicV3 {
+		return p.upgradeV4()
+	}
+	// The heap record may be stale relative to the heap headers (growth
+	// after the last clean Close, or a fresh remap); bring it current.
+	p.refreshHeapLine()
+	return nil
+}
+
+// checkHeapRecord validates a v4 superblock's heap record against the
+// arena's authoritative segment headers, then resolves the shard table's
+// absolute (simulated mapped) pointer. When the image was recovered at a
+// different mapping base the partition arrives mid-swizzle: the stored
+// address still resolves through the segment's previous base, gets
+// re-encoded against the current one, and the swizzle state is retired —
+// the store-level consumer of the pmem layer's position-independent
+// recovery.
+func (p *kvPart) checkHeapRecord(idx int) error {
+	a := p.arena
+	sb := p.sbOff
+	heap := a.Read8(sb + sbHeapOff)
+	if (heap == 1) != a.HeapFormatted() {
+		return fmt.Errorf("kv: partition %d: superblock heap flag %d does not match arena (heap-formatted=%v)",
+			idx, heap, a.HeapFormatted())
+	}
+	table := a.Read8(sb + sbTableOff)
+	if heap == 1 {
+		if err := a.CheckHeap(); err != nil {
+			return fmt.Errorf("kv: partition %d: %w", idx, err)
+		}
+		if rec := a.Read8(sb + sbSeg0SzOff); rec != a.Seg0Size() {
+			return fmt.Errorf("kv: partition %d: superblock records segment-0 size %d, heap has %d", idx, rec, a.Seg0Size())
+		}
+		if rec := a.Read8(sb + sbGrowSzOff); rec != a.GrowSize() {
+			return fmt.Errorf("kv: partition %d: superblock records grow size %d, heap has %d", idx, rec, a.GrowSize())
+		}
+		// The heap can only have grown since the record was written (a
+		// grow that crashed before its cutover is truncated by recovery).
+		if rec := a.Read8(sb + sbNsegsOff); rec > uint64(a.Segments()) {
+			return fmt.Errorf("kv: partition %d: superblock records %d segments, heap committed only %d", idx, rec, a.Segments())
+		}
+	}
+	sim := a.Read8(sb + sbTableSimOff)
+	off, ok := a.FromSimAddr(sim)
+	if !ok || off != table {
+		return fmt.Errorf("kv: partition %d: shard-table pointer %#x does not resolve to table offset %#x", idx, sim, table)
+	}
+	if cur := a.SimAddr(table); cur != sim {
+		a.Write8(sb+sbTableSimOff, cur)
+		a.Persist(sb+sbTableSimOff, 8)
+	}
+	a.FinishSwizzle()
+	return nil
+}
+
+// upgradeV4 migrates a recovered v3 partition to the v4 two-line
+// superblock, reusing the v1 migration's two-step commit: the new
+// superblock is fully persisted first — v3 words copied, magic flipped to
+// v4, heap record appended — and then a single root-word flip commits it.
+// Before the flip the image still reopens as v3 and the upgrade reruns
+// from scratch; after it the image is v4 and the old superblock line
+// returns to the allocator (a crash between flip and free leaks that one
+// line, the same bounded window every allocator handout has).
+func (p *kvPart) upgradeV4() error {
+	a := p.arena
+	sb4, err := a.Alloc(sbSizeV4)
+	if err != nil {
+		return mapFull(err)
+	}
+	for w := uint64(sbChunkSzOff); w < sbSizeV3; w += 8 {
+		a.Write8(sb4+w, a.Read8(p.sbOff+w))
+	}
+	a.Write8(sb4+sbMagicOff, storeMagicV4)
+	old := p.sbOff
+	p.sbOff = sb4
+	p.writeHeapLine()
+	a.Persist(sb4, sbSizeV4)
+	a.Write8(rootStoreOff, sb4)
+	a.Persist(rootStoreOff, 8)
+	a.Free(old, sbSizeV3)
 	return nil
 }
 
@@ -195,7 +286,8 @@ func openPartV3(p *kvPart, idx, parts int) error {
 //  2. The kv superblock gains its partition words and the magic flips to
 //     v3, all within one line persist — the commit point. Before it the
 //     image reopens as v2 and the upgrade reruns; after it the image is a
-//     complete one-partition v3 set.
+//     complete one-partition v3 set, and the chained v3→v4 step (its own
+//     root-flip commit, see upgradeV4) finishes the job.
 func openLegacy(arena *pmem.Arena, opts Options) (*Store, error) {
 	region := htm.NewRegion(arena, htm.Config{})
 	t, err := core.Open(arena, core.Options{DualSlot: opts.DualSlotArray, Region: region})
@@ -227,6 +319,11 @@ func openLegacy(arena *pmem.Arena, opts Options) (*Store, error) {
 	arena.Write8(p.sbOff+sbPartIdxOff, 0)
 	arena.Write8(p.sbOff+sbMagicOff, storeMagicV3)
 	arena.Persist(p.sbOff, pmem.LineSize)
+	// Chain the v3→v4 step onto the legacy upgrade so every open lands on
+	// the current format.
+	if err := p.upgradeV4(); err != nil {
+		return nil, err
+	}
 	p.recount()
 	return &Store{f: f, hash: Hash, parts: parts}, nil
 }

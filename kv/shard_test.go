@@ -377,9 +377,9 @@ func makeV1Image(t *testing.T, s *Store) []uint64 {
 	return s.Arenas()[0].CrashImage(nil, 0)
 }
 
-// TestV1ImageMigration: opening a legacy v1 image must migrate it to the
-// sharded, partitioned v3 format without losing a byte, and the migrated
-// image must be a normal v3 store from then on.
+// TestV1ImageMigration: opening a legacy v1 image must migrate it all the
+// way to the current sharded, partitioned v4 format without losing a byte,
+// and the migrated image must be a normal v4 store from then on.
 func TestV1ImageMigration(t *testing.T) {
 	s, err := New(Options{ArenaSize: 64 << 20, ChunkSize: 1 << 14, Shards: 1})
 	if err != nil {
@@ -407,8 +407,8 @@ func TestV1ImageMigration(t *testing.T) {
 		t.Fatalf("v1 open: %v", err)
 	}
 	p := &s2.parts[0]
-	if got := p.arena.Read8(p.sbOff + sbMagicOff); got != storeMagicV3 {
-		t.Fatalf("migrated magic = %#x, want v3", got)
+	if got := p.arena.Read8(p.sbOff + sbMagicOff); got != storeMagicV4 {
+		t.Fatalf("migrated magic = %#x, want v4", got)
 	}
 	if got := p.arena.Read8(p.sbOff + sbLegacyOff); got != pmem.NullOff {
 		t.Fatal("legacy chain not cleared after migration")

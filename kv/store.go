@@ -40,6 +40,7 @@ import (
 	"rntree/internal/core"
 	"rntree/internal/forest"
 	"rntree/internal/pmem"
+	"rntree/internal/tree"
 )
 
 // Store errors.
@@ -53,7 +54,22 @@ var (
 	// ErrClosed is returned by mutating operations after Close: the store
 	// has taken its clean-shutdown path and accepts no more writes.
 	ErrClosed = errors.New("kv: store is closed")
+	// ErrFull is returned when a mutation cannot allocate space — the
+	// partition heap is exhausted and cannot grow further. It wraps the
+	// underlying allocator or index error, is retry-safe (the failed
+	// mutation was not applied, and retrying fails identically until space
+	// is reclaimed by Delete+Compact), and never corrupts the store.
+	ErrFull = errors.New("kv: store is full")
 )
+
+// mapFull tags allocation-exhaustion errors from the layers below with the
+// store-level typed ErrFull, leaving other errors untouched.
+func mapFull(err error) error {
+	if errors.Is(err, pmem.ErrOutOfMemory) || errors.Is(err, tree.ErrFull) {
+		return fmt.Errorf("%w: %w", ErrFull, err)
+	}
+	return err
+}
 
 const (
 	// rootStoreOff is the word of the arena root line (reserved by the
@@ -63,10 +79,15 @@ const (
 	// Superblock magics. v1 stored a single chunk-chain head and no
 	// geometry; v2 persists the chunk size, the shard count and the shard
 	// table; v3 additionally binds the arena to an index partition
-	// (partition count + index), one superblock per partition arena.
+	// (partition count + index), one superblock per partition arena; v4
+	// grows the superblock to two lines, the second recording the
+	// partition heap's segment geometry and the shard table's simulated
+	// mapped address (the store's one absolute pointer, re-encoded by the
+	// swizzle pass when an image is recovered at a different base).
 	storeMagicV1 = 0x524e_4b56_0001 // "RNKV" v1
 	storeMagicV2 = 0x524e_4b56_0002 // "RNKV" v2 (sharded value log)
 	storeMagicV3 = 0x524e_4b56_0003 // "RNKV" v3 (partitioned forest)
+	storeMagicV4 = 0x524e_4b56_0004 // "RNKV" v4 (growable heap + swizzling)
 
 	// v2/v3 superblock layout (one line). v3 adds the last two words.
 	sbMagicOff    = 0
@@ -77,6 +98,25 @@ const (
 	sbLegacySzOff = 40 // chunk size of the legacy chain
 	sbPartsOff    = 48 // v3: total partitions in the store
 	sbPartIdxOff  = 56 // v3: this arena's partition index
+
+	// v4 superblock second line: the heap record. The segment headers
+	// (internal/pmem) stay authoritative — recovery reads geometry from
+	// them before any kv code runs — so these words are a cross-check plus
+	// the swizzle consumer's state. nsegs is refreshed on clean Close and
+	// on every Open, so after a crash it may lag the heap's committed
+	// count (never lead it). tableSim is sbTableOff's value re-encoded as
+	// a simulated mapped address via pmem.SimAddr; Open resolves it with
+	// FromSimAddr against the plain offset and rewrites it when the image
+	// was recovered at a different base.
+	sbHeapOff     = 64 // 1 = partition arena is heap-formatted, 0 = legacy
+	sbSeg0SzOff   = 72 // heap segment-0 size in bytes
+	sbGrowSzOff   = 80 // heap grow-segment size in bytes
+	sbNsegsOff    = 88 // committed segments when the line was last written
+	sbTableSimOff = 96 // shard table as a simulated mapped address
+
+	// Superblock sizes: v1-v3 are one line, v4 is two.
+	sbSizeV3 = pmem.LineSize
+	sbSizeV4 = 2 * pmem.LineSize
 
 	// v1 superblock layout.
 	sbV1ChunkOff = 8 // head of the single chunk chain
@@ -123,9 +163,18 @@ const (
 
 // Options configure a Store.
 type Options struct {
-	// ArenaSize is the total simulated NVM capacity in bytes (default
-	// 512 MiB), split evenly across partitions.
+	// ArenaSize is the total initial simulated NVM capacity in bytes
+	// (default 512 MiB), split evenly across partitions. Heap-formatted
+	// partitions grow past their share on demand (see GrowSize).
 	ArenaSize uint64
+	// GrowSize is the size of each segment a partition heap appends when
+	// its committed space is exhausted (default: the partition's initial
+	// arena size).
+	GrowSize uint64
+	// MaxSegments caps each partition at its initial size plus
+	// (MaxSegments-1)*GrowSize bytes (default 8; 1 disables growth, making
+	// exhaustion surface as ErrFull).
+	MaxSegments int
 	// ChunkSize is the value-log chunk size (default 1 MiB). Persisted in
 	// the superblock at creation; Open always uses the persisted value, so
 	// a mismatched ChunkSize can no longer corrupt the allocator. (The
@@ -178,10 +227,12 @@ func (o *Options) normalize() {
 // forestOpts maps store options onto the index forest.
 func (o Options) forestOpts(partitions int) forest.Options {
 	return forest.Options{
-		Partitions: partitions,
-		ArenaSize:  o.ArenaSize / uint64(partitions),
-		Latency:    o.FlushLatency,
-		Tree:       core.Options{DualSlot: o.DualSlotArray},
+		Partitions:  partitions,
+		ArenaSize:   o.ArenaSize / uint64(partitions),
+		GrowSize:    o.GrowSize,
+		MaxSegments: o.MaxSegments,
+		Latency:     o.FlushLatency,
+		Tree:        core.Options{DualSlot: o.DualSlotArray},
 	}
 }
 
@@ -335,11 +386,11 @@ func New(opts Options) (*Store, error) {
 	return s, nil
 }
 
-// initPart formats partition i's kv state: shard table, v3 superblock,
+// initPart formats partition i's kv state: shard table, v4 superblock,
 // root pointer, and one fresh chunk per shard.
 func (s *Store) initPart(p *kvPart, idx int, opts Options) error {
 	a := p.arena
-	sb, err := a.Alloc(pmem.LineSize)
+	sb, err := a.Alloc(sbSizeV4)
 	if err != nil {
 		return err
 	}
@@ -353,7 +404,7 @@ func (s *Store) initPart(p *kvPart, idx int, opts Options) error {
 		a.Write8(p.shards[i].tabOff, pmem.NullOff)
 	}
 	a.Persist(table, uint64(opts.Shards)*pmem.LineSize)
-	a.Write8(sb+sbMagicOff, storeMagicV3)
+	a.Write8(sb+sbMagicOff, storeMagicV4)
 	a.Write8(sb+sbChunkSzOff, opts.ChunkSize)
 	a.Write8(sb+sbShardsOff, uint64(opts.Shards))
 	a.Write8(sb+sbTableOff, table)
@@ -361,7 +412,8 @@ func (s *Store) initPart(p *kvPart, idx int, opts Options) error {
 	a.Write8(sb+sbLegacySzOff, 0)
 	a.Write8(sb+sbPartsOff, uint64(len(s.parts)))
 	a.Write8(sb+sbPartIdxOff, uint64(idx))
-	a.Persist(sb, pmem.LineSize)
+	p.writeHeapLine()
+	a.Persist(sb, sbSizeV4)
 	a.Write8(rootStoreOff, sb)
 	a.Persist(rootStoreOff, 8)
 	for i := range p.shards {
@@ -370,6 +422,32 @@ func (s *Store) initPart(p *kvPart, idx int, opts Options) error {
 		}
 	}
 	return nil
+}
+
+// writeHeapLine fills (without persisting) the v4 superblock's heap record
+// from the arena's current state. Callers persist the superblock line(s)
+// themselves; refreshHeapLine is the persist-it-now variant used on clean
+// shutdown and after recovery, when the heap may have grown or been
+// remapped since the line was last written.
+//
+//pmem:volatile every caller persists the line: initPart/upgradeV4 persist the whole fresh superblock before the root flip, refreshHeapLine persists immediately
+func (p *kvPart) writeHeapLine() {
+	a := p.arena
+	sb := p.sbOff
+	heap := uint64(0)
+	if a.HeapFormatted() {
+		heap = 1
+	}
+	a.Write8(sb+sbHeapOff, heap)
+	a.Write8(sb+sbSeg0SzOff, a.Seg0Size())
+	a.Write8(sb+sbGrowSzOff, a.GrowSize())
+	a.Write8(sb+sbNsegsOff, uint64(a.Segments()))
+	a.Write8(sb+sbTableSimOff, a.SimAddr(a.Read8(sb+sbTableOff)))
+}
+
+func (p *kvPart) refreshHeapLine() {
+	p.writeHeapLine()
+	p.arena.Persist(p.sbOff+sbHeapOff, pmem.LineSize)
 }
 
 // Snapshot captures the durable state, one image per partition arena in
@@ -414,6 +492,37 @@ func (s *Store) DowngradeV1() error {
 	return nil
 }
 
+// DowngradeV3 rewrites every partition's superblock into the v3 format — a
+// freshly allocated one-line superblock without the heap record, committed
+// by the same root-word flip the upgrade uses — turning the image into a
+// faithful pre-heap v3 store. The next Open migrates it back up to v4, so
+// the upgrade's crash points can be exercised by the fault-injection
+// explorer. The store must be quiescent and must not be used again after
+// the downgrade.
+func (s *Store) DowngradeV3() error {
+	for i := range s.parts {
+		p := &s.parts[i]
+		a := p.arena
+		if a.Read8(p.sbOff+sbMagicOff) != storeMagicV4 {
+			return fmt.Errorf("kv: DowngradeV3 needs a v4 store (partition %d)", i)
+		}
+		sb3, err := a.Alloc(sbSizeV3)
+		if err != nil {
+			return err
+		}
+		for w := uint64(sbChunkSzOff); w < sbSizeV3; w += 8 {
+			a.Write8(sb3+w, a.Read8(p.sbOff+w))
+		}
+		a.Write8(sb3+sbMagicOff, storeMagicV3)
+		a.Persist(sb3, sbSizeV3)
+		a.Write8(rootStoreOff, sb3)
+		a.Persist(rootStoreOff, 8)
+		a.Free(p.sbOff, sbSizeV4)
+		p.sbOff = sb3
+	}
+	return nil
+}
+
 // newShardChunk links a fresh log chunk at the head of sh's persistent
 // chain. The chunk's next pointer is persisted before the head references
 // it, so a crash in between merely leaks the fresh chunk. Caller holds
@@ -421,7 +530,7 @@ func (s *Store) DowngradeV1() error {
 func (p *kvPart) newShardChunk(sh *shard) error {
 	off, err := p.arena.Alloc(p.chunkSz)
 	if err != nil {
-		return err
+		return mapFull(err)
 	}
 	p.arena.Write8(off+chunkNextOff, p.arena.Read8(sh.tabOff))
 	p.arena.Persist(off+chunkNextOff, 8)
@@ -618,7 +727,9 @@ func (s *Store) PutEx(key, value []byte) (part int, lsn uint64, err error) {
 		return 0, 0, err
 	}
 	if err := p.tree.Upsert(h, off); err != nil {
-		return 0, 0, err
+		// The record is durable but unreachable — leaked until the next
+		// compaction; the mutation itself was not applied.
+		return 0, 0, mapFull(err)
 	}
 	switch prevKind {
 	case recPut:
@@ -695,7 +806,7 @@ func (s *Store) DeleteEx(key []byte) (part int, lsn uint64, err error) {
 		return 0, 0, err
 	}
 	if err := p.tree.Upsert(h, off); err != nil {
-		return 0, 0, err
+		return 0, 0, mapFull(err)
 	}
 	sh.live.Add(-1)
 	// Exactly two records die: the key's newest Put (located above — it
@@ -795,6 +906,15 @@ func (s *Store) Close() error {
 		return ErrClosed
 	}
 	s.closed.Store(true)
+	// The heap may have grown since the superblock's heap record was last
+	// written; refresh it so a clean image carries the current segment
+	// count and table address.
+	for i := range s.parts {
+		p := &s.parts[i]
+		if p.arena.Read8(p.sbOff+sbMagicOff) == storeMagicV4 {
+			p.refreshHeapLine()
+		}
+	}
 	s.f.Close()
 	return nil
 }
