@@ -1,9 +1,9 @@
 # Tier-1 verification and the race gate for the concurrent kv/tree paths.
 GO ?= go
 
-.PHONY: check build vet test lint race bench-kv bench-server bench-heap faultcheck faultshort servercheck replcheck heapcheck fuzz-wire
+.PHONY: check build vet test lint race bench-kv bench-server bench-obj bench-heap faultcheck faultshort servercheck replcheck heapcheck objcheck fuzz-wire
 
-check: build vet lint test faultshort servercheck replcheck heapcheck
+check: build vet lint test faultshort servercheck replcheck heapcheck objcheck
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,7 @@ test:
 # cutover (committed-space gate vs concurrent readers) are exercised
 # concurrently; keep them race-clean.
 race:
-	$(GO) test -race ./kv/... ./internal/core/... ./internal/forest/... ./internal/htm/... ./internal/server/... ./internal/repl/... ./client/... ./internal/pmem/...
+	$(GO) test -race ./kv/... ./internal/core/... ./internal/forest/... ./internal/htm/... ./internal/server/... ./internal/repl/... ./client/... ./internal/pmem/... ./internal/obj/...
 
 bench-kv:
 	$(GO) run ./cmd/rnbench -exp kvscale
@@ -70,6 +70,22 @@ heapcheck:
 	$(GO) test ./internal/pmem -run 'Heap|Swizzle|Grow|Undo|Free'
 	$(GO) test ./kv -run 'Grow|Swizzle|V3ImageUpgrade|OOM'
 	$(GO) test ./internal/analysis -run 'UndoLog'
+
+# Typed-object gate: the obj layer's unit tests (intent commit, TTL
+# masking, expirer-vs-compaction) under the race detector, the obj
+# crash-point explorer (every persist site of the multi-key commit and the
+# reap composite), the server-side verb/failover tests, and a short fuzz
+# smoke of the object request decoding on the committed seeds.
+objcheck:
+	$(GO) test -race ./internal/obj/...
+	$(GO) test ./internal/fault -run 'ExploreObj'
+	$(GO) test -race ./internal/server -run 'Obj'
+	$(GO) test ./internal/wire -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=3s
+
+# Typed-object throughput vs flat durable PUT at 8 threads; merges an
+# obj_ops section into BENCH_server.json.
+bench-obj:
+	$(GO) run ./cmd/rnbench -exp objbench
 
 # Sustained kv Put throughput while the partition heap appends segments
 # under live load; merges a heap_grow section into BENCH_forest.json.

@@ -393,6 +393,9 @@ func (c *Client) readLoop(conn net.Conn, gen uint64) {
 			resp.Pairs[i].Key = append([]byte(nil), resp.Pairs[i].Key...)
 			resp.Pairs[i].Val = append([]byte(nil), resp.Pairs[i].Val...)
 		}
+		for i := range resp.Members {
+			resp.Members[i] = append([]byte(nil), resp.Members[i]...)
+		}
 		c.pendMu.Lock()
 		p, ok := c.pend[resp.ID]
 		if ok {
@@ -632,6 +635,107 @@ func (c *Client) Stats() (map[string]uint64, error) {
 // still committed on the primary in that case.
 func (c *Client) PutDurable(key, value []byte) error {
 	r, err := c.doRetry(wire.Request{Op: wire.OpPut, Key: key, Val: value, Durable: true})
+	if err != nil {
+		return err
+	}
+	return statusErr(r)
+}
+
+// HSet stores field → value inside the hash object named key, creating the
+// hash if absent. The commit is crash-atomic on the server even though it
+// touches multiple records (see the server's typed-object layer).
+func (c *Client) HSet(key, field, value []byte) error {
+	r, err := c.doRetry(wire.Request{Op: wire.OpHSet, Key: key, Field: field, Val: value})
+	if err != nil {
+		return err
+	}
+	return statusErr(r)
+}
+
+// HGet returns the value of field in the hash named key. ErrNotFound means
+// the hash, or the field, is absent (or the key's TTL has lapsed).
+func (c *Client) HGet(key, field []byte) ([]byte, error) {
+	r, err := c.doRetry(wire.Request{Op: wire.OpHGet, Key: key, Field: field})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(r); err != nil {
+		return nil, err
+	}
+	return r.Val, nil
+}
+
+// HDel removes field from the hash named key; removing the last field
+// removes the hash itself.
+func (c *Client) HDel(key, field []byte) error {
+	r, err := c.doRetry(wire.Request{Op: wire.OpHDel, Key: key, Field: field})
+	if err != nil {
+		return err
+	}
+	return statusErr(r)
+}
+
+// SAdd adds member to the set named key, creating the set if absent.
+// Adding a resident member is a no-op.
+func (c *Client) SAdd(key, member []byte) error {
+	r, err := c.doRetry(wire.Request{Op: wire.OpSAdd, Key: key, Field: member})
+	if err != nil {
+		return err
+	}
+	return statusErr(r)
+}
+
+// SRem removes member from the set named key; removing the last member
+// removes the set itself.
+func (c *Client) SRem(key, member []byte) error {
+	r, err := c.doRetry(wire.Request{Op: wire.OpSRem, Key: key, Field: member})
+	if err != nil {
+		return err
+	}
+	return statusErr(r)
+}
+
+// SMembers returns every member of the set named key, in unspecified
+// order. An absent (or expired) set returns an empty slice, like Redis.
+func (c *Client) SMembers(key []byte) ([][]byte, error) {
+	r, err := c.doRetry(wire.Request{Op: wire.OpSMembers, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(r); err != nil {
+		return nil, err
+	}
+	return r.Members, nil
+}
+
+// Expire sets key's time-to-live in milliseconds; after it lapses the key
+// reads as absent and is reaped in the background. Works on flat keys and
+// typed objects alike. ErrNotFound means the key does not exist.
+func (c *Client) Expire(key []byte, ttlMs uint64) error {
+	r, err := c.doRetry(wire.Request{Op: wire.OpExpire, Key: key, TTLMs: ttlMs})
+	if err != nil {
+		return err
+	}
+	return statusErr(r)
+}
+
+// TTL returns key's remaining time-to-live in milliseconds, or -1 when the
+// key exists without a TTL. ErrNotFound means the key is absent or its TTL
+// has already lapsed.
+func (c *Client) TTL(key []byte) (int64, error) {
+	r, err := c.doRetry(wire.Request{Op: wire.OpTTL, Key: key})
+	if err != nil {
+		return 0, err
+	}
+	if err := statusErr(r); err != nil {
+		return 0, err
+	}
+	return r.TTL, nil
+}
+
+// Persist removes key's TTL, if any; the key then lives until deleted.
+func (c *Client) Persist(key []byte) error {
+	r, err := c.doRetry(wire.Request{Op: wire.OpPersist, Key: key})
 	if err != nil {
 		return err
 	}

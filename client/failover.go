@@ -95,8 +95,14 @@ func retryable(err error) bool {
 		errors.Is(err, ErrReadOnly) || errors.Is(err, ErrDial)
 }
 
-// call runs op against the current primary, failing over and retrying once
-// when the node is unreachable or rejects us as a replica.
+// call runs op against the current primary, failing over and retrying when
+// the node is unreachable or rejects us as read-only. ErrReadOnly in
+// particular is retried with backoff rather than returned after one
+// failover: a FENCED primary answers elections as a primary (it holds the
+// highest epoch) yet rejects writes until a replica resubscribes — a
+// transient the cluster cures on its own, which a terminal error would
+// wrongly surface to the caller. Attempts are bounded by failoverRounds;
+// a cluster that stays write-rejecting that long returns the last error.
 func (fo *Failover) call(op func(c *Client) error) error {
 	fo.mu.Lock()
 	c := fo.c
@@ -105,19 +111,42 @@ func (fo *Failover) call(op func(c *Client) error) error {
 		return ErrClosed
 	}
 	err := op(c)
-	if err == nil || !retryable(err) {
-		return err
+	for attempt := 0; err != nil && attempt < failoverRounds; attempt++ {
+		if errors.Is(err, ErrClosed) {
+			// op ran against a client a concurrent election had already
+			// retired (elections Close the connection they replace). Pick
+			// up the replacement and retry; a Close()d wrapper has none.
+			fo.mu.Lock()
+			nc := fo.c
+			fo.mu.Unlock()
+			if nc == nil || nc == c {
+				return err
+			}
+			c = nc
+			err = op(c)
+			continue
+		}
+		if !retryable(err) {
+			return err
+		}
+		if attempt > 0 {
+			// Re-electing instantly would re-adopt the same still-fenced
+			// (or still-draining) node and spin through the budget in
+			// microseconds; pace the retries like election rounds.
+			fo.backoffRound(attempt - 1)
+		}
+		if ferr := fo.failover(c); ferr != nil {
+			return fmt.Errorf("%w (failover: %v)", err, ferr)
+		}
+		fo.mu.Lock()
+		c = fo.c
+		fo.mu.Unlock()
+		if c == nil {
+			return ErrClosed
+		}
+		err = op(c)
 	}
-	if ferr := fo.failover(c); ferr != nil {
-		return fmt.Errorf("%w (failover: %v)", err, ferr)
-	}
-	fo.mu.Lock()
-	c = fo.c
-	fo.mu.Unlock()
-	if c == nil {
-		return ErrClosed
-	}
-	return op(c)
+	return err
 }
 
 // failover replaces prev with a newly elected primary. Concurrent callers
@@ -215,7 +244,24 @@ func (fo *Failover) adoptLocked(c *Client, idx int, epoch uint64) {
 
 // sleepRound waits a jittered exponential delay between election rounds so
 // several clients racing through a dead cluster don't probe in lockstep.
+// Caller holds fo.mu (the rng is guarded by it).
 func (fo *Failover) sleepRound(round int) {
+	time.Sleep(fo.jitterLocked(round))
+}
+
+// backoffRound is sleepRound for callers NOT holding fo.mu: the jitter
+// state is read under the lock, the sleep happens outside it so concurrent
+// calls are not serialized behind a sleeping one.
+func (fo *Failover) backoffRound(round int) {
+	fo.mu.Lock()
+	d := fo.jitterLocked(round)
+	fo.mu.Unlock()
+	time.Sleep(d)
+}
+
+// jitterLocked returns round's slot of the jittered exponential schedule
+// (10ms doubling to 500ms, jittered into [d/2, d]). Caller holds fo.mu.
+func (fo *Failover) jitterLocked(round int) time.Duration {
 	d := 10 * time.Millisecond
 	for i := 0; i < round && d < 500*time.Millisecond; i++ {
 		d *= 2
@@ -223,7 +269,7 @@ func (fo *Failover) sleepRound(round int) {
 	fo.rng ^= fo.rng << 13
 	fo.rng ^= fo.rng >> 7
 	fo.rng ^= fo.rng << 17
-	time.Sleep(d/2 + time.Duration(fo.rng%uint64(d/2+1)))
+	return d/2 + time.Duration(fo.rng%uint64(d/2+1))
 }
 
 // Ping checks liveness of the current primary.
@@ -264,6 +310,64 @@ func (fo *Failover) Scan(prefix []byte, max int) (kvs []KV, err error) {
 		return err
 	})
 	return kvs, err
+}
+
+// HSet stores field → value in the hash named key on the primary
+// (at-least-once under failover; HSET is idempotent per field).
+func (fo *Failover) HSet(key, field, value []byte) error {
+	return fo.call(func(c *Client) error { return c.HSet(key, field, value) })
+}
+
+// HGet fetches field of the hash named key from the primary.
+func (fo *Failover) HGet(key, field []byte) (val []byte, err error) {
+	err = fo.call(func(c *Client) error {
+		val, err = c.HGet(key, field)
+		return err
+	})
+	return val, err
+}
+
+// HDel removes field from the hash named key on the primary.
+func (fo *Failover) HDel(key, field []byte) error {
+	return fo.call(func(c *Client) error { return c.HDel(key, field) })
+}
+
+// SAdd adds member to the set named key on the primary.
+func (fo *Failover) SAdd(key, member []byte) error {
+	return fo.call(func(c *Client) error { return c.SAdd(key, member) })
+}
+
+// SRem removes member from the set named key on the primary.
+func (fo *Failover) SRem(key, member []byte) error {
+	return fo.call(func(c *Client) error { return c.SRem(key, member) })
+}
+
+// SMembers fetches the members of the set named key from the primary.
+func (fo *Failover) SMembers(key []byte) (members [][]byte, err error) {
+	err = fo.call(func(c *Client) error {
+		members, err = c.SMembers(key)
+		return err
+	})
+	return members, err
+}
+
+// Expire sets key's TTL on the primary.
+func (fo *Failover) Expire(key []byte, ttlMs uint64) error {
+	return fo.call(func(c *Client) error { return c.Expire(key, ttlMs) })
+}
+
+// TTL fetches key's remaining TTL from the primary.
+func (fo *Failover) TTL(key []byte) (ttl int64, err error) {
+	err = fo.call(func(c *Client) error {
+		ttl, err = c.TTL(key)
+		return err
+	})
+	return ttl, err
+}
+
+// Persist removes key's TTL on the primary.
+func (fo *Failover) Persist(key []byte) error {
+	return fo.call(func(c *Client) error { return c.Persist(key) })
 }
 
 // Stats fetches the primary's counters.

@@ -17,7 +17,9 @@
 // BENCH_server.json, see -server-json), replbench (primary/replica
 // replication: async vs replica-durable PUT throughput, failover time,
 // and the two-node crash matrix; merges a repl_failover section into
-// BENCH_server.json), all.
+// BENCH_server.json), objbench (typed-object layer: flat PUT baseline vs
+// each object verb and the composite mix at 8 threads; merges an obj_ops
+// section into BENCH_server.json), all.
 package main
 
 import (
@@ -167,6 +169,8 @@ type serverReport struct {
 	GetSweep *getSweepReport `json:"get_sweep,omitempty"`
 
 	ReplFailover *replReport `json:"repl_failover,omitempty"`
+
+	ObjOps *objOpsReport `json:"obj_ops,omitempty"`
 }
 
 // getSweepReport is the netgetbench section: zipf-0.8 GET p50/p99 with
@@ -206,9 +210,25 @@ type replReport struct {
 	PassedBar   bool    `json:"passed_zero_loss_bar"`
 }
 
+// objOpsReport is the objbench section: typed-object throughput (flat PUT
+// baseline, each verb isolated, the composite mix) at 8 worker threads.
+type objOpsReport struct {
+	Title      string     `json:"title"`
+	DurationMS int64      `json:"duration_ms"`
+	Seed       int64      `json:"seed"`
+	Header     []string   `json:"header"`
+	Rows       [][]string `json:"rows"`
+	Notes      []string   `json:"notes"`
+	// CompositeVsFlat is the hset row's throughput over the flat-PUT row
+	// (each hset is a full intent commit: intent + field + header records);
+	// PassedBar is CompositeVsFlat >= 0.5.
+	CompositeVsFlat float64 `json:"composite_vs_flat"`
+	PassedBar       bool    `json:"passed_half_bar"`
+}
+
 // writeServerJSON merges one serving-layer result (netbench, netgetbench,
-// or replbench) into the report at path, preserving the other sections if
-// a previous run already wrote them.
+// replbench, or objbench) into the report at path, preserving the other
+// sections if a previous run already wrote them.
 func writeServerJSON(path string, cfg bench.Config, r bench.Result) error {
 	var rep serverReport
 	if prev, err := os.ReadFile(path); err == nil {
@@ -289,6 +309,24 @@ func writeServerJSON(path string, cfg bench.Config, r bench.Result) error {
 		}
 		rr.PassedBar = sawFailover && rr.Violations == 0
 		rep.ReplFailover = rr
+	case "objbench":
+		oo := &objOpsReport{
+			Title:      r.Title,
+			DurationMS: cfg.Duration.Milliseconds(),
+			Seed:       cfg.Seed,
+			Header:     r.Header, Rows: r.Rows, Notes: r.Notes,
+		}
+		// Columns: op, kops, mean_us, p50_us, p99_us, vs_flat_put. The
+		// acceptance cell is the hset row's ratio column.
+		for _, row := range r.Rows {
+			if len(row) >= 6 && row[0] == "hset" {
+				if v, err := strconv.ParseFloat(row[5], 64); err == nil {
+					oo.CompositeVsFlat = v
+					oo.PassedBar = v >= 0.5
+				}
+			}
+		}
+		rep.ObjOps = oo
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -379,7 +417,7 @@ func main() {
 					fmt.Fprintf(w, "(wrote %s)\n", *fjson)
 				}
 			}
-			if (r.ID == "netbench" || r.ID == "netgetbench" || r.ID == "replbench") && *sjson != "" {
+			if (r.ID == "netbench" || r.ID == "netgetbench" || r.ID == "replbench" || r.ID == "objbench") && *sjson != "" {
 				if err := writeServerJSON(*sjson, cfg, r); err != nil {
 					fmt.Fprintf(os.Stderr, "rnbench: writing %s: %v\n", *sjson, err)
 					failed = true

@@ -10,7 +10,8 @@
 //
 //	rnserved [-addr :4410] [-partitions 4] [-arena-mb 512] [-dualslot]
 //	         [-batch] [-batch-max 64] [-batch-delay 200us]
-//	         [-cache] [-cache-entries 65536]
+//	         [-cache] [-cache-entries 65536] [-cache-two-touch]
+//	         [-obj] [-obj-expire-interval 1s]
 //	         [-repl] [-replica-of addr] [-repl-durable-timeout 5s] [-repl-fence-lease 0]
 //	         [-max-conns 256] [-max-inflight 64] [-max-global 1024]
 //	         [-idle-timeout 2m] [-flush-ns 0] [-fence-ns 0]
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"rntree/internal/drain"
+	"rntree/internal/obj"
 	"rntree/internal/pmem"
 	"rntree/internal/repl"
 	"rntree/internal/server"
@@ -45,8 +47,12 @@ type config struct {
 	batchMax   int
 	batchDelay time.Duration
 
-	cache        bool
-	cacheEntries int
+	cache         bool
+	cacheEntries  int
+	cacheTwoTouch bool
+
+	obj            bool
+	objExpireEvery time.Duration
 
 	repl             bool
 	replicaOf        string
@@ -78,6 +84,9 @@ func parseFlags(args []string, errw io.Writer) (config, error) {
 	fs.DurationVar(&c.batchDelay, "batch-delay", 200*time.Microsecond, "max time a PUT waits for batch-mates")
 	fs.BoolVar(&c.cache, "cache", false, "front GETs with the epoch-validated DRAM hot-key cache")
 	fs.IntVar(&c.cacheEntries, "cache-entries", 65536, "hot-key cache capacity (size to the GET working set; an undersized cache thrashes)")
+	fs.BoolVar(&c.cacheTwoTouch, "cache-two-touch", false, "admit a key into the hot-key cache only on its second touch within an epoch window (scan-resistant)")
+	fs.BoolVar(&c.obj, "obj", false, "enable typed objects (HSET/SADD/EXPIRE verb family) on the reserved 0x01 namespace")
+	fs.DurationVar(&c.objExpireEvery, "obj-expire-interval", time.Second, "background TTL expirer cadence (requires -obj; 0 leaves reaping to lazy reads)")
 	fs.BoolVar(&c.repl, "repl", false, "enable replication (serve as primary; replicas may subscribe)")
 	fs.StringVar(&c.replicaOf, "replica-of", "", "run as a replica of the primary at this address (implies -repl)")
 	fs.IntVar(&c.replAckEvery, "repl-ack-every", 32, "replica acks after this many applied records")
@@ -165,6 +174,21 @@ func serve(cfg config, w *drain.Watcher, out io.Writer) error {
 		}
 	}
 
+	// Typed objects: the layer attaches read-only on a replica (expired keys
+	// are masked but never reaped; the primary's stream resolves intents) and
+	// is flipped to primary mode by a PROMOTE. The server wires the cache
+	// invalidation and replication apply hooks itself.
+	var ost *obj.Store
+	if cfg.obj {
+		ost, err = obj.Attach(st, obj.Options{
+			ExpireInterval: cfg.objExpireEvery,
+			ReadOnly:       node != nil && node.Role() == repl.Replica,
+		})
+		if err != nil {
+			return fmt.Errorf("obj: %w", err)
+		}
+	}
+
 	srv := server.New(st, server.Config{
 		MaxConns:          cfg.maxConns,
 		MaxInflight:       cfg.maxInflight,
@@ -178,7 +202,9 @@ func serve(cfg config, w *drain.Watcher, out io.Writer) error {
 		Cache: server.CacheConfig{
 			Enable:     cfg.cache,
 			MaxEntries: cfg.cacheEntries,
+			TwoTouch:   cfg.cacheTwoTouch,
 		},
+		Obj:                ost,
 		Repl:               node,
 		ReplDurableTimeout: cfg.replDurableTmout,
 		ReplFenceLease:     cfg.replFenceLease,
@@ -192,8 +218,8 @@ func serve(cfg config, w *drain.Watcher, out io.Writer) error {
 	if node != nil {
 		replDesc = fmt.Sprintf("role=%d epoch=%d", node.Role(), node.Epoch())
 	}
-	fmt.Fprintf(out, "rnserved: serving on %s (partitions=%d arena=%dMiB batch=%v cache=%v repl=%s)\n",
-		ln.Addr(), cfg.partitions, cfg.arenaMB, cfg.batch, cfg.cache, replDesc)
+	fmt.Fprintf(out, "rnserved: serving on %s (partitions=%d arena=%dMiB batch=%v cache=%v obj=%v repl=%s)\n",
+		ln.Addr(), cfg.partitions, cfg.arenaMB, cfg.batch, cfg.cache, cfg.obj, replDesc)
 
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- srv.Serve(ln) }()
@@ -216,6 +242,11 @@ func serve(cfg config, w *drain.Watcher, out io.Writer) error {
 	}
 	if node != nil {
 		node.Close()
+	}
+	if ost != nil {
+		// Stop the background expirer before checkpointing so no reap
+		// commits race the quiesced image.
+		ost.Close()
 	}
 
 	// The drain guaranteed quiescence, so the clean checkpoint path must

@@ -26,6 +26,74 @@ func TestParseFlags(t *testing.T) {
 	if _, err := parseFlags([]string{"-no-such-flag"}, io.Discard); err == nil {
 		t.Fatal("bad flag accepted")
 	}
+	c, err = parseFlags([]string{"-obj", "-obj-expire-interval", "250ms", "-cache-two-touch"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.obj || c.objExpireEvery != 250*time.Millisecond || !c.cacheTwoTouch {
+		t.Fatalf("obj/cache flags not parsed: %+v", c)
+	}
+}
+
+// TestServeObjVerbs starts the binary path with -obj and drives a typed
+// object plus a TTL through the wire, then takes the clean shutdown path.
+func TestServeObjVerbs(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-arena-mb", "64", "-partitions", "2", "-obj", "-obj-expire-interval", "50ms"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := drain.New(nil)
+	outR, outW := io.Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- serve(cfg, w, outW)
+		outW.Close()
+	}()
+
+	br := bufio.NewReader(outR)
+	banner, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("no banner: %v", err)
+	}
+	if !strings.Contains(banner, "obj=true") {
+		t.Fatalf("banner does not advertise the object layer: %q", banner)
+	}
+	addr := strings.Fields(banner)[3]
+
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	defer c.Close()
+	if err := c.HSet([]byte("user:1"), []byte("name"), []byte("ada")); err != nil {
+		t.Fatalf("HSet: %v", err)
+	}
+	if v, err := c.HGet([]byte("user:1"), []byte("name")); err != nil || string(v) != "ada" {
+		t.Fatalf("HGet = %q, %v", v, err)
+	}
+	if err := c.Expire([]byte("user:1"), 60_000); err != nil {
+		t.Fatalf("Expire: %v", err)
+	}
+	if ttl, err := c.TTL([]byte("user:1")); err != nil || ttl <= 0 {
+		t.Fatalf("TTL = %d, %v", ttl, err)
+	}
+
+	w.Trigger()
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after drain trigger")
+	}
+	if !strings.Contains(string(rest), "clean shutdown") {
+		t.Fatalf("clean-shutdown summary missing:\n%s", rest)
+	}
 }
 
 // TestServeSignalCleanShutdown is the end-to-end binary path: start,

@@ -336,6 +336,7 @@ var Registry = map[string]func(Config) []Result{
 	"netbench":    NetBench,
 	"netgetbench": NetGetBench,
 	"replbench":   ReplBench,
+	"objbench":    ObjBench,
 }
 
 // ExperimentIDs returns the registered experiment names, sorted.

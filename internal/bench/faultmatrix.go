@@ -10,8 +10,9 @@ import (
 // throughput it mechanically checks the paper's core *correctness* claim —
 // durable linearizability after a crash at any point (§5.4) — by running
 // the crash-point explorer over every layer target (core tree in both
-// slot-array modes, the kv store with compaction, and the kv v1-image
-// migration). Each persist site the workload executes is crashed under
+// slot-array modes, the kv store with compaction, the kv v1-image
+// migration, and the typed-object layer's multi-key intent commits and
+// expirer reaps). Each persist site the workload executes is crashed under
 // pre/evicted/torn image variants and recovery is checked against the
 // durability oracle. The row count to watch is `violations`: anything but
 // zero is a failure-atomicity bug, replayable from the seed and site index

@@ -70,6 +70,24 @@ func TestExploreCachedKVAllSites(t *testing.T) {
 	t.Logf("kv+cache: %d sites, %d images, hash %#x", rep.Sites, rep.Images, rep.ImageHash)
 }
 
+// The typed-object target: every crash site inside a multi-record intent
+// commit (HSET/SADD/HDEL/SREM), the EXPIRE record write, and the expirer's
+// reap composite must recover to all-or-nothing object contents, with no
+// resurrected expired keys and headers agreeing with element records.
+func TestExploreObjAllSites(t *testing.T) {
+	rep := mustExplore(t, &ObjTarget{}, ObjWorkload(), Config{Seed: 42, EvictProb: 0.4, Torn: true})
+	if rep.Sites < 60 {
+		t.Fatalf("only %d sites — workload too shallow", rep.Sites)
+	}
+	if rep.Explored != rep.Sites {
+		t.Fatalf("explored %d of %d sites", rep.Explored, rep.Sites)
+	}
+	if !rep.Ok() {
+		t.Fatalf("%d violations, first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	t.Logf("obj: %d sites, %d images, hash %#x", rep.Sites, rep.Images, rep.ImageHash)
+}
+
 // Crashing inside the v1→v2 migration (which runs inside Open) must always
 // leave an image that reopens to exactly the pre-migration contents.
 func TestExploreKVV1Migration(t *testing.T) {

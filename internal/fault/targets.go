@@ -7,6 +7,7 @@ import (
 
 	"rntree/internal/core"
 	"rntree/internal/forest"
+	"rntree/internal/obj"
 	"rntree/internal/pmem"
 	"rntree/internal/server"
 	"rntree/kv"
@@ -861,6 +862,234 @@ func KVV3UpWorkload() []Op {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// typed-object layer target
+
+// ObjTarget drives the typed-object layer (internal/obj) over a kv.Store:
+// crash sites land inside the multi-record intent commits of HSET / SADD /
+// HDEL / SREM, inside EXPIRE's record write, and inside the expirer's reap
+// composite (driven synchronously through the injected clock). Recovery
+// re-attaches the layer — rolling any in-flight intent forward — and the
+// oracle checks OBJECT-level contents: a crash anywhere inside a composite
+// recovers to all-or-nothing, an expired key never resurrects, and every
+// header agrees exactly with its element records.
+type ObjTarget struct {
+	store *kv.Store
+	o     *obj.Store
+	clock int64
+}
+
+func (t *ObjTarget) Name() string { return "obj" }
+
+func objKVOpts() kv.Options {
+	return kv.Options{
+		ArenaSize: 4 << 20,
+		ChunkSize: 1024, // room for reap intents (undo images of a whole object)
+		Shards:    2,
+	}
+}
+
+// The op encoding: OpInsert is HSET on hash o<K/4> field f<K%4>; OpUpdate
+// is SADD on set t<K/4> member f<K%4>; OpDelete dispatches on V.
+const (
+	objDelHashField = 0 // HDel one field
+	objDelSetMember = 1 // SRem one member
+	objReapHash     = 2 // expire + tick-reap the hash
+	objReapSet      = 3 // expire + tick-reap the set
+)
+
+func objHash(k uint64) string { return fmt.Sprintf("o%d", k>>2) }
+func objSet(k uint64) string  { return fmt.Sprintf("t%d", k>>2) }
+func objElem(k uint64) string { return fmt.Sprintf("f%d", k&3) }
+func objVal(v uint64) string  { return fmt.Sprintf("v%d", v) }
+
+func (t *ObjTarget) Reset() ([]*pmem.Arena, Model, error) {
+	s, err := kv.New(objKVOpts())
+	if err != nil {
+		return nil, nil, err
+	}
+	t.store = s
+	t.clock = 1_000
+	o, err := obj.Attach(s, obj.Options{Clock: func() int64 { return t.clock }})
+	if err != nil {
+		return nil, nil, err
+	}
+	t.o = o
+	return s.Arenas(), Model{}, nil
+}
+
+func (t *ObjTarget) Apply(op Op) error {
+	switch op.Kind {
+	case OpInsert:
+		return t.o.HSet([]byte(objHash(op.K)), []byte(objElem(op.K)), []byte(objVal(op.V)))
+	case OpUpdate:
+		return t.o.SAdd([]byte(objSet(op.K)), []byte(objElem(op.K)))
+	case OpDelete:
+		switch op.V {
+		case objDelHashField:
+			return t.o.HDel([]byte(objHash(op.K)), []byte(objElem(op.K)))
+		case objDelSetMember:
+			return t.o.SRem([]byte(objSet(op.K)), []byte(objElem(op.K)))
+		case objReapHash, objReapSet:
+			name := objHash(op.K)
+			if op.V == objReapSet {
+				name = objSet(op.K)
+			}
+			if err := t.o.Expire([]byte(name), 10); err != nil {
+				return err
+			}
+			t.clock += 20
+			if n := t.o.ExpireTick(); n != 1 {
+				return fmt.Errorf("obj target: reap of %s reaped %d, want 1", name, n)
+			}
+			return nil
+		}
+		return fmt.Errorf("obj target: unknown delete selector %d", op.V)
+	case OpCompact:
+		return t.store.Compact()
+	}
+	return fmt.Errorf("obj target: unsupported op %s", op.Kind)
+}
+
+func (t *ObjTarget) ApplyModel(m Model, op Op) {
+	switch op.Kind {
+	case OpInsert:
+		m["h:"+objHash(op.K)+":"+objElem(op.K)] = objVal(op.V)
+	case OpUpdate:
+		m["s:"+objSet(op.K)+":"+objElem(op.K)] = "1"
+	case OpDelete:
+		switch op.V {
+		case objDelHashField:
+			delete(m, "h:"+objHash(op.K)+":"+objElem(op.K))
+		case objDelSetMember:
+			delete(m, "s:"+objSet(op.K)+":"+objElem(op.K))
+		case objReapHash:
+			for k := range m {
+				if strings.HasPrefix(k, "h:"+objHash(op.K)+":") {
+					delete(m, k)
+				}
+			}
+		case objReapSet:
+			for k := range m {
+				if strings.HasPrefix(k, "s:"+objSet(op.K)+":") {
+					delete(m, k)
+				}
+			}
+		}
+	}
+}
+
+// Recover reopens the store, re-attaches the object layer (which resolves
+// any in-flight intent) and rebuilds the model through the typed read API,
+// so expiry masking applies exactly as it would for a client. Structural
+// invariants are errors, not model entries: a surviving intent, a header
+// whose element list disagrees with the element records on media, or an
+// element record for a name with no header.
+func (t *ObjTarget) Recover(imgs [][]uint64) (Model, error) {
+	s, err := kv.Open(imgs, objKVOpts())
+	if err != nil {
+		return nil, err
+	}
+	clock := t.clock
+	o, err := obj.Attach(s, obj.Options{Clock: func() int64 { return clock }})
+	if err != nil {
+		return nil, err
+	}
+	// Raw sweep: which names exist, and how many element records each holds.
+	names := map[string]bool{}
+	elems := map[string]int{}
+	var rerr error
+	s.Range(func(k, _ []byte) bool {
+		tag, name, ok := obj.ParseInternalKey(k)
+		if !ok {
+			rerr = fmt.Errorf("obj recover: unparseable key %q in a pure-object store", k)
+			return false
+		}
+		switch tag {
+		case 'I':
+			rerr = fmt.Errorf("obj recover: intent for %q survived re-attach", name)
+			return false
+		case 'H':
+			names[string(name)] = true
+		case 'h', 's':
+			names[string(name)] = true
+			elems[string(name)]++
+		}
+		return true
+	})
+	if rerr != nil {
+		return nil, rerr
+	}
+	got := Model{}
+	for name := range names {
+		n := []byte(name)
+		if o.Expired(n) {
+			// Masked (expired but unreaped): contributes nothing, and its
+			// leftover records are the reap's business, not a violation.
+			continue
+		}
+		fields, err := o.HKeys(n)
+		listed := len(fields)
+		if err == obj.ErrWrongType {
+			members, merr := o.SMembers(n)
+			if merr != nil {
+				return nil, fmt.Errorf("obj recover: SMembers(%s): %v", name, merr)
+			}
+			listed = len(members)
+			for _, m := range members {
+				got["s:"+name+":"+string(m)] = "1"
+			}
+		} else if err != nil {
+			return nil, fmt.Errorf("obj recover: HKeys(%s): %v", name, err)
+		} else {
+			for _, f := range fields {
+				v, gerr := o.HGet(n, f)
+				if gerr != nil {
+					return nil, fmt.Errorf("obj recover: header of %s lists %q but HGet: %v", name, f, gerr)
+				}
+				got["h:"+name+":"+string(f)] = string(v)
+			}
+		}
+		if listed != elems[name] {
+			return nil, fmt.Errorf("obj recover: %s header lists %d elements, media holds %d",
+				name, listed, elems[name])
+		}
+	}
+	return got, nil
+}
+
+// ObjWorkload covers every composite commit shape: fresh-field HSETs (two
+// hashes), single-record overwrites, SADDs (two sets), element removals
+// (header rewrite) including none that empty an object, then expire+reap of
+// one hash and one set — via the expirer's own tick — and a rebuild over
+// the reaped corpse, with compactions mixed through.
+func ObjWorkload() []Op {
+	var ops []Op
+	// Hashes o0 (f0..f3) and o1 (f0..f3): fresh-field intent commits.
+	for i := uint64(0); i < 8; i++ {
+		ops = append(ops, Op{OpInsert, i, 100 + i})
+	}
+	// Overwrites: the no-intent single-record path.
+	ops = append(ops, Op{OpInsert, 0, 200}, Op{OpInsert, 5, 205})
+	// Sets t4 (f0..f3) and t5 (f0, f1).
+	for i := uint64(16); i < 22; i++ {
+		ops = append(ops, Op{OpUpdate, i, 0})
+	}
+	// Removals that rewrite the header in place.
+	ops = append(ops,
+		Op{OpDelete, 1, objDelHashField},  // o0: drop f1
+		Op{OpDelete, 17, objDelSetMember}, // t4: drop f1
+		Op{Kind: OpCompact},
+		// Expire + reap one hash and one set through the expirer.
+		Op{OpDelete, 4, objReapHash}, // o1 reaped whole
+		Op{OpDelete, 20, objReapSet}, // t5 reaped whole
+		// Rebuild over the reaped corpse: must start fresh, not resurrect.
+		Op{OpInsert, 4, 300},
+		Op{Kind: OpCompact},
+	)
+	return ops
+}
+
 // Targets returns every layer adapter with its canonical workload, the
 // matrix the faultmatrix experiment and `make faultcheck` run.
 func Targets() []struct {
@@ -882,5 +1111,6 @@ func Targets() []struct {
 		{&KVV3Target{}, KVWorkload()},
 		{&KVV3UpTarget{}, KVV3UpWorkload()},
 		{&ReplTarget{}, KVWorkload()},
+		{&ObjTarget{}, ObjWorkload()},
 	}
 }

@@ -1,0 +1,223 @@
+package obj
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"rntree/kv"
+)
+
+// The intent record is the composite-commit machinery (DESIGN.md §15.2).
+// One record encodes every sub-operation of a multi-key update — the redo
+// image (what to write or delete) and the undo image (what was there
+// before) — so the record's own single-key commit is the composite's
+// atomic commit point:
+//
+//	put(intent)      — commit point: before this persists, nothing happened
+//	apply sub-ops    — idempotent overwrites/deletes, any prefix re-runnable
+//	delete(intent)   — completion point: after this persists, all applied
+//
+// Crash recovery scans for intent records and rolls each forward (re-apply
+// all sub-ops, delete the intent). A sub-op that FAILS at runtime (value
+// too large, heap full) instead rolls the applied prefix back from the
+// undo images — reverse order — and deletes the intent, so the caller's
+// error means "nothing changed". Recovery uses the same fallback: if the
+// roll-forward hits the same deterministic failure, it rolls back, so a
+// crashed-then-recovered store never wedges on an unapplyable intent.
+
+const (
+	subPut = 0 // redo: write key=val
+	subDel = 1 // redo: delete key
+)
+
+// subOp is one key touched by a composite update.
+type subOp struct {
+	kind     byte // subPut | subDel
+	key      []byte
+	val      []byte // redo image (subPut only)
+	prevKind byte   // undo: subPut = restore prevVal, subDel = key was absent
+	prevVal  []byte
+}
+
+// encodeIntent: [u32 count] then per sub-op
+// [u8 kind][u32 klen][key][u32 vlen][val][u8 prevKind][u32 pvlen][pval]
+func encodeIntent(ops []subOp) []byte {
+	sz := 4
+	for _, op := range ops {
+		sz += 1 + 4 + len(op.key) + 4 + len(op.val) + 1 + 4 + len(op.prevVal)
+	}
+	v := make([]byte, 0, sz)
+	v = binary.LittleEndian.AppendUint32(v, uint32(len(ops)))
+	for _, op := range ops {
+		v = append(v, op.kind)
+		v = binary.LittleEndian.AppendUint32(v, uint32(len(op.key)))
+		v = append(v, op.key...)
+		v = binary.LittleEndian.AppendUint32(v, uint32(len(op.val)))
+		v = append(v, op.val...)
+		v = append(v, op.prevKind)
+		v = binary.LittleEndian.AppendUint32(v, uint32(len(op.prevVal)))
+		v = append(v, op.prevVal...)
+	}
+	return v
+}
+
+func decodeIntent(v []byte) ([]subOp, error) {
+	if len(v) < 4 {
+		return nil, errors.New("obj: short intent record")
+	}
+	n := binary.LittleEndian.Uint32(v)
+	pos := 4
+	ops := make([]subOp, 0, n)
+	bytesAt := func(need int) ([]byte, bool) {
+		if pos+need > len(v) {
+			return nil, false
+		}
+		b := v[pos : pos+need]
+		pos += need
+		return b, true
+	}
+	for i := uint32(0); i < n; i++ {
+		var op subOp
+		b, ok := bytesAt(1)
+		if !ok {
+			return nil, errors.New("obj: truncated intent sub-op")
+		}
+		op.kind = b[0]
+		for _, dst := range []*[]byte{&op.key, &op.val} {
+			lb, ok := bytesAt(4)
+			if !ok {
+				return nil, errors.New("obj: truncated intent sub-op")
+			}
+			d, ok := bytesAt(int(binary.LittleEndian.Uint32(lb)))
+			if !ok {
+				return nil, errors.New("obj: truncated intent sub-op")
+			}
+			*dst = d
+		}
+		if b, ok = bytesAt(1); !ok {
+			return nil, errors.New("obj: truncated intent sub-op")
+		}
+		op.prevKind = b[0]
+		lb, ok := bytesAt(4)
+		if !ok {
+			return nil, errors.New("obj: truncated intent sub-op")
+		}
+		if op.prevVal, ok = bytesAt(int(binary.LittleEndian.Uint32(lb))); !ok {
+			return nil, errors.New("obj: truncated intent sub-op")
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// withPrev fills a sub-op's undo image from the store's current state.
+func (o *Store) withPrev(op subOp) (subOp, error) {
+	v, err := o.st.Get(op.key)
+	switch err {
+	case nil:
+		op.prevKind, op.prevVal = subPut, v
+	case kv.ErrNotFound:
+		op.prevKind = subDel
+	default:
+		return op, err
+	}
+	return op, nil
+}
+
+// applyOne executes a sub-op's redo image. Deletes tolerate absence — a
+// recovery replay may re-run a prefix that already applied.
+func (o *Store) applyOne(op subOp) error {
+	if op.kind == subPut {
+		return o.st.Put(op.key, op.val)
+	}
+	if err := o.st.Delete(op.key); err != nil && err != kv.ErrNotFound {
+		return err
+	}
+	return nil
+}
+
+// undoOne restores a sub-op's undo image.
+func (o *Store) undoOne(op subOp) error {
+	if op.prevKind == subPut {
+		return o.st.Put(op.key, op.prevVal)
+	}
+	if err := o.st.Delete(op.key); err != nil && err != kv.ErrNotFound {
+		return err
+	}
+	return nil
+}
+
+// commit runs one composite update under the caller-held stripe lock:
+// persist the intent (atomic commit point), apply the sub-ops in order,
+// delete the intent. On a sub-op failure the applied prefix is rolled back
+// from the undo images and the original error is returned with the store
+// logically unchanged.
+func (o *Store) commit(name []byte, ops []subOp) error {
+	for i := range ops {
+		var err error
+		if ops[i], err = o.withPrev(ops[i]); err != nil {
+			return err
+		}
+	}
+	ik := intentKey(name)
+	if err := o.st.Put(ik, encodeIntent(ops)); err != nil {
+		return err
+	}
+	for i, op := range ops {
+		if err := o.applyOne(op); err != nil {
+			// Roll back the applied prefix, newest first. Undo writes are
+			// restores of values that fit before, so they cannot hit the
+			// failure that stopped the forward pass.
+			for j := i - 1; j >= 0; j-- {
+				if uerr := o.undoOne(ops[j]); uerr != nil {
+					return errors.Join(err, uerr)
+				}
+			}
+			if derr := o.st.Delete(ik); derr != nil && derr != kv.ErrNotFound {
+				return errors.Join(err, derr)
+			}
+			o.intentsUndone.Add(1)
+			return err
+		}
+	}
+	if err := o.st.Delete(ik); err != nil && err != kv.ErrNotFound {
+		return err
+	}
+	return nil
+}
+
+// resolveIntent rolls one recovered intent forward (or, if the roll-forward
+// hits a deterministic failure, back) and removes it. Called with no stripe
+// lock held — recovery and activation run before the layer serves traffic.
+func (o *Store) resolveIntent(ik []byte) error {
+	v, err := o.st.Get(ik)
+	if err == kv.ErrNotFound {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	ops, err := decodeIntent(v)
+	if err != nil {
+		return err
+	}
+	rolledBack := false
+	for i, op := range ops {
+		if aerr := o.applyOne(op); aerr != nil {
+			for j := i - 1; j >= 0; j-- {
+				if uerr := o.undoOne(ops[j]); uerr != nil {
+					return errors.Join(aerr, uerr)
+				}
+			}
+			rolledBack = true
+			break
+		}
+	}
+	if err := o.st.Delete(ik); err != nil && err != kv.ErrNotFound {
+		return err
+	}
+	if !rolledBack {
+		o.intentsRolled.Add(1)
+	}
+	return nil
+}

@@ -1,0 +1,430 @@
+// Package obj layers typed values — Redis-shaped hashes and sets — and
+// per-key TTL expiry on top of the flat kv store (DESIGN.md §15). Objects
+// are ordinary value-log records living under a reserved key namespace, so
+// they inherit kv's crash consistency, compaction, replication LSNs and
+// recovery for free; what this package adds is the multi-key atomicity a
+// composite update needs (an HSET touches the object header AND a field
+// record) via an undo-logged intent record that recovery rolls forward, or —
+// when a sub-operation fails at runtime — rolls back.
+//
+// Key namespace (first byte 0x01 is reserved; the server rejects flat keys
+// that start with it):
+//
+//	0x01 'H' <name>                         object header
+//	0x01 'h' <u16 len(name)> <name> <field> hash field record
+//	0x01 's' <u16 len(name)> <name> <member> set member record
+//	0x01 'I' <name>                         intent record (in-flight composite)
+//	0x01 'X' <name>                         expiry record (u64 LE deadline, ms)
+//
+// The header carries the object's type and its field/member list, so
+// SMEMBERS is one read and HGET is one read against the field record. A
+// composite op commits by (1) persisting the intent record — kv's single-
+// record commit point makes that atomic — (2) applying the sub-operations,
+// (3) deleting the intent. The intent encodes both the redo images and the
+// prior state of every touched key (the undo log), so a crash at any point
+// recovers: intent present ⇒ roll the sub-operations forward (they are
+// idempotent overwrites); intent absent ⇒ the op either never started or
+// fully committed. A sub-operation that fails at runtime (ErrTooLarge,
+// ErrFull) rolls the applied prefix back from the undo images and deletes
+// the intent, so the error surfaces with the store unchanged.
+package obj
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rntree/kv"
+)
+
+// Namespace bytes. NSByte prefixes every record this package owns.
+const (
+	NSByte = 0x01
+
+	tagHeader = 'H'
+	tagField  = 'h'
+	tagMember = 's'
+	tagIntent = 'I'
+	tagExpiry = 'X'
+)
+
+// Object types stored in byte 0 of a header value.
+const (
+	TypeHash = 'h'
+	TypeSet  = 's'
+)
+
+var (
+	// ErrWrongType is returned when an op's verb disagrees with the stored
+	// object's type (HGET against a set, SADD against a hash).
+	ErrWrongType = errors.New("obj: operation against a key holding the wrong kind of value")
+	// ErrBadName rejects empty names/fields/members and names longer than
+	// the u16 length frame.
+	ErrBadName = errors.New("obj: empty or oversized object name, field or member")
+	// ErrReserved is returned for flat-key operations on keys inside the
+	// reserved object namespace.
+	ErrReserved = errors.New("obj: key is in the reserved object namespace")
+)
+
+const maxName = 1<<16 - 1
+
+// IsInternalKey reports whether k lives in the reserved object namespace and
+// must be hidden from flat-key reads and scans.
+func IsInternalKey(k []byte) bool { return len(k) > 0 && k[0] == NSByte }
+
+// ParseInternalKey decodes a reserved-namespace key into its tag ('H'
+// header, 'h' hash field, 's' set member, 'I' intent, 'X' expiry) and the
+// object name it belongs to. Diagnostic helper — the fault explorer's
+// oracle sweeps raw records with it; ok is false outside the namespace or
+// for a key too short to carry its layout.
+func ParseInternalKey(k []byte) (tag byte, name []byte, ok bool) {
+	if len(k) < 2 || k[0] != NSByte {
+		return 0, nil, false
+	}
+	switch k[1] {
+	case tagHeader, tagIntent, tagExpiry:
+		return k[1], k[2:], true
+	case tagField, tagMember:
+		if len(k) < 4 {
+			return 0, nil, false
+		}
+		n := int(binary.LittleEndian.Uint16(k[2:4]))
+		if len(k) < 4+n {
+			return 0, nil, false
+		}
+		return k[1], k[4 : 4+n], true
+	}
+	return 0, nil, false
+}
+
+// Key constructors. All allocate; callers on hot paths reuse via op buffers.
+
+func headerKey(name []byte) []byte {
+	k := make([]byte, 0, 2+len(name))
+	return append(append(k, NSByte, tagHeader), name...)
+}
+
+func intentKey(name []byte) []byte {
+	k := make([]byte, 0, 2+len(name))
+	return append(append(k, NSByte, tagIntent), name...)
+}
+
+func expiryKey(name []byte) []byte {
+	k := make([]byte, 0, 2+len(name))
+	return append(append(k, NSByte, tagExpiry), name...)
+}
+
+func subKey(tag byte, name, sub []byte) []byte {
+	k := make([]byte, 0, 4+len(name)+len(sub))
+	k = append(k, NSByte, tag)
+	k = binary.LittleEndian.AppendUint16(k, uint16(len(name)))
+	k = append(k, name...)
+	return append(k, sub...)
+}
+
+// Options configures an object layer attached to a kv store.
+type Options struct {
+	// Clock returns the current time in milliseconds. Nil means wall clock.
+	// Injected by tests and the fault explorer for determinism.
+	Clock func() int64
+	// ExpireInterval is the background expirer cadence; 0 disables the
+	// goroutine (ticks can still be driven manually via ExpireTick).
+	ExpireInterval time.Duration
+	// ReadOnly attaches in replica mode: expired keys are masked on read
+	// but never reaped, and in-flight intents are left alone (the primary's
+	// stream resolves them). Activate flips the layer to primary mode.
+	ReadOnly bool
+	// Invalidate, when non-nil, is called with every user-visible name a
+	// reap removes, after the reap commits — the server wires this to its
+	// hot-key cache so a reaped flat key cannot be served from DRAM.
+	// SetInvalidate installs or replaces it after Attach.
+	Invalidate func(name []byte)
+}
+
+// Stats are monotonic counters for the STATS verb and tests.
+type Stats struct {
+	Reaps         uint64 // keys reaped (expirer or lazy read-path reap)
+	LazyExpiries  uint64 // reads masked by an expired-but-unreaped key
+	IntentsRolled uint64 // intents rolled forward by recovery/activation
+	IntentsUndone uint64 // composite ops rolled back after a sub-op failure
+}
+
+// Store is the typed-object layer. All methods are safe for concurrent use.
+type Store struct {
+	st   *kv.Store
+	opts Options
+
+	active atomic.Bool // primary mode: may mutate (reap, roll intents)
+
+	// locks stripe-serializes composite operations per object name, so two
+	// HSETs on one object cannot interleave their header read-modify-write,
+	// and a reap cannot race a concurrent field write on the same name.
+	locks [64]sync.Mutex
+
+	// mu guards the DRAM expiry index: deadline per name plus a min-heap
+	// the expirer pops. Heap entries go stale when a TTL is overwritten or
+	// removed; pops validate against the map.
+	mu   sync.RWMutex
+	exp  map[string]int64
+	heap expHeap
+
+	invalidate atomic.Pointer[func(name []byte)]
+
+	reaps         atomic.Uint64
+	lazyExpiries  atomic.Uint64
+	intentsRolled atomic.Uint64
+	intentsUndone atomic.Uint64
+
+	stopc chan struct{}
+	done  sync.WaitGroup
+}
+
+type expEntry struct {
+	deadline int64
+	name     string
+}
+
+type expHeap []expEntry
+
+func (h expHeap) Len() int           { return len(h) }
+func (h expHeap) Less(i, j int) bool { return h[i].deadline < h[j].deadline }
+func (h expHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *expHeap) Push(x any)        { *h = append(*h, x.(expEntry)) }
+func (h *expHeap) Pop() any {
+	old := *h
+	e := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return e
+}
+
+// Attach layers a typed-object store over st: rebuilds the DRAM expiry
+// index from persisted expiry records, rolls any in-flight intents forward
+// (primary mode only — a replica leaves them for the stream to resolve),
+// and starts the background expirer if an interval is configured.
+func Attach(st *kv.Store, opts Options) (*Store, error) {
+	if opts.Clock == nil {
+		opts.Clock = func() int64 { return time.Now().UnixMilli() }
+	}
+	o := &Store{
+		st:    st,
+		opts:  opts,
+		exp:   make(map[string]int64),
+		stopc: make(chan struct{}),
+	}
+	o.active.Store(!opts.ReadOnly)
+	if opts.Invalidate != nil {
+		o.invalidate.Store(&opts.Invalidate)
+	}
+
+	var intents [][]byte
+	st.Range(func(key, value []byte) bool {
+		if len(key) < 2 || key[0] != NSByte {
+			return true
+		}
+		switch key[1] {
+		case tagExpiry:
+			if len(value) == 8 {
+				name := string(key[2:])
+				d := int64(binary.LittleEndian.Uint64(value))
+				o.exp[name] = d
+				o.heap = append(o.heap, expEntry{d, name})
+			}
+		case tagIntent:
+			intents = append(intents, append([]byte(nil), key...))
+		}
+		return true
+	})
+	heap.Init(&o.heap)
+	if o.active.Load() {
+		for _, ik := range intents {
+			if err := o.resolveIntent(ik); err != nil {
+				return nil, fmt.Errorf("obj: recovering intent %q: %w", ik, err)
+			}
+		}
+	}
+	if opts.ExpireInterval > 0 {
+		o.done.Add(1)
+		go o.expireLoop(opts.ExpireInterval)
+	}
+	return o, nil
+}
+
+// Close stops the background expirer. The underlying kv store is not closed.
+func (o *Store) Close() {
+	select {
+	case <-o.stopc:
+	default:
+		close(o.stopc)
+	}
+	o.done.Wait()
+}
+
+// Activate flips a replica-attached layer into primary mode after a
+// promotion: rolls any intents the stream shipped but never resolved
+// forward (so a failover mid-composite never leaves a half-applied object
+// visible), then enables reaping. Idempotent.
+func (o *Store) Activate() error {
+	var intents [][]byte
+	o.st.Range(func(key, value []byte) bool {
+		if len(key) >= 2 && key[0] == NSByte && key[1] == tagIntent {
+			intents = append(intents, append([]byte(nil), key...))
+		}
+		return true
+	})
+	for _, ik := range intents {
+		if err := o.resolveIntent(ik); err != nil {
+			return fmt.Errorf("obj: activating intent %q: %w", ik, err)
+		}
+	}
+	o.active.Store(true)
+	return nil
+}
+
+// Active reports whether the layer is in primary (mutating) mode.
+func (o *Store) Active() bool { return o.active.Load() }
+
+// SetInvalidate installs the reap-notification hook (nil uninstalls). The
+// server wires this to its hot-key cache after construction.
+func (o *Store) SetInvalidate(fn func(name []byte)) {
+	if fn == nil {
+		o.invalidate.Store(nil)
+		return
+	}
+	o.invalidate.Store(&fn)
+}
+
+// Stats returns a snapshot of the layer's counters.
+func (o *Store) Stats() Stats {
+	return Stats{
+		Reaps:         o.reaps.Load(),
+		LazyExpiries:  o.lazyExpiries.Load(),
+		IntentsRolled: o.intentsRolled.Load(),
+		IntentsUndone: o.intentsUndone.Load(),
+	}
+}
+
+func (o *Store) lockFor(name []byte) *sync.Mutex {
+	// FNV-1a, same shape as kv.Hash, folded to the stripe count.
+	h := uint64(1469598103934665603)
+	for _, b := range name {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return &o.locks[h&63]
+}
+
+func checkName(name []byte) error {
+	if len(name) == 0 || len(name) > maxName {
+		return ErrBadName
+	}
+	return nil
+}
+
+// ---- header codec ----
+
+// header value: [type byte][u32 count]([u16 len][bytes])*
+type header struct {
+	typ   byte
+	elems [][]byte
+}
+
+func decodeHeader(v []byte) (header, error) {
+	var h header
+	if len(v) < 5 {
+		return h, fmt.Errorf("obj: short header (%d bytes)", len(v))
+	}
+	h.typ = v[0]
+	n := binary.LittleEndian.Uint32(v[1:5])
+	pos := 5
+	for i := uint32(0); i < n; i++ {
+		if pos+2 > len(v) {
+			return h, errors.New("obj: truncated header element length")
+		}
+		l := int(binary.LittleEndian.Uint16(v[pos:]))
+		pos += 2
+		if pos+l > len(v) {
+			return h, errors.New("obj: truncated header element")
+		}
+		h.elems = append(h.elems, v[pos:pos+l])
+		pos += l
+	}
+	return h, nil
+}
+
+func (h header) encode() []byte {
+	sz := 5
+	for _, e := range h.elems {
+		sz += 2 + len(e)
+	}
+	v := make([]byte, 0, sz)
+	v = append(v, h.typ)
+	v = binary.LittleEndian.AppendUint32(v, uint32(len(h.elems)))
+	for _, e := range h.elems {
+		v = binary.LittleEndian.AppendUint16(v, uint16(len(e)))
+		v = append(v, e...)
+	}
+	return v
+}
+
+func (h header) index(elem []byte) int {
+	for i, e := range h.elems {
+		if string(e) == string(elem) {
+			return i
+		}
+	}
+	return -1
+}
+
+// readHeader fetches and decodes name's header; ok=false when absent.
+func (o *Store) readHeader(name []byte) (header, bool, error) {
+	v, err := o.st.Get(headerKey(name))
+	if err == kv.ErrNotFound {
+		return header{}, false, nil
+	}
+	if err != nil {
+		return header{}, false, err
+	}
+	h, err := decodeHeader(v)
+	if err != nil {
+		return header{}, false, err
+	}
+	return h, true, nil
+}
+
+// ---- expiry index ----
+
+// alive reports whether name is unexpired right now. Expired names are
+// masked immediately (lazy expiry) and, in primary mode, reaped in the
+// background by the next expirer tick — reads never block on the reap.
+func (o *Store) alive(name []byte) bool {
+	o.mu.RLock()
+	d, ok := o.exp[string(name)]
+	o.mu.RUnlock()
+	if !ok || o.opts.Clock() < d {
+		return true
+	}
+	o.lazyExpiries.Add(1)
+	return false
+}
+
+// Expired reports whether key has a TTL that has already passed. The server
+// consults this on the flat GET path before its hot-key cache, so an
+// expired-but-unreaped key is never served from DRAM.
+func (o *Store) Expired(key []byte) bool { return !o.alive(key) }
+
+func (o *Store) setDeadline(name []byte, d int64) {
+	o.mu.Lock()
+	o.exp[string(name)] = d
+	heap.Push(&o.heap, expEntry{d, string(name)})
+	o.mu.Unlock()
+}
+
+func (o *Store) clearDeadline(name []byte) {
+	o.mu.Lock()
+	delete(o.exp, string(name))
+	o.mu.Unlock()
+}

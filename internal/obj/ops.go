@@ -1,0 +1,329 @@
+package obj
+
+import (
+	"encoding/binary"
+
+	"rntree/kv"
+)
+
+// Typed operations. Writes stripe-lock on the object name so a composite
+// read-modify-write of the header cannot interleave with another writer or
+// a reap of the same object; reads are lock-free against kv (expiry masking
+// is a DRAM map lookup).
+
+// memberMark is the value stored under a set-member record — presence is
+// the payload.
+var memberMark = []byte{1}
+
+// HSet writes field=val on hash name, creating the object if absent. A new
+// field commits the header update and the field record atomically through
+// an intent record; overwriting an existing field is a single-record commit.
+func (o *Store) HSet(name, field, val []byte) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	if err := checkName(field); err != nil {
+		return err
+	}
+	mu := o.lockFor(name)
+	mu.Lock()
+	defer mu.Unlock()
+	if !o.alive(name) {
+		if err := o.reapLocked(name); err != nil {
+			return err
+		}
+	}
+	h, found, err := o.readHeader(name)
+	if err != nil {
+		return err
+	}
+	if !found {
+		h = header{typ: TypeHash}
+	} else if h.typ != TypeHash {
+		return ErrWrongType
+	}
+	fk := subKey(tagField, name, field)
+	if h.index(field) >= 0 {
+		// Field already listed: the header is unchanged, so the overwrite
+		// is atomic on its own — no intent needed.
+		return o.st.Put(fk, val)
+	}
+	h.elems = append(h.elems, field)
+	return o.commit(name, []subOp{
+		{kind: subPut, key: fk, val: val},
+		{kind: subPut, key: headerKey(name), val: h.encode()},
+	})
+}
+
+// HGet reads field from hash name.
+func (o *Store) HGet(name, field []byte) ([]byte, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	if err := checkName(field); err != nil {
+		return nil, err
+	}
+	if !o.alive(name) {
+		return nil, kv.ErrNotFound
+	}
+	return o.st.Get(subKey(tagField, name, field))
+}
+
+// HDel removes field from hash name; deleting the last field removes the
+// object (and its TTL) entirely.
+func (o *Store) HDel(name, field []byte) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	if err := checkName(field); err != nil {
+		return err
+	}
+	return o.removeElem(name, field, TypeHash, tagField)
+}
+
+// SAdd adds member to set name, creating the object if absent. A repeated
+// add is a no-op.
+func (o *Store) SAdd(name, member []byte) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	if err := checkName(member); err != nil {
+		return err
+	}
+	mu := o.lockFor(name)
+	mu.Lock()
+	defer mu.Unlock()
+	if !o.alive(name) {
+		if err := o.reapLocked(name); err != nil {
+			return err
+		}
+	}
+	h, found, err := o.readHeader(name)
+	if err != nil {
+		return err
+	}
+	if !found {
+		h = header{typ: TypeSet}
+	} else if h.typ != TypeSet {
+		return ErrWrongType
+	}
+	if h.index(member) >= 0 {
+		return nil
+	}
+	h.elems = append(h.elems, member)
+	return o.commit(name, []subOp{
+		{kind: subPut, key: subKey(tagMember, name, member), val: memberMark},
+		{kind: subPut, key: headerKey(name), val: h.encode()},
+	})
+}
+
+// SRem removes member from set name; removing the last member removes the
+// object entirely.
+func (o *Store) SRem(name, member []byte) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	if err := checkName(member); err != nil {
+		return err
+	}
+	return o.removeElem(name, member, TypeSet, tagMember)
+}
+
+// SMembers lists set name's members. An absent (or expired) set is an
+// empty list, Redis-style.
+func (o *Store) SMembers(name []byte) ([][]byte, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	if !o.alive(name) {
+		return nil, nil
+	}
+	h, found, err := o.readHeader(name)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, nil
+	}
+	if h.typ != TypeSet {
+		return nil, ErrWrongType
+	}
+	out := make([][]byte, len(h.elems))
+	for i, e := range h.elems {
+		out[i] = append([]byte(nil), e...)
+	}
+	return out, nil
+}
+
+// HKeys lists hash name's field names, SMembers-style: an absent (or
+// expired) hash is an empty list.
+func (o *Store) HKeys(name []byte) ([][]byte, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	if !o.alive(name) {
+		return nil, nil
+	}
+	h, found, err := o.readHeader(name)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, nil
+	}
+	if h.typ != TypeHash {
+		return nil, ErrWrongType
+	}
+	out := make([][]byte, len(h.elems))
+	for i, e := range h.elems {
+		out[i] = append([]byte(nil), e...)
+	}
+	return out, nil
+}
+
+// removeElem is the shared HDel/SRem composite: drop elem from the header
+// and delete its record, atomically; the last element deletes the object.
+func (o *Store) removeElem(name, elem []byte, typ, tag byte) error {
+	mu := o.lockFor(name)
+	mu.Lock()
+	defer mu.Unlock()
+	if !o.alive(name) {
+		if err := o.reapLocked(name); err != nil {
+			return err
+		}
+		return kv.ErrNotFound
+	}
+	h, found, err := o.readHeader(name)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return kv.ErrNotFound
+	}
+	if h.typ != typ {
+		return ErrWrongType
+	}
+	i := h.index(elem)
+	if i < 0 {
+		return kv.ErrNotFound
+	}
+	h.elems = append(h.elems[:i], h.elems[i+1:]...)
+	ops := []subOp{{kind: subDel, key: subKey(tag, name, elem)}}
+	hadTTL := false
+	if len(h.elems) == 0 {
+		ops = append(ops, subOp{kind: subDel, key: headerKey(name)})
+		o.mu.RLock()
+		_, hadTTL = o.exp[string(name)]
+		o.mu.RUnlock()
+		if hadTTL && !o.st.Has(name) {
+			// The TTL belonged to the object alone (no flat key shares the
+			// name): it goes with it.
+			ops = append(ops, subOp{kind: subDel, key: expiryKey(name)})
+		} else {
+			hadTTL = false
+		}
+	} else {
+		ops = append(ops, subOp{kind: subPut, key: headerKey(name), val: h.encode()})
+	}
+	if err := o.commit(name, ops); err != nil {
+		return err
+	}
+	if hadTTL {
+		o.clearDeadline(name)
+	}
+	return nil
+}
+
+// exists reports whether name is visible as a flat key or an object.
+func (o *Store) exists(name []byte) bool {
+	if o.st.Has(name) {
+		return true
+	}
+	return o.st.Has(headerKey(name))
+}
+
+// Expire sets name's TTL to ttl milliseconds from now. name may be a flat
+// key or an object; an absent name is an error. The deadline persists as a
+// single expiry record, so the update is atomic on its own.
+func (o *Store) Expire(name []byte, ttlMs uint64) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	if IsInternalKey(name) {
+		return ErrReserved
+	}
+	mu := o.lockFor(name)
+	mu.Lock()
+	defer mu.Unlock()
+	if !o.alive(name) {
+		if err := o.reapLocked(name); err != nil {
+			return err
+		}
+		return kv.ErrNotFound
+	}
+	if !o.exists(name) {
+		return kv.ErrNotFound
+	}
+	d := o.opts.Clock() + int64(ttlMs)
+	var v [8]byte
+	binary.LittleEndian.PutUint64(v[:], uint64(d))
+	if err := o.st.Put(expiryKey(name), v[:]); err != nil {
+		return err
+	}
+	o.setDeadline(name, d)
+	return nil
+}
+
+// TTL returns name's remaining time-to-live in milliseconds, -1 when the
+// name exists without a TTL, and ErrNotFound when it is absent or expired.
+func (o *Store) TTL(name []byte) (int64, error) {
+	if err := checkName(name); err != nil {
+		return 0, err
+	}
+	o.mu.RLock()
+	d, ok := o.exp[string(name)]
+	o.mu.RUnlock()
+	if !ok {
+		if !o.exists(name) {
+			return 0, kv.ErrNotFound
+		}
+		return -1, nil
+	}
+	rem := d - o.opts.Clock()
+	if rem <= 0 {
+		o.lazyExpiries.Add(1)
+		return 0, kv.ErrNotFound
+	}
+	return rem, nil
+}
+
+// Persist removes name's TTL, keeping the value. A name without a TTL is a
+// no-op; an absent or expired name is an error.
+func (o *Store) Persist(name []byte) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	mu := o.lockFor(name)
+	mu.Lock()
+	defer mu.Unlock()
+	if !o.alive(name) {
+		if err := o.reapLocked(name); err != nil {
+			return err
+		}
+		return kv.ErrNotFound
+	}
+	if !o.exists(name) {
+		return kv.ErrNotFound
+	}
+	o.mu.RLock()
+	_, hadTTL := o.exp[string(name)]
+	o.mu.RUnlock()
+	if !hadTTL {
+		return nil
+	}
+	if err := o.st.Delete(expiryKey(name)); err != nil && err != kv.ErrNotFound {
+		return err
+	}
+	o.clearDeadline(name)
+	return nil
+}

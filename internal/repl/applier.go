@@ -251,7 +251,7 @@ func (n *Node) applyStream(cfg ApplierConfig, stopc <-chan struct{}) error {
 		}
 		n.applied.Add(1)
 		if hook := n.applyHook.Load(); hook != nil {
-			(*hook)(resp.Key)
+			(*hook)(resp.ReplKind, resp.Key, resp.Val)
 		}
 		ackMu.Lock()
 		if resp.ReplLSN > ackv[part] {

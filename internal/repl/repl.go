@@ -89,10 +89,10 @@ type Node struct {
 	subCount   atomic.Int64 // live registered subscribers
 	subGone    atomic.Int64 // unix nanos when subCount last dropped to zero
 
-	// applyHook, when set, is called with each key the applier has just
+	// applyHook, when set, is called with each record the applier has just
 	// applied — the serving layer invalidates its hot-key cache through it,
 	// since applied records bypass the server's mutation handlers.
-	applyHook atomic.Pointer[func(key []byte)]
+	applyHook atomic.Pointer[func(kind uint8, key, val []byte)]
 }
 
 // NewNode wraps st as a replication participant. role is the requested role
@@ -169,9 +169,11 @@ func (n *Node) Fenced() bool {
 // Store returns the wrapped store.
 func (n *Node) Store() *kv.Store { return n.st }
 
-// SetApplyHook registers fn to be called with each key the applier
-// applies (nil unregisters). See applyHook.
-func (n *Node) SetApplyHook(fn func(key []byte)) {
+// SetApplyHook registers fn to be called with each record the applier
+// applies (nil unregisters). kind is the kv record kind (kv.ReplPut /
+// kv.ReplDelete); key and val alias the shipped frame and must be copied if
+// retained. See applyHook.
+func (n *Node) SetApplyHook(fn func(kind uint8, key, val []byte)) {
 	if fn == nil {
 		n.applyHook.Store(nil)
 		return

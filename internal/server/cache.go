@@ -48,6 +48,13 @@ type CacheConfig struct {
 	// and finer-grained fill invalidation (an epoch bump only aborts
 	// in-flight fills of its own shard).
 	Shards int
+	// TwoTouch gates admission: a missed key is only installed on its
+	// SECOND miss within one shard-epoch window, so a scan of
+	// touched-once keys cannot thrash the resident hot set (ROADMAP
+	// item 4's admission-guard note). Any invalidation in the shard
+	// resets the window — first-touch records made under an older epoch
+	// are ignored and re-recorded. Default off.
+	TwoTouch bool
 }
 
 func (c *CacheConfig) normalize() {
@@ -74,6 +81,12 @@ type cacheShard struct {
 	mu    sync.Mutex
 	m     map[string][]byte
 	max   int
+	// seen (two-touch mode only) maps key → shard epoch at first touch.
+	// A CommitFill whose key is absent, or recorded under a stale epoch,
+	// is rejected and only (re)records the touch. Bounded at 4× max: a
+	// full table is reset wholesale, which at worst delays admission of
+	// a genuinely hot key by one extra touch.
+	seen map[string]uint64
 }
 
 // Cache is the sharded hot-key cache. All methods are safe for concurrent
@@ -83,12 +96,13 @@ type Cache struct {
 	shards []cacheShard
 	mask   uint64
 
-	hits       atomic.Uint64
-	misses     atomic.Uint64
-	fills      atomic.Uint64
-	fillAborts atomic.Uint64
-	invals     atomic.Uint64
-	evicts     atomic.Uint64
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	fills        atomic.Uint64
+	fillAborts   atomic.Uint64
+	invals       atomic.Uint64
+	evicts       atomic.Uint64
+	admitRejects atomic.Uint64
 }
 
 // NewCache builds a cache; cfg zero values take the documented defaults.
@@ -105,6 +119,9 @@ func NewCache(cfg CacheConfig) *Cache {
 	for i := range c.shards {
 		c.shards[i].m = make(map[string][]byte, perShard)
 		c.shards[i].max = perShard
+		if cfg.TwoTouch {
+			c.shards[i].seen = make(map[string]uint64, perShard)
+		}
 	}
 	return c
 }
@@ -136,8 +153,10 @@ func (c *Cache) FillEpoch(key []byte) uint64 {
 
 // CommitFill installs val for key unless an invalidation bumped the shard
 // epoch since FillEpoch — in which case val may predate a committed
-// mutation and is dropped. val is retained by reference; callers pass
-// store-owned copies and never mutate them.
+// mutation and is dropped. In two-touch mode a first-touch key is only
+// recorded, not installed; the second miss under the same shard epoch
+// admits it. val is retained by reference; callers pass store-owned copies
+// and never mutate them.
 func (c *Cache) CommitFill(key, val []byte, epoch uint64) {
 	sh := c.shard(key)
 	sh.mu.Lock()
@@ -145,6 +164,18 @@ func (c *Cache) CommitFill(key, val []byte, epoch uint64) {
 		sh.mu.Unlock()
 		c.fillAborts.Add(1)
 		return
+	}
+	if sh.seen != nil {
+		if at, ok := sh.seen[string(key)]; !ok || at != epoch {
+			if len(sh.seen) >= 4*sh.max {
+				sh.seen = make(map[string]uint64, sh.max)
+			}
+			sh.seen[string(key)] = epoch
+			sh.mu.Unlock()
+			c.admitRejects.Add(1)
+			return
+		}
+		delete(sh.seen, string(key))
 	}
 	if _, resident := sh.m[string(key)]; !resident && len(sh.m) >= sh.max {
 		for k := range sh.m { // evict an arbitrary resident entry
@@ -190,6 +221,7 @@ type CacheStats struct {
 	FillAborts    uint64
 	Invalidations uint64
 	Evictions     uint64
+	AdmitRejects  uint64
 	Entries       uint64
 }
 
@@ -200,6 +232,7 @@ func (c *Cache) Stats() CacheStats {
 	var s CacheStats
 	s.Fills = c.fills.Load()
 	s.FillAborts = c.fillAborts.Load()
+	s.AdmitRejects = c.admitRejects.Load()
 	s.Evictions = c.evicts.Load()
 	s.Invalidations = c.invals.Load()
 	s.Hits = c.hits.Load()

@@ -42,6 +42,55 @@ func TestCacheBasic(t *testing.T) {
 	}
 }
 
+// Satellite: the two-touch admission guard. A key is installed only on its
+// second miss inside one shard-epoch window, so a one-pass scan cannot
+// evict the resident hot set; an invalidation in the shard resets the
+// window.
+func TestCacheTwoTouchAdmission(t *testing.T) {
+	c := NewCache(CacheConfig{MaxEntries: 64, Shards: 1, TwoTouch: true})
+	key, val := []byte("hot"), []byte("v")
+
+	// First touch: recorded, not admitted.
+	c.CommitFill(key, val, c.FillEpoch(key))
+	if _, ok := c.Get(key); ok {
+		t.Fatal("admitted on first touch")
+	}
+	// Second touch in the same window: admitted.
+	c.CommitFill(key, val, c.FillEpoch(key))
+	if v, ok := c.Get(key); !ok || string(v) != "v" {
+		t.Fatalf("Get = %q,%v after second touch", v, ok)
+	}
+	if st := c.Stats(); st.AdmitRejects != 1 || st.Fills != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// An invalidation between the touches voids the first one.
+	cold := []byte("cold")
+	c.CommitFill(cold, val, c.FillEpoch(cold))
+	c.Invalidate([]byte("other")) // same (only) shard: epoch bump
+	c.CommitFill(cold, val, c.FillEpoch(cold))
+	if _, ok := c.Get(cold); ok {
+		t.Fatal("stale first touch survived an epoch bump")
+	}
+	c.CommitFill(cold, val, c.FillEpoch(cold))
+	if _, ok := c.Get(cold); !ok {
+		t.Fatal("second touch in the new window not admitted")
+	}
+
+	// A scan of touched-once keys admits nothing and cannot thrash the
+	// resident entries.
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("scan%04d", i))
+		c.CommitFill(k, val, c.FillEpoch(k))
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("scan evicted a resident hot key")
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Fatalf("scan caused %d evictions", st.Evictions)
+	}
+}
+
 func TestCacheBounded(t *testing.T) {
 	c := NewCache(CacheConfig{MaxEntries: 32, Shards: 4})
 	for i := 0; i < 1000; i++ {

@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rntree/internal/obj"
 	"rntree/internal/repl"
 	"rntree/internal/wire"
 	"rntree/kv"
@@ -76,6 +77,11 @@ type Config struct {
 	// replica's ack before failing the request (default 5s). The write
 	// stays committed locally either way.
 	ReplDurableTimeout time.Duration
+	// Obj attaches a typed-object layer (obj.Attach over the same store);
+	// nil rejects the typed verbs with StatusErr. The caller owns its
+	// lifecycle (Close); the server wires its reap notifications into the
+	// hot-key cache and activates it on promotion.
+	Obj *obj.Store
 	// ReplFenceLease, when positive, fences a primary whose replica
 	// subscriptions have all been gone longer than the lease: PUT/DEL are
 	// rejected with StatusReadOnly until a replica resubscribes. This
@@ -122,6 +128,10 @@ type Server struct {
 	cache *Cache
 	// repl is the optional replication node (repl.go); nil when disabled.
 	repl *repl.Node
+	// obj is the optional typed-object layer; nil when disabled. Expiry
+	// masking guards the flat GET path (before the cache), and composite
+	// writes invalidate the cache through it.
+	obj *obj.Store
 	// globalInflight counts requests in progress across all connections.
 	// It is a try-acquire-only semaphore (nothing ever blocks on it — over
 	// the limit is an immediate StatusOverloaded), so a plain atomic beats
@@ -161,14 +171,29 @@ func New(st *kv.Store, cfg Config) *Server {
 		s.batcher = newBatcher(st, cfg.Batch, s.cache)
 	}
 	s.repl = cfg.Repl
+	s.obj = cfg.Obj
 	if s.repl != nil && cfg.ReplFenceLease > 0 {
 		s.repl.SetFenceLease(cfg.ReplFenceLease)
 	}
-	if s.repl != nil && s.cache != nil {
+	if s.repl != nil && (s.cache != nil || s.obj != nil) {
 		// Replica mode: records applied by the applier bypass handle(), so
 		// the hot-key cache must be invalidated from the apply path or GETs
-		// would serve superseded values forever.
-		s.repl.SetApplyHook(func(key []byte) { s.cache.Invalidate(key) })
+		// would serve superseded values forever — and the object layer's
+		// DRAM expiry index must track shipped expiry records the same way.
+		s.repl.SetApplyHook(func(kind uint8, key, val []byte) {
+			if s.cache != nil {
+				s.cache.Invalidate(key)
+			}
+			if s.obj != nil {
+				s.obj.OnReplApply(kind, key, val)
+			}
+		})
+	}
+	if s.obj != nil && s.cache != nil {
+		// A reap deletes the flat key the expirer's composite touches; the
+		// ack path for that delete is the reap itself, so the invalidation
+		// must ride the reap commit.
+		s.obj.SetInvalidate(s.cache.Invalidate)
 	}
 	return s
 }
@@ -349,6 +374,9 @@ type Stats struct {
 	Repl            repl.Stats
 	DurableWaits    uint64 // durable-ack PUTs that waited for a replica
 	DurableTimeouts uint64 // ...that timed out waiting
+
+	HasObj bool
+	Obj    obj.Stats
 }
 
 // statsSnapshotRetries bounds the Stats consistency loop; see Stats.
@@ -395,6 +423,10 @@ func (s *Server) loadStats() Stats {
 	if s.cache != nil {
 		st.HasCache = true
 		st.Cache = s.cache.Stats()
+	}
+	if s.obj != nil {
+		st.HasObj = true
+		st.Obj = s.obj.Stats()
 	}
 	if s.repl != nil {
 		st.HasRepl = true
@@ -452,7 +484,16 @@ func (s *Server) counters() []wire.Counter {
 			wire.Counter{Name: "cache_fill_aborts", Val: sv.Cache.FillAborts},
 			wire.Counter{Name: "cache_invalidations", Val: sv.Cache.Invalidations},
 			wire.Counter{Name: "cache_evictions", Val: sv.Cache.Evictions},
+			wire.Counter{Name: "cache_admit_rejects", Val: sv.Cache.AdmitRejects},
 			wire.Counter{Name: "cache_entries", Val: sv.Cache.Entries},
+		)
+	}
+	if sv.HasObj {
+		out = append(out,
+			wire.Counter{Name: "obj_reaps", Val: sv.Obj.Reaps},
+			wire.Counter{Name: "obj_lazy_expiries", Val: sv.Obj.LazyExpiries},
+			wire.Counter{Name: "obj_intents_rolled", Val: sv.Obj.IntentsRolled},
+			wire.Counter{Name: "obj_intents_undone", Val: sv.Obj.IntentsUndone},
 		)
 	}
 	return out
@@ -843,6 +884,19 @@ func (cn *conn) handle(req wire.Request) {
 	case wire.OpPing:
 		resp.Status = wire.StatusOK
 	case wire.OpGet:
+		if o := cn.s.obj; o != nil {
+			if obj.IsInternalKey(req.Key) {
+				resp.Status, resp.Msg = wire.StatusErr, errReservedKey
+				break
+			}
+			// Expiry masking BEFORE the cache: an expired-but-unreaped key
+			// may still be resident (the reap's invalidation hasn't run yet),
+			// and serving it would resurrect a dead value.
+			if o.Expired(req.Key) {
+				resp.Status = wire.StatusNotFound
+				break
+			}
+		}
 		if c := cn.s.cache; c != nil {
 			if val, ok := c.Get(req.Key); ok {
 				resp.Status = wire.StatusOK
@@ -880,6 +934,10 @@ func (cn *conn) handle(req wire.Request) {
 			resp.Status = wire.StatusReadOnly
 			break
 		}
+		if cn.s.obj != nil && obj.IsInternalKey(req.Key) {
+			resp.Status, resp.Msg = wire.StatusErr, errReservedKey
+			break
+		}
 		if req.Durable && cn.s.repl != nil {
 			cn.handleDurablePut(req, &resp)
 			break
@@ -902,6 +960,10 @@ func (cn *conn) handle(req wire.Request) {
 	case wire.OpDel:
 		if cn.s.readOnly() {
 			resp.Status = wire.StatusReadOnly
+			break
+		}
+		if cn.s.obj != nil && obj.IsInternalKey(req.Key) {
+			resp.Status, resp.Msg = wire.StatusErr, errReservedKey
 			break
 		}
 		err := cn.s.st.Delete(req.Key)
@@ -937,10 +999,85 @@ func (cn *conn) handle(req wire.Request) {
 		return
 	case wire.OpPromote:
 		cn.handlePromote(req, &resp)
+		if resp.Status == wire.StatusOK && cn.s.obj != nil {
+			// A freshly promoted primary rolls any intents the stream
+			// shipped-but-never-resolved forward BEFORE serving writes, so a
+			// failover mid-composite never exposes a half-applied object.
+			if err := cn.s.obj.Activate(); err != nil {
+				resp.Status, resp.Msg = wire.StatusErr, err.Error()
+			}
+		}
+	case wire.OpHSet, wire.OpHGet, wire.OpHDel, wire.OpSAdd, wire.OpSRem,
+		wire.OpSMembers, wire.OpExpire, wire.OpTTL, wire.OpPersist:
+		cn.handleObj(req, &resp)
 	default:
 		resp.Status, resp.Msg = wire.StatusErr, fmt.Sprintf("unhandled op %s", wire.OpName(req.Op))
 	}
 	cn.respond(resp)
+}
+
+const errReservedKey = "server: key is in the reserved object namespace"
+
+// objWriteOp reports whether op mutates through the object layer (and must
+// respect replica/fence read-only gating plus cache invalidation).
+func objWriteOp(op uint8) bool {
+	switch op {
+	case wire.OpHSet, wire.OpHDel, wire.OpSAdd, wire.OpSRem, wire.OpExpire, wire.OpPersist:
+		return true
+	}
+	return false
+}
+
+// handleObj executes one typed-object request. Composite writes invalidate
+// the hot-key cache under the object's name after commit, before ack — a
+// reap folded into the write (an expired name being rewritten) may have
+// deleted the flat key of the same name out from under a cached GET.
+func (cn *conn) handleObj(req wire.Request, resp *wire.Response) {
+	o := cn.s.obj
+	if o == nil {
+		resp.Status, resp.Msg = wire.StatusErr, "server: typed objects disabled"
+		return
+	}
+	if objWriteOp(req.Op) && cn.s.readOnly() {
+		resp.Status = wire.StatusReadOnly
+		return
+	}
+	var err error
+	switch req.Op {
+	case wire.OpHSet:
+		err = o.HSet(req.Key, req.Field, req.Val)
+	case wire.OpHGet:
+		resp.Val, err = o.HGet(req.Key, req.Field)
+	case wire.OpHDel:
+		err = o.HDel(req.Key, req.Field)
+	case wire.OpSAdd:
+		err = o.SAdd(req.Key, req.Field)
+	case wire.OpSRem:
+		err = o.SRem(req.Key, req.Field)
+	case wire.OpSMembers:
+		resp.Members, err = o.SMembers(req.Key)
+	case wire.OpExpire:
+		err = o.Expire(req.Key, req.TTLMs)
+	case wire.OpTTL:
+		resp.TTL, err = o.TTL(req.Key)
+	case wire.OpPersist:
+		err = o.Persist(req.Key)
+	}
+	if objWriteOp(req.Op) {
+		if c := cn.s.cache; c != nil {
+			c.Invalidate(req.Key)
+		}
+	}
+	switch err {
+	case nil:
+		resp.Status = wire.StatusOK
+	case kv.ErrNotFound:
+		resp.Status = wire.StatusNotFound
+	case kv.ErrClosed:
+		resp.Status = wire.StatusClosing
+	default:
+		resp.Status, resp.Msg = wire.StatusErr, err.Error()
+	}
 }
 
 // scan collects up to ScanMax live pairs with the given key prefix. The
@@ -953,6 +1090,11 @@ func (cn *conn) scan(req wire.Request) []wire.KV {
 	}
 	var out []wire.KV
 	cn.s.st.Range(func(k, v []byte) bool {
+		// Object-layer records are an implementation detail of the typed
+		// verbs; a flat SCAN never surfaces them.
+		if cn.s.obj != nil && (obj.IsInternalKey(k) || cn.s.obj.Expired(k)) {
+			return true
+		}
 		if len(req.ScanPrefix) > 0 && !hasPrefix(k, req.ScanPrefix) {
 			return true
 		}

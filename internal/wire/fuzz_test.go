@@ -23,6 +23,15 @@ func seedRequestPayloads() [][]byte {
 		{ID: 10, Op: OpReplRecord, ReplPart: 1, ReplLSN: 42, ReplKind: 1, Key: []byte("key"), Val: []byte("value")},
 		{ID: 11, Op: OpReplAck, ReplLSNs: []uint64{9, 8}},
 		{ID: 12, Op: OpPromote, ReplEpoch: 7},
+		{ID: 13, Op: OpHSet, Key: []byte("obj"), Field: []byte("f"), Val: []byte("value")},
+		{ID: 14, Op: OpHGet, Key: []byte("obj"), Field: []byte("f")},
+		{ID: 15, Op: OpHDel, Key: []byte("obj"), Field: []byte("f")},
+		{ID: 16, Op: OpSAdd, Key: []byte("obj"), Field: []byte("m")},
+		{ID: 17, Op: OpSRem, Key: []byte("obj"), Field: []byte("m")},
+		{ID: 18, Op: OpSMembers, Key: []byte("obj")},
+		{ID: 19, Op: OpExpire, Key: []byte("obj"), TTLMs: 1500},
+		{ID: 20, Op: OpTTL, Key: []byte("obj")},
+		{ID: 21, Op: OpPersist, Key: []byte("obj")},
 	}
 	var out [][]byte
 	for _, r := range reqs {
@@ -56,6 +65,14 @@ func seedResponsePayloads() [][]byte {
 		{ID: 11, Status: StatusReadOnly, Op: OpPut},
 		{ID: 12, Status: StatusOK, Op: OpPromote, ReplRole: RolePrimary, ReplEpoch: 8},
 		{ID: 13, Status: StatusNoRepl, Op: OpReplHello},
+		{ID: 14, Status: StatusOK, Op: OpHSet},
+		{ID: 15, Status: StatusOK, Op: OpHGet, Val: []byte("value")},
+		{ID: 16, Status: StatusNotFound, Op: OpHGet},
+		{ID: 17, Status: StatusOK, Op: OpSMembers, Members: [][]byte{[]byte("a"), []byte("b")}},
+		{ID: 18, Status: StatusOK, Op: OpTTL, TTL: 1400},
+		{ID: 19, Status: StatusOK, Op: OpTTL, TTL: -1},
+		{ID: 20, Status: StatusOK, Op: OpExpire},
+		{ID: 21, Status: StatusOK, Op: OpPersist},
 	}
 	var out [][]byte
 	for _, r := range resps {

@@ -27,6 +27,12 @@
 //	REPL.RECORD        uint32 part, uint64 lsn, uint8 kind, key, value
 //	REPL.ACK           uint32 n, then n x uint64 durable LSN (one per partition)
 //	PROMOTE            uint64 epoch to supersede
+//	HSET               name, field, value
+//	HGET, HDEL         name, field
+//	SADD, SREM         name, member
+//	SMEMBERS, TTL,
+//	PERSIST            name
+//	EXPIRE             name, uint64 ttl milliseconds
 //
 // Response bodies (status OK unless noted):
 //
@@ -39,6 +45,12 @@
 //	REPL.RECORD        uint32 part, uint64 lsn, uint8 kind, key, value
 //	REPL.ACK           (empty)
 //	PROMOTE            uint8 role, uint64 epoch
+//	HGET               value
+//	SMEMBERS           uint32 n, then n x member
+//	TTL                uint64 remaining ms (two's-complement -1 = no TTL)
+//	HSET, HDEL, SADD,
+//	SREM, EXPIRE,
+//	PERSIST            (empty)
 //	any with StatusErr message
 //
 // Replication rides the same framing in both directions: after a replica's
@@ -78,6 +90,17 @@ const (
 	OpReplRecord    = 9  // one shipped log record (streamed as responses)
 	OpReplAck       = 10 // replica's durable per-partition watermarks (no response)
 	OpPromote       = 11 // client asks a replica to take over as primary
+
+	// Typed-object verbs (DESIGN.md §15).
+	OpHSet     = 12 // hash field write
+	OpHGet     = 13 // hash field read
+	OpHDel     = 14 // hash field delete
+	OpSAdd     = 15 // set member add
+	OpSRem     = 16 // set member remove
+	OpSMembers = 17 // set member list
+	OpExpire   = 18 // set a key's TTL
+	OpTTL      = 19 // read a key's remaining TTL
+	OpPersist  = 20 // drop a key's TTL
 )
 
 // Replication roles carried by REPL.HELLO and PROMOTE frames.
@@ -130,6 +153,9 @@ type Request struct {
 	ReplPart  uint32   // REPL.RECORD: partition index
 	ReplLSN   uint64   // REPL.RECORD: record LSN
 	ReplKind  uint8    // REPL.RECORD: record kind (kv.ReplPut / kv.ReplDelete)
+
+	Field []byte // HSET/HGET/HDEL: field; SADD/SREM: member (Key is the name)
+	TTLMs uint64 // EXPIRE: milliseconds until expiry
 }
 
 // KV is one key/value pair in a SCAN response.
@@ -161,6 +187,9 @@ type Response struct {
 	ReplPart  uint32   // REPL.RECORD: partition index
 	ReplLSN   uint64   // REPL.RECORD: record LSN
 	ReplKind  uint8    // REPL.RECORD: record kind
+
+	Members [][]byte // SMEMBERS
+	TTL     int64    // TTL: remaining ms, -1 = key exists with no TTL
 }
 
 // OpName returns a printable opcode name.
@@ -188,11 +217,29 @@ func OpName(op uint8) string {
 		return "REPL.ACK"
 	case OpPromote:
 		return "PROMOTE"
+	case OpHSet:
+		return "HSET"
+	case OpHGet:
+		return "HGET"
+	case OpHDel:
+		return "HDEL"
+	case OpSAdd:
+		return "SADD"
+	case OpSRem:
+		return "SREM"
+	case OpSMembers:
+		return "SMEMBERS"
+	case OpExpire:
+		return "EXPIRE"
+	case OpTTL:
+		return "TTL"
+	case OpPersist:
+		return "PERSIST"
 	}
 	return fmt.Sprintf("OP(%d)", op)
 }
 
-func validOp(op uint8) bool { return op >= OpPing && op <= OpPromote }
+func validOp(op uint8) bool { return op >= OpPing && op <= OpPersist }
 
 func validStatus(st uint8) bool { return st <= StatusNoRepl }
 
@@ -260,6 +307,18 @@ func AppendRequest(dst []byte, r Request) ([]byte, error) {
 		dst = appendBytes(dst, r.Val)
 	case OpPromote:
 		dst = appendU64(dst, r.ReplEpoch)
+	case OpHSet:
+		dst = appendBytes(dst, r.Key)
+		dst = appendBytes(dst, r.Field)
+		dst = appendBytes(dst, r.Val)
+	case OpHGet, OpHDel, OpSAdd, OpSRem:
+		dst = appendBytes(dst, r.Key)
+		dst = appendBytes(dst, r.Field)
+	case OpSMembers, OpTTL, OpPersist:
+		dst = appendBytes(dst, r.Key)
+	case OpExpire:
+		dst = appendBytes(dst, r.Key)
+		dst = appendU64(dst, r.TTLMs)
 	}
 	return finishFrame(dst, base)
 }
@@ -308,6 +367,15 @@ func AppendResponse(dst []byte, r Response) ([]byte, error) {
 	case r.Op == OpPromote:
 		dst = append(dst, r.ReplRole)
 		dst = appendU64(dst, r.ReplEpoch)
+	case r.Op == OpHGet:
+		dst = appendBytes(dst, r.Val)
+	case r.Op == OpSMembers:
+		dst = appendU32(dst, uint32(len(r.Members)))
+		for _, m := range r.Members {
+			dst = appendBytes(dst, m)
+		}
+	case r.Op == OpTTL:
+		dst = appendU64(dst, uint64(r.TTL))
 	}
 	return finishFrame(dst, base)
 }
@@ -482,6 +550,18 @@ func DecodeRequest(p []byte) (Request, error) {
 		r.Val = c.bytes()
 	case OpPromote:
 		r.ReplEpoch = c.u64()
+	case OpHSet:
+		r.Key = c.bytes()
+		r.Field = c.bytes()
+		r.Val = c.bytes()
+	case OpHGet, OpHDel, OpSAdd, OpSRem:
+		r.Key = c.bytes()
+		r.Field = c.bytes()
+	case OpSMembers, OpTTL, OpPersist:
+		r.Key = c.bytes()
+	case OpExpire:
+		r.Key = c.bytes()
+		r.TTLMs = c.u64()
 	}
 	if err := c.done(); err != nil {
 		return Request{}, err
@@ -553,6 +633,23 @@ func DecodeResponse(p []byte) (Response, error) {
 	case r.Op == OpPromote:
 		r.ReplRole = c.u8()
 		r.ReplEpoch = c.u64()
+	case r.Op == OpHGet:
+		r.Val = c.bytes()
+	case r.Op == OpSMembers:
+		n := c.u32()
+		// Each member costs at least a 4-byte length prefix; reject counts
+		// the remaining payload cannot possibly hold before allocating.
+		if c.err == nil && uint64(n)*4 > uint64(len(c.b)) {
+			return Response{}, ErrTruncated
+		}
+		if c.err == nil && n > 0 {
+			r.Members = make([][]byte, 0, n)
+			for i := uint32(0); i < n && c.err == nil; i++ {
+				r.Members = append(r.Members, c.bytes())
+			}
+		}
+	case r.Op == OpTTL:
+		r.TTL = int64(c.u64())
 	}
 	if err := c.done(); err != nil {
 		return Response{}, err

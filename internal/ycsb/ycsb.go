@@ -18,6 +18,13 @@ const (
 	OpInsert
 	OpRemove
 	OpScan
+	// Typed-object verbs (the internal/obj layer), so structured-data
+	// workloads flow through the same mix/chooser machinery.
+	OpHSet
+	OpHGet
+	OpSAdd
+	OpSMembers
+	OpExpire
 )
 
 // String names the operation kind.
@@ -33,6 +40,16 @@ func (k OpKind) String() string {
 		return "remove"
 	case OpScan:
 		return "scan"
+	case OpHSet:
+		return "hset"
+	case OpHGet:
+		return "hget"
+	case OpSAdd:
+		return "sadd"
+	case OpSMembers:
+		return "smembers"
+	case OpExpire:
+		return "expire"
 	}
 	return "?"
 }
@@ -40,6 +57,9 @@ func (k OpKind) String() string {
 // Mix is an operation mix in percent; entries must sum to 100.
 type Mix struct {
 	Read, Update, Insert, Remove, Scan int
+	// Typed-object proportions. A mix may combine flat and object verbs;
+	// Key then names the object, Field the hash field / set member.
+	HSet, HGet, SAdd, SMembers, Expire int
 }
 
 // The paper's workloads.
@@ -56,6 +76,12 @@ var (
 	// MixedQuarter gives each single-key operation the same proportion, as
 	// in the mixed benchmark of §6.2.4.
 	MixedQuarter = Mix{Read: 25, Update: 25, Insert: 25, Remove: 25}
+	// ObjComposite is the structured-data analogue of YCSB-A: half writes
+	// (hash-field sets plus set-member adds, both of which commit a header
+	// update and an element record atomically through an intent), half
+	// reads (field gets and whole-set listings), and a trickle of TTL
+	// refreshes.
+	ObjComposite = Mix{HSet: 35, HGet: 40, SAdd: 15, SMembers: 8, Expire: 2}
 )
 
 // Next draws an operation kind.
@@ -76,7 +102,27 @@ func (m Mix) Next(r *rand.Rand) OpKind {
 	if p < m.Remove {
 		return OpRemove
 	}
-	return OpScan
+	p -= m.Remove
+	if p < m.Scan {
+		return OpScan
+	}
+	p -= m.Scan
+	if p < m.HSet {
+		return OpHSet
+	}
+	p -= m.HSet
+	if p < m.HGet {
+		return OpHGet
+	}
+	p -= m.HGet
+	if p < m.SAdd {
+		return OpSAdd
+	}
+	p -= m.SAdd
+	if p < m.SMembers {
+		return OpSMembers
+	}
+	return OpExpire
 }
 
 // Scramble is a 64-bit mixing bijection (splitmix64 finalizer) used to hash
@@ -165,18 +211,27 @@ func (z *Zipfian) Next(r *rand.Rand) uint64 {
 type Workload struct {
 	Mix     Mix
 	Chooser Chooser
+	// Fields bounds the per-object field/member id drawn for typed-object
+	// requests (Request.Field in [0, Fields)); 0 leaves Field at 0 for
+	// flat-key workloads.
+	Fields uint64
 }
 
 // Request is one generated operation.
 type Request struct {
-	Op  OpKind
-	Key uint64
+	Op    OpKind
+	Key   uint64
+	Field uint64
 }
 
 // Stream returns a deterministic per-thread request generator.
 func (w Workload) Stream(seed int64) func() Request {
 	r := rand.New(rand.NewSource(seed))
 	return func() Request {
-		return Request{Op: w.Mix.Next(r), Key: w.Chooser.Next(r)}
+		req := Request{Op: w.Mix.Next(r), Key: w.Chooser.Next(r)}
+		if w.Fields > 0 {
+			req.Field = uint64(r.Int63n(int64(w.Fields)))
+		}
+		return req
 	}
 }

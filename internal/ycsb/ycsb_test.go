@@ -40,6 +40,35 @@ func TestMixProportions(t *testing.T) {
 	}
 }
 
+func TestObjCompositeMix(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	counts := map[OpKind]int{}
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		counts[ObjComposite.Next(r)]++
+	}
+	for _, k := range []OpKind{OpRead, OpUpdate, OpInsert, OpRemove, OpScan} {
+		if counts[k] != 0 {
+			t.Fatalf("object mix emitted flat op %v: %v", k, counts)
+		}
+	}
+	writes := float64(counts[OpHSet]+counts[OpSAdd]) / n
+	if writes < 0.48 || writes > 0.52 {
+		t.Fatalf("object mix write ratio %.3f", writes)
+	}
+	if counts[OpExpire] == 0 {
+		t.Fatal("object mix never drew expire")
+	}
+	w := Workload{Mix: ObjComposite, Chooser: Uniform{N: 1000}, Fields: 8}
+	stream := w.Stream(9)
+	for i := 0; i < 10_000; i++ {
+		req := stream()
+		if req.Field >= 8 {
+			t.Fatalf("field %d out of range", req.Field)
+		}
+	}
+}
+
 func TestScrambleInjective(t *testing.T) {
 	seen := make(map[uint64]uint64, 200_000)
 	for i := uint64(0); i < 200_000; i++ {
