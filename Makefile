@@ -1,7 +1,7 @@
 # Tier-1 verification and the race gate for the concurrent kv/tree paths.
 GO ?= go
 
-.PHONY: check build vet test lint race bench-kv bench-server bench-obj bench-heap faultcheck faultshort servercheck replcheck heapcheck objcheck fuzz-wire
+.PHONY: check build vet test lint lint-fixtures race bench-kv bench-server bench-obj bench-heap faultcheck faultshort servercheck replcheck heapcheck objcheck fuzz-wire
 
 check: build vet lint test faultshort servercheck replcheck heapcheck objcheck
 
@@ -12,10 +12,18 @@ vet:
 	$(GO) vet ./...
 
 # rnvet: the repo's own pass suite (persistcheck, htmsafe, lockflush,
-# fencecheck) machine-checks the NVM-persistence and HTM-safety invariants
-# over every production package. See DESIGN.md §11.
+# fencecheck, undolog, atomicfield, lockorder, spinblock) machine-checks the
+# NVM-persistence, HTM-safety and cross-package concurrency invariants over
+# every production package. See DESIGN.md §11 and §16.
 lint:
 	$(GO) run ./cmd/rnvet ./...
+
+# The golden-fixture suite standalone: every pass's seeded-bug fixture must
+# keep producing exactly its want-comment findings (proves the passes still
+# FIND bugs — `lint` alone only proves the tree is clean), plus the
+# annotation-grammar and directive-parsing tests.
+lint-fixtures:
+	$(GO) test ./internal/analysis -run 'TestPersistCheck|TestHTMSafe|TestLockFlush|TestFenceCheck|TestUndoLog|TestAtomicField|TestLockOrder|TestSpinBlock|TestAnnotations|TestParseLockOrder|TestDirectivePasses|TestByName' -count=1
 
 test:
 	$(GO) test ./...
@@ -23,11 +31,12 @@ test:
 # The kv store's Stats/Put/Delete/Compact paths, the tree's HTM slot
 # updates (including the DRAM fingerprint words), the forest's partition
 # router, the HTM emulation's lock table, the server's hot-key cache and
-# stats snapshots, the client's pending-call table, and the heap's grow
-# cutover (committed-space gate vs concurrent readers) are exercised
-# concurrently; keep them race-clean.
+# stats snapshots, the client's pending-call table, the heap's grow
+# cutover (committed-space gate vs concurrent readers), the crash-point
+# explorer harness, and the drain scheduler are exercised concurrently;
+# keep them race-clean.
 race:
-	$(GO) test -race ./kv/... ./internal/core/... ./internal/forest/... ./internal/htm/... ./internal/server/... ./internal/repl/... ./client/... ./internal/pmem/... ./internal/obj/...
+	$(GO) test -race -timeout 30m ./kv/... ./internal/core/... ./internal/forest/... ./internal/htm/... ./internal/server/... ./internal/repl/... ./client/... ./internal/pmem/... ./internal/obj/... ./internal/fault/... ./internal/drain/...
 
 bench-kv:
 	$(GO) run ./cmd/rnbench -exp kvscale

@@ -28,6 +28,12 @@ type Failover struct {
 	opts  Options
 	addrs []string
 
+	// mu serializes reconnect rounds; the wrapped client's own locks are
+	// always acquired inside it:
+	//
+	//rnvet:lockorder client.Failover.mu<client.Client.connMu
+	//rnvet:lockorder client.Failover.mu<client.Client.wMu
+	//rnvet:lockorder client.Failover.mu<client.Client.pendMu
 	mu    sync.Mutex
 	c     *Client
 	cur   int    // index into addrs of the node c is connected to

@@ -1,10 +1,12 @@
 // Command rnvet is the repository's invariant checker: a multichecker over
-// the internal/analysis pass suite that machine-checks the NVM-persistence
-// and HTM-safety rules the paper's designs depend on (see DESIGN.md §11).
+// the internal/analysis pass suite that machine-checks the NVM-persistence,
+// HTM-safety and cross-package concurrency rules the paper's designs depend
+// on (persistcheck, htmsafe, lockflush, fencecheck, undolog, atomicfield,
+// lockorder, spinblock — see DESIGN.md §11 and §16, or run `rnvet -list`).
 //
 // Usage:
 //
-//	rnvet [-passes persistcheck,htmsafe,lockflush,fencecheck] [packages...]
+//	rnvet [-passes atomicfield,lockorder,spinblock] [packages...]
 //
 // Packages default to ./... and accept any `go list` pattern. rnvet exits 1
 // when any diagnostic survives the annotation filters, 2 on load failure —

@@ -17,6 +17,19 @@
 //   - undolog: multi-word allocator-metadata updates (MetaWrite8) stay
 //     inside a matched UndoBegin/UndoCommit window, so a crash anywhere
 //     rolls the heap's metadata back to a consistent state (DESIGN.md §14).
+//   - atomicfield: a struct field or package-level word accessed through
+//     sync/atomic anywhere in the program must never also be read or
+//     written plainly — mixed access on the packed protocol words (version
+//     locks, repl epoch word, fingerprint words, stats counters) is a data
+//     race the scheduler may never surface.
+//   - lockorder: the whole-program lock-acquisition graph over named lock
+//     fields (sync2 spin/version locks, sync.Mutex/RWMutex) must stay
+//     acyclic; //rnvet:lockorder directives declare the intended hierarchy
+//     and are machine-checked against the observed edges.
+//   - spinblock: no operation that can park or indefinitely delay the
+//     goroutine (channel traffic, sync parking, time.Sleep, I/O) may be
+//     reachable while a sync2 spin lock is held — a blocked holder turns
+//     every spinning waiter into a burning CPU.
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
 // (Analyzer / Pass / Diagnostic, golden tests driven by "// want" comments)
@@ -32,6 +45,12 @@
 //	//pmem:volatile [justification]   — suppresses persistcheck
 //	//htm:safe [justification]        — suppresses htmsafe
 //	//rnvet:ignore pass[,pass] [why]  — suppresses exactly the named passes
+//
+// A second directive family DECLARES an invariant instead of suppressing a
+// finding: //rnvet:lockorder a<b[<c...] states the intended lock hierarchy
+// (a is acquired before b). Declared edges join the observed acquisition
+// graph, so a directive both documents the order and turns any code path
+// that contradicts it into a lockorder finding (see lockorder.go).
 //
 // An annotation applies to the source line it sits on, to the line directly
 // below it (full-line comment form), or — when written in a function's doc
@@ -128,7 +147,7 @@ func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
 
 // All returns the full rnvet suite in its canonical order.
 func All() []*Analyzer {
-	return []*Analyzer{PersistCheck, HTMSafe, LockFlush, FenceCheck, UndoLog}
+	return []*Analyzer{PersistCheck, HTMSafe, LockFlush, FenceCheck, UndoLog, AtomicField, LockOrder, SpinBlock}
 }
 
 // ByName resolves a comma-separated pass list ("persistcheck,htmsafe").
@@ -237,10 +256,15 @@ func (prog *Program) suppressed(pass string, pos token.Pos) bool {
 
 // collectNotes indexes every annotation comment of a file by line number,
 // recording whether the comment leads its line (nothing but whitespace
-// before it) — only leading annotations cover the line below.
+// before it) — only leading annotations cover the line below. It also
+// gathers the //rnvet:lockorder hierarchy declarations (lockorder.go).
 func (prog *Program) collectNotes(f *ast.File, src []byte) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
+			if decls, ok := parseLockOrder(c.Text, c.Pos()); ok {
+				prog.lockOrders = append(prog.lockOrders, decls...)
+				continue
+			}
 			passes := directivePasses(c.Text)
 			if passes == nil {
 				continue

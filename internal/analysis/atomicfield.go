@@ -1,0 +1,483 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// AtomicField enforces single-discipline access to shared words: a struct
+// field (or package-level variable) that is accessed through sync/atomic —
+// either by address (`atomic.LoadUint64(&s.w)`) or by being declared as an
+// atomic value type (`atomic.Uint64`) — must never also be read or written
+// plainly anywhere in the program. Mixed access is how packed protocol
+// words rot: the repl epoch<<8|role word, the leaf version word, the HTM
+// line-lock table and the pmem cache/dirty words are all single 8-byte
+// words whose readers run lock-free, so one plain store (or one plain read
+// hoisted by the compiler) is a data race the scheduler may never surface.
+//
+// The index is whole-program: the classification of a field merges every
+// access in every loaded package, then each plain access is reported at its
+// own site so the //rnvet:ignore atomicfield escape can be applied (with an
+// audit comment) exactly where a single-threaded init/recovery path makes
+// the plain access safe.
+//
+// Deliberate exemptions (see DESIGN.md §16 for the full approximation
+// list): composite-literal initialization (the object is not yet
+// published), len/cap and index-only range (they touch the slice header,
+// not the atomic elements), whole-header assignment of a plain-typed
+// slice whose *elements* are the atomic words (`a.cache = make(...)`),
+// and taking &s.f of a declared-atomic field (the pointee's fields are
+// unexported, so every access through the pointer is forced back through
+// the sync/atomic method API).
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "a field accessed via sync/atomic must never also be accessed plainly",
+	Run:  runAtomicField,
+}
+
+// afMode records how a field earns atomic status.
+type afMode int
+
+const (
+	afDirect     afMode = iota // &s.f passed to a sync/atomic function
+	afElem                     // &s.f[i] passed to a sync/atomic function
+	afAtomicType               // field declared as an atomic value type
+)
+
+type afInfo struct {
+	mode      afMode
+	atomicPos token.Pos // first atomic access site (NoPos: declared-type only)
+}
+
+// afPlain is one non-atomic access to a tracked field.
+type afPlain struct {
+	v    *types.Var
+	name string // rendered "pkg.Type.field" at the access site
+	pos  token.Pos
+	kind string // "plain write", "plain element read", ...
+	pkg  *Package
+}
+
+type afIndex struct {
+	fields map[*types.Var]*afInfo
+	plains []afPlain
+}
+
+func runAtomicField(pass *Pass) {
+	idx, ok := pass.Prog.memos["atomicfield"].(*afIndex)
+	if !ok {
+		idx = buildAtomicIndex(pass.Prog)
+		pass.Prog.memos["atomicfield"] = idx
+	}
+	for _, p := range idx.plains {
+		if p.pkg != pass.Pkg {
+			continue
+		}
+		info := idx.fields[p.v]
+		if info == nil {
+			continue
+		}
+		where := "declared as a sync/atomic type"
+		if info.atomicPos.IsValid() {
+			ap := pass.Prog.Fset.Position(info.atomicPos)
+			where = "accessed atomically at " + filepath.Base(ap.Filename) + ":" + itoa(ap.Line)
+		}
+		pass.Reportf(p.pos,
+			"field %s mixes atomic and plain access: %s here, but %s (every access to an atomic word must use sync/atomic; annotate //rnvet:ignore atomicfield on audited single-threaded paths)",
+			p.name, p.kind, where)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// buildAtomicIndex scans every loaded package twice: first for atomic
+// accesses (which fields participate), then for every other use of those
+// fields, classified by syntactic context.
+func buildAtomicIndex(prog *Program) *afIndex {
+	idx := &afIndex{fields: make(map[*types.Var]*afInfo)}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			collectAtomicAccesses(idx, pkg, f)
+		}
+	}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			parents := parentMap(f)
+			collectPlainUses(idx, prog, pkg, f, parents)
+		}
+	}
+	return idx
+}
+
+// atomicFnPrefixes are the sync/atomic package-level operations that take
+// the word's address as their first argument.
+var atomicFnPrefixes = []string{"CompareAndSwap", "Load", "Store", "Swap", "Add", "And", "Or"}
+
+func isAtomicPkgFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	for _, p := range atomicFnPrefixes {
+		if strings.HasPrefix(fn.Name(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicValueType reports whether t is (or is a slice/array of) one of
+// the sync/atomic value types (atomic.Uint64, atomic.Pointer[T], ...).
+func isAtomicValueType(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.Slice:
+		return isAtomicValueType(u.Elem())
+	case *types.Array:
+		return isAtomicValueType(u.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// trackedVarOf resolves an expression to a field or package-level variable
+// worth indexing (local variables have no cross-function identity). It
+// returns the variable and its rendered name.
+func trackedVarOf(info *types.Info, e ast.Expr) (*types.Var, string) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok {
+			if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+				return v, fieldNodeName(s.Recv(), v)
+			}
+			return nil, ""
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v, v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v, v.Pkg().Name() + "." + v.Name()
+		}
+	}
+	return nil, ""
+}
+
+// markAtomic records an atomic access, keeping the earliest sample site and
+// upgrading the mode if a field is reached both directly and by element.
+func (idx *afIndex) markAtomic(v *types.Var, mode afMode, pos token.Pos) {
+	if v == nil {
+		return
+	}
+	info := idx.fields[v]
+	if info == nil {
+		idx.fields[v] = &afInfo{mode: mode, atomicPos: pos}
+		return
+	}
+	if !info.atomicPos.IsValid() {
+		info.atomicPos = pos
+	}
+	if info.mode == afAtomicType && mode != afAtomicType {
+		info.mode = mode
+	}
+}
+
+// collectAtomicAccesses finds, in one file, every sync/atomic call on a
+// field's address and every method call on an atomic-typed field.
+func collectAtomicAccesses(idx *afIndex, pkg *Package, f *ast.File) {
+	info := pkg.Info
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil {
+			return true
+		}
+		if isAtomicPkgFunc(fn) && len(call.Args) > 0 {
+			if u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && u.Op == token.AND {
+				target := ast.Unparen(u.X)
+				if ix, ok := target.(*ast.IndexExpr); ok {
+					if v, _ := trackedVarOf(info, ix.X); v != nil {
+						idx.markAtomic(v, afElem, call.Pos())
+					}
+				} else if v, _ := trackedVarOf(info, target); v != nil {
+					idx.markAtomic(v, afDirect, call.Pos())
+				}
+			}
+			return true
+		}
+		// Method call on an atomic value type: the receiver chain is the
+		// atomic access (s.epoch.Load(), sub.cursor[p].Store(v)).
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+				if mfn, ok := s.Obj().(*types.Func); ok && mfn.Pkg() != nil && mfn.Pkg().Path() == "sync/atomic" {
+					recv := ast.Unparen(sel.X)
+					if ix, ok := recv.(*ast.IndexExpr); ok {
+						recv = ast.Unparen(ix.X)
+					}
+					if v, _ := trackedVarOf(info, recv); v != nil {
+						idx.markAtomic(v, afAtomicType, call.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// parentMap indexes every node's syntactic parent in one file.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// collectPlainUses records every use of a tracked field that is not itself
+// an atomic access, classified by walking up the parent chain.
+func collectPlainUses(idx *afIndex, prog *Program, pkg *Package, f *ast.File, parents map[ast.Node]ast.Node) {
+	info := pkg.Info
+	ast.Inspect(f, func(n ast.Node) bool {
+		var use ast.Expr
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			use = n
+		case *ast.Ident:
+			// Bare identifiers matter only for package-level variables and
+			// composite-literal field keys; selector Sel idents are reached
+			// via their SelectorExpr parent, which we skip here.
+			if p, ok := parents[n].(*ast.SelectorExpr); ok && p.Sel == n {
+				return true
+			}
+			use = n
+		default:
+			return true
+		}
+		v, name := trackedVarOf(info, use)
+		if v == nil {
+			return true
+		}
+		tracked := idx.fields[v] != nil
+		if !tracked && v.IsField() && isAtomicValueType(v.Type()) {
+			// A declared-atomic field is tracked even before (or without)
+			// any method call on it: a plain reset still tears the word.
+			idx.markAtomic(v, afAtomicType, token.NoPos)
+			tracked = true
+		}
+		if !tracked {
+			return true
+		}
+		kind, counted := classifyUse(info, idx.fields[v], v, use, parents)
+		if counted {
+			idx.plains = append(idx.plains, afPlain{v: v, name: name, pos: use.Pos(), kind: kind, pkg: pkg})
+		}
+		return v.IsField() // descend into s of s.f — it may itself be tracked
+	})
+}
+
+// classifyUse walks up from one field use and decides whether it is a
+// plain (counted) access, and of what kind. The walk accumulates element
+// and address-of context through parens, index expressions and unary &,
+// then classifies at the first decisive parent.
+func classifyUse(info *types.Info, fi *afInfo, v *types.Var, use ast.Expr, parents map[ast.Node]ast.Node) (string, bool) {
+	elem := false
+	addr := false
+	var cur ast.Node = use
+	for {
+		p := parents[cur]
+		if p == nil {
+			return "plain read", true
+		}
+		switch p := p.(type) {
+		case *ast.ParenExpr:
+			cur = p
+			continue
+		case *ast.IndexExpr:
+			if p.X == cur {
+				elem = true
+				cur = p
+				continue
+			}
+			return "plain read", true // used as an index value
+		case *ast.SliceExpr:
+			if p.X == cur {
+				if fi.mode == afElem {
+					return "aliasing slice of atomic words", true
+				}
+				return "plain read", true
+			}
+			return "plain read", true
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				addr = true
+				cur = p
+				continue
+			}
+			return "plain read", true
+		case *ast.StarExpr:
+			cur = p
+			continue
+		case *ast.CallExpr:
+			return classifyCallUse(info, fi, p, cur, elem, addr)
+		case *ast.AssignStmt:
+			for _, l := range p.Lhs {
+				if l == cur {
+					return classifyWrite(fi, v, elem, addr)
+				}
+			}
+			return readUse(fi, elem, addr)
+		case *ast.IncDecStmt:
+			return classifyWrite(fi, v, elem, addr)
+		case *ast.KeyValueExpr:
+			if p.Key == cur {
+				if _, ok := parents[p].(*ast.CompositeLit); ok {
+					return "", false // composite-literal init: object unpublished
+				}
+			}
+			return readUse(fi, elem, addr)
+		case *ast.RangeStmt:
+			if p.X == cur {
+				if p.Value == nil {
+					return "", false // index-only range touches the header
+				}
+				return "plain element read (range)", true
+			}
+			return readUse(fi, elem, addr)
+		case *ast.SelectorExpr:
+			// The field's value is selected from further (method or field on
+			// the word). Method calls on atomic types were consumed in pass
+			// one; reaching here for an atomic-typed field means a method
+			// VALUE or a field promotion — treat as read unless it is the
+			// consumed receiver of an atomic method call.
+			if s, ok := info.Selections[p]; ok && s.Kind() == types.MethodVal {
+				if mfn, ok := s.Obj().(*types.Func); ok && mfn.Pkg() != nil && mfn.Pkg().Path() == "sync/atomic" {
+					if call, ok := parents[p].(*ast.CallExpr); ok && call.Fun == p {
+						return "", false // the atomic access itself
+					}
+				}
+			}
+			cur = p
+			continue
+		default:
+			return readUse(fi, elem, addr)
+		}
+	}
+}
+
+// classifyCallUse decides a field use whose decisive parent is a call.
+func classifyCallUse(info *types.Info, fi *afInfo, call *ast.CallExpr, cur ast.Node, elem, addr bool) (string, bool) {
+	if call.Fun == cur {
+		return "", false // the expression IS the callee (method value resolved above)
+	}
+	fn := calleeOf(info, call)
+	if isAtomicPkgFunc(fn) && len(call.Args) > 0 && call.Args[0] == cur && addr {
+		return "", false // the atomic access itself
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "len", "cap":
+				return "", false // header-only
+			case "copy":
+				if fi.mode == afElem || fi.mode == afAtomicType {
+					return "bulk copy over atomic words", true
+				}
+			}
+		}
+	}
+	if addr {
+		if fi.mode == afAtomicType && !elem {
+			return "", false // passing *atomic.T around is the method API
+		}
+		if elem {
+			return "address of atomic word element escapes to " + callName(fn), true
+		}
+		return "address of atomic word escapes to " + callName(fn), true
+	}
+	return readUse(fi, elem, addr)
+}
+
+func callName(fn *types.Func) string {
+	if fn == nil {
+		return "a call"
+	}
+	return fn.Name()
+}
+
+func classifyWrite(fi *afInfo, v *types.Var, elem, addr bool) (string, bool) {
+	if addr {
+		return "plain write through escaped address", true
+	}
+	if elem {
+		return "plain element write", true
+	}
+	if _, ok := v.Type().Underlying().(*types.Slice); ok {
+		// Whole-header assignment of the backing slice (init/grow): the
+		// atomic words are the elements, not the header. Arrays do NOT get
+		// this exemption — assigning an array value rewrites its elements.
+		return "", false
+	}
+	return "plain write", true
+}
+
+// readUse classifies a read-position use, applying the declared-atomic
+// address exemption: &s.f of an atomic value type is how the method API is
+// reached, and the pointee's fields are unexported — every access through
+// the pointer is forced back through sync/atomic.
+func readUse(fi *afInfo, elem, addr bool) (string, bool) {
+	if addr && !elem && fi.mode == afAtomicType {
+		return "", false
+	}
+	return readKind(fi, elem, addr), true
+}
+
+func readKind(fi *afInfo, elem, addr bool) string {
+	switch {
+	case addr && elem:
+		return "address of atomic word element taken"
+	case addr:
+		return "address of atomic word taken"
+	case elem:
+		return "plain element read"
+	case fi.mode == afElem || fi.mode == afAtomicType:
+		if fi.mode == afElem {
+			return "aliasing read of the backing slice"
+		}
+		return "plain read (value copy of atomic type)"
+	default:
+		return "plain read"
+	}
+}

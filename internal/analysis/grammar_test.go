@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParseLockOrder pins the //rnvet:lockorder grammar: the chain is the
+// first whitespace-separated field, every adjacent pair becomes one edge,
+// and malformed chains still register as directives (so they are never
+// mistaken for suppression comments) without producing edges.
+func TestParseLockOrder(t *testing.T) {
+	pairs := func(decls []lockOrderDecl) [][2]string {
+		var out [][2]string
+		for _, d := range decls {
+			out = append(out, [2]string{d.before, d.after})
+		}
+		return out
+	}
+	cases := []struct {
+		text string
+		ok   bool
+		want [][2]string
+	}{
+		{"//rnvet:lockorder a<b", true, [][2]string{{"a", "b"}}},
+		{"//rnvet:lockorder a<b<c", true, [][2]string{{"a", "b"}, {"b", "c"}}},
+		{"//rnvet:lockorder pkg.T.mu<other.U.mu a justification follows", true,
+			[][2]string{{"pkg.T.mu", "other.U.mu"}}},
+		{"//rnvet:lockorder a<b<c<d", true, [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}}},
+		// Malformed chains: still a directive, no edges.
+		{"//rnvet:lockorder", true, nil},
+		{"//rnvet:lockorder justwords", true, nil},
+		{"//rnvet:lockorder a<", true, nil},
+		{"//rnvet:lockorder <b", true, nil},
+		{"//rnvet:lockorder a<<b", true, nil},
+		// Not lockorder directives at all.
+		{"//rnvet:ignore lockorder audited", false, nil},
+		{"// plain comment", false, nil},
+	}
+	for _, c := range cases {
+		decls, ok := parseLockOrder(c.text, 1)
+		if ok != c.ok {
+			t.Errorf("%q: ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if got := pairs(decls); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%q: pairs = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+// TestDirectivePasses pins the suppression grammar the new passes rely on:
+// the pass list is the first field, commas split it, and the lockorder
+// DIRECTIVE prefix is not a suppression.
+func TestDirectivePasses(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//rnvet:ignore atomicfield audited init", []string{"atomicfield"}},
+		{"//rnvet:ignore lockflush,spinblock commit point", []string{"lockflush", "spinblock"}},
+		{"//rnvet:ignore lockorder hand-over-hand", []string{"lockorder"}},
+		{"//rnvet:ignore", nil},
+		{"//pmem:volatile scratch", []string{"persistcheck"}},
+		{"//htm:safe audited", []string{"htmsafe"}},
+	}
+	for _, c := range cases {
+		if got := directivePasses(c.text); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%q: passes = %v, want %v", c.text, got, c.want)
+		}
+	}
+}

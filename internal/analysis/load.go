@@ -45,6 +45,16 @@ type Program struct {
 
 	// notes indexes annotation comments: filename -> line -> entries.
 	notes map[string]map[int][]noteEntry
+
+	// lockOrders holds the //rnvet:lockorder declarations of the whole
+	// program, in source order (see lockorder.go).
+	lockOrders []lockOrderDecl
+
+	// memos caches whole-program indexes that interprocedural passes build
+	// once and reuse across per-package Run invocations (atomicfield's
+	// field-access index, lockorder's acquisition graph, spinblock's
+	// may-block summaries). Run executes passes sequentially, so no locking.
+	memos map[string]any
 }
 
 type bodyRef struct {
@@ -165,6 +175,7 @@ func load(listed []listedPackage, analyze map[string]bool) (*Program, error) {
 		Fset:   token.NewFileSet(),
 		bodies: make(map[*types.Func]bodyRef),
 		notes:  make(map[string]map[int][]noteEntry),
+		memos:  make(map[string]any),
 	}
 	byPath := make(map[string]*listedPackage, len(listed))
 	for i := range listed {

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 )
 
@@ -14,21 +13,17 @@ import (
 // Persist/PersistStream/Fence — direct, or reachable through a called
 // function — between a sync2 Lock() and its Unlock() in the same function.
 //
-// The walk is branch-aware: an Unlock on an early-exit path (unlock-and-
-// return, unlock-and-continue) does not release the lock for the code after
-// the branch, so commit-point persists under the surviving lock are still
-// seen. Audited exceptions — the one-line commit flush that §4.2 step 4
-// requires under the leaf lock, and the split path (Algorithm 3 runs under
-// the leaf lock) — carry //rnvet:ignore lockflush.
+// The walk (the shared heldWalker engine, heldwalk.go) is branch-aware: an
+// Unlock on an early-exit path (unlock-and-return, unlock-and-continue)
+// does not release the lock for the code after the branch, so commit-point
+// persists under the surviving lock are still seen. Audited exceptions —
+// the one-line commit flush that §4.2 step 4 requires under the leaf lock,
+// and the split path (Algorithm 3 runs under the leaf lock) — carry
+// //rnvet:ignore lockflush.
 var LockFlush = &Analyzer{
 	Name: "lockflush",
 	Doc:  "no persist or fence may run while a sync2 lock is held",
 	Run:  runLockFlush,
-}
-
-type heldLock struct {
-	recv string
-	pos  token.Pos
 }
 
 func runLockFlush(pass *Pass) {
@@ -46,257 +41,31 @@ func runLockFlush(pass *Pass) {
 	}
 }
 
-// lockWalker carries the per-body state of the branch-aware walk. Function
-// literals encountered along the way are queued and analyzed afterwards
-// with an empty lock set: a closure may run on another goroutine or after
-// the enclosing critical section ends, so it gets its own scope.
-type lockWalker struct {
-	pass     *Pass
-	closures []*ast.FuncLit
-}
-
 func checkLockFlushBody(pass *Pass, body *ast.BlockStmt) {
-	w := &lockWalker{pass: pass}
-	w.walkStmts(body.List, nil)
-	for i := 0; i < len(w.closures); i++ { // closures may queue more closures
-		w.walkStmts(w.closures[i].Body.List, nil)
-	}
-}
-
-// walkStmts walks one straight-line statement list, threading the set of
-// held sync2 locks through it. It returns the lock set at fall-through and
-// whether every path through the list terminates (return / branch).
-func (w *lockWalker) walkStmts(stmts []ast.Stmt, held []heldLock) ([]heldLock, bool) {
-	for _, s := range stmts {
-		var term bool
-		held, term = w.walkStmt(s, held)
-		if term {
-			return held, true
-		}
-	}
-	return held, false
-}
-
-func (w *lockWalker) walkStmt(s ast.Stmt, held []heldLock) ([]heldLock, bool) {
-	switch s := s.(type) {
-	case *ast.BlockStmt:
-		return w.walkStmts(s.List, held)
-	case *ast.LabeledStmt:
-		return w.walkStmt(s.Stmt, held)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			held, _ = w.walkStmt(s.Init, held)
-		}
-		held = w.scanCalls(s.Cond, held)
-		thenHeld, thenTerm := w.walkStmts(s.Body.List, cloneLocks(held))
-		elseHeld, elseTerm := held, false
-		if s.Else != nil {
-			elseHeld, elseTerm = w.walkStmt(s.Else, cloneLocks(held))
-		}
-		switch {
-		case thenTerm && elseTerm:
-			return held, true
-		case thenTerm:
-			return elseHeld, false
-		case elseTerm:
-			return thenHeld, false
-		default:
-			return unionLocks(thenHeld, elseHeld), false
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			held, _ = w.walkStmt(s.Init, held)
-		}
-		held = w.scanCalls(s.Cond, held)
-		w.walkStmts(s.Body.List, cloneLocks(held))
-		if s.Post != nil {
-			w.walkStmt(s.Post, cloneLocks(held))
-		}
-		return held, false // loop-carried lock state is approximated by entry state
-	case *ast.RangeStmt:
-		held = w.scanCalls(s.X, held)
-		w.walkStmts(s.Body.List, cloneLocks(held))
-		return held, false
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			held, _ = w.walkStmt(s.Init, held)
-		}
-		held = w.scanCalls(s.Tag, held)
-		return w.walkClauses(s.Body, held)
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			held, _ = w.walkStmt(s.Init, held)
-		}
-		return w.walkClauses(s.Body, held)
-	case *ast.SelectStmt:
-		return w.walkClauses(s.Body, held)
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			held = w.scanCalls(e, held)
-		}
-		return held, true
-	case *ast.BranchStmt:
-		// break/continue/goto end this straight-line path; the target path
-		// re-enters with the state computed at its own walk.
-		return held, true
-	case *ast.DeferStmt:
-		// A deferred Unlock keeps the lock held for the rest of the source
-		// text (it runs at return). Other deferred calls are scanned: a
-		// deferred persist registered under a lock is suspect enough to flag.
-		if fn := calleeOf(w.pass.Pkg.Info, s.Call); fn != nil && isSync2Unlock(fn) {
-			return held, false
-		}
-		return w.scanCalls(s.Call, held), false
-	case *ast.GoStmt:
-		// The goroutine body runs outside this critical section; its FuncLit
-		// (if any) is queued for a fresh-scope walk.
-		ast.Inspect(s.Call, func(n ast.Node) bool {
-			if lit, ok := n.(*ast.FuncLit); ok {
-				w.closures = append(w.closures, lit)
-				return false
+	w := &heldWalker{
+		info:     pass.Pkg.Info,
+		classify: classifySync2,
+		onCall: func(call *ast.CallExpr, fn *types.Func, held []heldLock) {
+			if len(held) == 0 {
+				return
 			}
-			return true
-		})
-		return held, false
-	case *ast.ExprStmt:
-		return w.scanCalls(s.X, held), false
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			held = w.scanCalls(e, held)
-		}
-		for _, e := range s.Lhs {
-			held = w.scanCalls(e, held)
-		}
-		return held, false
-	case *ast.IncDecStmt:
-		return w.scanCalls(s.X, held), false
-	case *ast.SendStmt:
-		held = w.scanCalls(s.Chan, held)
-		return w.scanCalls(s.Value, held), false
-	case *ast.DeclStmt:
-		return w.scanCalls(s, held), false
-	default:
-		return held, false
-	}
-}
-
-// walkClauses handles the case/comm clause bodies of a switch or select.
-func (w *lockWalker) walkClauses(body *ast.BlockStmt, held []heldLock) ([]heldLock, bool) {
-	after := held // no default clause ⇒ fall-through with entry state
-	hasDefault := false
-	allTerm := true
-	sawClause := false
-	for _, c := range body.List {
-		var stmts []ast.Stmt
-		switch c := c.(type) {
-		case *ast.CaseClause:
-			stmts = c.Body
-			if c.List == nil {
-				hasDefault = true
+			lock := held[len(held)-1].recv
+			name := fn.Name()
+			switch {
+			case isArenaMethod(fn) && (arenaPersists[name] || name == "Fence"):
+				pass.Reportf(call.Pos(),
+					"arena %s while sync2 lock %s is held: flush-outside-lock rule (persistency must overlap, not occupy, the critical section)",
+					name, lock)
+			case isTxMethod(fn) && name == "Persist":
+				pass.Reportf(call.Pos(),
+					"Tx.Persist while sync2 lock %s is held: the fallback path would flush inside the critical section", lock)
+			case callMayPersistCall(pass, fn, call):
+				pass.Reportf(call.Pos(),
+					"call to %s, which can persist, while sync2 lock %s is held (flush-outside-lock rule)", name, lock)
 			}
-			for _, e := range c.List {
-				held = w.scanCalls(e, held)
-			}
-		case *ast.CommClause:
-			stmts = c.Body
-			if c.Comm == nil {
-				hasDefault = true
-			}
-		default:
-			continue
-		}
-		sawClause = true
-		h, term := w.walkStmts(stmts, cloneLocks(held))
-		if !term {
-			allTerm = false
-			after = unionLocks(after, h)
-		}
+		},
 	}
-	if sawClause && hasDefault && allTerm {
-		return held, true
-	}
-	return after, false
-}
-
-// scanCalls inspects one expression (or declaration) in source order,
-// updating the lock set on sync2 Lock/Unlock and reporting persistent
-// instructions reached while any lock is held. Function literals are queued
-// for a fresh-scope walk, not descended into.
-func (w *lockWalker) scanCalls(node ast.Node, held []heldLock) []heldLock {
-	if node == nil {
-		return held
-	}
-	info := w.pass.Pkg.Info
-	ast.Inspect(node, func(n ast.Node) bool {
-		if lit, ok := n.(*ast.FuncLit); ok {
-			w.closures = append(w.closures, lit)
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		fn := calleeOf(info, call)
-		if fn == nil {
-			return true
-		}
-		switch {
-		case isSync2Lock(fn):
-			held = append(held, heldLock{recv: recvString(call), pos: call.Pos()})
-			return true
-		case isSync2Unlock(fn):
-			recv := recvString(call)
-			for i := len(held) - 1; i >= 0; i-- {
-				if held[i].recv == recv {
-					held = append(held[:i], held[i+1:]...)
-					break
-				}
-			}
-			return true
-		}
-		if len(held) == 0 {
-			return true
-		}
-		lock := held[len(held)-1].recv
-		name := fn.Name()
-		switch {
-		case isArenaMethod(fn) && (arenaPersists[name] || name == "Fence"):
-			w.pass.Reportf(call.Pos(),
-				"arena %s while sync2 lock %s is held: flush-outside-lock rule (persistency must overlap, not occupy, the critical section)",
-				name, lock)
-		case isTxMethod(fn) && name == "Persist":
-			w.pass.Reportf(call.Pos(),
-				"Tx.Persist while sync2 lock %s is held: the fallback path would flush inside the critical section", lock)
-		case callMayPersistCall(w.pass, fn, call):
-			w.pass.Reportf(call.Pos(),
-				"call to %s, which can persist, while sync2 lock %s is held (flush-outside-lock rule)", name, lock)
-		}
-		return true
-	})
-	return held
-}
-
-func cloneLocks(held []heldLock) []heldLock {
-	return append([]heldLock(nil), held...)
-}
-
-// unionLocks merges the lock sets of two joining paths conservatively: a
-// lock held on either path is treated as held after the join.
-func unionLocks(a, b []heldLock) []heldLock {
-	out := cloneLocks(a)
-	for _, l := range b {
-		dup := false
-		for _, o := range out {
-			if o.recv == l.recv {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			out = append(out, l)
-		}
-	}
-	return out
+	w.walkBody(body)
 }
 
 // callMayPersistCall reports whether the call can reach a persistent

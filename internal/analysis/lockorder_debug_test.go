@@ -1,0 +1,31 @@
+package analysis
+
+import (
+	"os"
+	"testing"
+)
+
+// TestDumpLockGraph is a development aid: RNVET_DUMP_LOCKGRAPH=1 prints the
+// observed acquisition edges of the whole module.
+func TestDumpLockGraph(t *testing.T) {
+	if os.Getenv("RNVET_DUMP_LOCKGRAPH") == "" {
+		t.Skip("set RNVET_DUMP_LOCKGRAPH=1 to dump")
+	}
+	prog, err := Load("", []string{"rntree/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := buildLockGraph(prog)
+	for _, e := range g.edges {
+		tag := ""
+		if e.declared {
+			tag = " [declared]"
+		}
+		via := ""
+		if e.via != "" {
+			via = " via " + e.via
+		}
+		t.Logf("%s -> %s%s%s at %s", e.from, e.to, via, tag, prog.Fset.Position(e.pos))
+	}
+	t.Logf("%d edges", len(g.edges))
+}

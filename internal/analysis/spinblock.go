@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpinBlock forbids blocking while spinning waiters exist: no operation
+// that can park or indefinitely delay the goroutine may be reachable while
+// a sync2 spin lock (SpinLock, or the leaf VersionLock — both are
+// busy-wait) is held. A blocked holder turns every spinning waiter into a
+// burning CPU with no progress, and under the paper's latency model the
+// critical sections these locks guard are supposed to be tens of
+// nanoseconds long.
+//
+// Blocking operations: channel send/receive, select without a default
+// clause, range over a channel, sync.Mutex/RWMutex acquisition (parks),
+// sync.Cond.Wait / WaitGroup.Wait / Once.Do, time.Sleep, and any call into
+// an I/O package (net, os, io, bufio, syscall). Calls into target-package
+// functions are walked transitively (the shared heldWalker provides the
+// branch-aware held set; may-block summaries are memoized per function).
+// Spinning is NOT blocking: nested sync2 lock acquisition and the sync2
+// backoff helpers (runtime.Gosched yields, it never parks on a resource)
+// are lockorder's concern, not this pass's.
+var SpinBlock = &Analyzer{
+	Name: "spinblock",
+	Doc:  "no blocking operation may be reachable while a sync2 spin lock is held",
+	Run:  runSpinBlock,
+}
+
+func runSpinBlock(pass *Pass) {
+	if pass.Pkg.Path == sync2Path {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSpinBlockBody(pass, fd.Body)
+		}
+	}
+}
+
+func checkSpinBlockBody(pass *Pass, body *ast.BlockStmt) {
+	w := &heldWalker{
+		info:     pass.Pkg.Info,
+		classify: classifySync2,
+		onNode: func(n ast.Node, held []heldLock) {
+			if len(held) == 0 {
+				return
+			}
+			lock := held[len(held)-1].recv
+			if desc := blockingNodeDesc(n); desc != "" {
+				pass.Reportf(n.Pos(),
+					"%s while sync2 spin lock %s is held: spinning waiters burn CPU behind a blocked holder (move the blocking operation outside the critical section)",
+					desc, lock)
+			}
+		},
+		onCall: func(call *ast.CallExpr, fn *types.Func, held []heldLock) {
+			if len(held) == 0 {
+				return
+			}
+			lock := held[len(held)-1].recv
+			if desc := blockingExternal(fn); desc != "" {
+				pass.Reportf(call.Pos(),
+					"%s while sync2 spin lock %s is held (spinning waiters burn CPU behind a blocked holder)",
+					desc, lock)
+				return
+			}
+			if site := mayBlock(pass.Prog, fn, nil); site != nil {
+				pos := pass.Prog.Fset.Position(site.pos)
+				pass.Reportf(call.Pos(),
+					"call to %s, which can block (%s at %s:%d), while sync2 spin lock %s is held",
+					fn.Name(), site.what, shortFile(pos.Filename), pos.Line, lock)
+			}
+		},
+	}
+	w.walkBody(body)
+}
+
+func shortFile(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// blockingNodeDesc classifies the statement forms the walker surfaces.
+func blockingNodeDesc(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return "channel send"
+	case *ast.UnaryExpr:
+		return "channel receive"
+	case *ast.RangeStmt:
+		return "range over channel"
+	case *ast.SelectStmt:
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				return "" // select with default polls, never blocks
+			}
+		}
+		return "select without default"
+	}
+	return ""
+}
+
+// blockingExternal classifies calls whose bodies are not loaded (stdlib):
+// the known parking operations and the I/O packages.
+func blockingExternal(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "sync":
+		switch {
+		case (isMethodOn(fn, "sync", "Mutex") || isMethodOn(fn, "sync", "RWMutex")) &&
+			(name == "Lock" || name == "RLock"):
+			return "sync lock acquisition (parks the goroutine)"
+		case isMethodOn(fn, "sync", "Cond") && name == "Wait":
+			return "sync.Cond.Wait"
+		case isMethodOn(fn, "sync", "WaitGroup") && name == "Wait":
+			return "sync.WaitGroup.Wait"
+		case isMethodOn(fn, "sync", "Once") && name == "Do":
+			return "sync.Once.Do (may wait on the winning goroutine)"
+		}
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+	case "net", "os", "io", "bufio", "syscall", "os/exec", "net/http":
+		return "I/O call into " + fn.Pkg().Path() + "." + name
+	}
+	return ""
+}
+
+// blockSite describes the first blocking operation found inside a callee.
+type blockSite struct {
+	what string
+	pos  token.Pos
+}
+
+// mayBlock reports whether fn (transitively, through target-package bodies)
+// can reach a blocking operation, returning the first such site. Goroutine
+// bodies are skipped: a `go` closure blocks on its own schedule, not while
+// the caller's spin lock is held. Results are memoized on the Program.
+func mayBlock(prog *Program, fn *types.Func, seen map[*types.Func]bool) *blockSite {
+	memo, ok := prog.memos["spinblock"].(map[*types.Func]*blockSite)
+	if !ok {
+		memo = make(map[*types.Func]*blockSite)
+		prog.memos["spinblock"] = memo
+	}
+	if s, ok := memo[fn]; ok {
+		return s
+	}
+	decl, pkg := prog.BodyOf(fn)
+	if decl == nil {
+		return nil
+	}
+	root := seen == nil
+	if root {
+		seen = make(map[*types.Func]bool)
+	}
+	if seen[fn] || len(seen) > 128 {
+		return nil
+	}
+	seen[fn] = true
+	var found *blockSite
+	info := pkg.Info
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			found = &blockSite{what: "channel send", pos: n.Pos()}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = &blockSite{what: "channel receive", pos: n.Pos()}
+			}
+		case *ast.SelectStmt:
+			if d := blockingNodeDesc(n); d != "" {
+				found = &blockSite{what: d, pos: n.Pos()}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = &blockSite{what: "range over channel", pos: n.Pos()}
+				}
+			}
+		case *ast.CallExpr:
+			callee := calleeOf(info, n)
+			if callee == nil {
+				return true
+			}
+			if desc := blockingExternal(callee); desc != "" {
+				found = &blockSite{what: desc, pos: n.Pos()}
+				return false
+			}
+			if s := mayBlock(prog, callee, seen); s != nil {
+				found = s
+				return false
+			}
+		}
+		return true
+	})
+	if found != nil {
+		memo[fn] = found // a found site is valid regardless of recursion cuts
+	} else if root {
+		// Cache a negative only at the walk root: deeper in the recursion a
+		// "no block found" may just mean the cycle/depth cut hid one.
+		memo[fn] = nil
+	}
+	return found
+}

@@ -32,6 +32,18 @@ func TestUndoLog(t *testing.T) {
 	analysistest.Run(t, fixture("undolog"), analysis.UndoLog)
 }
 
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, fixture("atomicfield"), analysis.AtomicField)
+}
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, fixture("lockorder"), analysis.LockOrder)
+}
+
+func TestSpinBlock(t *testing.T) {
+	analysistest.Run(t, fixture("spinblock"), analysis.SpinBlock)
+}
+
 // TestAnnotations runs the FULL suite over the annotation fixture: each
 // escape hatch must suppress exactly its own diagnostic and nothing else.
 func TestAnnotations(t *testing.T) {
@@ -40,8 +52,11 @@ func TestAnnotations(t *testing.T) {
 
 // TestTreeClean is the regression lock on the real tree: the violations
 // rnvet surfaced in this repository were fixed (undoPool.acquire's head
-// flush moved out of the spin lock) or annotated with audited exemptions,
-// and the suite must stay clean over every production package.
+// flush in v1, and in v2 its slot allocation and image persist, moved out
+// of the spin lock) or annotated with audited exemptions, and the full
+// suite — including atomicfield, lockorder and spinblock — must stay clean
+// over every production package. The declared //rnvet:lockorder hierarchy
+// is checked against the observed acquisition graph as part of this run.
 func TestTreeClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short runs")

@@ -5,6 +5,9 @@
 package annot
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"rntree/internal/htm"
 	"rntree/internal/pmem"
 	"rntree/internal/sync2"
@@ -91,4 +94,100 @@ func runsAudited(r *htm.Region) {
 func suppressedOnlyOnce(a *pmem.Arena) {
 	a.Write8(0, 1)   //pmem:volatile scratch bytes, never read back
 	a.Write8(128, 2) // want `Write8 on a is not covered by a Persist/PersistStream before return`
+}
+
+// --- v2 passes: the same scoping rules hold for atomicfield, lockorder
+// and spinblock, and each annotation still suppresses only its own pass.
+
+// counter earns atomic status through bump.
+type counter struct{ n uint64 }
+
+func bump(c *counter) {
+	atomic.AddUint64(&c.n, 1)
+}
+
+// ignoreAtomicLine: same-line //rnvet:ignore atomicfield silences the pass.
+func ignoreAtomicLine(c *counter) {
+	c.n = 0 //rnvet:ignore atomicfield audited single-threaded reset
+}
+
+// ignoreAtomicWrongPass: a lockflush annotation must NOT hide an
+// atomicfield finding.
+func ignoreAtomicWrongPass(c *counter) uint64 {
+	return c.n //rnvet:ignore lockflush mismatched annotation // want `field annot\.counter\.n mixes atomic and plain access: plain read here`
+}
+
+// ignoreSpinLine: same-line //rnvet:ignore spinblock silences the pass.
+func ignoreSpinLine(mu *sync2.SpinLock, ch chan int) {
+	mu.Lock()
+	ch <- 1 //rnvet:ignore spinblock audited: buffered hand-off, never parks
+	mu.Unlock()
+}
+
+// ignoreSpinWrongPass: an atomicfield annotation must NOT hide a spinblock
+// finding.
+func ignoreSpinWrongPass(mu *sync2.SpinLock, ch chan int) {
+	mu.Lock()
+	ch <- 1 //rnvet:ignore atomicfield mismatched annotation // want `channel send while sync2 spin lock mu is held`
+	mu.Unlock()
+}
+
+// spinFuncDoc: the doc-comment form covers the whole audited body for the
+// new passes too.
+//
+//rnvet:ignore spinblock audited: both sends are buffered hand-offs
+func spinFuncDoc(mu *sync2.SpinLock, ch chan int) {
+	mu.Lock()
+	ch <- 1
+	ch <- 2
+	mu.Unlock()
+}
+
+// ignoreLockOrderLine: hand-over-hand locking, audited.
+type link struct {
+	mu   sync2.SpinLock
+	next *link
+}
+
+func ignoreLockOrderLine(l *link) {
+	l.mu.Lock()
+	l.next.mu.Lock() //rnvet:ignore lockorder audited: links are locked strictly head-to-tail
+	l.next.mu.Unlock()
+	l.mu.Unlock()
+}
+
+// ignoreLockOrderWrongPass: a spinblock annotation must NOT hide the
+// lockorder self-edge finding.
+type chain struct {
+	mu   sync2.SpinLock
+	next *chain
+}
+
+func ignoreLockOrderWrongPass(c *chain) {
+	c.mu.Lock()
+	c.next.mu.Lock() //rnvet:ignore spinblock mismatched annotation // want `annot\.chain\.mu acquired while another instance of annot\.chain\.mu is held`
+	c.next.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// crossPassPair: one site can trip TWO of the new passes at once — parking
+// on a sync.Mutex while a spin lock is held (spinblock) on an acquisition
+// that also closes a lock-order cycle (lockorder). One comment naming both
+// passes covers the site; the reverse edge in parkThenSpin names neither
+// and stays reported.
+type gate struct{ spin sync2.SpinLock }
+type door struct{ m sync.Mutex }
+
+func spinThenPark(g *gate, d *door) {
+	g.spin.Lock()
+	d.m.Lock() //rnvet:ignore lockorder,spinblock audited: d.m is uncontended in this path and the documented order is spin-then-park
+	d.m.Unlock()
+	g.spin.Unlock()
+}
+
+func parkThenSpin(g *gate, d *door) {
+	d.m.Lock()
+	g.spin.Lock() // want `acquiring annot\.gate\.spin while annot\.door\.m is held closes the cycle`
+	g.spin.Unlock()
+	d.m.Unlock()
 }

@@ -1,0 +1,111 @@
+// Package lockorder is the lockorder golden fixture: two functions acquire
+// the same pair of locks in opposite orders (the classic AB/BA deadlock),
+// a call-summary edge contradicts a declared //rnvet:lockorder hierarchy,
+// hand-over-hand locking trips the self-edge finding, and contradictory
+// directives report against each other.
+package lockorder
+
+import (
+	"sync"
+
+	"rntree/internal/sync2"
+)
+
+type accounts struct{ mu sync.Mutex }
+type ledger struct{ mu sync.Mutex }
+
+// lockAB and lockBA close the classic cycle; each out-of-order acquisition
+// reports at its own site.
+func lockAB(a *accounts, l *ledger) {
+	a.mu.Lock()
+	l.mu.Lock() // want `acquiring lockorder\.ledger\.mu while lockorder\.accounts\.mu is held closes the cycle .* potential deadlock`
+	l.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockBA(a *accounts, l *ledger) {
+	l.mu.Lock()
+	a.mu.Lock() // want `acquiring lockorder\.accounts\.mu while lockorder\.ledger\.mu is held closes the cycle .* potential deadlock`
+	a.mu.Unlock()
+	l.mu.Unlock()
+}
+
+// The declared hierarchy says the drain lock is acquired before the pool
+// lock; outerThenInner violates it through a call summary, so the observed
+// edge closes a cycle against the declared edge.
+//
+//rnvet:lockorder lockorder.drain.mu<lockorder.pool.mu
+type pool struct{ mu sync2.SpinLock }
+type drain struct{ mu sync2.SpinLock }
+
+func lockDrain(d *drain) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func outerThenInner(p *pool, d *drain) {
+	p.mu.Lock()
+	lockDrain(d) // want `acquiring lockorder\.drain\.mu while lockorder\.pool\.mu is held \(acquired inside call to lockDrain\) closes the cycle`
+	p.mu.Unlock()
+}
+
+// node: hand-over-hand traversal acquires a second instance of the same
+// lock field — safe only under a documented instance order, so it is
+// flagged for an audited annotation.
+type node struct {
+	mu   sync.Mutex
+	next *node
+}
+
+func handOverHand(n *node) {
+	n.mu.Lock()
+	n.next.mu.Lock() // want `lockorder\.node\.mu acquired while another instance of lockorder\.node\.mu is held — instance order is unverified`
+	n.next.mu.Unlock()
+	n.mu.Unlock()
+}
+
+// node2: the same shape with the audited escape stays silent.
+type node2 struct {
+	mu   sync.Mutex
+	next *node2
+}
+
+func handOverHandAudited(n *node2) {
+	n.mu.Lock()
+	n.next.mu.Lock() //rnvet:ignore lockorder audited: list links are acquired strictly head-to-tail and never reversed
+	n.next.mu.Unlock()
+	n.mu.Unlock()
+}
+
+// Contradictory directives report against each other even with no code
+// acquiring either lock.
+var alpha sync.Mutex
+var beta sync.Mutex
+
+//rnvet:lockorder lockorder.alpha<lockorder.beta the forward declaration // want `contradictory //rnvet:lockorder directives: lockorder\.alpha<lockorder\.beta conflicts with the declared order lockorder\.beta -> lockorder\.alpha`
+//rnvet:lockorder lockorder.beta<lockorder.alpha the contradiction // want `contradictory //rnvet:lockorder directives: lockorder\.beta<lockorder\.alpha conflicts with the declared order lockorder\.alpha -> lockorder\.beta`
+
+// wellOrdered matches its declaration and stays silent.
+//
+//rnvet:lockorder lockorder.registry.mu<lockorder.entry.mu
+type registry struct{ mu sync.Mutex }
+type entry struct{ mu sync.Mutex }
+
+func wellOrdered(r *registry, e *entry) {
+	r.mu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// goroutineExcluded: an acquisition inside a go statement does not run
+// under the caller's lock, so no edge (and no cycle) is recorded even
+// though the textual order is reversed.
+func goroutineExcluded(r *registry, e *entry) {
+	e.mu.Lock()
+	go func() {
+		r.mu.Lock()
+		r.mu.Unlock()
+	}()
+	e.mu.Unlock()
+}

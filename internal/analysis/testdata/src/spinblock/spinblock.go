@@ -1,0 +1,138 @@
+// Package spinblock is the spinblock golden fixture: blocking operations
+// seeded inside sync2 spin-lock critical sections (channel traffic, parking
+// sync primitives, time.Sleep, I/O, and blocking hidden one call deep),
+// next to the legal patterns — blocking after unlock, select with default,
+// goroutine bodies, and nested spinning.
+package spinblock
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"rntree/internal/sync2"
+)
+
+func sendUnderLock(mu *sync2.SpinLock, ch chan int) {
+	mu.Lock()
+	ch <- 1 // want `channel send while sync2 spin lock mu is held`
+	mu.Unlock()
+}
+
+func recvUnderLock(mu *sync2.SpinLock, ch chan int) int {
+	mu.Lock()
+	v := <-ch // want `channel receive while sync2 spin lock mu is held`
+	mu.Unlock()
+	return v
+}
+
+func selectUnderLock(mu *sync2.SpinLock, a, b chan int) {
+	mu.Lock()
+	select { // want `select without default while sync2 spin lock mu is held`
+	case <-a:
+	case <-b:
+	}
+	mu.Unlock()
+}
+
+// selectWithDefault polls — it never blocks, so no finding.
+func selectWithDefault(mu *sync2.SpinLock, a chan int) {
+	mu.Lock()
+	select {
+	case <-a:
+	default:
+	}
+	mu.Unlock()
+}
+
+func rangeUnderLock(mu *sync2.SpinLock, ch chan int) (sum int) {
+	mu.Lock()
+	for v := range ch { // want `range over channel while sync2 spin lock mu is held`
+		sum += v
+	}
+	mu.Unlock()
+	return sum
+}
+
+func parkUnderLock(mu *sync2.SpinLock, m *sync.Mutex) {
+	mu.Lock()
+	m.Lock() // want `sync lock acquisition \(parks the goroutine\) while sync2 spin lock mu is held`
+	m.Unlock()
+	mu.Unlock()
+}
+
+func sleepUnderVersionLock(vl *sync2.VersionLock) {
+	vl.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while sync2 spin lock vl is held`
+	vl.Unlock()
+}
+
+func condWaitUnderLock(mu *sync2.SpinLock, c *sync.Cond) {
+	mu.Lock()
+	c.Wait() // want `sync\.Cond\.Wait while sync2 spin lock mu is held`
+	mu.Unlock()
+}
+
+func ioUnderLock(mu *sync2.SpinLock) {
+	mu.Lock()
+	_, _ = os.ReadFile("/dev/null") // want `I/O call into os\.ReadFile while sync2 spin lock mu is held`
+	mu.Unlock()
+}
+
+// viaCallee: the blocking operation hides one call deep; the finding names
+// the callee and the underlying site.
+func viaCallee(mu *sync2.SpinLock, ch chan int) {
+	mu.Lock()
+	notify(ch) // want `call to notify, which can block \(channel send at spinblock\.go:\d+\), while sync2 spin lock mu is held`
+	mu.Unlock()
+}
+
+func notify(ch chan int) {
+	ch <- 1
+}
+
+// earlyExit: the unlock-and-return branch must not release the lock for
+// the fall-through path (regression for the branch-aware held set).
+func earlyExit(mu *sync2.SpinLock, ch chan int, cond bool) {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+		return
+	}
+	ch <- 1 // want `channel send while sync2 spin lock mu is held`
+	mu.Unlock()
+}
+
+// blockAfterUnlock is the paper's pattern: publish under the lock, hand off
+// outside it.
+func blockAfterUnlock(mu *sync2.SpinLock, ch chan int) {
+	mu.Lock()
+	mu.Unlock()
+	ch <- 1
+}
+
+// goroutineBody: a spawned goroutine blocks on its own schedule, not while
+// the caller's spin lock is held.
+func goroutineBody(mu *sync2.SpinLock, ch chan int) {
+	mu.Lock()
+	go func() {
+		ch <- 1
+	}()
+	mu.Unlock()
+}
+
+// nestedSpin: spinning is not blocking — nested sync2 acquisition is
+// lockorder's concern, not spinblock's.
+func nestedSpin(a, b *sync2.SpinLock) {
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}
+
+// auditedHandoff: the escape hatch, with its audit comment.
+func auditedHandoff(mu *sync2.SpinLock, ch chan struct{}) {
+	mu.Lock()
+	ch <- struct{}{} //rnvet:ignore spinblock audited: the channel is buffered and drained by a dedicated engine, the send cannot park
+	mu.Unlock()
+}

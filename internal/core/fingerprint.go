@@ -52,7 +52,7 @@ func fpHash(key uint64) byte {
 // lock (or SplitBit during a split rewrite): stores are serialized, so a
 // load/modify/store on the shared word cannot lose a concurrent update.
 func (m *leafMeta) setFp(e int, fp byte) {
-	w := &m.fps[e>>3]
+	w := &m.fps[e>>3] //rnvet:ignore atomicfield w is a one-statement alias; the only accesses through it are the atomic Load/Store below
 	shift := uint(e&7) * 8
 	w.Store(w.Load()&^(0xff<<shift) | uint64(fp)<<shift)
 }

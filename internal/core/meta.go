@@ -20,7 +20,13 @@ const noHighKey = math.MaxUint64
 type leafMeta struct {
 	off uint64 // leaf base offset in the arena
 
-	// vl is the combined version/lock/splitting word of Figure 2.
+	// vl is the combined version/lock/splitting word of Figure 2. It is the
+	// innermost tree-level lock; only the side structures below it may be
+	// acquired while it is held (lockorder-checked):
+	//
+	//rnvet:lockorder core.leafMeta.vl<core.metaTable.mu
+	//rnvet:lockorder core.leafMeta.vl<inner.Index.mu
+	//rnvet:lockorder core.leafMeta.vl<core.undoPool.mu<pmem.Heap.allocMu
 	vl sync2.VersionLock
 
 	// nlogs is the allocation cursor: log entries [0, nlogs) are taken.

@@ -48,23 +48,40 @@ func (p *undoPool) acquire(a *pmem.Arena) (uint64, error) {
 		p.mu.Unlock()
 		return off, nil
 	}
+	p.mu.Unlock()
+	// Slow path: grow the chain. The allocation and the slot-image persist
+	// run outside the spin lock — the slot is thread-private until the head
+	// write publishes it, and both operations block (Alloc parks on the
+	// heap's allocator mutex, Persist waits on a drain engine), which would
+	// leave every other splitter spinning behind a descheduled holder.
 	off, err := a.Alloc(p.slotSize)
 	if err != nil {
-		p.mu.Unlock()
 		return 0, tree.ErrFull
 	}
-	// Link into the persistent chain: slot.next first, then the root head —
-	// each persisted before the next write depends on it.
 	a.Write8(off+undoStatusOff, 0)
-	a.Write8(off+undoNextOff, a.Read8(rootUndoOff))
-	a.Persist(off, pmem.LineSize) //rnvet:ignore lockflush slot.next must be durable before the lock-serialized head write can reference it
-	a.Write8(rootUndoOff, off)
-	p.mu.Unlock()
-	// The head flush runs outside the critical section (§4.2): a crash before
-	// it merely leaks the slot (old head is still a valid chain), and any
-	// later head persist by a competing acquire flushes this value too.
-	a.Persist(rootUndoOff, 8)
-	return off, nil
+	// Link into the persistent chain: slot.next first, then the root head —
+	// each durable before the next write depends on it. The head swing is
+	// optimistic: snapshot the head, persist the slot pointing at it, then
+	// publish under the lock only if no competing acquire moved the head in
+	// between. Head values are distinct Alloc offsets and slots are never
+	// unlinked, so a matching re-read proves the snapshot is still current.
+	for {
+		head := a.Read8(rootUndoOff)
+		a.Write8(off+undoNextOff, head)
+		a.Persist(off, pmem.LineSize)
+		p.mu.Lock()
+		if a.Read8(rootUndoOff) == head {
+			a.Write8(rootUndoOff, off)
+			p.mu.Unlock()
+			// The head flush runs outside the critical section (§4.2): a
+			// crash before it merely leaks the slot (the old head is still a
+			// valid chain), and any later head persist by a competing
+			// acquire flushes this value too.
+			a.Persist(rootUndoOff, 8)
+			return off, nil
+		}
+		p.mu.Unlock()
+	}
 }
 
 // release disarms and recycles a slot.
@@ -83,7 +100,7 @@ func (t *Tree) forceSplit(m *leafMeta) error {
 	m.vl.Lock()
 	defer m.vl.Unlock()
 	if int(m.nlogs.Load()) >= t.capacity {
-		return t.splitLocked(m) //rnvet:ignore lockflush Algorithm 3 must run under the leaf lock (the leaf is undo-logged)
+		return t.splitLocked(m) //rnvet:ignore lockflush,spinblock Algorithm 3 must run under the leaf lock (the leaf is undo-logged); pmem locks never wait on tree locks, so the allocator park is bounded
 	}
 	return nil
 }

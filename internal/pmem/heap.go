@@ -69,6 +69,14 @@ const (
 	minHeapSize = 1 << 16
 	minGrowSize = 4096
 
+	// maxRecoverBytes is recoverHeap's plausibility ceiling on the total
+	// capacity a crash image's header may claim (64 GiB — far above any
+	// simulated device). Header words are user-reachable via raw Write8,
+	// so recovery must treat absurd geometry as "not a heap image" and
+	// fall back to the legacy path instead of letting the capacity
+	// arithmetic overflow into a makeslice panic or a huge allocation.
+	maxRecoverBytes = 1 << 36
+
 	// defaultSimBase seeds segment mapping addresses when Config.SimBase
 	// is zero: a canonical-looking user-space address.
 	defaultSimBase = 0x00007c0000000000
@@ -510,9 +518,16 @@ func recoverHeap(img []uint64, cfg Config) *Heap {
 		maxSegs < 1 || nsegs < 1 || nsegs > maxSegs {
 		return nil
 	}
+	// Per-field caps first so the capacity arithmetic below cannot
+	// overflow uint64 (seg0, grow <= 2^36; maxSegs <= 2^36/minGrow, so
+	// seg0+(maxSegs-1)*grow < 2^61), then the combined ceiling.
+	if seg0 > maxRecoverBytes || grow > maxRecoverBytes ||
+		uint64(maxSegs) > maxRecoverBytes/minGrowSize {
+		return nil
+	}
 	committed := seg0 + uint64(nsegs-1)*grow
 	capacity := seg0 + uint64(maxSegs-1)*grow
-	if committed > imgBytes || imgBytes > capacity {
+	if committed > imgBytes || imgBytes > capacity || capacity > maxRecoverBytes {
 		return nil
 	}
 	h := &Heap{
@@ -530,7 +545,9 @@ func recoverHeap(img []uint64, cfg Config) *Heap {
 	}
 	// Copy the whole image (an uncommitted trailing segment's bytes are
 	// unreachable behind the committed watermark).
+	//rnvet:ignore atomicfield single-threaded recovery: h has not escaped yet, no reader can race the bulk copy
 	copy(h.cache, img)
+	//rnvet:ignore atomicfield single-threaded recovery: h has not escaped yet
 	copy(h.nvm, img)
 	h.committedW.Store(committed / WordSize)
 	h.initFreeCheck(cfg.FreeChecks)
@@ -751,6 +768,7 @@ func (h *Heap) SnapshotSegments() [][]uint64 {
 	for si := 0; si < nsegs; si++ {
 		base, end := h.segSpan(si)
 		seg := make([]uint64, (end-base)/WordSize)
+		//rnvet:ignore atomicfield snapshot contract (CrashImage doc): callers quiesce writers, and a torn read of a mid-persist word is exactly what a crash could expose
 		copy(seg, h.nvm[base/WordSize:end/WordSize])
 		out[si] = seg
 	}

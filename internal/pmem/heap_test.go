@@ -319,3 +319,34 @@ func TestCheckHeapCatchesCorruption(t *testing.T) {
 		t.Fatal("free block above bump not flagged")
 	}
 }
+
+// Header words live inside the arena's address space, so raw Write8 can
+// scribble over them (the quick-check durability tests do exactly that).
+// Recovery of such an image must select the legacy volatile path — never
+// panic in the capacity arithmetic or attempt an absurd allocation — and
+// the data outside the clobbered word must still read back. Regression
+// for a makeslice overflow when a garbage hdrMaxSegsOff/hdrGrowSizeOff
+// claimed a near-2^64 capacity.
+func TestRecoverGarbageHeader(t *testing.T) {
+	hostile := []uint64{
+		0xffffffffffffffff, // all-ones: overflow bait for the capacity product
+		0xe37a2ca18c97e1e9, // the quick.Check input that first tripped the panic
+		1 << 62,            // huge but line-aligned: passes the %LineSize checks
+		0,                  // zero: trips the nsegs/maxSegs >= 1 floor instead
+	}
+	const probe = uint64(RootSize) + hdrSize + 256 // user word clear of the header
+	for word := uint64(0); word < hdrSize/WordSize; word++ {
+		for _, v := range hostile {
+			h := newTestHeap(t, 1<<16, 4096, 4)
+			h.Write8(probe, 0xfeedface)
+			h.Persist(probe, 8)
+			off := seg0HdrOff + word*WordSize
+			h.Write8(off, v)
+			h.Persist(off, 8)
+			r := Recover(h.CrashImage(nil, 0), Config{})
+			if got := r.Read8(probe); got != 0xfeedface {
+				t.Fatalf("header word %d = %#x: probe read %#x after recovery", word, v, got)
+			}
+		}
+	}
+}

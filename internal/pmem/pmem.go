@@ -589,8 +589,10 @@ func (a *Arena) WriteStream(off uint64, src []byte) {
 		// per-word atomic stores and several times cheaper (this copy is
 		// the hot loop of every value-log append). The byte view matches
 		// getWord's little-endian word convention on LE hosts.
-		_ = a.nvm[base+n-1] // bounds check before taking unsafe views
+		_ = a.nvm[base+n-1] //rnvet:ignore atomicfield bounds check before taking unsafe views; value discarded
+		//rnvet:ignore atomicfield LE fast path: range exclusively owned until the fenced publish (comment above), torn intermediate states are unobservable
 		cdst := unsafe.Slice((*byte)(unsafe.Pointer(&a.cache[base])), len(src))
+		//rnvet:ignore atomicfield LE fast path: range exclusively owned until the fenced publish
 		ndst := unsafe.Slice((*byte)(unsafe.Pointer(&a.nvm[base])), len(src))
 		copy(cdst, src)
 		copy(ndst, src)
@@ -712,6 +714,7 @@ func (a *Arena) DirtyLines() []uint64 {
 func (a *Arena) CrashImage(rng *rand.Rand, evictProb float64) []uint64 {
 	cw := a.committedW.Load()
 	img := make([]uint64, cw)
+	//rnvet:ignore atomicfield snapshot contract (doc above): no Persist mid-flight on interesting lines, and a torn word is a legal crash state
 	copy(img, a.nvm[:cw])
 	a.stats.crashImages.Add(1)
 	if evictProb > 0 {
@@ -765,7 +768,9 @@ func Recover(img []uint64, cfg Config) *Arena {
 	if len(a.cache) != len(img) {
 		panic("pmem: recover image size mismatch")
 	}
+	//rnvet:ignore atomicfield single-threaded recovery: a has not escaped yet, no reader can race the bulk copy
 	copy(a.cache, img)
+	//rnvet:ignore atomicfield single-threaded recovery: a has not escaped yet
 	copy(a.nvm, img)
 	return a
 }
@@ -887,7 +892,7 @@ func (a *Arena) Zero(off, size uint64) {
 // NVMRead8 reads a word from the nvm image (what a crash would preserve).
 // Intended for tests and recovery verification on quiesced arenas.
 func (a *Arena) NVMRead8(off uint64) uint64 {
-	return a.nvm[a.wordIndex(off)]
+	return a.nvm[a.wordIndex(off)] //rnvet:ignore atomicfield quiesced-arena accessor (doc above): tests and recovery verification only
 }
 
 func putWord(b []byte, v uint64) {

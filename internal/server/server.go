@@ -539,7 +539,8 @@ type conn struct {
 	// Replication ship stream (repl.go): non-nil sub marks this as a
 	// replica connection; shipSeq numbers the unsolicited record frames
 	// (touched only by the subscriber's Run goroutine).
-	subMu   sync.Mutex // serializes subscribe attempts
+	//rnvet:lockorder server.conn.subMu<repl.Node.mu
+	subMu   sync.Mutex // serializes subscribe attempts (Subscribe acquires the repl node's lock inside)
 	sub     atomic.Pointer[repl.Subscriber]
 	shipSeq uint64
 

@@ -303,6 +303,13 @@ func (p *kvPart) shardFor(h uint64) *shard { return &p.shards[h&p.shardMask] }
 // Store is a durable key-value store. Reads are lock-free and may run
 // concurrently with any number of writers; writers on different shards
 // proceed in parallel, and Compact locks one shard at a time.
+//
+// The store's place in the repo-wide lock hierarchy, machine-checked by
+// rnvet's lockorder pass (declared edges join the observed acquisition
+// graph, so any code path that acquires against this order is a finding):
+//
+//rnvet:lockorder repl.Node.mu<kv.Store.closeMu<kv.kvPart.replMu<kv.shard.mu<core.leafMeta.vl
+//rnvet:lockorder kv.Store.closeMu<kv.Store.replStMu<pmem.Heap.allocMu
 type Store struct {
 	f     *forest.Forest
 	hash  func([]byte) uint64 // Hash, overridable by tests to force collisions
